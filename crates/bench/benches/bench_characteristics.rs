@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the characteristic computations that drive the
+//! dataset taxonomy (Section 3): the five univariate characteristics, the
+//! catch22 feature set, and the multivariate correlation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfb_characteristics::catch22::catch22_all;
+use tfb_characteristics::correlation::correlation;
+use tfb_characteristics::CharacteristicVector;
+use tfb_data::{Domain, Frequency, MultiSeries};
+use tfb_datagen::SeriesBuilder;
+
+fn bench_characteristic_vector(c: &mut Criterion) {
+    let xs = SeriesBuilder::new(500, 1)
+        .seasonal(24, 2.0)
+        .ar(0.6)
+        .noise(0.8)
+        .build();
+    c.bench_function("characteristic_vector_500", |bench| {
+        bench.iter(|| black_box(CharacteristicVector::compute(&xs, Some(24))));
+    });
+}
+
+fn bench_catch22(c: &mut Criterion) {
+    let xs = SeriesBuilder::new(1000, 2).seasonal(48, 1.5).ar(0.5).build();
+    c.bench_function("catch22_1000", |bench| {
+        bench.iter(|| black_box(catch22_all(&xs)));
+    });
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let factor = SeriesBuilder::new(600, 3).seasonal(48, 2.0).ar(0.7).build();
+    let chans = tfb_datagen::components::correlated_channels(&[factor], 6, 0.7, 0.4, 0.5, 4);
+    let series =
+        MultiSeries::from_channels("bench", Frequency::Hourly, Domain::Traffic, &chans).unwrap();
+    c.bench_function("correlation_6ch_600", |bench| {
+        bench.iter(|| black_box(correlation(&series)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_characteristic_vector,
+    bench_catch22,
+    bench_correlation
+);
+criterion_main!(benches);

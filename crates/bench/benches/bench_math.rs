@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks for the numeric substrate: the primitives
+//! every evaluation touches (matmul/solve, FFT, STL, ACF).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tfb_math::acf::acf;
+use tfb_math::fft::rfft;
+use tfb_math::matrix::Matrix;
+use tfb_math::stl::stl;
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|t| {
+            (std::f64::consts::TAU * t as f64 / 24.0).sin()
+                + 0.01 * t as f64
+                + ((t as f64 * 12.9898).sin() * 43758.5453).fract() * 0.3
+        })
+        .collect()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [16usize, 64, 128] {
+        let a = Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 17) as f64).collect()).unwrap();
+        let b = Matrix::from_vec(n, n, (0..n * n).map(|i| (i % 13) as f64).collect()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let n = 64;
+    let mut a = Matrix::identity(n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] += 1.0 / (1.0 + (i + j) as f64);
+        }
+    }
+    let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    c.bench_function("lu_solve_64", |bench| {
+        bench.iter(|| black_box(a.solve(&b).unwrap()));
+    });
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rfft");
+    for n in [256usize, 1024, 1000] {
+        let xs = series(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(rfft(&xs).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stl(c: &mut Criterion) {
+    let xs = series(720);
+    c.bench_function("stl_720_period24", |bench| {
+        bench.iter(|| black_box(stl(&xs, 24).unwrap()));
+    });
+}
+
+fn bench_acf(c: &mut Criterion) {
+    let xs = series(1000);
+    c.bench_function("acf_1000_lag50", |bench| {
+        bench.iter(|| black_box(acf(&xs, 50)));
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_solve, bench_fft, bench_stl, bench_acf);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks for forecaster latency: statistical fit+forecast,
+//! ML train and predict, and deep-model inference — the measurements behind
+//! the Figure 11 running-time comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tfb_core::method::{build_method, Method};
+use tfb_data::{Domain, Frequency, MultiSeries};
+use tfb_datagen::SeriesBuilder;
+use tfb_nn::TrainConfig;
+
+fn dataset(n: usize, dim: usize) -> MultiSeries {
+    let chans: Vec<Vec<f64>> = (0..dim)
+        .map(|c| {
+            SeriesBuilder::new(n, c as u64 + 10)
+                .seasonal(24, 2.0)
+                .ar(0.6)
+                .noise(0.5)
+                .build()
+        })
+        .collect();
+    MultiSeries::from_channels("bench", Frequency::Hourly, Domain::Electricity, &chans).unwrap()
+}
+
+fn bench_stat_forecast(c: &mut Criterion) {
+    let series = dataset(600, 3);
+    let mut group = c.benchmark_group("stat_fit_forecast_f24");
+    for name in ["Naive", "Theta", "ETS", "ARIMA", "VAR", "KF"] {
+        let method = build_method(name, 48, 24, 3, None).unwrap();
+        let Method::Stat(m) = method else { unreachable!() };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, _| {
+            bench.iter(|| black_box(m.forecast(&series, 24).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ml_train(c: &mut Criterion) {
+    let series = dataset(600, 1);
+    let mut group = c.benchmark_group("ml_train_h48_f24");
+    group.sample_size(10);
+    for name in ["LR", "RF", "XGB", "KNN"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, _| {
+            bench.iter(|| {
+                let mut method = build_method(name, 48, 24, 1, None).unwrap();
+                let Method::Window(m) = &mut method else { unreachable!() };
+                m.train(&series).unwrap();
+                black_box(());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_deep_inference(c: &mut Criterion) {
+    let series = dataset(600, 1);
+    let window: Vec<f64> = series.channel(0)[600 - 48..].to_vec();
+    let quick = TrainConfig {
+        epochs: 2,
+        max_samples: 100,
+        ..TrainConfig::default()
+    };
+    let mut group = c.benchmark_group("deep_inference_h48_f24");
+    for name in ["NLinear", "DLinear", "PatchTST", "FEDformer", "TCN", "RNN", "N-HiTS"] {
+        let mut method = build_method(name, 48, 24, 1, Some(quick)).unwrap();
+        let Method::Window(m) = &mut method else { unreachable!() };
+        m.train(&series).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, _| {
+            bench.iter(|| black_box(m.predict(&window, 1).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stat_forecast, bench_ml_train, bench_deep_inference);
+criterion_main!(benches);

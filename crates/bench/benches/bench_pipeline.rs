@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the evaluation pipeline itself: rolling
+//! evaluation throughput, the cost of normalization, and windowing/batching
+//! (including the drop-last bookkeeping of Table 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfb_core::eval::{evaluate, EvalSettings};
+use tfb_core::method::build_method;
+use tfb_data::{BatchIter, Batching, Domain, Frequency, MultiSeries, Normalization, Normalizer, WindowSampler};
+use tfb_datagen::SeriesBuilder;
+
+fn dataset(n: usize, dim: usize) -> MultiSeries {
+    let chans: Vec<Vec<f64>> = (0..dim)
+        .map(|c| {
+            SeriesBuilder::new(n, c as u64 + 20)
+                .seasonal(24, 2.0)
+                .ar(0.5)
+                .noise(0.5)
+                .build()
+        })
+        .collect();
+    MultiSeries::from_channels("bench", Frequency::Hourly, Domain::Traffic, &chans).unwrap()
+}
+
+fn bench_rolling_eval(c: &mut Criterion) {
+    let series = dataset(1000, 2);
+    let mut group = c.benchmark_group("rolling_eval_naive");
+    group.sample_size(20);
+    group.bench_function("stride1_all_windows", |bench| {
+        bench.iter(|| {
+            let mut method = build_method("Naive", 48, 24, 2, None).unwrap();
+            let settings = EvalSettings::rolling(48, 24, tfb_data::SplitRatio::R712);
+            black_box(evaluate(&mut method, &series, &settings).unwrap());
+        });
+    });
+    group.finish();
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let series = dataset(5000, 8);
+    c.bench_function("zscore_fit_apply_5000x8", |bench| {
+        bench.iter(|| {
+            let norm = Normalizer::fit(&series, Normalization::ZScore);
+            black_box(norm.apply(&series).unwrap());
+        });
+    });
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let sampler = WindowSampler::new(2880, 512, 336, 1).unwrap();
+    c.bench_function("batch_iter_keep_all_b32", |bench| {
+        bench.iter(|| {
+            let count: usize = BatchIter::new(&sampler, Batching::keep_all(32))
+                .map(|b| b.len())
+                .sum();
+            black_box(count);
+        });
+    });
+    c.bench_function("batch_iter_drop_last_b32", |bench| {
+        bench.iter(|| {
+            let count: usize = BatchIter::new(&sampler, Batching::drop_last(32))
+                .map(|b| b.len())
+                .sum();
+            black_box(count);
+        });
+    });
+}
+
+criterion_group!(benches, bench_rolling_eval, bench_normalization, bench_batching);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Ablation: direct multi-step (DMS) versus iterative multi-step (IMS)
+//! forecasting for the machine-learning methods.
+//!
+//! TFB's method layer supports both (Section 4.4). DMS trains one
+//! multi-output model per horizon; IMS trains a one-step model and feeds
+//! predictions back. The classical expectation: IMS degrades with the
+//! horizon as errors compound, DMS stays flatter.
+
+use tfb_bench::RunScale;
+use tfb_core::eval::{evaluate, EvalSettings};
+use tfb_core::method::Method;
+use tfb_core::Metric;
+use tfb_data::MultiSeries;
+use tfb_models::tabular::iterate_one_step;
+use tfb_models::{
+    LinearRegressionForecaster, ModelError, WindowForecaster,
+};
+
+/// LR wrapped to forecast iteratively with a one-step inner model.
+struct IterativeLr {
+    inner: LinearRegressionForecaster,
+    horizon: usize,
+}
+
+impl IterativeLr {
+    fn new(lookback: usize, horizon: usize) -> IterativeLr {
+        IterativeLr {
+            inner: LinearRegressionForecaster::new(lookback, 1),
+            horizon,
+        }
+    }
+}
+
+impl WindowForecaster for IterativeLr {
+    fn name(&self) -> &'static str {
+        "LR-IMS"
+    }
+    fn lookback(&self) -> usize {
+        self.inner.lookback()
+    }
+    fn horizon(&self) -> usize {
+        self.horizon
+    }
+    fn train(&mut self, train: &MultiSeries) -> Result<(), ModelError> {
+        self.inner.train(train)
+    }
+    fn predict(&self, window: &[f64], dim: usize) -> Result<Vec<f64>, ModelError> {
+        let channels = tfb_models::window_channels(window, dim);
+        let mut per_channel = Vec::with_capacity(dim);
+        for ch in &channels {
+            per_channel.push(iterate_one_step(ch, self.horizon, |w| {
+                self.inner.predict(w, 1).map(|v| v[0]).unwrap_or(f64::NAN)
+            }));
+        }
+        Ok(tfb_models::interleave_channels(&per_channel))
+    }
+}
+
+fn main() {
+    let scale = RunScale::from_env();
+    let profile = tfb_datagen::profile_by_name("Weather").expect("profile exists");
+    let series = profile.generate(scale.data_scale());
+    let lookback = 48;
+    println!("DMS vs IMS for LinearRegression on Weather (H={lookback}):\n");
+    println!("| horizon | DMS mae | IMS mae | IMS penalty |");
+    println!("|---|---|---|---|");
+    for horizon in [6usize, 12, 24, 48] {
+        let mut settings = EvalSettings::rolling(lookback, horizon, profile.split);
+        settings.max_windows = scale.max_windows().max(10);
+        let mut dms = Method::Window(Box::new(LinearRegressionForecaster::new(
+            lookback, horizon,
+        )));
+        let mut ims = Method::Window(Box::new(IterativeLr::new(lookback, horizon)));
+        let dms_mae = evaluate(&mut dms, &series, &settings)
+            .map(|o| o.metric(Metric::Mae))
+            .unwrap_or(f64::NAN);
+        let ims_mae = evaluate(&mut ims, &series, &settings)
+            .map(|o| o.metric(Metric::Mae))
+            .unwrap_or(f64::NAN);
+        println!(
+            "| {horizon} | {dms_mae:.4} | {ims_mae:.4} | {:+.1}% |",
+            (ims_mae / dms_mae - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Ablation: normalization choice (z-score vs. min-max vs. none).
+//!
+//! Issue 3 of the paper: the normalization scheme changes reported results,
+//! so the pipeline must fix one scheme for every method. This ablation
+//! quantifies the distortion — the same method, same data, three schemes.
+
+use tfb_bench::RunScale;
+use tfb_core::eval::{evaluate, EvalSettings};
+use tfb_core::method::build_method;
+use tfb_core::Metric;
+use tfb_data::Normalization;
+
+fn main() {
+    let scale = RunScale::from_env();
+    let profile = tfb_datagen::profile_by_name("ETTh1").expect("profile exists");
+    let series = profile.generate(scale.data_scale());
+    let (lookback, horizon) = (48, 24);
+    println!("Normalization ablation on ETTh1 (H={lookback}, F={horizon}), MAE is on the");
+    println!("chosen scale — the point is that cross-scheme numbers are incomparable:\n");
+    println!("| method | z-score | min-max | none |");
+    println!("|---|---|---|---|");
+    for method_name in ["Naive", "LR", "NLinear"] {
+        let mut row = format!("| {method_name} |");
+        for norm in [Normalization::ZScore, Normalization::MinMax, Normalization::None] {
+            let mut settings = EvalSettings::rolling(lookback, horizon, profile.split);
+            settings.normalization = norm;
+            settings.max_windows = scale.max_windows().max(10);
+            let mut method =
+                build_method(method_name, lookback, horizon, series.dim(), Some(scale.train_config()))
+                    .expect("known method");
+            match evaluate(&mut method, &series, &settings) {
+                Ok(out) => row.push_str(&format!(" {:.4} |", out.metric(Metric::Mae))),
+                Err(e) => row.push_str(&format!(" err({e}) |")),
+            }
+        }
+        println!("{row}");
+    }
+    println!("\nTFB fixes z-score (fitted on the training region) for all methods.");
+}

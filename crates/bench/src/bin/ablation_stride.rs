@@ -1,0 +1,43 @@
+//! Ablation: rolling-forecast stride sensitivity.
+//!
+//! The rolling strategy (Figure 6b) grows the history by `stride` steps per
+//! iteration. TFB evaluates with stride 1; this ablation shows how far a
+//! cheaper (larger) stride can drift from the stride-1 reference, which is
+//! what a window-budget subsample must be compared against.
+
+use tfb_bench::RunScale;
+use tfb_core::eval::{evaluate, EvalSettings, Strategy};
+use tfb_core::method::build_method;
+use tfb_core::Metric;
+
+fn main() {
+    let scale = RunScale::from_env();
+    let profile = tfb_datagen::profile_by_name("ETTh1").expect("profile exists");
+    let series = profile.generate(scale.data_scale());
+    let (lookback, horizon) = (48, 24);
+    println!("Stride ablation on ETTh1 (H={lookback}, F={horizon}, method = LR):\n");
+    println!("| stride | windows | mae | drift vs stride-1 |");
+    println!("|---|---|---|---|");
+    let mut reference = f64::NAN;
+    for stride in [1usize, 2, 4, 8, 16, 32] {
+        let mut settings = EvalSettings::rolling(lookback, horizon, profile.split);
+        settings.strategy = Strategy::Rolling { stride };
+        settings.max_windows = 0; // every window at this stride
+        let mut method =
+            build_method("LR", lookback, horizon, series.dim(), None).expect("known method");
+        match evaluate(&mut method, &series, &settings) {
+            Ok(out) => {
+                let mae = out.metric(Metric::Mae);
+                if stride == 1 {
+                    reference = mae;
+                }
+                println!(
+                    "| {stride} | {} | {mae:.4} | {:+.2}% |",
+                    out.n_windows,
+                    (mae / reference - 1.0) * 100.0
+                );
+            }
+            Err(e) => println!("| {stride} | - | err({e}) | - |"),
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 1: visualization of series with distinct vs. indistinct
+//! characteristics, with the computed characteristic value in each corner.
+//!
+//! We emit, for each of the five univariate characteristics, one exemplar
+//! series with the characteristic pronounced and one without, plus both
+//! computed values — the paper's panel as data (series CSVs land in
+//! `target/tfb-results/` for plotting).
+
+use tfb_bench::results_dir;
+use tfb_characteristics::{
+    adf_pvalue, seasonality_strength, shifting_value, transition_value, trend_strength,
+};
+use tfb_datagen::{SeriesBuilder, TrendKind};
+
+fn emit(name: &str, series: &[f64]) {
+    let path = results_dir().join(format!("figure1_{name}.csv"));
+    let mut text = String::from("t,value\n");
+    for (t, v) in series.iter().enumerate() {
+        text.push_str(&format!("{t},{v}\n"));
+    }
+    std::fs::write(path, text).expect("write series csv");
+}
+
+fn main() {
+    println!("Figure 1 — characteristic exemplars (value with / without):\n");
+    let n = 480;
+
+    let seasonal = SeriesBuilder::new(n, 1).seasonal(24, 4.0).noise(0.4).build();
+    let flat = SeriesBuilder::new(n, 2).noise(1.0).build();
+    println!(
+        "seasonality (AQShunyi-style): {:.3} vs {:.3}",
+        seasonality_strength(&seasonal, Some(24)),
+        seasonality_strength(&flat, Some(24)),
+    );
+    emit("seasonal_yes", &seasonal);
+    emit("seasonal_no", &flat);
+
+    let trending = SeriesBuilder::new(n, 3)
+        .trend(TrendKind::Linear { slope: 0.05 })
+        .noise(0.5)
+        .build();
+    println!(
+        "trend (FRED-MD-style):        {:.3} vs {:.3}",
+        trend_strength(&trending, None),
+        trend_strength(&flat, None),
+    );
+    emit("trend_yes", &trending);
+
+    let shifted = SeriesBuilder::new(n, 4)
+        .level_shift(0.55, 8.0)
+        .ar(0.6)
+        .noise(0.7)
+        .build();
+    println!(
+        "shifting (Electricity-style): {:.3} vs {:.3}",
+        shifting_value(&shifted),
+        shifting_value(&flat),
+    );
+    emit("shifting_yes", &shifted);
+
+    let structured = SeriesBuilder::new(n, 5)
+        .trend(TrendKind::Linear { slope: 0.03 })
+        .seasonal(48, 2.0)
+        .noise(0.3)
+        .build();
+    println!(
+        "transition:                   {:.4} vs {:.4}",
+        transition_value(&structured),
+        transition_value(&flat),
+    );
+    emit("transition_yes", &structured);
+
+    let walk = SeriesBuilder::new(n, 6).ar(1.0).noise(1.0).build();
+    println!(
+        "stationarity (ADF p):         {:.3} (noise) vs {:.3} (random walk)",
+        adf_pvalue(&flat),
+        adf_pvalue(&walk),
+    );
+    emit("stationary_yes", &flat);
+    emit("stationary_no", &walk);
+    println!("\nseries CSVs written to {}", results_dir().display());
+}

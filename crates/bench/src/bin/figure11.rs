@@ -1,0 +1,61 @@
+//! Figure 11: parameter counts versus inference time per sample for the
+//! deep methods, on three dataset scales (Traffic = large, Weather =
+//! medium, ILI = small).
+//!
+//! The shape to reproduce: inference time grows with parameter count;
+//! linear-based methods sit in the cheap corner; among transformers,
+//! PatchTST is markedly faster than Triformer and Crossformer.
+
+use tfb_bench::{eval_best_lookback, results_dir, RunScale};
+use tfb_core::Metric;
+
+const METHODS: [&str; 10] = [
+    "NLinear",
+    "DLinear",
+    "TiDE",
+    "PatchTST",
+    "Crossformer",
+    "Triformer",
+    "FEDformer",
+    "TimesNet",
+    "MICN",
+    "RNN",
+];
+
+fn main() {
+    let scale = RunScale::from_env();
+    let cases = [("Traffic", 96usize), ("Weather", 96), ("ILI", 24)];
+    let mut csv = String::from("dataset,method,parameters,infer_us_per_window,mae\n");
+    for (dataset, paper_h) in cases {
+        let profile = tfb_datagen::profile_by_name(dataset).expect("profile exists");
+        let series = profile.generate(scale.data_scale());
+        let horizon = match scale {
+            RunScale::Full => paper_h,
+            _ => 24,
+        };
+        println!("\n## {dataset} (F={horizon})\n");
+        println!("| method | parameters | inference (µs/window) | mae |");
+        println!("|---|---|---|---|");
+        for method in METHODS {
+            match eval_best_lookback(&profile, &series, method, horizon, scale) {
+                Some(out) => {
+                    let us = out.infer_time.as_secs_f64() * 1e6;
+                    println!(
+                        "| {method} | {} | {us:.1} | {:.3} |",
+                        out.parameters,
+                        out.metric(Metric::Mae)
+                    );
+                    csv.push_str(&format!(
+                        "{dataset},{method},{},{us},{}\n",
+                        out.parameters,
+                        out.metric(Metric::Mae)
+                    ));
+                }
+                None => println!("| {method} | - | - | - |"),
+            }
+        }
+    }
+    let path = results_dir().join("figure11.csv");
+    std::fs::write(&path, csv).expect("write figure11.csv");
+    println!("\nwrote {}", path.display());
+}

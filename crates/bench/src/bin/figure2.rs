@@ -1,0 +1,38 @@
+//! Figure 2: domain coverage of existing multivariate benchmarks versus
+//! TFB. The competitor rosters are static metadata from the paper; the TFB
+//! row is computed from this repository's dataset registry.
+
+use std::collections::BTreeMap;
+use tfb_datagen::all_profiles;
+
+/// Datasets (by domain) included in each existing benchmark, per Figure 2.
+const COMPETITORS: [(&str, &[(&str, usize)]); 4] = [
+    ("TSlib", &[("Traffic", 1), ("Electricity", 5), ("Environment", 1), ("Economic", 1), ("Health", 1)]),
+    ("LTSF-Linear", &[("Traffic", 1), ("Electricity", 5), ("Environment", 1), ("Economic", 1), ("Health", 1)]),
+    ("BasicTS", &[("Traffic", 6), ("Electricity", 5), ("Environment", 1), ("Economic", 1)]),
+    ("BasicTS+", &[("Traffic", 8), ("Electricity", 6), ("Environment", 1), ("Economic", 1)]),
+];
+
+fn main() {
+    println!("Figure 2 — multivariate domain coverage per benchmark:\n");
+    for (name, domains) in COMPETITORS {
+        let total: usize = domains.iter().map(|(_, n)| n).sum();
+        println!(
+            "{name:<12} {total:>2} datasets over {} domains: {domains:?}",
+            domains.len()
+        );
+    }
+    let mut ours: BTreeMap<&str, usize> = BTreeMap::new();
+    for p in all_profiles() {
+        *ours.entry(p.domain.label()).or_insert(0) += 1;
+    }
+    let total: usize = ours.values().sum();
+    println!(
+        "{:<12} {total:>2} datasets over {} domains: {:?}",
+        "TFB (ours)",
+        ours.len(),
+        ours.iter().collect::<Vec<_>>()
+    );
+    assert_eq!(total, 25);
+    assert_eq!(ours.len(), 10);
+}

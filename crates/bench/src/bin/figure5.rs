@@ -1,0 +1,106 @@
+//! Figure 5: coverage of the univariate characteristic space. Each series
+//! becomes a 5-feature vector (trend, seasonality, stationarity, shifting,
+//! transition), PCA reduces to 2-D, and coverage is measured as the number
+//! of occupied cells on a fixed grid (the text form of the paper's hexbin
+//! panels).
+//!
+//! The competitor archives are emulated as restrictions of the generated
+//! archive to the frequency profile each benchmark actually has (M4: all
+//! frequencies; M3: yearly/quarterly/monthly/other; NN5: daily only;
+//! Tourism: yearly/quarterly/monthly; M1: yearly/quarterly/monthly;
+//! Wike2000-style web: daily). The shape to reproduce: the TFB selection
+//! covers at least as many cells as every restricted archive.
+
+use tfb_bench::{results_dir, RunScale};
+use tfb_characteristics::CharacteristicVector;
+use tfb_data::Frequency;
+use tfb_datagen::univariate::UnivariateArchive;
+use tfb_math::matrix::Matrix;
+use tfb_math::pca::Pca;
+
+const GRID: usize = 12;
+
+fn occupied_cells(points: &[(f64, f64)], lo: (f64, f64), hi: (f64, f64)) -> usize {
+    let mut cells = std::collections::HashSet::new();
+    for &(x, y) in points {
+        let gx = (((x - lo.0) / (hi.0 - lo.0).max(1e-9)) * GRID as f64)
+            .clamp(0.0, GRID as f64 - 1.0) as usize;
+        let gy = (((y - lo.1) / (hi.1 - lo.1).max(1e-9)) * GRID as f64)
+            .clamp(0.0, GRID as f64 - 1.0) as usize;
+        cells.insert((gx, gy));
+    }
+    cells.len()
+}
+
+fn main() {
+    let scale = RunScale::from_env();
+    let divisor = match scale {
+        RunScale::Full => 4,
+        RunScale::Default => 30,
+        RunScale::Fast => 120,
+    };
+    let archive = UnivariateArchive::generate(divisor, 7);
+    println!(
+        "Figure 5 — PCA coverage of the characteristic space ({} series, {GRID}x{GRID} grid)",
+        archive.len()
+    );
+    // Feature matrix.
+    let rows: Vec<Vec<f64>> = archive
+        .series
+        .iter()
+        .map(|s| CharacteristicVector::of_series(s).as_features().to_vec())
+        .collect();
+    let data = Matrix::from_rows(&rows).expect("nonempty archive");
+    let pca = Pca::fit(&data).expect("pca fits");
+    let proj = pca.transform(&data, 2).expect("2 components");
+    let points: Vec<(f64, f64)> = (0..proj.rows())
+        .map(|i| (proj[(i, 0)], proj[(i, 1)]))
+        .collect();
+    let lo = points.iter().fold((f64::INFINITY, f64::INFINITY), |a, p| {
+        (a.0.min(p.0), a.1.min(p.1))
+    });
+    let hi = points
+        .iter()
+        .fold((f64::NEG_INFINITY, f64::NEG_INFINITY), |a, p| {
+            (a.0.max(p.0), a.1.max(p.1))
+        });
+
+    let benchmarks: [(&str, Option<&[Frequency]>); 6] = [
+        ("TFB", None),
+        ("M4", None), // M4 also spans all frequencies; it differs in size, not profile
+        ("M3", Some(&[Frequency::Yearly, Frequency::Quarterly, Frequency::Monthly, Frequency::Other])),
+        ("M1/Tourism", Some(&[Frequency::Yearly, Frequency::Quarterly, Frequency::Monthly])),
+        ("NN5", Some(&[Frequency::Daily])),
+        ("Web/Wike", Some(&[Frequency::Daily, Frequency::Weekly])),
+    ];
+    println!("\n| archive | series | occupied cells |");
+    println!("|---|---|---|");
+    let mut tfb_cells = 0;
+    for (name, freqs) in benchmarks {
+        let pts: Vec<(f64, f64)> = archive
+            .series
+            .iter()
+            .zip(&points)
+            .filter(|(s, _)| freqs.is_none_or(|fs| fs.contains(&s.frequency)))
+            .map(|(_, &p)| p)
+            .collect();
+        let cells = occupied_cells(&pts, lo, hi);
+        if name == "TFB" {
+            tfb_cells = cells;
+        }
+        println!("| {name} | {} | {cells} |", pts.len());
+    }
+    println!(
+        "\nexplained variance of the first two components: {:.1}%",
+        pca.explained_variance_ratio(2) * 100.0
+    );
+    // Emit the 2-D embedding for plotting.
+    let mut csv = String::from("pc1,pc2,frequency\n");
+    for (s, (x, y)) in archive.series.iter().zip(&points) {
+        csv.push_str(&format!("{x},{y},{}\n", s.frequency.label()));
+    }
+    let path = results_dir().join("figure5_embedding.csv");
+    std::fs::write(&path, csv).expect("write embedding");
+    println!("wrote {}", path.display());
+    assert!(tfb_cells > 0);
+}

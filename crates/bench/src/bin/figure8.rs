@@ -1,0 +1,71 @@
+//! Figure 8: radar chart of the best MAE of six deep methods on the six
+//! characteristic-extreme datasets — FRED-MD (trend), Electricity
+//! (seasonality), PEMS08 (transition), NYSE (shifting), PEMS-BAY
+//! (correlation) and Solar (stationarity).
+//!
+//! The shape to reproduce: no method excels everywhere; NLinear strongest
+//! on the trend/shift extremes (FRED-MD, NYSE), attention-based methods on
+//! the seasonal/correlated extremes; Crossformer best where correlation or
+//! transition is extreme but weak elsewhere.
+
+use tfb_bench::{emit, eval_best_lookback, RunScale};
+use tfb_core::report::ResultTable;
+use tfb_core::Metric;
+
+/// (dataset, characteristic it maximizes, horizon at paper scale).
+const EXTREMES: [(&str, &str, usize); 6] = [
+    ("FRED-MD", "trend", 24),
+    ("Electricity", "seasonality", 96),
+    ("PEMS08", "transition", 96),
+    ("NYSE", "shifting", 24),
+    ("PEMS-BAY", "correlation", 96),
+    ("Solar", "stationarity", 96),
+];
+
+const METHODS: [&str; 6] = [
+    "PatchTST",
+    "Crossformer",
+    "FEDformer",
+    "DLinear",
+    "NLinear",
+    "MICN",
+];
+
+fn main() {
+    let scale = RunScale::from_env();
+    let mut table = ResultTable::default();
+    for (dataset, characteristic, paper_h) in EXTREMES {
+        let profile = tfb_datagen::profile_by_name(dataset).expect("profile exists");
+        let horizon = match scale {
+            RunScale::Full => paper_h,
+            _ => 24,
+        };
+        let series = profile.generate(scale.data_scale());
+        eprintln!("scoring {dataset} (extreme {characteristic})...");
+        for method in METHODS {
+            if let Some(out) = eval_best_lookback(&profile, &series, method, horizon, scale) {
+                table.push(&out);
+            }
+        }
+    }
+    println!("Figure 8 — best MAE per method on characteristic-extreme datasets:\n");
+    emit(&table, "figure8", Metric::Mae);
+    // Winner per dataset (the radar's inner vertex).
+    for (dataset, characteristic, _) in EXTREMES {
+        let mut best: Option<(String, f64)> = None;
+        for m in table.methods() {
+            for (d, h) in table.cases() {
+                if d == dataset {
+                    if let Some(v) = table.cell(&d, h, &m, Metric::Mae) {
+                        if v.is_finite() && best.as_ref().is_none_or(|(_, b)| v < *b) {
+                            best = Some((m.clone(), v));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((m, v)) = best {
+            println!("{dataset:<12} (extreme {characteristic:<12}) best: {m} ({v:.3})");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 9: Transformer-based vs. CNN-based vs. Linear-based methods —
+//! the best MAE of each family per dataset, with the winning family marked.
+//!
+//! The shape to reproduce (Section 5.3.1): linear-based methods win on
+//! datasets with increasing trend or significant shifts (FRED-MD, NYSE,
+//! Covid-19-style); transformer-based methods win where seasonality,
+//! stationarity or strong internal similarity dominates (Electricity,
+//! Solar, Traffic-style).
+
+use tfb_bench::{eval_best_lookback, results_dir, RunScale};
+use tfb_core::Metric;
+use tfb_nn::DeepModelKind;
+
+const DATASETS: [&str; 8] = [
+    "FRED-MD", "NYSE", "Covid-19", "NN5", "Electricity", "Solar", "Traffic", "ILI",
+];
+
+fn family_members(family: &str) -> Vec<&'static str> {
+    DeepModelKind::PAPER_BASELINES
+        .iter()
+        .filter(|k| k.family() == family)
+        .map(|k| k.label())
+        .collect()
+}
+
+fn main() {
+    let scale = RunScale::from_env();
+    let families = ["Transformer", "CNN", "Linear/MLP"];
+    println!("Figure 9 — best family MAE per dataset:\n");
+    println!("| dataset | Transformer | CNN | Linear | winner |");
+    println!("|---|---|---|---|---|");
+    let mut csv = String::from("dataset,family,best_mae\n");
+    for dataset in DATASETS {
+        let profile = tfb_datagen::profile_by_name(dataset).expect("profile exists");
+        let series = profile.generate(scale.data_scale());
+        let horizon = 24;
+        let mut best_per_family = Vec::new();
+        for family in families {
+            // To keep the default run tractable we score two representatives
+            // per family (the full set under TFB_FULL=1).
+            let mut members = family_members(family);
+            if scale != RunScale::Full {
+                members.truncate(2);
+            }
+            let mut best = f64::INFINITY;
+            for m in members {
+                if let Some(out) = eval_best_lookback(&profile, &series, m, horizon, scale) {
+                    let v = out.metric(Metric::Mae);
+                    if v.is_finite() {
+                        best = best.min(v);
+                    }
+                }
+            }
+            csv.push_str(&format!("{dataset},{family},{best}\n"));
+            best_per_family.push(best);
+        }
+        let winner = families[best_per_family
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)];
+        println!(
+            "| {dataset} | {:.3} | {:.3} | {:.3} | {winner} |",
+            best_per_family[0], best_per_family[1], best_per_family[2]
+        );
+    }
+    let path = results_dir().join("figure9.csv");
+    std::fs::write(&path, csv).expect("write figure9.csv");
+    println!("\nwrote {}", path.display());
+}

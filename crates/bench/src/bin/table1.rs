@@ -1,0 +1,31 @@
+//! Table 1: VAR and LR versus recent deep methods on NASDAQ, Wind and ILI
+//! (MAE, forecasting horizon 24).
+//!
+//! The paper's headline for Issue 2: traditional methods beat recent SOTA
+//! methods on several datasets. The shape to reproduce: VAR competitive or
+//! best on NASDAQ, LR competitive on Wind, and the deep models ahead on
+//! ILI's strongly seasonal signal.
+
+use tfb_bench::{emit, eval_best_lookback, RunScale};
+use tfb_core::report::{RankTable, ResultTable};
+use tfb_core::Metric;
+
+fn main() {
+    let scale = RunScale::from_env();
+    let methods = ["VAR", "LR", "PatchTST", "NLinear", "FEDformer", "Crossformer"];
+    let mut table = ResultTable::default();
+    for name in ["NASDAQ", "Wind", "ILI"] {
+        let profile = tfb_datagen::profile_by_name(name).expect("profile exists");
+        let series = profile.generate(scale.data_scale());
+        for method in methods {
+            match eval_best_lookback(&profile, &series, method, 24, scale) {
+                Some(out) => table.push(&out),
+                None => eprintln!("{name}/{method}: no result"),
+            }
+        }
+    }
+    println!("Table 1 — MAE at F=24 (paper: VAR best on NASDAQ, LR best on Wind):\n");
+    emit(&table, "table1", Metric::Mae);
+    let ranks = RankTable::compute(&table, Metric::Mae);
+    println!("\nwins: {:?}", ranks.wins);
+}

@@ -1,0 +1,74 @@
+//! Table 4: statistics of the univariate archive — per-frequency series
+//! counts and how many series carry each characteristic tag.
+//!
+//! The full archive holds 8,068 series; `TFB_FULL=1` generates and scores
+//! all of them, the default uses a 1/20 sample (the per-characteristic
+//! *proportions* are what the table is about).
+
+use tfb_bench::RunScale;
+use tfb_characteristics::CharacteristicVector;
+use tfb_datagen::univariate::{UnivariateArchive, SPECS};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let divisor = match scale {
+        RunScale::Full => 1,
+        RunScale::Default => 20,
+        RunScale::Fast => 100,
+    };
+    let archive = UnivariateArchive::generate(divisor, 7);
+    println!(
+        "Table 4 — univariate archive statistics (divisor {divisor}, {} series; paper: 8,068):\n",
+        archive.len()
+    );
+    println!("| frequency | #series | seasonality | trend | shifting | transition | stationarity | |TS|<300 | F |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    let mut totals = [0usize; 7];
+    for spec in &SPECS {
+        let series: Vec<_> = archive
+            .series
+            .iter()
+            .filter(|s| s.frequency == spec.frequency)
+            .collect();
+        let mut counts = [0usize; 6];
+        for s in &series {
+            let v = CharacteristicVector::of_series(s);
+            let t = v.tag(Default::default());
+            for (i, flag) in [
+                t.seasonality,
+                t.trend,
+                t.shifting,
+                t.transition,
+                t.stationary,
+                s.len() < 300,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                if flag {
+                    counts[i] += 1;
+                }
+            }
+        }
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            spec.frequency.label(),
+            series.len(),
+            counts[0],
+            counts[1],
+            counts[2],
+            counts[3],
+            counts[4],
+            counts[5],
+            spec.horizon,
+        );
+        totals[0] += series.len();
+        for (t, c) in totals[1..].iter_mut().zip(counts) {
+            *t += c;
+        }
+    }
+    println!(
+        "| Total | {} | {} | {} | {} | {} | {} | {} | |",
+        totals[0], totals[1], totals[2], totals[3], totals[4], totals[5], totals[6]
+    );
+}

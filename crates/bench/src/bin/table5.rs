@@ -1,0 +1,36 @@
+//! Table 5: statistics of the 25 multivariate datasets — name, domain,
+//! frequency, length, dimension and chronological split. Printed from the
+//! profile registry; the paper-published shapes are recorded verbatim in
+//! each profile and the generated stand-ins match them at `TFB_FULL=1`.
+
+use tfb_bench::RunScale;
+use tfb_datagen::all_profiles;
+
+fn main() {
+    let scale = RunScale::from_env().data_scale();
+    println!("Table 5 — multivariate dataset statistics:\n");
+    println!("| dataset | domain | frequency | paper length | paper dim | generated length | generated dim | split |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for p in all_profiles() {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            p.name,
+            p.domain.label(),
+            p.frequency.label(),
+            p.paper_len,
+            p.paper_dim,
+            p.len(scale),
+            p.dim(scale),
+            p.split.label(),
+        );
+    }
+    let profiles = all_profiles();
+    let domains: std::collections::BTreeSet<&str> =
+        profiles.iter().map(|p| p.domain.label()).collect();
+    println!(
+        "\n{} datasets across {} domains: {:?}",
+        profiles.len(),
+        domains.len(),
+        domains
+    );
+}

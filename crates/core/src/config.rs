@@ -1,0 +1,190 @@
+//! Benchmark configuration: the JSON-serializable description of an
+//! experiment (datasets × methods × horizons, strategy, normalization,
+//! metrics, hyper-parameter search space) that the runner executes — the
+//! "standard configuration file that can be customized by users" of the
+//! paper's evaluation layer.
+
+use crate::metrics::Metric;
+use serde::{Deserialize, Serialize};
+use tfb_data::Normalization;
+
+/// Strategy selector in configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum StrategyConfig {
+    /// Fixed forecasting.
+    Fixed,
+    /// Rolling forecasting with a stride.
+    Rolling {
+        /// Stride between iterations.
+        stride: usize,
+    },
+}
+
+/// One experiment description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchmarkConfig {
+    /// Dataset names (must exist in the registry).
+    pub datasets: Vec<String>,
+    /// Method names (must exist in the method factory).
+    pub methods: Vec<String>,
+    /// Forecast horizons to evaluate.
+    pub horizons: Vec<usize>,
+    /// Look-back window candidates — the hyper-parameter search space,
+    /// capped at 8 sets as in the paper.
+    pub lookbacks: Vec<usize>,
+    /// Evaluation strategy.
+    pub strategy: StrategyConfig,
+    /// Normalization scheme.
+    #[serde(default)]
+    pub normalization: Normalization,
+    /// Metric labels to report (first one selects the best
+    /// hyper-parameter set).
+    pub metrics: Vec<String>,
+    /// Cap on rolling windows per evaluation (0 = all).
+    #[serde(default)]
+    pub max_windows: usize,
+    /// Maximum generated series length.
+    #[serde(default = "default_max_len")]
+    pub max_len: usize,
+    /// Maximum generated channel count.
+    #[serde(default = "default_max_dim")]
+    pub max_dim: usize,
+}
+
+fn default_max_len() -> usize {
+    tfb_datagen::Scale::DEFAULT.max_len
+}
+
+fn default_max_dim() -> usize {
+    tfb_datagen::Scale::DEFAULT.max_dim
+}
+
+impl BenchmarkConfig {
+    /// Parses a config from JSON.
+    pub fn from_json(text: &str) -> Result<BenchmarkConfig, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Serializes the config to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    /// The parsed metric list (unknown labels are dropped).
+    pub fn metric_list(&self) -> Vec<Metric> {
+        self.metrics
+            .iter()
+            .filter_map(|m| Metric::parse(m))
+            .collect()
+    }
+
+    /// The generation scale.
+    pub fn scale(&self) -> tfb_datagen::Scale {
+        tfb_datagen::Scale {
+            max_len: self.max_len,
+            max_dim: self.max_dim,
+        }
+    }
+
+    /// Hyper-parameter candidates, enforcing the paper's cap of 8.
+    pub fn search_space(&self) -> Vec<usize> {
+        self.lookbacks.iter().copied().take(8).collect()
+    }
+
+    /// Expands the config into the job grid.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let mut out = Vec::new();
+        for dataset in &self.datasets {
+            for method in &self.methods {
+                for &horizon in &self.horizons {
+                    out.push(JobSpec {
+                        dataset: dataset.clone(),
+                        method: method.clone(),
+                        horizon,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One (dataset, method, horizon) cell of the experiment grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// Forecast horizon.
+    pub horizon: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchmarkConfig {
+        BenchmarkConfig {
+            datasets: vec!["ILI".into(), "NASDAQ".into()],
+            methods: vec!["VAR".into(), "LR".into(), "PatchTST".into()],
+            horizons: vec![24, 36],
+            lookbacks: vec![36, 104],
+            strategy: StrategyConfig::Rolling { stride: 1 },
+            normalization: Normalization::ZScore,
+            metrics: vec!["mae".into(), "mse".into()],
+            max_windows: 20,
+            max_len: 600,
+            max_dim: 4,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let cfg = sample();
+        let text = cfg.to_json();
+        let back = BenchmarkConfig::from_json(&text).unwrap();
+        assert_eq!(back.datasets, cfg.datasets);
+        assert_eq!(back.horizons, cfg.horizons);
+        assert_eq!(back.strategy, cfg.strategy);
+    }
+
+    #[test]
+    fn jobs_form_the_full_grid() {
+        let jobs = sample().jobs();
+        assert_eq!(jobs.len(), 2 * 3 * 2);
+        assert!(jobs.contains(&JobSpec {
+            dataset: "NASDAQ".into(),
+            method: "PatchTST".into(),
+            horizon: 36,
+        }));
+    }
+
+    #[test]
+    fn search_space_is_capped_at_8() {
+        let mut cfg = sample();
+        cfg.lookbacks = (1..=20).collect();
+        assert_eq!(cfg.search_space().len(), 8);
+    }
+
+    #[test]
+    fn metric_list_drops_unknown() {
+        let mut cfg = sample();
+        cfg.metrics = vec!["mae".into(), "bogus".into(), "MASE".into()];
+        let ms = cfg.metric_list();
+        assert_eq!(ms, vec![Metric::Mae, Metric::Mase]);
+    }
+
+    #[test]
+    fn defaults_apply_when_fields_missing() {
+        let text = r#"{
+            "datasets": ["ILI"], "methods": ["Naive"], "horizons": [24],
+            "lookbacks": [36], "strategy": {"rolling": {"stride": 1}},
+            "metrics": ["mae"]
+        }"#;
+        let cfg = BenchmarkConfig::from_json(text).unwrap();
+        assert_eq!(cfg.max_len, tfb_datagen::Scale::DEFAULT.max_len);
+        assert_eq!(cfg.normalization, Normalization::ZScore);
+    }
+}

@@ -1,0 +1,217 @@
+//! The data layer: a dataset registry over the generated TFB collection
+//! and the characteristic-driven acceptance rule the paper describes
+//! ("when a new dataset becomes available, this layer can assess whether
+//! the distribution of existing datasets across the six features can be
+//! expanded").
+
+use tfb_characteristics::correlation::raw_channel_correlation;
+use tfb_characteristics::CharacteristicVector;
+use tfb_data::MultiSeries;
+use tfb_datagen::{all_profiles, DatasetProfile, Scale};
+
+/// A dataset ready for evaluation: generated series plus its profile.
+pub struct DatasetHandle {
+    /// The generated series.
+    pub series: MultiSeries,
+    /// The profile it was generated from.
+    pub profile: DatasetProfile,
+}
+
+/// Generates every dataset of the collection at the given scale.
+pub fn load_all(scale: Scale) -> Vec<DatasetHandle> {
+    all_profiles()
+        .into_iter()
+        .map(|profile| DatasetHandle {
+            series: profile.generate(scale),
+            profile,
+        })
+        .collect()
+}
+
+/// Generates one dataset by name.
+pub fn load(name: &str, scale: Scale) -> Option<DatasetHandle> {
+    tfb_datagen::profile_by_name(name).map(|profile| DatasetHandle {
+        series: profile.generate(scale),
+        profile,
+    })
+}
+
+/// The six characteristic scores of a multivariate dataset, averaged over
+/// channels for the five univariate characteristics plus the cross-channel
+/// correlation (Definition 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetCharacteristics {
+    /// Mean trend strength over channels.
+    pub trend: f64,
+    /// Mean seasonality strength over channels.
+    pub seasonality: f64,
+    /// Fraction of channels classified stationary.
+    pub stationarity: f64,
+    /// Mean shifting severity over channels.
+    pub shifting: f64,
+    /// Mean transition value over channels.
+    pub transition: f64,
+    /// Cross-channel correlation.
+    pub correlation: f64,
+}
+
+impl DatasetCharacteristics {
+    /// Computes the six characteristics of a multivariate series. For wide
+    /// datasets only the first `max_channels` channels are scored (the
+    /// characteristics concentrate quickly).
+    pub fn compute(series: &MultiSeries, max_channels: usize) -> DatasetCharacteristics {
+        let dim = series.dim().min(max_channels.max(1));
+        let period = series.frequency.default_period();
+        let hint = if period >= 2 { Some(period) } else { None };
+        let mut trend = 0.0;
+        let mut seasonality = 0.0;
+        let mut stationary = 0.0;
+        let mut shifting = 0.0;
+        let mut transition = 0.0;
+        for c in 0..dim {
+            let ch = series.channel(c);
+            let v = CharacteristicVector::compute(&ch, hint);
+            trend += v.trend;
+            seasonality += v.seasonality;
+            if v.adf_p <= 0.05 {
+                stationary += 1.0;
+            }
+            shifting += (2.0 * (v.shifting - 0.5)).abs();
+            transition += v.transition;
+        }
+        let k = dim as f64;
+        DatasetCharacteristics {
+            trend: trend / k,
+            seasonality: seasonality / k,
+            stationarity: stationary / k,
+            shifting: shifting / k,
+            transition: transition / k,
+            correlation: raw_channel_correlation(series),
+        }
+    }
+
+    /// The characteristics as a fixed-order vector
+    /// (trend, seasonality, stationarity, shifting, transition, correlation).
+    pub fn as_vec(&self) -> [f64; 6] {
+        [
+            self.trend,
+            self.seasonality,
+            self.stationarity,
+            self.shifting,
+            self.transition,
+            self.correlation,
+        ]
+    }
+}
+
+/// The acceptance rule of the data layer: a candidate dataset is accepted
+/// when its characteristic vector is at least `min_distance` (Euclidean,
+/// on the 6-D characteristic vector) away from every existing dataset —
+/// i.e. it expands the coverage of the collection.
+pub fn expands_coverage(
+    existing: &[DatasetCharacteristics],
+    candidate: &DatasetCharacteristics,
+    min_distance: f64,
+) -> bool {
+    let c = candidate.as_vec();
+    existing.iter().all(|e| {
+        let d: f64 = e
+            .as_vec()
+            .iter()
+            .zip(&c)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        d >= min_distance
+    })
+}
+
+/// PFA curation of a univariate archive (Section 4.1.1): represent every
+/// series by its five-characteristic vector and keep the principal-feature
+/// subset covering `threshold` (the paper uses 0.9) of the explained
+/// variance. Returns the retained indices, ascending.
+pub fn curate_archive(
+    archive: &tfb_datagen::UnivariateArchive,
+    threshold: f64,
+) -> Vec<usize> {
+    use tfb_characteristics::CharacteristicVector;
+    let rows: Vec<Vec<f64>> = archive
+        .series
+        .iter()
+        .map(|s| CharacteristicVector::of_series(s).as_features().to_vec())
+        .collect();
+    if rows.len() < 3 {
+        return (0..rows.len()).collect();
+    }
+    let data = tfb_math::matrix::Matrix::from_rows(&rows).expect("uniform feature rows");
+    tfb_math::pca::principal_feature_selection(&data, threshold)
+        .unwrap_or_else(|_| (0..rows.len()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curate_archive_returns_valid_subset() {
+        let archive = tfb_datagen::UnivariateArchive::generate(300, 7);
+        let kept = curate_archive(&archive, 0.9);
+        assert!(!kept.is_empty());
+        assert!(kept.len() <= archive.len());
+        assert!(kept.iter().all(|&i| i < archive.len()));
+        assert!(kept.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn load_all_yields_25_datasets() {
+        let handles = load_all(Scale::TINY);
+        assert_eq!(handles.len(), 25);
+    }
+
+    #[test]
+    fn load_by_name() {
+        let h = load("ILI", Scale::TINY).unwrap();
+        assert_eq!(h.series.name, "ILI");
+        assert!(load("NotADataset", Scale::TINY).is_none());
+    }
+
+    #[test]
+    fn fredmd_has_stronger_trend_than_electricity() {
+        let fred = load("FRED-MD", Scale::DEFAULT).unwrap();
+        let elec = load("Electricity", Scale::DEFAULT).unwrap();
+        let cf = DatasetCharacteristics::compute(&fred.series, 4);
+        let ce = DatasetCharacteristics::compute(&elec.series, 4);
+        assert!(cf.trend > ce.trend, "{} vs {}", cf.trend, ce.trend);
+        assert!(ce.seasonality > cf.seasonality);
+    }
+
+    #[test]
+    fn pemsbay_is_more_correlated_than_exchange() {
+        let bay = load("PEMS-BAY", Scale::TINY).unwrap();
+        let exch = load("Exchange", Scale::TINY).unwrap();
+        let cb = DatasetCharacteristics::compute(&bay.series, 4);
+        let cx = DatasetCharacteristics::compute(&exch.series, 4);
+        assert!(cb.correlation > cx.correlation);
+    }
+
+    #[test]
+    fn acceptance_rule_rejects_duplicates() {
+        let a = DatasetCharacteristics {
+            trend: 0.5,
+            seasonality: 0.5,
+            stationarity: 0.5,
+            shifting: 0.2,
+            transition: 0.01,
+            correlation: 0.4,
+        };
+        let close = a;
+        let far = DatasetCharacteristics {
+            trend: 0.95,
+            seasonality: 0.05,
+            ..a
+        };
+        assert!(!expands_coverage(&[a], &close, 0.1));
+        assert!(expands_coverage(&[a], &far, 0.1));
+        assert!(expands_coverage(&[], &a, 0.1));
+    }
+}

@@ -1,0 +1,433 @@
+//! The evaluation layer: fixed and rolling forecasting strategies
+//! (Figure 6 of the paper), consistent normalization, per-window metric
+//! aggregation, inference timing, and the "drop last" ablation switch.
+//!
+//! Rolling forecasting honours the paper's training-economy split:
+//! statistical methods are *refit on the full history of every iteration*;
+//! window-based (ML/DL) methods are trained once on the training region and
+//! only re-infer on the trailing look-back window of each iteration
+//! (Section 4.3.1).
+
+use crate::method::Method;
+use crate::metrics::{compute, Metric, MetricContext};
+use crate::{CoreError, Result};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+use tfb_data::{ChronoSplit, MultiSeries, Normalization, Normalizer, SplitRatio};
+
+/// Which forecasting strategy to evaluate with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Fixed forecasting: one forecast of the final `horizon` points
+    /// (Figure 6a) — TFB's univariate protocol.
+    Fixed,
+    /// Rolling forecasting with the given stride (Figure 6b) — TFB's
+    /// multivariate protocol.
+    Rolling {
+        /// How far the history grows between iterations.
+        stride: usize,
+    },
+}
+
+/// A user-defined metric: a label plus a `(forecast, actual) -> value`
+/// function — the evaluation layer's "customized metrics" extension point.
+pub type CustomMetric = (&'static str, fn(&[f64], &[f64]) -> f64);
+
+/// Everything an evaluation needs besides the method and the data.
+#[derive(Debug, Clone)]
+pub struct EvalSettings {
+    /// Strategy (fixed or rolling).
+    pub strategy: Strategy,
+    /// Look-back window `H` for window-based methods.
+    pub lookback: usize,
+    /// Forecast horizon `F`.
+    pub horizon: usize,
+    /// Chronological split.
+    pub split: SplitRatio,
+    /// Normalization fitted on the training region.
+    pub normalization: Normalization,
+    /// Metrics to report.
+    pub metrics: Vec<Metric>,
+    /// User-defined metrics, reported next to the built-in eight.
+    pub custom_metrics: Vec<CustomMetric>,
+    /// Cap on rolling iterations (0 = all); iterations are subsampled
+    /// evenly when the cap binds, never "drop last"-style truncated.
+    pub max_windows: usize,
+    /// The Table 2 ablation: when `Some((batch, true))`, the trailing
+    /// windows that do not fill a complete batch are *discarded*, exactly
+    /// reproducing the unfair "drop last" behaviour. `None` (TFB default)
+    /// keeps every window.
+    pub drop_last: Option<(usize, bool)>,
+}
+
+impl EvalSettings {
+    /// TFB's default multivariate rolling evaluation.
+    pub fn rolling(lookback: usize, horizon: usize, split: SplitRatio) -> EvalSettings {
+        EvalSettings {
+            strategy: Strategy::Rolling { stride: 1 },
+            lookback,
+            horizon,
+            split,
+            normalization: Normalization::ZScore,
+            metrics: vec![Metric::Mae, Metric::Mse],
+            custom_metrics: Vec::new(),
+            max_windows: 0,
+            drop_last: None,
+        }
+    }
+
+    /// TFB's univariate fixed-forecast evaluation (`H = 1.25 F`).
+    pub fn fixed(horizon: usize) -> EvalSettings {
+        EvalSettings {
+            strategy: Strategy::Fixed,
+            lookback: ((horizon as f64) * 1.25).ceil() as usize,
+            horizon,
+            split: SplitRatio::R712,
+            normalization: Normalization::None,
+            metrics: vec![Metric::Mase, Metric::Msmape],
+            custom_metrics: Vec::new(),
+            max_windows: 1,
+            drop_last: None,
+        }
+    }
+}
+
+/// Aggregated outcome of one (method, dataset, settings) evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// Method name.
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Horizon evaluated.
+    pub horizon: usize,
+    /// Look-back used.
+    pub lookback: usize,
+    /// Metric label → average value over windows.
+    pub metrics: BTreeMap<String, f64>,
+    /// Number of evaluation windows.
+    pub n_windows: usize,
+    /// Wall-clock training time (window methods; zero for statistical).
+    pub train_time: Duration,
+    /// Average inference time per window.
+    pub infer_time: Duration,
+    /// Parameter count (0 for statistical methods).
+    pub parameters: usize,
+}
+
+impl EvalOutcome {
+    /// Value of one metric (NaN when absent).
+    pub fn metric(&self, m: Metric) -> f64 {
+        self.metrics.get(m.label()).copied().unwrap_or(f64::NAN)
+    }
+}
+
+/// Evaluates a method on a dataset under the given settings.
+pub fn evaluate(method: &mut Method, series: &MultiSeries, settings: &EvalSettings) -> Result<EvalOutcome> {
+    match settings.strategy {
+        Strategy::Fixed => evaluate_fixed(method, series, settings),
+        Strategy::Rolling { stride } => evaluate_rolling(method, series, settings, stride),
+    }
+}
+
+/// Fixed forecasting: train on everything except the final horizon,
+/// forecast the final horizon once.
+fn evaluate_fixed(
+    method: &mut Method,
+    series: &MultiSeries,
+    settings: &EvalSettings,
+) -> Result<EvalOutcome> {
+    let n = series.len();
+    let f = settings.horizon;
+    let l = settings.lookback;
+    if n <= f || (matches!(method, Method::Window(_)) && n < l + f) {
+        return Err(CoreError::Eval(format!(
+            "series {} too short ({n}) for fixed forecast with F={f}, H={l}",
+            series.name
+        )));
+    }
+    let history = series.slice_rows(0..n - f);
+    let norm = Normalizer::fit(&history, settings.normalization);
+    let history_n = norm.apply(&history)?;
+    let actual_block: Vec<f64> = norm.apply(series)?.values()[(n - f) * series.dim()..].to_vec();
+    let mut train_time = Duration::ZERO;
+    let start = Instant::now();
+    let forecast = match method {
+        Method::Stat(m) => m.forecast(&history_n, f)?,
+        Method::Window(m) => {
+            let t0 = Instant::now();
+            m.train(&history_n)?;
+            train_time = t0.elapsed();
+            let window =
+                history_n.values()[(history.len() - l) * series.dim()..].to_vec();
+            m.predict(&window, series.dim())?
+        }
+    };
+    let infer_time = start.elapsed().saturating_sub(train_time);
+    // Metrics on the original scale for fixed (univariate) evaluation.
+    let mut forecast_denorm = forecast.clone();
+    norm.invert_block(&mut forecast_denorm, series.dim())?;
+    let mut actual_denorm = actual_block.clone();
+    norm.invert_block(&mut actual_denorm, series.dim())?;
+    let train_ch = history.channel(0);
+    let ctx = MetricContext {
+        train: Some(&train_ch),
+        period: series.frequency.default_period(),
+    };
+    let mut out = BTreeMap::new();
+    for &m in &settings.metrics {
+        out.insert(
+            m.label().to_string(),
+            compute(m, &forecast_denorm, &actual_denorm, ctx),
+        );
+    }
+    for (label, f) in &settings.custom_metrics {
+        out.insert((*label).to_string(), f(&forecast_denorm, &actual_denorm));
+    }
+    Ok(EvalOutcome {
+        method: method.name().to_string(),
+        dataset: series.name.clone(),
+        horizon: f,
+        lookback: l,
+        metrics: out,
+        n_windows: 1,
+        train_time,
+        infer_time,
+        parameters: method.parameter_count(),
+    })
+}
+
+/// Rolling forecasting over the test region.
+fn evaluate_rolling(
+    method: &mut Method,
+    series: &MultiSeries,
+    settings: &EvalSettings,
+    stride: usize,
+) -> Result<EvalOutcome> {
+    let n = series.len();
+    let f = settings.horizon;
+    let l = settings.lookback;
+    let dim = series.dim();
+    let split = ChronoSplit::split(series, settings.split)?;
+    let test_start = split.test_start;
+    if test_start < l || n < test_start + f {
+        return Err(CoreError::Eval(format!(
+            "series {} too short for rolling eval (n={n}, test_start={test_start}, F={f}, H={l})",
+            series.name
+        )));
+    }
+    // Normalize everything with training statistics (Issue 3: consistent
+    // handling for every method).
+    let norm = Normalizer::fit(&split.train, settings.normalization);
+    let normed = norm.apply(series)?;
+    // Enumerate forecast boundaries in the test region.
+    let stride = stride.max(1);
+    let mut boundaries: Vec<usize> = (test_start..=(n - f)).step_by(stride).collect();
+    // The "drop last" ablation discards the trailing partial batch.
+    if let Some((batch, true)) = settings.drop_last {
+        let keep = (boundaries.len() / batch.max(1)) * batch.max(1);
+        boundaries.truncate(keep);
+        if boundaries.is_empty() {
+            return Err(CoreError::Eval("drop_last removed every window".into()));
+        }
+    }
+    // Even subsampling under a window budget (bias-free, unlike drop-last).
+    if settings.max_windows > 0 && boundaries.len() > settings.max_windows {
+        let step = boundaries.len() as f64 / settings.max_windows as f64;
+        boundaries = (0..settings.max_windows)
+            .map(|i| boundaries[(i as f64 * step) as usize])
+            .collect();
+    }
+    let mut train_time = Duration::ZERO;
+    if let Method::Window(m) = method {
+        // Window methods see the same normalization as evaluation.
+        let train_normed = normed.slice_rows(0..split.val_start);
+        let t0 = Instant::now();
+        m.train(&train_normed)?;
+        train_time = t0.elapsed();
+    }
+    let train_ch = normed.slice_rows(0..split.val_start).channel(0);
+    let ctx_period = series.frequency.default_period();
+    let mut sums: BTreeMap<&'static str, f64> = BTreeMap::new();
+    let mut infer_total = Duration::ZERO;
+    let mut evaluated = 0usize;
+    for &t in &boundaries {
+        let actual = &normed.values()[t * dim..(t + f) * dim];
+        let t0 = Instant::now();
+        let forecast = match method {
+            Method::Stat(m) => {
+                // Refit on the full history up to the boundary.
+                let history = normed.slice_rows(0..t);
+                match m.forecast(&history, f) {
+                    Ok(fc) => fc,
+                    Err(_) => continue, // this window is unusable for this method
+                }
+            }
+            Method::Window(m) => {
+                let window = &normed.values()[(t - l) * dim..t * dim];
+                m.predict(window, dim)?
+            }
+        };
+        infer_total += t0.elapsed();
+        let ctx = MetricContext {
+            train: Some(&train_ch),
+            period: ctx_period,
+        };
+        for &metric in &settings.metrics {
+            let v = compute(metric, &forecast, actual, ctx);
+            *sums.entry(metric.label()).or_insert(0.0) += v;
+        }
+        for (label, f) in &settings.custom_metrics {
+            *sums.entry(label).or_insert(0.0) += f(&forecast, actual);
+        }
+        evaluated += 1;
+    }
+    if evaluated == 0 {
+        return Err(CoreError::Eval(format!(
+            "method {} produced no usable windows on {}",
+            method.name(),
+            series.name
+        )));
+    }
+    let metrics: BTreeMap<String, f64> = sums
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v / evaluated as f64))
+        .collect();
+    Ok(EvalOutcome {
+        method: method.name().to_string(),
+        dataset: series.name.clone(),
+        horizon: f,
+        lookback: l,
+        metrics,
+        n_windows: evaluated,
+        train_time,
+        infer_time: infer_total / evaluated.max(1) as u32,
+        parameters: method.parameter_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::build_method;
+    use tfb_data::{Domain, Frequency};
+
+    fn seasonal_series(n: usize) -> MultiSeries {
+        // Deterministic jitter keeps the seasonal-naive MASE denominator
+        // away from zero.
+        let xs: Vec<f64> = (0..n)
+            .map(|t| {
+                10.0 + 3.0 * (std::f64::consts::TAU * t as f64 / 24.0).sin()
+                    + 0.05 * ((t as f64 * 12.9898).sin() * 43758.5453).fract()
+            })
+            .collect();
+        MultiSeries::from_channels("test", Frequency::Hourly, Domain::Electricity, &[xs]).unwrap()
+    }
+
+    #[test]
+    fn fixed_eval_runs_stat_method() {
+        let s = seasonal_series(200);
+        let mut m = build_method("SeasonalNaive", 30, 24, 1, None).unwrap();
+        let settings = EvalSettings::fixed(24);
+        let out = evaluate(&mut m, &s, &settings).unwrap();
+        assert_eq!(out.n_windows, 1);
+        assert!(out.metric(Metric::Mase).is_finite());
+        // A perfectly periodic series is nailed by seasonal naive.
+        assert!(out.metric(Metric::Msmape) < 1.0, "{:?}", out.metrics);
+    }
+
+    #[test]
+    fn rolling_eval_runs_window_method() {
+        let s = seasonal_series(400);
+        let mut m = build_method("LR", 48, 24, 1, None).unwrap();
+        let settings = EvalSettings::rolling(48, 24, SplitRatio::R712);
+        let out = evaluate(&mut m, &s, &settings).unwrap();
+        assert!(out.n_windows > 10);
+        assert!(out.metric(Metric::Mae) < 0.3, "{:?}", out.metrics);
+        assert!(out.parameters > 0);
+    }
+
+    #[test]
+    fn rolling_eval_runs_stat_method_with_refit() {
+        let s = seasonal_series(300);
+        let mut m = build_method("Naive", 24, 12, 1, None).unwrap();
+        let mut settings = EvalSettings::rolling(24, 12, SplitRatio::R712);
+        settings.max_windows = 5;
+        let out = evaluate(&mut m, &s, &settings).unwrap();
+        assert_eq!(out.n_windows, 5);
+        assert_eq!(out.parameters, 0);
+    }
+
+    #[test]
+    fn drop_last_reduces_window_count() {
+        let s = seasonal_series(400);
+        let settings_all = EvalSettings::rolling(48, 24, SplitRatio::R712);
+        let mut settings_drop = settings_all.clone();
+        settings_drop.drop_last = Some((32, true));
+        let mut m1 = build_method("Naive", 48, 24, 1, None).unwrap();
+        let mut m2 = build_method("Naive", 48, 24, 1, None).unwrap();
+        let all = evaluate(&mut m1, &s, &settings_all).unwrap();
+        let dropped = evaluate(&mut m2, &s, &settings_drop).unwrap();
+        assert!(dropped.n_windows < all.n_windows);
+        assert_eq!(dropped.n_windows % 32, 0);
+    }
+
+    #[test]
+    fn max_windows_subsamples_evenly() {
+        let s = seasonal_series(400);
+        let mut settings = EvalSettings::rolling(48, 24, SplitRatio::R712);
+        settings.max_windows = 7;
+        let mut m = build_method("Naive", 48, 24, 1, None).unwrap();
+        let out = evaluate(&mut m, &s, &settings).unwrap();
+        assert_eq!(out.n_windows, 7);
+    }
+
+    #[test]
+    fn too_short_series_errors() {
+        let s = seasonal_series(30);
+        let mut m = build_method("Naive", 24, 24, 1, None).unwrap();
+        let settings = EvalSettings::rolling(24, 24, SplitRatio::R712);
+        assert!(evaluate(&mut m, &s, &settings).is_err());
+    }
+
+    #[test]
+    fn custom_metrics_are_reported() {
+        fn max_abs_error(forecast: &[f64], actual: &[f64]) -> f64 {
+            forecast
+                .iter()
+                .zip(actual)
+                .map(|(f, y)| (f - y).abs())
+                .fold(0.0, f64::max)
+        }
+        let s = seasonal_series(300);
+        let mut settings = EvalSettings::rolling(24, 12, SplitRatio::R712);
+        settings.custom_metrics = vec![("max_abs_error", max_abs_error)];
+        settings.max_windows = 5;
+        let mut m = build_method("Naive", 24, 12, 1, None).unwrap();
+        let out = evaluate(&mut m, &s, &settings).unwrap();
+        let custom = out.metrics["max_abs_error"];
+        assert!(custom.is_finite());
+        // max error dominates the mean error.
+        assert!(custom >= out.metric(Metric::Mae));
+    }
+
+    #[test]
+    fn normalization_is_fitted_on_train_only() {
+        // A series with a huge shift in the test region: z-scores computed
+        // on the whole series would shrink training values; fitted on train
+        // only, the train region must have ~unit variance.
+        let mut xs: Vec<f64> = (0..200).map(|t| (t as f64 * 0.7).sin()).collect();
+        xs.extend((0..50).map(|_| 1000.0));
+        let s = MultiSeries::from_channels("sh", Frequency::Hourly, Domain::Stock, &[xs])
+            .unwrap();
+        let split = ChronoSplit::split(&s, SplitRatio::R712).unwrap();
+        let norm = Normalizer::fit(&split.train, Normalization::ZScore);
+        let train_n = norm.apply(&split.train).unwrap();
+        let var: f64 = {
+            let ch = train_n.channel(0);
+            let m: f64 = ch.iter().sum::<f64>() / ch.len() as f64;
+            ch.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / ch.len() as f64
+        };
+        assert!((var - 1.0).abs() < 1e-6);
+    }
+}

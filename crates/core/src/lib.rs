@@ -1,0 +1,81 @@
+//! `tfb-core` — the TFB unified pipeline (Figure 7 of the paper).
+//!
+//! The pipeline has four layers:
+//!
+//! * **Data layer** — dataset registry, characteristic-driven acceptance
+//!   and standardized handling (splits, normalization) in [`data`];
+//! * **Method layer** — a uniform [`method::Method`] wrapper over
+//!   statistical, machine-learning and deep-learning forecasters, a
+//!   name-based factory, and bounded hyper-parameter search in [`method`];
+//! * **Evaluation layer** — fixed and rolling forecasting strategies
+//!   (Figure 6), the eight error metrics of Equations 7–14, and the
+//!   "drop last" ablation switch in [`eval`] and [`metrics`];
+//! * **Reporting layer** — result tables, rankings and CSV/Markdown
+//!   emission in [`report`], with sequential and parallel execution in
+//!   [`runner`].
+
+pub mod config;
+pub mod data;
+pub mod eval;
+pub mod method;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod viz;
+
+pub use config::{BenchmarkConfig, JobSpec};
+pub use eval::{EvalOutcome, EvalSettings, Strategy};
+pub use method::{build_method, Method};
+pub use metrics::{Metric, MetricContext};
+pub use report::{RankTable, ResultRow, ResultTable};
+pub use runner::{run_jobs, Parallelism};
+
+/// Errors surfaced by the pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Unknown method name in a config.
+    UnknownMethod(String),
+    /// Underlying model failure.
+    Model(tfb_models::ModelError),
+    /// Underlying data failure.
+    Data(tfb_data::DataError),
+    /// Evaluation could not run (e.g. series too short for the horizon).
+    Eval(String),
+    /// I/O failure while reporting.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::UnknownMethod(name) => write!(f, "unknown method: {name}"),
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            CoreError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<tfb_models::ModelError> for CoreError {
+    fn from(e: tfb_models::ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<tfb_data::DataError> for CoreError {
+    fn from(e: tfb_data::DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+/// Result alias for the pipeline.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,220 @@
+//! The method layer: a uniform wrapper over the three method paradigms and
+//! the *universal interface* (name-based factory) through which the
+//! pipeline — and users integrating third-party methods — instantiate
+//! forecasters.
+
+use crate::{CoreError, Result};
+use tfb_models::{StatForecaster, WindowForecaster};
+use tfb_nn::{DeepModel, DeepModelKind, TrainConfig};
+
+/// A forecaster under one of TFB's two training economies.
+pub enum Method {
+    /// Statistical: refit on the full history of every rolling iteration.
+    Stat(Box<dyn StatForecaster>),
+    /// Window-based (ML/DL): train once, re-infer per iteration.
+    Window(Box<dyn WindowForecaster>),
+}
+
+impl Method {
+    /// Method name as reported in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Stat(m) => m.name(),
+            Method::Window(m) => m.name(),
+        }
+    }
+
+    /// Whether this method retrains per rolling iteration.
+    pub fn is_statistical(&self) -> bool {
+        matches!(self, Method::Stat(_))
+    }
+
+    /// Parameter count (0 for statistical methods, which have no fixed
+    /// parameterization).
+    pub fn parameter_count(&self) -> usize {
+        match self {
+            Method::Stat(_) => 0,
+            Method::Window(m) => m.parameter_count(),
+        }
+    }
+}
+
+/// Names of all statistical methods the factory knows.
+pub const STAT_METHODS: [&str; 10] = [
+    "Naive",
+    "SeasonalNaive",
+    "Drift",
+    "Mean",
+    "ARIMA",
+    "SARIMA",
+    "ETS",
+    "Theta",
+    "VAR",
+    "KF",
+];
+
+/// Names of all machine-learning methods the factory knows.
+pub const ML_METHODS: [&str; 4] = ["LR", "RF", "XGB", "KNN"];
+
+/// Names of all deep-learning methods the factory knows.
+pub const DL_METHODS: [&str; 17] = [
+    "NLinear",
+    "DLinear",
+    "PatchTST",
+    "Crossformer",
+    "FEDformer",
+    "Informer",
+    "Triformer",
+    "Stationary",
+    "TiDE",
+    "N-BEATS",
+    "N-HiTS",
+    "TimesNet",
+    "MICN",
+    "TCN",
+    "RNN",
+    "FiLM",
+    "MLP",
+];
+
+/// Method paradigm, used by per-paradigm result groupings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Paradigm {
+    /// Statistical learning.
+    Statistical,
+    /// (Non-deep) machine learning.
+    MachineLearning,
+    /// Deep learning.
+    DeepLearning,
+}
+
+/// Paradigm of a method name, if known.
+pub fn paradigm_of(name: &str) -> Option<Paradigm> {
+    if STAT_METHODS.contains(&name) {
+        Some(Paradigm::Statistical)
+    } else if ML_METHODS.contains(&name) {
+        Some(Paradigm::MachineLearning)
+    } else if DL_METHODS.contains(&name) {
+        Some(Paradigm::DeepLearning)
+    } else {
+        None
+    }
+}
+
+fn deep_kind(name: &str) -> Option<DeepModelKind> {
+    let kind = match name {
+        "NLinear" => DeepModelKind::NLinear,
+        "DLinear" => DeepModelKind::DLinear,
+        "PatchTST" => DeepModelKind::PatchTST,
+        "Crossformer" => DeepModelKind::Crossformer,
+        "FEDformer" => DeepModelKind::FEDformer,
+        "Informer" => DeepModelKind::Informer,
+        "Triformer" => DeepModelKind::Triformer,
+        "Stationary" => DeepModelKind::Stationary,
+        "TiDE" => DeepModelKind::TiDE,
+        "N-BEATS" => DeepModelKind::NBeats,
+        "N-HiTS" => DeepModelKind::NHiTS,
+        "TimesNet" => DeepModelKind::TimesNet,
+        "MICN" => DeepModelKind::MICN,
+        "TCN" => DeepModelKind::Tcn,
+        "RNN" => DeepModelKind::Rnn,
+        "FiLM" => DeepModelKind::FiLM,
+        "MLP" => DeepModelKind::Mlp,
+        _ => return None,
+    };
+    Some(kind)
+}
+
+/// The universal interface: builds a method by name.
+///
+/// `lookback`/`horizon` configure window-based methods (ignored by
+/// statistical ones); `dim` is needed by cross-channel deep models;
+/// `train_config` overrides the deep-learning training budget when given.
+///
+/// ```
+/// use tfb_core::method::build_method;
+///
+/// let var = build_method("VAR", 96, 24, 7, None).unwrap();
+/// assert!(var.is_statistical());
+/// let patch = build_method("PatchTST", 96, 24, 7, None).unwrap();
+/// assert!(!patch.is_statistical());
+/// assert!(build_method("NotAMethod", 96, 24, 7, None).is_err());
+/// ```
+pub fn build_method(
+    name: &str,
+    lookback: usize,
+    horizon: usize,
+    dim: usize,
+    train_config: Option<TrainConfig>,
+) -> Result<Method> {
+    use tfb_models as m;
+    let method = match name {
+        "Naive" => Method::Stat(Box::new(m::Naive)),
+        "SeasonalNaive" => Method::Stat(Box::new(m::SeasonalNaive::auto())),
+        "Drift" => Method::Stat(Box::new(m::Drift)),
+        "Mean" => Method::Stat(Box::new(m::MeanForecaster)),
+        "ARIMA" => Method::Stat(Box::new(m::Arima::auto())),
+        "SARIMA" => Method::Stat(Box::new(m::Sarima::airline(0))),
+        "ETS" => Method::Stat(Box::new(m::Ets::auto())),
+        "Theta" => Method::Stat(Box::new(m::Theta)),
+        "VAR" => Method::Stat(Box::new(m::Var::auto())),
+        "KF" => Method::Stat(Box::new(m::KalmanForecaster)),
+        "LR" => Method::Window(Box::new(m::LinearRegressionForecaster::new(
+            lookback, horizon,
+        ))),
+        "RF" => Method::Window(Box::new(m::RandomForest::new(lookback, horizon))),
+        "XGB" => Method::Window(Box::new(m::GradientBoosting::new(lookback, horizon))),
+        "KNN" => Method::Window(Box::new(m::Knn::new(lookback, horizon))),
+        other => match deep_kind(other) {
+            Some(kind) => {
+                let mut model = DeepModel::new(kind, lookback, horizon, dim);
+                if let Some(cfg) = train_config {
+                    model.config = cfg;
+                }
+                Method::Window(Box::new(model))
+            }
+            None => return Err(CoreError::UnknownMethod(other.to_string())),
+        },
+    };
+    Ok(method)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_known_method() {
+        for name in STAT_METHODS.iter().chain(&ML_METHODS).chain(&DL_METHODS) {
+            let m = build_method(name, 24, 6, 3, None)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(&m.name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_method_is_an_error() {
+        assert!(matches!(
+            build_method("NotAModel", 8, 2, 1, None),
+            Err(CoreError::UnknownMethod(_))
+        ));
+    }
+
+    #[test]
+    fn paradigms_partition_the_registry() {
+        assert_eq!(paradigm_of("VAR"), Some(Paradigm::Statistical));
+        assert_eq!(paradigm_of("LR"), Some(Paradigm::MachineLearning));
+        assert_eq!(paradigm_of("PatchTST"), Some(Paradigm::DeepLearning));
+        assert_eq!(paradigm_of("???"), None);
+    }
+
+    #[test]
+    fn stat_methods_report_statistical() {
+        let m = build_method("ARIMA", 8, 4, 1, None).unwrap();
+        assert!(m.is_statistical());
+        assert_eq!(m.parameter_count(), 0);
+        let m = build_method("NLinear", 8, 4, 1, None).unwrap();
+        assert!(!m.is_statistical());
+        assert!(m.parameter_count() > 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! The eight evaluation metrics of Equations 7–14: MAE, MAPE, MSE, SMAPE,
+//! RMSE, WAPE, MSMAPE and MASE.
+//!
+//! All metrics take flat (time-major) forecast/actual slices, so they work
+//! unchanged for univariate horizons and multivariate blocks. MASE
+//! additionally needs the training series and the seasonal period
+//! (the denominator is the in-sample seasonal-naive error).
+
+use serde::{Deserialize, Serialize};
+
+/// The eight TFB metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Mean absolute error (Eq. 7).
+    Mae,
+    /// Mean absolute percentage error (Eq. 8).
+    Mape,
+    /// Mean squared error (Eq. 9).
+    Mse,
+    /// Symmetric MAPE (Eq. 10).
+    Smape,
+    /// Root mean squared error (Eq. 11).
+    Rmse,
+    /// Weighted absolute percent error (Eq. 12).
+    Wape,
+    /// Modified symmetric MAPE with ε = 0.1 (Eq. 13).
+    Msmape,
+    /// Mean absolute scaled error (Eq. 14).
+    Mase,
+}
+
+impl Metric {
+    /// All eight metrics in the paper's order.
+    pub const ALL: [Metric; 8] = [
+        Metric::Mae,
+        Metric::Mape,
+        Metric::Mse,
+        Metric::Smape,
+        Metric::Rmse,
+        Metric::Wape,
+        Metric::Msmape,
+        Metric::Mase,
+    ];
+
+    /// Lower-case label used in result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::Mae => "mae",
+            Metric::Mape => "mape",
+            Metric::Mse => "mse",
+            Metric::Smape => "smape",
+            Metric::Rmse => "rmse",
+            Metric::Wape => "wape",
+            Metric::Msmape => "msmape",
+            Metric::Mase => "mase",
+        }
+    }
+
+    /// Parses a label (case-insensitive).
+    pub fn parse(s: &str) -> Option<Metric> {
+        Metric::ALL
+            .into_iter()
+            .find(|m| m.label().eq_ignore_ascii_case(s))
+    }
+}
+
+/// Extra context needed by scale-aware metrics (MASE).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricContext<'a> {
+    /// The training series (one channel, chronological) for the MASE
+    /// denominator.
+    pub train: Option<&'a [f64]>,
+    /// Seasonal period `S` of Eq. 14 (1 = non-seasonal).
+    pub period: usize,
+}
+
+/// ε of Eq. 13, per the paper's stated default.
+pub const MSMAPE_EPSILON: f64 = 0.1;
+
+/// Computes one metric. Returns `f64::INFINITY` when a percentage-style
+/// metric divides by zero everywhere (the paper reports these cells as
+/// "inf"), and `f64::NAN` when inputs are empty or mismatched (reported as
+/// "nan").
+///
+/// ```
+/// use tfb_core::metrics::{compute, Metric, MetricContext};
+///
+/// let forecast = [11.0, 19.0];
+/// let actual = [10.0, 20.0];
+/// let ctx = MetricContext::default();
+/// assert_eq!(compute(Metric::Mae, &forecast, &actual, ctx), 1.0);
+/// assert_eq!(compute(Metric::Mse, &forecast, &actual, ctx), 1.0);
+/// ```
+pub fn compute(metric: Metric, forecast: &[f64], actual: &[f64], ctx: MetricContext<'_>) -> f64 {
+    if forecast.is_empty() || forecast.len() != actual.len() {
+        return f64::NAN;
+    }
+    let h = forecast.len() as f64;
+    match metric {
+        Metric::Mae => {
+            forecast
+                .iter()
+                .zip(actual)
+                .map(|(f, y)| (f - y).abs())
+                .sum::<f64>()
+                / h
+        }
+        Metric::Mse => {
+            forecast
+                .iter()
+                .zip(actual)
+                .map(|(f, y)| (f - y) * (f - y))
+                .sum::<f64>()
+                / h
+        }
+        Metric::Rmse => compute(Metric::Mse, forecast, actual, ctx).sqrt(),
+        Metric::Mape => {
+            let mut acc = 0.0;
+            for (f, y) in forecast.iter().zip(actual) {
+                if y.abs() < 1e-12 {
+                    return f64::INFINITY;
+                }
+                acc += ((y - f) / y).abs();
+            }
+            acc / h * 100.0
+        }
+        Metric::Smape => {
+            let mut acc = 0.0;
+            for (f, y) in forecast.iter().zip(actual) {
+                let denom = (y.abs() + f.abs()) / 2.0;
+                if denom < 1e-12 {
+                    return f64::INFINITY;
+                }
+                acc += (f - y).abs() / denom;
+            }
+            acc / h * 100.0
+        }
+        Metric::Wape => {
+            let denom: f64 = actual.iter().map(|y| y.abs()).sum();
+            if denom < 1e-12 {
+                return f64::INFINITY;
+            }
+            forecast
+                .iter()
+                .zip(actual)
+                .map(|(f, y)| (y - f).abs())
+                .sum::<f64>()
+                / denom
+        }
+        Metric::Msmape => {
+            let mut acc = 0.0;
+            for (f, y) in forecast.iter().zip(actual) {
+                let denom = (y.abs() + f.abs() + MSMAPE_EPSILON).max(0.5 + MSMAPE_EPSILON) / 2.0;
+                acc += (f - y).abs() / denom;
+            }
+            acc / h * 100.0
+        }
+        Metric::Mase => {
+            let Some(train) = ctx.train else {
+                return f64::NAN;
+            };
+            let s = ctx.period.max(1);
+            if train.len() <= s {
+                return f64::NAN;
+            }
+            let denom: f64 = (s..train.len())
+                .map(|k| (train[k] - train[k - s]).abs())
+                .sum::<f64>()
+                / (train.len() - s) as f64;
+            if denom < 1e-12 {
+                return f64::INFINITY;
+            }
+            let mae = compute(Metric::Mae, forecast, actual, ctx);
+            mae / denom
+        }
+    }
+}
+
+/// Computes a set of metrics at once, labelled.
+pub fn compute_all(
+    metrics: &[Metric],
+    forecast: &[f64],
+    actual: &[f64],
+    ctx: MetricContext<'_>,
+) -> Vec<(Metric, f64)> {
+    metrics
+        .iter()
+        .map(|&m| (m, compute(m, forecast, actual, ctx)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CTX: MetricContext<'static> = MetricContext {
+        train: None,
+        period: 1,
+    };
+
+    #[test]
+    fn mae_mse_rmse_known_values() {
+        let f = [1.0, 2.0, 3.0];
+        let y = [2.0, 2.0, 5.0];
+        assert!((compute(Metric::Mae, &f, &y, CTX) - 1.0).abs() < 1e-12);
+        assert!((compute(Metric::Mse, &f, &y, CTX) - 5.0 / 3.0).abs() < 1e-12);
+        assert!(
+            (compute(Metric::Rmse, &f, &y, CTX) - (5.0_f64 / 3.0).sqrt()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn perfect_forecast_scores_zero() {
+        let y = [1.5, -2.0, 3.0];
+        for m in [
+            Metric::Mae,
+            Metric::Mse,
+            Metric::Rmse,
+            Metric::Mape,
+            Metric::Smape,
+            Metric::Wape,
+            Metric::Msmape,
+        ] {
+            assert_eq!(compute(m, &y, &y, CTX), 0.0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn mape_is_percentage() {
+        let f = [110.0];
+        let y = [100.0];
+        assert!((compute(Metric::Mape, &f, &y, CTX) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_with_zero_actual_is_infinite() {
+        assert!(compute(Metric::Mape, &[1.0], &[0.0], CTX).is_infinite());
+    }
+
+    #[test]
+    fn smape_is_symmetric() {
+        let a = compute(Metric::Smape, &[110.0], &[100.0], CTX);
+        let b = compute(Metric::Smape, &[100.0], &[110.0], CTX);
+        assert!((a - b).abs() < 1e-12);
+        // |f-y| / ((|y|+|f|)/2) = 10 / 105 -> 9.52%
+        assert!((a - 100.0 * 10.0 / 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wape_weights_by_actual_magnitude() {
+        let f = [90.0, 9.0];
+        let y = [100.0, 10.0];
+        // (10 + 1) / 110 = 0.1
+        assert!((compute(Metric::Wape, &f, &y, CTX) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn msmape_is_finite_at_zero() {
+        let v = compute(Metric::Msmape, &[0.1], &[0.0], CTX);
+        assert!(v.is_finite());
+        // denom = max(0.1 + 0.1, 0.6)/2 = 0.3; 0.1/0.3*100 = 33.3%
+        assert!((v - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mase_scales_by_seasonal_naive_error() {
+        // Train: 0,1,0,1,... with period 2 -> in-sample seasonal diff = 0...
+        // use period 1: successive diffs all 1.
+        let train = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ctx = MetricContext {
+            train: Some(&train),
+            period: 1,
+        };
+        let v = compute(Metric::Mase, &[7.0], &[5.0], ctx);
+        assert!((v - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mase_without_train_is_nan() {
+        assert!(compute(Metric::Mase, &[1.0], &[1.0], CTX).is_nan());
+    }
+
+    #[test]
+    fn mase_constant_train_is_infinite() {
+        let train = [3.0; 10];
+        let ctx = MetricContext {
+            train: Some(&train),
+            period: 1,
+        };
+        assert!(compute(Metric::Mase, &[1.0], &[2.0], ctx).is_infinite());
+    }
+
+    #[test]
+    fn empty_or_mismatched_inputs_are_nan() {
+        assert!(compute(Metric::Mae, &[], &[], CTX).is_nan());
+        assert!(compute(Metric::Mae, &[1.0], &[1.0, 2.0], CTX).is_nan());
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for m in Metric::ALL {
+            assert_eq!(Metric::parse(m.label()), Some(m));
+        }
+        assert_eq!(Metric::parse("MAE"), Some(Metric::Mae));
+        assert_eq!(Metric::parse("nope"), None);
+    }
+
+    #[test]
+    fn compute_all_covers_requested_metrics() {
+        let out = compute_all(&Metric::ALL, &[1.0, 2.0], &[1.0, 2.0], CTX);
+        assert_eq!(out.len(), 8);
+    }
+}

@@ -1,0 +1,365 @@
+//! The reporting layer: result tables, per-method rankings (the "Ranks"
+//! column of Table 6), and CSV/Markdown emission with the run-traceability
+//! log the paper's reporting layer calls for.
+
+use crate::eval::EvalOutcome;
+use crate::metrics::Metric;
+use crate::Result;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// One reported cell: a flattened [`EvalOutcome`].
+#[derive(Debug, Clone)]
+pub struct ResultRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// Horizon.
+    pub horizon: usize,
+    /// Metric label → value.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl From<&EvalOutcome> for ResultRow {
+    fn from(o: &EvalOutcome) -> ResultRow {
+        ResultRow {
+            dataset: o.dataset.clone(),
+            method: o.method.clone(),
+            horizon: o.horizon,
+            metrics: o.metrics.clone(),
+        }
+    }
+}
+
+/// A collection of result rows with table-formatting helpers.
+#[derive(Debug, Clone, Default)]
+pub struct ResultTable {
+    /// The rows, in insertion order.
+    pub rows: Vec<ResultRow>,
+}
+
+impl ResultTable {
+    /// Builds a table from evaluation outcomes, skipping failures.
+    pub fn from_outcomes<'a>(outcomes: impl IntoIterator<Item = &'a EvalOutcome>) -> ResultTable {
+        ResultTable {
+            rows: outcomes.into_iter().map(ResultRow::from).collect(),
+        }
+    }
+
+    /// Adds one outcome.
+    pub fn push(&mut self, outcome: &EvalOutcome) {
+        self.rows.push(outcome.into());
+    }
+
+    /// The distinct method names, in first-seen order.
+    pub fn methods(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for r in &self.rows {
+            if !seen.contains(&r.method) {
+                seen.push(r.method.clone());
+            }
+        }
+        seen
+    }
+
+    /// The distinct (dataset, horizon) pairs, in first-seen order.
+    pub fn cases(&self) -> Vec<(String, usize)> {
+        let mut seen = Vec::new();
+        for r in &self.rows {
+            let key = (r.dataset.clone(), r.horizon);
+            if !seen.contains(&key) {
+                seen.push(key);
+            }
+        }
+        seen
+    }
+
+    /// Value for a (dataset, horizon, method, metric) cell.
+    pub fn cell(&self, dataset: &str, horizon: usize, method: &str, metric: Metric) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.dataset == dataset && r.horizon == horizon && r.method == method)
+            .and_then(|r| r.metrics.get(metric.label()).copied())
+    }
+
+    /// Mean of a metric per method over all cases (NaN/inf cells excluded,
+    /// matching how the paper averages Table 6).
+    pub fn mean_by_method(&self, metric: Metric) -> BTreeMap<String, f64> {
+        let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+        for r in &self.rows {
+            if let Some(&v) = r.metrics.get(metric.label()) {
+                if v.is_finite() {
+                    let e = sums.entry(r.method.clone()).or_insert((0.0, 0));
+                    e.0 += v;
+                    e.1 += 1;
+                }
+            }
+        }
+        sums.into_iter()
+            .map(|(k, (s, n))| (k, s / n.max(1) as f64))
+            .collect()
+    }
+
+    /// Markdown rendering: one row per (dataset, horizon), one column pair
+    /// per method.
+    pub fn to_markdown(&self, metric: Metric) -> String {
+        let methods = self.methods();
+        let mut out = String::new();
+        out.push_str("| dataset | F |");
+        for m in &methods {
+            out.push_str(&format!(" {m} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|---|");
+        for _ in &methods {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (dataset, horizon) in self.cases() {
+            out.push_str(&format!("| {dataset} | {horizon} |"));
+            for m in &methods {
+                match self.cell(&dataset, horizon, m, metric) {
+                    Some(v) if v.is_nan() => out.push_str(" nan |"),
+                    Some(v) if v.is_infinite() => out.push_str(" inf |"),
+                    Some(v) => out.push_str(&format!(" {v:.3} |")),
+                    None => out.push_str(" - |"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering with one row per result and one column per metric.
+    pub fn to_csv(&self) -> String {
+        let mut metric_labels: Vec<String> = Vec::new();
+        for r in &self.rows {
+            for k in r.metrics.keys() {
+                if !metric_labels.contains(k) {
+                    metric_labels.push(k.clone());
+                }
+            }
+        }
+        let mut out = String::from("dataset,method,horizon");
+        for m in &metric_labels {
+            out.push(',');
+            out.push_str(m);
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("{},{},{}", r.dataset, r.method, r.horizon));
+            for m in &metric_labels {
+                out.push(',');
+                match r.metrics.get(m) {
+                    Some(v) => out.push_str(&format!("{v}")),
+                    None => out.push_str(""),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV under `dir/name.csv`, creating the directory.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Per-method ranking: how often each method achieves the best value of a
+/// metric across cases — the "Ranks" statistic of Table 6.
+#[derive(Debug, Clone)]
+pub struct RankTable {
+    /// Method → number of cases where it was (tied-)best.
+    pub wins: BTreeMap<String, usize>,
+    /// Number of cases considered.
+    pub cases: usize,
+}
+
+impl RankTable {
+    /// Computes win counts on a result table.
+    pub fn compute(table: &ResultTable, metric: Metric) -> RankTable {
+        let mut wins: BTreeMap<String, usize> = BTreeMap::new();
+        for m in table.methods() {
+            wins.insert(m, 0);
+        }
+        let cases = table.cases();
+        for (dataset, horizon) in &cases {
+            let mut best: Option<(f64, Vec<String>)> = None;
+            for m in table.methods() {
+                let Some(v) = table.cell(dataset, *horizon, &m, metric) else {
+                    continue;
+                };
+                if !v.is_finite() {
+                    continue;
+                }
+                match &mut best {
+                    None => best = Some((v, vec![m])),
+                    Some((b, names)) => {
+                        if v < *b - 1e-12 {
+                            *b = v;
+                            names.clear();
+                            names.push(m);
+                        } else if (v - *b).abs() <= 1e-12 {
+                            names.push(m);
+                        }
+                    }
+                }
+            }
+            if let Some((_, names)) = best {
+                for m in names {
+                    *wins.entry(m).or_insert(0) += 1;
+                }
+            }
+        }
+        RankTable {
+            wins,
+            cases: cases.len(),
+        }
+    }
+}
+
+/// A minimal run log capturing the experimental settings for traceability.
+#[derive(Debug, Clone, Default)]
+pub struct RunLog {
+    entries: Vec<String>,
+}
+
+impl RunLog {
+    /// Creates an empty log.
+    pub fn new() -> RunLog {
+        RunLog::default()
+    }
+
+    /// Appends a log line.
+    pub fn log(&mut self, line: impl Into<String>) {
+        self.entries.push(line.into());
+    }
+
+    /// All lines.
+    pub fn lines(&self) -> &[String] {
+        &self.entries
+    }
+
+    /// Writes the log beside the results.
+    pub fn write(&self, dir: &Path, name: &str) -> Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.log"));
+        std::fs::write(path, self.entries.join("\n"))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn outcome(dataset: &str, method: &str, horizon: usize, mae: f64) -> EvalOutcome {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("mae".to_string(), mae);
+        EvalOutcome {
+            method: method.into(),
+            dataset: dataset.into(),
+            horizon,
+            lookback: 36,
+            metrics,
+            n_windows: 10,
+            train_time: Duration::ZERO,
+            infer_time: Duration::ZERO,
+            parameters: 0,
+        }
+    }
+
+    #[test]
+    fn table_cells_and_methods() {
+        let outs = vec![
+            outcome("A", "VAR", 24, 0.5),
+            outcome("A", "LR", 24, 0.7),
+            outcome("B", "VAR", 24, 0.9),
+        ];
+        let t = ResultTable::from_outcomes(&outs);
+        assert_eq!(t.methods(), vec!["VAR".to_string(), "LR".to_string()]);
+        assert_eq!(t.cases().len(), 2);
+        assert_eq!(t.cell("A", 24, "LR", Metric::Mae), Some(0.7));
+        assert_eq!(t.cell("B", 24, "LR", Metric::Mae), None);
+    }
+
+    #[test]
+    fn rank_table_counts_wins() {
+        let outs = vec![
+            outcome("A", "VAR", 24, 0.5),
+            outcome("A", "LR", 24, 0.7),
+            outcome("B", "VAR", 24, 0.9),
+            outcome("B", "LR", 24, 0.4),
+        ];
+        let t = ResultTable::from_outcomes(&outs);
+        let r = RankTable::compute(&t, Metric::Mae);
+        assert_eq!(r.wins["VAR"], 1);
+        assert_eq!(r.wins["LR"], 1);
+        assert_eq!(r.cases, 2);
+    }
+
+    #[test]
+    fn rank_table_ignores_nonfinite() {
+        let outs = vec![
+            outcome("A", "VAR", 24, f64::INFINITY),
+            outcome("A", "LR", 24, 0.7),
+        ];
+        let t = ResultTable::from_outcomes(&outs);
+        let r = RankTable::compute(&t, Metric::Mae);
+        assert_eq!(r.wins["LR"], 1);
+        assert_eq!(r.wins["VAR"], 0);
+    }
+
+    #[test]
+    fn markdown_marks_missing_and_inf() {
+        let outs = vec![
+            outcome("A", "VAR", 24, f64::INFINITY),
+            outcome("A", "LR", 24, 0.5),
+            outcome("B", "LR", 24, f64::NAN),
+        ];
+        let t = ResultTable::from_outcomes(&outs);
+        let md = t.to_markdown(Metric::Mae);
+        assert!(md.contains("inf"));
+        assert!(md.contains("nan"));
+        assert!(md.contains(" - |"));
+    }
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let outs = vec![outcome("A", "VAR", 24, 0.5)];
+        let t = ResultTable::from_outcomes(&outs);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "dataset,method,horizon,mae");
+        assert_eq!(lines.next().unwrap(), "A,VAR,24,0.5");
+    }
+
+    #[test]
+    fn mean_by_method_excludes_nonfinite() {
+        let outs = vec![
+            outcome("A", "VAR", 24, 1.0),
+            outcome("B", "VAR", 24, 3.0),
+            outcome("C", "VAR", 24, f64::INFINITY),
+        ];
+        let t = ResultTable::from_outcomes(&outs);
+        let m = t.mean_by_method(Metric::Mae);
+        assert_eq!(m["VAR"], 2.0);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("tfb_report_test");
+        let t = ResultTable::from_outcomes(&[outcome("A", "VAR", 24, 0.5)]);
+        let path = t.write_csv(&dir, "unit").unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(path).unwrap();
+    }
+}

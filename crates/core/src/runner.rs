@@ -1,0 +1,219 @@
+//! Experiment execution: expands a [`BenchmarkConfig`] into jobs, runs the
+//! per-job hyper-parameter search (best of ≤ 8 look-back sets, exactly the
+//! paper's protocol), and executes jobs sequentially or across worker
+//! threads.
+
+use crate::config::{BenchmarkConfig, JobSpec, StrategyConfig};
+use crate::eval::{evaluate, EvalOutcome, EvalSettings, Strategy};
+use crate::method::build_method;
+use crate::{CoreError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tfb_data::MultiSeries;
+use tfb_nn::TrainConfig;
+
+/// How to execute the job grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One job at a time, in order.
+    Sequential,
+    /// A pool of worker threads.
+    Threads(usize),
+}
+
+/// Shared, lazily generated dataset cache keyed by name.
+type DatasetCache = Arc<Mutex<HashMap<String, Arc<MultiSeries>>>>;
+
+fn load_dataset(cache: &DatasetCache, name: &str, scale: tfb_datagen::Scale) -> Result<Arc<MultiSeries>> {
+    if let Some(s) = cache.lock().get(name) {
+        return Ok(Arc::clone(s));
+    }
+    let profile = tfb_datagen::profile_by_name(name)
+        .ok_or_else(|| CoreError::Eval(format!("unknown dataset: {name}")))?;
+    let series = Arc::new(profile.generate(scale));
+    cache.lock().insert(name.to_string(), Arc::clone(&series));
+    Ok(series)
+}
+
+fn settings_for(config: &BenchmarkConfig, job: &JobSpec, lookback: usize) -> Result<EvalSettings> {
+    let profile = tfb_datagen::profile_by_name(&job.dataset)
+        .ok_or_else(|| CoreError::Eval(format!("unknown dataset: {}", job.dataset)))?;
+    let strategy = match config.strategy {
+        StrategyConfig::Fixed => Strategy::Fixed,
+        StrategyConfig::Rolling { stride } => Strategy::Rolling { stride },
+    };
+    Ok(EvalSettings {
+        strategy,
+        lookback,
+        horizon: job.horizon,
+        split: profile.split,
+        normalization: config.normalization,
+        metrics: config.metric_list(),
+        custom_metrics: Vec::new(),
+        max_windows: config.max_windows,
+        drop_last: None,
+    })
+}
+
+/// Runs one job: the hyper-parameter search over look-backs, keeping the
+/// best outcome by the config's primary (first) metric.
+pub fn run_job(
+    config: &BenchmarkConfig,
+    job: &JobSpec,
+    cache: &DatasetCache,
+    train_config: Option<TrainConfig>,
+) -> Result<EvalOutcome> {
+    let series = load_dataset(cache, &job.dataset, config.scale())?;
+    let metrics = config.metric_list();
+    let primary = *metrics
+        .first()
+        .ok_or_else(|| CoreError::Eval("config has no metrics".into()))?;
+    let mut best: Option<EvalOutcome> = None;
+    let mut last_err: Option<CoreError> = None;
+    for lookback in config.search_space() {
+        // A look-back candidate longer than the data affords is skipped.
+        let settings = settings_for(config, job, lookback)?;
+        let mut method = build_method(&job.method, lookback, job.horizon, series.dim(), train_config)?;
+        match evaluate(&mut method, &series, &settings) {
+            Ok(out) => {
+                let score = out.metric(primary);
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        let cur = b.metric(primary);
+                        score.is_finite() && (!cur.is_finite() || score < cur)
+                    }
+                };
+                if better {
+                    best = Some(out);
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    best.ok_or_else(|| {
+        last_err.unwrap_or_else(|| CoreError::Eval(format!("no look-back fit {job:?}")))
+    })
+}
+
+/// Executes the whole config. Failed jobs are reported as `Err` entries in
+/// the same order as `config.jobs()` — the pipeline never aborts a study
+/// because one method cannot run on one dataset (those cells are the
+/// "nan" entries of Tables 7–8).
+pub fn run_jobs(
+    config: &BenchmarkConfig,
+    parallelism: Parallelism,
+    train_config: Option<TrainConfig>,
+) -> Vec<Result<EvalOutcome>> {
+    let jobs = config.jobs();
+    let cache: DatasetCache = Arc::new(Mutex::new(HashMap::new()));
+    match parallelism {
+        Parallelism::Sequential => jobs
+            .iter()
+            .map(|job| run_job(config, job, &cache, train_config))
+            .collect(),
+        Parallelism::Threads(n) => {
+            let n = n.max(1);
+            let results: Vec<Mutex<Option<Result<EvalOutcome>>>> =
+                jobs.iter().map(|_| Mutex::new(None)).collect();
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..n {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let out = run_job(config, &jobs[i], &cache, train_config);
+                        *results[i].lock() = Some(out);
+                    });
+                }
+            });
+            results
+                .into_iter()
+                .map(|m| m.into_inner().expect("worker filled every slot"))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StrategyConfig;
+    use tfb_data::Normalization;
+
+    fn tiny_config(methods: &[&str]) -> BenchmarkConfig {
+        BenchmarkConfig {
+            datasets: vec!["ILI".into()],
+            methods: methods.iter().map(|s| s.to_string()).collect(),
+            horizons: vec![12],
+            lookbacks: vec![24, 36],
+            strategy: StrategyConfig::Rolling { stride: 4 },
+            normalization: Normalization::ZScore,
+            metrics: vec!["mae".into(), "mse".into()],
+            max_windows: 6,
+            max_len: 600,
+            max_dim: 3,
+        }
+    }
+
+    #[test]
+    fn sequential_run_produces_outcomes() {
+        let cfg = tiny_config(&["Naive", "LR"]);
+        let out = run_jobs(&cfg, Parallelism::Sequential, None);
+        assert_eq!(out.len(), 2);
+        for r in out {
+            let o = r.unwrap();
+            assert!(o.metric(crate::Metric::Mae).is_finite());
+            assert_eq!(o.dataset, "ILI");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let cfg = tiny_config(&["Naive", "Mean", "Drift"]);
+        let seq: Vec<f64> = run_jobs(&cfg, Parallelism::Sequential, None)
+            .into_iter()
+            .map(|r| r.unwrap().metric(crate::Metric::Mae))
+            .collect();
+        let par: Vec<f64> = run_jobs(&cfg, Parallelism::Threads(3), None)
+            .into_iter()
+            .map(|r| r.unwrap().metric(crate::Metric::Mae))
+            .collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn search_picks_the_better_lookback() {
+        // With two look-backs, the reported outcome must be the min-MAE one.
+        let cfg = tiny_config(&["LR"]);
+        let cache: DatasetCache = Arc::new(Mutex::new(HashMap::new()));
+        let job = &cfg.jobs()[0];
+        let best = run_job(&cfg, job, &cache, None).unwrap();
+        for lb in cfg.search_space() {
+            let mut single = cfg.clone();
+            single.lookbacks = vec![lb];
+            let one = run_job(&single, job, &cache, None).unwrap();
+            assert!(
+                best.metric(crate::Metric::Mae) <= one.metric(crate::Metric::Mae) + 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_dataset_fails_cleanly() {
+        let mut cfg = tiny_config(&["Naive"]);
+        cfg.datasets = vec!["Nope".into()];
+        let out = run_jobs(&cfg, Parallelism::Sequential, None);
+        assert!(out[0].is_err());
+    }
+
+    #[test]
+    fn unknown_method_fails_cleanly() {
+        let cfg = tiny_config(&["NotAMethod"]);
+        let out = run_jobs(&cfg, Parallelism::Sequential, None);
+        assert!(out[0].is_err());
+    }
+}

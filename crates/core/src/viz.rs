@@ -1,0 +1,292 @@
+//! The reporting layer's visualization module: dependency-free SVG
+//! rendering of series, forecasts and method comparisons ("a visualization
+//! module to facilitate a clear understanding of method performance",
+//! Section 4.4).
+//!
+//! The renderer is deliberately small: polyline charts with axes, a legend
+//! and an optional forecast-region marker — enough to eyeball every figure
+//! this benchmark produces without pulling in a plotting stack.
+
+use crate::Result;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One labelled line on a chart.
+#[derive(Debug, Clone)]
+pub struct SvgSeries {
+    /// Legend label.
+    pub label: String,
+    /// Y values; x is the index (offset by `x_offset`).
+    pub values: Vec<f64>,
+    /// Horizontal offset in samples (used to place forecasts after the
+    /// history they extend).
+    pub x_offset: usize,
+}
+
+impl SvgSeries {
+    /// A line starting at x = 0.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> SvgSeries {
+        SvgSeries {
+            label: label.into(),
+            values,
+            x_offset: 0,
+        }
+    }
+
+    /// A line starting after `offset` samples.
+    pub fn offset(label: impl Into<String>, values: Vec<f64>, offset: usize) -> SvgSeries {
+        SvgSeries {
+            label: label.into(),
+            values,
+            x_offset: offset,
+        }
+    }
+}
+
+/// Chart geometry and decoration.
+#[derive(Debug, Clone)]
+pub struct SvgChart {
+    /// Chart title.
+    pub title: String,
+    /// Pixel width.
+    pub width: usize,
+    /// Pixel height.
+    pub height: usize,
+    /// X position (in samples) of a vertical "forecast starts here" rule.
+    pub forecast_marker: Option<usize>,
+}
+
+impl Default for SvgChart {
+    fn default() -> Self {
+        SvgChart {
+            title: String::new(),
+            width: 720,
+            height: 320,
+            forecast_marker: None,
+        }
+    }
+}
+
+/// A brand-neutral categorical palette (okabe-ito derived, readable on
+/// white).
+const PALETTE: [&str; 7] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000",
+];
+
+impl SvgChart {
+    /// Renders the chart to an SVG document string.
+    pub fn render(&self, series: &[SvgSeries]) -> String {
+        let (w, h) = (self.width.max(160) as f64, self.height.max(120) as f64);
+        let margin = 42.0;
+        let plot_w = w - 2.0 * margin;
+        let plot_h = h - 2.0 * margin;
+        // Data bounds.
+        let mut x_max = 1usize;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in series {
+            x_max = x_max.max(s.x_offset + s.values.len());
+            for &v in &s.values {
+                if v.is_finite() {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            lo = 0.0;
+            hi = 1.0;
+        }
+        if (hi - lo).abs() < 1e-12 {
+            hi = lo + 1.0;
+        }
+        let x_of = |i: f64| margin + i / (x_max.max(2) - 1) as f64 * plot_w;
+        let y_of = |v: f64| margin + (1.0 - (v - lo) / (hi - lo)) * plot_h;
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"##
+        );
+        let _ = write!(
+            svg,
+            r##"<rect width="{w}" height="{h}" fill="white"/><text x="{}" y="24" font-size="14" text-anchor="middle">{}</text>"##,
+            w / 2.0,
+            escape(&self.title)
+        );
+        // Axes.
+        let _ = write!(
+            svg,
+            r##"<line x1="{m}" y1="{b}" x2="{r}" y2="{b}" stroke="#444"/><line x1="{m}" y1="{t}" x2="{m}" y2="{b}" stroke="#444"/>"##,
+            m = margin,
+            b = h - margin,
+            r = w - margin,
+            t = margin
+        );
+        // Y tick labels (min / mid / max).
+        for (frac, v) in [(0.0, lo), (0.5, (lo + hi) / 2.0), (1.0, hi)] {
+            let y = margin + (1.0 - frac) * plot_h;
+            let _ = write!(
+                svg,
+                r##"<text x="{}" y="{:.1}" font-size="10" text-anchor="end">{v:.2}</text>"##,
+                margin - 6.0,
+                y + 3.0
+            );
+        }
+        // Forecast marker.
+        if let Some(fx) = self.forecast_marker {
+            let x = x_of(fx as f64);
+            let _ = write!(
+                svg,
+                r##"<line x1="{x:.1}" y1="{t}" x2="{x:.1}" y2="{b}" stroke="#999" stroke-dasharray="4 3"/>"##,
+                t = margin,
+                b = h - margin
+            );
+        }
+        // Lines + legend.
+        for (si, s) in series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let mut points = String::new();
+            for (i, &v) in s.values.iter().enumerate() {
+                if v.is_finite() {
+                    let _ = write!(
+                        points,
+                        "{:.1},{:.1} ",
+                        x_of((s.x_offset + i) as f64),
+                        y_of(v)
+                    );
+                }
+            }
+            let _ = write!(
+                svg,
+                r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.5"/>"##,
+                points.trim_end()
+            );
+            let ly = margin + 14.0 * si as f64;
+            let _ = write!(
+                svg,
+                r##"<rect x="{}" y="{:.1}" width="10" height="3" fill="{color}"/><text x="{}" y="{:.1}" font-size="10">{}</text>"##,
+                w - margin - 110.0,
+                ly,
+                w - margin - 95.0,
+                ly + 4.0,
+                escape(&s.label)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Renders and writes the chart to `path`.
+    pub fn write(&self, series: &[SvgSeries], path: &Path) -> Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render(series))?;
+        Ok(())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Convenience: history + per-method forecasts with the forecast marker in
+/// place — the standard "how did each method continue this series" view.
+pub fn forecast_chart(
+    title: &str,
+    history: &[f64],
+    forecasts: &[(&str, Vec<f64>)],
+) -> (SvgChart, Vec<SvgSeries>) {
+    let chart = SvgChart {
+        title: title.to_string(),
+        forecast_marker: Some(history.len().saturating_sub(1)),
+        ..SvgChart::default()
+    };
+    let mut series = vec![SvgSeries::new("history", history.to_vec())];
+    for (label, values) in forecasts {
+        series.push(SvgSeries::offset(*label, values.clone(), history.len()));
+    }
+    (chart, series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_produces_valid_svg_skeleton() {
+        let chart = SvgChart {
+            title: "test".into(),
+            ..SvgChart::default()
+        };
+        let svg = chart.render(&[SvgSeries::new("a", vec![1.0, 2.0, 3.0])]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains(">test<"));
+        assert!(svg.contains(">a<"));
+    }
+
+    #[test]
+    fn every_series_gets_a_distinct_color() {
+        let chart = SvgChart::default();
+        let series: Vec<SvgSeries> = (0..3)
+            .map(|i| SvgSeries::new(format!("s{i}"), vec![i as f64, 1.0]))
+            .collect();
+        let svg = chart.render(&series);
+        for color in &PALETTE[..3] {
+            assert!(svg.contains(color), "missing {color}");
+        }
+    }
+
+    #[test]
+    fn non_finite_values_are_skipped_not_rendered() {
+        let chart = SvgChart::default();
+        let svg = chart.render(&[SvgSeries::new("a", vec![1.0, f64::NAN, 3.0])]);
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let chart = SvgChart::default();
+        let svg = chart.render(&[SvgSeries::new("flat", vec![5.0; 10])]);
+        assert!(svg.contains("polyline"));
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn forecast_chart_places_marker_and_offsets() {
+        let (chart, series) = forecast_chart(
+            "f",
+            &[1.0, 2.0, 3.0, 4.0],
+            &[("m1", vec![5.0, 6.0]), ("m2", vec![4.5, 4.0])],
+        );
+        assert_eq!(chart.forecast_marker, Some(3));
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[1].x_offset, 4);
+        let svg = chart.render(&series);
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let chart = SvgChart {
+            title: "a < b & c".into(),
+            ..SvgChart::default()
+        };
+        let svg = chart.render(&[]);
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn write_creates_file() {
+        let dir = std::env::temp_dir().join(format!("tfb_viz_{}", std::process::id()));
+        let path = dir.join("chart.svg");
+        let chart = SvgChart::default();
+        chart
+            .write(&[SvgSeries::new("a", vec![0.0, 1.0])], &path)
+            .unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

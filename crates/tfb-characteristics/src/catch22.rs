@@ -1,0 +1,678 @@
+//! A from-scratch Rust port of the catch22 feature set (Lubba et al. 2019,
+//! "catch22: CAnonical Time-series CHaracteristics").
+//!
+//! TFB's correlation characteristic (Definition 8) represents each channel
+//! of a multivariate series by its catch22 feature vector and averages the
+//! pairwise Pearson correlations of those vectors. This module implements
+//! all 22 features. Where the reference C implementation uses heavyweight
+//! machinery (Welch spectra, spline detrending, exponential fits), we use
+//! the closest simple estimator (raw periodogram, linear detrending, moment
+//! matching); the features remain monotone transformations of the same
+//! underlying quantities, which is what the correlation characteristic
+//! needs. Each feature is exposed individually and via [`catch22_all`].
+//!
+//! All features z-score the input first, as the reference does for the
+//! distribution-dependent features.
+
+use tfb_math::acf::{acf, autocorrelation, first_zero_crossing};
+use tfb_math::fft::periodogram;
+use tfb_math::stats::{mean, median, std_dev, zscore};
+
+/// Number of features.
+pub const N_FEATURES: usize = 22;
+
+/// Feature names in output order (matching the reference ordering).
+pub const FEATURE_NAMES: [&str; N_FEATURES] = [
+    "DN_HistogramMode_5",
+    "DN_HistogramMode_10",
+    "CO_f1ecac",
+    "CO_FirstMin_ac",
+    "CO_HistogramAMI_even_2_5",
+    "CO_trev_1_num",
+    "MD_hrv_classic_pnn40",
+    "SB_BinaryStats_mean_longstretch1",
+    "SB_TransitionMatrix_3ac_sumdiagcov",
+    "PD_PeriodicityWang_th0_01",
+    "CO_Embed2_Dist_tau_d_expfit_meandiff",
+    "IN_AutoMutualInfoStats_40_gaussian_fmmi",
+    "FC_LocalSimple_mean1_tauresrat",
+    "DN_OutlierInclude_p_001_mdrmd",
+    "DN_OutlierInclude_n_001_mdrmd",
+    "SP_Summaries_welch_rect_area_5_1",
+    "SB_BinaryStats_diff_longstretch0",
+    "SB_MotifThree_quantile_hh",
+    "SC_FluctAnal_2_rsrangefit_50_1_logi_prop_r1",
+    "SC_FluctAnal_2_dfa_50_1_2_logi_prop_r1",
+    "SP_Summaries_welch_rect_centroid",
+    "FC_LocalSimple_mean3_stderr",
+];
+
+/// Computes all 22 features. Series shorter than 16 points return zeros
+/// (the reference implementation NaNs them; zeros keep the downstream
+/// Pearson correlations defined).
+pub fn catch22_all(series: &[f64]) -> [f64; N_FEATURES] {
+    let mut out = [0.0; N_FEATURES];
+    if series.len() < 16 {
+        return out;
+    }
+    let z = zscore(series);
+    out[0] = histogram_mode(&z, 5);
+    out[1] = histogram_mode(&z, 10);
+    out[2] = f1ecac(&z);
+    out[3] = first_min_ac(&z) as f64;
+    out[4] = histogram_ami(&z, 2, 5);
+    out[5] = trev_1_num(&z);
+    out[6] = pnn40(series);
+    out[7] = binary_stats_mean_longstretch1(&z) as f64;
+    out[8] = crate::transition::transition_value(series);
+    out[9] = periodicity_wang(&z) as f64;
+    out[10] = embed2_dist_meandiff(&z);
+    out[11] = auto_mutual_info_first_min(&z, 40) as f64;
+    out[12] = local_simple_mean1_tauresrat(&z);
+    out[13] = outlier_include_mdrmd(&z, true);
+    out[14] = outlier_include_mdrmd(&z, false);
+    out[15] = spectral_area_first_fifth(&z);
+    out[16] = binary_stats_diff_longstretch0(&z) as f64;
+    out[17] = motif_three_quantile_hh(&z);
+    out[18] = fluct_anal_prop_r1(&z, FluctKind::RsRange);
+    out[19] = fluct_anal_prop_r1(&z, FluctKind::Dfa);
+    out[20] = spectral_centroid(&z);
+    out[21] = local_simple_mean3_stderr(&z);
+    out
+}
+
+/// Mode of an `nbins`-bin histogram over the data range.
+pub fn histogram_mode(z: &[f64], nbins: usize) -> f64 {
+    let lo = z.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !(hi - lo).is_finite() || hi - lo < 1e-300 {
+        return 0.0;
+    }
+    let width = (hi - lo) / nbins as f64;
+    let mut counts = vec![0usize; nbins];
+    for &v in z {
+        let b = (((v - lo) / width) as usize).min(nbins - 1);
+        counts[b] += 1;
+    }
+    let best = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    lo + (best as f64 + 0.5) * width
+}
+
+/// First 1/e crossing of the ACF, linearly interpolated.
+pub fn f1ecac(z: &[f64]) -> f64 {
+    let thresh = 1.0 / std::f64::consts::E;
+    let max_lag = z.len().saturating_sub(2);
+    let mut prev = 1.0;
+    for k in 1..=max_lag {
+        let r = autocorrelation(z, k);
+        if r < thresh {
+            // Interpolate between k-1 and k.
+            let f = (prev - thresh) / (prev - r).max(1e-12);
+            return (k - 1) as f64 + f;
+        }
+        prev = r;
+    }
+    max_lag as f64
+}
+
+/// Lag of the first local minimum of the ACF.
+pub fn first_min_ac(z: &[f64]) -> usize {
+    let max_lag = (z.len() / 2).max(2).min(z.len().saturating_sub(2));
+    let r = acf(z, max_lag);
+    for k in 1..max_lag {
+        if r[k] < r[k - 1] && r[k] < r[k + 1] {
+            return k;
+        }
+    }
+    max_lag
+}
+
+/// Automutual information with even-width binning (`nbins` bins) at `lag`.
+pub fn histogram_ami(z: &[f64], lag: usize, nbins: usize) -> f64 {
+    let n = z.len();
+    if n <= lag {
+        return 0.0;
+    }
+    let lo = z.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if hi - lo < 1e-300 {
+        return 0.0;
+    }
+    let width = (hi - lo) / nbins as f64;
+    let bin = |v: f64| (((v - lo) / width) as usize).min(nbins - 1);
+    let m = n - lag;
+    let mut joint = vec![0.0; nbins * nbins];
+    let mut px = vec![0.0; nbins];
+    let mut py = vec![0.0; nbins];
+    for t in 0..m {
+        let a = bin(z[t]);
+        let b = bin(z[t + lag]);
+        joint[a * nbins + b] += 1.0;
+        px[a] += 1.0;
+        py[b] += 1.0;
+    }
+    let mf = m as f64;
+    let mut ami = 0.0;
+    for a in 0..nbins {
+        for b in 0..nbins {
+            let pab = joint[a * nbins + b] / mf;
+            if pab > 0.0 {
+                ami += pab * (pab / ((px[a] / mf) * (py[b] / mf))).ln();
+            }
+        }
+    }
+    ami
+}
+
+/// Time-reversibility statistic: `mean((x_{t+1} - x_t)^3)`.
+pub fn trev_1_num(z: &[f64]) -> f64 {
+    if z.len() < 2 {
+        return 0.0;
+    }
+    let diffs: Vec<f64> = z.windows(2).map(|w| (w[1] - w[0]).powi(3)).collect();
+    mean(&diffs)
+}
+
+/// pNN40 from heart-rate-variability analysis: the proportion of successive
+/// (raw-scale) differences exceeding 0.04 of the series' standard deviation
+/// — the reference applies the 40 ms rule to z-scored data, which is
+/// equivalent.
+pub fn pnn40(raw: &[f64]) -> f64 {
+    if raw.len() < 2 {
+        return 0.0;
+    }
+    let sd = std_dev(raw);
+    if sd < 1e-300 {
+        return 0.0;
+    }
+    let count = raw
+        .windows(2)
+        .filter(|w| ((w[1] - w[0]) / sd).abs() > 0.04)
+        .count();
+    count as f64 / (raw.len() - 1) as f64
+}
+
+/// Longest run of consecutive values above the mean (z-scored: above 0).
+pub fn binary_stats_mean_longstretch1(z: &[f64]) -> usize {
+    longest_run(z.iter().map(|&v| v > 0.0))
+}
+
+/// Longest run of consecutive decreases.
+pub fn binary_stats_diff_longstretch0(z: &[f64]) -> usize {
+    longest_run(z.windows(2).map(|w| w[1] - w[0] < 0.0))
+}
+
+fn longest_run(bits: impl Iterator<Item = bool>) -> usize {
+    let mut best = 0usize;
+    let mut cur = 0usize;
+    for b in bits {
+        if b {
+            cur += 1;
+            best = best.max(cur);
+        } else {
+            cur = 0;
+        }
+    }
+    best
+}
+
+/// Periodicity detection (Wang et al.): the first ACF peak beyond the first
+/// zero crossing whose height exceeds 0.01, after linear detrending.
+pub fn periodicity_wang(z: &[f64]) -> usize {
+    let n = z.len();
+    // Linear detrend.
+    let tbar = (n as f64 - 1.0) / 2.0;
+    let ybar = mean(z);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (t, &v) in z.iter().enumerate() {
+        num += (t as f64 - tbar) * (v - ybar);
+        den += (t as f64 - tbar) * (t as f64 - tbar);
+    }
+    let slope = if den > 1e-300 { num / den } else { 0.0 };
+    let detrended: Vec<f64> = z
+        .iter()
+        .enumerate()
+        .map(|(t, &v)| v - ybar - slope * (t as f64 - tbar))
+        .collect();
+    let zero = first_zero_crossing(&detrended);
+    let max_lag = (n / 3).max(zero + 1);
+    let r = acf(&detrended, max_lag.min(n - 1));
+    for k in (zero + 1)..r.len().saturating_sub(1) {
+        if r[k] > r[k - 1] && r[k] >= r[k + 1] && r[k] > 0.01 {
+            return k;
+        }
+    }
+    0
+}
+
+/// Mean absolute change of consecutive point distances in the 2-D time-lag
+/// embedding at lag `tau = first_zero_crossing` (simplified from the
+/// reference's exponential-fit statistic; both summarize how quickly
+/// embedding distances decorrelate).
+pub fn embed2_dist_meandiff(z: &[f64]) -> f64 {
+    let tau = first_zero_crossing(z).max(1);
+    if z.len() <= tau + 2 {
+        return 0.0;
+    }
+    let m = z.len() - tau;
+    let mut dists = Vec::with_capacity(m - 1);
+    for t in 0..(m - 1) {
+        let dx = z[t + 1] - z[t];
+        let dy = z[t + 1 + tau] - z[t + tau];
+        dists.push((dx * dx + dy * dy).sqrt());
+    }
+    let diffs: Vec<f64> = dists.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
+    mean(&diffs)
+}
+
+/// First minimum of the Gaussian automutual information
+/// `-0.5 ln(1 - rho_k^2)` over lags `1..=max_lag`.
+pub fn auto_mutual_info_first_min(z: &[f64], max_lag: usize) -> usize {
+    let max_lag = max_lag.min(z.len().saturating_sub(2)).max(1);
+    let mut prev = f64::INFINITY;
+    let mut prev_lag = 1usize;
+    for k in 1..=max_lag {
+        let rho: f64 = autocorrelation(z, k).clamp(-0.999999, 0.999999);
+        let ami = -0.5 * (1.0 - rho * rho).ln();
+        if ami > prev {
+            return prev_lag;
+        }
+        prev = ami;
+        prev_lag = k;
+    }
+    max_lag
+}
+
+/// Ratio of the residual decorrelation time to the original decorrelation
+/// time under a "predict the previous value" local forecaster.
+pub fn local_simple_mean1_tauresrat(z: &[f64]) -> f64 {
+    if z.len() < 4 {
+        return 1.0;
+    }
+    let residuals: Vec<f64> = z.windows(2).map(|w| w[1] - w[0]).collect();
+    let tau_res = first_zero_crossing(&residuals) as f64;
+    let tau_orig = first_zero_crossing(z) as f64;
+    if tau_orig < 1.0 {
+        return 1.0;
+    }
+    tau_res / tau_orig
+}
+
+/// Standard error of residuals from predicting each point with the mean of
+/// the previous `3`.
+pub fn local_simple_mean3_stderr(z: &[f64]) -> f64 {
+    const W: usize = 3;
+    if z.len() <= W + 1 {
+        return 0.0;
+    }
+    let residuals: Vec<f64> = (W..z.len())
+        .map(|t| z[t] - (z[t - 3] + z[t - 2] + z[t - 1]) / 3.0)
+        .collect();
+    std_dev(&residuals)
+}
+
+/// `DN_OutlierInclude_{p,n}_001_mdrmd`: sweep a threshold from 0 upward in
+/// steps of 0.01 (on z-scored data); at each threshold collect the time
+/// indices whose value exceeds it (positive variant) or whose negation does
+/// (negative variant); record the median relative position of those
+/// indices; return the median over thresholds, centered at 0.
+pub fn outlier_include_mdrmd(z: &[f64], positive: bool) -> f64 {
+    let n = z.len();
+    if n < 4 {
+        return 0.0;
+    }
+    let vals: Vec<f64> = if positive {
+        z.to_vec()
+    } else {
+        z.iter().map(|v| -v).collect()
+    };
+    let vmax = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if vmax <= 0.0 {
+        return 0.0;
+    }
+    let mut med_rel_positions = Vec::new();
+    let mut thr = 0.0;
+    while thr <= vmax {
+        let idx: Vec<f64> = vals
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v >= thr)
+            .map(|(i, _)| i as f64 / (n - 1) as f64)
+            .collect();
+        // Stop when fewer than 2% of points remain (reference behaviour).
+        if (idx.len() as f64) < 0.02 * n as f64 {
+            break;
+        }
+        med_rel_positions.push(median(&idx).expect("nonempty"));
+        thr += 0.01;
+    }
+    if med_rel_positions.is_empty() {
+        return 0.0;
+    }
+    median(&med_rel_positions).unwrap_or(0.5) - 0.5
+}
+
+/// Area of the first fifth of the (rectangular-window) power spectrum,
+/// normalized by the total area.
+pub fn spectral_area_first_fifth(z: &[f64]) -> f64 {
+    let Ok(pg) = periodogram(z) else {
+        return 0.0;
+    };
+    let total: f64 = pg.iter().sum();
+    if total < 1e-300 {
+        return 0.0;
+    }
+    let fifth = (pg.len() / 5).max(1);
+    pg[..fifth].iter().sum::<f64>() / total
+}
+
+/// Centroid frequency (in radians) of the power spectrum.
+pub fn spectral_centroid(z: &[f64]) -> f64 {
+    let Ok(pg) = periodogram(z) else {
+        return 0.0;
+    };
+    let total: f64 = pg.iter().sum();
+    if total < 1e-300 {
+        return 0.0;
+    }
+    let n = z.len() as f64;
+    let weighted: f64 = pg
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i + 1) as f64 / n * std::f64::consts::TAU * p)
+        .sum();
+    weighted / total
+}
+
+/// Shannon entropy of 2-letter motifs over a 3-letter tertile alphabet.
+pub fn motif_three_quantile_hh(z: &[f64]) -> f64 {
+    let n = z.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let order = tfb_math::stats::argsort(z);
+    let mut symbol = vec![0usize; n];
+    for (rank, &idx) in order.iter().enumerate() {
+        symbol[idx] = (rank * 3 / n).min(2);
+    }
+    let mut counts = [0.0f64; 9];
+    for w in symbol.windows(2) {
+        counts[w[0] * 3 + w[1]] += 1.0;
+    }
+    let total = (n - 1) as f64;
+    let mut h = 0.0;
+    for &c in &counts {
+        if c > 0.0 {
+            let p = c / total;
+            h -= p * p.ln();
+        }
+    }
+    h
+}
+
+/// Which fluctuation statistic to use in [`fluct_anal_prop_r1`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FluctKind {
+    /// Range of the cumulative sum within each window (R/S-style).
+    RsRange,
+    /// RMS of linearly detrended cumulative sum (DFA).
+    Dfa,
+}
+
+/// Fluctuation analysis: compute fluctuations over ~50 log-spaced window
+/// sizes, fit two straight lines to the log-log curve splitting at every
+/// candidate scale, and return the proportion of scales assigned to the
+/// first regime at the best split (`..._logi_prop_r1` in catch22).
+pub fn fluct_anal_prop_r1(z: &[f64], kind: FluctKind) -> f64 {
+    let n = z.len();
+    if n < 20 {
+        return 0.0;
+    }
+    // Cumulative sum (profile).
+    let mut profile = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &v in z {
+        acc += v;
+        profile.push(acc);
+    }
+    // ~50 log-spaced window sizes in [5, n/2].
+    let smin = 5.0f64;
+    let smax = (n / 2) as f64;
+    if smax <= smin {
+        return 0.0;
+    }
+    let mut sizes: Vec<usize> = (0..50)
+        .map(|i| {
+            (smin * (smax / smin).powf(i as f64 / 49.0)).round() as usize
+        })
+        .collect();
+    sizes.dedup();
+    let mut log_s = Vec::new();
+    let mut log_f = Vec::new();
+    for &s in &sizes {
+        if s < 4 || s > n {
+            continue;
+        }
+        let mut fl = Vec::new();
+        let mut start = 0;
+        while start + s <= n {
+            let w = &profile[start..start + s];
+            let f = match kind {
+                FluctKind::RsRange => {
+                    let lo = w.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let hi = w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    hi - lo
+                }
+                FluctKind::Dfa => {
+                    // Linear detrend the profile window, RMS of residuals.
+                    let m = s as f64;
+                    let tbar = (m - 1.0) / 2.0;
+                    let ybar = mean(w);
+                    let mut num = 0.0;
+                    let mut den = 0.0;
+                    for (t, &v) in w.iter().enumerate() {
+                        num += (t as f64 - tbar) * (v - ybar);
+                        den += (t as f64 - tbar) * (t as f64 - tbar);
+                    }
+                    let slope = if den > 1e-300 { num / den } else { 0.0 };
+                    let ss: f64 = w
+                        .iter()
+                        .enumerate()
+                        .map(|(t, &v)| {
+                            let r = v - ybar - slope * (t as f64 - tbar);
+                            r * r
+                        })
+                        .sum();
+                    (ss / m).sqrt()
+                }
+            };
+            fl.push(f);
+            start += s;
+        }
+        let avg = mean(&fl);
+        if avg > 1e-300 {
+            log_s.push((s as f64).ln());
+            log_f.push(avg.ln());
+        }
+    }
+    let k = log_s.len();
+    if k < 6 {
+        return 0.0;
+    }
+    // Two-regime linear fit: try every split, minimize total RSS.
+    let rss_line = |xs: &[f64], ys: &[f64]| -> f64 {
+        let xb = mean(xs);
+        let yb = mean(ys);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (x, y) in xs.iter().zip(ys) {
+            num += (x - xb) * (y - yb);
+            den += (x - xb) * (x - xb);
+        }
+        let slope = if den > 1e-300 { num / den } else { 0.0 };
+        xs.iter()
+            .zip(ys)
+            .map(|(x, y)| {
+                let r = y - yb - slope * (x - xb);
+                r * r
+            })
+            .sum()
+    };
+    let mut best_split = 3;
+    let mut best_rss = f64::INFINITY;
+    for split in 3..(k - 2) {
+        let rss = rss_line(&log_s[..split], &log_f[..split])
+            + rss_line(&log_s[split..], &log_f[split..]);
+        if rss < best_rss {
+            best_rss = rss;
+            best_split = split;
+        }
+    }
+    best_split as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn sine(n: usize, period: f64) -> Vec<f64> {
+        (0..n)
+            .map(|t| (std::f64::consts::TAU * t as f64 / period).sin())
+            .collect()
+    }
+
+    #[test]
+    fn all_features_finite_on_varied_inputs() {
+        for xs in [
+            noise(300, 1),
+            sine(300, 24.0),
+            (0..300).map(|t| t as f64).collect::<Vec<_>>(),
+            vec![1.0; 300],
+        ] {
+            let f = catch22_all(&xs);
+            assert!(f.iter().all(|v| v.is_finite()), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn short_series_return_zeros() {
+        assert_eq!(catch22_all(&[1.0, 2.0]), [0.0; N_FEATURES]);
+    }
+
+    #[test]
+    fn feature_names_are_22_and_unique() {
+        let mut names = FEATURE_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 22);
+    }
+
+    #[test]
+    fn f1ecac_longer_memory_for_smoother_series() {
+        let smooth = sine(400, 100.0);
+        let rough = noise(400, 2);
+        assert!(f1ecac(&zscore(&smooth)) > f1ecac(&zscore(&rough)));
+    }
+
+    #[test]
+    fn first_min_ac_finds_half_period() {
+        let xs = sine(480, 24.0);
+        let m = first_min_ac(&zscore(&xs));
+        assert!((10..=14).contains(&m), "first min {m}");
+    }
+
+    #[test]
+    fn periodicity_wang_finds_period() {
+        let xs = sine(480, 24.0);
+        let p = periodicity_wang(&zscore(&xs));
+        assert!((22..=26).contains(&p), "period {p}");
+    }
+
+    #[test]
+    fn trev_is_zero_for_symmetric_series() {
+        let xs = sine(600, 24.0);
+        assert!(trev_1_num(&zscore(&xs)).abs() < 0.02);
+    }
+
+    #[test]
+    fn longstretch_mean_counts_runs() {
+        // +,+,+,-,-,+ -> longest stretch above 0 is 3.
+        let z = [1.0, 1.0, 1.0, -1.0, -1.0, 1.0];
+        assert_eq!(binary_stats_mean_longstretch1(&z), 3);
+    }
+
+    #[test]
+    fn longstretch_diff_counts_decreases() {
+        let z = [5.0, 4.0, 3.0, 2.0, 3.0, 2.0];
+        assert_eq!(binary_stats_diff_longstretch0(&z), 3);
+    }
+
+    #[test]
+    fn ami_higher_for_structured_series() {
+        let s = sine(500, 20.0);
+        let r = noise(500, 3);
+        assert!(histogram_ami(&zscore(&s), 2, 5) > histogram_ami(&zscore(&r), 2, 5));
+    }
+
+    #[test]
+    fn spectral_area_concentrates_for_slow_signals() {
+        let slow = sine(512, 128.0);
+        let fast = sine(512, 4.0);
+        assert!(spectral_area_first_fifth(&zscore(&slow)) > 0.9);
+        assert!(spectral_area_first_fifth(&zscore(&fast)) < 0.5);
+    }
+
+    #[test]
+    fn spectral_centroid_orders_frequencies() {
+        let slow = sine(512, 128.0);
+        let fast = sine(512, 8.0);
+        assert!(spectral_centroid(&zscore(&fast)) > spectral_centroid(&zscore(&slow)));
+    }
+
+    #[test]
+    fn outlier_include_signs_track_asymmetry() {
+        // Positive spikes late in the series.
+        let mut xs = noise(400, 4);
+        for t in 350..400 {
+            xs[t] += 4.0;
+        }
+        let z = zscore(&xs);
+        assert!(outlier_include_mdrmd(&z, true) > 0.1);
+    }
+
+    #[test]
+    fn pnn40_all_large_jumps() {
+        let xs: Vec<f64> = (0..100).map(|t| if t % 2 == 0 { 0.0 } else { 10.0 }).collect();
+        assert!((pnn40(&xs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fluct_anal_in_unit_interval() {
+        for kind in [FluctKind::RsRange, FluctKind::Dfa] {
+            let v = fluct_anal_prop_r1(&zscore(&noise(500, 5)), kind);
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn motif_entropy_higher_for_noise() {
+        let r = motif_three_quantile_hh(&zscore(&noise(500, 6)));
+        let t = motif_three_quantile_hh(&zscore(
+            &(0..500).map(|t| t as f64).collect::<Vec<_>>(),
+        ));
+        assert!(r > t, "{r} vs {t}");
+    }
+}

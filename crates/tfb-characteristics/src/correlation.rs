@@ -1,0 +1,134 @@
+//! The correlation characteristic of multivariate series (Definition 8,
+//! Equations 4–6).
+//!
+//! Each channel is represented by its catch22 feature vector; the
+//! characteristic is `mean(P) + 1 / (1 + var(P))` where `P` collects the
+//! pairwise Pearson correlation coefficients between those feature vectors.
+
+use crate::catch22::catch22_all;
+use tfb_data::MultiSeries;
+use tfb_math::stats::{mean, pearson, variance};
+
+/// The correlation characteristic for a multivariate series.
+///
+/// Single-channel series return 0.0 (no pairs to correlate).
+pub fn correlation(series: &MultiSeries) -> f64 {
+    let dim = series.dim();
+    if dim < 2 {
+        return 0.0;
+    }
+    // Equation 4: F = Catch22(X), one feature vector per channel.
+    let features: Vec<[f64; 22]> = (0..dim)
+        .map(|c| catch22_all(&series.channel(c)))
+        .collect();
+    correlation_from_features(&features)
+}
+
+/// Equations 5–6 applied to precomputed per-channel feature vectors.
+pub fn correlation_from_features(features: &[[f64; 22]]) -> f64 {
+    let n = features.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut pccs = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if let Ok(r) = pearson(&features[i], &features[j]) {
+                pccs.push(r);
+            }
+        }
+    }
+    if pccs.is_empty() {
+        return 0.0;
+    }
+    mean(&pccs) + 1.0 / (1.0 + variance(&pccs))
+}
+
+/// Mean pairwise Pearson correlation of the raw channels — the simpler
+/// "instantaneous" correlation used by Figure 10's dataset ordering.
+pub fn raw_channel_correlation(series: &MultiSeries) -> f64 {
+    let dim = series.dim();
+    if dim < 2 {
+        return 0.0;
+    }
+    let channels: Vec<Vec<f64>> = series.to_channels();
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    for i in 0..dim {
+        for j in (i + 1)..dim {
+            if let Ok(r) = pearson(&channels[i], &channels[j]) {
+                acc += r;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        acc / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfb_data::{Domain, Frequency};
+    use tfb_datagen::components::{correlated_channels, SeriesBuilder};
+
+    fn make(corr: f64, seed: u64) -> MultiSeries {
+        let factor = SeriesBuilder::new(600, seed).seasonal(48, 2.0).ar(0.7).build();
+        let chans = correlated_channels(&[factor], 5, corr, 0.5, 0.5, seed + 1);
+        MultiSeries::from_channels("t", Frequency::Hourly, Domain::Traffic, &chans).unwrap()
+    }
+
+    #[test]
+    fn correlated_channels_score_higher() {
+        let strong = correlation(&make(0.95, 10));
+        let weak = correlation(&make(0.05, 10));
+        assert!(strong > weak, "{strong} vs {weak}");
+    }
+
+    #[test]
+    fn raw_correlation_orders_too() {
+        let strong = raw_channel_correlation(&make(0.95, 11));
+        let weak = raw_channel_correlation(&make(0.05, 11));
+        assert!(strong > 0.7);
+        assert!(weak < strong);
+    }
+
+    #[test]
+    fn single_channel_returns_zero() {
+        let s = MultiSeries::from_channels(
+            "u",
+            Frequency::Daily,
+            Domain::Web,
+            &[vec![1.0, 2.0, 3.0, 4.0]],
+        )
+        .unwrap();
+        assert_eq!(correlation(&s), 0.0);
+        assert_eq!(raw_channel_correlation(&s), 0.0);
+    }
+
+    #[test]
+    fn identical_channels_maximize_feature_correlation() {
+        let base: Vec<f64> = (0..300)
+            .map(|t| (t as f64 * 0.21).sin() + 0.01 * t as f64)
+            .collect();
+        let s = MultiSeries::from_channels(
+            "dup",
+            Frequency::Hourly,
+            Domain::Energy,
+            &[base.clone(), base.clone(), base],
+        )
+        .unwrap();
+        // Identical feature vectors: all PCCs = 1, variance 0 -> mean + 1 = 2.
+        let c = correlation(&s);
+        assert!((c - 2.0).abs() < 1e-9, "{c}");
+    }
+
+    #[test]
+    fn correlation_from_features_handles_empty() {
+        assert_eq!(correlation_from_features(&[]), 0.0);
+        assert_eq!(correlation_from_features(&[[0.0; 22]]), 0.0);
+    }
+}

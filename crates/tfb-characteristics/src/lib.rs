@@ -1,0 +1,34 @@
+//! The six TFB time-series characteristics (Section 3 of the paper):
+//!
+//! * **Trend strength** and **seasonality strength** from an STL
+//!   decomposition (Definitions 3–4) — [`strength`];
+//! * **Stationarity** from the Augmented Dickey–Fuller test (Definition 5)
+//!   — [`adf`];
+//! * **Shifting** (Algorithm 1) — [`shifting`];
+//! * **Transition** (Algorithm 2) — [`transition`];
+//! * **Correlation** across channels via catch22 features and Pearson
+//!   coefficients (Definition 8, Equations 4–6) — [`mod@correlation`], with the
+//!   from-scratch catch22 port in [`catch22`].
+//!
+//! [`vector::CharacteristicVector`] bundles the five univariate
+//! characteristics into the feature representation used by the paper's
+//! dataset-coverage analyses (Figure 5) and per-characteristic result
+//! groupings (Table 6).
+
+// Index-based loops mirror the published algorithm pseudo-code
+// (Algorithms 1-2, catch22 reference) on purpose.
+#![allow(clippy::needless_range_loop)]
+pub mod adf;
+pub mod catch22;
+pub mod correlation;
+pub mod shifting;
+pub mod strength;
+pub mod transition;
+pub mod vector;
+
+pub use adf::{adf_pvalue, adf_statistic, is_stationary};
+pub use correlation::correlation;
+pub use shifting::shifting_value;
+pub use strength::{seasonality_strength, trend_strength};
+pub use transition::transition_value;
+pub use vector::CharacteristicVector;

@@ -1,0 +1,143 @@
+//! The shifting characteristic (Algorithm 1 of the paper).
+//!
+//! Shifting quantifies distribution drift: z-score the series, sweep `m`
+//! thresholds between the minimum and maximum, record the *median index* of
+//! the points exceeding each threshold, min-max normalize those medians,
+//! and return their median. Values near 1 mean the large values cluster
+//! late in the series — an upward level/distribution shift; values near 0
+//! mean they cluster early. A balanced series yields ~0.5, and the paper's
+//! usage treats larger |δ − 0.5| deviations as "more shifted"; we expose
+//! both the raw δ and the centered severity.
+
+use tfb_math::stats::{median, min_max_normalize, zscore};
+
+/// Number of thresholds `m` in Algorithm 1.
+pub const DEFAULT_THRESHOLDS: usize = 100;
+
+/// Algorithm 1: the raw shifting value δ ∈ (0, 1).
+///
+/// Returns 0.5 (perfectly balanced, i.e. no shift) for degenerate inputs
+/// (constant or near-empty series).
+pub fn shifting_value(series: &[f64]) -> f64 {
+    shifting_value_with(series, DEFAULT_THRESHOLDS)
+}
+
+/// Algorithm 1 with an explicit threshold count `m`.
+pub fn shifting_value_with(series: &[f64], m: usize) -> f64 {
+    let t = series.len();
+    if t < 3 || m == 0 {
+        return 0.5;
+    }
+    // Step 1: z-score normalize.
+    let z = zscore(series);
+    let z_min = z.iter().cloned().fold(f64::INFINITY, f64::min);
+    let z_max = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if (z_max - z_min).abs() < 1e-300 {
+        return 0.5;
+    }
+    // Steps 3–6: for each threshold, the median index of exceedances.
+    let mut medians = Vec::with_capacity(m);
+    for i in 0..m {
+        let s_i = z_min + i as f64 * (z_max - z_min) / m as f64;
+        let exceed: Vec<f64> = z
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > s_i)
+            .map(|(j, _)| j as f64)
+            .collect();
+        if exceed.is_empty() {
+            continue;
+        }
+        medians.push(median(&exceed).expect("nonempty exceedance set"));
+    }
+    if medians.len() < 2 {
+        return 0.5;
+    }
+    // Step 7: min-max normalize the medians; step 8: their median.
+    let normalized = min_max_normalize(&medians);
+    median(&normalized).unwrap_or(0.5)
+}
+
+/// Severity of shifting: `2 |δ − 0.5|`, in [0, 1]. The paper's narrative
+/// ("as the value approaches 1, the degree of shifting becomes more
+/// severe") refers to upward drift; severity treats both directions
+/// symmetrically, which the per-characteristic dataset rankings use.
+pub fn shifting_severity(series: &[f64]) -> f64 {
+    (2.0 * (shifting_value(series) - 0.5)).abs().min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upward_shift_pushes_value_above_half() {
+        // Low regime then high regime: exceedances of high thresholds all
+        // live in the second half.
+        let mut xs = vec![0.0; 100];
+        xs.extend(vec![10.0; 100]);
+        // Add a hair of jitter so the z-scores are not two-valued.
+        for (i, v) in xs.iter_mut().enumerate() {
+            *v += (i as f64 * 0.7).sin() * 0.01;
+        }
+        let d = shifting_value(&xs);
+        assert!(d > 0.7, "delta {d}");
+    }
+
+    #[test]
+    fn downward_shift_pulls_value_below_half() {
+        let mut xs = vec![10.0; 100];
+        xs.extend(vec![0.0; 100]);
+        for (i, v) in xs.iter_mut().enumerate() {
+            *v += (i as f64 * 0.7).sin() * 0.01;
+        }
+        let d = shifting_value(&xs);
+        assert!(d < 0.3, "delta {d}");
+    }
+
+    #[test]
+    fn balanced_series_sits_near_half() {
+        let xs: Vec<f64> = (0..400)
+            .map(|t| (t as f64 * std::f64::consts::TAU / 40.0).sin())
+            .collect();
+        let d = shifting_value(&xs);
+        assert!((d - 0.5).abs() < 0.15, "delta {d}");
+    }
+
+    #[test]
+    fn constant_series_is_neutral() {
+        assert_eq!(shifting_value(&[3.0; 50]), 0.5);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_neutral() {
+        assert_eq!(shifting_value(&[]), 0.5);
+        assert_eq!(shifting_value(&[1.0, 2.0]), 0.5);
+        assert_eq!(shifting_value_with(&[1.0, 2.0, 3.0], 0), 0.5);
+    }
+
+    #[test]
+    fn severity_is_symmetric() {
+        let mut up = vec![0.0; 100];
+        up.extend(vec![10.0; 100]);
+        let mut down = vec![10.0; 100];
+        down.extend(vec![0.0; 100]);
+        for (i, v) in up.iter_mut().enumerate() {
+            *v += (i as f64 * 0.7).sin() * 0.01;
+        }
+        for (i, v) in down.iter_mut().enumerate() {
+            *v += (i as f64 * 0.7).sin() * 0.01;
+        }
+        let su = shifting_severity(&up);
+        let sd = shifting_severity(&down);
+        assert!(su > 0.4 && sd > 0.4);
+        assert!((su - sd).abs() < 0.2);
+    }
+
+    #[test]
+    fn value_is_in_unit_interval() {
+        let xs: Vec<f64> = (0..257).map(|t| ((t * t) % 97) as f64).collect();
+        let d = shifting_value(&xs);
+        assert!((0.0..=1.0).contains(&d));
+    }
+}

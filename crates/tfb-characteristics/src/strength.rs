@@ -1,0 +1,159 @@
+//! Trend and seasonality strength (Definitions 3 and 4).
+//!
+//! Given the STL decomposition `X = T + S + R`,
+//!
+//! ```text
+//! Trend_Strength       = max(0, 1 - var(R) / var(X - S))
+//! Seasonality_Strength = max(0, 1 - var(R) / var(X - T))
+//! ```
+//!
+//! Both lie in [0, 1]; values near 1 indicate a dominant component.
+
+use tfb_math::fft::dominant_period;
+use tfb_math::stats::variance;
+use tfb_math::stl::{stl, trend_only, Decomposition};
+
+/// Picks the decomposition period: the caller's hint when valid, otherwise
+/// the periodogram's dominant period, otherwise `None` (non-seasonal).
+fn choose_period(series: &[f64], hint: Option<usize>) -> Option<usize> {
+    let n = series.len();
+    let valid = |p: usize| p >= 2 && n >= 2 * p;
+    if let Some(p) = hint {
+        if valid(p) {
+            return Some(p);
+        }
+    }
+    dominant_period(series).filter(|&p| valid(p))
+}
+
+/// Decomposes with STL when a usable period exists, falling back to a
+/// Loess trend-only decomposition otherwise.
+pub fn decompose(series: &[f64], period_hint: Option<usize>) -> Option<Decomposition> {
+    if series.len() < 8 {
+        return None;
+    }
+    match choose_period(series, period_hint) {
+        Some(p) => stl(series, p).ok().or_else(|| trend_only(series).ok()),
+        None => trend_only(series).ok(),
+    }
+}
+
+/// Trend strength per Definition 3. Returns 0.0 for series too short to
+/// decompose.
+pub fn trend_strength(series: &[f64], period_hint: Option<usize>) -> f64 {
+    if variance(series) < 1e-12 {
+        return 0.0;
+    }
+    let Some(d) = decompose(series, period_hint) else {
+        return 0.0;
+    };
+    // X - S = T + R
+    let deseason: Vec<f64> = series
+        .iter()
+        .zip(&d.seasonal)
+        .map(|(x, s)| x - s)
+        .collect();
+    strength_ratio(&d.remainder, &deseason)
+}
+
+/// Seasonality strength per Definition 4. Returns 0.0 for series too short
+/// to decompose or without a detectable period.
+pub fn seasonality_strength(series: &[f64], period_hint: Option<usize>) -> f64 {
+    if variance(series) < 1e-12 {
+        return 0.0;
+    }
+    let Some(d) = decompose(series, period_hint) else {
+        return 0.0;
+    };
+    if d.period < 2 {
+        return 0.0;
+    }
+    // X - T = S + R
+    let detrended: Vec<f64> = series.iter().zip(&d.trend).map(|(x, t)| x - t).collect();
+    strength_ratio(&d.remainder, &detrended)
+}
+
+fn strength_ratio(remainder: &[f64], denom_series: &[f64]) -> f64 {
+    let denom = variance(denom_series);
+    if denom < 1e-300 {
+        return 0.0;
+    }
+    (1.0 - variance(remainder) / denom).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(n: usize, period: usize, slope: f64, amp: f64, noise_amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                let noise = noise_amp * ((t as f64 * 12.9898).sin() * 43758.5453).fract();
+                slope * t as f64
+                    + amp * (std::f64::consts::TAU * t as f64 / period as f64).sin()
+                    + noise
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strong_trend_is_detected() {
+        let xs = synth(200, 12, 1.0, 0.0, 0.5);
+        let ts = trend_strength(&xs, None);
+        assert!(ts > 0.9, "trend strength {ts}");
+    }
+
+    #[test]
+    fn strong_seasonality_is_detected() {
+        let xs = synth(240, 24, 0.0, 5.0, 0.5);
+        let ss = seasonality_strength(&xs, Some(24));
+        assert!(ss > 0.8, "seasonality strength {ss}");
+    }
+
+    #[test]
+    fn noise_has_weak_trend_and_seasonality() {
+        let xs: Vec<f64> = (0..300)
+            .map(|t| ((t as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5)
+            .collect();
+        assert!(trend_strength(&xs, None) < 0.5);
+        assert!(seasonality_strength(&xs, Some(24)) < 0.5);
+    }
+
+    #[test]
+    fn trend_strength_orders_series_correctly() {
+        let strong = synth(200, 12, 1.0, 1.0, 1.0);
+        let weak = synth(200, 12, 0.02, 1.0, 1.0);
+        assert!(trend_strength(&strong, None) > trend_strength(&weak, None));
+    }
+
+    #[test]
+    fn seasonality_hint_is_used() {
+        let xs = synth(240, 24, 0.0, 5.0, 0.3);
+        let with_hint = seasonality_strength(&xs, Some(24));
+        assert!(with_hint > 0.8);
+    }
+
+    #[test]
+    fn short_series_yield_zero() {
+        assert_eq!(trend_strength(&[1.0, 2.0, 3.0], None), 0.0);
+        assert_eq!(seasonality_strength(&[1.0, 2.0, 3.0], None), 0.0);
+    }
+
+    #[test]
+    fn constant_series_yield_zero() {
+        let xs = vec![5.0; 100];
+        assert_eq!(trend_strength(&xs, None), 0.0);
+        assert_eq!(seasonality_strength(&xs, Some(10)), 0.0);
+    }
+
+    #[test]
+    fn strengths_are_in_unit_interval() {
+        let xs = synth(300, 24, 0.3, 2.0, 1.0);
+        for v in [
+            trend_strength(&xs, None),
+            seasonality_strength(&xs, Some(24)),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+    }
+}

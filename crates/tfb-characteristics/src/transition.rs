@@ -1,0 +1,113 @@
+//! The transition characteristic (Algorithm 2 of the paper), a port of
+//! catch22's `SB_TransitionMatrix_3ac_sumdiagcov`.
+//!
+//! The series is downsampled at the stride of the ACF's first zero
+//! crossing, coarse-grained into a 3-letter alphabet by value tertiles,
+//! and summarized by the trace of the covariance matrix of the 3×3 symbol
+//! transition matrix. The result lies in (0, 1/3); larger values indicate
+//! more regular, identifiable structure (clear trend and/or periodicity).
+
+use tfb_math::acf::first_zero_crossing;
+use tfb_math::stats::argsort;
+
+/// Algorithm 2: the transition value Δ ∈ [0, 1/3).
+///
+/// Degenerate inputs (too short after downsampling) return 0.0.
+pub fn transition_value(series: &[f64]) -> f64 {
+    // Step 1: downsampling stride = first zero crossing of the ACF.
+    // Trend-dominated series have very late zero crossings; cap the stride
+    // so the downsampled series keeps at least ~20 points (the reference
+    // implementation NaNs these, which would lose exactly the trended
+    // series the characteristic is meant to flag).
+    let tau = first_zero_crossing(series)
+        .max(1)
+        .min((series.len() / 20).max(1));
+    // Step 2: downsample.
+    let y: Vec<f64> = series.iter().step_by(tau).copied().collect();
+    let tp = y.len();
+    if tp < 6 {
+        return 0.0;
+    }
+    // Step 3–6: coarse-grain into tertile symbols 0/1/2 via the rank of
+    // each element (argsort gives sorted positions; invert to ranks).
+    let order = argsort(&y);
+    let mut symbol = vec![0usize; tp];
+    for (rank, &idx) in order.iter().enumerate() {
+        symbol[idx] = (rank * 3 / tp).min(2);
+    }
+    // Steps 7–11: empirical transition matrix between consecutive symbols.
+    let mut m = [[0.0f64; 3]; 3];
+    for w in symbol.windows(2) {
+        m[w[0]][w[1]] += 1.0;
+    }
+    let transitions = (tp - 1) as f64;
+    for row in m.iter_mut() {
+        for v in row.iter_mut() {
+            *v /= transitions;
+        }
+    }
+    // Steps 12–13: trace of the covariance matrix between the columns of M.
+    // cov(col_a, col_a) summed over a = sum of column variances.
+    let mut total = 0.0;
+    for a in 0..3 {
+        let col = [m[0][a], m[1][a], m[2][a]];
+        let mean = (col[0] + col[1] + col[2]) / 3.0;
+        let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 3.0;
+        total += var;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn monotone_trend_has_high_transition() {
+        let xs: Vec<f64> = (0..300).map(|t| t as f64).collect();
+        let v = transition_value(&xs);
+        // A pure trend visits 0→0…0→1→1…1→2…: transitions concentrate on
+        // the diagonal, so column variances are large.
+        assert!(v > 0.02, "transition {v}");
+    }
+
+    #[test]
+    fn white_noise_has_low_transition() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..600).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let v = transition_value(&xs);
+        assert!(v < 0.01, "transition {v}");
+    }
+
+    #[test]
+    fn trend_beats_noise() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let noise: Vec<f64> = (0..400).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let trend: Vec<f64> = (0..400).map(|t| 0.1 * t as f64 + noise[t] * 0.1).collect();
+        assert!(transition_value(&trend) > transition_value(&noise));
+    }
+
+    #[test]
+    fn value_is_below_one_third() {
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let xs: Vec<f64> = (0..257).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let v = transition_value(&xs);
+            assert!((0.0..1.0 / 3.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn short_series_return_zero() {
+        assert_eq!(transition_value(&[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(transition_value(&[]), 0.0);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let xs: Vec<f64> = (0..200).map(|t| ((t * 37) % 101) as f64).collect();
+        assert_eq!(transition_value(&xs), transition_value(&xs));
+    }
+}

@@ -1,0 +1,204 @@
+//! Bundled characteristic vectors and the dataset taxonomy built on them.
+//!
+//! The paper represents each univariate series by five indicators — trend,
+//! seasonality, stationarity, shifting, transition — for coverage analysis
+//! (Figure 5, via PCA to 2-D) and tags series with boolean characteristic
+//! labels for the per-characteristic result groupings of Tables 4 and 6.
+
+use crate::adf::adf_pvalue;
+use crate::shifting::{shifting_severity, shifting_value};
+use crate::strength::{seasonality_strength, trend_strength};
+use crate::transition::transition_value;
+use tfb_data::UniSeries;
+
+/// The five univariate characteristics of one series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CharacteristicVector {
+    /// Trend strength in [0, 1] (Definition 3).
+    pub trend: f64,
+    /// Seasonality strength in [0, 1] (Definition 4).
+    pub seasonality: f64,
+    /// ADF p-value in [0, 1]; stationary when ≤ 0.05 (Definition 5).
+    pub adf_p: f64,
+    /// Shifting value δ in (0, 1) (Algorithm 1).
+    pub shifting: f64,
+    /// Transition value Δ in [0, 1/3) (Algorithm 2).
+    pub transition: f64,
+}
+
+/// Tag thresholds used for the boolean taxonomy. The paper's repository
+/// classifies a characteristic as "present" when its indicator clears a
+/// threshold; these defaults reproduce sensible marginals on the synthetic
+/// archive (roughly half the series tagged per characteristic, as in
+/// Table 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TagThresholds {
+    /// Minimum trend strength.
+    pub trend: f64,
+    /// Minimum seasonality strength.
+    pub seasonality: f64,
+    /// Minimum shifting severity `2|δ - 0.5|`.
+    pub shifting: f64,
+    /// Minimum transition value.
+    pub transition: f64,
+}
+
+impl Default for TagThresholds {
+    fn default() -> Self {
+        TagThresholds {
+            trend: 0.85,
+            seasonality: 0.6,
+            shifting: 0.25,
+            transition: 0.015,
+        }
+    }
+}
+
+/// Boolean characteristic tags for one series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tags {
+    /// Trend present.
+    pub trend: bool,
+    /// Seasonality present.
+    pub seasonality: bool,
+    /// Stationary per ADF at 5%.
+    pub stationary: bool,
+    /// Distribution shift present.
+    pub shifting: bool,
+    /// Strong transition structure present.
+    pub transition: bool,
+}
+
+impl CharacteristicVector {
+    /// Computes the five characteristics of a raw series. `period_hint`
+    /// feeds the STL decomposition (pass the frequency's natural period).
+    pub fn compute(series: &[f64], period_hint: Option<usize>) -> CharacteristicVector {
+        CharacteristicVector {
+            trend: trend_strength(series, period_hint),
+            seasonality: seasonality_strength(series, period_hint),
+            adf_p: adf_pvalue(series),
+            shifting: shifting_value(series),
+            transition: transition_value(series),
+        }
+    }
+
+    /// Computes the characteristics of a [`UniSeries`], using its
+    /// frequency's natural period as the STL hint.
+    pub fn of_series(series: &UniSeries) -> CharacteristicVector {
+        let hint = match series.frequency.default_period() {
+            0 | 1 => None,
+            p => Some(p),
+        };
+        CharacteristicVector::compute(&series.values, hint)
+    }
+
+    /// The 5-element feature vector (Figure 5's PCA input), ordered
+    /// trend, seasonality, stationarity (1 - p), shifting severity,
+    /// transition.
+    pub fn as_features(&self) -> [f64; 5] {
+        [
+            self.trend,
+            self.seasonality,
+            1.0 - self.adf_p,
+            shifting_feature(self.shifting),
+            self.transition,
+        ]
+    }
+
+    /// Applies the boolean taxonomy.
+    pub fn tag(&self, thresholds: TagThresholds) -> Tags {
+        Tags {
+            trend: self.trend >= thresholds.trend,
+            seasonality: self.seasonality >= thresholds.seasonality,
+            stationary: self.adf_p <= 0.05,
+            shifting: (2.0 * (self.shifting - 0.5)).abs() >= thresholds.shifting,
+            transition: self.transition >= thresholds.transition,
+        }
+    }
+}
+
+fn shifting_feature(delta: f64) -> f64 {
+    (2.0 * (delta - 0.5)).abs().min(1.0)
+}
+
+/// Convenience: severity-style shifting feature of a raw series.
+pub fn shifting_feature_of(series: &[f64]) -> f64 {
+    shifting_severity(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfb_data::{Domain, Frequency};
+    use tfb_datagen::{SeriesBuilder, TrendKind};
+
+    fn uni(values: Vec<f64>, freq: Frequency) -> UniSeries {
+        UniSeries::new("t", freq, Domain::Other, values).unwrap()
+    }
+
+    #[test]
+    fn trending_series_is_tagged_trend() {
+        let xs = SeriesBuilder::new(300, 1)
+            .trend(TrendKind::Linear { slope: 0.5 })
+            .noise(0.5)
+            .build();
+        let v = CharacteristicVector::compute(&xs, None);
+        let t = v.tag(TagThresholds::default());
+        assert!(t.trend, "trend {}", v.trend);
+    }
+
+    #[test]
+    fn seasonal_series_is_tagged_seasonal() {
+        let xs = SeriesBuilder::new(480, 2).seasonal(24, 4.0).noise(0.4).build();
+        let v = CharacteristicVector::compute(&xs, Some(24));
+        let t = v.tag(TagThresholds::default());
+        assert!(t.seasonality, "seasonality {}", v.seasonality);
+    }
+
+    #[test]
+    fn shifted_series_is_tagged_shifting() {
+        let xs = SeriesBuilder::new(400, 3)
+            .level_shift(0.5, 12.0)
+            .noise(0.8)
+            .ar(0.5)
+            .build();
+        let v = CharacteristicVector::compute(&xs, None);
+        let t = v.tag(TagThresholds::default());
+        assert!(t.shifting, "shifting {}", v.shifting);
+    }
+
+    #[test]
+    fn stationary_noise_is_tagged_stationary() {
+        let xs = SeriesBuilder::new(500, 4).noise(1.0).build();
+        let v = CharacteristicVector::compute(&xs, None);
+        assert!(v.tag(TagThresholds::default()).stationary, "p {}", v.adf_p);
+    }
+
+    #[test]
+    fn random_walk_is_not_stationary() {
+        let xs = SeriesBuilder::new(500, 5).ar(1.0).noise(1.0).build();
+        let v = CharacteristicVector::compute(&xs, None);
+        assert!(!v.tag(TagThresholds::default()).stationary, "p {}", v.adf_p);
+    }
+
+    #[test]
+    fn of_series_uses_frequency_period() {
+        let xs = SeriesBuilder::new(480, 6).seasonal(24, 4.0).noise(0.3).build();
+        let s = uni(xs, Frequency::Hourly);
+        let v = CharacteristicVector::of_series(&s);
+        assert!(v.seasonality > 0.6, "{}", v.seasonality);
+    }
+
+    #[test]
+    fn features_are_unit_scaled() {
+        let xs = SeriesBuilder::new(300, 7)
+            .trend(TrendKind::Linear { slope: 0.2 })
+            .seasonal(12, 1.0)
+            .noise(0.8)
+            .build();
+        let f = CharacteristicVector::compute(&xs, Some(12)).as_features();
+        for v in f {
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Batching of forecasting samples.
+//!
+//! The "drop last" trick — discarding the final incomplete batch during
+//! *testing* — silently removes test samples and changes reported scores as
+//! a function of batch size (Table 2 / Figure 4 of the paper). TFB never
+//! drops samples; the option exists here only so the Table 2 ablation can
+//! reproduce the distortion.
+
+use crate::window::{Window, WindowSampler};
+use serde::{Deserialize, Serialize};
+
+/// Batching policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Batching {
+    /// Number of samples per batch.
+    pub batch_size: usize,
+    /// Whether to discard a final batch smaller than `batch_size`.
+    /// **Unfair for evaluation** — see Table 2 of the paper. TFB's pipeline
+    /// always sets this to `false`; it is configurable only for the
+    /// ablation study.
+    pub drop_last: bool,
+}
+
+impl Batching {
+    /// Fair batching: keep every sample.
+    pub fn keep_all(batch_size: usize) -> Batching {
+        Batching {
+            batch_size: batch_size.max(1),
+            drop_last: false,
+        }
+    }
+
+    /// The "drop last" trick, for the Table 2 ablation only.
+    pub fn drop_last(batch_size: usize) -> Batching {
+        Batching {
+            batch_size: batch_size.max(1),
+            drop_last: true,
+        }
+    }
+
+    /// Number of batches over `n` samples.
+    pub fn batch_count(&self, n: usize) -> usize {
+        if self.drop_last {
+            n / self.batch_size
+        } else {
+            n.div_ceil(self.batch_size)
+        }
+    }
+
+    /// Number of samples retained over `n` samples (fewer than `n` only when
+    /// `drop_last` is set).
+    pub fn samples_retained(&self, n: usize) -> usize {
+        if self.drop_last {
+            (n / self.batch_size) * self.batch_size
+        } else {
+            n
+        }
+    }
+}
+
+/// Iterator over batches of windows.
+pub struct BatchIter<'a> {
+    sampler: &'a WindowSampler,
+    policy: Batching,
+    next_batch: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Creates a batch iterator over all samples of `sampler`.
+    pub fn new(sampler: &'a WindowSampler, policy: Batching) -> Self {
+        BatchIter {
+            sampler,
+            policy,
+            next_batch: 0,
+        }
+    }
+}
+
+impl<'a> Iterator for BatchIter<'a> {
+    type Item = Vec<Window>;
+
+    fn next(&mut self) -> Option<Vec<Window>> {
+        let total = self.sampler.count();
+        let start = self.next_batch * self.policy.batch_size;
+        if start >= total {
+            return None;
+        }
+        let end = (start + self.policy.batch_size).min(total);
+        if self.policy.drop_last && end - start < self.policy.batch_size {
+            return None;
+        }
+        self.next_batch += 1;
+        Some((start..end).map(|i| self.sampler.window(i)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keep_all_retains_every_sample() {
+        let sampler = WindowSampler::new(100, 10, 5, 1).unwrap();
+        let total = sampler.count();
+        let batches: Vec<_> = BatchIter::new(&sampler, Batching::keep_all(32)).collect();
+        let seen: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(seen, total);
+        assert_eq!(batches.last().unwrap().len(), total % 32);
+    }
+
+    #[test]
+    fn drop_last_discards_partial_batch() {
+        let sampler = WindowSampler::new(100, 10, 5, 1).unwrap();
+        let total = sampler.count(); // 86
+        let batches: Vec<_> = BatchIter::new(&sampler, Batching::drop_last(32)).collect();
+        let seen: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(seen, (total / 32) * 32);
+        assert!(seen < total);
+    }
+
+    #[test]
+    fn paper_figure4_sample_counts() {
+        // ETTh2 test region: length 2880, F=336, H=512 -> 2033 samples.
+        // Last-batch sizes for 32/64/128 are 17/49/113 per the paper.
+        let sampler = WindowSampler::new(2880, 512, 336, 1).unwrap();
+        let total = sampler.count();
+        assert_eq!(total, 2033);
+        for (bs, expect_last) in [(32usize, 17usize), (64, 49), (128, 113)] {
+            let batches: Vec<_> = BatchIter::new(&sampler, Batching::keep_all(bs)).collect();
+            assert_eq!(batches.last().unwrap().len(), expect_last, "bs={bs}");
+        }
+    }
+
+    #[test]
+    fn batch_count_math() {
+        let keep = Batching::keep_all(32);
+        assert_eq!(keep.batch_count(100), 4);
+        assert_eq!(keep.samples_retained(100), 100);
+        let drop = Batching::drop_last(32);
+        assert_eq!(drop.batch_count(100), 3);
+        assert_eq!(drop.samples_retained(100), 96);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_partial_batch() {
+        let sampler = WindowSampler::new(37, 5, 1, 1).unwrap(); // 32 samples
+        assert_eq!(sampler.count(), 32);
+        let keep: Vec<_> = BatchIter::new(&sampler, Batching::keep_all(16)).collect();
+        let drop: Vec<_> = BatchIter::new(&sampler, Batching::drop_last(16)).collect();
+        assert_eq!(keep.len(), drop.len());
+    }
+
+    #[test]
+    fn zero_batch_size_is_clamped() {
+        assert_eq!(Batching::keep_all(0).batch_size, 1);
+    }
+}

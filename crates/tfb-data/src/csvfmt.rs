@@ -1,0 +1,139 @@
+//! The standardized wide CSV format of the TFB dataset collection.
+//!
+//! Every dataset is stored as `date,<channel>,<channel>,...` with one row
+//! per time point. This module writes and parses that format without any
+//! third-party CSV dependency (the format is strictly numeric after the
+//! header, so a hand-rolled parser is both faster and clearer).
+
+use crate::series::{Domain, Frequency, MultiSeries};
+use crate::{DataError, Result};
+
+/// Serializes a series into the standardized wide CSV format.
+///
+/// The `date` column holds the integer time index; channel headers are the
+/// channel index prefixed with `c`.
+pub fn to_csv(series: &MultiSeries) -> String {
+    let dim = series.dim();
+    let mut out = String::with_capacity(series.len() * dim * 8 + 64);
+    out.push_str("date");
+    for c in 0..dim {
+        out.push_str(",c");
+        out.push_str(&c.to_string());
+    }
+    out.push('\n');
+    for t in 0..series.len() {
+        out.push_str(&t.to_string());
+        for c in 0..dim {
+            out.push(',');
+            // Shortest roundtrip formatting (Rust's default for f64).
+            let v = series.at(t, c);
+            out.push_str(&format!("{v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the standardized wide CSV format produced by [`to_csv`].
+///
+/// `name`, `frequency` and `domain` are metadata not carried in the CSV
+/// body (the original benchmark keeps them in a sidecar config).
+pub fn from_csv(
+    text: &str,
+    name: impl Into<String>,
+    frequency: Frequency,
+    domain: Domain,
+) -> Result<MultiSeries> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(DataError::Empty)?;
+    let dim = header.split(',').count().saturating_sub(1);
+    if dim == 0 {
+        return Err(DataError::Parse("header has no channels".into()));
+    }
+    let mut values = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        // Skip the date column.
+        fields
+            .next()
+            .ok_or_else(|| DataError::Parse(format!("line {}: missing date", lineno + 2)))?;
+        let mut count = 0;
+        for field in fields {
+            let v: f64 = field.trim().parse().map_err(|e| {
+                DataError::Parse(format!("line {}: {e}", lineno + 2))
+            })?;
+            values.push(v);
+            count += 1;
+        }
+        if count != dim {
+            return Err(DataError::Parse(format!(
+                "line {}: expected {dim} channels, found {count}",
+                lineno + 2
+            )));
+        }
+    }
+    MultiSeries::new(name, frequency, domain, dim, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MultiSeries {
+        MultiSeries::from_channels(
+            "s",
+            Frequency::Daily,
+            Domain::Banking,
+            &[vec![1.5, 2.25, -3.0], vec![0.0, 10.0, 100.5]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let s = sample();
+        let csv = to_csv(&s);
+        let back = from_csv(&csv, "s", Frequency::Daily, Domain::Banking).unwrap();
+        assert_eq!(back.dim(), s.dim());
+        assert_eq!(back.len(), s.len());
+        assert_eq!(back.values(), s.values());
+    }
+
+    #[test]
+    fn csv_layout_matches_format() {
+        let s = sample();
+        let csv = to_csv(&s);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "date,c0,c1");
+        assert_eq!(lines.next().unwrap(), "0,1.5,0");
+        assert_eq!(lines.next().unwrap(), "1,2.25,10");
+    }
+
+    #[test]
+    fn parse_rejects_ragged_rows() {
+        let text = "date,c0,c1\n0,1.0,2.0\n1,3.0\n";
+        assert!(from_csv(text, "x", Frequency::Daily, Domain::Web).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_non_numeric() {
+        let text = "date,c0\n0,abc\n";
+        assert!(from_csv(text, "x", Frequency::Daily, Domain::Web).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_empty_document() {
+        assert!(from_csv("", "x", Frequency::Daily, Domain::Web).is_err());
+        assert!(from_csv("date\n", "x", Frequency::Daily, Domain::Web).is_err());
+    }
+
+    #[test]
+    fn parse_skips_blank_lines() {
+        let text = "date,c0\n0,1.0\n\n1,2.0\n";
+        let s = from_csv(text, "x", Frequency::Daily, Domain::Web).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+}

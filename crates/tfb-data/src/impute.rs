@@ -1,0 +1,211 @@
+//! Missing-value handling for the data layer.
+//!
+//! Several of the paper's source datasets (METR-LA and PEMS most famously)
+//! ship with gaps; a standardized pipeline has to fix them *identically for
+//! every method*, or imputation choice becomes another hidden nuisance
+//! parameter like "drop last". Missing points are represented as `NaN` in
+//! the standardized format.
+
+use crate::series::MultiSeries;
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// How to fill missing (`NaN`) values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Imputation {
+    /// Carry the last observed value forward (and the first observed value
+    /// backward over a leading gap). TFB-style default: cheap and causal.
+    #[default]
+    ForwardFill,
+    /// Linear interpolation between the surrounding observations (ends are
+    /// extended flat).
+    Linear,
+    /// Replace with the value one seasonal period earlier when available,
+    /// falling back to forward fill.
+    Seasonal {
+        /// Period in steps (0 = the series frequency's natural period).
+        period: usize,
+    },
+}
+
+/// Counts missing values per channel.
+pub fn missing_counts(series: &MultiSeries) -> Vec<usize> {
+    (0..series.dim())
+        .map(|c| {
+            (0..series.len())
+                .filter(|&t| series.at(t, c).is_nan())
+                .count()
+        })
+        .collect()
+}
+
+/// Returns an imputed copy of the series. Errors when a channel has no
+/// observed value at all (nothing to impute from).
+pub fn impute(series: &MultiSeries, how: Imputation) -> Result<MultiSeries> {
+    let mut channels = series.to_channels();
+    let period = match how {
+        Imputation::Seasonal { period: 0 } => series.frequency.default_period(),
+        Imputation::Seasonal { period } => period,
+        _ => 0,
+    };
+    for ch in channels.iter_mut() {
+        if ch.iter().all(|v| v.is_nan()) {
+            return Err(DataError::InvalidRange("channel is entirely missing"));
+        }
+        match how {
+            Imputation::ForwardFill => forward_fill(ch),
+            Imputation::Linear => linear_fill(ch),
+            Imputation::Seasonal { .. } => {
+                seasonal_fill(ch, period.max(1));
+                forward_fill(ch);
+            }
+        }
+    }
+    MultiSeries::from_channels(
+        series.name.clone(),
+        series.frequency,
+        series.domain,
+        &channels,
+    )
+}
+
+fn forward_fill(ch: &mut [f64]) {
+    // Backfill the leading gap from the first observation.
+    if let Some(first) = ch.iter().position(|v| !v.is_nan()) {
+        let v0 = ch[first];
+        for v in ch[..first].iter_mut() {
+            *v = v0;
+        }
+    }
+    let mut last = ch[0];
+    for v in ch.iter_mut() {
+        if v.is_nan() {
+            *v = last;
+        } else {
+            last = *v;
+        }
+    }
+}
+
+fn linear_fill(ch: &mut [f64]) {
+    let n = ch.len();
+    let mut t = 0;
+    while t < n {
+        if !ch[t].is_nan() {
+            t += 1;
+            continue;
+        }
+        // Gap [t, end).
+        let end = (t..n).find(|&i| !ch[i].is_nan()).unwrap_or(n);
+        let before = if t > 0 { Some(ch[t - 1]) } else { None };
+        let after = if end < n { Some(ch[end]) } else { None };
+        match (before, after) {
+            (Some(a), Some(b)) => {
+                let gap = (end - t + 1) as f64;
+                for (k, v) in ch[t..end].iter_mut().enumerate() {
+                    *v = a + (b - a) * (k + 1) as f64 / gap;
+                }
+            }
+            (Some(a), None) => ch[t..end].iter_mut().for_each(|v| *v = a),
+            (None, Some(b)) => ch[t..end].iter_mut().for_each(|v| *v = b),
+            (None, None) => unreachable!("caller guarantees an observation"),
+        }
+        t = end;
+    }
+}
+
+fn seasonal_fill(ch: &mut [f64], period: usize) {
+    for t in 0..ch.len() {
+        if ch[t].is_nan() && t >= period && !ch[t - period].is_nan() {
+            ch[t] = ch[t - period];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{Domain, Frequency};
+
+    fn series(values: Vec<f64>, freq: Frequency) -> MultiSeries {
+        MultiSeries::from_channels("g", freq, Domain::Traffic, &[values]).unwrap()
+    }
+
+    #[test]
+    fn forward_fill_carries_last_value() {
+        let s = series(vec![1.0, f64::NAN, f64::NAN, 4.0, f64::NAN], Frequency::Hourly);
+        let out = impute(&s, Imputation::ForwardFill).unwrap();
+        assert_eq!(out.channel(0), vec![1.0, 1.0, 1.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn forward_fill_backfills_leading_gap() {
+        let s = series(vec![f64::NAN, f64::NAN, 3.0, 4.0], Frequency::Hourly);
+        let out = impute(&s, Imputation::ForwardFill).unwrap();
+        assert_eq!(out.channel(0), vec![3.0, 3.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn linear_fill_interpolates_interior_gaps() {
+        let s = series(vec![0.0, f64::NAN, f64::NAN, 3.0], Frequency::Hourly);
+        let out = impute(&s, Imputation::Linear).unwrap();
+        assert_eq!(out.channel(0), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn linear_fill_extends_ends_flat() {
+        let s = series(vec![f64::NAN, 2.0, f64::NAN], Frequency::Hourly);
+        let out = impute(&s, Imputation::Linear).unwrap();
+        assert_eq!(out.channel(0), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn seasonal_fill_uses_previous_period() {
+        let mut values: Vec<f64> = (0..12).map(|t| (t % 4) as f64 * 10.0).collect();
+        values[6] = f64::NAN; // phase 2 -> should become values[2] = 20.0
+        let s = series(values, Frequency::Hourly);
+        let out = impute(&s, Imputation::Seasonal { period: 4 }).unwrap();
+        assert_eq!(out.at(6, 0), 20.0);
+    }
+
+    #[test]
+    fn seasonal_period_zero_uses_frequency() {
+        let mut values: Vec<f64> = (0..72).map(|t| (t % 24) as f64).collect();
+        values[30] = f64::NAN; // hour 6 of day 2 -> previous day's hour 6
+        let s = series(values, Frequency::Hourly);
+        let out = impute(&s, Imputation::Seasonal { period: 0 }).unwrap();
+        assert_eq!(out.at(30, 0), 6.0);
+    }
+
+    #[test]
+    fn all_missing_channel_errors() {
+        let s = series(vec![f64::NAN, f64::NAN], Frequency::Hourly);
+        assert!(impute(&s, Imputation::ForwardFill).is_err());
+    }
+
+    #[test]
+    fn missing_counts_per_channel() {
+        let s = MultiSeries::from_channels(
+            "m",
+            Frequency::Hourly,
+            Domain::Traffic,
+            &[vec![1.0, f64::NAN, 3.0], vec![f64::NAN, f64::NAN, 1.0]],
+        )
+        .unwrap();
+        assert_eq!(missing_counts(&s), vec![1, 2]);
+    }
+
+    #[test]
+    fn imputation_is_identity_on_complete_data() {
+        let values: Vec<f64> = (0..50).map(|t| (t as f64).sin()).collect();
+        let s = series(values.clone(), Frequency::Hourly);
+        for how in [
+            Imputation::ForwardFill,
+            Imputation::Linear,
+            Imputation::Seasonal { period: 5 },
+        ] {
+            let out = impute(&s, how).unwrap();
+            assert_eq!(out.channel(0), values, "{how:?}");
+        }
+    }
+}

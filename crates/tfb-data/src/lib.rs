@@ -1,0 +1,51 @@
+//! Time-series containers and the data-handling primitives of the TFB
+//! pipeline's *data layer*: chronological splits (7:1:2 and 6:2:2),
+//! normalization fitted on the training region only, look-back/horizon
+//! windowing, batching (with the optional — and deliberately unfair —
+//! "drop last" trick kept around solely for the Table 2 ablation), and the
+//! standardized wide CSV format used by the original benchmark.
+
+pub mod batch;
+pub mod csvfmt;
+pub mod impute;
+pub mod normalize;
+pub mod repository;
+pub mod series;
+pub mod split;
+pub mod window;
+
+pub use batch::{BatchIter, Batching};
+pub use impute::{impute, Imputation};
+pub use normalize::{NormStats, Normalization, Normalizer};
+pub use series::{Domain, Frequency, MultiSeries, UniSeries};
+pub use split::{ChronoSplit, SplitRatio};
+pub use window::{Window, WindowSampler};
+
+/// Errors produced by the data layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A series was empty where data is required.
+    Empty,
+    /// Window/split parameters do not fit the series length.
+    InvalidRange(&'static str),
+    /// Shapes of multivariate inputs disagree.
+    ShapeMismatch(&'static str),
+    /// A CSV document could not be parsed.
+    Parse(String),
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::Empty => write!(f, "empty series"),
+            DataError::InvalidRange(what) => write!(f, "invalid range: {what}"),
+            DataError::ShapeMismatch(what) => write!(f, "shape mismatch: {what}"),
+            DataError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Result alias for the data layer.
+pub type Result<T> = std::result::Result<T, DataError>;

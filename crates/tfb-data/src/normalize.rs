@@ -1,0 +1,210 @@
+//! Normalization fitted on the training region and applied consistently to
+//! every segment — one of the consistency guarantees of the TFB pipeline
+//! (Issue 3: the choice of normalization changes results, so it must be
+//! identical across methods).
+
+use crate::series::MultiSeries;
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The normalization schemes supported by the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Normalization {
+    /// Per-channel z-score using training-set statistics (TFB's default).
+    #[default]
+    ZScore,
+    /// Per-channel min-max onto [0, 1] using training-set statistics.
+    MinMax,
+    /// Identity.
+    None,
+}
+
+/// Per-channel statistics captured from the training segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NormStats {
+    /// Channel means (z-score) or minima (min-max).
+    pub offset: Vec<f64>,
+    /// Channel standard deviations (z-score) or ranges (min-max); entries
+    /// are clamped away from zero so constant channels stay finite.
+    pub scale: Vec<f64>,
+}
+
+/// A fitted normalizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    /// Which scheme this normalizer applies.
+    pub scheme: Normalization,
+    /// Fitted statistics (identity stats for [`Normalization::None`]).
+    pub stats: NormStats,
+}
+
+impl Normalizer {
+    /// Fits normalization statistics on (typically) the training segment.
+    pub fn fit(train: &MultiSeries, scheme: Normalization) -> Normalizer {
+        let dim = train.dim();
+        let n = train.len();
+        let mut offset = vec![0.0; dim];
+        let mut scale = vec![1.0; dim];
+        match scheme {
+            Normalization::None => {}
+            Normalization::ZScore => {
+                for c in 0..dim {
+                    let mut mean = 0.0;
+                    for t in 0..n {
+                        mean += train.at(t, c);
+                    }
+                    mean /= n as f64;
+                    let mut var = 0.0;
+                    for t in 0..n {
+                        let d = train.at(t, c) - mean;
+                        var += d * d;
+                    }
+                    var /= n as f64;
+                    offset[c] = mean;
+                    scale[c] = var.sqrt().max(1e-8);
+                }
+            }
+            Normalization::MinMax => {
+                for c in 0..dim {
+                    let mut lo = f64::INFINITY;
+                    let mut hi = f64::NEG_INFINITY;
+                    for t in 0..n {
+                        let v = train.at(t, c);
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                    offset[c] = lo;
+                    scale[c] = (hi - lo).max(1e-8);
+                }
+            }
+        }
+        Normalizer {
+            scheme,
+            stats: NormStats { offset, scale },
+        }
+    }
+
+    /// Applies the normalization to any segment of the same dimensionality.
+    pub fn apply(&self, series: &MultiSeries) -> Result<MultiSeries> {
+        self.map(series, |v, o, s| (v - o) / s)
+    }
+
+    /// Inverts the normalization (to report metrics on the original scale
+    /// when desired; TFB reports normalized metrics in Tables 7–8).
+    pub fn invert(&self, series: &MultiSeries) -> Result<MultiSeries> {
+        self.map(series, |v, o, s| v * s + o)
+    }
+
+    /// Inverts a raw forecast row-block laid out time-major.
+    pub fn invert_block(&self, block: &mut [f64], dim: usize) -> Result<()> {
+        if dim != self.stats.offset.len() {
+            return Err(DataError::ShapeMismatch("normalizer dim"));
+        }
+        if self.scheme == Normalization::None {
+            return Ok(());
+        }
+        for (i, v) in block.iter_mut().enumerate() {
+            let c = i % dim;
+            *v = *v * self.stats.scale[c] + self.stats.offset[c];
+        }
+        Ok(())
+    }
+
+    fn map(
+        &self,
+        series: &MultiSeries,
+        f: impl Fn(f64, f64, f64) -> f64,
+    ) -> Result<MultiSeries> {
+        let dim = series.dim();
+        if dim != self.stats.offset.len() {
+            return Err(DataError::ShapeMismatch("normalizer dim"));
+        }
+        if self.scheme == Normalization::None {
+            return Ok(series.clone());
+        }
+        let n = series.len();
+        let mut values = Vec::with_capacity(n * dim);
+        for t in 0..n {
+            for c in 0..dim {
+                values.push(f(series.at(t, c), self.stats.offset[c], self.stats.scale[c]));
+            }
+        }
+        MultiSeries::new(
+            series.name.clone(),
+            series.frequency,
+            series.domain,
+            dim,
+            values,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{Domain, Frequency};
+
+    fn series(chans: &[Vec<f64>]) -> MultiSeries {
+        MultiSeries::from_channels("s", Frequency::Hourly, Domain::Energy, chans).unwrap()
+    }
+
+    #[test]
+    fn zscore_normalizes_train_to_unit() {
+        let s = series(&[vec![1.0, 2.0, 3.0, 4.0, 5.0]]);
+        let nz = Normalizer::fit(&s, Normalization::ZScore);
+        let out = nz.apply(&s).unwrap();
+        let ch = out.channel(0);
+        let mean: f64 = ch.iter().sum::<f64>() / 5.0;
+        assert!(mean.abs() < 1e-10);
+        let var: f64 = ch.iter().map(|v| v * v).sum::<f64>() / 5.0;
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_come_from_fit_segment_only() {
+        let train = series(&[vec![0.0, 10.0]]);
+        let test = series(&[vec![20.0]]);
+        let nz = Normalizer::fit(&train, Normalization::MinMax);
+        let out = nz.apply(&test).unwrap();
+        // 20 is outside the train range [0, 10] so it maps beyond 1.0.
+        assert!((out.at(0, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invert_roundtrips() {
+        let s = series(&[vec![3.0, 7.0, -1.0, 4.0], vec![100.0, 120.0, 90.0, 110.0]]);
+        for scheme in [Normalization::ZScore, Normalization::MinMax, Normalization::None] {
+            let nz = Normalizer::fit(&s, scheme);
+            let fwd = nz.apply(&s).unwrap();
+            let back = nz.invert(&fwd).unwrap();
+            for (a, b) in back.values().iter().zip(s.values()) {
+                assert!((a - b).abs() < 1e-9, "{scheme:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_channel_stays_finite() {
+        let s = series(&[vec![5.0, 5.0, 5.0]]);
+        let nz = Normalizer::fit(&s, Normalization::ZScore);
+        let out = nz.apply(&s).unwrap();
+        assert!(out.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn dim_mismatch_is_error() {
+        let s1 = series(&[vec![1.0, 2.0]]);
+        let s2 = series(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let nz = Normalizer::fit(&s1, Normalization::ZScore);
+        assert!(nz.apply(&s2).is_err());
+    }
+
+    #[test]
+    fn invert_block_per_channel() {
+        let s = series(&[vec![0.0, 2.0], vec![0.0, 4.0]]);
+        let nz = Normalizer::fit(&s, Normalization::MinMax);
+        let mut block = vec![0.5, 0.5, 1.0, 1.0]; // two time steps, two channels
+        nz.invert_block(&mut block, 2).unwrap();
+        assert_eq!(block, vec![1.0, 2.0, 2.0, 4.0]);
+    }
+}

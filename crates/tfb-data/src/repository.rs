@@ -1,0 +1,171 @@
+//! On-disk dataset repository in the standardized format.
+//!
+//! The paper's data layer is "a repository of univariate and multivariate
+//! time series … uniformly structured according to a standardized format".
+//! This module persists a collection as one CSV per dataset plus a JSON
+//! manifest carrying the metadata the CSV body cannot (name, domain,
+//! frequency, split), and loads it back.
+
+use crate::csvfmt;
+use crate::series::{Domain, Frequency, MultiSeries};
+use crate::split::SplitRatio;
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Manifest entry for one stored dataset.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ManifestEntry {
+    /// Dataset name (also the CSV file stem).
+    pub name: String,
+    /// Application domain.
+    pub domain: Domain,
+    /// Sampling frequency.
+    pub frequency: Frequency,
+    /// Chronological split ratio.
+    pub split: SplitRatio,
+    /// Number of time points (for validation on load).
+    pub len: usize,
+    /// Number of channels (for validation on load).
+    pub dim: usize,
+}
+
+/// The repository manifest.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Manifest {
+    /// One entry per stored dataset.
+    pub datasets: Vec<ManifestEntry>,
+}
+
+const MANIFEST_NAME: &str = "manifest.json";
+
+/// Writes a collection of (series, split) pairs into `dir`.
+pub fn save(dir: &Path, datasets: &[(&MultiSeries, SplitRatio)]) -> Result<()> {
+    std::fs::create_dir_all(dir).map_err(io_err)?;
+    let mut manifest = Manifest::default();
+    for (series, split) in datasets {
+        let path = dir.join(format!("{}.csv", sanitize(&series.name)));
+        std::fs::write(&path, csvfmt::to_csv(series)).map_err(io_err)?;
+        manifest.datasets.push(ManifestEntry {
+            name: series.name.clone(),
+            domain: series.domain,
+            frequency: series.frequency,
+            split: *split,
+            len: series.len(),
+            dim: series.dim(),
+        });
+    }
+    let text = serde_json::to_string_pretty(&manifest)
+        .map_err(|e| DataError::Parse(e.to_string()))?;
+    std::fs::write(dir.join(MANIFEST_NAME), text).map_err(io_err)?;
+    Ok(())
+}
+
+/// Loads every dataset listed in the manifest of `dir`.
+pub fn load(dir: &Path) -> Result<Vec<(MultiSeries, SplitRatio)>> {
+    let text = std::fs::read_to_string(dir.join(MANIFEST_NAME)).map_err(io_err)?;
+    let manifest: Manifest =
+        serde_json::from_str(&text).map_err(|e| DataError::Parse(e.to_string()))?;
+    let mut out = Vec::with_capacity(manifest.datasets.len());
+    for entry in &manifest.datasets {
+        let path = dir.join(format!("{}.csv", sanitize(&entry.name)));
+        let body = std::fs::read_to_string(&path).map_err(io_err)?;
+        let series = csvfmt::from_csv(&body, entry.name.clone(), entry.frequency, entry.domain)?;
+        if series.len() != entry.len || series.dim() != entry.dim {
+            return Err(DataError::Parse(format!(
+                "{}: stored shape {}x{} does not match manifest {}x{}",
+                entry.name,
+                series.len(),
+                series.dim(),
+                entry.len,
+                entry.dim
+            )));
+        }
+        out.push((series, entry.split));
+    }
+    Ok(out)
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect()
+}
+
+fn io_err(e: std::io::Error) -> DataError {
+    DataError::Parse(format!("io: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tfb_repo_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample(name: &str) -> MultiSeries {
+        MultiSeries::from_channels(
+            name,
+            Frequency::Hourly,
+            Domain::Energy,
+            &[vec![1.0, 2.5, -3.0], vec![0.5, 0.25, 0.125]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let a = sample("Alpha");
+        let b = sample("Beta-2");
+        save(&dir, &[(&a, SplitRatio::R712), (&b, SplitRatio::R622)]).unwrap();
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].0.values(), a.values());
+        assert_eq!(loaded[0].1, SplitRatio::R712);
+        assert_eq!(loaded[1].0.name, "Beta-2");
+        assert_eq!(loaded[1].1, SplitRatio::R622);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_detects_shape_tampering() {
+        let dir = temp_dir("tamper");
+        let a = sample("Gamma");
+        save(&dir, &[(&a, SplitRatio::R712)]).unwrap();
+        // Truncate a row from the CSV body.
+        let path = dir.join("Gamma.csv");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let truncated: Vec<&str> = body.lines().take(3).collect();
+        std::fs::write(&path, truncated.join("\n")).unwrap();
+        assert!(load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_an_error() {
+        let dir = temp_dir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn names_are_sanitized_for_paths() {
+        let dir = temp_dir("sanitize");
+        let weird = MultiSeries::from_channels(
+            "FRED-MD (full/2024)",
+            Frequency::Monthly,
+            Domain::Economic,
+            &[vec![1.0, 2.0]],
+        )
+        .unwrap();
+        save(&dir, &[(&weird, SplitRatio::R712)]).unwrap();
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded[0].0.name, "FRED-MD (full/2024)");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,395 @@
+//! Univariate and multivariate time-series containers plus the frequency
+//! and domain taxonomy of the TFB dataset collection.
+
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Sampling frequency of a series, following Table 4/5 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Frequency {
+    /// Every 5 minutes (METR-LA, PEMS-BAY, PEMS04, PEMS08).
+    FiveMinutes,
+    /// Every 10 minutes (Solar, Weather).
+    TenMinutes,
+    /// Every 15 minutes (ETTm1/2, Wind).
+    FifteenMinutes,
+    /// Every 30 minutes (ZafNoo, CzeLan).
+    ThirtyMinutes,
+    /// Hourly (ETTh1/2, Electricity, Traffic, AQShunyi, AQWan).
+    Hourly,
+    /// Daily (Exchange, NASDAQ, NYSE, NN5, Covid-19, Wike2000).
+    Daily,
+    /// Weekly (ILI).
+    Weekly,
+    /// Monthly (FRED-MD).
+    Monthly,
+    /// Quarterly (univariate archive).
+    Quarterly,
+    /// Yearly (univariate archive).
+    Yearly,
+    /// Anything else ("Other" in Table 4).
+    Other,
+}
+
+impl Frequency {
+    /// The natural seasonal period for this frequency, used as the default
+    /// `S` of the MASE metric and as the seasonal-naive lag: 24 for hourly
+    /// (daily cycle), 7 for daily (weekly cycle), 52 for weekly, 12 for
+    /// monthly, 4 for quarterly, 1 (none) for yearly/other, and one day's
+    /// worth of steps for sub-hourly data.
+    pub fn default_period(self) -> usize {
+        match self {
+            Frequency::FiveMinutes => 288,
+            Frequency::TenMinutes => 144,
+            Frequency::FifteenMinutes => 96,
+            Frequency::ThirtyMinutes => 48,
+            Frequency::Hourly => 24,
+            Frequency::Daily => 7,
+            Frequency::Weekly => 52,
+            Frequency::Monthly => 12,
+            Frequency::Quarterly => 4,
+            Frequency::Yearly | Frequency::Other => 1,
+        }
+    }
+
+    /// Short human-readable label (matches the paper's tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            Frequency::FiveMinutes => "5 mins",
+            Frequency::TenMinutes => "10 mins",
+            Frequency::FifteenMinutes => "15 mins",
+            Frequency::ThirtyMinutes => "30 mins",
+            Frequency::Hourly => "1 hour",
+            Frequency::Daily => "1 day",
+            Frequency::Weekly => "1 week",
+            Frequency::Monthly => "1 month",
+            Frequency::Quarterly => "1 quarter",
+            Frequency::Yearly => "1 year",
+            Frequency::Other => "other",
+        }
+    }
+}
+
+/// Application domain of a dataset — the ten domains of the paper plus a
+/// catch-all for the univariate archive's long tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Road traffic (METR-LA, PEMS-*, Traffic).
+    Traffic,
+    /// Electric load and transformers (ETT*, Electricity).
+    Electricity,
+    /// Power generation (Solar, Wind).
+    Energy,
+    /// Environmental measurements (Weather, AQShunyi, AQWan).
+    Environment,
+    /// Ecology (ZafNoo, CzeLan).
+    Nature,
+    /// Macro-economics (FRED-MD, Exchange).
+    Economic,
+    /// Stock markets (NASDAQ, NYSE).
+    Stock,
+    /// Banking (NN5).
+    Banking,
+    /// Public health (ILI, Covid-19).
+    Health,
+    /// Web traffic (Wike2000).
+    Web,
+    /// Other/unlabelled (univariate archive tail).
+    Other,
+}
+
+impl Domain {
+    /// All ten named domains (excludes [`Domain::Other`]).
+    pub const ALL: [Domain; 10] = [
+        Domain::Traffic,
+        Domain::Electricity,
+        Domain::Energy,
+        Domain::Environment,
+        Domain::Nature,
+        Domain::Economic,
+        Domain::Stock,
+        Domain::Banking,
+        Domain::Health,
+        Domain::Web,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Domain::Traffic => "Traffic",
+            Domain::Electricity => "Electricity",
+            Domain::Energy => "Energy",
+            Domain::Environment => "Environment",
+            Domain::Nature => "Nature",
+            Domain::Economic => "Economic",
+            Domain::Stock => "Stock",
+            Domain::Banking => "Banking",
+            Domain::Health => "Health",
+            Domain::Web => "Web",
+            Domain::Other => "Other",
+        }
+    }
+}
+
+/// A univariate time series with metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UniSeries {
+    /// Identifier within its archive (e.g. "Y0001").
+    pub name: String,
+    /// Sampling frequency.
+    pub frequency: Frequency,
+    /// Application domain.
+    pub domain: Domain,
+    /// Observations in chronological order.
+    pub values: Vec<f64>,
+}
+
+impl UniSeries {
+    /// Creates a series, rejecting empty data.
+    pub fn new(
+        name: impl Into<String>,
+        frequency: Frequency,
+        domain: Domain,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if values.is_empty() {
+            return Err(DataError::Empty);
+        }
+        Ok(UniSeries {
+            name: name.into(),
+            frequency,
+            domain,
+            values,
+        })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false by construction; present for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A multivariate time series stored time-major: `values[t * dim + c]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSeries {
+    /// Dataset name (e.g. "ETTh1").
+    pub name: String,
+    /// Sampling frequency.
+    pub frequency: Frequency,
+    /// Application domain.
+    pub domain: Domain,
+    /// Number of channels (variables).
+    dim: usize,
+    /// Time-major storage of length `len * dim`.
+    values: Vec<f64>,
+}
+
+impl MultiSeries {
+    /// Creates a multivariate series from time-major storage.
+    pub fn new(
+        name: impl Into<String>,
+        frequency: Frequency,
+        domain: Domain,
+        dim: usize,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if dim == 0 || values.is_empty() {
+            return Err(DataError::Empty);
+        }
+        if !values.len().is_multiple_of(dim) {
+            return Err(DataError::ShapeMismatch("values.len() % dim != 0"));
+        }
+        Ok(MultiSeries {
+            name: name.into(),
+            frequency,
+            domain,
+            dim,
+            values,
+        })
+    }
+
+    /// Builds a multivariate series from per-channel vectors (all must have
+    /// equal length).
+    pub fn from_channels(
+        name: impl Into<String>,
+        frequency: Frequency,
+        domain: Domain,
+        channels: &[Vec<f64>],
+    ) -> Result<Self> {
+        if channels.is_empty() || channels[0].is_empty() {
+            return Err(DataError::Empty);
+        }
+        let len = channels[0].len();
+        if channels.iter().any(|c| c.len() != len) {
+            return Err(DataError::ShapeMismatch("unequal channel lengths"));
+        }
+        let dim = channels.len();
+        let mut values = Vec::with_capacity(len * dim);
+        for t in 0..len {
+            for ch in channels {
+                values.push(ch[t]);
+            }
+        }
+        MultiSeries::new(name, frequency, domain, dim, values)
+    }
+
+    /// Number of time points.
+    pub fn len(&self) -> usize {
+        self.values.len() / self.dim
+    }
+
+    /// Always false by construction; present for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of channels.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The time-major raw storage.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value at time `t`, channel `c`.
+    #[inline]
+    pub fn at(&self, t: usize, c: usize) -> f64 {
+        self.values[t * self.dim + c]
+    }
+
+    /// Mutable value at time `t`, channel `c`.
+    #[inline]
+    pub fn at_mut(&mut self, t: usize, c: usize) -> &mut f64 {
+        &mut self.values[t * self.dim + c]
+    }
+
+    /// The row (all channels) at time `t`.
+    #[inline]
+    pub fn row(&self, t: usize) -> &[f64] {
+        &self.values[t * self.dim..(t + 1) * self.dim]
+    }
+
+    /// Copies channel `c` into a vector.
+    pub fn channel(&self, c: usize) -> Vec<f64> {
+        (0..self.len()).map(|t| self.at(t, c)).collect()
+    }
+
+    /// A new series containing rows `range` (used by splits and rolling
+    /// evaluation). Panics if the range is out of bounds.
+    pub fn slice_rows(&self, range: std::ops::Range<usize>) -> MultiSeries {
+        assert!(range.end <= self.len(), "slice_rows out of bounds");
+        MultiSeries {
+            name: self.name.clone(),
+            frequency: self.frequency,
+            domain: self.domain,
+            dim: self.dim,
+            values: self.values[range.start * self.dim..range.end * self.dim].to_vec(),
+        }
+    }
+
+    /// Views this series as a collection of per-channel vectors.
+    pub fn to_channels(&self) -> Vec<Vec<f64>> {
+        (0..self.dim).map(|c| self.channel(c)).collect()
+    }
+
+    /// Converts a univariate series into a 1-channel multivariate series.
+    pub fn from_uni(u: &UniSeries) -> MultiSeries {
+        MultiSeries {
+            name: u.name.clone(),
+            frequency: u.frequency,
+            domain: u.domain,
+            dim: 1,
+            values: u.values.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniseries_rejects_empty() {
+        assert!(UniSeries::new("x", Frequency::Daily, Domain::Web, vec![]).is_err());
+    }
+
+    #[test]
+    fn frequency_periods_match_paper_conventions() {
+        assert_eq!(Frequency::Hourly.default_period(), 24);
+        assert_eq!(Frequency::Daily.default_period(), 7);
+        assert_eq!(Frequency::Monthly.default_period(), 12);
+        assert_eq!(Frequency::Yearly.default_period(), 1);
+        assert_eq!(Frequency::FiveMinutes.default_period(), 288);
+    }
+
+    #[test]
+    fn multiseries_shape_checks() {
+        assert!(MultiSeries::new("m", Frequency::Hourly, Domain::Traffic, 3, vec![1.0; 7]).is_err());
+        assert!(MultiSeries::new("m", Frequency::Hourly, Domain::Traffic, 0, vec![1.0; 6]).is_err());
+        let m = MultiSeries::new("m", Frequency::Hourly, Domain::Traffic, 3, vec![1.0; 6]).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.dim(), 3);
+    }
+
+    #[test]
+    fn from_channels_interleaves_time_major() {
+        let m = MultiSeries::from_channels(
+            "m",
+            Frequency::Daily,
+            Domain::Stock,
+            &[vec![1.0, 2.0], vec![10.0, 20.0]],
+        )
+        .unwrap();
+        assert_eq!(m.row(0), &[1.0, 10.0]);
+        assert_eq!(m.row(1), &[2.0, 20.0]);
+        assert_eq!(m.channel(1), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn from_channels_rejects_ragged() {
+        assert!(MultiSeries::from_channels(
+            "m",
+            Frequency::Daily,
+            Domain::Stock,
+            &[vec![1.0, 2.0], vec![10.0]],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn slice_rows_extracts_window() {
+        let m = MultiSeries::from_channels(
+            "m",
+            Frequency::Daily,
+            Domain::Stock,
+            &[vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]],
+        )
+        .unwrap();
+        let s = m.slice_rows(1..3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), &[2.0, 6.0]);
+        assert_eq!(s.row(1), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn roundtrip_channels() {
+        let chans = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let m = MultiSeries::from_channels("m", Frequency::Daily, Domain::Web, &chans).unwrap();
+        assert_eq!(m.to_channels(), chans);
+    }
+
+    #[test]
+    fn uni_to_multi_is_one_channel() {
+        let u = UniSeries::new("u", Frequency::Monthly, Domain::Economic, vec![1.0, 2.0]).unwrap();
+        let m = MultiSeries::from_uni(&u);
+        assert_eq!(m.dim(), 1);
+        assert_eq!(m.channel(0), vec![1.0, 2.0]);
+    }
+}

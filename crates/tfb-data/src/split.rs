@@ -1,0 +1,179 @@
+//! Chronological train/validation/test splits.
+//!
+//! TFB fixes a chronological ratio per dataset — 7:1:2 or 6:2:2 — so that
+//! every method sees exactly the same data (Issue 3 in the paper).
+
+use crate::series::MultiSeries;
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A train/validation/test ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitRatio {
+    /// Training fraction.
+    pub train: f64,
+    /// Validation fraction.
+    pub val: f64,
+    /// Test fraction.
+    pub test: f64,
+}
+
+impl SplitRatio {
+    /// The 7:1:2 split used by most TFB datasets.
+    pub const R712: SplitRatio = SplitRatio {
+        train: 0.7,
+        val: 0.1,
+        test: 0.2,
+    };
+
+    /// The 6:2:2 split used by the ETT and PEMS datasets.
+    pub const R622: SplitRatio = SplitRatio {
+        train: 0.6,
+        val: 0.2,
+        test: 0.2,
+    };
+
+    /// Validates that the fractions are positive and sum to 1 (±1e-9).
+    pub fn validate(self) -> Result<Self> {
+        let sum = self.train + self.val + self.test;
+        if (sum - 1.0).abs() > 1e-9 || self.train <= 0.0 || self.val < 0.0 || self.test <= 0.0 {
+            return Err(DataError::InvalidRange("split ratio must sum to 1"));
+        }
+        Ok(self)
+    }
+
+    /// Label like "7:1:2" for reports.
+    pub fn label(self) -> String {
+        format!(
+            "{}:{}:{}",
+            (self.train * 10.0).round() as i64,
+            (self.val * 10.0).round() as i64,
+            (self.test * 10.0).round() as i64
+        )
+    }
+}
+
+/// The three chronological segments of a dataset.
+#[derive(Debug, Clone)]
+pub struct ChronoSplit {
+    /// Training segment (earliest).
+    pub train: MultiSeries,
+    /// Validation segment.
+    pub val: MultiSeries,
+    /// Test segment (latest).
+    pub test: MultiSeries,
+    /// Index where validation starts.
+    pub val_start: usize,
+    /// Index where test starts.
+    pub test_start: usize,
+}
+
+impl ChronoSplit {
+    /// Splits a series chronologically by `ratio`.
+    ///
+    /// Segment boundaries are `floor(len * train)` and
+    /// `floor(len * (train + val))`, matching the original implementation.
+    pub fn split(series: &MultiSeries, ratio: SplitRatio) -> Result<ChronoSplit> {
+        let ratio = ratio.validate()?;
+        let n = series.len();
+        if n < 3 {
+            return Err(DataError::InvalidRange("series too short to split"));
+        }
+        let val_start = (n as f64 * ratio.train).floor() as usize;
+        let test_start = (n as f64 * (ratio.train + ratio.val)).floor() as usize;
+        if val_start == 0 || test_start <= val_start && ratio.val > 0.0 || test_start >= n {
+            return Err(DataError::InvalidRange("degenerate split"));
+        }
+        Ok(ChronoSplit {
+            train: series.slice_rows(0..val_start),
+            val: series.slice_rows(val_start..test_start),
+            test: series.slice_rows(test_start..n),
+            val_start,
+            test_start,
+        })
+    }
+
+    /// Train plus validation as one segment — statistical methods retrain on
+    /// everything before the test region.
+    pub fn train_val(&self, original: &MultiSeries) -> MultiSeries {
+        original.slice_rows(0..self.test_start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{Domain, Frequency};
+
+    fn series(n: usize) -> MultiSeries {
+        MultiSeries::from_channels(
+            "s",
+            Frequency::Hourly,
+            Domain::Electricity,
+            &[(0..n).map(|i| i as f64).collect()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn split_712_proportions() {
+        let s = series(100);
+        let sp = ChronoSplit::split(&s, SplitRatio::R712).unwrap();
+        assert_eq!(sp.train.len(), 70);
+        assert_eq!(sp.val.len(), 10);
+        assert_eq!(sp.test.len(), 20);
+    }
+
+    #[test]
+    fn split_622_proportions() {
+        let s = series(100);
+        let sp = ChronoSplit::split(&s, SplitRatio::R622).unwrap();
+        assert_eq!(sp.train.len(), 60);
+        assert_eq!(sp.val.len(), 20);
+        assert_eq!(sp.test.len(), 20);
+    }
+
+    #[test]
+    fn split_is_chronological() {
+        let s = series(50);
+        let sp = ChronoSplit::split(&s, SplitRatio::R712).unwrap();
+        assert_eq!(sp.train.at(0, 0), 0.0);
+        assert_eq!(sp.val.at(0, 0), sp.train.len() as f64);
+        assert_eq!(
+            sp.test.at(0, 0),
+            (sp.train.len() + sp.val.len()) as f64
+        );
+    }
+
+    #[test]
+    fn split_rejects_bad_ratio() {
+        let s = series(100);
+        let bad = SplitRatio {
+            train: 0.5,
+            val: 0.1,
+            test: 0.1,
+        };
+        assert!(ChronoSplit::split(&s, bad).is_err());
+    }
+
+    #[test]
+    fn split_rejects_tiny_series() {
+        let s = series(2);
+        assert!(ChronoSplit::split(&s, SplitRatio::R712).is_err());
+    }
+
+    #[test]
+    fn train_val_concatenates() {
+        let s = series(100);
+        let sp = ChronoSplit::split(&s, SplitRatio::R622).unwrap();
+        let tv = sp.train_val(&s);
+        assert_eq!(tv.len(), 80);
+        assert_eq!(tv.at(79, 0), 79.0);
+    }
+
+    #[test]
+    fn ratio_labels() {
+        assert_eq!(SplitRatio::R712.label(), "7:1:2");
+        assert_eq!(SplitRatio::R622.label(), "6:2:2");
+    }
+}

@@ -1,0 +1,200 @@
+//! Look-back/horizon windowing.
+//!
+//! A forecasting *sample* is a pair (look-back window of `lookback` time
+//! points, target horizon of `horizon` time points). The sampler walks a
+//! series with a configurable stride and never discards the final samples —
+//! dropping them is exactly the unfairness Table 2 of the paper documents
+//! (that behaviour lives in [`crate::batch`] behind an explicit opt-in).
+
+use crate::series::MultiSeries;
+use crate::{DataError, Result};
+
+/// One forecasting sample: indices into the source series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Start of the look-back region (inclusive).
+    pub input_start: usize,
+    /// End of the look-back region == start of the target region.
+    pub boundary: usize,
+    /// End of the target region (exclusive).
+    pub target_end: usize,
+}
+
+impl Window {
+    /// Look-back length.
+    pub fn lookback(&self) -> usize {
+        self.boundary - self.input_start
+    }
+
+    /// Horizon length.
+    pub fn horizon(&self) -> usize {
+        self.target_end - self.boundary
+    }
+}
+
+/// Enumerates forecasting samples over a series.
+#[derive(Debug, Clone)]
+pub struct WindowSampler {
+    len: usize,
+    lookback: usize,
+    horizon: usize,
+    stride: usize,
+}
+
+impl WindowSampler {
+    /// Creates a sampler over a series of length `len`.
+    ///
+    /// Fails when `lookback + horizon > len` (no sample fits) or any
+    /// parameter is zero.
+    pub fn new(len: usize, lookback: usize, horizon: usize, stride: usize) -> Result<Self> {
+        if lookback == 0 || horizon == 0 || stride == 0 {
+            return Err(DataError::InvalidRange("window parameters must be > 0"));
+        }
+        if lookback + horizon > len {
+            return Err(DataError::InvalidRange(
+                "series shorter than lookback + horizon",
+            ));
+        }
+        Ok(WindowSampler {
+            len,
+            lookback,
+            horizon,
+            stride,
+        })
+    }
+
+    /// Number of samples this sampler yields.
+    pub fn count(&self) -> usize {
+        (self.len - self.lookback - self.horizon) / self.stride + 1
+    }
+
+    /// The `i`-th sample.
+    pub fn window(&self, i: usize) -> Window {
+        let input_start = i * self.stride;
+        Window {
+            input_start,
+            boundary: input_start + self.lookback,
+            target_end: input_start + self.lookback + self.horizon,
+        }
+    }
+
+    /// Iterates over all samples in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = Window> + '_ {
+        (0..self.count()).map(|i| self.window(i))
+    }
+
+    /// Extracts the look-back block of a sample as a flat time-major vector.
+    pub fn input_block(&self, series: &MultiSeries, w: Window) -> Vec<f64> {
+        let dim = series.dim();
+        series.values()[w.input_start * dim..w.boundary * dim].to_vec()
+    }
+
+    /// Extracts the target block of a sample as a flat time-major vector.
+    pub fn target_block(&self, series: &MultiSeries, w: Window) -> Vec<f64> {
+        let dim = series.dim();
+        series.values()[w.boundary * dim..w.target_end * dim].to_vec()
+    }
+}
+
+/// Pooled (features, targets) sample pairs produced by [`lag_matrix`].
+pub type LagSamples = (Vec<Vec<f64>>, Vec<Vec<f64>>);
+
+/// Builds the (features, targets) design for autoregressive tabular models:
+/// each row concatenates `lookback` lagged values of one channel, and the
+/// target is the next `horizon` values of that channel.
+///
+/// Returns `(features, targets)` where `features[i]` has length `lookback`
+/// and `targets[i]` has length `horizon`. Univariate helper used by the ML
+/// models (LR, RF, XGB) in channel-independent mode.
+pub fn lag_matrix(series: &[f64], lookback: usize, horizon: usize) -> Result<LagSamples> {
+    if lookback == 0 || horizon == 0 {
+        return Err(DataError::InvalidRange("lag_matrix parameters must be > 0"));
+    }
+    if series.len() < lookback + horizon {
+        return Err(DataError::InvalidRange("series shorter than lookback + horizon"));
+    }
+    let samples = series.len() - lookback - horizon + 1;
+    let mut xs = Vec::with_capacity(samples);
+    let mut ys = Vec::with_capacity(samples);
+    for s in 0..samples {
+        xs.push(series[s..s + lookback].to_vec());
+        ys.push(series[s + lookback..s + lookback + horizon].to_vec());
+    }
+    Ok((xs, ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{Domain, Frequency};
+
+    fn series(n: usize, dim: usize) -> MultiSeries {
+        let chans: Vec<Vec<f64>> = (0..dim)
+            .map(|c| (0..n).map(|t| (t * 10 + c) as f64).collect())
+            .collect();
+        MultiSeries::from_channels("s", Frequency::Hourly, Domain::Traffic, &chans).unwrap()
+    }
+
+    #[test]
+    fn sampler_counts_follow_paper_example() {
+        // Figure 4: test series of length 2880, horizon 336, lookback 512
+        // yields 2033 samples at stride 1.
+        let s = WindowSampler::new(2880, 512, 336, 1).unwrap();
+        assert_eq!(s.count(), 2880 - 512 - 336 + 1);
+        assert_eq!(s.count(), 2033);
+    }
+
+    #[test]
+    fn windows_are_contiguous_and_strided() {
+        let s = WindowSampler::new(20, 4, 2, 3).unwrap();
+        let w0 = s.window(0);
+        assert_eq!((w0.input_start, w0.boundary, w0.target_end), (0, 4, 6));
+        let w1 = s.window(1);
+        assert_eq!(w1.input_start, 3);
+        assert_eq!(w0.lookback(), 4);
+        assert_eq!(w0.horizon(), 2);
+    }
+
+    #[test]
+    fn last_window_fits_exactly() {
+        let s = WindowSampler::new(10, 3, 2, 1).unwrap();
+        let last = s.window(s.count() - 1);
+        assert_eq!(last.target_end, 10);
+    }
+
+    #[test]
+    fn sampler_rejects_impossible_configs() {
+        assert!(WindowSampler::new(5, 4, 2, 1).is_err());
+        assert!(WindowSampler::new(10, 0, 2, 1).is_err());
+        assert!(WindowSampler::new(10, 2, 0, 1).is_err());
+        assert!(WindowSampler::new(10, 2, 2, 0).is_err());
+    }
+
+    #[test]
+    fn blocks_extract_correct_values() {
+        let m = series(10, 2);
+        let s = WindowSampler::new(10, 3, 2, 1).unwrap();
+        let w = s.window(1);
+        let input = s.input_block(&m, w);
+        // times 1,2,3 with channels interleaved: 10,11,20,21,30,31
+        assert_eq!(input, vec![10.0, 11.0, 20.0, 21.0, 30.0, 31.0]);
+        let target = s.target_block(&m, w);
+        assert_eq!(target, vec![40.0, 41.0, 50.0, 51.0]);
+    }
+
+    #[test]
+    fn lag_matrix_shapes_and_values() {
+        let xs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let (f, t) = lag_matrix(&xs, 3, 2).unwrap();
+        assert_eq!(f.len(), 4);
+        assert_eq!(f[0], vec![0.0, 1.0, 2.0]);
+        assert_eq!(t[0], vec![3.0, 4.0]);
+        assert_eq!(f[3], vec![3.0, 4.0, 5.0]);
+        assert_eq!(t[3], vec![6.0, 7.0]);
+    }
+
+    #[test]
+    fn lag_matrix_rejects_short_series() {
+        assert!(lag_matrix(&[1.0, 2.0], 2, 2).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Seeded synthetic dataset generation for the TFB reproduction.
+//!
+//! The original benchmark distributes 25 real multivariate datasets and an
+//! archive of 8,068 curated univariate series. Those are a data gate this
+//! offline reproduction cannot cross, so this crate generates *synthetic
+//! stand-ins with controlled characteristics*: every dataset profile in
+//! [`profiles`] mirrors its real counterpart's published shape (length,
+//! dimension, frequency, split ratio — Table 5 of the paper) and dials in
+//! the characteristics (trend, seasonality, shifting, transition,
+//! correlation, stationarity) that the paper reports as driving method
+//! performance on that dataset.
+//!
+//! Everything is deterministic given a seed: the same profile and scale
+//! always produce bit-identical data.
+
+// Dense numeric kernels index by position on purpose: the index
+// arithmetic *is* the algorithm (GEMM, filters, recursions), and iterator
+// rewrites obscure it.
+#![allow(clippy::needless_range_loop)]
+pub mod components;
+pub mod profiles;
+pub mod univariate;
+
+pub use components::{SeriesBuilder, TrendKind};
+pub use profiles::{DatasetProfile, Scale, all_profiles, profile_by_name};
+pub use univariate::{UnivariateArchive, UnivariateSpec};

@@ -1,0 +1,510 @@
+//! The 25 multivariate dataset profiles of Table 5.
+//!
+//! Each profile records the real dataset's published shape (length,
+//! dimension, frequency, split) and a generation recipe that dials in the
+//! characteristics the paper reports for it: FRED-MD gets the strongest
+//! trend, Electricity the strongest seasonality, PEMS08 the strongest
+//! transition, NYSE the most severe shifting, PEMS-BAY the highest
+//! cross-channel correlation, Solar the most stationary behaviour, the
+//! exchange/stock datasets unit-root random walks, and so on (Section 5.2.3
+//! and Figure 8 of the paper).
+
+use crate::components::{correlated_channels, SeriesBuilder, TrendKind};
+use tfb_data::{Domain, Frequency, MultiSeries, SplitRatio};
+
+/// How much of the real dataset's size to generate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Maximum series length (paper lengths reach 57,600).
+    pub max_len: usize,
+    /// Maximum channel count (paper dims reach 2,000).
+    pub max_dim: usize,
+}
+
+impl Scale {
+    /// Full paper-sized data.
+    pub const FULL: Scale = Scale {
+        max_len: usize::MAX,
+        max_dim: usize::MAX,
+    };
+
+    /// The default laptop-scale reduction used by the tests and benches:
+    /// lengths capped at 3,000 points and dimensions at 8 channels. The
+    /// relative comparisons the paper draws survive this reduction; see
+    /// DESIGN.md.
+    pub const DEFAULT: Scale = Scale {
+        max_len: 3_000,
+        max_dim: 8,
+    };
+
+    /// An even smaller scale for quick tests.
+    pub const TINY: Scale = Scale {
+        max_len: 600,
+        max_dim: 4,
+    };
+}
+
+/// The generation recipe for one dataset profile.
+#[derive(Debug, Clone)]
+pub struct Recipe {
+    /// Trend of the shared latent factors.
+    pub trend: TrendKind,
+    /// (period, amplitude) seasonal harmonics of the latent factors. The
+    /// period is expressed in steps of the dataset's own frequency.
+    pub seasonal: Vec<(usize, f64)>,
+    /// Level shifts (fraction, jump) applied to the latent factors.
+    pub shifts: Vec<(f64, f64)>,
+    /// AR(1) coefficient of the latent factor noise (1.0 = random walk).
+    pub ar: f64,
+    /// Noise standard deviation of the latent factors.
+    pub noise: f64,
+    /// Cross-channel correlation strength in [0, 1].
+    pub correlation: f64,
+    /// Number of latent factors the channels mix.
+    pub factors: usize,
+    /// Idiosyncratic per-channel noise level.
+    pub channel_noise: f64,
+    /// AR(1) coefficient of the idiosyncratic channel noise (1.0 = random
+    /// walk, matching unit-root factors).
+    pub idio_ar: f64,
+    /// Optional volatility regimes (len, multiplier) for transition-heavy
+    /// datasets.
+    pub regimes: Option<(usize, f64)>,
+}
+
+/// A multivariate dataset profile mirroring one row of Table 5.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Dataset name as printed in the paper.
+    pub name: &'static str,
+    /// Application domain.
+    pub domain: Domain,
+    /// Sampling frequency.
+    pub frequency: Frequency,
+    /// Published length (time points).
+    pub paper_len: usize,
+    /// Published channel count.
+    pub paper_dim: usize,
+    /// Published chronological split.
+    pub split: SplitRatio,
+    /// Forecasting horizons the paper evaluates for this dataset.
+    pub horizons: [usize; 4],
+    /// Look-back windows the paper tests for this dataset.
+    pub lookbacks: &'static [usize],
+    /// Generation recipe.
+    pub recipe: Recipe,
+    /// Base RNG seed (fixed per profile for reproducibility).
+    pub seed: u64,
+}
+
+/// Horizons for the seven short datasets (FRED-MD, NASDAQ, NYSE, NN5, ILI,
+/// Covid-19, Wike2000).
+pub const SHORT_HORIZONS: [usize; 4] = [24, 36, 48, 60];
+/// Horizons for the long datasets.
+pub const LONG_HORIZONS: [usize; 4] = [96, 192, 336, 720];
+/// Look-backs for the short datasets.
+pub const SHORT_LOOKBACKS: &[usize] = &[36, 104];
+/// Look-backs for the long datasets.
+pub const LONG_LOOKBACKS: &[usize] = &[96, 336, 512];
+
+impl DatasetProfile {
+    /// Effective length under `scale`.
+    pub fn len(&self, scale: Scale) -> usize {
+        self.paper_len.min(scale.max_len)
+    }
+
+    /// Effective dimension under `scale`.
+    pub fn dim(&self, scale: Scale) -> usize {
+        self.paper_dim.min(scale.max_dim)
+    }
+
+    /// Generates the dataset at the given scale, deterministically.
+    pub fn generate(&self, scale: Scale) -> MultiSeries {
+        let len = self.len(scale);
+        let dim = self.dim(scale);
+        let r = &self.recipe;
+        // Latent factors share the profile's structural components.
+        let mut factors = Vec::with_capacity(r.factors);
+        for f in 0..r.factors {
+            let mut b = SeriesBuilder::new(len, self.seed.wrapping_add(f as u64))
+                .trend(r.trend)
+                .ar(r.ar)
+                .noise(r.noise);
+            for &(period, amp) in &r.seasonal {
+                // Keep the period feasible under heavy length reduction.
+                let p = period.min(len / 4).max(2);
+                b = b.seasonal(p, amp);
+            }
+            for &(frac, jump) in &r.shifts {
+                b = b.level_shift(frac, jump);
+            }
+            if let Some((rlen, rvol)) = r.regimes {
+                b = b.regimes(rlen.min(len / 4).max(1), rvol);
+            }
+            factors.push(b.build());
+        }
+        let channels = correlated_channels(
+            &factors,
+            dim,
+            r.correlation,
+            r.channel_noise,
+            r.idio_ar,
+            self.seed.wrapping_mul(7919).wrapping_add(1),
+        );
+        MultiSeries::from_channels(self.name, self.frequency, self.domain, &channels)
+            .expect("profile generation cannot produce empty data")
+    }
+}
+
+macro_rules! profile {
+    ($name:literal, $domain:ident, $freq:ident, $len:literal, $dim:literal,
+     $split:expr, $horizons:expr, $lookbacks:expr, $seed:literal, $recipe:expr) => {
+        DatasetProfile {
+            name: $name,
+            domain: Domain::$domain,
+            frequency: Frequency::$freq,
+            paper_len: $len,
+            paper_dim: $dim,
+            split: $split,
+            horizons: $horizons,
+            lookbacks: $lookbacks,
+            recipe: $recipe,
+            seed: $seed,
+        }
+    };
+}
+
+/// All 25 multivariate dataset profiles of Table 5.
+pub fn all_profiles() -> Vec<DatasetProfile> {
+    use SplitRatio as SR;
+    let traffic = |corr: f64, regimes| Recipe {
+        trend: TrendKind::None,
+        seasonal: vec![(288, 3.0), (2016, 1.0)],
+        shifts: vec![],
+        ar: 0.6,
+        noise: 0.6,
+        correlation: corr,
+        factors: 3,
+        channel_noise: 0.4,
+        idio_ar: 0.5,
+        regimes,
+    };
+    let ett = |shift: f64| Recipe {
+        trend: TrendKind::Piecewise {
+            slopes: [0.004, -0.002, 0.003],
+        },
+        seasonal: vec![(24, 1.5), (168, 0.6)],
+        shifts: vec![(0.55, shift)],
+        ar: 0.75,
+        noise: 0.7,
+        correlation: 0.55,
+        factors: 3,
+        channel_noise: 0.5,
+        idio_ar: 0.5,
+        regimes: None,
+    };
+    let walk = |shift_frac: f64, jump: f64, noise: f64| Recipe {
+        trend: TrendKind::None,
+        seasonal: vec![],
+        shifts: vec![(shift_frac, jump)],
+        ar: 1.0,
+        noise,
+        correlation: 0.55,
+        factors: 2,
+        channel_noise: noise,
+        idio_ar: 1.0,
+        regimes: None,
+    };
+    vec![
+        profile!("METR-LA", Traffic, FiveMinutes, 34272, 207, SR::R712, LONG_HORIZONS,
+            LONG_LOOKBACKS, 101, traffic(0.80, None)),
+        profile!("PEMS-BAY", Traffic, FiveMinutes, 52116, 325, SR::R712, LONG_HORIZONS,
+            LONG_LOOKBACKS, 102, traffic(0.97, None)),
+        profile!("PEMS04", Traffic, FiveMinutes, 16992, 307, SR::R622, LONG_HORIZONS,
+            LONG_LOOKBACKS, 103, traffic(0.85, None)),
+        profile!("PEMS08", Traffic, FiveMinutes, 17856, 170, SR::R622, LONG_HORIZONS,
+            LONG_LOOKBACKS, 104, traffic(0.85, Some((600, 2.5)))),
+        profile!("Traffic", Traffic, Hourly, 17544, 862, SR::R712, LONG_HORIZONS,
+            LONG_LOOKBACKS, 105, Recipe {
+                seasonal: vec![(24, 3.0), (168, 1.2)],
+                ..traffic(0.75, None)
+            }),
+        profile!("ETTh1", Electricity, Hourly, 14400, 7, SR::R622, LONG_HORIZONS,
+            LONG_LOOKBACKS, 106, ett(1.5)),
+        profile!("ETTh2", Electricity, Hourly, 14400, 7, SR::R622, LONG_HORIZONS,
+            LONG_LOOKBACKS, 107, ett(4.0)),
+        profile!("ETTm1", Electricity, FifteenMinutes, 57600, 7, SR::R622, LONG_HORIZONS,
+            LONG_LOOKBACKS, 108, Recipe {
+                seasonal: vec![(96, 1.5), (672, 0.6)],
+                ..ett(1.5)
+            }),
+        profile!("ETTm2", Electricity, FifteenMinutes, 57600, 7, SR::R622, LONG_HORIZONS,
+            LONG_LOOKBACKS, 109, Recipe {
+                seasonal: vec![(96, 1.5), (672, 0.6)],
+                ..ett(3.0)
+            }),
+        profile!("Electricity", Electricity, Hourly, 26304, 321, SR::R712, LONG_HORIZONS,
+            LONG_LOOKBACKS, 110, Recipe {
+                trend: TrendKind::None,
+                seasonal: vec![(24, 4.0), (168, 1.5)],
+                shifts: vec![],
+                ar: 0.5,
+                noise: 0.35,
+                correlation: 0.7,
+                factors: 3,
+                channel_noise: 0.35,
+                idio_ar: 0.5,
+                regimes: None,
+            }),
+        profile!("Solar", Energy, TenMinutes, 52560, 137, SR::R622, LONG_HORIZONS,
+            LONG_LOOKBACKS, 111, Recipe {
+                trend: TrendKind::None,
+                seasonal: vec![(144, 4.0)],
+                shifts: vec![],
+                ar: 0.3,
+                noise: 0.25,
+                correlation: 0.8,
+                factors: 2,
+                channel_noise: 0.25,
+                idio_ar: 0.5,
+                regimes: None,
+            }),
+        profile!("Wind", Energy, FifteenMinutes, 48673, 7, SR::R712, LONG_HORIZONS,
+            LONG_LOOKBACKS, 112, Recipe {
+                trend: TrendKind::None,
+                seasonal: vec![(96, 0.5)],
+                shifts: vec![(0.4, 1.2)],
+                ar: 0.9,
+                noise: 1.1,
+                correlation: 0.4,
+                factors: 2,
+                channel_noise: 0.9,
+                idio_ar: 0.5,
+                regimes: None,
+            }),
+        profile!("Weather", Environment, TenMinutes, 52696, 21, SR::R712, LONG_HORIZONS,
+            LONG_LOOKBACKS, 113, Recipe {
+                trend: TrendKind::None,
+                seasonal: vec![(144, 2.0), (1008, 0.8)],
+                shifts: vec![],
+                ar: 0.85,
+                noise: 0.6,
+                correlation: 0.55,
+                factors: 3,
+                channel_noise: 0.5,
+                idio_ar: 0.5,
+                regimes: None,
+            }),
+        profile!("AQShunyi", Environment, Hourly, 35064, 11, SR::R622, LONG_HORIZONS,
+            LONG_LOOKBACKS, 114, Recipe {
+                trend: TrendKind::None,
+                seasonal: vec![(24, 1.2), (720, 2.0)],
+                shifts: vec![],
+                ar: 0.8,
+                noise: 0.8,
+                correlation: 0.6,
+                factors: 3,
+                channel_noise: 0.6,
+                idio_ar: 0.5,
+                regimes: None,
+            }),
+        profile!("AQWan", Environment, Hourly, 35064, 11, SR::R622, LONG_HORIZONS,
+            LONG_LOOKBACKS, 115, Recipe {
+                trend: TrendKind::None,
+                seasonal: vec![(24, 1.1), (720, 1.8)],
+                shifts: vec![],
+                ar: 0.8,
+                noise: 0.85,
+                correlation: 0.6,
+                factors: 3,
+                channel_noise: 0.6,
+                idio_ar: 0.5,
+                regimes: None,
+            }),
+        profile!("ZafNoo", Nature, ThirtyMinutes, 19225, 11, SR::R712, LONG_HORIZONS,
+            LONG_LOOKBACKS, 116, Recipe {
+                trend: TrendKind::None,
+                seasonal: vec![(48, 1.8)],
+                shifts: vec![],
+                ar: 0.7,
+                noise: 0.7,
+                correlation: 0.5,
+                factors: 2,
+                channel_noise: 0.6,
+                idio_ar: 0.5,
+                regimes: None,
+            }),
+        profile!("CzeLan", Nature, ThirtyMinutes, 19934, 11, SR::R712, LONG_HORIZONS,
+            LONG_LOOKBACKS, 117, Recipe {
+                trend: TrendKind::None,
+                seasonal: vec![(48, 2.0)],
+                shifts: vec![],
+                ar: 0.65,
+                noise: 0.65,
+                correlation: 0.55,
+                factors: 2,
+                channel_noise: 0.55,
+                idio_ar: 0.5,
+                regimes: None,
+            }),
+        profile!("FRED-MD", Economic, Monthly, 728, 107, SR::R712, SHORT_HORIZONS,
+            SHORT_LOOKBACKS, 118, Recipe {
+                trend: TrendKind::Linear { slope: 0.08 },
+                seasonal: vec![(12, 0.3)],
+                shifts: vec![],
+                ar: 0.6,
+                noise: 0.4,
+                correlation: 0.65,
+                factors: 3,
+                channel_noise: 0.35,
+                idio_ar: 0.5,
+                regimes: None,
+            }),
+        profile!("Exchange", Economic, Daily, 7588, 8, SR::R712, LONG_HORIZONS,
+            LONG_LOOKBACKS, 119, walk(0.6, 0.8, 0.25)),
+        profile!("NASDAQ", Stock, Daily, 1244, 5, SR::R712, SHORT_HORIZONS,
+            SHORT_LOOKBACKS, 120, walk(0.5, 1.5, 0.35)),
+        profile!("NYSE", Stock, Daily, 1243, 5, SR::R712, SHORT_HORIZONS,
+            SHORT_LOOKBACKS, 121, Recipe {
+                shifts: vec![(0.35, 4.0), (0.7, -3.0)],
+                ..walk(0.5, 0.0, 0.35)
+            }),
+        profile!("NN5", Banking, Daily, 791, 111, SR::R712, SHORT_HORIZONS,
+            SHORT_LOOKBACKS, 122, Recipe {
+                trend: TrendKind::None,
+                seasonal: vec![(7, 2.5)],
+                shifts: vec![],
+                ar: 0.4,
+                noise: 0.8,
+                correlation: 0.5,
+                factors: 3,
+                channel_noise: 0.7,
+                idio_ar: 0.5,
+                regimes: None,
+            }),
+        profile!("ILI", Health, Weekly, 966, 7, SR::R712, SHORT_HORIZONS,
+            SHORT_LOOKBACKS, 123, Recipe {
+                trend: TrendKind::Linear { slope: 0.003 },
+                seasonal: vec![(52, 3.0)],
+                shifts: vec![],
+                ar: 0.7,
+                noise: 0.5,
+                correlation: 0.75,
+                factors: 2,
+                channel_noise: 0.4,
+                idio_ar: 0.5,
+                regimes: None,
+            }),
+        profile!("Covid-19", Health, Daily, 1392, 948, SR::R712, SHORT_HORIZONS,
+            SHORT_LOOKBACKS, 124, Recipe {
+                trend: TrendKind::Exponential { rate: 0.004, amp: 1.0 },
+                seasonal: vec![(7, 0.6)],
+                shifts: vec![(0.5, 3.0)],
+                ar: 0.8,
+                noise: 0.5,
+                correlation: 0.7,
+                factors: 2,
+                channel_noise: 0.4,
+                idio_ar: 0.5,
+                regimes: None,
+            }),
+        profile!("Wike2000", Web, Daily, 792, 2000, SR::R712, SHORT_HORIZONS,
+            SHORT_LOOKBACKS, 125, Recipe {
+                trend: TrendKind::None,
+                seasonal: vec![(7, 1.2)],
+                shifts: vec![(0.6, 2.0)],
+                ar: 0.5,
+                noise: 1.4,
+                correlation: 0.35,
+                factors: 4,
+                channel_noise: 1.2,
+                idio_ar: 0.5,
+                regimes: Some((150, 3.0)),
+            }),
+    ]
+}
+
+/// Looks up a profile by its paper name (case-sensitive).
+pub fn profile_by_name(name: &str) -> Option<DatasetProfile> {
+    all_profiles().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_25_profiles() {
+        assert_eq!(all_profiles().len(), 25);
+    }
+
+    #[test]
+    fn paper_shapes_match_table5() {
+        let p = profile_by_name("ETTh1").unwrap();
+        assert_eq!(p.paper_len, 14400);
+        assert_eq!(p.paper_dim, 7);
+        assert_eq!(p.split, SplitRatio::R622);
+        let p = profile_by_name("Wike2000").unwrap();
+        assert_eq!(p.paper_dim, 2000);
+        assert_eq!(p.horizons, SHORT_HORIZONS);
+        let p = profile_by_name("PEMS-BAY").unwrap();
+        assert_eq!(p.paper_len, 52116);
+        assert_eq!(p.horizons, LONG_HORIZONS);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let profiles = all_profiles();
+        let mut names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 25);
+    }
+
+    #[test]
+    fn generation_respects_scale_caps() {
+        let p = profile_by_name("Traffic").unwrap();
+        let s = p.generate(Scale::TINY);
+        assert_eq!(s.len(), 600);
+        assert_eq!(s.dim(), 4);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profile_by_name("ILI").unwrap();
+        let a = p.generate(Scale::TINY);
+        let b = p.generate(Scale::TINY);
+        assert_eq!(a.values(), b.values());
+    }
+
+    #[test]
+    fn full_scale_short_datasets_have_paper_length() {
+        let p = profile_by_name("FRED-MD").unwrap();
+        let s = p.generate(Scale::FULL);
+        assert_eq!(s.len(), 728);
+        assert_eq!(s.dim(), 107);
+    }
+
+    #[test]
+    fn profiles_cover_all_ten_domains() {
+        let profiles = all_profiles();
+        for d in Domain::ALL {
+            assert!(
+                profiles.iter().any(|p| p.domain == d),
+                "missing domain {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_values_are_finite() {
+        for p in all_profiles() {
+            let s = p.generate(Scale::TINY);
+            assert!(
+                s.values().iter().all(|v| v.is_finite()),
+                "{} produced non-finite values",
+                p.name
+            );
+        }
+    }
+}

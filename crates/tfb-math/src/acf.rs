@@ -1,0 +1,171 @@
+//! Autocorrelation and partial autocorrelation functions.
+//!
+//! These drive the ARIMA estimators, the transition characteristic's
+//! `firstzero_ac` downsampling stride (Algorithm 2 in the paper), and a
+//! number of catch22 features.
+
+use crate::stats::{mean, variance};
+
+/// Autocovariance at lag `k` (population scaling, divides by `n`).
+pub fn autocovariance(xs: &[f64], k: usize) -> f64 {
+    let n = xs.len();
+    if n == 0 || k >= n {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let mut acc = 0.0;
+    for t in 0..(n - k) {
+        acc += (xs[t] - m) * (xs[t + k] - m);
+    }
+    acc / n as f64
+}
+
+/// Autocorrelation at lag `k`. Zero-variance input yields 0.0.
+pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
+    let v = variance(xs);
+    if v < 1e-300 {
+        return 0.0;
+    }
+    autocovariance(xs, k) / v
+}
+
+/// The full autocorrelation function for lags `0..=max_lag`.
+pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    (0..=max_lag).map(|k| autocorrelation(xs, k)).collect()
+}
+
+/// Lag of the first zero crossing of the ACF (`firstzero_ac` in catch22).
+///
+/// Returns the smallest `k >= 1` with `acf(k) <= 0`; if the ACF never
+/// crosses zero within `n - 1` lags, returns `n - 1`. Returns 1 for inputs
+/// shorter than 2 points.
+pub fn first_zero_crossing(xs: &[f64]) -> usize {
+    let n = xs.len();
+    if n < 2 {
+        return 1;
+    }
+    for k in 1..n {
+        if autocorrelation(xs, k) <= 0.0 {
+            return k;
+        }
+    }
+    n - 1
+}
+
+/// Partial autocorrelation function via the Durbin–Levinson recursion,
+/// for lags `1..=max_lag`.
+pub fn pacf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let r = acf(xs, max_lag);
+    let mut out = Vec::with_capacity(max_lag);
+    if max_lag == 0 {
+        return out;
+    }
+    // phi[k][j] = phi_{k,j}; we only keep the previous row.
+    let mut prev = vec![0.0; max_lag + 1];
+    let mut cur = vec![0.0; max_lag + 1];
+    prev[1] = r[1];
+    out.push(r[1]);
+    for k in 2..=max_lag {
+        let mut num = r[k];
+        let mut den = 1.0;
+        for j in 1..k {
+            num -= prev[j] * r[k - j];
+            den -= prev[j] * r[j];
+        }
+        let phi_kk = if den.abs() < 1e-300 { 0.0 } else { num / den };
+        for j in 1..k {
+            cur[j] = prev[j] - phi_kk * prev[k - j];
+        }
+        cur[k] = phi_kk;
+        out.push(phi_kk);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    out
+}
+
+/// Differencing operator: `y[t] = x[t] - x[t-1]`, applied `d` times.
+pub fn difference(xs: &[f64], d: usize) -> Vec<f64> {
+    let mut cur = xs.to_vec();
+    for _ in 0..d {
+        if cur.len() < 2 {
+            return Vec::new();
+        }
+        cur = cur.windows(2).map(|w| w[1] - w[0]).collect();
+    }
+    cur
+}
+
+/// Seasonal differencing: `y[t] = x[t] - x[t-s]`.
+pub fn seasonal_difference(xs: &[f64], s: usize) -> Vec<f64> {
+    if s == 0 || xs.len() <= s {
+        return Vec::new();
+    }
+    (s..xs.len()).map(|t| xs[t] - xs[t - s]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acf_lag_zero_is_one() {
+        let xs = [1.0, 3.0, 2.0, 5.0, 4.0];
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acf_of_alternating_series_is_negative_at_lag_one() {
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&xs, 1) < -0.9);
+    }
+
+    #[test]
+    fn first_zero_crossing_of_sine_is_near_quarter_period() {
+        let period = 40.0;
+        let xs: Vec<f64> = (0..400)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / period).sin())
+            .collect();
+        let z = first_zero_crossing(&xs);
+        assert!((9..=11).contains(&z), "got {z}");
+    }
+
+    #[test]
+    fn first_zero_crossing_degenerate_inputs() {
+        assert_eq!(first_zero_crossing(&[]), 1);
+        assert_eq!(first_zero_crossing(&[1.0]), 1);
+    }
+
+    #[test]
+    fn pacf_of_ar1_cuts_off_after_lag_one() {
+        // AR(1) with phi = 0.8 and deterministic "noise".
+        let mut xs = vec![0.0; 2000];
+        let mut state = 0.123_f64;
+        for t in 1..2000 {
+            state = (state * 16807.0) % 1.0; // crude deterministic pseudo-noise
+            xs[t] = 0.8 * xs[t - 1] + (state - 0.5);
+        }
+        let p = pacf(&xs, 5);
+        assert!(p[0] > 0.6, "lag-1 pacf {}", p[0]);
+        for &v in &p[2..] {
+            assert!(v.abs() < 0.2, "higher-lag pacf {v}");
+        }
+    }
+
+    #[test]
+    fn difference_removes_linear_trend() {
+        let xs: Vec<f64> = (0..10).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let d = difference(&xs, 1);
+        assert!(d.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+        assert_eq!(difference(&xs, 2).len(), 8);
+        assert!(difference(&[1.0], 1).is_empty());
+    }
+
+    #[test]
+    fn seasonal_difference_removes_pure_seasonality() {
+        let xs: Vec<f64> = (0..24).map(|i| (i % 4) as f64).collect();
+        let d = seasonal_difference(&xs, 4);
+        assert!(d.iter().all(|&v| v.abs() < 1e-12));
+        assert!(seasonal_difference(&xs, 0).is_empty());
+        assert!(seasonal_difference(&[1.0, 2.0], 5).is_empty());
+    }
+}

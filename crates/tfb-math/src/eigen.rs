@@ -1,0 +1,155 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Used by [`crate::pca`] (covariance matrices are symmetric PSD) and by the
+//! correlation characteristic.
+
+use crate::matrix::Matrix;
+use crate::{MathError, Result};
+
+/// Eigenvalues and eigenvectors of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues sorted descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, matching `values` order.
+    pub vectors: Matrix,
+}
+
+/// Computes all eigenpairs of a symmetric matrix with the cyclic Jacobi
+/// rotation method. The upper triangle is trusted; asymmetry beyond
+/// rounding noise is rejected.
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    let n = a.rows();
+    if n != a.cols() {
+        return Err(MathError::DimensionMismatch {
+            context: "symmetric_eigen",
+        });
+    }
+    if n == 0 {
+        return Err(MathError::Empty);
+    }
+    let scale = a.frobenius_norm().max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (a[(i, j)] - a[(j, i)]).abs() > 1e-8 * scale {
+                return Err(MathError::InvalidArgument(
+                    "symmetric_eigen requires a symmetric matrix",
+                ));
+            }
+        }
+    }
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 100;
+    for _sweep in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-12 * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation to rows/columns p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Extract eigenvalues and sort descending.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    Ok(SymmetricEigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-9);
+        assert!((e.values[1] - 2.0).abs() < 1e-9);
+        assert!((e.values[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigen_satisfies_av_equals_lambda_v() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 1.0, 0.5, 1.0, 2.0]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        for k in 0..3 {
+            let v = e.vectors.col(k);
+            let av = a.matvec(&v).unwrap();
+            for i in 0..3 {
+                assert!(
+                    (av[i] - e.values[k] * v[i]).abs() < 1e-8,
+                    "pair {k} component {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        let eye = Matrix::identity(2);
+        for (x, y) in vtv.data().iter().zip(eye.data()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = Matrix::from_vec(3, 3, vec![5.0, 2.0, 1.0, 2.0, 4.0, 0.5, 1.0, 0.5, 3.0]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_asymmetric_input() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 1.0]).unwrap();
+        assert!(symmetric_eigen(&a).is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! Fast Fourier transforms: iterative radix-2 for power-of-two lengths and
+//! Bluestein's algorithm for arbitrary lengths, plus a periodogram helper
+//! used by seasonality detection and the FEDformer-style frequency models.
+
+use crate::{MathError, Result};
+
+/// A complex number; kept minimal on purpose (only what the FFT needs).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{i theta}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `xs.len()` must be a power of two. `inverse` selects the inverse
+/// transform (including the 1/n scaling).
+pub fn fft_pow2(xs: &mut [Complex], inverse: bool) -> Result<()> {
+    let n = xs.len();
+    if n == 0 {
+        return Err(MathError::Empty);
+    }
+    if !n.is_power_of_two() {
+        return Err(MathError::InvalidArgument("fft_pow2 length must be 2^k"));
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            xs.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in xs.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for x in xs.iter_mut() {
+            *x = *x * inv_n;
+        }
+    }
+    Ok(())
+}
+
+/// FFT of arbitrary length via Bluestein's chirp-z transform (falls back to
+/// the radix-2 path when the length is a power of two).
+pub fn fft(xs: &[Complex], inverse: bool) -> Result<Vec<Complex>> {
+    let n = xs.len();
+    if n == 0 {
+        return Err(MathError::Empty);
+    }
+    if n.is_power_of_two() {
+        let mut buf = xs.to_vec();
+        fft_pow2(&mut buf, inverse)?;
+        return Ok(buf);
+    }
+    // Bluestein: x_k * e^{+/- i pi k^2 / n} convolved with a chirp.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex::default(); m];
+    let mut b = vec![Complex::default(); m];
+    let mut chirp = vec![Complex::default(); n];
+    for k in 0..n {
+        // k^2 mod 2n avoids precision loss for large k.
+        let kk = (k as u64 * k as u64) % (2 * n as u64);
+        let theta = sign * std::f64::consts::PI * kk as f64 / n as f64;
+        chirp[k] = Complex::cis(theta);
+        a[k] = xs[k] * chirp[k];
+        b[k] = chirp[k].conj();
+        if k > 0 {
+            b[m - k] = chirp[k].conj();
+        }
+    }
+    fft_pow2(&mut a, false)?;
+    fft_pow2(&mut b, false)?;
+    for i in 0..m {
+        a[i] = a[i] * b[i];
+    }
+    fft_pow2(&mut a, true)?;
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        out.push(a[k] * chirp[k]);
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for x in out.iter_mut() {
+            *x = *x * inv_n;
+        }
+    }
+    Ok(out)
+}
+
+/// Real-input FFT convenience wrapper.
+pub fn rfft(xs: &[f64]) -> Result<Vec<Complex>> {
+    let buf: Vec<Complex> = xs.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    fft(&buf, false)
+}
+
+/// Inverse FFT returning only real parts (caller asserts the spectrum is
+/// conjugate-symmetric).
+pub fn irfft(spectrum: &[Complex]) -> Result<Vec<f64>> {
+    Ok(fft(spectrum, true)?.into_iter().map(|c| c.re).collect())
+}
+
+/// Periodogram: squared spectral magnitude at frequencies `1..n/2`,
+/// indexed from lag-1 (the DC component is dropped).
+pub fn periodogram(xs: &[f64]) -> Result<Vec<f64>> {
+    let spec = rfft(xs)?;
+    let half = xs.len() / 2;
+    Ok(spec[1..=half.max(1).min(spec.len() - 1)]
+        .iter()
+        .map(|c| c.norm_sqr())
+        .collect())
+}
+
+/// Estimates the dominant period of a series from its periodogram.
+///
+/// Returns `None` when the series is too short or has a flat spectrum.
+pub fn dominant_period(xs: &[f64]) -> Option<usize> {
+    if xs.len() < 8 {
+        return None;
+    }
+    // Detrend by removing the mean so the DC leakage does not dominate.
+    let m = crate::stats::mean(xs);
+    let centered: Vec<f64> = xs.iter().map(|v| v - m).collect();
+    let pg = periodogram(&centered).ok()?;
+    let (best_idx, best_val) = pg
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+    let total: f64 = pg.iter().sum();
+    if total < 1e-300 || *best_val / total < 0.05 {
+        return None;
+    }
+    let freq = best_idx + 1; // periodogram starts at frequency 1
+    let period = xs.len() / freq;
+    if period >= 2 && period <= xs.len() / 2 {
+        Some(period)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn fft_roundtrip_pow2() {
+        let xs: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let spec = fft(&xs, false).unwrap();
+        let back = fft(&spec, true).unwrap();
+        for (a, b) in back.iter().zip(&xs) {
+            assert_close(a.re, b.re, 1e-9);
+            assert_close(a.im, b.im, 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_arbitrary_length() {
+        let xs: Vec<Complex> = (0..13).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+        let spec = fft(&xs, false).unwrap();
+        let back = fft(&spec, true).unwrap();
+        for (a, b) in back.iter().zip(&xs) {
+            assert_close(a.re, b.re, 1e-9);
+            assert_close(a.im, b.im, 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut xs = vec![Complex::default(); 8];
+        xs[0] = Complex::new(1.0, 0.0);
+        let spec = fft(&xs, false).unwrap();
+        for c in spec {
+            assert_close(c.re, 1.0, 1e-12);
+            assert_close(c.im, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_small_case() {
+        let xs: Vec<Complex> = [1.0, 2.0, -1.0, 3.0, 0.5]
+            .iter()
+            .map(|&v| Complex::new(v, 0.0))
+            .collect();
+        let spec = fft(&xs, false).unwrap();
+        let n = xs.len();
+        for k in 0..n {
+            let mut acc = Complex::default();
+            for (t, x) in xs.iter().enumerate() {
+                let theta = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                acc = acc + *x * Complex::cis(theta);
+            }
+            assert_close(spec[k].re, acc.re, 1e-9);
+            assert_close(spec[k].im, acc.im, 1e-9);
+        }
+    }
+
+    #[test]
+    fn dominant_period_of_sine() {
+        let xs: Vec<f64> = (0..240)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 24.0).sin())
+            .collect();
+        assert_eq!(dominant_period(&xs), Some(24));
+    }
+
+    #[test]
+    fn dominant_period_of_noiseless_constant_is_none() {
+        let xs = vec![3.0; 64];
+        assert_eq!(dominant_period(&xs), None);
+    }
+
+    #[test]
+    fn fft_rejects_empty() {
+        assert!(fft(&[], false).is_err());
+    }
+}

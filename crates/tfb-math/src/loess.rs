@@ -1,0 +1,181 @@
+//! Loess (locally weighted regression) smoothing.
+//!
+//! This is the smoothing primitive underneath the STL-style decomposition in
+//! [`crate::stl`], which in turn defines the paper's trend-strength and
+//! seasonality-strength characteristics (Definitions 3 and 4).
+
+use crate::{MathError, Result};
+
+/// Tricube weight: `(1 - |u|^3)^3` for `|u| < 1`, else 0.
+#[inline]
+fn tricube(u: f64) -> f64 {
+    let a = u.abs();
+    if a >= 1.0 {
+        0.0
+    } else {
+        let t = 1.0 - a * a * a;
+        t * t * t
+    }
+}
+
+/// Smooths `ys` (observed at integer positions `0..n`) with local linear
+/// regression using a window of `span` nearest neighbours and tricube
+/// weights.
+///
+/// `degree` must be 0 (local constant) or 1 (local linear). `span` is
+/// clamped to `[2, n]`.
+pub fn loess_smooth(ys: &[f64], span: usize, degree: usize) -> Result<Vec<f64>> {
+    let n = ys.len();
+    if n == 0 {
+        return Err(MathError::Empty);
+    }
+    if degree > 1 {
+        return Err(MathError::InvalidArgument("loess degree must be 0 or 1"));
+    }
+    let span = span.clamp(2, n);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        // Window of `span` nearest indices around i.
+        let half = span / 2;
+        let (lo, hi) = if i <= half {
+            (0, span.min(n))
+        } else if i + (span - half) >= n {
+            (n - span, n)
+        } else {
+            (i - half, i - half + span)
+        };
+        let xi = i as f64;
+        // Largest distance in the window normalizes the weights.
+        let dmax = ((hi - 1) as f64 - xi).abs().max((lo as f64 - xi).abs()).max(1.0);
+        let mut sw = 0.0;
+        let mut swx = 0.0;
+        let mut swy = 0.0;
+        let mut swxx = 0.0;
+        let mut swxy = 0.0;
+        for (j, &y) in ys[lo..hi].iter().enumerate() {
+            let x = (lo + j) as f64;
+            let w = tricube((x - xi) / dmax);
+            sw += w;
+            swx += w * x;
+            swy += w * y;
+            swxx += w * x * x;
+            swxy += w * x * y;
+        }
+        if sw < 1e-300 {
+            out.push(ys[i]);
+            continue;
+        }
+        let value = if degree == 0 {
+            swy / sw
+        } else {
+            let denom = sw * swxx - swx * swx;
+            if denom.abs() < 1e-12 {
+                swy / sw
+            } else {
+                let beta = (sw * swxy - swx * swy) / denom;
+                let alpha = (swy - beta * swx) / sw;
+                alpha + beta * xi
+            }
+        };
+        out.push(value);
+    }
+    Ok(out)
+}
+
+/// Centered moving average with window `w` (odd or even, using the 2xMA
+/// convention for even windows as in classical decomposition).
+pub fn moving_average(ys: &[f64], w: usize) -> Result<Vec<f64>> {
+    let n = ys.len();
+    if n == 0 {
+        return Err(MathError::Empty);
+    }
+    if w == 0 || w > n {
+        return Err(MathError::InvalidArgument("moving_average window"));
+    }
+    let ma_once = |xs: &[f64], w: usize| -> Vec<f64> {
+        let mut out = Vec::with_capacity(xs.len().saturating_sub(w) + 1);
+        let mut acc: f64 = xs[..w].iter().sum();
+        out.push(acc / w as f64);
+        for t in w..xs.len() {
+            acc += xs[t] - xs[t - w];
+            out.push(acc / w as f64);
+        }
+        out
+    };
+    let core = if w % 2 == 1 {
+        ma_once(ys, w)
+    } else {
+        // 2xMA: average of two adjacent w-length means.
+        let first = ma_once(ys, w);
+        ma_once(&first, 2)
+    };
+    // Pad the ends by extending the boundary values so the output has the
+    // same length as the input (adequate for strength statistics).
+    let pad_front = (n - core.len()) / 2;
+    let pad_back = n - core.len() - pad_front;
+    let mut out = Vec::with_capacity(n);
+    out.extend(std::iter::repeat_n(core[0], pad_front));
+    out.extend_from_slice(&core);
+    out.extend(std::iter::repeat_n(*core.last().expect("nonempty"), pad_back));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loess_preserves_linear_data() {
+        let ys: Vec<f64> = (0..50).map(|i| 3.0 * i as f64 + 2.0).collect();
+        let sm = loess_smooth(&ys, 11, 1).unwrap();
+        for (s, y) in sm.iter().zip(&ys) {
+            assert!((s - y).abs() < 1e-8, "{s} vs {y}");
+        }
+    }
+
+    #[test]
+    fn loess_smooths_noise_towards_mean() {
+        let ys: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let sm = loess_smooth(&ys, 21, 1).unwrap();
+        let max_abs = sm.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
+        assert!(max_abs < 0.5, "max {max_abs}");
+    }
+
+    #[test]
+    fn loess_degree_zero_is_weighted_mean() {
+        let ys = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let sm = loess_smooth(&ys, 5, 0).unwrap();
+        assert!((sm[2] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loess_rejects_bad_args() {
+        assert!(loess_smooth(&[], 3, 1).is_err());
+        assert!(loess_smooth(&[1.0, 2.0], 3, 2).is_err());
+    }
+
+    #[test]
+    fn moving_average_constant_series() {
+        let ys = vec![2.0; 20];
+        let ma = moving_average(&ys, 5).unwrap();
+        assert_eq!(ma.len(), 20);
+        assert!(ma.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn moving_average_even_window_keeps_length() {
+        let ys: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let ma = moving_average(&ys, 4).unwrap();
+        assert_eq!(ma.len(), 30);
+        // Interior values of a 2x4 MA on a linear series equal the series.
+        assert!((ma[15] - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_average_rejects_bad_window() {
+        assert!(moving_average(&[1.0, 2.0], 0).is_err());
+        assert!(moving_average(&[1.0, 2.0], 3).is_err());
+    }
+}

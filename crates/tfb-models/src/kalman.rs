@@ -1,0 +1,154 @@
+//! Kalman-filter forecasting with a local linear trend state-space model.
+//!
+//! State `[level, slope]` evolves as a damped linear trend; observation is
+//! the level plus noise. The standard predict/update recursions filter the
+//! history; forecasting propagates the final state. Noise variances are
+//! chosen from a small grid by one-step predictive likelihood, which is the
+//! pragmatic equivalent of maximum-likelihood fitting for this 2-state
+//! model.
+
+use crate::{ModelError, Result, StatForecaster};
+use tfb_data::MultiSeries;
+
+/// Kalman-filter forecaster; applies per channel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KalmanForecaster;
+
+impl StatForecaster for KalmanForecaster {
+    fn name(&self) -> &'static str {
+        "KF"
+    }
+
+    fn forecast(&self, history: &MultiSeries, horizon: usize) -> Result<Vec<f64>> {
+        let dim = history.dim();
+        let mut per_channel = Vec::with_capacity(dim);
+        for c in 0..dim {
+            let xs = history.channel(c);
+            per_channel.push(forecast_channel(&xs, horizon)?);
+        }
+        Ok(crate::interleave_channels(&per_channel))
+    }
+}
+
+/// One filter pass with the given process/observation noise ratio.
+/// Returns (final level, final slope, sum of squared one-step errors).
+fn filter(xs: &[f64], q_level: f64, q_slope: f64, r: f64) -> (f64, f64, f64) {
+    // State x = [level; slope], F = [[1, 1], [0, phi]], H = [1, 0].
+    let phi = 0.98; // light damping keeps long forecasts bounded
+    let mut level = xs[0];
+    let mut slope = 0.0;
+    // Covariance P.
+    let mut p00 = 1.0;
+    let mut p01 = 0.0;
+    let mut p11 = 1.0;
+    let mut sse = 0.0;
+    for &x in &xs[1..] {
+        // Predict.
+        let pred_level = level + slope;
+        let pred_slope = phi * slope;
+        let f00 = p00 + p01 + p01 + p11 + q_level;
+        let f01 = (p01 + p11) * phi;
+        let f11 = phi * phi * p11 + q_slope;
+        // Update with observation x.
+        let innovation = x - pred_level;
+        sse += innovation * innovation;
+        let s = f00 + r;
+        let k0 = f00 / s;
+        let k1 = f01 / s;
+        level = pred_level + k0 * innovation;
+        slope = pred_slope + k1 * innovation;
+        p00 = (1.0 - k0) * f00;
+        p01 = (1.0 - k0) * f01;
+        p11 = f11 - k1 * f01;
+    }
+    (level, slope, sse)
+}
+
+fn forecast_channel(xs: &[f64], horizon: usize) -> Result<Vec<f64>> {
+    if xs.len() < 5 {
+        return Err(ModelError::InsufficientData("kalman needs >= 5 points"));
+    }
+    // Small grid over noise ratios; observation noise fixed at 1 (scale
+    // cancels in the gain).
+    let mut best = (f64::INFINITY, 0.0, 0.0);
+    for &q_level in &[1e-4, 1e-2, 1e-1, 1.0] {
+        for &q_slope in &[1e-6, 1e-4, 1e-2] {
+            let (level, slope, sse) = filter(xs, q_level, q_slope, 1.0);
+            if sse < best.0 {
+                best = (sse, level, slope);
+            }
+        }
+    }
+    let (_, level, slope) = best;
+    let phi: f64 = 0.98;
+    let mut out = Vec::with_capacity(horizon);
+    let mut l = level;
+    let mut s = slope;
+    for _ in 0..horizon {
+        l += s;
+        s *= phi;
+        out.push(l);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tfb_data::{Domain, Frequency};
+
+    fn uni(values: Vec<f64>) -> MultiSeries {
+        MultiSeries::from_channels("s", Frequency::Daily, Domain::Other, &[values]).unwrap()
+    }
+
+    #[test]
+    fn tracks_noisy_level() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..200).map(|_| 10.0 + rng.gen_range(-0.5..0.5)).collect();
+        let f = KalmanForecaster.forecast(&uni(xs), 5).unwrap();
+        for v in f {
+            assert!((v - 10.0).abs() < 1.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn follows_linear_trend() {
+        let xs: Vec<f64> = (0..150).map(|t| 2.0 * t as f64).collect();
+        let f = KalmanForecaster.forecast(&uni(xs), 5).unwrap();
+        for (h, v) in f.iter().enumerate() {
+            let expect = 2.0 * (150 + h) as f64;
+            assert!((v - expect).abs() < 12.0, "h={h}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn adapts_to_level_shift() {
+        let mut xs = vec![0.0; 100];
+        xs.extend(vec![20.0; 100]);
+        let f = KalmanForecaster.forecast(&uni(xs), 3).unwrap();
+        for v in f {
+            assert!((v - 20.0).abs() < 3.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn too_short_errors() {
+        assert!(KalmanForecaster.forecast(&uni(vec![1.0, 2.0]), 2).is_err());
+    }
+
+    #[test]
+    fn multichannel_shape() {
+        let s = MultiSeries::from_channels(
+            "m",
+            Frequency::Daily,
+            Domain::Other,
+            &[vec![1.0; 50], (0..50).map(|t| t as f64).collect()],
+        )
+        .unwrap();
+        let f = KalmanForecaster.forecast(&s, 4).unwrap();
+        assert_eq!(f.len(), 8);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

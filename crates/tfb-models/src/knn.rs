@@ -1,0 +1,183 @@
+//! k-nearest-neighbour forecasting: find the `k` historical look-back
+//! windows closest (Euclidean, after per-window centering) to the query
+//! window and average their continuations. A classic pattern-matching
+//! baseline that is surprisingly strong on strongly periodic data.
+
+use crate::tabular::pooled_lag_samples;
+use crate::{ModelError, Result, WindowForecaster};
+use tfb_data::MultiSeries;
+
+/// KNN window forecaster.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    lookback: usize,
+    horizon: usize,
+    /// Number of neighbours.
+    pub k: usize,
+    /// Center windows before matching (makes matching level-invariant and
+    /// adds the query level back to the forecast).
+    pub center: bool,
+    /// Training sample budget.
+    pub max_samples: usize,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<Vec<f64>>,
+}
+
+impl Knn {
+    /// Creates an untrained KNN model.
+    pub fn new(lookback: usize, horizon: usize) -> Knn {
+        Knn {
+            lookback,
+            horizon,
+            k: 5,
+            center: true,
+            max_samples: 10_000,
+            xs: Vec::new(),
+            ys: Vec::new(),
+        }
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}
+
+impl WindowForecaster for Knn {
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+
+    fn lookback(&self) -> usize {
+        self.lookback
+    }
+
+    fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    fn train(&mut self, train: &MultiSeries) -> Result<()> {
+        let (xs, ys) = pooled_lag_samples(train, self.lookback, self.horizon, self.max_samples)?;
+        self.xs = xs;
+        self.ys = ys;
+        Ok(())
+    }
+
+    fn predict(&self, window: &[f64], dim: usize) -> Result<Vec<f64>> {
+        if self.xs.is_empty() {
+            return Err(ModelError::NotTrained);
+        }
+        let channels = crate::window_channels(window, dim);
+        let mut per_channel = Vec::with_capacity(dim);
+        for ch in &channels {
+            if ch.len() != self.lookback {
+                return Err(ModelError::InvalidParameter("window length != lookback"));
+            }
+            let q_mean = if self.center { mean(ch) } else { 0.0 };
+            // Distances to every stored window.
+            let mut dists: Vec<(f64, usize)> = self
+                .xs
+                .iter()
+                .enumerate()
+                .map(|(i, cand)| {
+                    let c_mean = if self.center { mean(cand) } else { 0.0 };
+                    let d: f64 = ch
+                        .iter()
+                        .zip(cand)
+                        .map(|(a, b)| {
+                            let e = (a - q_mean) - (b - c_mean);
+                            e * e
+                        })
+                        .sum();
+                    (d, i)
+                })
+                .collect();
+            let k = self.k.min(dists.len());
+            dists.select_nth_unstable_by(k - 1, |a, b| {
+                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut f = vec![0.0; self.horizon];
+            for &(_, i) in &dists[..k] {
+                let c_mean = if self.center { mean(&self.xs[i]) } else { 0.0 };
+                for (h, v) in f.iter_mut().enumerate() {
+                    *v += self.ys[i][h] - c_mean;
+                }
+            }
+            for v in f.iter_mut() {
+                *v = *v / k as f64 + q_mean;
+            }
+            per_channel.push(f);
+        }
+        Ok(crate::interleave_channels(&per_channel))
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.xs.len() * (self.lookback + self.horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfb_data::{Domain, Frequency};
+
+    fn series(values: Vec<f64>) -> MultiSeries {
+        MultiSeries::from_channels("s", Frequency::Daily, Domain::Other, &[values]).unwrap()
+    }
+
+    #[test]
+    fn knn_continues_a_periodic_pattern() {
+        let xs: Vec<f64> = (0..300)
+            .map(|t| (std::f64::consts::TAU * t as f64 / 10.0).sin())
+            .collect();
+        let mut m = Knn::new(20, 5);
+        m.train(&series(xs.clone())).unwrap();
+        let window = xs[300 - 20..].to_vec();
+        let f = m.predict(&window, 1).unwrap();
+        for (h, v) in f.iter().enumerate() {
+            let expect = (std::f64::consts::TAU * (300 + h) as f64 / 10.0).sin();
+            assert!((v - expect).abs() < 0.15, "h={h}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn centering_transfers_to_new_levels() {
+        // Train at level ~0, query at level 100: centered KNN still works.
+        let xs: Vec<f64> = (0..300)
+            .map(|t| (std::f64::consts::TAU * t as f64 / 10.0).sin())
+            .collect();
+        let mut m = Knn::new(20, 3);
+        m.train(&series(xs.clone())).unwrap();
+        let window: Vec<f64> = xs[300 - 20..].iter().map(|v| v + 100.0).collect();
+        let f = m.predict(&window, 1).unwrap();
+        for (h, v) in f.iter().enumerate() {
+            let expect = 100.0 + (std::f64::consts::TAU * (300 + h) as f64 / 10.0).sin();
+            assert!((v - expect).abs() < 0.3, "h={h}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn k_one_returns_exact_match_continuation() {
+        let xs: Vec<f64> = (0..60).map(|t| t as f64).collect();
+        let mut m = Knn::new(5, 2);
+        m.k = 1;
+        m.center = false;
+        m.train(&series(xs)).unwrap();
+        // Query an exact training window: 10..15 continues with 15, 16.
+        let f = m.predict(&[10.0, 11.0, 12.0, 13.0, 14.0], 1).unwrap();
+        assert_eq!(f, vec![15.0, 16.0]);
+    }
+
+    #[test]
+    fn untrained_errors() {
+        let m = Knn::new(4, 2);
+        assert!(matches!(m.predict(&[0.0; 4], 1), Err(ModelError::NotTrained)));
+    }
+
+    #[test]
+    fn wrong_window_length_errors() {
+        let xs: Vec<f64> = (0..50).map(|t| t as f64).collect();
+        let mut m = Knn::new(5, 2);
+        m.train(&series(xs)).unwrap();
+        assert!(m.predict(&[1.0; 4], 1).is_err());
+    }
+}

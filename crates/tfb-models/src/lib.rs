@@ -1,0 +1,162 @@
+//! The TFB method layer: statistical-learning and machine-learning
+//! forecasters, plus the two forecaster traits the whole benchmark runs on.
+//!
+//! TFB's pipeline treats methods by their *training economics*
+//! (Section 4.3.1 of the paper):
+//!
+//! * [`StatForecaster`] — statistical methods (ARIMA, ETS, Theta, VAR,
+//!   Kalman filter, the naive family). Cheap to fit, so rolling evaluation
+//!   *refits them on the full history of every iteration*.
+//! * [`WindowForecaster`] — machine-learning and deep-learning methods.
+//!   Expensive to fit, so they are trained once on the training split and
+//!   only re-*infer* on the trailing look-back window of each rolling
+//!   iteration.
+//!
+//! Both direct multi-step (DMS) and iterative multi-step (IMS) forecasting
+//! are supported ([`Strategy`]).
+
+// Dense numeric kernels index by position on purpose: the index
+// arithmetic *is* the algorithm (GEMM, filters, recursions), and iterator
+// rewrites obscure it.
+#![allow(clippy::needless_range_loop)]
+pub mod arima;
+pub mod ets;
+pub mod gbdt;
+pub mod kalman;
+pub mod knn;
+pub mod linear;
+pub mod naive;
+pub mod sarima;
+pub mod forest;
+pub mod tabular;
+pub mod theta;
+pub mod var;
+
+pub use arima::Arima;
+pub use ets::{Ets, EtsKind};
+pub use forest::RandomForest;
+pub use gbdt::GradientBoosting;
+pub use kalman::KalmanForecaster;
+pub use knn::Knn;
+pub use linear::LinearRegressionForecaster;
+pub use naive::{Drift, MeanForecaster, Naive, SeasonalNaive};
+pub use sarima::Sarima;
+pub use tabular::Strategy;
+pub use theta::Theta;
+pub use var::Var;
+
+use tfb_data::MultiSeries;
+
+/// Errors produced by forecasters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The history is too short for the model's requirements.
+    InsufficientData(&'static str),
+    /// The model was asked to predict before being trained.
+    NotTrained,
+    /// Invalid hyper-parameter.
+    InvalidParameter(&'static str),
+    /// Numerical failure during fitting.
+    Numerical(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::InsufficientData(what) => write!(f, "insufficient data: {what}"),
+            ModelError::NotTrained => write!(f, "model has not been trained"),
+            ModelError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            ModelError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Result alias for the method layer.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// A statistical forecaster: refit from scratch on each history.
+///
+/// `forecast` returns a time-major block of `horizon * history.dim()`
+/// values.
+pub trait StatForecaster: Send + Sync {
+    /// Method name as reported in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Fits on `history` and forecasts the next `horizon` time points.
+    fn forecast(&self, history: &MultiSeries, horizon: usize) -> Result<Vec<f64>>;
+}
+
+/// A window-based forecaster: train once, then map a look-back window to a
+/// horizon block.
+pub trait WindowForecaster: Send + Sync {
+    /// Method name as reported in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Look-back window length `H`.
+    fn lookback(&self) -> usize;
+
+    /// Forecast horizon `F`.
+    fn horizon(&self) -> usize;
+
+    /// Trains on the training split (validation handling is up to the
+    /// model; the pipeline passes the raw training segment).
+    fn train(&mut self, train: &MultiSeries) -> Result<()>;
+
+    /// Predicts the next `horizon()` steps from a time-major look-back
+    /// block of `lookback() * dim` values. Returns `horizon() * dim`
+    /// values, time-major.
+    fn predict(&self, window: &[f64], dim: usize) -> Result<Vec<f64>>;
+
+    /// Number of trainable parameters (for the Figure 11 study); tree
+    /// ensembles report node counts.
+    fn parameter_count(&self) -> usize {
+        0
+    }
+}
+
+/// Splits a time-major window into per-channel vectors.
+pub fn window_channels(window: &[f64], dim: usize) -> Vec<Vec<f64>> {
+    assert!(dim > 0 && window.len().is_multiple_of(dim), "bad window shape");
+    let steps = window.len() / dim;
+    (0..dim)
+        .map(|c| (0..steps).map(|t| window[t * dim + c]).collect())
+        .collect()
+}
+
+/// Interleaves per-channel forecasts back into a time-major block.
+pub fn interleave_channels(channels: &[Vec<f64>]) -> Vec<f64> {
+    if channels.is_empty() {
+        return Vec::new();
+    }
+    let steps = channels[0].len();
+    debug_assert!(channels.iter().all(|c| c.len() == steps));
+    let mut out = Vec::with_capacity(steps * channels.len());
+    for t in 0..steps {
+        for ch in channels {
+            out.push(ch[t]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_channel_roundtrip() {
+        let window = vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0];
+        let chans = window_channels(&window, 2);
+        assert_eq!(chans[0], vec![1.0, 2.0, 3.0]);
+        assert_eq!(chans[1], vec![10.0, 20.0, 30.0]);
+        assert_eq!(interleave_channels(&chans), window);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad window shape")]
+    fn window_channels_rejects_ragged() {
+        window_channels(&[1.0, 2.0, 3.0], 2);
+    }
+}

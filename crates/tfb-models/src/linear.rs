@@ -1,0 +1,190 @@
+//! LinearRegression (LR): ridge-regularized autoregression on look-back
+//! windows with direct multi-output forecasting — the simple machine
+//! learning baseline the paper shows beating deep models on Wind (Table 1).
+//!
+//! One shared coefficient matrix maps a `lookback`-long window to all
+//! `horizon` outputs, fitted by solving the regularized normal equations
+//! once with `horizon` right-hand sides. Channels are pooled for training
+//! and predicted independently.
+
+use crate::tabular::pooled_lag_samples;
+use crate::{ModelError, Result, WindowForecaster};
+use tfb_data::MultiSeries;
+use tfb_math::matrix::Matrix;
+
+/// Ridge autoregression with direct multi-step output.
+#[derive(Debug, Clone)]
+pub struct LinearRegressionForecaster {
+    lookback: usize,
+    horizon: usize,
+    /// Ridge penalty.
+    pub lambda: f64,
+    /// Training sample budget (windows pooled across channels).
+    pub max_samples: usize,
+    /// Fitted coefficients: `(lookback + 1) x horizon`, intercept first.
+    coefs: Option<Matrix>,
+}
+
+impl LinearRegressionForecaster {
+    /// Creates an untrained model.
+    pub fn new(lookback: usize, horizon: usize) -> Self {
+        LinearRegressionForecaster {
+            lookback,
+            horizon,
+            lambda: 1e-3,
+            max_samples: 20_000,
+            coefs: None,
+        }
+    }
+}
+
+impl WindowForecaster for LinearRegressionForecaster {
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+
+    fn lookback(&self) -> usize {
+        self.lookback
+    }
+
+    fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    fn train(&mut self, train: &MultiSeries) -> Result<()> {
+        let (xs, ys) = pooled_lag_samples(train, self.lookback, self.horizon, self.max_samples)?;
+        let rows = xs.len();
+        let p = self.lookback + 1;
+        // Normal equations with intercept column.
+        let mut design = Matrix::zeros(rows, p);
+        for (r, f) in xs.iter().enumerate() {
+            design[(r, 0)] = 1.0;
+            for (j, &v) in f.iter().enumerate() {
+                design[(r, j + 1)] = v;
+            }
+        }
+        let xt = design.transpose();
+        let mut xtx = xt
+            .matmul(&design)
+            .map_err(|e| ModelError::Numerical(e.to_string()))?;
+        for i in 1..p {
+            xtx[(i, i)] += self.lambda.max(1e-10) * rows as f64;
+        }
+        let mut xty = Matrix::zeros(p, self.horizon);
+        for (r, t) in ys.iter().enumerate() {
+            for (h, &v) in t.iter().enumerate() {
+                for j in 0..p {
+                    xty[(j, h)] += design[(r, j)] * v;
+                }
+            }
+        }
+        let coefs = xtx
+            .solve_matrix(&xty)
+            .map_err(|_| ModelError::Numerical("singular LR design".into()))?;
+        self.coefs = Some(coefs);
+        Ok(())
+    }
+
+    fn predict(&self, window: &[f64], dim: usize) -> Result<Vec<f64>> {
+        let coefs = self.coefs.as_ref().ok_or(ModelError::NotTrained)?;
+        let channels = crate::window_channels(window, dim);
+        let mut per_channel = Vec::with_capacity(dim);
+        for ch in &channels {
+            if ch.len() != self.lookback {
+                return Err(ModelError::InvalidParameter("window length != lookback"));
+            }
+            let mut f = Vec::with_capacity(self.horizon);
+            for h in 0..self.horizon {
+                let mut acc = coefs[(0, h)];
+                for (j, &v) in ch.iter().enumerate() {
+                    acc += coefs[(j + 1, h)] * v;
+                }
+                f.push(acc);
+            }
+            per_channel.push(f);
+        }
+        Ok(crate::interleave_channels(&per_channel))
+    }
+
+    fn parameter_count(&self) -> usize {
+        (self.lookback + 1) * self.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfb_data::{Domain, Frequency};
+
+    fn series(chans: &[Vec<f64>]) -> MultiSeries {
+        MultiSeries::from_channels("s", Frequency::Daily, Domain::Other, chans).unwrap()
+    }
+
+    #[test]
+    fn learns_linear_recurrence() {
+        // x_t = 2 x_{t-1} - x_{t-2} continues any line exactly.
+        let xs: Vec<f64> = (0..200).map(|t| 3.0 * t as f64 + 1.0).collect();
+        let mut m = LinearRegressionForecaster::new(4, 3);
+        m.train(&series(&[xs])).unwrap();
+        let window = vec![597.0 - 9.0, 597.0 - 6.0, 597.0 - 3.0, 597.0];
+        let f = m.predict(&window, 1).unwrap();
+        for (h, v) in f.iter().enumerate() {
+            let expect = 597.0 + 3.0 * (h + 1) as f64;
+            assert!((v - expect).abs() < 0.5, "h={h}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn learns_seasonal_pattern() {
+        let xs: Vec<f64> = (0..300)
+            .map(|t| (std::f64::consts::TAU * t as f64 / 12.0).sin())
+            .collect();
+        let mut m = LinearRegressionForecaster::new(24, 6);
+        m.train(&series(std::slice::from_ref(&xs))).unwrap();
+        let window = xs[300 - 24..].to_vec();
+        let f = m.predict(&window, 1).unwrap();
+        for (h, v) in f.iter().enumerate() {
+            let expect = (std::f64::consts::TAU * (300 + h) as f64 / 12.0).sin();
+            assert!((v - expect).abs() < 0.1, "h={h}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn predict_before_train_errors() {
+        let m = LinearRegressionForecaster::new(4, 2);
+        assert!(matches!(m.predict(&[1.0; 4], 1), Err(ModelError::NotTrained)));
+    }
+
+    #[test]
+    fn wrong_window_length_errors() {
+        let xs: Vec<f64> = (0..100).map(|t| t as f64).collect();
+        let mut m = LinearRegressionForecaster::new(4, 2);
+        m.train(&series(&[xs])).unwrap();
+        assert!(m.predict(&[1.0; 3], 1).is_err());
+    }
+
+    #[test]
+    fn multichannel_prediction_is_time_major() {
+        let xs: Vec<f64> = (0..100).map(|t| t as f64).collect();
+        let ys: Vec<f64> = (0..100).map(|t| 2.0 * t as f64).collect();
+        let mut m = LinearRegressionForecaster::new(4, 2);
+        m.train(&series(&[xs, ys])).unwrap();
+        // Interleaved window for both channels.
+        let window = vec![
+            96.0, 192.0, //
+            97.0, 194.0, //
+            98.0, 196.0, //
+            99.0, 198.0,
+        ];
+        let f = m.predict(&window, 2).unwrap();
+        assert_eq!(f.len(), 4);
+        assert!((f[0] - 100.0).abs() < 1.0, "{}", f[0]);
+        assert!((f[1] - 200.0).abs() < 2.0, "{}", f[1]);
+    }
+
+    #[test]
+    fn parameter_count_matches_shape() {
+        let m = LinearRegressionForecaster::new(10, 5);
+        assert_eq!(m.parameter_count(), 55);
+    }
+}

@@ -1,0 +1,189 @@
+//! The naive forecaster family: last value, seasonal last value, drift and
+//! historical mean. These are the floor every serious method must beat and
+//! the denominators of scale-free metrics like MASE.
+
+use crate::{ModelError, Result, StatForecaster};
+use tfb_data::MultiSeries;
+
+/// Repeats the last observed value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Naive;
+
+impl StatForecaster for Naive {
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+
+    fn forecast(&self, history: &MultiSeries, horizon: usize) -> Result<Vec<f64>> {
+        let n = history.len();
+        if n == 0 {
+            return Err(ModelError::InsufficientData("naive needs >= 1 point"));
+        }
+        let last = history.row(n - 1).to_vec();
+        Ok(std::iter::repeat_n(last, horizon)
+            .flatten()
+            .collect())
+    }
+}
+
+/// Repeats the value one season ago (falls back to [`Naive`] when the
+/// history is shorter than one season).
+#[derive(Debug, Clone, Copy)]
+pub struct SeasonalNaive {
+    /// Seasonal period; defaults to the series frequency's natural period
+    /// when constructed via [`SeasonalNaive::auto`].
+    pub period: usize,
+}
+
+impl SeasonalNaive {
+    /// Uses the frequency's natural period at forecast time.
+    pub fn auto() -> SeasonalNaive {
+        SeasonalNaive { period: 0 }
+    }
+}
+
+impl StatForecaster for SeasonalNaive {
+    fn name(&self) -> &'static str {
+        "SeasonalNaive"
+    }
+
+    fn forecast(&self, history: &MultiSeries, horizon: usize) -> Result<Vec<f64>> {
+        let n = history.len();
+        if n == 0 {
+            return Err(ModelError::InsufficientData("seasonal naive needs data"));
+        }
+        let period = if self.period == 0 {
+            history.frequency.default_period()
+        } else {
+            self.period
+        };
+        if period < 2 || n < period {
+            return Naive.forecast(history, horizon);
+        }
+        let dim = history.dim();
+        let mut out = Vec::with_capacity(horizon * dim);
+        for h in 0..horizon {
+            // Index of the same phase in the last full season.
+            let t = n - period + (h % period);
+            out.extend_from_slice(history.row(t));
+        }
+        Ok(out)
+    }
+}
+
+/// Linear extrapolation between the first and last observations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Drift;
+
+impl StatForecaster for Drift {
+    fn name(&self) -> &'static str {
+        "Drift"
+    }
+
+    fn forecast(&self, history: &MultiSeries, horizon: usize) -> Result<Vec<f64>> {
+        let n = history.len();
+        if n < 2 {
+            return Err(ModelError::InsufficientData("drift needs >= 2 points"));
+        }
+        let dim = history.dim();
+        let first = history.row(0);
+        let last = history.row(n - 1);
+        let mut out = Vec::with_capacity(horizon * dim);
+        for h in 1..=horizon {
+            for c in 0..dim {
+                let slope = (last[c] - first[c]) / (n - 1) as f64;
+                out.push(last[c] + slope * h as f64);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Repeats the historical mean.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanForecaster;
+
+impl StatForecaster for MeanForecaster {
+    fn name(&self) -> &'static str {
+        "Mean"
+    }
+
+    fn forecast(&self, history: &MultiSeries, horizon: usize) -> Result<Vec<f64>> {
+        let n = history.len();
+        if n == 0 {
+            return Err(ModelError::InsufficientData("mean needs data"));
+        }
+        let dim = history.dim();
+        let mut means = vec![0.0; dim];
+        for t in 0..n {
+            for (c, m) in means.iter_mut().enumerate() {
+                *m += history.at(t, c);
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= n as f64;
+        }
+        Ok(std::iter::repeat_n(means, horizon).flatten().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfb_data::{Domain, Frequency};
+
+    fn series(chans: &[Vec<f64>], freq: Frequency) -> MultiSeries {
+        MultiSeries::from_channels("s", freq, Domain::Other, chans).unwrap()
+    }
+
+    #[test]
+    fn naive_repeats_last_row() {
+        let s = series(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]], Frequency::Daily);
+        let f = Naive.forecast(&s, 2).unwrap();
+        assert_eq!(f, vec![3.0, 6.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_last_season() {
+        let s = series(&[vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]], Frequency::Daily);
+        let f = SeasonalNaive { period: 3 }.forecast(&s, 4).unwrap();
+        assert_eq!(f, vec![4.0, 5.0, 6.0, 4.0]);
+    }
+
+    #[test]
+    fn seasonal_naive_falls_back_when_short() {
+        let s = series(&[vec![1.0, 2.0]], Frequency::Daily);
+        let f = SeasonalNaive { period: 5 }.forecast(&s, 2).unwrap();
+        assert_eq!(f, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn seasonal_naive_auto_uses_frequency_period() {
+        let values: Vec<f64> = (0..48).map(|t| (t % 24) as f64).collect();
+        let s = series(&[values], Frequency::Hourly);
+        let f = SeasonalNaive::auto().forecast(&s, 24).unwrap();
+        let expect: Vec<f64> = (0..24).map(|t| t as f64).collect();
+        assert_eq!(f, expect);
+    }
+
+    #[test]
+    fn drift_extends_the_line() {
+        let s = series(&[vec![0.0, 1.0, 2.0, 3.0]], Frequency::Daily);
+        let f = Drift.forecast(&s, 3).unwrap();
+        assert_eq!(f, vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn mean_repeats_average() {
+        let s = series(&[vec![2.0, 4.0, 6.0]], Frequency::Daily);
+        let f = MeanForecaster.forecast(&s, 2).unwrap();
+        assert_eq!(f, vec![4.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_history_errors() {
+        // MultiSeries cannot be empty, so test the >= 2 constraint.
+        let s = series(&[vec![1.0]], Frequency::Daily);
+        assert!(Drift.forecast(&s, 1).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Seasonal ARIMA: SARIMA(p, d, q)(P, D, Q)_s via the same Hannan–Rissanen
+//! two-stage estimation as [`crate::arima`], extended with seasonal
+//! differencing and seasonal AR/MA lags at multiples of the period `s`.
+//!
+//! The paper's statistical tier evaluates ARIMA on strongly seasonal
+//! univariate groups (Table 6); plain ARIMA cannot carry a 24- or 52-step
+//! cycle with `p, q ≤ 2`, so the seasonal extension is what makes the
+//! statistical column competitive there.
+
+use crate::{ModelError, Result, StatForecaster};
+use tfb_data::MultiSeries;
+use tfb_math::acf::seasonal_difference;
+use tfb_math::matrix::Matrix;
+use tfb_math::regression::ols;
+
+/// SARIMA forecaster. Seasonal period 0 lets the series frequency decide.
+#[derive(Debug, Clone, Copy)]
+pub struct Sarima {
+    /// Non-seasonal AR order.
+    pub p: usize,
+    /// Non-seasonal differencing.
+    pub d: usize,
+    /// Non-seasonal MA order.
+    pub q: usize,
+    /// Seasonal AR order.
+    pub sp: usize,
+    /// Seasonal differencing.
+    pub sd: usize,
+    /// Seasonal MA order.
+    pub sq: usize,
+    /// Seasonal period (0 = frequency default).
+    pub period: usize,
+}
+
+impl Sarima {
+    /// The airline-model configuration (0,1,1)(0,1,1)_s — the classic
+    /// default for seasonal data.
+    pub fn airline(period: usize) -> Sarima {
+        Sarima {
+            p: 0,
+            d: 1,
+            q: 1,
+            sp: 0,
+            sd: 1,
+            sq: 1,
+            period,
+        }
+    }
+
+    /// Explicit orders.
+    #[allow(clippy::too_many_arguments)] // mirrors the standard notation
+    pub fn new(p: usize, d: usize, q: usize, sp: usize, sd: usize, sq: usize, period: usize) -> Sarima {
+        Sarima { p, d, q, sp, sd, sq, period }
+    }
+}
+
+impl StatForecaster for Sarima {
+    fn name(&self) -> &'static str {
+        "SARIMA"
+    }
+
+    fn forecast(&self, history: &MultiSeries, horizon: usize) -> Result<Vec<f64>> {
+        let period = if self.period == 0 {
+            history.frequency.default_period()
+        } else {
+            self.period
+        };
+        let dim = history.dim();
+        let mut per_channel = Vec::with_capacity(dim);
+        for c in 0..dim {
+            let xs = history.channel(c);
+            per_channel.push(forecast_channel(&xs, self, period, horizon)?);
+        }
+        Ok(crate::interleave_channels(&per_channel))
+    }
+}
+
+fn forecast_channel(xs: &[f64], spec: &Sarima, period: usize, horizon: usize) -> Result<Vec<f64>> {
+    // Fall back to non-seasonal behaviour when the period is degenerate or
+    // the history cannot support seasonal differencing.
+    let seasonal_ok = period >= 2 && xs.len() > (spec.sd + 2) * period + 16;
+    let (sd, sp, sq, s) = if seasonal_ok {
+        (spec.sd, spec.sp, spec.sq, period)
+    } else {
+        (0, 0, 0, 1)
+    };
+    // 1. Differencing: d regular + sd seasonal, remembering tails to invert.
+    let mut w = xs.to_vec();
+    let mut regular_tails = Vec::with_capacity(spec.d);
+    for _ in 0..spec.d {
+        if w.len() < 2 {
+            return Err(ModelError::InsufficientData("sarima differencing"));
+        }
+        regular_tails.push(*w.last().expect("nonempty"));
+        w = w.windows(2).map(|v| v[1] - v[0]).collect();
+    }
+    let mut seasonal_tails: Vec<Vec<f64>> = Vec::with_capacity(sd);
+    for _ in 0..sd {
+        if w.len() <= s {
+            return Err(ModelError::InsufficientData("sarima seasonal differencing"));
+        }
+        seasonal_tails.push(w[w.len() - s..].to_vec());
+        w = seasonal_difference(&w, s);
+    }
+    let n = w.len();
+    let max_lag = spec.p.max(spec.q).max(sp.max(sq) * s);
+    if n < max_lag + spec.p + spec.q + sp + sq + 12 {
+        return Err(ModelError::InsufficientData("sarima history too short"));
+    }
+    // 2. Stage 1: long AR for innovations.
+    let m = (max_lag + 4).min(n / 3).max(1);
+    let rows1 = n - m;
+    let mut x1 = Matrix::zeros(rows1, m);
+    let mut y1 = Vec::with_capacity(rows1);
+    for r in 0..rows1 {
+        let t = r + m;
+        y1.push(w[t]);
+        for i in 0..m {
+            x1[(r, i)] = w[t - 1 - i];
+        }
+    }
+    let long_ar = ols(&x1, &y1, true).map_err(|e| ModelError::Numerical(e.to_string()))?;
+    let mut eps = vec![0.0; m];
+    eps.extend_from_slice(&long_ar.residuals);
+    // 3. Stage 2: regress on regular + seasonal AR lags and MA terms.
+    let start = max_lag;
+    let rows = n - start;
+    let cols = spec.p + spec.q + sp + sq;
+    if rows < cols + 3 {
+        return Err(ModelError::InsufficientData("sarima stage-2 underdetermined"));
+    }
+    let (intercept, coefs) = if cols == 0 {
+        (w.iter().sum::<f64>() / n as f64, Vec::new())
+    } else {
+        let mut x = Matrix::zeros(rows, cols);
+        let mut y = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let t = r + start;
+            y.push(w[t]);
+            let mut col = 0;
+            for i in 1..=spec.p {
+                x[(r, col)] = w[t - i];
+                col += 1;
+            }
+            for i in 1..=sp {
+                x[(r, col)] = w[t - i * s];
+                col += 1;
+            }
+            for j in 1..=spec.q {
+                x[(r, col)] = eps[t - j];
+                col += 1;
+            }
+            for j in 1..=sq {
+                x[(r, col)] = eps[t - j * s];
+                col += 1;
+            }
+        }
+        let fit = ols(&x, &y, true).map_err(|e| ModelError::Numerical(e.to_string()))?;
+        (fit.coefficients[0], fit.coefficients[1..].to_vec())
+    };
+    // 4. Iterate the recursion.
+    let mut w_ext = w.clone();
+    let mut eps_ext = eps;
+    for _ in 0..horizon {
+        let t = w_ext.len();
+        let mut v = intercept;
+        let mut col = 0;
+        for i in 1..=spec.p {
+            v += coefs[col] * w_ext[t - i];
+            col += 1;
+        }
+        for i in 1..=sp {
+            v += coefs[col] * w_ext[t - i * s];
+            col += 1;
+        }
+        for j in 1..=spec.q {
+            v += coefs[col] * eps_ext[t - j];
+            col += 1;
+        }
+        for j in 1..=sq {
+            v += coefs[col] * eps_ext[t - j * s];
+            col += 1;
+        }
+        if !v.is_finite() {
+            v = intercept;
+        }
+        w_ext.push(v);
+        eps_ext.push(0.0);
+    }
+    let mut forecast = w_ext[n..].to_vec();
+    // 5. Invert seasonal then regular differencing.
+    for tail in seasonal_tails.iter().rev() {
+        let mut level = tail.clone();
+        for (h, f) in forecast.iter_mut().enumerate() {
+            let prev = level[h % s];
+            let value = prev + *f;
+            *f = value;
+            level[h % s] = value;
+        }
+    }
+    for &tail in regular_tails.iter().rev() {
+        let mut level = tail;
+        for f in forecast.iter_mut() {
+            level += *f;
+            *f = level;
+        }
+    }
+    Ok(forecast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfb_data::{Domain, Frequency};
+
+    fn uni(values: Vec<f64>, freq: Frequency) -> MultiSeries {
+        MultiSeries::from_channels("s", freq, Domain::Other, &[values]).unwrap()
+    }
+
+    fn seasonal_trend(n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                0.1 * t as f64
+                    + 5.0 * (std::f64::consts::TAU * t as f64 / period as f64).sin()
+                    + 0.05 * ((t as f64 * 12.9898).sin() * 43758.5453).fract()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn airline_model_continues_seasonal_trend() {
+        let xs = seasonal_trend(240, 12);
+        let f = Sarima::airline(12)
+            .forecast(&uni(xs, Frequency::Monthly), 24)
+            .unwrap();
+        for (h, v) in f.iter().enumerate() {
+            let t = 240 + h;
+            let expect = 0.1 * t as f64
+                + 5.0 * (std::f64::consts::TAU * t as f64 / 12.0).sin();
+            assert!((v - expect).abs() < 1.0, "h={h}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn beats_nonseasonal_arima_on_seasonal_data() {
+        let xs = seasonal_trend(300, 24);
+        let train = xs[..276].to_vec();
+        let truth = &xs[276..];
+        let seasonal = Sarima::airline(24)
+            .forecast(&uni(train.clone(), Frequency::Hourly), 24)
+            .unwrap();
+        let plain = crate::Arima::new(2, 1, 1)
+            .forecast(&uni(train, Frequency::Hourly), 24)
+            .unwrap();
+        let mae = |f: &[f64]| {
+            f.iter()
+                .zip(truth)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+                / 24.0
+        };
+        assert!(
+            mae(&seasonal) < mae(&plain) * 0.5,
+            "seasonal {} vs plain {}",
+            mae(&seasonal),
+            mae(&plain)
+        );
+    }
+
+    #[test]
+    fn falls_back_without_enough_cycles() {
+        let xs: Vec<f64> = (0..60).map(|t| t as f64 + (t as f64).sin()).collect();
+        // Period 52 with 60 points: seasonal terms disabled, still forecasts.
+        let f = Sarima::airline(52)
+            .forecast(&uni(xs, Frequency::Weekly), 8)
+            .unwrap();
+        assert_eq!(f.len(), 8);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn period_zero_uses_frequency_default() {
+        let xs = seasonal_trend(240, 12);
+        let mut spec = Sarima::airline(0);
+        spec.period = 0;
+        let f = spec.forecast(&uni(xs, Frequency::Monthly), 6).unwrap();
+        assert_eq!(f.len(), 6);
+    }
+
+    #[test]
+    fn multichannel_shape() {
+        let s = MultiSeries::from_channels(
+            "m",
+            Frequency::Monthly,
+            Domain::Economic,
+            &[seasonal_trend(200, 12), seasonal_trend(200, 12)],
+        )
+        .unwrap();
+        let f = Sarima::airline(12).forecast(&s, 5).unwrap();
+        assert_eq!(f.len(), 10);
+    }
+
+    #[test]
+    fn too_short_history_errors() {
+        let xs: Vec<f64> = (0..12).map(|t| t as f64).collect();
+        let spec = Sarima::new(2, 1, 2, 1, 1, 1, 2);
+        assert!(spec.forecast(&uni(xs, Frequency::Daily), 4).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Shared infrastructure for tabular (machine-learning) forecasters:
+//! pooled lag-feature construction and the multi-step strategy.
+//!
+//! The ML models are *channel independent*: training samples are pooled
+//! across channels (every channel contributes its lag windows), and
+//! prediction runs per channel. This mirrors how the original benchmark
+//! feeds Darts-style regressors.
+
+use crate::{ModelError, Result};
+use tfb_data::window::lag_matrix;
+use tfb_data::MultiSeries;
+
+/// Multi-step forecasting strategy (the paper's method layer supports both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Direct multi-step: one multi-output model maps the look-back window
+    /// straight to all `F` horizon steps.
+    #[default]
+    Direct,
+    /// Iterative multi-step: a one-step model applied recursively, feeding
+    /// its own predictions back as inputs.
+    Iterative,
+}
+
+/// Pooled training set: features are look-back windows of single channels,
+/// targets are the next `horizon` values of the same channel
+/// (`horizon = 1` for iterative models).
+pub fn pooled_lag_samples(
+    train: &MultiSeries,
+    lookback: usize,
+    horizon: usize,
+    max_samples: usize,
+) -> Result<tfb_data::window::LagSamples> {
+    let dim = train.dim();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for c in 0..dim {
+        let channel = train.channel(c);
+        let (mut f, mut t) = lag_matrix(&channel, lookback, horizon)
+            .map_err(|_| ModelError::InsufficientData("training split shorter than lookback + horizon"))?;
+        xs.append(&mut f);
+        ys.append(&mut t);
+    }
+    if xs.is_empty() {
+        return Err(ModelError::InsufficientData("no training samples"));
+    }
+    // Uniformly thin to the sample budget so huge datasets stay tractable
+    // without biasing towards any region of the series.
+    if xs.len() > max_samples {
+        let stride = xs.len().div_ceil(max_samples);
+        xs = xs.into_iter().step_by(stride).collect();
+        ys = ys.into_iter().step_by(stride).collect();
+    }
+    Ok((xs, ys))
+}
+
+/// Runs a one-step predictor iteratively for `horizon` steps starting from
+/// `window` (a single channel's look-back values).
+pub fn iterate_one_step(
+    window: &[f64],
+    horizon: usize,
+    mut predict_one: impl FnMut(&[f64]) -> f64,
+) -> Vec<f64> {
+    let mut buf = window.to_vec();
+    let mut out = Vec::with_capacity(horizon);
+    for _ in 0..horizon {
+        let next = predict_one(&buf);
+        let next = if next.is_finite() { next } else { *buf.last().expect("nonempty window") };
+        out.push(next);
+        buf.rotate_left(1);
+        let last = buf.len() - 1;
+        buf[last] = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfb_data::{Domain, Frequency};
+
+    fn series(chans: &[Vec<f64>]) -> MultiSeries {
+        MultiSeries::from_channels("s", Frequency::Daily, Domain::Other, chans).unwrap()
+    }
+
+    #[test]
+    fn pooled_samples_cover_all_channels() {
+        let s = series(&[
+            (0..20).map(|t| t as f64).collect(),
+            (0..20).map(|t| (100 + t) as f64).collect(),
+        ]);
+        let (xs, ys) = pooled_lag_samples(&s, 4, 2, usize::MAX).unwrap();
+        // Each channel yields 20 - 4 - 2 + 1 = 15 samples.
+        assert_eq!(xs.len(), 30);
+        assert_eq!(ys.len(), 30);
+        assert!(xs.iter().any(|f| f[0] >= 100.0));
+        assert!(xs.iter().any(|f| f[0] < 100.0));
+    }
+
+    #[test]
+    fn sample_budget_thins_uniformly() {
+        let s = series(&[(0..200).map(|t| t as f64).collect()]);
+        let (xs, _) = pooled_lag_samples(&s, 4, 1, 50).unwrap();
+        assert!(xs.len() <= 50);
+        assert!(xs.len() >= 40);
+    }
+
+    #[test]
+    fn too_short_training_errors() {
+        let s = series(&[vec![1.0, 2.0, 3.0]]);
+        assert!(pooled_lag_samples(&s, 4, 2, 100).is_err());
+    }
+
+    #[test]
+    fn iterate_one_step_feeds_back_predictions() {
+        // Predictor: next = last + 1 (so iterating counts upward).
+        let out = iterate_one_step(&[1.0, 2.0, 3.0], 4, |w| w[w.len() - 1] + 1.0);
+        assert_eq!(out, vec![4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn iterate_guards_non_finite() {
+        let out = iterate_one_step(&[1.0, 2.0], 2, |_| f64::NAN);
+        assert_eq!(out, vec![2.0, 2.0]);
+    }
+}

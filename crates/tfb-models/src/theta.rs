@@ -1,0 +1,170 @@
+//! The Theta method (Assimakopoulos & Nikolopoulos 2000), the winner of the
+//! M3 competition and a standard statistical baseline.
+//!
+//! The classical two-line variant: decompose the series into theta-lines
+//! with θ = 0 (the linear regression line, pure trend) and θ = 2 (double
+//! curvature, extrapolated by simple exponential smoothing), and average
+//! the two extrapolations. Seasonal series are first additively
+//! seasonally adjusted and re-seasonalized afterwards.
+
+use crate::{ModelError, Result, StatForecaster};
+use tfb_data::MultiSeries;
+use tfb_math::stats::mean;
+
+/// Theta forecaster; applies per channel to multivariate histories.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Theta;
+
+impl StatForecaster for Theta {
+    fn name(&self) -> &'static str {
+        "Theta"
+    }
+
+    fn forecast(&self, history: &MultiSeries, horizon: usize) -> Result<Vec<f64>> {
+        let dim = history.dim();
+        let period = history.frequency.default_period();
+        let mut per_channel = Vec::with_capacity(dim);
+        for c in 0..dim {
+            let xs = history.channel(c);
+            per_channel.push(theta_forecast(&xs, period, horizon)?);
+        }
+        Ok(crate::interleave_channels(&per_channel))
+    }
+}
+
+/// Classical theta forecast of one channel.
+pub fn theta_forecast(xs: &[f64], period: usize, horizon: usize) -> Result<Vec<f64>> {
+    if xs.len() < 4 {
+        return Err(ModelError::InsufficientData("theta needs >= 4 points"));
+    }
+    // Seasonal adjustment by per-phase means when at least two full cycles
+    // of a real period are available.
+    let (adjusted, seasonal) = if period >= 2 && xs.len() >= 2 * period {
+        let mut idx = vec![0.0; period];
+        let mut counts = vec![0usize; period];
+        let overall = mean(xs);
+        for (t, &x) in xs.iter().enumerate() {
+            idx[t % period] += x;
+            counts[t % period] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            idx[i] = idx[i] / *c as f64 - overall;
+        }
+        let adj: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(t, &x)| x - idx[t % period])
+            .collect();
+        (adj, Some(idx))
+    } else {
+        (xs.to_vec(), None)
+    };
+    let n = adjusted.len();
+    // Theta-0 line: OLS regression on time.
+    let tbar = (n as f64 - 1.0) / 2.0;
+    let ybar = mean(&adjusted);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (t, &y) in adjusted.iter().enumerate() {
+        num += (t as f64 - tbar) * (y - ybar);
+        den += (t as f64 - tbar) * (t as f64 - tbar);
+    }
+    let slope = if den > 1e-300 { num / den } else { 0.0 };
+    let intercept = ybar - slope * tbar;
+    // Theta-2 line: 2 * X - theta0, extrapolated by SES with optimized alpha.
+    let theta2: Vec<f64> = adjusted
+        .iter()
+        .enumerate()
+        .map(|(t, &y)| 2.0 * y - (intercept + slope * t as f64))
+        .collect();
+    let ses_level = best_ses_level(&theta2);
+    // Combine: average of the linear extrapolation and the SES flat line.
+    let mut out = Vec::with_capacity(horizon);
+    for h in 1..=horizon {
+        let line = intercept + slope * (n - 1 + h) as f64;
+        let mut v = 0.5 * (line + ses_level);
+        if let Some(idx) = &seasonal {
+            v += idx[(n + h - 1) % period];
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+fn best_ses_level(xs: &[f64]) -> f64 {
+    let mut best = (f64::INFINITY, xs[0]);
+    for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let mut level = xs[0];
+        let mut sse = 0.0;
+        for &x in &xs[1..] {
+            let e = x - level;
+            sse += e * e;
+            level += alpha * e;
+        }
+        if sse < best.0 {
+            best = (sse, level);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfb_data::{Domain, Frequency};
+
+    fn uni(values: Vec<f64>, freq: Frequency) -> MultiSeries {
+        MultiSeries::from_channels("s", freq, Domain::Other, &[values]).unwrap()
+    }
+
+    #[test]
+    fn theta_tracks_linear_trend() {
+        let xs: Vec<f64> = (0..100).map(|t| 1.5 * t as f64 + 3.0).collect();
+        let f = Theta.forecast(&uni(xs, Frequency::Yearly), 5).unwrap();
+        for (h, v) in f.iter().enumerate() {
+            let expect = 1.5 * (100 + h) as f64 + 3.0;
+            // Theta halves the trend contribution of the SES line, so allow
+            // a modest bias but require the right direction and magnitude.
+            assert!((v - expect).abs() < 10.0, "h={h}: {v} vs {expect}");
+        }
+        assert!(f[4] > f[0]);
+    }
+
+    #[test]
+    fn theta_handles_seasonality() {
+        let xs: Vec<f64> = (0..96)
+            .map(|t| 10.0 + 4.0 * (std::f64::consts::TAU * t as f64 / 12.0).sin())
+            .collect();
+        let f = theta_forecast(&xs, 12, 12).unwrap();
+        for (h, v) in f.iter().enumerate() {
+            let expect = 10.0 + 4.0 * (std::f64::consts::TAU * (96 + h) as f64 / 12.0).sin();
+            assert!((v - expect).abs() < 1.5, "h={h}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn constant_series_forecasts_constant() {
+        let f = theta_forecast(&[5.0; 50], 1, 4).unwrap();
+        for v in f {
+            assert!((v - 5.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn too_short_errors() {
+        assert!(theta_forecast(&[1.0, 2.0], 1, 2).is_err());
+    }
+
+    #[test]
+    fn multichannel_shape() {
+        let s = MultiSeries::from_channels(
+            "m",
+            Frequency::Monthly,
+            Domain::Economic,
+            &[(0..60).map(|t| t as f64).collect(), vec![2.0; 60]],
+        )
+        .unwrap();
+        let f = Theta.forecast(&s, 6).unwrap();
+        assert_eq!(f.len(), 12);
+    }
+}

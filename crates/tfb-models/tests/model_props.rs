@@ -1,0 +1,144 @@
+//! Property-based tests on forecaster invariants: equivariance under
+//! affine transforms, shape guarantees, and statistical-model sanity on
+//! random inputs.
+
+use proptest::prelude::*;
+use tfb_data::{Domain, Frequency, MultiSeries};
+use tfb_models::{
+    Drift, Knn, LinearRegressionForecaster, MeanForecaster, Naive, SeasonalNaive,
+    StatForecaster, Theta, WindowForecaster,
+};
+
+fn uni(values: Vec<f64>) -> MultiSeries {
+    MultiSeries::from_channels("p", Frequency::Daily, Domain::Other, &[values]).unwrap()
+}
+
+fn series_strategy(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0_f64..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn naive_family_is_shift_equivariant(
+        values in series_strategy(10..80),
+        shift in -50.0_f64..50.0,
+        horizon in 1usize..10,
+    ) {
+        let shifted: Vec<f64> = values.iter().map(|v| v + shift).collect();
+        for m in [&Naive as &dyn StatForecaster, &Drift, &MeanForecaster] {
+            let base = m.forecast(&uni(values.clone()), horizon).unwrap();
+            let moved = m.forecast(&uni(shifted.clone()), horizon).unwrap();
+            for (a, b) in base.iter().zip(&moved) {
+                prop_assert!(
+                    (a + shift - b).abs() < 1e-7 * (1.0 + b.abs()),
+                    "{}: {a} + {shift} != {b}", m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naive_family_is_scale_equivariant(
+        values in series_strategy(10..80),
+        scale in 0.1_f64..10.0,
+        horizon in 1usize..10,
+    ) {
+        let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+        for m in [&Naive as &dyn StatForecaster, &Drift, &MeanForecaster, &Theta] {
+            let base = m.forecast(&uni(values.clone()), horizon);
+            let moved = m.forecast(&uni(scaled.clone()), horizon);
+            let (Ok(base), Ok(moved)) = (base, moved) else { continue };
+            for (a, b) in base.iter().zip(&moved) {
+                prop_assert!(
+                    (a * scale - b).abs() < 1e-6 * (1.0 + b.abs()),
+                    "{}: {a} * {scale} != {b}", m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_with_period(
+        values in series_strategy(30..100),
+        period in 2usize..10,
+        horizon in 1usize..20,
+    ) {
+        let m = SeasonalNaive { period };
+        let f = m.forecast(&uni(values.clone()), horizon).unwrap();
+        let n = values.len();
+        for (h, v) in f.iter().enumerate() {
+            let expected = values[n - period + (h % period)];
+            prop_assert_eq!(*v, expected);
+        }
+    }
+
+    #[test]
+    fn forecast_lengths_match_horizon(
+        values in series_strategy(40..100),
+        horizon in 1usize..24,
+    ) {
+        for m in [&Naive as &dyn StatForecaster, &Drift, &MeanForecaster, &Theta] {
+            let f = m.forecast(&uni(values.clone()), horizon).unwrap();
+            prop_assert_eq!(f.len(), horizon, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn lr_predictions_are_finite_on_arbitrary_training_data(
+        values in series_strategy(40..120),
+    ) {
+        let mut m = LinearRegressionForecaster::new(8, 4);
+        if m.train(&uni(values.clone())).is_ok() {
+            let window = values[values.len() - 8..].to_vec();
+            let f = m.predict(&window, 1).unwrap();
+            prop_assert_eq!(f.len(), 4);
+            prop_assert!(f.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn knn_forecast_stays_near_training_envelope(
+        values in series_strategy(60..150),
+    ) {
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let range = (hi - lo).max(1.0);
+        let mut m = Knn::new(10, 5);
+        m.center = false;
+        if m.train(&uni(values.clone())).is_ok() {
+            let window = values[values.len() - 10..].to_vec();
+            let f = m.predict(&window, 1).unwrap();
+            // Uncentered KNN averages training continuations: strictly
+            // inside the envelope.
+            for v in f {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}] (range {range})");
+            }
+        }
+    }
+
+    #[test]
+    fn multichannel_forecasts_interleave_consistently(
+        a in series_strategy(40..80),
+        b in series_strategy(40..80),
+        horizon in 1usize..8,
+    ) {
+        let n = a.len().min(b.len());
+        let joint = MultiSeries::from_channels(
+            "p", Frequency::Daily, Domain::Other,
+            &[a[..n].to_vec(), b[..n].to_vec()],
+        ).unwrap();
+        // Channel-wise statistical forecasts must equal the forecast of
+        // each channel in isolation.
+        for m in [&Naive as &dyn StatForecaster, &MeanForecaster, &Theta] {
+            let joint_f = m.forecast(&joint, horizon).unwrap();
+            let fa = m.forecast(&uni(a[..n].to_vec()), horizon).unwrap();
+            let fb = m.forecast(&uni(b[..n].to_vec()), horizon).unwrap();
+            for h in 0..horizon {
+                prop_assert!((joint_f[2 * h] - fa[h]).abs() < 1e-9, "{}", m.name());
+                prop_assert!((joint_f[2 * h + 1] - fb[h]).abs() < 1e-9, "{}", m.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! From-scratch neural substrate and miniature deep-learning forecasters.
+//!
+//! The paper evaluates sixteen PyTorch deep-learning baselines on an A800
+//! GPU — a software/hardware gate this offline reproduction replaces with
+//! *architecturally faithful miniatures* trained on CPU (see DESIGN.md):
+//! the same inductive biases (linear heads, decomposition, patching,
+//! channel-independent vs. cross-channel attention, frequency filtering,
+//! period folding, dilated convolution, recurrence, basis expansion), at
+//! sizes a laptop trains in seconds.
+//!
+//! The substrate is a small define-by-run reverse-mode autodiff engine
+//! ([`tape`]) over 2-D tensors, an Adam optimizer ([`optim`]), reusable
+//! blocks ([`blocks`]) and a training loop with early stopping
+//! ([`train`]). The models live in [`models`] and all implement
+//! [`tfb_models::WindowForecaster`], so the benchmark pipeline treats them
+//! exactly like the machine-learning methods.
+
+// Dense numeric kernels index by position on purpose: the index
+// arithmetic *is* the algorithm (GEMM, filters, recursions), and iterator
+// rewrites obscure it.
+#![allow(clippy::needless_range_loop)]
+pub mod blocks;
+pub mod models;
+pub mod optim;
+pub mod tape;
+pub mod train;
+
+pub use models::{DeepModel, DeepModelKind};
+pub use optim::{Adam, ParamStore};
+pub use tape::{Tape, TensorRef};
+pub use train::{TrainConfig, Trainer};

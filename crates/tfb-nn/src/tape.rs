@@ -1,0 +1,777 @@
+//! A minimal define-by-run reverse-mode autodiff engine over 2-D tensors.
+//!
+//! Every forward pass builds a fresh [`Tape`]; [`Tape::backward`] walks the
+//! nodes in reverse, and [`Tape::param_grads`] hands the accumulated
+//! parameter gradients back to the [`crate::optim::ParamStore`]. Tensors
+//! are dense row-major `f64` matrices — large enough for the miniature
+//! forecasters, small enough to audit.
+
+use crate::optim::{ParamId, ParamStore};
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorRef(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    MatMul(usize, usize),
+    Add(usize, usize),
+    Sub(usize, usize),
+    MulElem(usize, usize),
+    Scale(usize, f64),
+    AddRowBroadcast(usize, usize),
+    MulRowBroadcast(usize, usize),
+    Relu(usize),
+    Tanh(usize),
+    Sigmoid(usize),
+    SoftmaxRows(usize),
+    Transpose(usize),
+    MeanAll(usize),
+    ConcatCols(usize, usize),
+    LayerNormRows(usize),
+    AvgPoolRows(usize, usize),
+    CausalConv1d {
+        x: usize,
+        w: usize,
+        kernel: usize,
+        dilation: usize,
+    },
+    Reshape(usize),
+}
+
+struct Node {
+    value: Vec<f64>,
+    grad: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    op: Op,
+    param: Option<ParamId>,
+}
+
+/// The tape: an arena of nodes built during the forward pass.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Tape {
+        Tape { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, value: Vec<f64>, rows: usize, cols: usize, op: Op) -> TensorRef {
+        debug_assert_eq!(value.len(), rows * cols);
+        self.nodes.push(Node {
+            grad: vec![0.0; value.len()],
+            value,
+            rows,
+            cols,
+            op,
+            param: None,
+        });
+        TensorRef(self.nodes.len() - 1)
+    }
+
+    /// Loads a parameter onto the tape (gradients flow back to the store).
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> TensorRef {
+        let (value, rows, cols) = store.get(id);
+        let r = self.push(value.to_vec(), rows, cols, Op::Leaf);
+        self.nodes[r.0].param = Some(id);
+        r
+    }
+
+    /// Loads constant input data (no gradient).
+    pub fn input(&mut self, data: &[f64], rows: usize, cols: usize) -> TensorRef {
+        self.push(data.to_vec(), rows, cols, Op::Leaf)
+    }
+
+    /// Shape of a tensor.
+    pub fn shape(&self, t: TensorRef) -> (usize, usize) {
+        (self.nodes[t.0].rows, self.nodes[t.0].cols)
+    }
+
+    /// Value of a tensor.
+    pub fn value(&self, t: TensorRef) -> &[f64] {
+        &self.nodes[t.0].value
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: TensorRef, b: TensorRef) -> TensorRef {
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ac, br, "matmul shape mismatch: {ar}x{ac} * {br}x{bc}");
+        let mut out = vec![0.0; ar * bc];
+        {
+            let av = &self.nodes[a.0].value;
+            let bv = &self.nodes[b.0].value;
+            for i in 0..ar {
+                for k in 0..ac {
+                    let f = av[i * ac + k];
+                    if f == 0.0 {
+                        continue;
+                    }
+                    let brow = &bv[k * bc..(k + 1) * bc];
+                    let orow = &mut out[i * bc..(i + 1) * bc];
+                    for (o, &bb) in orow.iter_mut().zip(brow) {
+                        *o += f * bb;
+                    }
+                }
+            }
+        }
+        self.push(out, ar, bc, Op::MatMul(a.0, b.0))
+    }
+
+    /// Elementwise sum (same shape).
+    pub fn add(&mut self, a: TensorRef, b: TensorRef) -> TensorRef {
+        let (r, c) = self.assert_same_shape(a, b, "add");
+        let v: Vec<f64> = self.nodes[a.0]
+            .value
+            .iter()
+            .zip(&self.nodes[b.0].value)
+            .map(|(x, y)| x + y)
+            .collect();
+        self.push(v, r, c, Op::Add(a.0, b.0))
+    }
+
+    /// Elementwise difference (same shape).
+    pub fn sub(&mut self, a: TensorRef, b: TensorRef) -> TensorRef {
+        let (r, c) = self.assert_same_shape(a, b, "sub");
+        let v: Vec<f64> = self.nodes[a.0]
+            .value
+            .iter()
+            .zip(&self.nodes[b.0].value)
+            .map(|(x, y)| x - y)
+            .collect();
+        self.push(v, r, c, Op::Sub(a.0, b.0))
+    }
+
+    /// Elementwise product (same shape).
+    pub fn mul_elem(&mut self, a: TensorRef, b: TensorRef) -> TensorRef {
+        let (r, c) = self.assert_same_shape(a, b, "mul_elem");
+        let v: Vec<f64> = self.nodes[a.0]
+            .value
+            .iter()
+            .zip(&self.nodes[b.0].value)
+            .map(|(x, y)| x * y)
+            .collect();
+        self.push(v, r, c, Op::MulElem(a.0, b.0))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: TensorRef, s: f64) -> TensorRef {
+        let (r, c) = self.shape(a);
+        let v: Vec<f64> = self.nodes[a.0].value.iter().map(|x| x * s).collect();
+        self.push(v, r, c, Op::Scale(a.0, s))
+    }
+
+    /// Adds a `1 x cols` row vector to every row of `a`.
+    pub fn add_row_broadcast(&mut self, a: TensorRef, bias: TensorRef) -> TensorRef {
+        let (r, c) = self.shape(a);
+        let (br, bc) = self.shape(bias);
+        assert!(br == 1 && bc == c, "bias must be 1 x cols");
+        let bv = self.nodes[bias.0].value.clone();
+        let v: Vec<f64> = self.nodes[a.0]
+            .value
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + bv[i % c])
+            .collect();
+        self.push(v, r, c, Op::AddRowBroadcast(a.0, bias.0))
+    }
+
+    /// Multiplies every row of `a` elementwise by a `1 x cols` row vector.
+    pub fn mul_row_broadcast(&mut self, a: TensorRef, gain: TensorRef) -> TensorRef {
+        let (r, c) = self.shape(a);
+        let (gr, gc) = self.shape(gain);
+        assert!(gr == 1 && gc == c, "gain must be 1 x cols");
+        let gv = self.nodes[gain.0].value.clone();
+        let v: Vec<f64> = self.nodes[a.0]
+            .value
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * gv[i % c])
+            .collect();
+        self.push(v, r, c, Op::MulRowBroadcast(a.0, gain.0))
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: TensorRef) -> TensorRef {
+        let (r, c) = self.shape(a);
+        let v: Vec<f64> = self.nodes[a.0].value.iter().map(|x| x.max(0.0)).collect();
+        self.push(v, r, c, Op::Relu(a.0))
+    }
+
+    /// Tanh.
+    pub fn tanh(&mut self, a: TensorRef) -> TensorRef {
+        let (r, c) = self.shape(a);
+        let v: Vec<f64> = self.nodes[a.0].value.iter().map(|x| x.tanh()).collect();
+        self.push(v, r, c, Op::Tanh(a.0))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: TensorRef) -> TensorRef {
+        let (r, c) = self.shape(a);
+        let v: Vec<f64> = self.nodes[a.0]
+            .value
+            .iter()
+            .map(|x| 1.0 / (1.0 + (-x).exp()))
+            .collect();
+        self.push(v, r, c, Op::Sigmoid(a.0))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: TensorRef) -> TensorRef {
+        let (r, c) = self.shape(a);
+        let mut v = self.nodes[a.0].value.clone();
+        for row in v.chunks_mut(c) {
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        self.push(v, r, c, Op::SoftmaxRows(a.0))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: TensorRef) -> TensorRef {
+        let (r, c) = self.shape(a);
+        let av = &self.nodes[a.0].value;
+        let mut v = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                v[j * r + i] = av[i * c + j];
+            }
+        }
+        self.push(v, c, r, Op::Transpose(a.0))
+    }
+
+    /// Mean over all elements (returns a 1x1 tensor; the usual loss head).
+    pub fn mean_all(&mut self, a: TensorRef) -> TensorRef {
+        let n = self.nodes[a.0].value.len() as f64;
+        let m = self.nodes[a.0].value.iter().sum::<f64>() / n;
+        self.push(vec![m], 1, 1, Op::MeanAll(a.0))
+    }
+
+    /// Concatenates columns: `[a | b]` (same row count).
+    pub fn concat_cols(&mut self, a: TensorRef, b: TensorRef) -> TensorRef {
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ar, br, "concat_cols row mismatch");
+        let mut v = Vec::with_capacity(ar * (ac + bc));
+        for i in 0..ar {
+            v.extend_from_slice(&self.nodes[a.0].value[i * ac..(i + 1) * ac]);
+            v.extend_from_slice(&self.nodes[b.0].value[i * bc..(i + 1) * bc]);
+        }
+        self.push(v, ar, ac + bc, Op::ConcatCols(a.0, b.0))
+    }
+
+    /// Row-wise layer normalization (no affine; compose with
+    /// [`Tape::mul_row_broadcast`] / [`Tape::add_row_broadcast`] for one).
+    pub fn layer_norm_rows(&mut self, a: TensorRef) -> TensorRef {
+        let (r, c) = self.shape(a);
+        let mut v = self.nodes[a.0].value.clone();
+        for row in v.chunks_mut(c) {
+            let mean = row.iter().sum::<f64>() / c as f64;
+            let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / c as f64;
+            let inv = 1.0 / (var + 1e-5).sqrt();
+            for x in row.iter_mut() {
+                *x = (*x - mean) * inv;
+            }
+        }
+        self.push(v, r, c, Op::LayerNormRows(a.0))
+    }
+
+    /// Averages consecutive groups of `stride` rows (rows not divisible by
+    /// the stride keep a smaller final group).
+    pub fn avg_pool_rows(&mut self, a: TensorRef, stride: usize) -> TensorRef {
+        assert!(stride >= 1, "stride must be >= 1");
+        let (r, c) = self.shape(a);
+        let out_rows = r.div_ceil(stride);
+        let mut v = vec![0.0; out_rows * c];
+        let av = &self.nodes[a.0].value;
+        for g in 0..out_rows {
+            let start = g * stride;
+            let end = (start + stride).min(r);
+            for row in start..end {
+                for j in 0..c {
+                    v[g * c + j] += av[row * c + j];
+                }
+            }
+            let k = (end - start) as f64;
+            for j in 0..c {
+                v[g * c + j] /= k;
+            }
+        }
+        self.push(v, out_rows, c, Op::AvgPoolRows(a.0, stride))
+    }
+
+    /// Causal dilated 1-D convolution. `x` is `(seq, in_ch)`, `w` is
+    /// `(kernel * in_ch, out_ch)`; output is `(seq, out_ch)` with zero
+    /// padding on the left.
+    pub fn causal_conv1d(
+        &mut self,
+        x: TensorRef,
+        w: TensorRef,
+        kernel: usize,
+        dilation: usize,
+    ) -> TensorRef {
+        let (seq, in_ch) = self.shape(x);
+        let (wr, out_ch) = self.shape(w);
+        assert_eq!(wr, kernel * in_ch, "conv weight shape");
+        assert!(dilation >= 1);
+        let xv = &self.nodes[x.0].value;
+        let wv = &self.nodes[w.0].value;
+        let mut v = vec![0.0; seq * out_ch];
+        for t in 0..seq {
+            for k in 0..kernel {
+                let offset = k * dilation;
+                if offset > t {
+                    continue;
+                }
+                let src = t - offset;
+                for ic in 0..in_ch {
+                    let xval = xv[src * in_ch + ic];
+                    if xval == 0.0 {
+                        continue;
+                    }
+                    let wrow = &wv[(k * in_ch + ic) * out_ch..(k * in_ch + ic + 1) * out_ch];
+                    let orow = &mut v[t * out_ch..(t + 1) * out_ch];
+                    for (o, &ww) in orow.iter_mut().zip(wrow) {
+                        *o += xval * ww;
+                    }
+                }
+            }
+        }
+        self.push(
+            v,
+            seq,
+            out_ch,
+            Op::CausalConv1d {
+                x: x.0,
+                w: w.0,
+                kernel,
+                dilation,
+            },
+        )
+    }
+
+    /// Reinterprets the row-major data with a new shape (same element
+    /// count); gradients pass through unchanged.
+    pub fn reshape(&mut self, a: TensorRef, rows: usize, cols: usize) -> TensorRef {
+        let (r, c) = self.shape(a);
+        assert_eq!(r * c, rows * cols, "reshape element count mismatch");
+        let v = self.nodes[a.0].value.clone();
+        self.push(v, rows, cols, Op::Reshape(a.0))
+    }
+
+    fn assert_same_shape(&self, a: TensorRef, b: TensorRef, ctx: &str) -> (usize, usize) {
+        let sa = self.shape(a);
+        let sb = self.shape(b);
+        assert_eq!(sa, sb, "{ctx}: shape mismatch {sa:?} vs {sb:?}");
+        sa
+    }
+
+    /// Runs backpropagation from `loss` (must be 1x1) and returns nothing;
+    /// gradients are available via [`Tape::param_grads`].
+    pub fn backward(&mut self, loss: TensorRef) {
+        assert_eq!(self.shape(loss), (1, 1), "loss must be scalar");
+        for n in self.nodes.iter_mut() {
+            n.grad.iter_mut().for_each(|g| *g = 0.0);
+        }
+        self.nodes[loss.0].grad[0] = 1.0;
+        for idx in (0..self.nodes.len()).rev() {
+            let op = self.nodes[idx].op.clone();
+            let grad = self.nodes[idx].grad.clone();
+            if grad.iter().all(|&g| g == 0.0) {
+                continue;
+            }
+            match op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let (ar, ac) = (self.nodes[a].rows, self.nodes[a].cols);
+                    let bc = self.nodes[b].cols;
+                    // dA = dOut * B^T ; dB = A^T * dOut
+                    let bv = self.nodes[b].value.clone();
+                    let av = self.nodes[a].value.clone();
+                    {
+                        let ga = &mut self.nodes[a].grad;
+                        for i in 0..ar {
+                            for k in 0..ac {
+                                let mut acc = 0.0;
+                                for j in 0..bc {
+                                    acc += grad[i * bc + j] * bv[k * bc + j];
+                                }
+                                ga[i * ac + k] += acc;
+                            }
+                        }
+                    }
+                    {
+                        let gb = &mut self.nodes[b].grad;
+                        for k in 0..ac {
+                            for j in 0..bc {
+                                let mut acc = 0.0;
+                                for i in 0..ar {
+                                    acc += av[i * ac + k] * grad[i * bc + j];
+                                }
+                                gb[k * bc + j] += acc;
+                            }
+                        }
+                    }
+                }
+                Op::Add(a, b) => {
+                    for (g, &d) in self.nodes[a].grad.iter_mut().zip(&grad) {
+                        *g += d;
+                    }
+                    for (g, &d) in self.nodes[b].grad.iter_mut().zip(&grad) {
+                        *g += d;
+                    }
+                }
+                Op::Sub(a, b) => {
+                    for (g, &d) in self.nodes[a].grad.iter_mut().zip(&grad) {
+                        *g += d;
+                    }
+                    for (g, &d) in self.nodes[b].grad.iter_mut().zip(&grad) {
+                        *g -= d;
+                    }
+                }
+                Op::MulElem(a, b) => {
+                    let bv = self.nodes[b].value.clone();
+                    let av = self.nodes[a].value.clone();
+                    for ((g, &d), &x) in self.nodes[a].grad.iter_mut().zip(&grad).zip(&bv) {
+                        *g += d * x;
+                    }
+                    for ((g, &d), &x) in self.nodes[b].grad.iter_mut().zip(&grad).zip(&av) {
+                        *g += d * x;
+                    }
+                }
+                Op::Scale(a, s) => {
+                    for (g, &d) in self.nodes[a].grad.iter_mut().zip(&grad) {
+                        *g += d * s;
+                    }
+                }
+                Op::AddRowBroadcast(a, bias) => {
+                    let c = self.nodes[idx].cols;
+                    for (g, &d) in self.nodes[a].grad.iter_mut().zip(&grad) {
+                        *g += d;
+                    }
+                    let gb = &mut self.nodes[bias].grad;
+                    for (i, &d) in grad.iter().enumerate() {
+                        gb[i % c] += d;
+                    }
+                }
+                Op::MulRowBroadcast(a, gain) => {
+                    let c = self.nodes[idx].cols;
+                    let gv = self.nodes[gain].value.clone();
+                    let av = self.nodes[a].value.clone();
+                    for (i, &d) in grad.iter().enumerate() {
+                        self.nodes[a].grad[i] += d * gv[i % c];
+                    }
+                    for (i, &d) in grad.iter().enumerate() {
+                        self.nodes[gain].grad[i % c] += d * av[i];
+                    }
+                }
+                Op::Relu(a) => {
+                    let av = self.nodes[a].value.clone();
+                    for ((g, &d), &x) in self.nodes[a].grad.iter_mut().zip(&grad).zip(&av) {
+                        if x > 0.0 {
+                            *g += d;
+                        }
+                    }
+                }
+                Op::Tanh(a) => {
+                    let yv = self.nodes[idx].value.clone();
+                    for ((g, &d), &y) in self.nodes[a].grad.iter_mut().zip(&grad).zip(&yv) {
+                        *g += d * (1.0 - y * y);
+                    }
+                }
+                Op::Sigmoid(a) => {
+                    let yv = self.nodes[idx].value.clone();
+                    for ((g, &d), &y) in self.nodes[a].grad.iter_mut().zip(&grad).zip(&yv) {
+                        *g += d * y * (1.0 - y);
+                    }
+                }
+                Op::SoftmaxRows(a) => {
+                    let c = self.nodes[idx].cols;
+                    let yv = self.nodes[idx].value.clone();
+                    let ga = &mut self.nodes[a].grad;
+                    for (row_i, (yrow, drow)) in yv.chunks(c).zip(grad.chunks(c)).enumerate() {
+                        let dot: f64 = yrow.iter().zip(drow).map(|(y, d)| y * d).sum();
+                        for j in 0..c {
+                            ga[row_i * c + j] += yrow[j] * (drow[j] - dot);
+                        }
+                    }
+                }
+                Op::Transpose(a) => {
+                    let (r, c) = (self.nodes[idx].rows, self.nodes[idx].cols);
+                    let ga = &mut self.nodes[a].grad;
+                    for i in 0..r {
+                        for j in 0..c {
+                            ga[j * r + i] += grad[i * c + j];
+                        }
+                    }
+                }
+                Op::MeanAll(a) => {
+                    let n = self.nodes[a].value.len() as f64;
+                    let d = grad[0] / n;
+                    for g in self.nodes[a].grad.iter_mut() {
+                        *g += d;
+                    }
+                }
+                Op::ConcatCols(a, b) => {
+                    let ac = self.nodes[a].cols;
+                    let bc = self.nodes[b].cols;
+                    let rows = self.nodes[idx].rows;
+                    for i in 0..rows {
+                        for j in 0..ac {
+                            self.nodes[a].grad[i * ac + j] += grad[i * (ac + bc) + j];
+                        }
+                        for j in 0..bc {
+                            self.nodes[b].grad[i * bc + j] += grad[i * (ac + bc) + ac + j];
+                        }
+                    }
+                }
+                Op::LayerNormRows(a) => {
+                    let c = self.nodes[idx].cols;
+                    let av = self.nodes[a].value.clone();
+                    let ga = &mut self.nodes[a].grad;
+                    for (row_i, (arow, drow)) in av.chunks(c).zip(grad.chunks(c)).enumerate() {
+                        let mean = arow.iter().sum::<f64>() / c as f64;
+                        let var =
+                            arow.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / c as f64;
+                        let inv = 1.0 / (var + 1e-5).sqrt();
+                        let xhat: Vec<f64> = arow.iter().map(|x| (x - mean) * inv).collect();
+                        let dsum: f64 = drow.iter().sum();
+                        let dxhat_dot: f64 = drow.iter().zip(&xhat).map(|(d, x)| d * x).sum();
+                        for j in 0..c {
+                            ga[row_i * c + j] += inv / c as f64
+                                * (c as f64 * drow[j] - dsum - xhat[j] * dxhat_dot);
+                        }
+                    }
+                }
+                Op::AvgPoolRows(a, stride) => {
+                    let (r, c) = (self.nodes[a].rows, self.nodes[a].cols);
+                    let ga = &mut self.nodes[a].grad;
+                    let out_rows = r.div_ceil(stride);
+                    for g in 0..out_rows {
+                        let start = g * stride;
+                        let end = (start + stride).min(r);
+                        let k = (end - start) as f64;
+                        for row in start..end {
+                            for j in 0..c {
+                                ga[row * c + j] += grad[g * c + j] / k;
+                            }
+                        }
+                    }
+                }
+                Op::Reshape(a) => {
+                    for (g, &d) in self.nodes[a].grad.iter_mut().zip(&grad) {
+                        *g += d;
+                    }
+                }
+                Op::CausalConv1d {
+                    x,
+                    w,
+                    kernel,
+                    dilation,
+                } => {
+                    let (seq, in_ch) = (self.nodes[x].rows, self.nodes[x].cols);
+                    let out_ch = self.nodes[idx].cols;
+                    let xv = self.nodes[x].value.clone();
+                    let wv = self.nodes[w].value.clone();
+                    for t in 0..seq {
+                        for k in 0..kernel {
+                            let offset = k * dilation;
+                            if offset > t {
+                                continue;
+                            }
+                            let src = t - offset;
+                            for ic in 0..in_ch {
+                                let wbase = (k * in_ch + ic) * out_ch;
+                                let mut gx = 0.0;
+                                for oc in 0..out_ch {
+                                    let d = grad[t * out_ch + oc];
+                                    gx += d * wv[wbase + oc];
+                                    self.nodes[w].grad[wbase + oc] += d * xv[src * in_ch + ic];
+                                }
+                                self.nodes[x].grad[src * in_ch + ic] += gx;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accumulates the gradients of parameter leaves into the store.
+    pub fn param_grads(&self, store: &mut ParamStore) {
+        for n in &self.nodes {
+            if let Some(id) = n.param {
+                store.accumulate_grad(id, &n.grad);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::ParamStore;
+
+    /// Finite-difference gradient check for a scalar function of one
+    /// parameter tensor.
+    fn grad_check(
+        init: Vec<f64>,
+        rows: usize,
+        cols: usize,
+        f: impl Fn(&mut Tape, TensorRef) -> TensorRef,
+    ) {
+        let mut store = ParamStore::new(0);
+        let id = store.add_raw(init.clone(), rows, cols);
+        // Analytic gradient.
+        let mut tape = Tape::new();
+        let p = tape.param(&store, id);
+        let loss = f(&mut tape, p);
+        tape.backward(loss);
+        tape.param_grads(&mut store);
+        let analytic = store.grad(id).to_vec();
+        // Numerical gradient.
+        let eps = 1e-6;
+        for i in 0..init.len() {
+            let eval = |store: &ParamStore| {
+                let mut t = Tape::new();
+                let p = t.param(store, id);
+                let l = f(&mut t, p);
+                t.value(l)[0]
+            };
+            store.perturb(id, i, eps);
+            let up = eval(&store);
+            store.perturb(id, i, -2.0 * eps);
+            let down = eval(&store);
+            store.perturb(id, i, eps);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (analytic[i] - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "element {i}: analytic {} vs numeric {numeric}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn grad_matmul_mean() {
+        grad_check(vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.7], 2, 3, |t, p| {
+            let x = t.input(&[1.0, 2.0, -1.0, 0.5, 1.5, -0.5], 3, 2);
+            let y = t.matmul(x, p);
+            let sq = t.mul_elem(y, y);
+            t.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn grad_softmax_rows() {
+        grad_check(vec![0.1, 0.9, -0.4, 0.2], 2, 2, |t, p| {
+            let s = t.softmax_rows(p);
+            let target = t.input(&[1.0, 0.0, 0.0, 1.0], 2, 2);
+            let d = t.sub(s, target);
+            let sq = t.mul_elem(d, d);
+            t.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        grad_check(vec![0.3, 1.2, -0.8, 0.5, 0.1, 2.0], 2, 3, |t, p| {
+            let n = t.layer_norm_rows(p);
+            let w = t.input(&[1.0, 2.0, 3.0, -1.0, 0.5, 1.5], 2, 3);
+            let prod = t.mul_elem(n, w);
+            t.mean_all(prod)
+        });
+    }
+
+    #[test]
+    fn grad_activations() {
+        for act in 0..3usize {
+            grad_check(vec![0.4, -0.9, 1.3, -0.2], 2, 2, move |t, p| {
+                let a = match act {
+                    0 => t.relu(p),
+                    1 => t.tanh(p),
+                    _ => t.sigmoid(p),
+                };
+                let sq = t.mul_elem(a, a);
+                t.mean_all(sq)
+            });
+        }
+    }
+
+    #[test]
+    fn grad_broadcasts() {
+        grad_check(vec![0.5, -0.3], 1, 2, |t, p| {
+            let x = t.input(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+            let y = t.add_row_broadcast(x, p);
+            let z = t.mul_row_broadcast(y, p);
+            let sq = t.mul_elem(z, z);
+            t.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn grad_causal_conv() {
+        grad_check(vec![0.3, -0.5, 0.8, 0.2], 2, 2, |t, p| {
+            // x: seq 4, 1 channel; w: kernel 2 * in 1 = 2 rows, out 2.
+            let x = t.input(&[1.0, -1.0, 2.0, 0.5], 4, 1);
+            let y = t.causal_conv1d(x, p, 2, 1);
+            let sq = t.mul_elem(y, y);
+            t.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn grad_avg_pool_and_concat_and_transpose() {
+        grad_check(vec![0.2, 0.7, -0.4, 1.1, 0.9, -0.6], 3, 2, |t, p| {
+            let pooled = t.avg_pool_rows(p, 2); // 2 x 2
+            let tr = t.transpose(pooled); // 2 x 2
+            let cat = t.concat_cols(pooled, tr); // 2 x 4
+            let sq = t.mul_elem(cat, cat);
+            t.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn conv_is_causal() {
+        let mut store = ParamStore::new(0);
+        let id = store.add_raw(vec![1.0, 0.0], 2, 1); // kernel 2, identity on current step
+        let mut tape = Tape::new();
+        let w = tape.param(&store, id);
+        let x = tape.input(&[1.0, 2.0, 3.0], 3, 1);
+        let y = tape.causal_conv1d(x, w, 2, 1);
+        // Kernel index 0 multiplies the current step, index 1 the previous.
+        assert_eq!(tape.value(y), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut tape = Tape::new();
+        let x = tape.input(&[1.0, 2.0, 3.0, -1.0, 0.0, 1.0], 2, 3);
+        let s = tape.softmax_rows(x);
+        for row in tape.value(s).chunks(3) {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn avg_pool_handles_remainder() {
+        let mut tape = Tape::new();
+        let x = tape.input(&[1.0, 2.0, 3.0, 4.0, 5.0], 5, 1);
+        let p = tape.avg_pool_rows(x, 2);
+        assert_eq!(tape.shape(p), (3, 1));
+        assert_eq!(tape.value(p), &[1.5, 3.5, 5.0]);
+    }
+}

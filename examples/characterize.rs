@@ -1,0 +1,67 @@
+//! Dataset characterization: score datasets on the six TFB characteristics
+//! (Section 3 of the paper), print the taxonomy, and demonstrate the data
+//! layer's coverage-expansion acceptance rule.
+//!
+//! Run with `cargo run --example characterize --release`.
+
+use tfb::core::data::{expands_coverage, load_all, DatasetCharacteristics};
+use tfb::datagen::Scale;
+
+fn main() {
+    let scale = Scale {
+        max_len: 1500,
+        max_dim: 6,
+    };
+    println!(
+        "{:<12} {:>6} {:>12} {:>13} {:>9} {:>11} {:>12}",
+        "dataset", "trend", "seasonality", "stationarity", "shifting", "transition", "correlation"
+    );
+    let mut accepted: Vec<DatasetCharacteristics> = Vec::new();
+    for handle in load_all(scale) {
+        let c = DatasetCharacteristics::compute(&handle.series, 4);
+        println!(
+            "{:<12} {:>6.3} {:>12.3} {:>13.3} {:>9.3} {:>11.4} {:>12.3}",
+            handle.series.name,
+            c.trend,
+            c.seasonality,
+            c.stationarity,
+            c.shifting,
+            c.transition,
+            c.correlation,
+        );
+        // The data layer accepts a dataset when it expands the coverage of
+        // the characteristic space.
+        if expands_coverage(&accepted, &c, 0.05) {
+            accepted.push(c);
+        }
+    }
+    println!(
+        "\nacceptance rule kept {} of 25 datasets as coverage-expanding at distance 0.05",
+        accepted.len()
+    );
+
+    // Characterize a slice of the univariate archive (Table 4 style).
+    let archive = tfb::datagen::UnivariateArchive::generate(200, 7);
+    let mut tagged = [0usize; 5];
+    for s in &archive.series {
+        let v = tfb::characteristics::CharacteristicVector::of_series(s);
+        let t = v.tag(Default::default());
+        for (i, flag) in [t.seasonality, t.trend, t.shifting, t.transition, t.stationary]
+            .into_iter()
+            .enumerate()
+        {
+            if flag {
+                tagged[i] += 1;
+            }
+        }
+    }
+    println!(
+        "\nunivariate archive ({} series): seasonal={} trending={} shifting={} transition={} stationary={}",
+        archive.len(),
+        tagged[0],
+        tagged[1],
+        tagged[2],
+        tagged[3],
+        tagged[4]
+    );
+}

@@ -1,0 +1,51 @@
+//! Config-driven benchmarking: describe an experiment as JSON (the
+//! pipeline's standard configuration file), run it on a thread pool, and
+//! emit the reporting layer's artifacts.
+//!
+//! Run with `cargo run --example rolling_eval --release`.
+
+use tfb::core::report::{ResultTable, RunLog};
+use tfb::core::{run_jobs, BenchmarkConfig, Metric, Parallelism};
+
+fn main() {
+    let config_json = r#"{
+        "datasets": ["ILI", "NASDAQ", "Exchange"],
+        "methods": ["Naive", "SeasonalNaive", "VAR", "LR", "KNN", "NLinear", "DLinear"],
+        "horizons": [24, 36],
+        "lookbacks": [36, 104],
+        "strategy": {"rolling": {"stride": 4}},
+        "metrics": ["mae", "mse", "smape"],
+        "max_windows": 20,
+        "max_len": 1000,
+        "max_dim": 4
+    }"#;
+    let config = BenchmarkConfig::from_json(config_json).expect("valid config");
+    let mut log = RunLog::new();
+    log.log(format!("config: {}", config.to_json()));
+
+    let results = run_jobs(&config, Parallelism::Threads(4), None);
+    let mut table = ResultTable::default();
+    for (job, result) in config.jobs().iter().zip(&results) {
+        match result {
+            Ok(outcome) => {
+                log.log(format!(
+                    "{}/{}/F={} -> mae={:.3} ({} windows, lookback {})",
+                    job.dataset,
+                    job.method,
+                    job.horizon,
+                    outcome.metric(Metric::Mae),
+                    outcome.n_windows,
+                    outcome.lookback,
+                ));
+                table.push(outcome);
+            }
+            Err(e) => log.log(format!("{}/{}/F={} failed: {e}", job.dataset, job.method, job.horizon)),
+        }
+    }
+
+    println!("{}", table.to_markdown(Metric::Mae));
+    let out_dir = std::path::Path::new("target/tfb-results");
+    let csv = table.write_csv(out_dir, "rolling_eval_example").expect("write csv");
+    log.write(out_dir, "rolling_eval_example").expect("write log");
+    println!("wrote {} and the run log", csv.display());
+}

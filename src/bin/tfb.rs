@@ -1,0 +1,182 @@
+//! `tfb` — command-line driver for the benchmark pipeline.
+//!
+//! ```text
+//! tfb run <config.json> [--threads N] [--out DIR]   run a benchmark config
+//! tfb datasets                                      list the dataset registry
+//! tfb methods                                       list the method registry
+//! tfb characterize <dataset> [--max-len N]          score one dataset
+//! tfb example-config                                print a starter config
+//! ```
+//!
+//! The config format is [`tfb::core::BenchmarkConfig`]; results land in the
+//! output directory as CSV plus a run log, and the MAE table prints to
+//! stdout.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tfb::core::report::{RankTable, ResultTable, RunLog};
+use tfb::core::{run_jobs, BenchmarkConfig, Metric, Parallelism};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("datasets") => cmd_datasets(),
+        Some("methods") => cmd_methods(),
+        Some("characterize") => cmd_characterize(&args[1..]),
+        Some("example-config") => cmd_example_config(),
+        _ => {
+            eprintln!(
+                "usage: tfb <run CONFIG.json [--threads N] [--out DIR] | datasets | methods | characterize DATASET [--max-len N] | example-config>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(config_path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("tfb run: missing config path");
+        return ExitCode::FAILURE;
+    };
+    let threads: usize = flag_value(args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    let out_dir = PathBuf::from(
+        flag_value(args, "--out").unwrap_or_else(|| "target/tfb-results".to_string()),
+    );
+    let text = match std::fs::read_to_string(config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tfb run: cannot read {config_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match BenchmarkConfig::from_json(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tfb run: invalid config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut log = RunLog::new();
+    log.log(format!("config file: {config_path}"));
+    log.log(config.to_json());
+    let jobs = config.jobs();
+    eprintln!("running {} jobs on {threads} thread(s)...", jobs.len());
+    let results = run_jobs(&config, Parallelism::Threads(threads), None);
+    let mut table = ResultTable::default();
+    let mut failures = 0usize;
+    for (job, result) in jobs.iter().zip(&results) {
+        match result {
+            Ok(out) => {
+                log.log(format!(
+                    "{}/{}/F={}: {:?} ({} windows)",
+                    job.dataset, job.method, job.horizon, out.metrics, out.n_windows
+                ));
+                table.push(out);
+            }
+            Err(e) => {
+                failures += 1;
+                log.log(format!(
+                    "{}/{}/F={}: FAILED: {e}",
+                    job.dataset, job.method, job.horizon
+                ));
+            }
+        }
+    }
+    let primary = config.metric_list().first().copied().unwrap_or(Metric::Mae);
+    println!("{}", table.to_markdown(primary));
+    let ranks = RankTable::compute(&table, primary);
+    println!("wins per method ({}):", primary.label());
+    for (m, w) in &ranks.wins {
+        println!("  {m:<14} {w}");
+    }
+    match table.write_csv(&out_dir, "run") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+    if let Err(e) = log.write(&out_dir, "run") {
+        eprintln!("could not write log: {e}");
+    }
+    if failures > 0 {
+        eprintln!("{failures} job(s) failed (see the run log)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_datasets() -> ExitCode {
+    println!("{:<12} {:<12} {:<10} {:>8} {:>6}  split", "name", "domain", "frequency", "length", "dim");
+    for p in tfb::datagen::all_profiles() {
+        println!(
+            "{:<12} {:<12} {:<10} {:>8} {:>6}  {}",
+            p.name,
+            p.domain.label(),
+            p.frequency.label(),
+            p.paper_len,
+            p.paper_dim,
+            p.split.label()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_methods() -> ExitCode {
+    use tfb::core::method::{DL_METHODS, ML_METHODS, STAT_METHODS};
+    println!("statistical:      {}", STAT_METHODS.join(", "));
+    println!("machine learning: {}", ML_METHODS.join(", "));
+    println!("deep learning:    {}", DL_METHODS.join(", "));
+    ExitCode::SUCCESS
+}
+
+fn cmd_characterize(args: &[String]) -> ExitCode {
+    let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("tfb characterize: missing dataset name");
+        return ExitCode::FAILURE;
+    };
+    let max_len: usize = flag_value(args, "--max-len")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500);
+    let scale = tfb::datagen::Scale { max_len, max_dim: 6 };
+    let Some(handle) = tfb::core::data::load(name, scale) else {
+        eprintln!("tfb characterize: unknown dataset {name} (try `tfb datasets`)");
+        return ExitCode::FAILURE;
+    };
+    let c = tfb::core::data::DatasetCharacteristics::compute(&handle.series, 4);
+    println!("dataset:      {name} ({} x {})", handle.series.len(), handle.series.dim());
+    println!("trend:        {:.3}", c.trend);
+    println!("seasonality:  {:.3}", c.seasonality);
+    println!("stationarity: {:.3}", c.stationarity);
+    println!("shifting:     {:.3}", c.shifting);
+    println!("transition:   {:.4}", c.transition);
+    println!("correlation:  {:.3}", c.correlation);
+    ExitCode::SUCCESS
+}
+
+fn cmd_example_config() -> ExitCode {
+    println!(
+        r#"{{
+    "datasets": ["ILI", "NASDAQ", "ETTh1"],
+    "methods": ["VAR", "LR", "NLinear", "PatchTST"],
+    "horizons": [24, 36],
+    "lookbacks": [36, 104],
+    "strategy": {{"rolling": {{"stride": 1}}}},
+    "metrics": ["mae", "mse", "smape"],
+    "max_windows": 50,
+    "max_len": 2000,
+    "max_dim": 6
+}}"#
+    );
+    ExitCode::SUCCESS
+}

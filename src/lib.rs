@@ -1,0 +1,60 @@
+//! # TFB-RS
+//!
+//! A from-scratch Rust reproduction of **TFB: Towards Comprehensive and
+//! Fair Benchmarking of Time Series Forecasting Methods** (Qiu et al.,
+//! VLDB 2024).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`math`] — numeric substrate (linear algebra, FFT, STL, PCA);
+//! * [`data`] — series containers, splits, normalization, windowing;
+//! * [`datagen`] — seeded synthetic stand-ins for the TFB dataset
+//!   collection (25 multivariate profiles + the univariate archive);
+//! * [`characteristics`] — the six TFB characteristics incl. a catch22 port;
+//! * [`models`] — statistical and machine-learning forecasters;
+//! * [`nn`] — neural substrate and sixteen miniature deep baselines;
+//! * [`core`] — the unified pipeline (method registry, fixed/rolling
+//!   evaluation, eight metrics, parallel runner, reporting).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tfb::core::{build_method, evaluate_quick};
+//! use tfb::datagen::Scale;
+//!
+//! // Generate the synthetic stand-in for the ILI dataset and score VAR on
+//! // a 12-step horizon with rolling evaluation.
+//! let dataset = tfb::core::data::load("ILI", Scale::TINY).unwrap();
+//! let mut method = build_method("VAR", 36, 12, dataset.series.dim(), None).unwrap();
+//! let outcome = evaluate_quick(&mut method, &dataset, 36, 12, 8).unwrap();
+//! assert!(outcome.metric(tfb::core::Metric::Mae).is_finite());
+//! ```
+
+pub use tfb_characteristics as characteristics;
+pub use tfb_data as data;
+pub use tfb_datagen as datagen;
+pub use tfb_math as math;
+pub use tfb_models as models;
+pub use tfb_nn as nn;
+
+/// The unified pipeline plus a couple of facade conveniences.
+pub mod core {
+    pub use tfb_core::*;
+
+    use tfb_core::data::DatasetHandle;
+    use tfb_core::eval::evaluate;
+
+    /// Convenience: rolling evaluation of one method on one dataset with
+    /// TFB defaults and a window budget.
+    pub fn evaluate_quick(
+        method: &mut Method,
+        dataset: &DatasetHandle,
+        lookback: usize,
+        horizon: usize,
+        max_windows: usize,
+    ) -> Result<EvalOutcome> {
+        let mut settings = EvalSettings::rolling(lookback, horizon, dataset.profile.split);
+        settings.max_windows = max_windows;
+        evaluate(method, &dataset.series, &settings)
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration: generated archetypes flow through the
+//! characteristic computations into the taxonomy with the intended labels,
+//! and the coverage analyses (PFA/PCA of Figure 5) run end to end.
+
+use tfb::characteristics::CharacteristicVector;
+use tfb::datagen::univariate::UnivariateArchive;
+use tfb::datagen::{SeriesBuilder, TrendKind};
+use tfb::math::matrix::Matrix;
+use tfb::math::pca::{principal_feature_selection, Pca};
+
+#[test]
+fn archive_spans_all_five_characteristics() {
+    let archive = UnivariateArchive::generate(150, 7);
+    let mut any = [false; 5];
+    for s in &archive.series {
+        let v = CharacteristicVector::of_series(s);
+        let t = v.tag(Default::default());
+        any[0] |= t.seasonality;
+        any[1] |= t.trend;
+        any[2] |= t.stationary;
+        any[3] |= t.transition;
+        any[4] |= t.shifting;
+    }
+    assert!(
+        any.iter().all(|&b| b),
+        "archive must contain every characteristic: {any:?}"
+    );
+}
+
+#[test]
+fn pca_of_archive_features_explains_variance() {
+    let archive = UnivariateArchive::generate(200, 7);
+    let rows: Vec<Vec<f64>> = archive
+        .series
+        .iter()
+        .map(|s| CharacteristicVector::of_series(s).as_features().to_vec())
+        .collect();
+    let data = Matrix::from_rows(&rows).unwrap();
+    let pca = Pca::fit(&data).unwrap();
+    // Five characteristics are correlated enough that two components carry
+    // a substantial share of the variance.
+    let ratio = pca.explained_variance_ratio(2);
+    assert!(ratio > 0.4, "2-component explained variance {ratio}");
+    let proj = pca.transform(&data, 2).unwrap();
+    assert_eq!(proj.cols(), 2);
+    assert_eq!(proj.rows(), rows.len());
+}
+
+#[test]
+fn pfa_selects_a_diverse_subset() {
+    // PFA at the paper's 0.9 threshold keeps a strict, nonempty subset.
+    let archive = UnivariateArchive::generate(300, 7);
+    let rows: Vec<Vec<f64>> = archive
+        .series
+        .iter()
+        .map(|s| CharacteristicVector::of_series(s).as_features().to_vec())
+        .collect();
+    let data = Matrix::from_rows(&rows).unwrap();
+    let selected = principal_feature_selection(&data, 0.9).unwrap();
+    assert!(!selected.is_empty());
+    assert!(selected.len() <= rows.len());
+    assert!(selected.iter().all(|&i| i < rows.len()));
+}
+
+type ArchetypeGen = Box<dyn Fn() -> Vec<f64>>;
+
+#[test]
+fn builder_archetypes_round_trip_through_tags() {
+    let cases: [(&str, ArchetypeGen, usize); 3] = [
+        (
+            "trend",
+            Box::new(|| {
+                SeriesBuilder::new(400, 50)
+                    .trend(TrendKind::Linear { slope: 0.4 })
+                    .noise(0.6)
+                    .build()
+            }),
+            1,
+        ),
+        (
+            "seasonality",
+            Box::new(|| SeriesBuilder::new(400, 51).seasonal(24, 4.0).noise(0.4).build()),
+            0,
+        ),
+        (
+            "shifting",
+            Box::new(|| {
+                SeriesBuilder::new(400, 52)
+                    .level_shift(0.5, 10.0)
+                    .ar(0.6)
+                    .noise(0.8)
+                    .build()
+            }),
+            2,
+        ),
+    ];
+    for (name, gen, tag_index) in cases {
+        let xs = gen();
+        let v = CharacteristicVector::compute(&xs, Some(24));
+        let t = v.tag(Default::default());
+        let flags = [t.seasonality, t.trend, t.shifting];
+        assert!(
+            match tag_index {
+                0 => flags[0],
+                1 => flags[1],
+                _ => flags[2],
+            },
+            "{name} archetype not tagged: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn csv_format_round_trips_generated_datasets() {
+    let profile = tfb::datagen::profile_by_name("NASDAQ").unwrap();
+    let series = profile.generate(tfb::datagen::Scale::TINY);
+    let csv = tfb::data::csvfmt::to_csv(&series);
+    let back = tfb::data::csvfmt::from_csv(&csv, "NASDAQ", series.frequency, series.domain)
+        .expect("parses");
+    assert_eq!(back.dim(), series.dim());
+    assert_eq!(back.len(), series.len());
+    for (a, b) in back.values().iter().zip(series.values()) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,92 @@
+//! Smoke tests for the `tfb` command-line driver.
+
+use std::process::Command;
+
+fn tfb(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_tfb"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn datasets_lists_all_25() {
+    let out = tfb(&["datasets"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ETTh1"));
+    assert!(text.contains("Wike2000"));
+    // Header + 25 rows.
+    assert_eq!(text.lines().count(), 26);
+}
+
+#[test]
+fn methods_lists_all_paradigms() {
+    let out = tfb(&["methods"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["VAR", "XGB", "PatchTST", "ARIMA"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn characterize_scores_a_dataset() {
+    let out = tfb(&["characterize", "ILI", "--max-len", "400"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("seasonality:"));
+    assert!(text.contains("correlation:"));
+}
+
+#[test]
+fn unknown_dataset_fails_cleanly() {
+    let out = tfb(&["characterize", "NotADataset"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn missing_subcommand_prints_usage() {
+    let out = tfb(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn example_config_is_valid_json_and_runnable_shape() {
+    let out = tfb(&["example-config"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let cfg = tfb::core::BenchmarkConfig::from_json(&text).expect("valid config");
+    assert!(!cfg.jobs().is_empty());
+}
+
+#[test]
+fn run_executes_a_tiny_config() {
+    let dir = std::env::temp_dir().join(format!("tfb_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg_path = dir.join("cfg.json");
+    std::fs::write(
+        &cfg_path,
+        r#"{
+            "datasets": ["ILI"], "methods": ["Naive", "Mean"], "horizons": [12],
+            "lookbacks": [24], "strategy": {"rolling": {"stride": 8}},
+            "metrics": ["mae"], "max_windows": 4, "max_len": 500, "max_dim": 2
+        }"#,
+    )
+    .unwrap();
+    let out = tfb(&[
+        "run",
+        cfg_path.to_str().unwrap(),
+        "--threads",
+        "1",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Naive") && text.contains("Mean"));
+    assert!(dir.join("run.csv").exists());
+    assert!(dir.join("run.log").exists());
+    std::fs::remove_dir_all(dir).unwrap();
+}

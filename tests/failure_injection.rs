@@ -1,0 +1,127 @@
+//! Failure injection: misbehaving data and misbehaving user methods must
+//! degrade into the "nan"/"inf" cells the paper's tables show — never into
+//! panics or silently wrong aggregates.
+
+use tfb::core::eval::{evaluate, EvalSettings};
+use tfb::core::method::Method;
+use tfb::core::{build_method, Metric};
+use tfb::data::{Domain, Frequency, MultiSeries, SplitRatio};
+use tfb::models::{ModelError, StatForecaster, WindowForecaster};
+
+fn series_with(values: Vec<f64>) -> MultiSeries {
+    MultiSeries::from_channels("inject", Frequency::Daily, Domain::Other, &[values]).unwrap()
+}
+
+#[test]
+fn nan_data_yields_nan_metrics_not_panic() {
+    let mut values: Vec<f64> = (0..300).map(|t| (t as f64 * 0.3).sin()).collect();
+    values[250] = f64::NAN; // inside the test region
+    let s = series_with(values);
+    let mut m = build_method("Naive", 24, 12, 1, None).unwrap();
+    let mut settings = EvalSettings::rolling(24, 12, SplitRatio::R712);
+    settings.max_windows = 0;
+    let out = evaluate(&mut m, &s, &settings).expect("evaluation completes");
+    // The poisoned windows drag the aggregate to NaN — visible, not hidden.
+    assert!(out.metric(Metric::Mae).is_nan());
+}
+
+/// A user method that returns the wrong number of values.
+struct WrongLength;
+
+impl StatForecaster for WrongLength {
+    fn name(&self) -> &'static str {
+        "WrongLength"
+    }
+    fn forecast(&self, history: &MultiSeries, horizon: usize) -> Result<Vec<f64>, ModelError> {
+        Ok(vec![0.0; horizon.saturating_sub(1) * history.dim()])
+    }
+}
+
+#[test]
+fn wrong_forecast_length_is_reported_as_nan() {
+    let s = series_with((0..200).map(|t| t as f64).collect());
+    let mut m = Method::Stat(Box::new(WrongLength));
+    let mut settings = EvalSettings::rolling(20, 10, SplitRatio::R712);
+    settings.max_windows = 3;
+    let out = evaluate(&mut m, &s, &settings).expect("evaluation completes");
+    assert!(out.metric(Metric::Mae).is_nan());
+}
+
+/// A user method that errors on every call.
+struct AlwaysFails;
+
+impl StatForecaster for AlwaysFails {
+    fn name(&self) -> &'static str {
+        "AlwaysFails"
+    }
+    fn forecast(&self, _: &MultiSeries, _: usize) -> Result<Vec<f64>, ModelError> {
+        Err(ModelError::Numerical("injected".into()))
+    }
+}
+
+#[test]
+fn method_that_always_fails_yields_an_eval_error() {
+    let s = series_with((0..200).map(|t| t as f64).collect());
+    let mut m = Method::Stat(Box::new(AlwaysFails));
+    let settings = EvalSettings::rolling(20, 10, SplitRatio::R712);
+    // Stat methods that fail on every window produce a clean error, not a
+    // zero-window aggregate.
+    assert!(evaluate(&mut m, &s, &settings).is_err());
+}
+
+/// A window method whose training fails (e.g. a user model with impossible
+/// constraints).
+struct UntrainableWindow;
+
+impl WindowForecaster for UntrainableWindow {
+    fn name(&self) -> &'static str {
+        "Untrainable"
+    }
+    fn lookback(&self) -> usize {
+        8
+    }
+    fn horizon(&self) -> usize {
+        4
+    }
+    fn train(&mut self, _: &MultiSeries) -> Result<(), ModelError> {
+        Err(ModelError::InsufficientData("injected"))
+    }
+    fn predict(&self, _: &[f64], _: usize) -> Result<Vec<f64>, ModelError> {
+        unreachable!("train never succeeds")
+    }
+}
+
+#[test]
+fn train_failure_propagates_cleanly() {
+    let s = series_with((0..200).map(|t| t as f64).collect());
+    let mut m = Method::Window(Box::new(UntrainableWindow));
+    let settings = EvalSettings::rolling(8, 4, SplitRatio::R712);
+    assert!(evaluate(&mut m, &s, &settings).is_err());
+}
+
+#[test]
+fn infinite_values_do_not_crash_metrics() {
+    let mut values: Vec<f64> = (0..300).map(|t| (t as f64 * 0.3).sin()).collect();
+    values[280] = f64::INFINITY;
+    let s = series_with(values);
+    let mut m = build_method("Mean", 24, 12, 1, None).unwrap();
+    let mut settings = EvalSettings::rolling(24, 12, SplitRatio::R712);
+    settings.max_windows = 0;
+    let out = evaluate(&mut m, &s, &settings).expect("evaluation completes");
+    let v = out.metric(Metric::Mae);
+    assert!(v.is_nan() || v.is_infinite());
+}
+
+#[test]
+fn partial_method_failure_still_aggregates_remaining_windows() {
+    // VAR on a history that is too short for its order in early rolling
+    // iterations: those windows are skipped, later ones succeed. (Construct
+    // by using a dataset whose train region is tiny relative to lookback.)
+    let s = series_with((0..120).map(|t| (t as f64 * 0.37).sin() * 3.0).collect());
+    let mut m = build_method("ARIMA", 12, 6, 1, None).unwrap();
+    let mut settings = EvalSettings::rolling(12, 6, SplitRatio::R712);
+    settings.max_windows = 0;
+    let out = evaluate(&mut m, &s, &settings).expect("some windows usable");
+    assert!(out.n_windows > 0);
+    assert!(out.metric(Metric::Mae).is_finite());
+}

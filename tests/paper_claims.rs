@@ -1,0 +1,121 @@
+//! Integration tests asserting the *shape* of the paper's findings on the
+//! synthetic collection — the qualitative claims the benches quantify.
+
+use tfb::core::data::{load, DatasetCharacteristics};
+use tfb::core::eval::{evaluate, EvalSettings};
+use tfb::core::{build_method, Metric};
+use tfb::datagen::Scale;
+
+const SCALE: Scale = Scale {
+    max_len: 1200,
+    max_dim: 4,
+};
+
+fn mae_of(method: &str, dataset: &str, lookback: usize, horizon: usize) -> f64 {
+    let handle = load(dataset, SCALE).expect("dataset exists");
+    let mut settings = EvalSettings::rolling(lookback, horizon, handle.profile.split);
+    settings.max_windows = 15;
+    let mut m = build_method(method, lookback, horizon, handle.series.dim(), None)
+        .expect("method exists");
+    evaluate(&mut m, &handle.series, &settings)
+        .map(|o| o.metric(Metric::Mae))
+        .unwrap_or(f64::INFINITY)
+}
+
+#[test]
+fn characteristic_extremes_match_figure8_selection() {
+    // The paper picks these datasets as the per-characteristic maxima.
+    // On the synthetic collection the same datasets must rank in the top
+    // three of their characteristic among a competitive subset.
+    let score = |name: &str| {
+        let h = load(name, SCALE).expect("dataset exists");
+        DatasetCharacteristics::compute(&h.series, 3)
+    };
+    let fred = score("FRED-MD");
+    let elec = score("Electricity");
+    let bay = score("PEMS-BAY");
+    let exch = score("Exchange");
+    let wind = score("Wind");
+    assert!(fred.trend > elec.trend && fred.trend > bay.trend && fred.trend > wind.trend);
+    assert!(elec.seasonality > fred.seasonality && elec.seasonality > exch.seasonality);
+    assert!(bay.correlation > exch.correlation && bay.correlation > wind.correlation);
+}
+
+#[test]
+fn seasonal_naive_beats_naive_on_seasonal_data() {
+    // Electricity is the seasonality extreme: exploiting the period must pay.
+    let naive = mae_of("Naive", "Electricity", 48, 24);
+    let seasonal = mae_of("SeasonalNaive", "Electricity", 48, 24);
+    assert!(seasonal < naive, "seasonal {seasonal} vs naive {naive}");
+}
+
+#[test]
+fn naive_is_hard_to_beat_on_random_walks() {
+    // Exchange is a unit-root walk: the naive forecast is near-optimal and
+    // fancy pattern models cannot beat it by much (the paper's Issue 2 in
+    // its sharpest form).
+    let naive = mae_of("Naive", "Exchange", 36, 12);
+    let knn = mae_of("KNN", "Exchange", 36, 12);
+    assert!(
+        naive < knn * 1.1,
+        "naive {naive} should be competitive with KNN {knn}"
+    );
+}
+
+#[test]
+fn linear_models_learn_the_ili_season() {
+    // ILI has strong yearly seasonality: a trained LR must beat naive.
+    let naive = mae_of("Naive", "ILI", 104, 24);
+    let lr = mae_of("LR", "ILI", 104, 24);
+    assert!(lr < naive, "lr {lr} vs naive {naive}");
+}
+
+#[test]
+fn drop_last_distorts_reported_results() {
+    // Table 2: enabling drop-last with a batch size changes the reported
+    // error relative to the fair keep-all pipeline.
+    let handle = load("ETTh2", SCALE).expect("dataset exists");
+    let run = |drop: Option<(usize, bool)>| {
+        let mut settings = EvalSettings::rolling(96, 48, handle.profile.split);
+        settings.metrics = vec![Metric::Mse];
+        settings.drop_last = drop;
+        let mut m = build_method("Naive", 96, 48, handle.series.dim(), None).unwrap();
+        let out = evaluate(&mut m, &handle.series, &settings).unwrap();
+        (out.metric(Metric::Mse), out.n_windows)
+    };
+    let (fair_mse, fair_n) = run(None);
+    let (drop_mse, drop_n) = run(Some((64, true)));
+    assert!(drop_n < fair_n, "drop-last must discard windows");
+    assert!(
+        (drop_mse - fair_mse).abs() > 1e-9,
+        "discarding windows must change the reported score"
+    );
+}
+
+#[test]
+fn metrics_on_identical_forecasts_are_consistent() {
+    // MSE = RMSE^2 and WAPE/MAE relations hold through the pipeline.
+    let handle = load("NN5", SCALE).expect("dataset exists");
+    let mut settings = EvalSettings::rolling(36, 12, handle.profile.split);
+    settings.metrics = vec![Metric::Mae, Metric::Mse, Metric::Rmse, Metric::Wape];
+    settings.max_windows = 1; // single window: aggregate == per-window value
+    let mut m = build_method("Mean", 36, 12, handle.series.dim(), None).unwrap();
+    let out = evaluate(&mut m, &handle.series, &settings).unwrap();
+    let rmse = out.metric(Metric::Rmse);
+    let mse = out.metric(Metric::Mse);
+    assert!((rmse * rmse - mse).abs() < 1e-9 * (1.0 + mse));
+}
+
+#[test]
+fn hyperparameter_search_is_bounded_to_eight_sets() {
+    let cfg = tfb::core::BenchmarkConfig::from_json(
+        r#"{
+            "datasets": ["ILI"], "methods": ["Naive"], "horizons": [12],
+            "lookbacks": [8, 16, 24, 32, 40, 48, 56, 64, 72, 80],
+            "strategy": {"rolling": {"stride": 8}}, "metrics": ["mae"],
+            "max_len": 600, "max_dim": 2
+        }"#,
+    )
+    .unwrap();
+    assert_eq!(cfg.search_space().len(), 8);
+}

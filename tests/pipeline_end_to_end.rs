@@ -1,0 +1,110 @@
+//! End-to-end integration tests: JSON config in, parallel execution,
+//! reporting out — the full pipeline of Figure 7 across every layer.
+
+use tfb::core::report::{RankTable, ResultTable};
+use tfb::core::{run_jobs, BenchmarkConfig, Metric, Parallelism};
+
+fn config(methods: &[&str], datasets: &[&str]) -> BenchmarkConfig {
+    BenchmarkConfig::from_json(&format!(
+        r#"{{
+            "datasets": {datasets:?},
+            "methods": {methods:?},
+            "horizons": [12],
+            "lookbacks": [24, 36],
+            "strategy": {{"rolling": {{"stride": 8}}}},
+            "metrics": ["mae", "mse", "smape", "wape"],
+            "max_windows": 5,
+            "max_len": 600,
+            "max_dim": 3
+        }}"#
+    ))
+    .expect("valid config")
+}
+
+#[test]
+fn config_to_report_roundtrip() {
+    let cfg = config(&["Naive", "SeasonalNaive", "LR"], &["ILI", "Exchange"]);
+    let results = run_jobs(&cfg, Parallelism::Threads(3), None);
+    assert_eq!(results.len(), 6);
+    let outcomes: Vec<_> = results.into_iter().map(|r| r.expect("job succeeds")).collect();
+    let table = ResultTable::from_outcomes(&outcomes);
+    // Every metric populated and finite on these benign datasets.
+    for row in &table.rows {
+        for m in [Metric::Mae, Metric::Mse, Metric::Smape, Metric::Wape] {
+            let v = row.metrics[m.label()];
+            assert!(v.is_finite(), "{}/{} {m:?} = {v}", row.dataset, row.method);
+        }
+    }
+    // Markdown and CSV render every cell.
+    let md = table.to_markdown(Metric::Mae);
+    assert!(md.contains("ILI") && md.contains("Exchange") && md.contains("LR"));
+    let csv = table.to_csv();
+    assert_eq!(csv.lines().count(), 1 + 6);
+    // Ranks cover both cases.
+    let ranks = RankTable::compute(&table, Metric::Mae);
+    assert_eq!(ranks.cases, 2);
+    assert_eq!(ranks.wins.values().sum::<usize>(), 2);
+}
+
+#[test]
+fn pipeline_is_deterministic_across_runs() {
+    let cfg = config(&["LR", "KNN"], &["NASDAQ"]);
+    let a: Vec<f64> = run_jobs(&cfg, Parallelism::Sequential, None)
+        .into_iter()
+        .map(|r| r.unwrap().metric(Metric::Mae))
+        .collect();
+    let b: Vec<f64> = run_jobs(&cfg, Parallelism::Threads(2), None)
+        .into_iter()
+        .map(|r| r.unwrap().metric(Metric::Mae))
+        .collect();
+    assert_eq!(a, b, "parallel execution must not change results");
+}
+
+#[test]
+fn statistical_and_window_methods_share_one_pipeline() {
+    // Issue 3: the same config must evaluate statistical, ML and DL methods
+    // on identical data and settings.
+    let cfg = config(&["Theta", "XGB", "NLinear"], &["NN5"]);
+    let results = run_jobs(&cfg, Parallelism::Sequential, None);
+    let outcomes: Vec<_> = results.into_iter().map(|r| r.expect("job succeeds")).collect();
+    assert_eq!(outcomes.len(), 3);
+    let windows: Vec<usize> = outcomes.iter().map(|o| o.n_windows).collect();
+    assert!(
+        windows.windows(2).all(|w| w[0] == w[1]),
+        "all methods must see the same evaluation windows: {windows:?}"
+    );
+}
+
+#[test]
+fn failed_cells_do_not_poison_the_study() {
+    // VAR on a 2-point horizon with a dataset too short for its order will
+    // fail for some look-backs; an unknown method always fails. The study
+    // must still return per-job results.
+    let cfg = config(&["Naive", "NotAMethod"], &["ILI"]);
+    let results = run_jobs(&cfg, Parallelism::Sequential, None);
+    assert!(results[0].is_ok());
+    assert!(results[1].is_err());
+}
+
+#[test]
+fn fixed_strategy_runs_through_config() {
+    let cfg = BenchmarkConfig::from_json(
+        r#"{
+            "datasets": ["ILI"],
+            "methods": ["ETS", "Theta"],
+            "horizons": [12],
+            "lookbacks": [15],
+            "strategy": "fixed",
+            "metrics": ["mase", "msmape"],
+            "max_len": 600,
+            "max_dim": 2
+        }"#,
+    )
+    .expect("valid config");
+    let results = run_jobs(&cfg, Parallelism::Sequential, None);
+    for r in results {
+        let o = r.expect("fixed eval succeeds");
+        assert_eq!(o.n_windows, 1);
+        assert!(o.metric(Metric::Msmape).is_finite());
+    }
+}

@@ -1,0 +1,237 @@
+//! Property-based tests (proptest) on the cross-crate invariants the
+//! benchmark's fairness rests on: metric axioms, normalization roundtrips,
+//! split/window partitioning, and numeric-substrate algebra.
+
+use proptest::prelude::*;
+use tfb::core::metrics::{compute, Metric, MetricContext};
+use tfb::data::{
+    csvfmt, window::lag_matrix, Batching, ChronoSplit, Domain, Frequency, MultiSeries,
+    Normalization, Normalizer, SplitRatio, WindowSampler,
+};
+use tfb::math::fft::{fft, Complex};
+use tfb::math::matrix::Matrix;
+use tfb::math::stats::{self, zscore};
+
+const CTX: MetricContext<'static> = MetricContext {
+    train: None,
+    period: 1,
+};
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6_f64..1e6, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- metric axioms -------------------------------------------------
+
+    #[test]
+    fn metrics_are_nonnegative(f in finite_vec(1..40), y in finite_vec(1..40)) {
+        let n = f.len().min(y.len());
+        for m in [Metric::Mae, Metric::Mse, Metric::Rmse, Metric::Smape, Metric::Msmape] {
+            let v = compute(m, &f[..n], &y[..n], CTX);
+            prop_assert!(v >= 0.0 || v.is_nan(), "{m:?} = {v}");
+        }
+    }
+
+    #[test]
+    fn perfect_forecast_is_zero_error(y in finite_vec(1..40)) {
+        for m in [Metric::Mae, Metric::Mse, Metric::Rmse, Metric::Wape] {
+            let v = compute(m, &y, &y, CTX);
+            prop_assert!(v == 0.0 || v.is_infinite(), "{m:?} = {v}");
+        }
+    }
+
+    #[test]
+    fn mae_is_translation_invariant_mse_scales_quadratically(
+        y in finite_vec(2..30),
+        shift in -100.0_f64..100.0,
+        scale in 0.1_f64..10.0,
+    ) {
+        let f: Vec<f64> = y.iter().map(|v| v + shift).collect();
+        let mae = compute(Metric::Mae, &f, &y, CTX);
+        prop_assert!((mae - shift.abs()).abs() < 1e-6 * (1.0 + shift.abs()));
+        let fs: Vec<f64> = y.iter().map(|v| v + scale).collect();
+        let mse = compute(Metric::Mse, &fs, &y, CTX);
+        prop_assert!((mse - scale * scale).abs() < 1e-6 * (1.0 + scale * scale));
+    }
+
+    #[test]
+    fn rmse_dominates_mae(f in finite_vec(2..30), y in finite_vec(2..30)) {
+        let n = f.len().min(y.len());
+        let mae = compute(Metric::Mae, &f[..n], &y[..n], CTX);
+        let rmse = compute(Metric::Rmse, &f[..n], &y[..n], CTX);
+        // Jensen: RMSE >= MAE always.
+        prop_assert!(rmse + 1e-9 * (1.0 + rmse) >= mae, "rmse {rmse} < mae {mae}");
+    }
+
+    #[test]
+    fn smape_is_bounded_by_200_percent(f in finite_vec(1..30), y in finite_vec(1..30)) {
+        let n = f.len().min(y.len());
+        let v = compute(Metric::Smape, &f[..n], &y[..n], CTX);
+        prop_assert!(v.is_infinite() || v <= 200.0 + 1e-9, "{v}");
+    }
+
+    // ---- normalization -------------------------------------------------
+
+    #[test]
+    fn normalizer_roundtrips(values in finite_vec(8..60)) {
+        let series = MultiSeries::from_channels(
+            "p", Frequency::Daily, Domain::Other, std::slice::from_ref(&values),
+        ).unwrap();
+        for scheme in [Normalization::ZScore, Normalization::MinMax, Normalization::None] {
+            let norm = Normalizer::fit(&series, scheme);
+            let fwd = norm.apply(&series).unwrap();
+            let back = norm.invert(&fwd).unwrap();
+            for (a, b) in back.values().iter().zip(series.values()) {
+                prop_assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()), "{scheme:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zscore_output_is_standardized(values in finite_vec(4..80)) {
+        let z = zscore(&values);
+        prop_assert!(stats::mean(&z).abs() < 1e-6);
+        let sd = stats::std_dev(&z);
+        prop_assert!(sd < 1e-6 || (sd - 1.0).abs() < 1e-6);
+    }
+
+    // ---- splits, windows, batching --------------------------------------
+
+    #[test]
+    fn chrono_split_partitions_the_series(n in 10usize..400) {
+        let series = MultiSeries::from_channels(
+            "p", Frequency::Hourly, Domain::Other,
+            &[(0..n).map(|i| i as f64).collect::<Vec<_>>()],
+        ).unwrap();
+        for ratio in [SplitRatio::R712, SplitRatio::R622] {
+            let sp = ChronoSplit::split(&series, ratio).unwrap();
+            prop_assert_eq!(sp.train.len() + sp.val.len() + sp.test.len(), n);
+            // Chronological: the boundary values are consecutive integers.
+            prop_assert_eq!(sp.val.at(0, 0) as usize, sp.train.len());
+        }
+    }
+
+    #[test]
+    fn window_sampler_covers_every_sample_without_overlap_gaps(
+        n in 20usize..300, lookback in 1usize..10, horizon in 1usize..10,
+    ) {
+        prop_assume!(n >= lookback + horizon);
+        let s = WindowSampler::new(n, lookback, horizon, 1).unwrap();
+        prop_assert_eq!(s.count(), n - lookback - horizon + 1);
+        let last = s.window(s.count() - 1);
+        prop_assert_eq!(last.target_end, n);
+        for i in 0..s.count() {
+            let w = s.window(i);
+            prop_assert_eq!(w.lookback(), lookback);
+            prop_assert_eq!(w.horizon(), horizon);
+        }
+    }
+
+    #[test]
+    fn drop_last_never_keeps_more_samples(n in 1usize..5000, batch in 1usize..600) {
+        let keep = Batching::keep_all(batch);
+        let drop = Batching::drop_last(batch);
+        prop_assert!(drop.samples_retained(n) <= keep.samples_retained(n));
+        prop_assert_eq!(keep.samples_retained(n), n);
+        prop_assert_eq!(drop.samples_retained(n) % batch, 0);
+    }
+
+    #[test]
+    fn lag_matrix_rows_are_contiguous_slices(
+        n in 10usize..120, lookback in 1usize..8, horizon in 1usize..8,
+    ) {
+        prop_assume!(n >= lookback + horizon);
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let (f, t) = lag_matrix(&xs, lookback, horizon).unwrap();
+        for (i, (fi, ti)) in f.iter().zip(&t).enumerate() {
+            prop_assert_eq!(fi[0] as usize, i);
+            prop_assert_eq!(ti[0] as usize, i + lookback);
+        }
+    }
+
+    // ---- CSV format ------------------------------------------------------
+
+    #[test]
+    fn csv_roundtrip_arbitrary_series(
+        chan0 in finite_vec(1..30), chan1 in finite_vec(1..30),
+    ) {
+        let n = chan0.len().min(chan1.len());
+        let series = MultiSeries::from_channels(
+            "p", Frequency::Daily, Domain::Web,
+            &[chan0[..n].to_vec(), chan1[..n].to_vec()],
+        ).unwrap();
+        let text = csvfmt::to_csv(&series);
+        let back = csvfmt::from_csv(&text, "p", Frequency::Daily, Domain::Web).unwrap();
+        prop_assert_eq!(back.values(), series.values());
+    }
+
+    // ---- numeric substrate ----------------------------------------------
+
+    #[test]
+    fn matrix_distributive_law(
+        a in proptest::collection::vec(-10.0_f64..10.0, 12),
+        b in proptest::collection::vec(-10.0_f64..10.0, 12),
+        c in proptest::collection::vec(-10.0_f64..10.0, 12),
+    ) {
+        let ma = Matrix::from_vec(3, 4, a).unwrap();
+        let mb = Matrix::from_vec(4, 3, b).unwrap();
+        let mc = Matrix::from_vec(4, 3, c).unwrap();
+        let left = ma.matmul(&mb.add(&mc).unwrap()).unwrap();
+        let right = ma.matmul(&mb).unwrap().add(&ma.matmul(&mc).unwrap()).unwrap();
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-8 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn lu_solve_satisfies_the_system(
+        vals in proptest::collection::vec(-5.0_f64..5.0, 9),
+        rhs in proptest::collection::vec(-5.0_f64..5.0, 3),
+    ) {
+        let mut m = Matrix::from_vec(3, 3, vals).unwrap();
+        // Diagonal dominance guarantees invertibility.
+        for i in 0..3 {
+            let v = m[(i, i)];
+            m[(i, i)] = v + 20.0;
+        }
+        let x = m.solve(&rhs).unwrap();
+        let back = m.matvec(&x).unwrap();
+        for (a, b) in back.iter().zip(&rhs) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_and_parseval(values in finite_vec(2..64)) {
+        let xs: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let spec = fft(&xs, false).unwrap();
+        let back = fft(&spec, true).unwrap();
+        for (a, b) in back.iter().zip(&xs) {
+            prop_assert!((a.re - b.re).abs() < 1e-6 * (1.0 + b.re.abs()));
+        }
+        // Parseval: sum |x|^2 == (1/n) sum |X|^2.
+        let time: f64 = xs.iter().map(|c| c.norm_sqr()).sum();
+        let freq: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / xs.len() as f64;
+        prop_assert!((time - freq).abs() < 1e-4 * (1.0 + time));
+    }
+
+    // ---- characteristics stay in their documented ranges -----------------
+
+    #[test]
+    fn characteristics_stay_in_range(values in finite_vec(30..200)) {
+        use tfb::characteristics as ch;
+        let t = ch::trend_strength(&values, None);
+        prop_assert!((0.0..=1.0).contains(&t));
+        let s = ch::seasonality_strength(&values, Some(12));
+        prop_assert!((0.0..=1.0).contains(&s));
+        let d = ch::shifting_value(&values);
+        prop_assert!((0.0..=1.0).contains(&d));
+        let tr = ch::transition_value(&values);
+        prop_assert!((0.0..0.34).contains(&tr) || tr == 0.0);
+        let p = ch::adf_pvalue(&values);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+}
