@@ -22,7 +22,10 @@ fn bench_characteristic_vector(c: &mut Criterion) {
 }
 
 fn bench_catch22(c: &mut Criterion) {
-    let xs = SeriesBuilder::new(1000, 2).seasonal(48, 1.5).ar(0.5).build();
+    let xs = SeriesBuilder::new(1000, 2)
+        .seasonal(48, 1.5)
+        .ar(0.5)
+        .build();
     c.bench_function("catch22_1000", |bench| {
         bench.iter(|| black_box(catch22_all(&xs)));
     });

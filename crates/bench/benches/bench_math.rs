@@ -69,5 +69,12 @@ fn bench_acf(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_solve, bench_fft, bench_stl, bench_acf);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_solve,
+    bench_fft,
+    bench_stl,
+    bench_acf
+);
 criterion_main!(benches);

@@ -27,7 +27,9 @@ fn bench_stat_forecast(c: &mut Criterion) {
     let mut group = c.benchmark_group("stat_fit_forecast_f24");
     for name in ["Naive", "Theta", "ETS", "ARIMA", "VAR", "KF"] {
         let method = build_method(name, 48, 24, 3, None).unwrap();
-        let Method::Stat(m) = method else { unreachable!() };
+        let Method::Stat(m) = method else {
+            unreachable!()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, _| {
             bench.iter(|| black_box(m.forecast(&series, 24).unwrap()));
         });
@@ -43,7 +45,9 @@ fn bench_ml_train(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, _| {
             bench.iter(|| {
                 let mut method = build_method(name, 48, 24, 1, None).unwrap();
-                let Method::Window(m) = &mut method else { unreachable!() };
+                let Method::Window(m) = &mut method else {
+                    unreachable!()
+                };
                 m.train(&series).unwrap();
                 black_box(());
             });
@@ -61,9 +65,19 @@ fn bench_deep_inference(c: &mut Criterion) {
         ..TrainConfig::default()
     };
     let mut group = c.benchmark_group("deep_inference_h48_f24");
-    for name in ["NLinear", "DLinear", "PatchTST", "FEDformer", "TCN", "RNN", "N-HiTS"] {
+    for name in [
+        "NLinear",
+        "DLinear",
+        "PatchTST",
+        "FEDformer",
+        "TCN",
+        "RNN",
+        "N-HiTS",
+    ] {
         let mut method = build_method(name, 48, 24, 1, Some(quick)).unwrap();
-        let Method::Window(m) = &mut method else { unreachable!() };
+        let Method::Window(m) = &mut method else {
+            unreachable!()
+        };
         m.train(&series).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, _| {
             bench.iter(|| black_box(m.predict(&window, 1).unwrap()));
@@ -72,5 +86,10 @@ fn bench_deep_inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_stat_forecast, bench_ml_train, bench_deep_inference);
+criterion_group!(
+    benches,
+    bench_stat_forecast,
+    bench_ml_train,
+    bench_deep_inference
+);
 criterion_main!(benches);

@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tfb_core::eval::{evaluate, EvalSettings};
 use tfb_core::method::build_method;
-use tfb_data::{BatchIter, Batching, Domain, Frequency, MultiSeries, Normalization, Normalizer, WindowSampler};
+use tfb_data::{
+    BatchIter, Batching, Domain, Frequency, MultiSeries, Normalization, Normalizer, WindowSampler,
+};
 use tfb_datagen::SeriesBuilder;
 
 fn dataset(n: usize, dim: usize) -> MultiSeries {
@@ -66,5 +68,10 @@ fn bench_batching(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_rolling_eval, bench_normalization, bench_batching);
+criterion_group!(
+    benches,
+    bench_rolling_eval,
+    bench_normalization,
+    bench_batching
+);
 criterion_main!(benches);

@@ -12,9 +12,7 @@ use tfb_core::method::Method;
 use tfb_core::Metric;
 use tfb_data::MultiSeries;
 use tfb_models::tabular::iterate_one_step;
-use tfb_models::{
-    LinearRegressionForecaster, ModelError, WindowForecaster,
-};
+use tfb_models::{LinearRegressionForecaster, ModelError, WindowForecaster};
 
 /// LR wrapped to forecast iteratively with a one-step inner model.
 struct IterativeLr {
@@ -67,9 +65,7 @@ fn main() {
     for horizon in [6usize, 12, 24, 48] {
         let mut settings = EvalSettings::rolling(lookback, horizon, profile.split);
         settings.max_windows = scale.max_windows().max(10);
-        let mut dms = Method::Window(Box::new(LinearRegressionForecaster::new(
-            lookback, horizon,
-        )));
+        let mut dms = Method::Window(Box::new(LinearRegressionForecaster::new(lookback, horizon)));
         let mut ims = Method::Window(Box::new(IterativeLr::new(lookback, horizon)));
         let dms_mae = evaluate(&mut dms, &series, &settings)
             .map(|o| o.metric(Metric::Mae))

@@ -21,13 +21,22 @@ fn main() {
     println!("|---|---|---|---|");
     for method_name in ["Naive", "LR", "NLinear"] {
         let mut row = format!("| {method_name} |");
-        for norm in [Normalization::ZScore, Normalization::MinMax, Normalization::None] {
+        for norm in [
+            Normalization::ZScore,
+            Normalization::MinMax,
+            Normalization::None,
+        ] {
             let mut settings = EvalSettings::rolling(lookback, horizon, profile.split);
             settings.normalization = norm;
             settings.max_windows = scale.max_windows().max(10);
-            let mut method =
-                build_method(method_name, lookback, horizon, series.dim(), Some(scale.train_config()))
-                    .expect("known method");
+            let mut method = build_method(
+                method_name,
+                lookback,
+                horizon,
+                series.dim(),
+                Some(scale.train_config()),
+            )
+            .expect("known method");
             match evaluate(&mut method, &series, &settings) {
                 Ok(out) => row.push_str(&format!(" {:.4} |", out.metric(Metric::Mae))),
                 Err(e) => row.push_str(&format!(" err({e}) |")),

@@ -1,0 +1,249 @@
+//! `bench_engine`: micro-benchmark of the batched-inference evaluation
+//! engine against the sequential baseline.
+//!
+//! Runs a fixed mini-grid on the ETTh1 profile:
+//!
+//! * window methods — per-window `predict` loop vs one `predict_batch`
+//!   call over every rolling window (`EvalSettings::batch_inference`);
+//! * statistical methods — sequential vs multi-threaded boundary
+//!   evaluation (`EvalSettings::window_parallelism`);
+//! * the underlying kernels — single-threaded vs `par_matmul` GEMM and
+//!   direct vs FFT full-lag ACF.
+//!
+//! Every comparison asserts that the fast path reproduces the slow path's
+//! metrics exactly before timing is reported. Results are printed and
+//! written to `BENCH_engine.json` at the workspace root as rebar-style
+//! `{name, value, unit}` entries.
+//!
+//! Interpreting the numbers: batching amortizes per-window fixed costs
+//! (tape construction, parameter copies, per-call allocations) while the
+//! floating-point work itself is identical in both paths, so methods
+//! whose per-window path is a scalar loop (LR) gain the most, and the
+//! thread-parallel entries (stat boundaries, `par_matmul` row blocks)
+//! scale with the `engine/cores` entry — on a single-core box they are
+//! expected to sit near 1.0x.
+
+use std::path::Path;
+use std::time::Instant;
+use tfb_core::eval::{evaluate, EvalSettings};
+use tfb_core::method::build_method;
+use tfb_json::JsonValue;
+use tfb_math::acf::{acf, acf_fft};
+use tfb_math::matrix::Matrix;
+use tfb_nn::TrainConfig;
+
+struct Entry {
+    name: String,
+    value: f64,
+    unit: &'static str,
+}
+
+fn push(entries: &mut Vec<Entry>, name: impl Into<String>, value: f64, unit: &'static str) {
+    entries.push(Entry {
+        name: name.into(),
+        value,
+        unit,
+    });
+}
+
+/// Pseudo-random matrix from a fixed xorshift stream (no zeros, so the
+/// GEMM zero-skip cannot bias the comparison).
+fn pseudo_random_matrix(rows: usize, cols: usize, mut seed: u64) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.data_mut() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        *v = (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    }
+    m
+}
+
+fn main() {
+    let mut entries: Vec<Entry> = Vec::new();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("machine: {cores} core(s) — parallel entries scale with this");
+    push(&mut entries, "engine/cores", cores as f64, "count");
+    let profile = tfb_datagen::profile_by_name("ETTh1").expect("ETTh1 profile");
+    let series = profile.generate(tfb_datagen::Scale {
+        max_len: 2_000,
+        max_dim: 6,
+    });
+    let quick = TrainConfig {
+        epochs: 2,
+        max_samples: 512,
+        ..TrainConfig::default()
+    };
+    let (lookback, horizon) = (96, 24);
+
+    // --- Window methods: per-window loop vs one batched call. ---------
+    println!("== window methods: sequential vs batched inference ==");
+    let mut speedups: Vec<f64> = Vec::new();
+    for name in ["LR", "NLinear", "DLinear", "MLP", "N-BEATS"] {
+        let mut seq_settings = EvalSettings::rolling(lookback, horizon, profile.split);
+        seq_settings.batch_inference = false;
+        let mut batch_settings = seq_settings.clone();
+        batch_settings.batch_inference = true;
+        let mut m1 =
+            build_method(name, lookback, horizon, series.dim(), Some(quick)).expect("method");
+        let mut m2 =
+            build_method(name, lookback, horizon, series.dim(), Some(quick)).expect("method");
+        let seq = evaluate(&mut m1, &series, &seq_settings).expect("sequential eval");
+        let bat = evaluate(&mut m2, &series, &batch_settings).expect("batched eval");
+        assert_eq!(
+            seq.metrics, bat.metrics,
+            "{name}: batched metrics diverged from sequential"
+        );
+        let s_us = seq.infer_time.as_secs_f64() * 1e6;
+        let b_us = bat.infer_time.as_secs_f64() * 1e6;
+        let speedup = s_us / b_us;
+        speedups.push(speedup);
+        println!(
+            "{name:>8}: {s_us:9.2} us/window sequential | {b_us:9.2} us/window batched | {speedup:6.1}x ({} windows)",
+            seq.n_windows
+        );
+        push(
+            &mut entries,
+            format!("engine/{name}/sequential_infer"),
+            s_us,
+            "us/window",
+        );
+        push(
+            &mut entries,
+            format!("engine/{name}/batched_infer"),
+            b_us,
+            "us/window",
+        );
+        push(&mut entries, format!("engine/{name}/speedup"), speedup, "x");
+    }
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    println!("window-method geometric-mean speedup: {geomean:.1}x");
+    push(
+        &mut entries,
+        "engine/window_methods/geomean_speedup",
+        geomean,
+        "x",
+    );
+
+    // --- Statistical methods: sequential vs parallel boundaries. ------
+    println!("\n== statistical methods: sequential vs parallel boundaries ==");
+    for name in ["Theta", "ETS"] {
+        let mut seq_settings = EvalSettings::rolling(lookback, horizon, profile.split);
+        seq_settings.max_windows = 120;
+        seq_settings.window_parallelism = 1;
+        let mut par_settings = seq_settings.clone();
+        par_settings.window_parallelism = 0;
+        let mut m = build_method(name, lookback, horizon, series.dim(), None).expect("method");
+        let t0 = Instant::now();
+        let seq = evaluate(&mut m, &series, &seq_settings).expect("sequential eval");
+        let s_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let par = evaluate(&mut m, &series, &par_settings).expect("parallel eval");
+        let p_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            seq.metrics, par.metrics,
+            "{name}: parallel metrics diverged from sequential"
+        );
+        let speedup = s_ms / p_ms;
+        println!(
+            "{name:>8}: {s_ms:9.1} ms sequential | {p_ms:9.1} ms parallel | {speedup:5.1}x ({} windows)",
+            seq.n_windows
+        );
+        push(
+            &mut entries,
+            format!("engine/{name}/sequential_wall"),
+            s_ms,
+            "ms",
+        );
+        push(
+            &mut entries,
+            format!("engine/{name}/parallel_wall"),
+            p_ms,
+            "ms",
+        );
+        push(&mut entries, format!("engine/{name}/speedup"), speedup, "x");
+    }
+
+    // --- GEMM kernel: single-threaded vs par_matmul. ------------------
+    println!("\n== kernels ==");
+    let a = pseudo_random_matrix(512, 512, 0x1234_5678);
+    let b = pseudo_random_matrix(512, 512, 0x9abc_def0);
+    let mut single_ms = f64::INFINITY;
+    let mut parallel_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r1 = a.matmul(&b).expect("matmul");
+        single_ms = single_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t1 = Instant::now();
+        let r2 = a.par_matmul(&b).expect("par_matmul");
+        parallel_ms = parallel_ms.min(t1.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(r1.data(), r2.data(), "par_matmul diverged from matmul");
+    }
+    println!(
+        "matmul 512x512: {single_ms:7.2} ms single | {parallel_ms:7.2} ms parallel | {:5.1}x",
+        single_ms / parallel_ms
+    );
+    push(&mut entries, "kernel/matmul_512/single", single_ms, "ms");
+    push(
+        &mut entries,
+        "kernel/matmul_512/parallel",
+        parallel_ms,
+        "ms",
+    );
+    push(
+        &mut entries,
+        "kernel/matmul_512/speedup",
+        single_ms / parallel_ms,
+        "x",
+    );
+
+    // --- Full-lag ACF: direct O(n^2) vs FFT O(n log n). ---------------
+    let n = 16_384usize;
+    let xs: Vec<f64> = (0..n)
+        .map(|t| (t as f64 / 37.0).sin() + 0.0005 * t as f64)
+        .collect();
+    let t0 = Instant::now();
+    let direct = acf(&xs, n - 1);
+    let direct_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let fft = acf_fft(&xs, n - 1);
+    let fft_ms = t1.elapsed().as_secs_f64() * 1e3;
+    for (k, (d, f)) in direct.iter().zip(&fft).enumerate() {
+        assert!((d - f).abs() < 1e-9, "acf lag {k}: {d} vs {f}");
+    }
+    println!(
+        "acf n={n}:   {direct_ms:7.1} ms direct | {fft_ms:7.2} ms fft      | {:5.0}x",
+        direct_ms / fft_ms
+    );
+    push(&mut entries, "kernel/acf_16384/direct", direct_ms, "ms");
+    push(&mut entries, "kernel/acf_16384/fft", fft_ms, "ms");
+    push(
+        &mut entries,
+        "kernel/acf_16384/speedup",
+        direct_ms / fft_ms,
+        "x",
+    );
+
+    // --- Emit rebar-style JSON at the workspace root. -----------------
+    let doc = JsonValue::Object(vec![(
+        "benchmarks".into(),
+        JsonValue::Array(
+            entries
+                .iter()
+                .map(|e| {
+                    JsonValue::Object(vec![
+                        ("name".into(), JsonValue::from(e.name.as_str())),
+                        ("value".into(), JsonValue::Number(e.value)),
+                        ("unit".into(), JsonValue::from(e.unit)),
+                    ])
+                })
+                .collect(),
+        ),
+    )]);
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_engine.json");
+    std::fs::write(&path, doc.pretty() + "\n").expect("write BENCH_engine.json");
+    println!("\nwrote {}", path.display());
+}

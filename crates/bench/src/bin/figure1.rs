@@ -25,7 +25,10 @@ fn main() {
     println!("Figure 1 — characteristic exemplars (value with / without):\n");
     let n = 480;
 
-    let seasonal = SeriesBuilder::new(n, 1).seasonal(24, 4.0).noise(0.4).build();
+    let seasonal = SeriesBuilder::new(n, 1)
+        .seasonal(24, 4.0)
+        .noise(0.4)
+        .build();
     let flat = SeriesBuilder::new(n, 2).noise(1.0).build();
     println!(
         "seasonality (AQShunyi-style): {:.3} vs {:.3}",

@@ -10,8 +10,16 @@ use tfb_core::data::DatasetCharacteristics;
 use tfb_core::Metric;
 
 const DATASETS: [&str; 10] = [
-    "Exchange", "Wind", "NN5", "ZafNoo", "AQShunyi", "ETTh1", "Weather", "Electricity",
-    "Solar", "PEMS-BAY",
+    "Exchange",
+    "Wind",
+    "NN5",
+    "ZafNoo",
+    "AQShunyi",
+    "ETTh1",
+    "Weather",
+    "Electricity",
+    "Solar",
+    "PEMS-BAY",
 ];
 
 fn main() {

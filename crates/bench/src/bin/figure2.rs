@@ -7,10 +7,44 @@ use tfb_datagen::all_profiles;
 
 /// Datasets (by domain) included in each existing benchmark, per Figure 2.
 const COMPETITORS: [(&str, &[(&str, usize)]); 4] = [
-    ("TSlib", &[("Traffic", 1), ("Electricity", 5), ("Environment", 1), ("Economic", 1), ("Health", 1)]),
-    ("LTSF-Linear", &[("Traffic", 1), ("Electricity", 5), ("Environment", 1), ("Economic", 1), ("Health", 1)]),
-    ("BasicTS", &[("Traffic", 6), ("Electricity", 5), ("Environment", 1), ("Economic", 1)]),
-    ("BasicTS+", &[("Traffic", 8), ("Electricity", 6), ("Environment", 1), ("Economic", 1)]),
+    (
+        "TSlib",
+        &[
+            ("Traffic", 1),
+            ("Electricity", 5),
+            ("Environment", 1),
+            ("Economic", 1),
+            ("Health", 1),
+        ],
+    ),
+    (
+        "LTSF-Linear",
+        &[
+            ("Traffic", 1),
+            ("Electricity", 5),
+            ("Environment", 1),
+            ("Economic", 1),
+            ("Health", 1),
+        ],
+    ),
+    (
+        "BasicTS",
+        &[
+            ("Traffic", 6),
+            ("Electricity", 5),
+            ("Environment", 1),
+            ("Economic", 1),
+        ],
+    ),
+    (
+        "BasicTS+",
+        &[
+            ("Traffic", 8),
+            ("Electricity", 6),
+            ("Environment", 1),
+            ("Economic", 1),
+        ],
+    ),
 ];
 
 fn main() {

@@ -12,7 +12,15 @@ use tfb_math::stats::{min_max_normalize, quantile};
 
 /// The datasets TSlib ships (the paper's most-used competitor).
 const TSLIB: [&str; 9] = [
-    "ETTh1", "ETTh2", "ETTm1", "ETTm2", "Electricity", "Traffic", "Weather", "Exchange", "ILI",
+    "ETTh1",
+    "ETTh2",
+    "ETTm1",
+    "ETTm2",
+    "Electricity",
+    "Traffic",
+    "Weather",
+    "Exchange",
+    "ILI",
 ];
 
 fn five_number(xs: &[f64]) -> [f64; 5] {

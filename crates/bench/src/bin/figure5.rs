@@ -68,8 +68,19 @@ fn main() {
     let benchmarks: [(&str, Option<&[Frequency]>); 6] = [
         ("TFB", None),
         ("M4", None), // M4 also spans all frequencies; it differs in size, not profile
-        ("M3", Some(&[Frequency::Yearly, Frequency::Quarterly, Frequency::Monthly, Frequency::Other])),
-        ("M1/Tourism", Some(&[Frequency::Yearly, Frequency::Quarterly, Frequency::Monthly])),
+        (
+            "M3",
+            Some(&[
+                Frequency::Yearly,
+                Frequency::Quarterly,
+                Frequency::Monthly,
+                Frequency::Other,
+            ]),
+        ),
+        (
+            "M1/Tourism",
+            Some(&[Frequency::Yearly, Frequency::Quarterly, Frequency::Monthly]),
+        ),
         ("NN5", Some(&[Frequency::Daily])),
         ("Web/Wike", Some(&[Frequency::Daily, Frequency::Weekly])),
     ];

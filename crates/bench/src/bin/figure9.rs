@@ -12,7 +12,14 @@ use tfb_core::Metric;
 use tfb_nn::DeepModelKind;
 
 const DATASETS: [&str; 8] = [
-    "FRED-MD", "NYSE", "Covid-19", "NN5", "Electricity", "Solar", "Traffic", "ILI",
+    "FRED-MD",
+    "NYSE",
+    "Covid-19",
+    "NN5",
+    "Electricity",
+    "Solar",
+    "Traffic",
+    "ILI",
 ];
 
 fn family_members(family: &str) -> Vec<&'static str> {

@@ -12,7 +12,14 @@ use tfb_core::Metric;
 
 fn main() {
     let scale = RunScale::from_env();
-    let methods = ["VAR", "LR", "PatchTST", "NLinear", "FEDformer", "Crossformer"];
+    let methods = [
+        "VAR",
+        "LR",
+        "PatchTST",
+        "NLinear",
+        "FEDformer",
+        "Crossformer",
+    ];
     let mut table = ResultTable::default();
     for name in ["NASDAQ", "Wind", "ILI"] {
         let profile = tfb_datagen::profile_by_name(name).expect("profile exists");

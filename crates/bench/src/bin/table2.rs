@@ -35,8 +35,14 @@ fn main() {
     let mut trained: Vec<_> = methods
         .iter()
         .map(|m| {
-            build_method(m, lookback, horizon, series.dim(), Some(scale.train_config()))
-                .expect("known method")
+            build_method(
+                m,
+                lookback,
+                horizon,
+                series.dim(),
+                Some(scale.train_config()),
+            )
+            .expect("known method")
         })
         .collect();
     for &bs in &batch_sizes {

@@ -6,13 +6,25 @@
 const BENCHMARKS: [(&str, [&str; 7]); 9] = [
     ("M3", ["yes", "no", "yes", "yes", "no", "no", "no"]),
     ("M4", ["yes", "no", "yes", "yes", "yes", "no", "no"]),
-    ("LTSF-Linear", ["no", "yes", "no", "no", "yes", "no", "partial"]),
+    (
+        "LTSF-Linear",
+        ["no", "yes", "no", "no", "yes", "no", "partial"],
+    ),
     ("TSlib", ["yes", "yes", "no", "no", "yes", "no", "partial"]),
-    ("BasicTS", ["no", "yes", "no", "yes", "yes", "no", "partial"]),
-    ("BasicTS+", ["no", "yes", "no", "no", "yes", "partial", "partial"]),
+    (
+        "BasicTS",
+        ["no", "yes", "no", "yes", "yes", "no", "partial"],
+    ),
+    (
+        "BasicTS+",
+        ["no", "yes", "no", "no", "yes", "partial", "partial"],
+    ),
     ("Monash", ["yes", "no", "yes", "yes", "no", "no", "partial"]),
     ("Libra", ["yes", "no", "yes", "yes", "no", "no", "partial"]),
-    ("TFB (ours)", ["yes", "yes", "yes", "yes", "yes", "yes", "yes"]),
+    (
+        "TFB (ours)",
+        ["yes", "yes", "yes", "yes", "yes", "yes", "yes"],
+    ),
 ];
 
 const PROPERTIES: [&str; 7] = [

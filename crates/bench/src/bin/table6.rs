@@ -47,7 +47,9 @@ fn main() {
     );
     let results: Mutex<Vec<SeriesResult>> = Mutex::new(Vec::new());
     let next = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -59,7 +61,13 @@ fn main() {
                 let horizon = UnivariateArchive::horizon_for(s.frequency);
                 let v = CharacteristicVector::of_series(s);
                 let t = v.tag(Default::default());
-                let tags = [t.seasonality, t.trend, t.stationary, t.transition, t.shifting];
+                let tags = [
+                    t.seasonality,
+                    t.trend,
+                    t.stationary,
+                    t.transition,
+                    t.shifting,
+                ];
                 let multi = MultiSeries::from_uni(s);
                 let mut scores = BTreeMap::new();
                 for method_name in UTSF_METHODS {
@@ -108,9 +116,7 @@ fn main() {
                         e.1 += msmape;
                         e.2 += 1;
                     }
-                    if msmape.is_finite()
-                        && best.is_none_or(|(_, b)| msmape < b)
-                    {
+                    if msmape.is_finite() && best.is_none_or(|(_, b)| msmape < b) {
                         best = Some((m, msmape));
                     }
                 }
@@ -136,9 +142,7 @@ fn main() {
             rows.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
             for (m, mase, msmape, ranks) in rows {
                 println!("| {m} | {mase:.3} | {msmape:.3} | {ranks} |");
-                csv.push_str(&format!(
-                    "{cname},{present},{m},{mase},{msmape},{ranks}\n"
-                ));
+                csv.push_str(&format!("{cname},{present},{m},{mase},{msmape},{ranks}\n"));
             }
         }
     }

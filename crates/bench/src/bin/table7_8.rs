@@ -60,7 +60,9 @@ fn main() {
     let table = Mutex::new(ResultTable::default());
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     // Generate each dataset once up front (cheap relative to evaluation).
     let datasets: std::collections::BTreeMap<&str, tfb_data::MultiSeries> = scored
         .iter()

@@ -5,12 +5,11 @@
 //! paper's evaluation layer.
 
 use crate::metrics::Metric;
-use serde::{Deserialize, Serialize};
 use tfb_data::Normalization;
+use tfb_json::{JsonError, JsonValue};
 
 /// Strategy selector in configs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StrategyConfig {
     /// Fixed forecasting.
     Fixed,
@@ -22,7 +21,7 @@ pub enum StrategyConfig {
 }
 
 /// One experiment description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BenchmarkConfig {
     /// Dataset names (must exist in the registry).
     pub datasets: Vec<String>,
@@ -35,20 +34,16 @@ pub struct BenchmarkConfig {
     pub lookbacks: Vec<usize>,
     /// Evaluation strategy.
     pub strategy: StrategyConfig,
-    /// Normalization scheme.
-    #[serde(default)]
+    /// Normalization scheme (defaults to z-score when absent).
     pub normalization: Normalization,
     /// Metric labels to report (first one selects the best
     /// hyper-parameter set).
     pub metrics: Vec<String>,
-    /// Cap on rolling windows per evaluation (0 = all).
-    #[serde(default)]
+    /// Cap on rolling windows per evaluation (0 = all; defaults to 0).
     pub max_windows: usize,
     /// Maximum generated series length.
-    #[serde(default = "default_max_len")]
     pub max_len: usize,
     /// Maximum generated channel count.
-    #[serde(default = "default_max_dim")]
     pub max_dim: usize,
 }
 
@@ -60,15 +55,138 @@ fn default_max_dim() -> usize {
     tfb_datagen::Scale::DEFAULT.max_dim
 }
 
+fn semantic(msg: impl Into<String>) -> JsonError {
+    JsonError {
+        message: msg.into(),
+        offset: 0,
+    }
+}
+
+fn string_array(doc: &JsonValue, key: &str) -> Result<Vec<String>, JsonError> {
+    doc.get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| semantic(format!("missing array field '{key}'")))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| semantic(format!("'{key}' entries must be strings")))
+        })
+        .collect()
+}
+
+fn usize_array(doc: &JsonValue, key: &str) -> Result<Vec<usize>, JsonError> {
+    doc.get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| semantic(format!("missing array field '{key}'")))?
+        .iter()
+        .map(|v| {
+            v.as_usize()
+                .ok_or_else(|| semantic(format!("'{key}' entries must be non-negative integers")))
+        })
+        .collect()
+}
+
+impl StrategyConfig {
+    fn from_value(v: &JsonValue) -> Result<StrategyConfig, JsonError> {
+        match v {
+            JsonValue::String(s) if s == "fixed" => Ok(StrategyConfig::Fixed),
+            JsonValue::Object(_) => {
+                let rolling = v
+                    .get("rolling")
+                    .ok_or_else(|| semantic("strategy object must have a 'rolling' key"))?;
+                let stride = rolling
+                    .get("stride")
+                    .and_then(JsonValue::as_usize)
+                    .ok_or_else(|| semantic("'rolling' needs a 'stride' integer"))?;
+                Ok(StrategyConfig::Rolling { stride })
+            }
+            _ => Err(semantic("strategy must be \"fixed\" or {\"rolling\": ...}")),
+        }
+    }
+
+    fn to_value(self) -> JsonValue {
+        match self {
+            StrategyConfig::Fixed => JsonValue::from("fixed"),
+            StrategyConfig::Rolling { stride } => JsonValue::Object(vec![(
+                "rolling".into(),
+                JsonValue::Object(vec![("stride".into(), JsonValue::from(stride))]),
+            )]),
+        }
+    }
+}
+
 impl BenchmarkConfig {
-    /// Parses a config from JSON.
-    pub fn from_json(text: &str) -> Result<BenchmarkConfig, serde_json::Error> {
-        serde_json::from_str(text)
+    /// Parses a config from JSON. Absent `normalization`, `max_windows`,
+    /// `max_len` and `max_dim` fields fall back to their defaults.
+    pub fn from_json(text: &str) -> Result<BenchmarkConfig, JsonError> {
+        let doc = JsonValue::parse(text)?;
+        let strategy = StrategyConfig::from_value(
+            doc.get("strategy")
+                .ok_or_else(|| semantic("missing field 'strategy'"))?,
+        )?;
+        let normalization = match doc.get("normalization") {
+            None => Normalization::default(),
+            Some(v) => {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| semantic("'normalization' must be a string"))?;
+                Normalization::parse_name(name)
+                    .ok_or_else(|| semantic(format!("unknown normalization '{name}'")))?
+            }
+        };
+        Ok(BenchmarkConfig {
+            datasets: string_array(&doc, "datasets")?,
+            methods: string_array(&doc, "methods")?,
+            horizons: usize_array(&doc, "horizons")?,
+            lookbacks: usize_array(&doc, "lookbacks")?,
+            strategy,
+            normalization,
+            metrics: string_array(&doc, "metrics")?,
+            max_windows: match doc.get("max_windows") {
+                None => 0,
+                Some(v) => v
+                    .as_usize()
+                    .ok_or_else(|| semantic("'max_windows' must be a non-negative integer"))?,
+            },
+            max_len: match doc.get("max_len") {
+                None => default_max_len(),
+                Some(v) => v
+                    .as_usize()
+                    .ok_or_else(|| semantic("'max_len' must be a non-negative integer"))?,
+            },
+            max_dim: match doc.get("max_dim") {
+                None => default_max_dim(),
+                Some(v) => v
+                    .as_usize()
+                    .ok_or_else(|| semantic("'max_dim' must be a non-negative integer"))?,
+            },
+        })
     }
 
     /// Serializes the config to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config serializes")
+        let strings = |xs: &[String]| {
+            JsonValue::Array(xs.iter().map(|s| JsonValue::from(s.as_str())).collect())
+        };
+        let numbers =
+            |xs: &[usize]| JsonValue::Array(xs.iter().map(|&n| JsonValue::from(n)).collect());
+        JsonValue::Object(vec![
+            ("datasets".into(), strings(&self.datasets)),
+            ("methods".into(), strings(&self.methods)),
+            ("horizons".into(), numbers(&self.horizons)),
+            ("lookbacks".into(), numbers(&self.lookbacks)),
+            ("strategy".into(), self.strategy.to_value()),
+            (
+                "normalization".into(),
+                JsonValue::from(self.normalization.name()),
+            ),
+            ("metrics".into(), strings(&self.metrics)),
+            ("max_windows".into(), JsonValue::from(self.max_windows)),
+            ("max_len".into(), JsonValue::from(self.max_len)),
+            ("max_dim".into(), JsonValue::from(self.max_dim)),
+        ])
+        .pretty()
     }
 
     /// The parsed metric list (unknown labels are dropped).
@@ -111,7 +229,7 @@ impl BenchmarkConfig {
 }
 
 /// One (dataset, method, horizon) cell of the experiment grid.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {
     /// Dataset name.
     pub dataset: String,

@@ -130,10 +130,7 @@ pub fn expands_coverage(
 /// series by its five-characteristic vector and keep the principal-feature
 /// subset covering `threshold` (the paper uses 0.9) of the explained
 /// variance. Returns the retained indices, ascending.
-pub fn curate_archive(
-    archive: &tfb_datagen::UnivariateArchive,
-    threshold: f64,
-) -> Vec<usize> {
+pub fn curate_archive(archive: &tfb_datagen::UnivariateArchive, threshold: f64) -> Vec<usize> {
     use tfb_characteristics::CharacteristicVector;
     let rows: Vec<Vec<f64>> = archive
         .series

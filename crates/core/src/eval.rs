@@ -12,8 +12,11 @@ use crate::method::Method;
 use crate::metrics::{compute, Metric, MetricContext};
 use crate::{CoreError, Result};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tfb_data::{ChronoSplit, MultiSeries, Normalization, Normalizer, SplitRatio};
+use tfb_math::matrix::Matrix;
 
 /// Which forecasting strategy to evaluate with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +61,17 @@ pub struct EvalSettings {
     /// reproducing the unfair "drop last" behaviour. `None` (TFB default)
     /// keeps every window.
     pub drop_last: Option<(usize, bool)>,
+    /// Run window methods through one [`predict_batch`] call over all
+    /// rolling windows instead of a per-window loop. Results are
+    /// bit-identical either way; this only changes the execution shape.
+    ///
+    /// [`predict_batch`]: tfb_models::WindowForecaster::predict_batch
+    pub batch_inference: bool,
+    /// Worker threads for statistical-method rolling boundaries: `0` uses
+    /// one per available core, `1` evaluates sequentially. Metric sums are
+    /// reduced in boundary order, so every setting yields bit-identical
+    /// outcomes.
+    pub window_parallelism: usize,
 }
 
 impl EvalSettings {
@@ -73,6 +87,8 @@ impl EvalSettings {
             custom_metrics: Vec::new(),
             max_windows: 0,
             drop_last: None,
+            batch_inference: true,
+            window_parallelism: 0,
         }
     }
 
@@ -88,6 +104,8 @@ impl EvalSettings {
             custom_metrics: Vec::new(),
             max_windows: 1,
             drop_last: None,
+            batch_inference: true,
+            window_parallelism: 0,
         }
     }
 }
@@ -123,7 +141,11 @@ impl EvalOutcome {
 }
 
 /// Evaluates a method on a dataset under the given settings.
-pub fn evaluate(method: &mut Method, series: &MultiSeries, settings: &EvalSettings) -> Result<EvalOutcome> {
+pub fn evaluate(
+    method: &mut Method,
+    series: &MultiSeries,
+    settings: &EvalSettings,
+) -> Result<EvalOutcome> {
     match settings.strategy {
         Strategy::Fixed => evaluate_fixed(method, series, settings),
         Strategy::Rolling { stride } => evaluate_rolling(method, series, settings, stride),
@@ -158,8 +180,7 @@ fn evaluate_fixed(
             let t0 = Instant::now();
             m.train(&history_n)?;
             train_time = t0.elapsed();
-            let window =
-                history_n.values()[(history.len() - l) * series.dim()..].to_vec();
+            let window = history_n.values()[(history.len() - l) * series.dim()..].to_vec();
             m.predict(&window, series.dim())?
         }
     };
@@ -248,37 +269,126 @@ fn evaluate_rolling(
     }
     let train_ch = normed.slice_rows(0..split.val_start).channel(0);
     let ctx_period = series.frequency.default_period();
-    let mut sums: BTreeMap<&'static str, f64> = BTreeMap::new();
-    let mut infer_total = Duration::ZERO;
-    let mut evaluated = 0usize;
-    for &t in &boundaries {
-        let actual = &normed.values()[t * dim..(t + f) * dim];
-        let t0 = Instant::now();
-        let forecast = match method {
-            Method::Stat(m) => {
-                // Refit on the full history up to the boundary.
-                let history = normed.slice_rows(0..t);
-                match m.forecast(&history, f) {
-                    Ok(fc) => fc,
-                    Err(_) => continue, // this window is unusable for this method
-                }
-            }
-            Method::Window(m) => {
-                let window = &normed.values()[(t - l) * dim..t * dim];
-                m.predict(window, dim)?
-            }
-        };
-        infer_total += t0.elapsed();
+    // Per-boundary metric evaluation, shared by every execution shape.
+    let metric_values = |forecast: &[f64], actual: &[f64]| -> Vec<f64> {
         let ctx = MetricContext {
             train: Some(&train_ch),
             period: ctx_period,
         };
-        for &metric in &settings.metrics {
-            let v = compute(metric, &forecast, actual, ctx);
-            *sums.entry(metric.label()).or_insert(0.0) += v;
+        settings
+            .metrics
+            .iter()
+            .map(|&m| compute(m, forecast, actual, ctx))
+            .chain(
+                settings
+                    .custom_metrics
+                    .iter()
+                    .map(|(_, f)| f(forecast, actual)),
+            )
+            .collect()
+    };
+    let actual_at = |t: usize| &normed.values()[t * dim..(t + f) * dim];
+    let mut infer_total = Duration::ZERO;
+    // One `Some(metric values)` per boundary, `None` for unusable windows
+    // (a statistical method that cannot fit that history). Filled batched,
+    // in parallel, or sequentially — then reduced in boundary order below,
+    // so the execution shape never changes the outcome.
+    let per_boundary: Vec<Option<Vec<f64>>> = match method {
+        Method::Window(m) if settings.batch_inference => {
+            // Materialize every look-back window once and predict them all
+            // in a single batched call.
+            let mut windows = Matrix::zeros(boundaries.len(), l * dim);
+            for (i, &t) in boundaries.iter().enumerate() {
+                windows.data_mut()[i * l * dim..(i + 1) * l * dim]
+                    .copy_from_slice(&normed.values()[(t - l) * dim..t * dim]);
+            }
+            let t0 = Instant::now();
+            let forecasts = m.predict_batch(&windows, dim)?;
+            infer_total = t0.elapsed();
+            boundaries
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| Some(metric_values(forecasts.row(i), actual_at(t))))
+                .collect()
         }
-        for (label, f) in &settings.custom_metrics {
-            *sums.entry(label).or_insert(0.0) += f(&forecast, actual);
+        Method::Window(m) => boundaries
+            .iter()
+            .map(|&t| {
+                let window = &normed.values()[(t - l) * dim..t * dim];
+                let t0 = Instant::now();
+                let forecast = m.predict(window, dim)?;
+                infer_total += t0.elapsed();
+                Ok(Some(metric_values(&forecast, actual_at(t))))
+            })
+            .collect::<Result<Vec<_>>>()?,
+        Method::Stat(m) => {
+            let workers = match settings.window_parallelism {
+                0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+                n => n,
+            }
+            .min(boundaries.len())
+            .max(1);
+            let eval_boundary = |t: usize| -> Option<(Vec<f64>, Duration)> {
+                // Refit on the full history up to the boundary; a history
+                // this method cannot fit makes the window unusable.
+                let history = normed.slice_rows(0..t);
+                let t0 = Instant::now();
+                let forecast = m.forecast(&history, f).ok()?;
+                let spent = t0.elapsed();
+                Some((metric_values(&forecast, actual_at(t)), spent))
+            };
+            type BoundarySlot = Mutex<Option<Option<(Vec<f64>, Duration)>>>;
+            let timed: Vec<Option<(Vec<f64>, Duration)>> = if workers < 2 {
+                boundaries.iter().map(|&t| eval_boundary(t)).collect()
+            } else {
+                let slots: Vec<BoundarySlot> =
+                    boundaries.iter().map(|_| Mutex::new(None)).collect();
+                let next = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= boundaries.len() {
+                                break;
+                            }
+                            let out = eval_boundary(boundaries[i]);
+                            *slots[i].lock().expect("boundary slot poisoned") = Some(out);
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|s| {
+                        s.into_inner()
+                            .expect("boundary slot poisoned")
+                            .expect("worker filled every slot")
+                    })
+                    .collect()
+            };
+            timed
+                .into_iter()
+                .map(|r| {
+                    r.map(|(values, spent)| {
+                        infer_total += spent;
+                        values
+                    })
+                })
+                .collect()
+        }
+    };
+    // Deterministic ordered reduction: sum each metric over boundaries in
+    // ascending boundary order, exactly as the sequential loop would.
+    let labels: Vec<&'static str> = settings
+        .metrics
+        .iter()
+        .map(|m| m.label())
+        .chain(settings.custom_metrics.iter().map(|(label, _)| *label))
+        .collect();
+    let mut sums = vec![0.0; labels.len()];
+    let mut evaluated = 0usize;
+    for values in per_boundary.into_iter().flatten() {
+        for (acc, v) in sums.iter_mut().zip(&values) {
+            *acc += v;
         }
         evaluated += 1;
     }
@@ -289,8 +399,9 @@ fn evaluate_rolling(
             series.name
         )));
     }
-    let metrics: BTreeMap<String, f64> = sums
+    let metrics: BTreeMap<String, f64> = labels
         .into_iter()
+        .zip(&sums)
         .map(|(k, v)| (k.to_string(), v / evaluated as f64))
         .collect();
     Ok(EvalOutcome {
@@ -412,14 +523,66 @@ mod tests {
     }
 
     #[test]
+    fn batched_inference_matches_per_window_for_every_window_method() {
+        // Every ML and DL method must produce bit-identical rolling metrics
+        // whether windows are predicted one at a time or in one batch.
+        let s = seasonal_series(260);
+        let quick = tfb_nn::TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            lr: 0.01,
+            max_samples: 128,
+            patience: 5,
+            val_fraction: 0.2,
+            seed: 0,
+        };
+        for name in crate::method::ML_METHODS
+            .iter()
+            .chain(&crate::method::DL_METHODS)
+        {
+            let mut batched_settings = EvalSettings::rolling(24, 8, SplitRatio::R712);
+            batched_settings.max_windows = 6;
+            let mut single_settings = batched_settings.clone();
+            single_settings.batch_inference = false;
+            let mut m1 = build_method(name, 24, 8, 1, Some(quick)).unwrap();
+            let mut m2 = build_method(name, 24, 8, 1, Some(quick)).unwrap();
+            let batched =
+                evaluate(&mut m1, &s, &batched_settings).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let single =
+                evaluate(&mut m2, &s, &single_settings).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(batched.n_windows, single.n_windows, "{name}");
+            assert_eq!(batched.metrics, single.metrics, "{name}");
+        }
+    }
+
+    #[test]
+    fn parallel_stat_boundaries_match_sequential_exactly() {
+        let s = seasonal_series(400);
+        for name in ["Naive", "Mean", "Drift", "Theta", "ETS"] {
+            let mut sequential = EvalSettings::rolling(24, 12, SplitRatio::R712);
+            sequential.window_parallelism = 1;
+            let mut parallel = sequential.clone();
+            parallel.window_parallelism = 4;
+            let mut auto = sequential.clone();
+            auto.window_parallelism = 0;
+            let mut m = build_method(name, 24, 12, 1, None).unwrap();
+            let seq = evaluate(&mut m, &s, &sequential).unwrap();
+            let par = evaluate(&mut m, &s, &parallel).unwrap();
+            let aut = evaluate(&mut m, &s, &auto).unwrap();
+            assert_eq!(seq.n_windows, par.n_windows, "{name}");
+            assert_eq!(seq.metrics, par.metrics, "{name}");
+            assert_eq!(seq.metrics, aut.metrics, "{name}");
+        }
+    }
+
+    #[test]
     fn normalization_is_fitted_on_train_only() {
         // A series with a huge shift in the test region: z-scores computed
         // on the whole series would shrink training values; fitted on train
         // only, the train region must have ~unit variance.
         let mut xs: Vec<f64> = (0..200).map(|t| (t as f64 * 0.7).sin()).collect();
         xs.extend((0..50).map(|_| 1000.0));
-        let s = MultiSeries::from_channels("sh", Frequency::Hourly, Domain::Stock, &[xs])
-            .unwrap();
+        let s = MultiSeries::from_channels("sh", Frequency::Hourly, Domain::Stock, &[xs]).unwrap();
         let split = ChronoSplit::split(&s, SplitRatio::R712).unwrap();
         let norm = Normalizer::fit(&split.train, Normalization::ZScore);
         let train_n = norm.apply(&split.train).unwrap();

@@ -186,8 +186,7 @@ mod tests {
     #[test]
     fn factory_builds_every_known_method() {
         for name in STAT_METHODS.iter().chain(&ML_METHODS).chain(&DL_METHODS) {
-            let m = build_method(name, 24, 6, 3, None)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let m = build_method(name, 24, 6, 3, None).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(&m.name(), name);
         }
     }

@@ -6,10 +6,8 @@
 //! additionally needs the training series and the seasonal period
 //! (the denominator is the in-sample seasonal-naive error).
 
-use serde::{Deserialize, Serialize};
-
 /// The eight TFB metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Metric {
     /// Mean absolute error (Eq. 7).
     Mae,
@@ -204,9 +202,7 @@ mod tests {
         let y = [2.0, 2.0, 5.0];
         assert!((compute(Metric::Mae, &f, &y, CTX) - 1.0).abs() < 1e-12);
         assert!((compute(Metric::Mse, &f, &y, CTX) - 5.0 / 3.0).abs() < 1e-12);
-        assert!(
-            (compute(Metric::Rmse, &f, &y, CTX) - (5.0_f64 / 3.0).sqrt()).abs() < 1e-12
-        );
+        assert!((compute(Metric::Rmse, &f, &y, CTX) - (5.0_f64 / 3.0).sqrt()).abs() < 1e-12);
     }
 
     #[test]

@@ -7,9 +7,9 @@ use crate::config::{BenchmarkConfig, JobSpec, StrategyConfig};
 use crate::eval::{evaluate, EvalOutcome, EvalSettings, Strategy};
 use crate::method::build_method;
 use crate::{CoreError, Result};
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use tfb_data::MultiSeries;
 use tfb_nn::TrainConfig;
 
@@ -23,17 +23,60 @@ pub enum Parallelism {
 }
 
 /// Shared, lazily generated dataset cache keyed by name.
-type DatasetCache = Arc<Mutex<HashMap<String, Arc<MultiSeries>>>>;
+///
+/// The map lock only guards slot creation; generation happens outside it
+/// under the slot's own [`OnceLock`], which doubles as an entry-level
+/// "in-flight" marker: when two workers race on the same dataset, one
+/// generates while the other blocks on the slot, so a profile is never
+/// generated twice (and workers loading *different* datasets never wait on
+/// each other's generation).
+#[derive(Debug, Default)]
+pub struct DatasetCache {
+    slots: Mutex<HashMap<String, Arc<OnceLock<Arc<MultiSeries>>>>>,
+    generations: AtomicUsize,
+}
 
-fn load_dataset(cache: &DatasetCache, name: &str, scale: tfb_datagen::Scale) -> Result<Arc<MultiSeries>> {
-    if let Some(s) = cache.lock().get(name) {
-        return Ok(Arc::clone(s));
+impl DatasetCache {
+    /// An empty cache.
+    pub fn new() -> DatasetCache {
+        DatasetCache::default()
     }
-    let profile = tfb_datagen::profile_by_name(name)
-        .ok_or_else(|| CoreError::Eval(format!("unknown dataset: {name}")))?;
-    let series = Arc::new(profile.generate(scale));
-    cache.lock().insert(name.to_string(), Arc::clone(&series));
-    Ok(series)
+
+    /// Returns the dataset, generating it at most once across all threads.
+    pub fn get_or_generate(
+        &self,
+        name: &str,
+        scale: tfb_datagen::Scale,
+    ) -> Result<Arc<MultiSeries>> {
+        // Validate the name before claiming a slot so unknown datasets
+        // never leave an empty entry behind.
+        let profile = tfb_datagen::profile_by_name(name)
+            .ok_or_else(|| CoreError::Eval(format!("unknown dataset: {name}")))?;
+        let slot = {
+            let mut slots = self.slots.lock().expect("dataset cache poisoned");
+            Arc::clone(slots.entry(name.to_string()).or_default())
+        };
+        let series = slot.get_or_init(|| {
+            self.generations.fetch_add(1, Ordering::Relaxed);
+            Arc::new(profile.generate(scale))
+        });
+        Ok(Arc::clone(series))
+    }
+
+    /// How many datasets have actually been generated (as opposed to served
+    /// from cache). With N distinct dataset names this is at most N no
+    /// matter how many threads share the cache.
+    pub fn generation_count(&self) -> usize {
+        self.generations.load(Ordering::Relaxed)
+    }
+}
+
+fn load_dataset(
+    cache: &DatasetCache,
+    name: &str,
+    scale: tfb_datagen::Scale,
+) -> Result<Arc<MultiSeries>> {
+    cache.get_or_generate(name, scale)
 }
 
 fn settings_for(config: &BenchmarkConfig, job: &JobSpec, lookback: usize) -> Result<EvalSettings> {
@@ -53,6 +96,8 @@ fn settings_for(config: &BenchmarkConfig, job: &JobSpec, lookback: usize) -> Res
         custom_metrics: Vec::new(),
         max_windows: config.max_windows,
         drop_last: None,
+        batch_inference: true,
+        window_parallelism: 0,
     })
 }
 
@@ -74,7 +119,13 @@ pub fn run_job(
     for lookback in config.search_space() {
         // A look-back candidate longer than the data affords is skipped.
         let settings = settings_for(config, job, lookback)?;
-        let mut method = build_method(&job.method, lookback, job.horizon, series.dim(), train_config)?;
+        let mut method = build_method(
+            &job.method,
+            lookback,
+            job.horizon,
+            series.dim(),
+            train_config,
+        )?;
         match evaluate(&mut method, &series, &settings) {
             Ok(out) => {
                 let score = out.metric(primary);
@@ -107,7 +158,7 @@ pub fn run_jobs(
     train_config: Option<TrainConfig>,
 ) -> Vec<Result<EvalOutcome>> {
     let jobs = config.jobs();
-    let cache: DatasetCache = Arc::new(Mutex::new(HashMap::new()));
+    let cache = DatasetCache::new();
     match parallelism {
         Parallelism::Sequential => jobs
             .iter()
@@ -117,22 +168,26 @@ pub fn run_jobs(
             let n = n.max(1);
             let results: Vec<Mutex<Option<Result<EvalOutcome>>>> =
                 jobs.iter().map(|_| Mutex::new(None)).collect();
-            let next = std::sync::atomic::AtomicUsize::new(0);
+            let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 for _ in 0..n {
                     scope.spawn(|| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= jobs.len() {
                             break;
                         }
                         let out = run_job(config, &jobs[i], &cache, train_config);
-                        *results[i].lock() = Some(out);
+                        *results[i].lock().expect("result slot poisoned") = Some(out);
                     });
                 }
             });
             results
                 .into_iter()
-                .map(|m| m.into_inner().expect("worker filled every slot"))
+                .map(|m| {
+                    m.into_inner()
+                        .expect("result slot poisoned")
+                        .expect("worker filled every slot")
+                })
                 .collect()
         }
     }
@@ -173,15 +228,19 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let cfg = tiny_config(&["Naive", "Mean", "Drift"]);
-        let seq: Vec<f64> = run_jobs(&cfg, Parallelism::Sequential, None)
-            .into_iter()
-            .map(|r| r.unwrap().metric(crate::Metric::Mae))
-            .collect();
-        let par: Vec<f64> = run_jobs(&cfg, Parallelism::Threads(3), None)
-            .into_iter()
-            .map(|r| r.unwrap().metric(crate::Metric::Mae))
-            .collect();
+        // Job-level threading must leave every metric of every job
+        // bit-identical, including the window methods' batched inference.
+        let cfg = tiny_config(&["Naive", "Mean", "Drift", "LR"]);
+        let unpack = |rs: Vec<Result<EvalOutcome>>| -> Vec<_> {
+            rs.into_iter()
+                .map(|r| {
+                    let o = r.unwrap();
+                    (o.method, o.n_windows, o.metrics)
+                })
+                .collect()
+        };
+        let seq = unpack(run_jobs(&cfg, Parallelism::Sequential, None));
+        let par = unpack(run_jobs(&cfg, Parallelism::Threads(3), None));
         assert_eq!(seq, par);
     }
 
@@ -189,17 +248,42 @@ mod tests {
     fn search_picks_the_better_lookback() {
         // With two look-backs, the reported outcome must be the min-MAE one.
         let cfg = tiny_config(&["LR"]);
-        let cache: DatasetCache = Arc::new(Mutex::new(HashMap::new()));
+        let cache = DatasetCache::new();
         let job = &cfg.jobs()[0];
         let best = run_job(&cfg, job, &cache, None).unwrap();
         for lb in cfg.search_space() {
             let mut single = cfg.clone();
             single.lookbacks = vec![lb];
             let one = run_job(&single, job, &cache, None).unwrap();
-            assert!(
-                best.metric(crate::Metric::Mae) <= one.metric(crate::Metric::Mae) + 1e-12
-            );
+            assert!(best.metric(crate::Metric::Mae) <= one.metric(crate::Metric::Mae) + 1e-12);
         }
+    }
+
+    #[test]
+    fn cache_generates_each_dataset_once_under_contention() {
+        // Many threads ask for the same two datasets at once; the in-flight
+        // slot must collapse every race to a single generation per name.
+        let cache = DatasetCache::new();
+        let scale = tfb_datagen::Scale {
+            max_len: 400,
+            max_dim: 2,
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..4 {
+                        let a = cache.get_or_generate("ILI", scale).unwrap();
+                        let b = cache.get_or_generate("ETTh1", scale).unwrap();
+                        assert!(!a.is_empty() && !b.is_empty());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.generation_count(), 2);
+        // Identity: every caller got the same Arc.
+        let again = cache.get_or_generate("ILI", scale).unwrap();
+        assert_eq!(cache.generation_count(), 2);
+        assert!(!again.is_empty());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! All features z-score the input first, as the reference does for the
 //! distribution-dependent features.
 
-use tfb_math::acf::{acf, autocorrelation, first_zero_crossing};
+use tfb_math::acf::{acf_fft, autocorrelation, first_zero_crossing};
 use tfb_math::fft::periodogram;
 use tfb_math::stats::{mean, median, std_dev, zscore};
 
@@ -123,7 +123,7 @@ pub fn f1ecac(z: &[f64]) -> f64 {
 /// Lag of the first local minimum of the ACF.
 pub fn first_min_ac(z: &[f64]) -> usize {
     let max_lag = (z.len() / 2).max(2).min(z.len().saturating_sub(2));
-    let r = acf(z, max_lag);
+    let r = acf_fft(z, max_lag);
     for k in 1..max_lag {
         if r[k] < r[k - 1] && r[k] < r[k + 1] {
             return k;
@@ -242,7 +242,7 @@ pub fn periodicity_wang(z: &[f64]) -> usize {
         .collect();
     let zero = first_zero_crossing(&detrended);
     let max_lag = (n / 3).max(zero + 1);
-    let r = acf(&detrended, max_lag.min(n - 1));
+    let r = acf_fft(&detrended, max_lag.min(n - 1));
     for k in (zero + 1)..r.len().saturating_sub(1) {
         if r[k] > r[k - 1] && r[k] >= r[k + 1] && r[k] > 0.01 {
             return k;
@@ -448,9 +448,7 @@ pub fn fluct_anal_prop_r1(z: &[f64], kind: FluctKind) -> f64 {
         return 0.0;
     }
     let mut sizes: Vec<usize> = (0..50)
-        .map(|i| {
-            (smin * (smax / smin).powf(i as f64 / 49.0)).round() as usize
-        })
+        .map(|i| (smin * (smax / smin).powf(i as f64 / 49.0)).round() as usize)
         .collect();
     sizes.dedup();
     let mut log_s = Vec::new();
@@ -527,8 +525,8 @@ pub fn fluct_anal_prop_r1(z: &[f64], kind: FluctKind) -> f64 {
     let mut best_split = 3;
     let mut best_rss = f64::INFINITY;
     for split in 3..(k - 2) {
-        let rss = rss_line(&log_s[..split], &log_f[..split])
-            + rss_line(&log_s[split..], &log_f[split..]);
+        let rss =
+            rss_line(&log_s[..split], &log_f[..split]) + rss_line(&log_s[split..], &log_f[split..]);
         if rss < best_rss {
             best_rss = rss;
             best_split = split;
@@ -655,7 +653,9 @@ mod tests {
 
     #[test]
     fn pnn40_all_large_jumps() {
-        let xs: Vec<f64> = (0..100).map(|t| if t % 2 == 0 { 0.0 } else { 10.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|t| if t % 2 == 0 { 0.0 } else { 10.0 })
+            .collect();
         assert!((pnn40(&xs) - 1.0).abs() < 1e-12);
     }
 
@@ -670,9 +670,7 @@ mod tests {
     #[test]
     fn motif_entropy_higher_for_noise() {
         let r = motif_three_quantile_hh(&zscore(&noise(500, 6)));
-        let t = motif_three_quantile_hh(&zscore(
-            &(0..500).map(|t| t as f64).collect::<Vec<_>>(),
-        ));
+        let t = motif_three_quantile_hh(&zscore(&(0..500).map(|t| t as f64).collect::<Vec<_>>()));
         assert!(r > t, "{r} vs {t}");
     }
 }

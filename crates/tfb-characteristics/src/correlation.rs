@@ -18,9 +18,7 @@ pub fn correlation(series: &MultiSeries) -> f64 {
         return 0.0;
     }
     // Equation 4: F = Catch22(X), one feature vector per channel.
-    let features: Vec<[f64; 22]> = (0..dim)
-        .map(|c| catch22_all(&series.channel(c)))
-        .collect();
+    let features: Vec<[f64; 22]> = (0..dim).map(|c| catch22_all(&series.channel(c))).collect();
     correlation_from_features(&features)
 }
 
@@ -76,7 +74,10 @@ mod tests {
     use tfb_datagen::components::{correlated_channels, SeriesBuilder};
 
     fn make(corr: f64, seed: u64) -> MultiSeries {
-        let factor = SeriesBuilder::new(600, seed).seasonal(48, 2.0).ar(0.7).build();
+        let factor = SeriesBuilder::new(600, seed)
+            .seasonal(48, 2.0)
+            .ar(0.7)
+            .build();
         let chans = correlated_channels(&[factor], 5, corr, 0.5, 0.5, seed + 1);
         MultiSeries::from_channels("t", Frequency::Hourly, Domain::Traffic, &chans).unwrap()
     }

@@ -48,11 +48,7 @@ pub fn trend_strength(series: &[f64], period_hint: Option<usize>) -> f64 {
         return 0.0;
     };
     // X - S = T + R
-    let deseason: Vec<f64> = series
-        .iter()
-        .zip(&d.seasonal)
-        .map(|(x, s)| x - s)
-        .collect();
+    let deseason: Vec<f64> = series.iter().zip(&d.seasonal).map(|(x, s)| x - s).collect();
     strength_ratio(&d.remainder, &deseason)
 }
 

@@ -149,7 +149,10 @@ mod tests {
 
     #[test]
     fn seasonal_series_is_tagged_seasonal() {
-        let xs = SeriesBuilder::new(480, 2).seasonal(24, 4.0).noise(0.4).build();
+        let xs = SeriesBuilder::new(480, 2)
+            .seasonal(24, 4.0)
+            .noise(0.4)
+            .build();
         let v = CharacteristicVector::compute(&xs, Some(24));
         let t = v.tag(TagThresholds::default());
         assert!(t.seasonality, "seasonality {}", v.seasonality);
@@ -183,7 +186,10 @@ mod tests {
 
     #[test]
     fn of_series_uses_frequency_period() {
-        let xs = SeriesBuilder::new(480, 6).seasonal(24, 4.0).noise(0.3).build();
+        let xs = SeriesBuilder::new(480, 6)
+            .seasonal(24, 4.0)
+            .noise(0.3)
+            .build();
         let s = uni(xs, Frequency::Hourly);
         let v = CharacteristicVector::of_series(&s);
         assert!(v.seasonality > 0.6, "{}", v.seasonality);

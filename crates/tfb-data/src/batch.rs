@@ -7,10 +7,9 @@
 //! reproduce the distortion.
 
 use crate::window::{Window, WindowSampler};
-use serde::{Deserialize, Serialize};
 
 /// Batching policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Batching {
     /// Number of samples per batch.
     pub batch_size: usize,

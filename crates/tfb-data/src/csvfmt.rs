@@ -62,9 +62,10 @@ pub fn from_csv(
             .ok_or_else(|| DataError::Parse(format!("line {}: missing date", lineno + 2)))?;
         let mut count = 0;
         for field in fields {
-            let v: f64 = field.trim().parse().map_err(|e| {
-                DataError::Parse(format!("line {}: {e}", lineno + 2))
-            })?;
+            let v: f64 = field
+                .trim()
+                .parse()
+                .map_err(|e| DataError::Parse(format!("line {}: {e}", lineno + 2)))?;
             values.push(v);
             count += 1;
         }

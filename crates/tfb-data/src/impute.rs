@@ -8,10 +8,9 @@
 
 use crate::series::MultiSeries;
 use crate::{DataError, Result};
-use serde::{Deserialize, Serialize};
 
 /// How to fill missing (`NaN`) values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Imputation {
     /// Carry the last observed value forward (and the first observed value
     /// backward over a leading gap). TFB-style default: cheap and causal.
@@ -133,7 +132,10 @@ mod tests {
 
     #[test]
     fn forward_fill_carries_last_value() {
-        let s = series(vec![1.0, f64::NAN, f64::NAN, 4.0, f64::NAN], Frequency::Hourly);
+        let s = series(
+            vec![1.0, f64::NAN, f64::NAN, 4.0, f64::NAN],
+            Frequency::Hourly,
+        );
         let out = impute(&s, Imputation::ForwardFill).unwrap();
         assert_eq!(out.channel(0), vec![1.0, 1.0, 1.0, 4.0, 4.0]);
     }

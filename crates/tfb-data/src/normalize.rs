@@ -5,10 +5,9 @@
 
 use crate::series::MultiSeries;
 use crate::{DataError, Result};
-use serde::{Deserialize, Serialize};
 
 /// The normalization schemes supported by the pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Normalization {
     /// Per-channel z-score using training-set statistics (TFB's default).
     #[default]
@@ -19,8 +18,29 @@ pub enum Normalization {
     None,
 }
 
+impl Normalization {
+    /// Canonical identifier used in configs and manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Normalization::ZScore => "ZScore",
+            Normalization::MinMax => "MinMax",
+            Normalization::None => "None",
+        }
+    }
+
+    /// Inverse of [`Normalization::name`].
+    pub fn parse_name(name: &str) -> Option<Normalization> {
+        match name {
+            "ZScore" => Some(Normalization::ZScore),
+            "MinMax" => Some(Normalization::MinMax),
+            "None" => Some(Normalization::None),
+            _ => None,
+        }
+    }
+}
+
 /// Per-channel statistics captured from the training segment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NormStats {
     /// Channel means (z-score) or minima (min-max).
     pub offset: Vec<f64>,
@@ -30,7 +50,7 @@ pub struct NormStats {
 }
 
 /// A fitted normalizer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Normalizer {
     /// Which scheme this normalizer applies.
     pub scheme: Normalization,
@@ -110,11 +130,7 @@ impl Normalizer {
         Ok(())
     }
 
-    fn map(
-        &self,
-        series: &MultiSeries,
-        f: impl Fn(f64, f64, f64) -> f64,
-    ) -> Result<MultiSeries> {
+    fn map(&self, series: &MultiSeries, f: impl Fn(f64, f64, f64) -> f64) -> Result<MultiSeries> {
         let dim = series.dim();
         if dim != self.stats.offset.len() {
             return Err(DataError::ShapeMismatch("normalizer dim"));
@@ -126,7 +142,11 @@ impl Normalizer {
         let mut values = Vec::with_capacity(n * dim);
         for t in 0..n {
             for c in 0..dim {
-                values.push(f(series.at(t, c), self.stats.offset[c], self.stats.scale[c]));
+                values.push(f(
+                    series.at(t, c),
+                    self.stats.offset[c],
+                    self.stats.scale[c],
+                ));
             }
         }
         MultiSeries::new(
@@ -173,7 +193,11 @@ mod tests {
     #[test]
     fn invert_roundtrips() {
         let s = series(&[vec![3.0, 7.0, -1.0, 4.0], vec![100.0, 120.0, 90.0, 110.0]]);
-        for scheme in [Normalization::ZScore, Normalization::MinMax, Normalization::None] {
+        for scheme in [
+            Normalization::ZScore,
+            Normalization::MinMax,
+            Normalization::None,
+        ] {
             let nz = Normalizer::fit(&s, scheme);
             let fwd = nz.apply(&s).unwrap();
             let back = nz.invert(&fwd).unwrap();

@@ -10,11 +10,11 @@ use crate::csvfmt;
 use crate::series::{Domain, Frequency, MultiSeries};
 use crate::split::SplitRatio;
 use crate::{DataError, Result};
-use serde::{Deserialize, Serialize};
 use std::path::Path;
+use tfb_json::JsonValue;
 
 /// Manifest entry for one stored dataset.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ManifestEntry {
     /// Dataset name (also the CSV file stem).
     pub name: String,
@@ -31,13 +31,104 @@ pub struct ManifestEntry {
 }
 
 /// The repository manifest.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Manifest {
     /// One entry per stored dataset.
     pub datasets: Vec<ManifestEntry>,
 }
 
 const MANIFEST_NAME: &str = "manifest.json";
+
+impl ManifestEntry {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("name".into(), JsonValue::from(self.name.as_str())),
+            ("domain".into(), JsonValue::from(self.domain.name())),
+            ("frequency".into(), JsonValue::from(self.frequency.name())),
+            (
+                "split".into(),
+                JsonValue::Object(vec![
+                    ("train".into(), JsonValue::from(self.split.train)),
+                    ("val".into(), JsonValue::from(self.split.val)),
+                    ("test".into(), JsonValue::from(self.split.test)),
+                ]),
+            ),
+            ("len".into(), JsonValue::from(self.len)),
+            ("dim".into(), JsonValue::from(self.dim)),
+        ])
+    }
+
+    fn from_value(v: &JsonValue) -> Result<ManifestEntry> {
+        let field = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| DataError::Parse(format!("manifest entry missing '{key}'")))
+        };
+        let name = field("name")?
+            .as_str()
+            .ok_or_else(|| DataError::Parse("'name' must be a string".into()))?
+            .to_string();
+        let domain_name = field("domain")?
+            .as_str()
+            .ok_or_else(|| DataError::Parse("'domain' must be a string".into()))?;
+        let domain = Domain::parse_name(domain_name)
+            .ok_or_else(|| DataError::Parse(format!("unknown domain '{domain_name}'")))?;
+        let freq_name = field("frequency")?
+            .as_str()
+            .ok_or_else(|| DataError::Parse("'frequency' must be a string".into()))?;
+        let frequency = Frequency::parse_name(freq_name)
+            .ok_or_else(|| DataError::Parse(format!("unknown frequency '{freq_name}'")))?;
+        let split_v = field("split")?;
+        let fraction = |key: &str| {
+            split_v
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| DataError::Parse(format!("split missing fraction '{key}'")))
+        };
+        let split = SplitRatio {
+            train: fraction("train")?,
+            val: fraction("val")?,
+            test: fraction("test")?,
+        };
+        let len = field("len")?
+            .as_usize()
+            .ok_or_else(|| DataError::Parse("'len' must be an integer".into()))?;
+        let dim = field("dim")?
+            .as_usize()
+            .ok_or_else(|| DataError::Parse("'dim' must be an integer".into()))?;
+        Ok(ManifestEntry {
+            name,
+            domain,
+            frequency,
+            split,
+            len,
+            dim,
+        })
+    }
+}
+
+impl Manifest {
+    /// Serializes the manifest to pretty JSON.
+    pub fn to_json(&self) -> String {
+        JsonValue::Object(vec![(
+            "datasets".into(),
+            JsonValue::Array(self.datasets.iter().map(ManifestEntry::to_value).collect()),
+        )])
+        .pretty()
+    }
+
+    /// Parses a manifest from JSON.
+    pub fn from_json(text: &str) -> Result<Manifest> {
+        let doc = JsonValue::parse(text).map_err(|e| DataError::Parse(e.to_string()))?;
+        let datasets = doc
+            .get("datasets")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| DataError::Parse("manifest missing 'datasets' array".into()))?
+            .iter()
+            .map(ManifestEntry::from_value)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Manifest { datasets })
+    }
+}
 
 /// Writes a collection of (series, split) pairs into `dir`.
 pub fn save(dir: &Path, datasets: &[(&MultiSeries, SplitRatio)]) -> Result<()> {
@@ -55,17 +146,14 @@ pub fn save(dir: &Path, datasets: &[(&MultiSeries, SplitRatio)]) -> Result<()> {
             dim: series.dim(),
         });
     }
-    let text = serde_json::to_string_pretty(&manifest)
-        .map_err(|e| DataError::Parse(e.to_string()))?;
-    std::fs::write(dir.join(MANIFEST_NAME), text).map_err(io_err)?;
+    std::fs::write(dir.join(MANIFEST_NAME), manifest.to_json()).map_err(io_err)?;
     Ok(())
 }
 
 /// Loads every dataset listed in the manifest of `dir`.
 pub fn load(dir: &Path) -> Result<Vec<(MultiSeries, SplitRatio)>> {
     let text = std::fs::read_to_string(dir.join(MANIFEST_NAME)).map_err(io_err)?;
-    let manifest: Manifest =
-        serde_json::from_str(&text).map_err(|e| DataError::Parse(e.to_string()))?;
+    let manifest = Manifest::from_json(&text)?;
     let mut out = Vec::with_capacity(manifest.datasets.len());
     for entry in &manifest.datasets {
         let path = dir.join(format!("{}.csv", sanitize(&entry.name)));
@@ -88,7 +176,13 @@ pub fn load(dir: &Path) -> Result<Vec<(MultiSeries, SplitRatio)>> {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

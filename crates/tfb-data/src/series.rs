@@ -2,10 +2,9 @@
 //! and domain taxonomy of the TFB dataset collection.
 
 use crate::{DataError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Sampling frequency of a series, following Table 4/5 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Frequency {
     /// Every 5 minutes (METR-LA, PEMS-BAY, PEMS04, PEMS08).
     FiveMinutes,
@@ -52,6 +51,41 @@ impl Frequency {
         }
     }
 
+    /// Canonical identifier used in manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Frequency::FiveMinutes => "FiveMinutes",
+            Frequency::TenMinutes => "TenMinutes",
+            Frequency::FifteenMinutes => "FifteenMinutes",
+            Frequency::ThirtyMinutes => "ThirtyMinutes",
+            Frequency::Hourly => "Hourly",
+            Frequency::Daily => "Daily",
+            Frequency::Weekly => "Weekly",
+            Frequency::Monthly => "Monthly",
+            Frequency::Quarterly => "Quarterly",
+            Frequency::Yearly => "Yearly",
+            Frequency::Other => "Other",
+        }
+    }
+
+    /// Inverse of [`Frequency::name`].
+    pub fn parse_name(name: &str) -> Option<Frequency> {
+        match name {
+            "FiveMinutes" => Some(Frequency::FiveMinutes),
+            "TenMinutes" => Some(Frequency::TenMinutes),
+            "FifteenMinutes" => Some(Frequency::FifteenMinutes),
+            "ThirtyMinutes" => Some(Frequency::ThirtyMinutes),
+            "Hourly" => Some(Frequency::Hourly),
+            "Daily" => Some(Frequency::Daily),
+            "Weekly" => Some(Frequency::Weekly),
+            "Monthly" => Some(Frequency::Monthly),
+            "Quarterly" => Some(Frequency::Quarterly),
+            "Yearly" => Some(Frequency::Yearly),
+            "Other" => Some(Frequency::Other),
+            _ => None,
+        }
+    }
+
     /// Short human-readable label (matches the paper's tables).
     pub fn label(self) -> &'static str {
         match self {
@@ -72,7 +106,7 @@ impl Frequency {
 
 /// Application domain of a dataset — the ten domains of the paper plus a
 /// catch-all for the univariate archive's long tail.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Domain {
     /// Road traffic (METR-LA, PEMS-*, Traffic).
     Traffic,
@@ -113,6 +147,42 @@ impl Domain {
         Domain::Web,
     ];
 
+    /// Canonical identifier used in manifests (coincides with
+    /// [`Domain::label`] except that it never contains spaces).
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::Traffic => "Traffic",
+            Domain::Electricity => "Electricity",
+            Domain::Energy => "Energy",
+            Domain::Environment => "Environment",
+            Domain::Nature => "Nature",
+            Domain::Economic => "Economic",
+            Domain::Stock => "Stock",
+            Domain::Banking => "Banking",
+            Domain::Health => "Health",
+            Domain::Web => "Web",
+            Domain::Other => "Other",
+        }
+    }
+
+    /// Inverse of [`Domain::name`].
+    pub fn parse_name(name: &str) -> Option<Domain> {
+        match name {
+            "Traffic" => Some(Domain::Traffic),
+            "Electricity" => Some(Domain::Electricity),
+            "Energy" => Some(Domain::Energy),
+            "Environment" => Some(Domain::Environment),
+            "Nature" => Some(Domain::Nature),
+            "Economic" => Some(Domain::Economic),
+            "Stock" => Some(Domain::Stock),
+            "Banking" => Some(Domain::Banking),
+            "Health" => Some(Domain::Health),
+            "Web" => Some(Domain::Web),
+            "Other" => Some(Domain::Other),
+            _ => None,
+        }
+    }
+
     /// Human-readable label.
     pub fn label(self) -> &'static str {
         match self {
@@ -132,7 +202,7 @@ impl Domain {
 }
 
 /// A univariate time series with metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UniSeries {
     /// Identifier within its archive (e.g. "Y0001").
     pub name: String,
@@ -175,7 +245,7 @@ impl UniSeries {
 }
 
 /// A multivariate time series stored time-major: `values[t * dim + c]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiSeries {
     /// Dataset name (e.g. "ETTh1").
     pub name: String,
@@ -331,8 +401,12 @@ mod tests {
 
     #[test]
     fn multiseries_shape_checks() {
-        assert!(MultiSeries::new("m", Frequency::Hourly, Domain::Traffic, 3, vec![1.0; 7]).is_err());
-        assert!(MultiSeries::new("m", Frequency::Hourly, Domain::Traffic, 0, vec![1.0; 6]).is_err());
+        assert!(
+            MultiSeries::new("m", Frequency::Hourly, Domain::Traffic, 3, vec![1.0; 7]).is_err()
+        );
+        assert!(
+            MultiSeries::new("m", Frequency::Hourly, Domain::Traffic, 0, vec![1.0; 6]).is_err()
+        );
         let m = MultiSeries::new("m", Frequency::Hourly, Domain::Traffic, 3, vec![1.0; 6]).unwrap();
         assert_eq!(m.len(), 2);
         assert_eq!(m.dim(), 3);

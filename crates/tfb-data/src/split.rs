@@ -5,10 +5,9 @@
 
 use crate::series::MultiSeries;
 use crate::{DataError, Result};
-use serde::{Deserialize, Serialize};
 
 /// A train/validation/test ratio.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SplitRatio {
     /// Training fraction.
     pub train: f64,
@@ -139,10 +138,7 @@ mod tests {
         let sp = ChronoSplit::split(&s, SplitRatio::R712).unwrap();
         assert_eq!(sp.train.at(0, 0), 0.0);
         assert_eq!(sp.val.at(0, 0), sp.train.len() as f64);
-        assert_eq!(
-            sp.test.at(0, 0),
-            (sp.train.len() + sp.val.len()) as f64
-        );
+        assert_eq!(sp.test.at(0, 0), (sp.train.len() + sp.val.len()) as f64);
     }
 
     #[test]

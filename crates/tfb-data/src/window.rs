@@ -111,7 +111,9 @@ pub fn lag_matrix(series: &[f64], lookback: usize, horizon: usize) -> Result<Lag
         return Err(DataError::InvalidRange("lag_matrix parameters must be > 0"));
     }
     if series.len() < lookback + horizon {
-        return Err(DataError::InvalidRange("series shorter than lookback + horizon"));
+        return Err(DataError::InvalidRange(
+            "series shorter than lookback + horizon",
+        ));
     }
     let samples = series.len() - lookback - horizon + 1;
     let mut xs = Vec::with_capacity(samples);

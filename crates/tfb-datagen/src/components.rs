@@ -212,13 +212,18 @@ pub fn correlated_channels(
 ) -> Vec<Vec<f64>> {
     assert!(!factors.is_empty(), "need at least one latent factor");
     let n = factors[0].len();
-    assert!(factors.iter().all(|f| f.len() == n), "factor length mismatch");
+    assert!(
+        factors.iter().all(|f| f.len() == n),
+        "factor length mismatch"
+    );
     let strength = strength.clamp(0.0, 1.0);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut channels = Vec::with_capacity(dim);
     for _c in 0..dim {
         // Random convex-ish mixing weights over the factors.
-        let mut weights: Vec<f64> = (0..factors.len()).map(|_| rng.gen_range(0.2..1.0)).collect();
+        let mut weights: Vec<f64> = (0..factors.len())
+            .map(|_| rng.gen_range(0.2..1.0))
+            .collect();
         let wsum: f64 = weights.iter().sum();
         for w in weights.iter_mut() {
             *w /= wsum;
@@ -289,7 +294,10 @@ mod tests {
 
     #[test]
     fn seasonal_component_has_expected_amplitude() {
-        let xs = SeriesBuilder::new(480, 5).seasonal(24, 3.0).noise(0.0).build();
+        let xs = SeriesBuilder::new(480, 5)
+            .seasonal(24, 3.0)
+            .noise(0.0)
+            .build();
         let hi = xs.iter().cloned().fold(f64::MIN, f64::max);
         let lo = xs.iter().cloned().fold(f64::MAX, f64::min);
         assert!((hi - 3.0).abs() < 0.05);
@@ -306,7 +314,10 @@ mod tests {
 
     #[test]
     fn regimes_modulate_volatility() {
-        let xs = SeriesBuilder::new(2000, 13).regimes(500, 5.0).noise(1.0).build();
+        let xs = SeriesBuilder::new(2000, 13)
+            .regimes(500, 5.0)
+            .noise(1.0)
+            .build();
         let calm = std_dev(&xs[..500]);
         let loud = std_dev(&xs[500..1000]);
         assert!(loud > 2.5 * calm, "{loud} vs {calm}");
@@ -314,7 +325,10 @@ mod tests {
 
     #[test]
     fn correlated_channels_hit_target_strength_ordering() {
-        let factor = SeriesBuilder::new(1500, 17).seasonal(48, 2.0).ar(0.8).build();
+        let factor = SeriesBuilder::new(1500, 17)
+            .seasonal(48, 2.0)
+            .ar(0.8)
+            .build();
         let strong = correlated_channels(std::slice::from_ref(&factor), 4, 0.95, 0.3, 0.5, 1);
         let weak = correlated_channels(&[factor], 4, 0.05, 0.3, 0.5, 1);
         let avg_corr = |chs: &Vec<Vec<f64>>| {

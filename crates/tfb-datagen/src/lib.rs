@@ -22,5 +22,5 @@ pub mod profiles;
 pub mod univariate;
 
 pub use components::{SeriesBuilder, TrendKind};
-pub use profiles::{DatasetProfile, Scale, all_profiles, profile_by_name};
+pub use profiles::{all_profiles, profile_by_name, DatasetProfile, Scale};
 pub use univariate::{UnivariateArchive, UnivariateSpec};

@@ -216,35 +216,134 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
         regimes: None,
     };
     vec![
-        profile!("METR-LA", Traffic, FiveMinutes, 34272, 207, SR::R712, LONG_HORIZONS,
-            LONG_LOOKBACKS, 101, traffic(0.80, None)),
-        profile!("PEMS-BAY", Traffic, FiveMinutes, 52116, 325, SR::R712, LONG_HORIZONS,
-            LONG_LOOKBACKS, 102, traffic(0.97, None)),
-        profile!("PEMS04", Traffic, FiveMinutes, 16992, 307, SR::R622, LONG_HORIZONS,
-            LONG_LOOKBACKS, 103, traffic(0.85, None)),
-        profile!("PEMS08", Traffic, FiveMinutes, 17856, 170, SR::R622, LONG_HORIZONS,
-            LONG_LOOKBACKS, 104, traffic(0.85, Some((600, 2.5)))),
-        profile!("Traffic", Traffic, Hourly, 17544, 862, SR::R712, LONG_HORIZONS,
-            LONG_LOOKBACKS, 105, Recipe {
+        profile!(
+            "METR-LA",
+            Traffic,
+            FiveMinutes,
+            34272,
+            207,
+            SR::R712,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            101,
+            traffic(0.80, None)
+        ),
+        profile!(
+            "PEMS-BAY",
+            Traffic,
+            FiveMinutes,
+            52116,
+            325,
+            SR::R712,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            102,
+            traffic(0.97, None)
+        ),
+        profile!(
+            "PEMS04",
+            Traffic,
+            FiveMinutes,
+            16992,
+            307,
+            SR::R622,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            103,
+            traffic(0.85, None)
+        ),
+        profile!(
+            "PEMS08",
+            Traffic,
+            FiveMinutes,
+            17856,
+            170,
+            SR::R622,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            104,
+            traffic(0.85, Some((600, 2.5)))
+        ),
+        profile!(
+            "Traffic",
+            Traffic,
+            Hourly,
+            17544,
+            862,
+            SR::R712,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            105,
+            Recipe {
                 seasonal: vec![(24, 3.0), (168, 1.2)],
                 ..traffic(0.75, None)
-            }),
-        profile!("ETTh1", Electricity, Hourly, 14400, 7, SR::R622, LONG_HORIZONS,
-            LONG_LOOKBACKS, 106, ett(1.5)),
-        profile!("ETTh2", Electricity, Hourly, 14400, 7, SR::R622, LONG_HORIZONS,
-            LONG_LOOKBACKS, 107, ett(4.0)),
-        profile!("ETTm1", Electricity, FifteenMinutes, 57600, 7, SR::R622, LONG_HORIZONS,
-            LONG_LOOKBACKS, 108, Recipe {
+            }
+        ),
+        profile!(
+            "ETTh1",
+            Electricity,
+            Hourly,
+            14400,
+            7,
+            SR::R622,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            106,
+            ett(1.5)
+        ),
+        profile!(
+            "ETTh2",
+            Electricity,
+            Hourly,
+            14400,
+            7,
+            SR::R622,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            107,
+            ett(4.0)
+        ),
+        profile!(
+            "ETTm1",
+            Electricity,
+            FifteenMinutes,
+            57600,
+            7,
+            SR::R622,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            108,
+            Recipe {
                 seasonal: vec![(96, 1.5), (672, 0.6)],
                 ..ett(1.5)
-            }),
-        profile!("ETTm2", Electricity, FifteenMinutes, 57600, 7, SR::R622, LONG_HORIZONS,
-            LONG_LOOKBACKS, 109, Recipe {
+            }
+        ),
+        profile!(
+            "ETTm2",
+            Electricity,
+            FifteenMinutes,
+            57600,
+            7,
+            SR::R622,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            109,
+            Recipe {
                 seasonal: vec![(96, 1.5), (672, 0.6)],
                 ..ett(3.0)
-            }),
-        profile!("Electricity", Electricity, Hourly, 26304, 321, SR::R712, LONG_HORIZONS,
-            LONG_LOOKBACKS, 110, Recipe {
+            }
+        ),
+        profile!(
+            "Electricity",
+            Electricity,
+            Hourly,
+            26304,
+            321,
+            SR::R712,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            110,
+            Recipe {
                 trend: TrendKind::None,
                 seasonal: vec![(24, 4.0), (168, 1.5)],
                 shifts: vec![],
@@ -255,9 +354,19 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 channel_noise: 0.35,
                 idio_ar: 0.5,
                 regimes: None,
-            }),
-        profile!("Solar", Energy, TenMinutes, 52560, 137, SR::R622, LONG_HORIZONS,
-            LONG_LOOKBACKS, 111, Recipe {
+            }
+        ),
+        profile!(
+            "Solar",
+            Energy,
+            TenMinutes,
+            52560,
+            137,
+            SR::R622,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            111,
+            Recipe {
                 trend: TrendKind::None,
                 seasonal: vec![(144, 4.0)],
                 shifts: vec![],
@@ -268,9 +377,19 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 channel_noise: 0.25,
                 idio_ar: 0.5,
                 regimes: None,
-            }),
-        profile!("Wind", Energy, FifteenMinutes, 48673, 7, SR::R712, LONG_HORIZONS,
-            LONG_LOOKBACKS, 112, Recipe {
+            }
+        ),
+        profile!(
+            "Wind",
+            Energy,
+            FifteenMinutes,
+            48673,
+            7,
+            SR::R712,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            112,
+            Recipe {
                 trend: TrendKind::None,
                 seasonal: vec![(96, 0.5)],
                 shifts: vec![(0.4, 1.2)],
@@ -281,9 +400,19 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 channel_noise: 0.9,
                 idio_ar: 0.5,
                 regimes: None,
-            }),
-        profile!("Weather", Environment, TenMinutes, 52696, 21, SR::R712, LONG_HORIZONS,
-            LONG_LOOKBACKS, 113, Recipe {
+            }
+        ),
+        profile!(
+            "Weather",
+            Environment,
+            TenMinutes,
+            52696,
+            21,
+            SR::R712,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            113,
+            Recipe {
                 trend: TrendKind::None,
                 seasonal: vec![(144, 2.0), (1008, 0.8)],
                 shifts: vec![],
@@ -294,9 +423,19 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 channel_noise: 0.5,
                 idio_ar: 0.5,
                 regimes: None,
-            }),
-        profile!("AQShunyi", Environment, Hourly, 35064, 11, SR::R622, LONG_HORIZONS,
-            LONG_LOOKBACKS, 114, Recipe {
+            }
+        ),
+        profile!(
+            "AQShunyi",
+            Environment,
+            Hourly,
+            35064,
+            11,
+            SR::R622,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            114,
+            Recipe {
                 trend: TrendKind::None,
                 seasonal: vec![(24, 1.2), (720, 2.0)],
                 shifts: vec![],
@@ -307,9 +446,19 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 channel_noise: 0.6,
                 idio_ar: 0.5,
                 regimes: None,
-            }),
-        profile!("AQWan", Environment, Hourly, 35064, 11, SR::R622, LONG_HORIZONS,
-            LONG_LOOKBACKS, 115, Recipe {
+            }
+        ),
+        profile!(
+            "AQWan",
+            Environment,
+            Hourly,
+            35064,
+            11,
+            SR::R622,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            115,
+            Recipe {
                 trend: TrendKind::None,
                 seasonal: vec![(24, 1.1), (720, 1.8)],
                 shifts: vec![],
@@ -320,9 +469,19 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 channel_noise: 0.6,
                 idio_ar: 0.5,
                 regimes: None,
-            }),
-        profile!("ZafNoo", Nature, ThirtyMinutes, 19225, 11, SR::R712, LONG_HORIZONS,
-            LONG_LOOKBACKS, 116, Recipe {
+            }
+        ),
+        profile!(
+            "ZafNoo",
+            Nature,
+            ThirtyMinutes,
+            19225,
+            11,
+            SR::R712,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            116,
+            Recipe {
                 trend: TrendKind::None,
                 seasonal: vec![(48, 1.8)],
                 shifts: vec![],
@@ -333,9 +492,19 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 channel_noise: 0.6,
                 idio_ar: 0.5,
                 regimes: None,
-            }),
-        profile!("CzeLan", Nature, ThirtyMinutes, 19934, 11, SR::R712, LONG_HORIZONS,
-            LONG_LOOKBACKS, 117, Recipe {
+            }
+        ),
+        profile!(
+            "CzeLan",
+            Nature,
+            ThirtyMinutes,
+            19934,
+            11,
+            SR::R712,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            117,
+            Recipe {
                 trend: TrendKind::None,
                 seasonal: vec![(48, 2.0)],
                 shifts: vec![],
@@ -346,9 +515,19 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 channel_noise: 0.55,
                 idio_ar: 0.5,
                 regimes: None,
-            }),
-        profile!("FRED-MD", Economic, Monthly, 728, 107, SR::R712, SHORT_HORIZONS,
-            SHORT_LOOKBACKS, 118, Recipe {
+            }
+        ),
+        profile!(
+            "FRED-MD",
+            Economic,
+            Monthly,
+            728,
+            107,
+            SR::R712,
+            SHORT_HORIZONS,
+            SHORT_LOOKBACKS,
+            118,
+            Recipe {
                 trend: TrendKind::Linear { slope: 0.08 },
                 seasonal: vec![(12, 0.3)],
                 shifts: vec![],
@@ -359,18 +538,58 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 channel_noise: 0.35,
                 idio_ar: 0.5,
                 regimes: None,
-            }),
-        profile!("Exchange", Economic, Daily, 7588, 8, SR::R712, LONG_HORIZONS,
-            LONG_LOOKBACKS, 119, walk(0.6, 0.8, 0.25)),
-        profile!("NASDAQ", Stock, Daily, 1244, 5, SR::R712, SHORT_HORIZONS,
-            SHORT_LOOKBACKS, 120, walk(0.5, 1.5, 0.35)),
-        profile!("NYSE", Stock, Daily, 1243, 5, SR::R712, SHORT_HORIZONS,
-            SHORT_LOOKBACKS, 121, Recipe {
+            }
+        ),
+        profile!(
+            "Exchange",
+            Economic,
+            Daily,
+            7588,
+            8,
+            SR::R712,
+            LONG_HORIZONS,
+            LONG_LOOKBACKS,
+            119,
+            walk(0.6, 0.8, 0.25)
+        ),
+        profile!(
+            "NASDAQ",
+            Stock,
+            Daily,
+            1244,
+            5,
+            SR::R712,
+            SHORT_HORIZONS,
+            SHORT_LOOKBACKS,
+            120,
+            walk(0.5, 1.5, 0.35)
+        ),
+        profile!(
+            "NYSE",
+            Stock,
+            Daily,
+            1243,
+            5,
+            SR::R712,
+            SHORT_HORIZONS,
+            SHORT_LOOKBACKS,
+            121,
+            Recipe {
                 shifts: vec![(0.35, 4.0), (0.7, -3.0)],
                 ..walk(0.5, 0.0, 0.35)
-            }),
-        profile!("NN5", Banking, Daily, 791, 111, SR::R712, SHORT_HORIZONS,
-            SHORT_LOOKBACKS, 122, Recipe {
+            }
+        ),
+        profile!(
+            "NN5",
+            Banking,
+            Daily,
+            791,
+            111,
+            SR::R712,
+            SHORT_HORIZONS,
+            SHORT_LOOKBACKS,
+            122,
+            Recipe {
                 trend: TrendKind::None,
                 seasonal: vec![(7, 2.5)],
                 shifts: vec![],
@@ -381,9 +600,19 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 channel_noise: 0.7,
                 idio_ar: 0.5,
                 regimes: None,
-            }),
-        profile!("ILI", Health, Weekly, 966, 7, SR::R712, SHORT_HORIZONS,
-            SHORT_LOOKBACKS, 123, Recipe {
+            }
+        ),
+        profile!(
+            "ILI",
+            Health,
+            Weekly,
+            966,
+            7,
+            SR::R712,
+            SHORT_HORIZONS,
+            SHORT_LOOKBACKS,
+            123,
+            Recipe {
                 trend: TrendKind::Linear { slope: 0.003 },
                 seasonal: vec![(52, 3.0)],
                 shifts: vec![],
@@ -394,10 +623,23 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 channel_noise: 0.4,
                 idio_ar: 0.5,
                 regimes: None,
-            }),
-        profile!("Covid-19", Health, Daily, 1392, 948, SR::R712, SHORT_HORIZONS,
-            SHORT_LOOKBACKS, 124, Recipe {
-                trend: TrendKind::Exponential { rate: 0.004, amp: 1.0 },
+            }
+        ),
+        profile!(
+            "Covid-19",
+            Health,
+            Daily,
+            1392,
+            948,
+            SR::R712,
+            SHORT_HORIZONS,
+            SHORT_LOOKBACKS,
+            124,
+            Recipe {
+                trend: TrendKind::Exponential {
+                    rate: 0.004,
+                    amp: 1.0
+                },
                 seasonal: vec![(7, 0.6)],
                 shifts: vec![(0.5, 3.0)],
                 ar: 0.8,
@@ -407,9 +649,19 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 channel_noise: 0.4,
                 idio_ar: 0.5,
                 regimes: None,
-            }),
-        profile!("Wike2000", Web, Daily, 792, 2000, SR::R712, SHORT_HORIZONS,
-            SHORT_LOOKBACKS, 125, Recipe {
+            }
+        ),
+        profile!(
+            "Wike2000",
+            Web,
+            Daily,
+            792,
+            2000,
+            SR::R712,
+            SHORT_HORIZONS,
+            SHORT_LOOKBACKS,
+            125,
+            Recipe {
                 trend: TrendKind::None,
                 seasonal: vec![(7, 1.2)],
                 shifts: vec![(0.6, 2.0)],
@@ -420,7 +672,8 @@ pub fn all_profiles() -> Vec<DatasetProfile> {
                 channel_noise: 1.2,
                 idio_ar: 0.5,
                 regimes: Some((150, 3.0)),
-            }),
+            }
+        ),
     ]
 }
 

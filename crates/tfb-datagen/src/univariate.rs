@@ -31,13 +31,48 @@ pub struct UnivariateSpec {
 /// horizons. Length regimes follow the `|TS| < 300` column: yearly and
 /// quarterly series are short, hourly series are all ≥ 300 points.
 pub const SPECS: [UnivariateSpec; 7] = [
-    UnivariateSpec { frequency: Frequency::Yearly, full_count: 1500, horizon: 6, len_range: (30, 80) },
-    UnivariateSpec { frequency: Frequency::Quarterly, full_count: 1514, horizon: 8, len_range: (40, 160) },
-    UnivariateSpec { frequency: Frequency::Monthly, full_count: 1674, horizon: 18, len_range: (80, 500) },
-    UnivariateSpec { frequency: Frequency::Weekly, full_count: 805, horizon: 13, len_range: (120, 900) },
-    UnivariateSpec { frequency: Frequency::Daily, full_count: 1484, horizon: 14, len_range: (120, 800) },
-    UnivariateSpec { frequency: Frequency::Hourly, full_count: 706, horizon: 48, len_range: (400, 1008) },
-    UnivariateSpec { frequency: Frequency::Other, full_count: 385, horizon: 8, len_range: (60, 400) },
+    UnivariateSpec {
+        frequency: Frequency::Yearly,
+        full_count: 1500,
+        horizon: 6,
+        len_range: (30, 80),
+    },
+    UnivariateSpec {
+        frequency: Frequency::Quarterly,
+        full_count: 1514,
+        horizon: 8,
+        len_range: (40, 160),
+    },
+    UnivariateSpec {
+        frequency: Frequency::Monthly,
+        full_count: 1674,
+        horizon: 18,
+        len_range: (80, 500),
+    },
+    UnivariateSpec {
+        frequency: Frequency::Weekly,
+        full_count: 805,
+        horizon: 13,
+        len_range: (120, 900),
+    },
+    UnivariateSpec {
+        frequency: Frequency::Daily,
+        full_count: 1484,
+        horizon: 14,
+        len_range: (120, 800),
+    },
+    UnivariateSpec {
+        frequency: Frequency::Hourly,
+        full_count: 706,
+        horizon: 48,
+        len_range: (400, 1008),
+    },
+    UnivariateSpec {
+        frequency: Frequency::Other,
+        full_count: 385,
+        horizon: 8,
+        len_range: (60, 400),
+    },
 ];
 
 /// Total series count of the full archive (8,068 in the paper).

@@ -4,7 +4,13 @@
 //! `firstzero_ac` downsampling stride (Algorithm 2 in the paper), and a
 //! number of catch22 features.
 
+use crate::fft::{fft_pow2, Complex};
 use crate::stats::{mean, variance};
+
+/// Series at least this long compute whole-ACF quantities through the FFT
+/// (O(n log n)) instead of the direct O(n·lags) sums; below it the direct
+/// path's constant factor wins.
+const FFT_ACF_MIN_LEN: usize = 64;
 
 /// Autocovariance at lag `k` (population scaling, divides by `n`).
 pub fn autocovariance(xs: &[f64], k: usize) -> f64 {
@@ -29,9 +35,44 @@ pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
     autocovariance(xs, k) / v
 }
 
-/// The full autocorrelation function for lags `0..=max_lag`.
+/// The full autocorrelation function for lags `0..=max_lag`, computed by
+/// direct summation (the reference implementation — see [`acf_fft`] for
+/// the O(n log n) path).
 pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
     (0..=max_lag).map(|k| autocorrelation(xs, k)).collect()
+}
+
+/// The full autocorrelation function for lags `0..=max_lag` via the FFT.
+///
+/// Uses the Wiener–Khinchin identity: zero-pad the centered series to a
+/// power of two at least `2n`, take the power spectrum, and transform
+/// back; the leading `n` outputs are the raw lagged products
+/// `Σ_t (x_t−μ)(x_{t+k}−μ)`, normalized here by `n·variance` to match
+/// [`acf`]'s population scaling. Agrees with the direct sums to within
+/// FFT rounding (~1e-12 relative); edge semantics match [`acf`] exactly:
+/// zero-variance or empty input yields all zeros, and lags `k >= n`
+/// yield 0.0.
+pub fn acf_fft(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    let v = variance(xs);
+    if n == 0 || v < 1e-300 {
+        return vec![0.0; max_lag + 1];
+    }
+    let m = (2 * n).next_power_of_two();
+    let mu = mean(xs);
+    let mut buf = vec![Complex::default(); m];
+    for (b, &x) in buf.iter_mut().zip(xs) {
+        b.re = x - mu;
+    }
+    fft_pow2(&mut buf, false).expect("padded length is a power of two");
+    for b in buf.iter_mut() {
+        *b = Complex::new(b.norm_sqr(), 0.0);
+    }
+    fft_pow2(&mut buf, true).expect("padded length is a power of two");
+    let denom = n as f64 * v;
+    (0..=max_lag)
+        .map(|k| if k >= n { 0.0 } else { buf[k].re / denom })
+        .collect()
 }
 
 /// Lag of the first zero crossing of the ACF (`firstzero_ac` in catch22).
@@ -39,10 +80,23 @@ pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
 /// Returns the smallest `k >= 1` with `acf(k) <= 0`; if the ACF never
 /// crosses zero within `n - 1` lags, returns `n - 1`. Returns 1 for inputs
 /// shorter than 2 points.
+///
+/// Long series go through [`acf_fft`], turning the historical O(n²)
+/// worst case (trend-dominated series whose ACF stays positive for a
+/// long time) into O(n log n).
 pub fn first_zero_crossing(xs: &[f64]) -> usize {
     let n = xs.len();
     if n < 2 {
         return 1;
+    }
+    if n >= FFT_ACF_MIN_LEN {
+        let r = acf_fft(xs, n - 1);
+        for (k, &v) in r.iter().enumerate().skip(1) {
+            if v <= 0.0 {
+                return k;
+            }
+        }
+        return n - 1;
     }
     for k in 1..n {
         if autocorrelation(xs, k) <= 0.0 {
@@ -115,7 +169,9 @@ mod tests {
 
     #[test]
     fn acf_of_alternating_series_is_negative_at_lag_one() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&xs, 1) < -0.9);
     }
 
@@ -127,6 +183,50 @@ mod tests {
             .collect();
         let z = first_zero_crossing(&xs);
         assert!((9..=11).contains(&z), "got {z}");
+    }
+
+    #[test]
+    fn acf_fft_matches_direct_acf() {
+        let xs: Vec<f64> = (0..257)
+            .map(|i| {
+                let t = i as f64;
+                (t / 9.0).sin() + 0.01 * t + ((t * 16807.0) % 1.0 - 0.5)
+            })
+            .collect();
+        let direct = acf(&xs, xs.len() - 1);
+        let fast = acf_fft(&xs, xs.len() - 1);
+        assert_eq!(direct.len(), fast.len());
+        for (k, (d, f)) in direct.iter().zip(&fast).enumerate() {
+            assert!((d - f).abs() < 1e-10, "lag {k}: direct {d} vs fft {f}");
+        }
+    }
+
+    #[test]
+    fn acf_fft_matches_direct_degenerate_semantics() {
+        // Empty, constant, and beyond-length lags mirror the direct path.
+        assert_eq!(acf_fft(&[], 3), vec![0.0; 4]);
+        assert_eq!(acf_fft(&[5.0; 80], 5), vec![0.0; 6]);
+        let xs = [1.0, 4.0, 2.0];
+        let fast = acf_fft(&xs, 6);
+        assert_eq!(&fast[3..], &[0.0; 4]);
+        for k in 0..3 {
+            assert!((fast[k] - autocorrelation(&xs, k)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn first_zero_crossing_agrees_across_fft_threshold() {
+        // The same sine sampled just below and above FFT_ACF_MIN_LEN must
+        // report the same crossing regardless of which path computes it.
+        for n in [FFT_ACF_MIN_LEN - 1, FFT_ACF_MIN_LEN, 200] {
+            let xs: Vec<f64> = (0..n)
+                .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 24.0).sin())
+                .collect();
+            let direct = (1..n)
+                .find(|&k| autocorrelation(&xs, k) <= 0.0)
+                .unwrap_or(n - 1);
+            assert_eq!(first_zero_crossing(&xs), direct, "n = {n}");
+        }
     }
 
     #[test]

@@ -252,7 +252,9 @@ mod tests {
 
     #[test]
     fn fft_roundtrip_arbitrary_length() {
-        let xs: Vec<Complex> = (0..13).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+        let xs: Vec<Complex> = (0..13)
+            .map(|i| Complex::new((i as f64).sin(), 0.0))
+            .collect();
         let spec = fft(&xs, false).unwrap();
         let back = fft(&spec, true).unwrap();
         for (a, b) in back.iter().zip(&xs) {

@@ -46,7 +46,10 @@ pub fn loess_smooth(ys: &[f64], span: usize, degree: usize) -> Result<Vec<f64>> 
         };
         let xi = i as f64;
         // Largest distance in the window normalizes the weights.
-        let dmax = ((hi - 1) as f64 - xi).abs().max((lo as f64 - xi).abs()).max(1.0);
+        let dmax = ((hi - 1) as f64 - xi)
+            .abs()
+            .max((lo as f64 - xi).abs())
+            .max(1.0);
         let mut sw = 0.0;
         let mut swx = 0.0;
         let mut swy = 0.0;
@@ -116,7 +119,10 @@ pub fn moving_average(ys: &[f64], w: usize) -> Result<Vec<f64>> {
     let mut out = Vec::with_capacity(n);
     out.extend(std::iter::repeat_n(core[0], pad_front));
     out.extend_from_slice(&core);
-    out.extend(std::iter::repeat_n(*core.last().expect("nonempty"), pad_back));
+    out.extend(std::iter::repeat_n(
+        *core.last().expect("nonempty"),
+        pad_back,
+    ));
     Ok(out)
 }
 

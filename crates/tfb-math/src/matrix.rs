@@ -112,26 +112,48 @@ impl Matrix {
         t
     }
 
-    /// Matrix product `self * rhs`.
+    /// Matrix product `self * rhs`, cache-blocked.
+    ///
+    /// Uses a tiled ikj kernel (k-tiles keep the active slab of `rhs` hot
+    /// in cache across output rows) with a transposed-`rhs` dot-product
+    /// fast path for deep single-column products, where there is no output
+    /// row to tile over. Both kernels accumulate each output element over
+    /// `k` in ascending order and skip zero left-hand terms, so every
+    /// shape produces the same result to the last bit.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(MathError::DimensionMismatch { context: "matmul" });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // ikj loop order keeps the inner loop contiguous in both operands.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = rhs.row(k);
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
+        if use_transposed_kernel(self.rows, self.cols, rhs.cols) {
+            let bt = rhs.transpose();
+            mul_rows_transposed(&self.data, self.cols, &bt.data, 0, &mut out.data);
+        } else {
+            mul_rows_blocked(&self.data, self.cols, &rhs.data, rhs.cols, 0, &mut out.data);
         }
+        Ok(out)
+    }
+
+    /// Matrix product `self * rhs`, splitting output row blocks across
+    /// scoped threads when the work is large enough to amortize spawning.
+    ///
+    /// Output rows are independent, so every row block is computed by the
+    /// same kernel as [`Matrix::matmul`] and the result is bit-identical
+    /// to the single-threaded product. Small products fall back to
+    /// [`Matrix::matmul`] directly.
+    pub fn par_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(MathError::DimensionMismatch { context: "matmul" });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        par_gemm(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
         Ok(out)
     }
 
@@ -141,13 +163,7 @@ impl Matrix {
             return Err(MathError::DimensionMismatch { context: "matvec" });
         }
         Ok((0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(v)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum::<f64>())
             .collect())
     }
 
@@ -276,7 +292,9 @@ impl Matrix {
     /// ignored.
     pub fn cholesky(&self) -> Result<Matrix> {
         if self.rows != self.cols {
-            return Err(MathError::DimensionMismatch { context: "cholesky" });
+            return Err(MathError::DimensionMismatch {
+                context: "cholesky",
+            });
         }
         let n = self.rows;
         let mut l = Matrix::zeros(n, n);
@@ -385,6 +403,174 @@ impl Matrix {
     }
 }
 
+/// k-tile width of the blocked kernel: 128 columns of the left operand
+/// (one k-slab of `rhs` is then 128 rows, which stays L2-resident for the
+/// output widths the evaluation engine produces).
+const MATMUL_K_TILE: usize = 128;
+
+/// Below this many multiply-adds, thread spawn overhead beats the speedup.
+const PAR_MATMUL_MIN_FLOPS: usize = 1 << 20;
+
+/// Cached machine parallelism. `available_parallelism` is a syscall; hot
+/// paths issuing many small products must not pay it per call.
+fn worker_count() -> usize {
+    use std::sync::OnceLock;
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The blocked ikj kernel's inner loop updates a whole output row with
+/// independent accumulators, so it vectorizes without reassociating the
+/// `k` reduction; the transposed dot kernel instead carries one serial
+/// accumulator whose add-latency chain caps throughput. The dot kernel
+/// therefore only wins for column outputs (deep reductions into a single
+/// column), where the ikj inner loop degenerates to the same chain but
+/// with extra per-`k` row indexing on top.
+#[inline]
+fn use_transposed_kernel(_rows: usize, depth: usize, out_cols: usize) -> bool {
+    out_cols == 1 && depth >= 64
+}
+
+/// Row-parallel GEMM over raw row-major slices: writes `lhs * rhs` into
+/// `out` (`rows` × `out_cols`, pre-zeroed), where `lhs` is `rows` ×
+/// `depth` and `rhs` is `depth` × `out_cols`.
+///
+/// Splits output row blocks across scoped threads when the product is
+/// large enough to amortize spawning; every block runs the same kernel
+/// as [`Matrix::matmul`], so the result is bit-identical to the
+/// single-threaded product at any worker count. This is the entry point
+/// for callers that keep their own flat buffers (the autodiff tape's
+/// batched forward) and do not want to round-trip through [`Matrix`].
+pub fn par_gemm(
+    lhs: &[f64],
+    rows: usize,
+    depth: usize,
+    rhs: &[f64],
+    out_cols: usize,
+    out: &mut [f64],
+) {
+    assert_eq!(lhs.len(), rows * depth, "par_gemm lhs shape");
+    assert_eq!(rhs.len(), depth * out_cols, "par_gemm rhs shape");
+    assert_eq!(out.len(), rows * out_cols, "par_gemm out shape");
+    let flops = rows * depth * out_cols;
+    let transposed = use_transposed_kernel(rows, depth, out_cols);
+    let bt = if transposed {
+        let mut t = vec![0.0; rhs.len()];
+        for k in 0..depth {
+            for j in 0..out_cols {
+                t[j * depth + k] = rhs[k * out_cols + j];
+            }
+        }
+        Some(t)
+    } else {
+        None
+    };
+    // The flop gate comes first: small products (the per-window forward
+    // path) must not pay even the worker-count lookup.
+    let workers = if flops < PAR_MATMUL_MIN_FLOPS {
+        1
+    } else {
+        worker_count().min(rows.max(1))
+    };
+    if workers < 2 {
+        match &bt {
+            Some(bt) => mul_rows_transposed(lhs, depth, bt, 0, out),
+            None => mul_rows_blocked(lhs, depth, rhs, out_cols, 0, out),
+        }
+        return;
+    }
+    let rows_per_worker = rows.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (block, chunk) in out.chunks_mut(rows_per_worker * out_cols).enumerate() {
+            let row_start = block * rows_per_worker;
+            let bt = bt.as_deref();
+            scope.spawn(move || match bt {
+                Some(bt) => mul_rows_transposed(lhs, depth, bt, row_start, chunk),
+                None => mul_rows_blocked(lhs, depth, rhs, out_cols, row_start, chunk),
+            });
+        }
+    });
+}
+
+/// Blocked ikj kernel computing output rows `row_start..` of `lhs * rhs`
+/// into `out_rows` (a row-major slab of full output rows). `lhs` has
+/// `depth` columns, `rhs` has `n` columns.
+///
+/// For every output element the reduction over `k` runs in ascending
+/// order (tiles ascend, `k` ascends within a tile), matching the plain
+/// ikj kernel bit-for-bit. Zero left-hand terms are skipped, which keeps
+/// the historical semantics for non-finite right-hand values.
+fn mul_rows_blocked(
+    lhs: &[f64],
+    depth: usize,
+    rhs: &[f64],
+    n: usize,
+    row_start: usize,
+    out_rows: &mut [f64],
+) {
+    if n == 0 {
+        return;
+    }
+    let nrows = out_rows.len() / n;
+    for k_tile in (0..depth).step_by(MATMUL_K_TILE) {
+        let k_end = (k_tile + MATMUL_K_TILE).min(depth);
+        for ii in 0..nrows {
+            let i = row_start + ii;
+            let lhs_row = &lhs[i * depth..(i + 1) * depth];
+            let out_row = &mut out_rows[ii * n..(ii + 1) * n];
+            for (k, &a) in lhs_row[k_tile..k_end].iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs[(k_tile + k) * n..(k_tile + k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+}
+
+/// Dot-product kernel over a pre-transposed right operand (`bt` is
+/// `n` × `depth` row-major). Used for deep single-column products where
+/// the blocked kernel has no output row to vectorize over. Accumulation
+/// order and the zero-skip match [`mul_rows_blocked`] exactly.
+fn mul_rows_transposed(
+    lhs: &[f64],
+    depth: usize,
+    bt: &[f64],
+    row_start: usize,
+    out_rows: &mut [f64],
+) {
+    let Some(n) = bt.len().checked_div(depth) else {
+        return;
+    };
+    if n == 0 {
+        return;
+    }
+    let nrows = out_rows.len() / n;
+    for ii in 0..nrows {
+        let i = row_start + ii;
+        let lhs_row = &lhs[i * depth..(i + 1) * depth];
+        let out_row = &mut out_rows[ii * n..(ii + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let bt_row = &bt[j * depth..(j + 1) * depth];
+            let mut acc = 0.0;
+            for (&a, &b) in lhs_row.iter().zip(bt_row) {
+                if a == 0.0 {
+                    continue;
+                }
+                acc += a * b;
+            }
+            *o = acc;
+        }
+    }
+}
+
 impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
@@ -415,7 +601,9 @@ impl Lu {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.lu.rows();
         if b.len() != n {
-            return Err(MathError::DimensionMismatch { context: "Lu::solve" });
+            return Err(MathError::DimensionMismatch {
+                context: "Lu::solve",
+            });
         }
         // Apply the row permutation, then forward/back substitution.
         let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
@@ -447,6 +635,79 @@ mod tests {
         let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         let i = Matrix::identity(2);
         assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    /// Reference kernel: the plain ikj product the seed shipped with.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let v = a[(i, k)];
+                if v == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    out[(i, j)] += v * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                // Mix in exact zeros to exercise the zero-skip.
+                if state.is_multiple_of(11) {
+                    0.0
+                } else {
+                    ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive() {
+        // Shapes straddling the k-tile width and the transposed-path gate.
+        for &(m, k, n) in &[
+            (3usize, 5usize, 4usize),
+            (17, 130, 9),  // k crosses the 128-wide tile boundary
+            (40, 200, 12), // tall×deep: transposed fast path
+            (16, 64, 2),   // exactly at the fast-path gate
+            (1, 300, 1),
+            (64, 1, 64),
+        ] {
+            let a = pseudo_random_matrix(m, k, (m * k) as u64);
+            let b = pseudo_random_matrix(k, n, (k * n + 7) as u64);
+            let fast = a.matmul(&b).unwrap();
+            let slow = naive_matmul(&a, &b);
+            assert_eq!(fast.data(), slow.data(), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn par_matmul_is_bit_identical_to_matmul() {
+        // Big enough to clear the parallel threshold (160*160*160 > 2^20).
+        for &(m, k, n) in &[(160usize, 160usize, 160usize), (500, 80, 40), (7, 9, 8)] {
+            let a = pseudo_random_matrix(m, k, 3);
+            let b = pseudo_random_matrix(k, n, 4);
+            let par = a.par_matmul(&b).unwrap();
+            let seq = a.matmul(&b).unwrap();
+            assert_eq!(par.data(), seq.data(), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn par_matmul_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(4, 5);
+        let b = Matrix::zeros(4, 5);
+        assert!(a.par_matmul(&b).is_err());
     }
 
     #[test]
@@ -506,8 +767,7 @@ mod tests {
 
     #[test]
     fn cholesky_reconstructs() {
-        let a =
-            Matrix::from_vec(3, 3, vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0]).unwrap();
+        let a = Matrix::from_vec(3, 3, vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0]).unwrap();
         let l = a.cholesky().unwrap();
         let rec = l.matmul(&l.transpose()).unwrap();
         for (x, y) in rec.data().iter().zip(a.data()) {
@@ -523,12 +783,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_tall_matrix() {
-        let a = Matrix::from_vec(
-            4,
-            2,
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 9.0],
-        )
-        .unwrap();
+        let a = Matrix::from_vec(4, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 9.0]).unwrap();
         let (q, r) = a.qr().unwrap();
         let rec = q.matmul(&r).unwrap();
         for (x, y) in rec.data().iter().zip(a.data()) {

@@ -60,7 +60,9 @@ impl Pca {
     pub fn transform(&self, data: &Matrix, k: usize) -> Result<Matrix> {
         let p = self.means.len();
         if data.cols() != p {
-            return Err(MathError::DimensionMismatch { context: "pca transform" });
+            return Err(MathError::DimensionMismatch {
+                context: "pca transform",
+            });
         }
         let k = k.min(p);
         let mut out = Matrix::zeros(data.rows(), k);
@@ -171,9 +173,7 @@ fn kmeans_rows(data: &Matrix, k: usize, max_iter: usize) -> Vec<usize> {
     let n = data.rows();
     let dim = data.cols();
     let k = k.min(n).max(1);
-    let mut centroids: Vec<Vec<f64>> = (0..k)
-        .map(|c| data.row(c * n / k).to_vec())
-        .collect();
+    let mut centroids: Vec<Vec<f64>> = (0..k).map(|c| data.row(c * n / k).to_vec()).collect();
     let mut assign = vec![0usize; n];
     for _ in 0..max_iter {
         let mut changed = false;

@@ -163,7 +163,8 @@ pub fn kurtosis(xs: &[f64]) -> f64 {
 pub fn argsort(xs: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
     idx.sort_by(|&a, &b| {
-        xs[a].partial_cmp(&xs[b])
+        xs[a]
+            .partial_cmp(&xs[b])
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     idx

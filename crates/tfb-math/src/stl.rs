@@ -90,17 +90,11 @@ pub fn stl(series: &[f64], period: usize) -> Result<Decomposition> {
             seasonal[t] = c[t] - low[t];
         }
         // 5. Deseasonalize and smooth for the trend.
-        let deseason: Vec<f64> = series
-            .iter()
-            .zip(&seasonal)
-            .map(|(x, s)| x - s)
-            .collect();
+        let deseason: Vec<f64> = series.iter().zip(&seasonal).map(|(x, s)| x - s).collect();
         trend = loess_smooth(&deseason, t_window, 1)?;
     }
 
-    let remainder: Vec<f64> = (0..n)
-        .map(|t| series[t] - trend[t] - seasonal[t])
-        .collect();
+    let remainder: Vec<f64> = (0..n).map(|t| series[t] - trend[t] - seasonal[t]).collect();
     Ok(Decomposition {
         trend,
         seasonal,

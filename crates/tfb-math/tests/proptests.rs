@@ -1,7 +1,7 @@
 //! Property-based tests on the numeric substrate's algebraic guarantees.
 
 use proptest::prelude::*;
-use tfb_math::acf::{acf, pacf};
+use tfb_math::acf::{acf, acf_fft, pacf};
 use tfb_math::eigen::symmetric_eigen;
 use tfb_math::loess::loess_smooth;
 use tfb_math::matrix::Matrix;
@@ -87,6 +87,19 @@ proptest! {
         prop_assert!((r[0] - 1.0).abs() < 1e-9 || r[0] == 0.0);
         for &v in &r {
             prop_assert!(v.abs() <= 1.0 + 1e-9, "{v}");
+        }
+    }
+
+    #[test]
+    fn acf_fft_matches_direct_acf(values in proptest::collection::vec(-50.0_f64..50.0, 2..200)) {
+        // Wiener–Khinchin via the FFT must agree with the direct sums to
+        // within rounding, including lags past the series length.
+        let max_lag = values.len() + 3;
+        let direct = acf(&values, max_lag);
+        let fast = acf_fft(&values, max_lag);
+        prop_assert_eq!(direct.len(), fast.len());
+        for (k, (d, f)) in direct.iter().zip(&fast).enumerate() {
+            prop_assert!((d - f).abs() < 1e-9, "lag {}: direct {} vs fft {}", k, d, f);
         }
     }
 

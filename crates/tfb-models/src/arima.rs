@@ -27,12 +27,22 @@ pub struct Arima {
 impl Arima {
     /// Fixed orders.
     pub fn new(p: usize, d: usize, q: usize) -> Arima {
-        Arima { p, d, q, auto: false }
+        Arima {
+            p,
+            d,
+            q,
+            auto: false,
+        }
     }
 
     /// AIC-selected orders over `p, q ∈ {0, 1, 2}`, `d ∈ {0, 1}`.
     pub fn auto() -> Arima {
-        Arima { p: 2, d: 1, q: 1, auto: true }
+        Arima {
+            p: 2,
+            d: 1,
+            q: 1,
+            auto: true,
+        }
     }
 }
 
@@ -117,8 +127,8 @@ fn fit(xs: &[f64], p: usize, d: usize, q: usize) -> Result<FittedArima> {
                 x[(r, i)] = w[t - 1 - i];
             }
         }
-        let long_ar = ols(&x, &y, true)
-            .map_err(|e| ModelError::Numerical(format!("stage-1 AR: {e}")))?;
+        let long_ar =
+            ols(&x, &y, true).map_err(|e| ModelError::Numerical(format!("stage-1 AR: {e}")))?;
         // Innovations: zero for the first m points, residuals afterwards.
         let mut eps = vec![0.0; m];
         eps.extend_from_slice(&long_ar.residuals);
@@ -128,7 +138,9 @@ fn fit(xs: &[f64], p: usize, d: usize, q: usize) -> Result<FittedArima> {
     let start = p.max(q);
     let rows = n - start;
     if rows < p + q + 3 {
-        return Err(ModelError::InsufficientData("arima stage-2 underdetermined"));
+        return Err(ModelError::InsufficientData(
+            "arima stage-2 underdetermined",
+        ));
     }
     let cols = p + q;
     let (intercept, phi, theta, sigma2) = if cols == 0 {
@@ -149,8 +161,7 @@ fn fit(xs: &[f64], p: usize, d: usize, q: usize) -> Result<FittedArima> {
                 x[(r, p + j)] = eps[t - 1 - j];
             }
         }
-        let fit2 = ols(&x, &y, true)
-            .map_err(|e| ModelError::Numerical(format!("stage-2: {e}")))?;
+        let fit2 = ols(&x, &y, true).map_err(|e| ModelError::Numerical(format!("stage-2: {e}")))?;
         let sigma2 = fit2.rss / rows as f64;
         let phi = fit2.coefficients[1..=p].to_vec();
         let theta = fit2.coefficients[p + 1..].to_vec();
@@ -227,8 +238,7 @@ fn forecast_auto(xs: &[f64], horizon: usize) -> Result<Vec<f64>> {
             }
         }
     }
-    let (_, fitted) =
-        best.ok_or(ModelError::InsufficientData("no ARIMA candidate fit"))?;
+    let (_, fitted) = best.ok_or(ModelError::InsufficientData("no ARIMA candidate fit"))?;
     let (_, tails) = difference_keep_tail(xs, fitted.d);
     Ok(fitted.forecast(&tails, horizon))
 }

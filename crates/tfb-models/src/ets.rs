@@ -34,7 +34,9 @@ pub struct Ets {
 impl Ets {
     /// Auto-selecting ETS.
     pub fn auto() -> Ets {
-        Ets { kind: EtsKind::Auto }
+        Ets {
+            kind: EtsKind::Auto,
+        }
     }
 }
 
@@ -256,18 +258,22 @@ mod tests {
     fn simple_converges_to_recent_level() {
         let mut xs = vec![0.0; 50];
         xs.extend(vec![10.0; 50]);
-        let f = Ets { kind: EtsKind::Simple }
-            .forecast(&uni(xs, Frequency::Daily), 5)
-            .unwrap();
+        let f = Ets {
+            kind: EtsKind::Simple,
+        }
+        .forecast(&uni(xs, Frequency::Daily), 5)
+        .unwrap();
         assert!(f.iter().all(|v| (v - 10.0).abs() < 1.0), "{f:?}");
     }
 
     #[test]
     fn holt_follows_linear_trend() {
         let xs: Vec<f64> = (0..100).map(|t| 3.0 * t as f64).collect();
-        let f = Ets { kind: EtsKind::Holt }
-            .forecast(&uni(xs, Frequency::Daily), 4)
-            .unwrap();
+        let f = Ets {
+            kind: EtsKind::Holt,
+        }
+        .forecast(&uni(xs, Frequency::Daily), 4)
+        .unwrap();
         for (h, v) in f.iter().enumerate() {
             let expect = 3.0 * (100 + h) as f64;
             assert!((v - expect).abs() < 6.0, "h={h}: {v} vs {expect}");
@@ -277,12 +283,16 @@ mod tests {
     #[test]
     fn damped_forecast_grows_slower_than_holt() {
         let xs: Vec<f64> = (0..100).map(|t| 2.0 * t as f64).collect();
-        let holt = Ets { kind: EtsKind::Holt }
-            .forecast(&uni(xs.clone(), Frequency::Daily), 30)
-            .unwrap();
-        let damped = Ets { kind: EtsKind::DampedHolt }
-            .forecast(&uni(xs, Frequency::Daily), 30)
-            .unwrap();
+        let holt = Ets {
+            kind: EtsKind::Holt,
+        }
+        .forecast(&uni(xs.clone(), Frequency::Daily), 30)
+        .unwrap();
+        let damped = Ets {
+            kind: EtsKind::DampedHolt,
+        }
+        .forecast(&uni(xs, Frequency::Daily), 30)
+        .unwrap();
         assert!(damped[29] < holt[29]);
     }
 
@@ -319,7 +329,9 @@ mod tests {
         let xs: Vec<f64> = (0..120)
             .map(|t| 0.5 * t as f64 + 3.0 * (t as f64 / 7.0).sin())
             .collect();
-        let f = Ets::auto().forecast(&uni(xs, Frequency::Daily), 14).unwrap();
+        let f = Ets::auto()
+            .forecast(&uni(xs, Frequency::Daily), 14)
+            .unwrap();
         assert_eq!(f.len(), 14);
         assert!(f.iter().all(|v| v.is_finite()));
     }

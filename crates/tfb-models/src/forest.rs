@@ -102,9 +102,11 @@ impl RegressionTree {
         let parent_score = sse(ys, indices, &mean);
         let mut best: Option<(f64, usize, f64)> = None;
         for &f in &features {
-            let (lo, hi) = indices.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &i| {
-                (lo.min(xs[i][f]), hi.max(xs[i][f]))
-            });
+            let (lo, hi) = indices
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &i| {
+                    (lo.min(xs[i][f]), hi.max(xs[i][f]))
+                });
             if hi - lo < 1e-12 {
                 continue;
             }
@@ -118,7 +120,10 @@ impl RegressionTree {
                 let lm = mean_target(ys, &ls, out_dim);
                 let rm = mean_target(ys, &rs, out_dim);
                 let score = sse(ys, &ls, &lm) + sse(ys, &rs, &rm);
-                if best.as_ref().map_or(score < parent_score, |(b, _, _)| score < *b) {
+                if best
+                    .as_ref()
+                    .map_or(score < parent_score, |(b, _, _)| score < *b)
+                {
                     best = Some((score, f, thr));
                 }
             }
@@ -254,8 +259,13 @@ impl WindowForecaster for RandomForest {
         for _ in 0..self.n_trees {
             // Bootstrap sample.
             let indices: Vec<usize> = (0..xs.len()).map(|_| rng.gen_range(0..xs.len())).collect();
-            self.trees
-                .push(RegressionTree::fit(&xs, &ys, &indices, self.params, &mut rng));
+            self.trees.push(RegressionTree::fit(
+                &xs,
+                &ys,
+                &indices,
+                self.params,
+                &mut rng,
+            ));
         }
         Ok(())
     }
@@ -338,7 +348,10 @@ mod tests {
     #[test]
     fn untrained_forest_errors() {
         let m = RandomForest::new(4, 2);
-        assert!(matches!(m.predict(&[0.0; 4], 1), Err(ModelError::NotTrained)));
+        assert!(matches!(
+            m.predict(&[0.0; 4], 1),
+            Err(ModelError::NotTrained)
+        ));
     }
 
     #[test]

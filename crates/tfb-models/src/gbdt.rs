@@ -153,7 +153,12 @@ mod tests {
             }
             acc
         };
-        assert!(err(&many) < err(&few) * 0.5, "{} vs {}", err(&many), err(&few));
+        assert!(
+            err(&many) < err(&few) * 0.5,
+            "{} vs {}",
+            err(&many),
+            err(&few)
+        );
     }
 
     #[test]
@@ -186,7 +191,10 @@ mod tests {
     #[test]
     fn untrained_errors() {
         let m = GradientBoosting::new(4, 2);
-        assert!(matches!(m.predict(&[0.0; 4], 1), Err(ModelError::NotTrained)));
+        assert!(matches!(
+            m.predict(&[0.0; 4], 1),
+            Err(ModelError::NotTrained)
+        ));
     }
 
     #[test]

@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn untrained_errors() {
         let m = Knn::new(4, 2);
-        assert!(matches!(m.predict(&[0.0; 4], 1), Err(ModelError::NotTrained)));
+        assert!(matches!(
+            m.predict(&[0.0; 4], 1),
+            Err(ModelError::NotTrained)
+        ));
     }
 
     #[test]

@@ -21,13 +21,13 @@
 #![allow(clippy::needless_range_loop)]
 pub mod arima;
 pub mod ets;
+pub mod forest;
 pub mod gbdt;
 pub mod kalman;
 pub mod knn;
 pub mod linear;
 pub mod naive;
 pub mod sarima;
-pub mod forest;
 pub mod tabular;
 pub mod theta;
 pub mod var;
@@ -46,6 +46,7 @@ pub use theta::Theta;
 pub use var::Var;
 
 use tfb_data::MultiSeries;
+use tfb_math::matrix::Matrix;
 
 /// Errors produced by forecasters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,6 +110,32 @@ pub trait WindowForecaster: Send + Sync {
     /// values, time-major.
     fn predict(&self, window: &[f64], dim: usize) -> Result<Vec<f64>>;
 
+    /// Predicts every row of `windows` in one call. Each row is one
+    /// time-major look-back block of `lookback() * dim` values; row `r` of
+    /// the returned matrix carries the `horizon() * dim` forecast for
+    /// window `r` and must equal `predict(windows.row(r), dim)` exactly
+    /// (bit-for-bit — the batched evaluation engine relies on this to keep
+    /// metrics identical to per-window inference).
+    ///
+    /// The default loops over rows; models with a closed-form batched
+    /// forward (LR, the deep families) override it with a single matrix
+    /// pass.
+    fn predict_batch(&self, windows: &Matrix, dim: usize) -> Result<Matrix> {
+        let width = self.horizon() * dim;
+        let mut out = Matrix::zeros(windows.rows(), width);
+        for r in 0..windows.rows() {
+            let f = self.predict(windows.row(r), dim)?;
+            if f.len() != width {
+                return Err(ModelError::Numerical(format!(
+                    "predict returned {} values, expected {width}",
+                    f.len()
+                )));
+            }
+            out.data_mut()[r * width..(r + 1) * width].copy_from_slice(&f);
+        }
+        Ok(out)
+    }
+
     /// Number of trainable parameters (for the Figure 11 study); tree
     /// ensembles report node counts.
     fn parameter_count(&self) -> usize {
@@ -118,7 +145,10 @@ pub trait WindowForecaster: Send + Sync {
 
 /// Splits a time-major window into per-channel vectors.
 pub fn window_channels(window: &[f64], dim: usize) -> Vec<Vec<f64>> {
-    assert!(dim > 0 && window.len().is_multiple_of(dim), "bad window shape");
+    assert!(
+        dim > 0 && window.len().is_multiple_of(dim),
+        "bad window shape"
+    );
     let steps = window.len() / dim;
     (0..dim)
         .map(|c| (0..steps).map(|t| window[t * dim + c]).collect())

@@ -106,6 +106,46 @@ impl WindowForecaster for LinearRegressionForecaster {
         Ok(crate::interleave_channels(&per_channel))
     }
 
+    /// One design-matrix GEMM for all windows and channels at once.
+    ///
+    /// Channel `c` of window `r` becomes design row `r * dim + c` of
+    /// `[1, v_0, …, v_{H-1}]`, so `design · coefs` yields every forecast in
+    /// a single multiply. The GEMM accumulates each output over `k` in the
+    /// same ascending order as the scalar loop in [`predict`], so the
+    /// results agree bit-for-bit.
+    fn predict_batch(&self, windows: &Matrix, dim: usize) -> Result<Matrix> {
+        let coefs = self.coefs.as_ref().ok_or(ModelError::NotTrained)?;
+        if dim == 0 || windows.cols() != self.lookback * dim {
+            return Err(ModelError::InvalidParameter("window length != lookback"));
+        }
+        let n = windows.rows();
+        let p = self.lookback + 1;
+        let mut design = Matrix::zeros(n * dim, p);
+        for r in 0..n {
+            let w = windows.row(r);
+            for c in 0..dim {
+                let row = r * dim + c;
+                design[(row, 0)] = 1.0;
+                for t in 0..self.lookback {
+                    design[(row, t + 1)] = w[t * dim + c];
+                }
+            }
+        }
+        let prod = design
+            .par_matmul(coefs)
+            .map_err(|e| ModelError::Numerical(e.to_string()))?;
+        // Re-interleave (window, channel) rows into time-major forecast rows.
+        let mut out = Matrix::zeros(n, self.horizon * dim);
+        for r in 0..n {
+            for c in 0..dim {
+                for h in 0..self.horizon {
+                    out[(r, h * dim + c)] = prod[(r * dim + c, h)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
     fn parameter_count(&self) -> usize {
         (self.lookback + 1) * self.horizon
     }
@@ -152,7 +192,10 @@ mod tests {
     #[test]
     fn predict_before_train_errors() {
         let m = LinearRegressionForecaster::new(4, 2);
-        assert!(matches!(m.predict(&[1.0; 4], 1), Err(ModelError::NotTrained)));
+        assert!(matches!(
+            m.predict(&[1.0; 4], 1),
+            Err(ModelError::NotTrained)
+        ));
     }
 
     #[test]
@@ -180,6 +223,46 @@ mod tests {
         assert_eq!(f.len(), 4);
         assert!((f[0] - 100.0).abs() < 1.0, "{}", f[0]);
         assert!((f[1] - 200.0).abs() < 2.0, "{}", f[1]);
+    }
+
+    #[test]
+    fn batch_prediction_is_bit_identical_to_per_window() {
+        let xs: Vec<f64> = (0..300)
+            .map(|t| (std::f64::consts::TAU * t as f64 / 12.0).sin() + 0.02 * t as f64)
+            .collect();
+        let ys: Vec<f64> = (0..300).map(|t| 5.0 - 0.01 * t as f64).collect();
+        let mut m = LinearRegressionForecaster::new(24, 6);
+        m.train(&series(&[xs.clone(), ys.clone()])).unwrap();
+        let dim = 2;
+        let mut rows = Vec::new();
+        for start in (0..60).step_by(7) {
+            let mut w = Vec::with_capacity(24 * dim);
+            for t in start..start + 24 {
+                w.push(xs[t]);
+                w.push(ys[t]);
+            }
+            rows.push(w);
+        }
+        let windows = Matrix::from_rows(&rows).unwrap();
+        let batched = m.predict_batch(&windows, dim).unwrap();
+        for (r, w) in rows.iter().enumerate() {
+            let single = m.predict(w, dim).unwrap();
+            assert_eq!(batched.row(r), single.as_slice(), "window {r}");
+        }
+    }
+
+    #[test]
+    fn batch_prediction_rejects_bad_shapes() {
+        let xs: Vec<f64> = (0..100).map(|t| t as f64).collect();
+        let mut m = LinearRegressionForecaster::new(4, 2);
+        m.train(&series(&[xs])).unwrap();
+        let windows = Matrix::zeros(3, 5);
+        assert!(m.predict_batch(&windows, 1).is_err());
+        let untrained = LinearRegressionForecaster::new(4, 2);
+        assert!(matches!(
+            untrained.predict_batch(&Matrix::zeros(3, 4), 1),
+            Err(ModelError::NotTrained)
+        ));
     }
 
     #[test]

@@ -20,9 +20,7 @@ impl StatForecaster for Naive {
             return Err(ModelError::InsufficientData("naive needs >= 1 point"));
         }
         let last = history.row(n - 1).to_vec();
-        Ok(std::iter::repeat_n(last, horizon)
-            .flatten()
-            .collect())
+        Ok(std::iter::repeat_n(last, horizon).flatten().collect())
     }
 }
 
@@ -138,7 +136,10 @@ mod tests {
 
     #[test]
     fn naive_repeats_last_row() {
-        let s = series(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]], Frequency::Daily);
+        let s = series(
+            &[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+            Frequency::Daily,
+        );
         let f = Naive.forecast(&s, 2).unwrap();
         assert_eq!(f, vec![3.0, 6.0, 3.0, 6.0]);
     }

@@ -49,8 +49,24 @@ impl Sarima {
 
     /// Explicit orders.
     #[allow(clippy::too_many_arguments)] // mirrors the standard notation
-    pub fn new(p: usize, d: usize, q: usize, sp: usize, sd: usize, sq: usize, period: usize) -> Sarima {
-        Sarima { p, d, q, sp, sd, sq, period }
+    pub fn new(
+        p: usize,
+        d: usize,
+        q: usize,
+        sp: usize,
+        sd: usize,
+        sq: usize,
+        period: usize,
+    ) -> Sarima {
+        Sarima {
+            p,
+            d,
+            q,
+            sp,
+            sd,
+            sq,
+            period,
+        }
     }
 }
 
@@ -127,7 +143,9 @@ fn forecast_channel(xs: &[f64], spec: &Sarima, period: usize, horizon: usize) ->
     let rows = n - start;
     let cols = spec.p + spec.q + sp + sq;
     if rows < cols + 3 {
-        return Err(ModelError::InsufficientData("sarima stage-2 underdetermined"));
+        return Err(ModelError::InsufficientData(
+            "sarima stage-2 underdetermined",
+        ));
     }
     let (intercept, coefs) = if cols == 0 {
         (w.iter().sum::<f64>() / n as f64, Vec::new())
@@ -235,8 +253,7 @@ mod tests {
             .unwrap();
         for (h, v) in f.iter().enumerate() {
             let t = 240 + h;
-            let expect = 0.1 * t as f64
-                + 5.0 * (std::f64::consts::TAU * t as f64 / 12.0).sin();
+            let expect = 0.1 * t as f64 + 5.0 * (std::f64::consts::TAU * t as f64 / 12.0).sin();
             assert!((v - expect).abs() < 1.0, "h={h}: {v} vs {expect}");
         }
     }
@@ -252,13 +269,7 @@ mod tests {
         let plain = crate::Arima::new(2, 1, 1)
             .forecast(&uni(train, Frequency::Hourly), 24)
             .unwrap();
-        let mae = |f: &[f64]| {
-            f.iter()
-                .zip(truth)
-                .map(|(a, b)| (a - b).abs())
-                .sum::<f64>()
-                / 24.0
-        };
+        let mae = |f: &[f64]| f.iter().zip(truth).map(|(a, b)| (a - b).abs()).sum::<f64>() / 24.0;
         assert!(
             mae(&seasonal) < mae(&plain) * 0.5,
             "seasonal {} vs plain {}",

@@ -36,8 +36,9 @@ pub fn pooled_lag_samples(
     let mut ys = Vec::new();
     for c in 0..dim {
         let channel = train.channel(c);
-        let (mut f, mut t) = lag_matrix(&channel, lookback, horizon)
-            .map_err(|_| ModelError::InsufficientData("training split shorter than lookback + horizon"))?;
+        let (mut f, mut t) = lag_matrix(&channel, lookback, horizon).map_err(|_| {
+            ModelError::InsufficientData("training split shorter than lookback + horizon")
+        })?;
         xs.append(&mut f);
         ys.append(&mut t);
     }
@@ -65,7 +66,11 @@ pub fn iterate_one_step(
     let mut out = Vec::with_capacity(horizon);
     for _ in 0..horizon {
         let next = predict_one(&buf);
-        let next = if next.is_finite() { next } else { *buf.last().expect("nonempty window") };
+        let next = if next.is_finite() {
+            next
+        } else {
+            *buf.last().expect("nonempty window")
+        };
         out.push(next);
         buf.rotate_left(1);
         let last = buf.len() - 1;

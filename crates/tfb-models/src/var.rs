@@ -23,10 +23,7 @@ pub struct Var {
 impl Var {
     /// Fixed lag order with a light ridge.
     pub fn new(order: usize) -> Var {
-        Var {
-            order,
-            ridge: 1e-4,
-        }
+        Var { order, ridge: 1e-4 }
     }
 
     /// AIC-selected order.
@@ -121,12 +118,7 @@ pub fn fit(history: &MultiSeries, p: usize, ridge: f64) -> Result<FittedVar> {
         }
         // Residuals for sigma2.
         for r in 0..rows {
-            let pred: f64 = x
-                .row(r)
-                .iter()
-                .zip(&beta)
-                .map(|(a, b)| a * b)
-                .sum();
+            let pred: f64 = x.row(r).iter().zip(&beta).map(|(a, b)| a * b).sum();
             let e = y[r] - pred;
             total_rss += e * e;
         }
@@ -219,7 +211,11 @@ mod tests {
     fn recovers_var1_coefficients() {
         let s = var1_process(2000, 1);
         let f = fit(&s, 1, 1e-6).unwrap();
-        assert!((f.coefs[0][(0, 0)] - 0.6).abs() < 0.08, "{}", f.coefs[0][(0, 0)]);
+        assert!(
+            (f.coefs[0][(0, 0)] - 0.6).abs() < 0.08,
+            "{}",
+            f.coefs[0][(0, 0)]
+        );
         assert!((f.coefs[0][(0, 1)] - 0.2).abs() < 0.08);
         assert!((f.coefs[0][(1, 0)] - 0.1).abs() < 0.08);
         assert!((f.coefs[0][(1, 1)] - 0.5).abs() < 0.08);

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use tfb_data::{Domain, Frequency, MultiSeries};
 use tfb_models::{
-    Drift, Knn, LinearRegressionForecaster, MeanForecaster, Naive, SeasonalNaive,
-    StatForecaster, Theta, WindowForecaster,
+    Drift, Knn, LinearRegressionForecaster, MeanForecaster, Naive, SeasonalNaive, StatForecaster,
+    Theta, WindowForecaster,
 };
 
 fn uni(values: Vec<f64>) -> MultiSeries {

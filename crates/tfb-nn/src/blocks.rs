@@ -286,7 +286,9 @@ mod tests {
 
     #[test]
     fn decompose_reconstructs_exactly() {
-        let xs: Vec<f64> = (0..50).map(|t| (t as f64 * 0.3).sin() + 0.1 * t as f64).collect();
+        let xs: Vec<f64> = (0..50)
+            .map(|t| (t as f64 * 0.3).sin() + 0.1 * t as f64)
+            .collect();
         let (trend, seasonal) = decompose(&xs, 25);
         for t in 0..50 {
             assert!((trend[t] + seasonal[t] - xs[t]).abs() < 1e-12);

@@ -35,6 +35,7 @@ use crate::optim::{ParamId, ParamStore};
 use crate::tape::{Tape, TensorRef};
 use crate::train::{TrainConfig, Trainer};
 use tfb_data::MultiSeries;
+use tfb_math::matrix::Matrix;
 use tfb_models::{ModelError, Result, WindowForecaster};
 
 /// Which miniature architecture to instantiate.
@@ -123,8 +124,12 @@ impl DeepModelKind {
     /// The architecture family used by the Figure 9 family comparison.
     pub fn family(self) -> &'static str {
         match self {
-            DeepModelKind::NLinear | DeepModelKind::DLinear | DeepModelKind::TiDE
-            | DeepModelKind::NBeats | DeepModelKind::NHiTS | DeepModelKind::Mlp
+            DeepModelKind::NLinear
+            | DeepModelKind::DLinear
+            | DeepModelKind::TiDE
+            | DeepModelKind::NBeats
+            | DeepModelKind::NHiTS
+            | DeepModelKind::Mlp
             | DeepModelKind::FiLM => "Linear/MLP",
             DeepModelKind::PatchTST
             | DeepModelKind::Crossformer
@@ -439,7 +444,11 @@ impl DeepModel {
             preprocess,
             config: TrainConfig::default(),
             trained: false,
-            dim: if kind.is_cross_channel() { dim.max(1) } else { 1 },
+            dim: if kind.is_cross_channel() {
+                dim.max(1)
+            } else {
+                1
+            },
         }
     }
 
@@ -535,7 +544,7 @@ fn run_forward(
                 let emb = embed.forward(tape, store, xt); // (dim, d)
                 let h = enc.forward(tape, store, emb);
                 let y = head.forward(tape, store, h); // (dim, f)
-                // Back to time-major 1 x (f * dim).
+                                                      // Back to time-major 1 x (f * dim).
                 let yt = tape.transpose(y); // (f, dim)
                 tape.reshape(yt, 1, f * dim)
             }
@@ -610,7 +619,11 @@ fn run_forward(
                 let flat = tape.reshape(res, 1, take);
                 head.forward(tape, store, flat)
             }
-            Arch::Micn { convs, head, channels } => {
+            Arch::Micn {
+                convs,
+                head,
+                channels,
+            } => {
                 let x = tape.input(input, l, 1);
                 let mut feats: Option<TensorRef> = None;
                 for (w, kernel) in convs {
@@ -631,7 +644,11 @@ fn run_forward(
                 let all = tape.concat_cols(feats.expect("branches"), recent);
                 head.forward(tape, store, all)
             }
-            Arch::Tcn { convs, head, channels } => {
+            Arch::Tcn {
+                convs,
+                head,
+                channels,
+            } => {
                 let mut h = tape.input(input, l, 1);
                 for (w, kernel, dilation) in convs {
                     let wt = tape.param(store, *w);
@@ -663,8 +680,7 @@ fn run_forward(
                     if start >= end {
                         break;
                     }
-                    let xval =
-                        input[start..end].iter().sum::<f64>() / (end - start) as f64;
+                    let xval = input[start..end].iter().sum::<f64>() / (end - start) as f64;
                     let xt = tape.input(&[xval], 1, 1);
                     let hx = tape.concat_cols(h, xt);
                     let z = wz.forward(tape, store, hx);
@@ -693,6 +709,112 @@ fn run_forward(
                 mlp.forward(tape, store, x)
             }
         }
+    }
+}
+
+/// Batched forward for the pure row-map architectures.
+///
+/// Every row of `inputs` is one preprocessed channel window; row `r` of the
+/// output is bit-identical to running [`run_forward`] on row `r` alone,
+/// because every tape op these graphs use (matmul against shared weights
+/// with ascending-`k` accumulation, row-broadcast bias, elementwise
+/// add/sub/relu) treats rows independently in the same per-element order.
+/// Returns `None` for architectures whose graphs are not a row map (patch
+/// token layouts, attention, convolution stacks, recurrences, pooled
+/// N-HiTS blocks) — those keep per-window inference.
+fn run_forward_batch(
+    arch: &Arch,
+    l: usize,
+    tape: &mut Tape,
+    store: &ParamStore,
+    inputs: Vec<f64>,
+) -> Option<TensorRef> {
+    debug_assert_eq!(inputs.len() % l.max(1), 0);
+    let b = inputs.len() / l.max(1);
+    match arch {
+        Arch::NLinear { head } => {
+            let x = tape.input_owned(inputs, b, l);
+            Some(head.forward(tape, store, x))
+        }
+        Arch::DLinear {
+            trend_head,
+            seasonal_head,
+            kernel,
+        } => {
+            let mut trends = Vec::with_capacity(b * l);
+            let mut seasonals = Vec::with_capacity(b * l);
+            for w in inputs.chunks_exact(l) {
+                let (t, s) = decompose(w, *kernel);
+                trends.extend_from_slice(&t);
+                seasonals.extend_from_slice(&s);
+            }
+            let xt = tape.input_owned(trends, b, l);
+            let xs = tape.input_owned(seasonals, b, l);
+            let yt = trend_head.forward(tape, store, xt);
+            let ys = seasonal_head.forward(tape, store, xs);
+            Some(tape.add(yt, ys))
+        }
+        Arch::FedFormer {
+            freq_mlp,
+            trend_head,
+            modes,
+            kernel,
+        } => {
+            let mut freqs = Vec::with_capacity(b * 2 * modes);
+            let mut trends = Vec::with_capacity(b * l);
+            for w in inputs.chunks_exact(l) {
+                let (t, s) = decompose(w, *kernel);
+                freqs.extend(dft_features(&s, *modes));
+                trends.extend_from_slice(&t);
+            }
+            let xf = tape.input_owned(freqs, b, 2 * modes);
+            let ys = freq_mlp.forward(tape, store, xf);
+            let xt = tape.input_owned(trends, b, l);
+            let yt = trend_head.forward(tape, store, xt);
+            Some(tape.add(ys, yt))
+        }
+        Arch::Tide {
+            skip,
+            encoder,
+            decoder,
+        } => {
+            let x = tape.input_owned(inputs, b, l);
+            let lin = skip.forward(tape, store, x);
+            let h = encoder.forward(tape, store, x);
+            let h = tape.relu(h);
+            let dec = decoder.forward(tape, store, h);
+            Some(tape.add(lin, dec))
+        }
+        Arch::Beats { blocks } if blocks.iter().all(|(_, _, _, stride)| *stride == 1) => {
+            let mut residual = tape.input_owned(inputs, b, l);
+            let mut forecast: Option<TensorRef> = None;
+            for (mlp, backcast, fcast, _) in blocks {
+                let h = mlp.forward(tape, store, residual);
+                let h = tape.relu(h);
+                let bk = backcast.forward(tape, store, h);
+                let fo = fcast.forward(tape, store, h);
+                residual = tape.sub(residual, bk);
+                forecast = Some(match forecast {
+                    None => fo,
+                    Some(acc) => tape.add(acc, fo),
+                });
+            }
+            forecast
+        }
+        Arch::Film { mlp, k, modes } => {
+            let mut feats = Vec::with_capacity(b * (k + 2 * modes));
+            for w in inputs.chunks_exact(l) {
+                feats.extend(legendre_features(w, *k));
+                feats.extend(dft_features(w, *modes));
+            }
+            let x = tape.input_owned(feats, b, k + 2 * modes);
+            Some(mlp.forward(tape, store, x))
+        }
+        Arch::Mlp { mlp } => {
+            let x = tape.input_owned(inputs, b, l);
+            Some(mlp.forward(tape, store, x))
+        }
+        _ => None,
     }
 }
 
@@ -880,6 +1002,67 @@ impl WindowForecaster for DeepModel {
         }
     }
 
+    /// Batches all windows (and channels) through a single tape when the
+    /// architecture is a pure row map; other architectures fall back to
+    /// per-window [`predict`]. Either way the results are bit-identical to
+    /// per-window inference.
+    fn predict_batch(&self, windows: &Matrix, dim: usize) -> Result<Matrix> {
+        if !self.trained {
+            return Err(ModelError::NotTrained);
+        }
+        let l = self.lookback;
+        let f = self.horizon;
+        if dim == 0 || windows.cols() != l * dim {
+            return Err(ModelError::InvalidParameter("window length != lookback"));
+        }
+        let n = windows.rows();
+        let fallback = || -> Result<Matrix> {
+            let mut out = Matrix::zeros(n, f * dim);
+            for r in 0..n {
+                let y = self.predict(windows.row(r), dim)?;
+                out.data_mut()[r * f * dim..(r + 1) * f * dim].copy_from_slice(&y);
+            }
+            Ok(out)
+        };
+        if self.kind.is_cross_channel() || n == 0 {
+            return fallback();
+        }
+        // Channel-independent: each (window, channel) pair becomes one
+        // batch row, preprocessed exactly as predict() would.
+        let mut inputs = Vec::with_capacity(n * dim * l);
+        let mut stats = Vec::with_capacity(n * dim);
+        for r in 0..n {
+            let w = windows.row(r);
+            for c in 0..dim {
+                let ch: Vec<f64> = (0..l).map(|t| w[t * dim + c]).collect();
+                let (inp, mean, std) = self.preprocess_input(&ch);
+                inputs.extend_from_slice(&inp);
+                stats.push((mean, std));
+            }
+        }
+        let mut tape = Tape::new();
+        let Some(out_t) = run_forward_batch(&self.arch, l, &mut tape, &self.store, inputs) else {
+            return fallback();
+        };
+        let y = tape.value(out_t);
+        debug_assert_eq!(y.len(), n * dim * f);
+        let mut out = Matrix::zeros(n, f * dim);
+        for r in 0..n {
+            for c in 0..dim {
+                let (mean, std) = stats[r * dim + c];
+                let row = &y[(r * dim + c) * f..(r * dim + c + 1) * f];
+                for (h, &v) in row.iter().enumerate() {
+                    out[(r, h * dim + c)] = match self.preprocess {
+                        Preprocess::None => v,
+                        Preprocess::RevIn => v * std + mean,
+                        Preprocess::LastValue => v + mean,
+                    };
+                }
+            }
+        }
+        Ok(out)
+    }
+
     fn parameter_count(&self) -> usize {
         self.store.parameter_count()
     }
@@ -920,11 +1103,14 @@ mod tests {
             let mut m = DeepModel::new(kind, 24, 6, 1);
             m.config = quick_config();
             m.config.epochs = 3;
-            m.train(&s).unwrap_or_else(|e| panic!("{kind:?} train: {e}"));
+            m.train(&s)
+                .unwrap_or_else(|e| panic!("{kind:?} train: {e}"));
             let window: Vec<f64> = (0..24)
                 .map(|t| (std::f64::consts::TAU * (136 + t) as f64 / 12.0).sin())
                 .collect();
-            let f = m.predict(&window, 1).unwrap_or_else(|e| panic!("{kind:?} predict: {e}"));
+            let f = m
+                .predict(&window, 1)
+                .unwrap_or_else(|e| panic!("{kind:?} predict: {e}"));
             assert_eq!(f.len(), 6, "{kind:?}");
             assert!(f.iter().all(|v| v.is_finite()), "{kind:?}: {f:?}");
             assert!(m.parameter_count() > 0, "{kind:?}");
@@ -973,13 +1159,8 @@ mod tests {
             .map(|t| (std::f64::consts::TAU * t as f64 / 10.0).sin())
             .collect();
         let other: Vec<f64> = base.iter().map(|v| 2.0 * v + 1.0).collect();
-        let s = MultiSeries::from_channels(
-            "m",
-            Frequency::Hourly,
-            Domain::Traffic,
-            &[base, other],
-        )
-        .unwrap();
+        let s = MultiSeries::from_channels("m", Frequency::Hourly, Domain::Traffic, &[base, other])
+            .unwrap();
         let mut m = DeepModel::new(DeepModelKind::Crossformer, 20, 5, 2);
         m.config = quick_config();
         m.config.epochs = 5;
@@ -993,7 +1174,74 @@ mod tests {
     #[test]
     fn predict_before_train_errors() {
         let m = DeepModel::new(DeepModelKind::Mlp, 8, 2, 1);
-        assert!(matches!(m.predict(&[0.0; 8], 1), Err(ModelError::NotTrained)));
+        assert!(matches!(
+            m.predict(&[0.0; 8], 1),
+            Err(ModelError::NotTrained)
+        ));
+    }
+
+    #[test]
+    fn batched_prediction_is_bit_identical_to_per_window() {
+        // Covers every batched graph plus one per-window fallback (N-HiTS
+        // pools between blocks, so it keeps single-window inference).
+        let kinds = [
+            DeepModelKind::NLinear,
+            DeepModelKind::DLinear,
+            DeepModelKind::FEDformer,
+            DeepModelKind::TiDE,
+            DeepModelKind::NBeats,
+            DeepModelKind::FiLM,
+            DeepModelKind::Mlp,
+            DeepModelKind::NHiTS,
+        ];
+        let s = sine_series(160, 12.0);
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|i| {
+                (0..24)
+                    .map(|t| {
+                        (std::f64::consts::TAU * (i * 7 + t) as f64 / 12.0).sin() + 0.05 * i as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        let windows = Matrix::from_rows(&rows).unwrap();
+        for kind in kinds {
+            let mut m = DeepModel::new(kind, 24, 6, 1);
+            m.config = quick_config();
+            m.config.epochs = 2;
+            m.train(&s).unwrap();
+            let batched = m.predict_batch(&windows, 1).unwrap();
+            assert_eq!(batched.rows(), 10);
+            assert_eq!(batched.cols(), 6);
+            for (r, w) in rows.iter().enumerate() {
+                let single = m.predict(w, 1).unwrap();
+                assert_eq!(batched.row(r), single.as_slice(), "{kind:?} window {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_prediction_handles_multichannel_windows() {
+        let n = 200;
+        let a: Vec<f64> = (0..n)
+            .map(|t| (std::f64::consts::TAU * t as f64 / 10.0).sin())
+            .collect();
+        let b: Vec<f64> = a.iter().map(|v| 2.0 * v + 1.0).collect();
+        let s =
+            MultiSeries::from_channels("m", Frequency::Hourly, Domain::Traffic, &[a, b]).unwrap();
+        let mut m = DeepModel::new(DeepModelKind::DLinear, 20, 5, 2);
+        m.config = quick_config();
+        m.config.epochs = 2;
+        m.train(&s).unwrap();
+        let rows: Vec<Vec<f64>> = (0..4)
+            .map(|i| s.values()[i * 6 * 2..(i * 6 + 20) * 2].to_vec())
+            .collect();
+        let windows = Matrix::from_rows(&rows).unwrap();
+        let batched = m.predict_batch(&windows, 2).unwrap();
+        for (r, w) in rows.iter().enumerate() {
+            let single = m.predict(w, 2).unwrap();
+            assert_eq!(batched.row(r), single.as_slice(), "window {r}");
+        }
     }
 
     #[test]

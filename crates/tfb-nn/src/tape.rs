@@ -63,8 +63,10 @@ impl Tape {
 
     fn push(&mut self, value: Vec<f64>, rows: usize, cols: usize, op: Op) -> TensorRef {
         debug_assert_eq!(value.len(), rows * cols);
+        // Gradient buffers are allocated lazily by `backward`; forward-only
+        // tapes (inference) never pay for them.
         self.nodes.push(Node {
-            grad: vec![0.0; value.len()],
+            grad: Vec::new(),
             value,
             rows,
             cols,
@@ -87,6 +89,12 @@ impl Tape {
         self.push(data.to_vec(), rows, cols, Op::Leaf)
     }
 
+    /// Loads constant input data by taking ownership of the buffer —
+    /// [`Tape::input`] without the copy, for batch-sized operands.
+    pub fn input_owned(&mut self, data: Vec<f64>, rows: usize, cols: usize) -> TensorRef {
+        self.push(data, rows, cols, Op::Leaf)
+    }
+
     /// Shape of a tensor.
     pub fn shape(&self, t: TensorRef) -> (usize, usize) {
         (self.nodes[t.0].rows, self.nodes[t.0].cols)
@@ -102,24 +110,20 @@ impl Tape {
         let (ar, ac) = self.shape(a);
         let (br, bc) = self.shape(b);
         assert_eq!(ac, br, "matmul shape mismatch: {ar}x{ac} * {br}x{bc}");
+        // Forward values go through the shared blocked GEMM (row-parallel
+        // for large batches). Its per-element reduction runs over `k` in
+        // ascending order with the same zero-skip as the historical ikj
+        // loop here, so single-row and batched forwards agree to the last
+        // bit at any thread count.
         let mut out = vec![0.0; ar * bc];
-        {
-            let av = &self.nodes[a.0].value;
-            let bv = &self.nodes[b.0].value;
-            for i in 0..ar {
-                for k in 0..ac {
-                    let f = av[i * ac + k];
-                    if f == 0.0 {
-                        continue;
-                    }
-                    let brow = &bv[k * bc..(k + 1) * bc];
-                    let orow = &mut out[i * bc..(i + 1) * bc];
-                    for (o, &bb) in orow.iter_mut().zip(brow) {
-                        *o += f * bb;
-                    }
-                }
-            }
-        }
+        tfb_math::matrix::par_gemm(
+            &self.nodes[a.0].value,
+            ar,
+            ac,
+            &self.nodes[b.0].value,
+            bc,
+            &mut out,
+        );
         self.push(out, ar, bc, Op::MatMul(a.0, b.0))
     }
 
@@ -171,13 +175,13 @@ impl Tape {
         let (r, c) = self.shape(a);
         let (br, bc) = self.shape(bias);
         assert!(br == 1 && bc == c, "bias must be 1 x cols");
-        let bv = self.nodes[bias.0].value.clone();
-        let v: Vec<f64> = self.nodes[a.0]
-            .value
-            .iter()
-            .enumerate()
-            .map(|(i, x)| x + bv[i % c])
-            .collect();
+        let mut v = self.nodes[a.0].value.clone();
+        let bv = &self.nodes[bias.0].value;
+        for row in v.chunks_exact_mut(c) {
+            for (x, b) in row.iter_mut().zip(bv) {
+                *x += b;
+            }
+        }
         self.push(v, r, c, Op::AddRowBroadcast(a.0, bias.0))
     }
 
@@ -186,13 +190,13 @@ impl Tape {
         let (r, c) = self.shape(a);
         let (gr, gc) = self.shape(gain);
         assert!(gr == 1 && gc == c, "gain must be 1 x cols");
-        let gv = self.nodes[gain.0].value.clone();
-        let v: Vec<f64> = self.nodes[a.0]
-            .value
-            .iter()
-            .enumerate()
-            .map(|(i, x)| x * gv[i % c])
-            .collect();
+        let mut v = self.nodes[a.0].value.clone();
+        let gv = &self.nodes[gain.0].value;
+        for row in v.chunks_exact_mut(c) {
+            for (x, g) in row.iter_mut().zip(gv) {
+                *x *= g;
+            }
+        }
         self.push(v, r, c, Op::MulRowBroadcast(a.0, gain.0))
     }
 
@@ -383,7 +387,11 @@ impl Tape {
     pub fn backward(&mut self, loss: TensorRef) {
         assert_eq!(self.shape(loss), (1, 1), "loss must be scalar");
         for n in self.nodes.iter_mut() {
-            n.grad.iter_mut().for_each(|g| *g = 0.0);
+            if n.grad.len() == n.value.len() {
+                n.grad.iter_mut().for_each(|g| *g = 0.0);
+            } else {
+                n.grad = vec![0.0; n.value.len()];
+            }
         }
         self.nodes[loss.0].grad[0] = 1.0;
         for idx in (0..self.nodes.len()).rev() {
@@ -550,8 +558,8 @@ impl Tape {
                         let dsum: f64 = drow.iter().sum();
                         let dxhat_dot: f64 = drow.iter().zip(&xhat).map(|(d, x)| d * x).sum();
                         for j in 0..c {
-                            ga[row_i * c + j] += inv / c as f64
-                                * (c as f64 * drow[j] - dsum - xhat[j] * dxhat_dot);
+                            ga[row_i * c + j] +=
+                                inv / c as f64 * (c as f64 * drow[j] - dsum - xhat[j] * dxhat_dot);
                         }
                     }
                 }
@@ -610,9 +618,15 @@ impl Tape {
     }
 
     /// Accumulates the gradients of parameter leaves into the store.
+    ///
+    /// A forward-only tape (no [`Tape::backward`] call) has no gradient
+    /// buffers and contributes nothing.
     pub fn param_grads(&self, store: &mut ParamStore) {
         for n in &self.nodes {
             if let Some(id) = n.param {
+                if n.grad.is_empty() {
+                    continue;
+                }
                 store.accumulate_grad(id, &n.grad);
             }
         }

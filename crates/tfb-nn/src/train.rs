@@ -218,12 +218,9 @@ mod tests {
     #[test]
     fn empty_inputs_error() {
         let mut store = ParamStore::new(3);
-        let r = Trainer::new(TrainConfig::default()).fit(
-            &mut store,
-            &[],
-            &[],
-            |tape, _, input| tape.input(input, 1, 1),
-        );
+        let r = Trainer::new(TrainConfig::default()).fit(&mut store, &[], &[], |tape, _, input| {
+            tape.input(input, 1, 1)
+        });
         assert!(r.is_err());
     }
 

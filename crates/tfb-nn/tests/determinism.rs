@@ -24,7 +24,11 @@ fn quick() -> TrainConfig {
 fn two_fresh_models_produce_identical_forecasts() {
     let s = sine(200);
     let window: Vec<f64> = s.channel(0)[200 - 24..].to_vec();
-    for kind in [DeepModelKind::PatchTST, DeepModelKind::Tcn, DeepModelKind::NBeats] {
+    for kind in [
+        DeepModelKind::PatchTST,
+        DeepModelKind::Tcn,
+        DeepModelKind::NBeats,
+    ] {
         let run = || {
             let mut m = DeepModel::new(kind, 24, 6, 1);
             m.config = quick();

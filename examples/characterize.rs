@@ -46,9 +46,15 @@ fn main() {
     for s in &archive.series {
         let v = tfb::characteristics::CharacteristicVector::of_series(s);
         let t = v.tag(Default::default());
-        for (i, flag) in [t.seasonality, t.trend, t.shifting, t.transition, t.stationary]
-            .into_iter()
-            .enumerate()
+        for (i, flag) in [
+            t.seasonality,
+            t.trend,
+            t.shifting,
+            t.transition,
+            t.stationary,
+        ]
+        .into_iter()
+        .enumerate()
         {
             if flag {
                 tagged[i] += 1;

@@ -66,13 +66,15 @@ fn main() {
     println!("| method | mae | direction_error |");
     println!("|---|---|---|");
     let mut to_plot: Vec<(&str, Vec<f64>)> = Vec::new();
-    let history: Vec<f64> = dataset.series.channel(0)
-        [dataset.series.len() - 120..dataset.series.len() - 24]
-        .to_vec();
+    let history: Vec<f64> =
+        dataset.series.channel(0)[dataset.series.len() - 120..dataset.series.len() - 24].to_vec();
     for (name, mut method) in [
         (
             "MeanReversion",
-            Method::Stat(Box::new(MeanReversion { window: 20, rate: 0.1 })),
+            Method::Stat(Box::new(MeanReversion {
+                window: 20,
+                rate: 0.1,
+            })),
         ),
         (
             "Naive",
@@ -90,9 +92,7 @@ fn main() {
             out.metrics["direction_error"]
         );
         // Forecast the plotted tail for the SVG.
-        let tail = dataset
-            .series
-            .slice_rows(0..dataset.series.len() - 24);
+        let tail = dataset.series.slice_rows(0..dataset.series.len() - 24);
         if let Method::Stat(m) = &method {
             if let Ok(f) = m.forecast(&tail, 24) {
                 let ch0: Vec<f64> = f.iter().step_by(dataset.series.dim()).copied().collect();
@@ -100,7 +100,11 @@ fn main() {
             }
         }
     }
-    let (chart, series) = forecast_chart("Exchange, channel 0: last 96 points + forecasts", &history, &to_plot);
+    let (chart, series) = forecast_chart(
+        "Exchange, channel 0: last 96 points + forecasts",
+        &history,
+        &to_plot,
+    );
     let path = std::path::Path::new("target/tfb-results/extend_tfb.svg");
     chart.write(&series, path).expect("svg written");
     println!("\nwrote {}", path.display());

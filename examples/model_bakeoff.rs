@@ -15,7 +15,14 @@ fn main() {
         max_len: 1200,
         max_dim: 5,
     };
-    let methods = ["VAR", "LR", "PatchTST", "NLinear", "FEDformer", "Crossformer"];
+    let methods = [
+        "VAR",
+        "LR",
+        "PatchTST",
+        "NLinear",
+        "FEDformer",
+        "Crossformer",
+    ];
     // A small training budget keeps this example snappy; the bench binaries
     // use larger budgets.
     let train_cfg = TrainConfig {
@@ -31,8 +38,14 @@ fn main() {
         let mut settings = eval::EvalSettings::rolling(lookback, horizon, dataset.profile.split);
         settings.max_windows = 30;
         for name in methods {
-            let mut method = build_method(name, lookback, horizon, dataset.series.dim(), Some(train_cfg))
-                .expect("known method");
+            let mut method = build_method(
+                name,
+                lookback,
+                horizon,
+                dataset.series.dim(),
+                Some(train_cfg),
+            )
+            .expect("known method");
             match eval::evaluate(&mut method, &dataset.series, &settings) {
                 Ok(outcome) => table.push(&outcome),
                 Err(e) => eprintln!("{dataset_name}/{name}: {e}"),
@@ -46,8 +59,8 @@ fn main() {
     for (m, w) in &ranks.wins {
         println!("  {m:<12} {w}");
     }
-    let stat_wins = ranks.wins.get("VAR").copied().unwrap_or(0)
-        + ranks.wins.get("LR").copied().unwrap_or(0);
+    let stat_wins =
+        ranks.wins.get("VAR").copied().unwrap_or(0) + ranks.wins.get("LR").copied().unwrap_or(0);
     println!(
         "\nstatistical/ML baselines win {stat_wins} of {} datasets — the paper's Issue 2 in action",
         ranks.cases

@@ -27,8 +27,8 @@ fn main() {
     for name in ["VAR", "LR", "NLinear"] {
         let mut method =
             build_method(name, 96, 24, dataset.series.dim(), None).expect("known method");
-        let outcome = eval::evaluate(&mut method, &dataset.series, &settings)
-            .expect("evaluation succeeds");
+        let outcome =
+            eval::evaluate(&mut method, &dataset.series, &settings).expect("evaluation succeeds");
         println!(
             "{:<10} mae={:.3} mse={:.3}  ({} windows, train {:?}, {:.2} ms/window, {} params)",
             outcome.method,

@@ -39,13 +39,19 @@ fn main() {
                 ));
                 table.push(outcome);
             }
-            Err(e) => log.log(format!("{}/{}/F={} failed: {e}", job.dataset, job.method, job.horizon)),
+            Err(e) => log.log(format!(
+                "{}/{}/F={} failed: {e}",
+                job.dataset, job.method, job.horizon
+            )),
         }
     }
 
     println!("{}", table.to_markdown(Metric::Mae));
     let out_dir = std::path::Path::new("target/tfb-results");
-    let csv = table.write_csv(out_dir, "rolling_eval_example").expect("write csv");
-    log.write(out_dir, "rolling_eval_example").expect("write log");
+    let csv = table
+        .write_csv(out_dir, "rolling_eval_example")
+        .expect("write csv");
+    log.write(out_dir, "rolling_eval_example")
+        .expect("write log");
     println!("wrote {} and the run log", csv.display());
 }

@@ -1,0 +1,178 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! Provides just what the workspace's `harness = false` benches use:
+//! `Criterion`, `benchmark_group` / `bench_function` / `bench_with_input`,
+//! `BenchmarkId::from_parameter`, `sample_size`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a plain
+//! wall-clock mean over a fixed number of timed runs after a short
+//! warm-up — enough to spot order-of-magnitude regressions without the
+//! statistical machinery of the real crate.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Label for a parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Uses the parameter's `Display` form as the case label.
+    pub fn from_parameter<P: Display>(p: P) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    /// A function/parameter pair label.
+    pub fn new<P: Display>(function: &str, p: P) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{p}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Times a closure over repeated runs.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        let mean = start.elapsed() / self.samples as u32;
+        LAST_MEAN.with(|m| *m.borrow_mut() = Some(mean));
+    }
+}
+
+thread_local! {
+    static LAST_MEAN: std::cell::RefCell<Option<Duration>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn report(name: &str, samples: usize) {
+    let mean = LAST_MEAN.with(|m| m.borrow_mut().take());
+    match mean {
+        Some(d) => println!("bench {name:<48} {d:>12.3?} /iter ({samples} samples)"),
+        None => println!("bench {name:<48} (no measurement)"),
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { samples };
+    f(&mut b);
+    report(name, samples);
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, 10, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            samples: 10,
+        }
+    }
+}
+
+/// A group of related benchmark cases sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed runs per case.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one case in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), self.samples, f);
+        self
+    }
+
+    /// Runs one case parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.samples, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($func:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $func(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut count = 0usize;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_respects_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut count = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, _| {
+            b.iter(|| count += 1)
+        });
+        group.finish();
+        // warm-up + 3 samples
+        assert_eq!(count, 4);
+    }
+}

@@ -1,0 +1,409 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! Supports the forms the workspace's property tests actually use: the
+//! `proptest!` macro with an optional `#![proptest_config(...)]` header,
+//! numeric range strategies, `proptest::collection::vec`, `prop_map`,
+//! and the `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Each case draws inputs from a deterministic per-case seed, so failures
+//! print a reproducible case number. There is no shrinking: the failing
+//! case is reported as-is.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+
+    /// A generator of random values (subset of proptest's `Strategy`).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn new_value(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: an exact size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for vectors with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration (subset of proptest's `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure: the property is false for this input.
+        Fail(String),
+        /// The input did not satisfy a `prop_assume!` precondition.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result of one test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives a strategy/closure pair over many deterministic cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Creates a runner.
+        pub fn new(config: ProptestConfig) -> TestRunner {
+            TestRunner { config }
+        }
+
+        /// Runs up to `config.cases` accepted cases; returns the first
+        /// failure message, if any.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+        where
+            S: Strategy,
+            F: FnMut(S::Value) -> TestCaseResult,
+        {
+            let base = match std::env::var("PROPTEST_SEED") {
+                Ok(s) => s.parse::<u64>().unwrap_or(0x5EED_CAFE),
+                Err(_) => 0x5EED_CAFE,
+            };
+            let mut accepted = 0u32;
+            let mut attempts = 0u64;
+            let max_attempts = (self.config.cases as u64).saturating_mul(16).max(1024);
+            while accepted < self.config.cases {
+                if attempts >= max_attempts {
+                    return Err(format!(
+                        "too many input rejections: {accepted}/{} cases after {attempts} attempts",
+                        self.config.cases
+                    ));
+                }
+                let mut rng = StdRng::seed_from_u64(base.wrapping_add(attempts));
+                let value = strategy.new_value(&mut rng);
+                attempts += 1;
+                match test(value) {
+                    Ok(()) => accepted += 1,
+                    Err(TestCaseError::Reject(_)) => {}
+                    Err(TestCaseError::Fail(msg)) => {
+                        return Err(format!(
+                            "property failed at case {attempts} (seed base {base}): {msg}"
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]`-attributed function driven by [`test_runner::TestRunner`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $( $(#[$attr:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                let strat = ( $($strat,)+ );
+                let outcome = runner.run(&strat, |($($arg,)+)| {
+                    $body
+                    Ok(())
+                });
+                if let Err(msg) = outcome {
+                    panic!("{msg}");
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left != right, "assertion failed: {:?} == {:?}", left, right);
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let s = crate::collection::vec(0.0f64..1.0, 3..7);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((3..7).contains(&v.len()), "{}", v.len());
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms_values() {
+        let s = (1usize..5).prop_map(|n| n * 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let v = s.new_value(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_inputs(xs in crate::collection::vec(-1.0f64..1.0, 1..20), k in 1usize..5) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!((1..5).contains(&k));
+            for x in &xs {
+                prop_assert!((-1.0..1.0).contains(x), "{x}");
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_case_info() {
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(8));
+        let outcome = runner.run(&(0usize..10,), |(n,)| {
+            prop_assert!(n < 3, "n = {n}");
+            Ok(())
+        });
+        if let Err(msg) = outcome {
+            panic!("{msg}");
+        }
+    }
+}

@@ -117,7 +117,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
 }
 
 fn cmd_datasets() -> ExitCode {
-    println!("{:<12} {:<12} {:<10} {:>8} {:>6}  split", "name", "domain", "frequency", "length", "dim");
+    println!(
+        "{:<12} {:<12} {:<10} {:>8} {:>6}  split",
+        "name", "domain", "frequency", "length", "dim"
+    );
     for p in tfb::datagen::all_profiles() {
         println!(
             "{:<12} {:<12} {:<10} {:>8} {:>6}  {}",
@@ -148,13 +151,20 @@ fn cmd_characterize(args: &[String]) -> ExitCode {
     let max_len: usize = flag_value(args, "--max-len")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1500);
-    let scale = tfb::datagen::Scale { max_len, max_dim: 6 };
+    let scale = tfb::datagen::Scale {
+        max_len,
+        max_dim: 6,
+    };
     let Some(handle) = tfb::core::data::load(name, scale) else {
         eprintln!("tfb characterize: unknown dataset {name} (try `tfb datasets`)");
         return ExitCode::FAILURE;
     };
     let c = tfb::core::data::DatasetCharacteristics::compute(&handle.series, 4);
-    println!("dataset:      {name} ({} x {})", handle.series.len(), handle.series.dim());
+    println!(
+        "dataset:      {name} ({} x {})",
+        handle.series.len(),
+        handle.series.dim()
+    );
     println!("trend:        {:.3}", c.trend);
     println!("seasonality:  {:.3}", c.seasonality);
     println!("stationarity: {:.3}", c.stationarity);

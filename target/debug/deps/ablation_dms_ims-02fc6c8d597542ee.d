@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dms_ims-02fc6c8d597542ee.d: crates/bench/src/bin/ablation_dms_ims.rs
+
+/root/repo/target/debug/deps/ablation_dms_ims-02fc6c8d597542ee: crates/bench/src/bin/ablation_dms_ims.rs
+
+crates/bench/src/bin/ablation_dms_ims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dms_ims-b325cca2b1dd0a60.d: crates/bench/src/bin/ablation_dms_ims.rs
+
+/root/repo/target/debug/deps/ablation_dms_ims-b325cca2b1dd0a60: crates/bench/src/bin/ablation_dms_ims.rs
+
+crates/bench/src/bin/ablation_dms_ims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dms_ims-cd518bf96da45537.d: crates/bench/src/bin/ablation_dms_ims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dms_ims-cd518bf96da45537.rmeta: crates/bench/src/bin/ablation_dms_ims.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dms_ims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

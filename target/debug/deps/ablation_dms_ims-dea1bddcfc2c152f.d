@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dms_ims-dea1bddcfc2c152f.d: crates/bench/src/bin/ablation_dms_ims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dms_ims-dea1bddcfc2c152f.rmeta: crates/bench/src/bin/ablation_dms_ims.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dms_ims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_norm-380534cba003e7f1.d: crates/bench/src/bin/ablation_norm.rs
+
+/root/repo/target/debug/deps/ablation_norm-380534cba003e7f1: crates/bench/src/bin/ablation_norm.rs
+
+crates/bench/src/bin/ablation_norm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_norm-6d82667b9f193e84.d: crates/bench/src/bin/ablation_norm.rs
+
+/root/repo/target/debug/deps/ablation_norm-6d82667b9f193e84: crates/bench/src/bin/ablation_norm.rs
+
+crates/bench/src/bin/ablation_norm.rs:

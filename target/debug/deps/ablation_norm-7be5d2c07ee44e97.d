@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_norm-7be5d2c07ee44e97.d: crates/bench/src/bin/ablation_norm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_norm-7be5d2c07ee44e97.rmeta: crates/bench/src/bin/ablation_norm.rs Cargo.toml
+
+crates/bench/src/bin/ablation_norm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_stride-232e15fa4d34ad58.d: crates/bench/src/bin/ablation_stride.rs
+
+/root/repo/target/debug/deps/ablation_stride-232e15fa4d34ad58: crates/bench/src/bin/ablation_stride.rs
+
+crates/bench/src/bin/ablation_stride.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_stride-4f0dd9e5782c5c29.d: crates/bench/src/bin/ablation_stride.rs
+
+/root/repo/target/debug/deps/ablation_stride-4f0dd9e5782c5c29: crates/bench/src/bin/ablation_stride.rs
+
+crates/bench/src/bin/ablation_stride.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_stride-f219af75853b2463.d: crates/bench/src/bin/ablation_stride.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_stride-f219af75853b2463.rmeta: crates/bench/src/bin/ablation_stride.rs Cargo.toml
+
+crates/bench/src/bin/ablation_stride.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_characteristics-90b853608f443d30.d: crates/bench/benches/bench_characteristics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_characteristics-90b853608f443d30.rmeta: crates/bench/benches/bench_characteristics.rs Cargo.toml
+
+crates/bench/benches/bench_characteristics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

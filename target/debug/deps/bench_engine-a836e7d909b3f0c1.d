@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench_engine-a836e7d909b3f0c1.d: crates/bench/src/bin/bench_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_engine-a836e7d909b3f0c1.rmeta: crates/bench/src/bin/bench_engine.rs Cargo.toml
+
+crates/bench/src/bin/bench_engine.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench_engine-f497f69b2b80c299.d: crates/bench/src/bin/bench_engine.rs
+
+/root/repo/target/debug/deps/bench_engine-f497f69b2b80c299: crates/bench/src/bin/bench_engine.rs
+
+crates/bench/src/bin/bench_engine.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

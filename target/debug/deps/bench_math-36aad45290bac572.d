@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_math-36aad45290bac572.d: crates/bench/benches/bench_math.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_math-36aad45290bac572.rmeta: crates/bench/benches/bench_math.rs Cargo.toml
+
+crates/bench/benches/bench_math.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_models-389a8377b5fde6e1.d: crates/bench/benches/bench_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_models-389a8377b5fde6e1.rmeta: crates/bench/benches/bench_models.rs Cargo.toml
+
+crates/bench/benches/bench_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

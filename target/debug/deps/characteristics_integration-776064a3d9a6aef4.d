@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/characteristics_integration-776064a3d9a6aef4.d: tests/characteristics_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharacteristics_integration-776064a3d9a6aef4.rmeta: tests/characteristics_integration.rs Cargo.toml
+
+tests/characteristics_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characteristics_integration-95702b0523704112.d: tests/characteristics_integration.rs
+
+/root/repo/target/debug/deps/characteristics_integration-95702b0523704112: tests/characteristics_integration.rs
+
+tests/characteristics_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characteristics_integration-9ecbfc3f2c38be49.d: tests/characteristics_integration.rs
+
+/root/repo/target/debug/deps/characteristics_integration-9ecbfc3f2c38be49: tests/characteristics_integration.rs
+
+tests/characteristics_integration.rs:

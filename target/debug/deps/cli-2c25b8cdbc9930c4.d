@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-2c25b8cdbc9930c4.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-2c25b8cdbc9930c4: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_tfb=/root/repo/target/debug/tfb

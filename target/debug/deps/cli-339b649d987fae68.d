@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-339b649d987fae68.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-339b649d987fae68.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_tfb=placeholder:tfb
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

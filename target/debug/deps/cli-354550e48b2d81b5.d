@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-354550e48b2d81b5.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-354550e48b2d81b5: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_tfb=/root/repo/target/debug/tfb

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-0b62b20930535559.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-0b62b20930535559: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-e6585eabdc4450c8.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e6585eabdc4450c8.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e6585eabdc4450c8.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-8947595a2580e539.d: crates/tfb-nn/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-8947595a2580e539: crates/tfb-nn/tests/determinism.rs
+
+crates/tfb-nn/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-c872b5e8418aae61.d: crates/tfb-nn/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-c872b5e8418aae61: crates/tfb-nn/tests/determinism.rs
+
+crates/tfb-nn/tests/determinism.rs:

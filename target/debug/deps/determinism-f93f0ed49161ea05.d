@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-f93f0ed49161ea05.d: crates/tfb-nn/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-f93f0ed49161ea05.rmeta: crates/tfb-nn/tests/determinism.rs Cargo.toml
+
+crates/tfb-nn/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-dec6914b40ac87a0.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-dec6914b40ac87a0: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-e8a97f444e3c4093.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-e8a97f444e3c4093: tests/failure_injection.rs
+
+tests/failure_injection.rs:

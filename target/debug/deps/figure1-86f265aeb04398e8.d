@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-86f265aeb04398e8.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-86f265aeb04398e8: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-c7089cedb3b11b2f.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-c7089cedb3b11b2f: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

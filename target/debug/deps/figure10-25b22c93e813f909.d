@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure10-25b22c93e813f909.d: crates/bench/src/bin/figure10.rs
+
+/root/repo/target/debug/deps/figure10-25b22c93e813f909: crates/bench/src/bin/figure10.rs
+
+crates/bench/src/bin/figure10.rs:

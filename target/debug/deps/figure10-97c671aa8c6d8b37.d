@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure10-97c671aa8c6d8b37.d: crates/bench/src/bin/figure10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure10-97c671aa8c6d8b37.rmeta: crates/bench/src/bin/figure10.rs Cargo.toml
+
+crates/bench/src/bin/figure10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure10-b38316ec98962331.d: crates/bench/src/bin/figure10.rs
+
+/root/repo/target/debug/deps/figure10-b38316ec98962331: crates/bench/src/bin/figure10.rs
+
+crates/bench/src/bin/figure10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure11-998cc32a9b794d7c.d: crates/bench/src/bin/figure11.rs
+
+/root/repo/target/debug/deps/figure11-998cc32a9b794d7c: crates/bench/src/bin/figure11.rs
+
+crates/bench/src/bin/figure11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure11-b69b72e5dd485c66.d: crates/bench/src/bin/figure11.rs
+
+/root/repo/target/debug/deps/figure11-b69b72e5dd485c66: crates/bench/src/bin/figure11.rs
+
+crates/bench/src/bin/figure11.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure11-daf616be0361cebd.d: crates/bench/src/bin/figure11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure11-daf616be0361cebd.rmeta: crates/bench/src/bin/figure11.rs Cargo.toml
+
+crates/bench/src/bin/figure11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-5783ac9c95b2493d.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-5783ac9c95b2493d: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

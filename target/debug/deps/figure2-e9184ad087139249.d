@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-e9184ad087139249.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-e9184ad087139249: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-70f347b45911c1f4.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-70f347b45911c1f4: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

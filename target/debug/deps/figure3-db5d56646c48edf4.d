@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-db5d56646c48edf4.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-db5d56646c48edf4: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

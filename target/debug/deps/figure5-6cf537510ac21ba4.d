@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-6cf537510ac21ba4.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-6cf537510ac21ba4: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure5-720cd5a8dc989d23.d: crates/bench/src/bin/figure5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5-720cd5a8dc989d23.rmeta: crates/bench/src/bin/figure5.rs Cargo.toml
+
+crates/bench/src/bin/figure5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-7796b4648c52ec8f.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-7796b4648c52ec8f: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

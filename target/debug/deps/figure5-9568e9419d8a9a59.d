@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure5-9568e9419d8a9a59.d: crates/bench/src/bin/figure5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure5-9568e9419d8a9a59.rmeta: crates/bench/src/bin/figure5.rs Cargo.toml
+
+crates/bench/src/bin/figure5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure8-26020564a8872cbf.d: crates/bench/src/bin/figure8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure8-26020564a8872cbf.rmeta: crates/bench/src/bin/figure8.rs Cargo.toml
+
+crates/bench/src/bin/figure8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure8-5726e29291ebeecd.d: crates/bench/src/bin/figure8.rs
+
+/root/repo/target/debug/deps/figure8-5726e29291ebeecd: crates/bench/src/bin/figure8.rs
+
+crates/bench/src/bin/figure8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure8-91e5cb8ccd7eef5f.d: crates/bench/src/bin/figure8.rs
+
+/root/repo/target/debug/deps/figure8-91e5cb8ccd7eef5f: crates/bench/src/bin/figure8.rs
+
+crates/bench/src/bin/figure8.rs:

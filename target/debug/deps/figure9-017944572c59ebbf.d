@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure9-017944572c59ebbf.d: crates/bench/src/bin/figure9.rs
+
+/root/repo/target/debug/deps/figure9-017944572c59ebbf: crates/bench/src/bin/figure9.rs
+
+crates/bench/src/bin/figure9.rs:

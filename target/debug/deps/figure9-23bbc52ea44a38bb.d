@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure9-23bbc52ea44a38bb.d: crates/bench/src/bin/figure9.rs
+
+/root/repo/target/debug/deps/figure9-23bbc52ea44a38bb: crates/bench/src/bin/figure9.rs
+
+crates/bench/src/bin/figure9.rs:

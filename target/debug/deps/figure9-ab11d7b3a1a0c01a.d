@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure9-ab11d7b3a1a0c01a.d: crates/bench/src/bin/figure9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure9-ab11d7b3a1a0c01a.rmeta: crates/bench/src/bin/figure9.rs Cargo.toml
+
+crates/bench/src/bin/figure9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

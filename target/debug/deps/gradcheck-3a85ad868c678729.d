@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gradcheck-3a85ad868c678729.d: crates/tfb-nn/tests/gradcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgradcheck-3a85ad868c678729.rmeta: crates/tfb-nn/tests/gradcheck.rs Cargo.toml
+
+crates/tfb-nn/tests/gradcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradcheck-a1c2871f0cad40e2.d: crates/tfb-nn/tests/gradcheck.rs
+
+/root/repo/target/debug/deps/gradcheck-a1c2871f0cad40e2: crates/tfb-nn/tests/gradcheck.rs
+
+crates/tfb-nn/tests/gradcheck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradcheck-d85d95638a761c42.d: crates/tfb-nn/tests/gradcheck.rs
+
+/root/repo/target/debug/deps/gradcheck-d85d95638a761c42: crates/tfb-nn/tests/gradcheck.rs
+
+crates/tfb-nn/tests/gradcheck.rs:

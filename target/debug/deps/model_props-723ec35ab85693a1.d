@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_props-723ec35ab85693a1.d: crates/tfb-models/tests/model_props.rs
+
+/root/repo/target/debug/deps/model_props-723ec35ab85693a1: crates/tfb-models/tests/model_props.rs
+
+crates/tfb-models/tests/model_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_props-751d34f56c82b8c7.d: crates/tfb-models/tests/model_props.rs
+
+/root/repo/target/debug/deps/model_props-751d34f56c82b8c7: crates/tfb-models/tests/model_props.rs
+
+crates/tfb-models/tests/model_props.rs:

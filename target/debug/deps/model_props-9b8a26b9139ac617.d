@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_props-9b8a26b9139ac617.d: crates/tfb-models/tests/model_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_props-9b8a26b9139ac617.rmeta: crates/tfb-models/tests/model_props.rs Cargo.toml
+
+crates/tfb-models/tests/model_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-017b6c7266c70a28.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-017b6c7266c70a28: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-69fb7865785c3dba.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-69fb7865785c3dba: tests/paper_claims.rs
+
+tests/paper_claims.rs:

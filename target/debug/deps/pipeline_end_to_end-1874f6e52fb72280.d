@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-1874f6e52fb72280.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/pipeline_end_to_end-1874f6e52fb72280: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

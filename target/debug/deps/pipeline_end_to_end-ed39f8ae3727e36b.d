@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-ed39f8ae3727e36b.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/pipeline_end_to_end-ed39f8ae3727e36b: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

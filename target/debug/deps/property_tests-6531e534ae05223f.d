@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-6531e534ae05223f.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-6531e534ae05223f: tests/property_tests.rs
+
+tests/property_tests.rs:

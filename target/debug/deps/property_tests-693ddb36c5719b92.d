@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-693ddb36c5719b92.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-693ddb36c5719b92: tests/property_tests.rs
+
+tests/property_tests.rs:

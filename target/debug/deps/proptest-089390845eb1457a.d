@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-089390845eb1457a.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-089390845eb1457a.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-089390845eb1457a.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-6875d79b569acaf2.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-6875d79b569acaf2: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

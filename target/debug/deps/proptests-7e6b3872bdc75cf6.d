@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7e6b3872bdc75cf6.d: crates/tfb-math/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7e6b3872bdc75cf6: crates/tfb-math/tests/proptests.rs
+
+crates/tfb-math/tests/proptests.rs:

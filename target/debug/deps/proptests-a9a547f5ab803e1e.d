@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a9a547f5ab803e1e.d: crates/tfb-math/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a9a547f5ab803e1e: crates/tfb-math/tests/proptests.rs
+
+crates/tfb-math/tests/proptests.rs:

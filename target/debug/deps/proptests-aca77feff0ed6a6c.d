@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-aca77feff0ed6a6c.d: crates/tfb-math/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-aca77feff0ed6a6c.rmeta: crates/tfb-math/tests/proptests.rs Cargo.toml
+
+crates/tfb-math/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-b2141d0e1b378ad8.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-b2141d0e1b378ad8: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

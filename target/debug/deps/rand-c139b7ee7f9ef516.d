@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-c139b7ee7f9ef516.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c139b7ee7f9ef516.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c139b7ee7f9ef516.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

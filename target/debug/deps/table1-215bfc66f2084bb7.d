@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-215bfc66f2084bb7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-215bfc66f2084bb7: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5a5367af0ce75de7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-5a5367af0ce75de7: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-d0f08af2161120ca.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-d0f08af2161120ca: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

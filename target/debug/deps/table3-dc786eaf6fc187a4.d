@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-dc786eaf6fc187a4.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-dc786eaf6fc187a4: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-34182877306b022a.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-34182877306b022a: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

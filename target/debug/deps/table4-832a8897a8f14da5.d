@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-832a8897a8f14da5.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-832a8897a8f14da5: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

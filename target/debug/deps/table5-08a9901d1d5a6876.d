@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-08a9901d1d5a6876.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-08a9901d1d5a6876: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-6d4a64a3c3e57ce0.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-6d4a64a3c3e57ce0: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-6b514148f5f1db50.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-6b514148f5f1db50: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

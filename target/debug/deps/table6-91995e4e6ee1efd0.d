@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-91995e4e6ee1efd0.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-91995e4e6ee1efd0: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_8-7a43434a91a6cdbe.d: crates/bench/src/bin/table7_8.rs
+
+/root/repo/target/debug/deps/table7_8-7a43434a91a6cdbe: crates/bench/src/bin/table7_8.rs
+
+crates/bench/src/bin/table7_8.rs:

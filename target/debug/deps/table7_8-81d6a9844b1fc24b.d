@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_8-81d6a9844b1fc24b.d: crates/bench/src/bin/table7_8.rs
+
+/root/repo/target/debug/deps/table7_8-81d6a9844b1fc24b: crates/bench/src/bin/table7_8.rs
+
+crates/bench/src/bin/table7_8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7_8-fc5873757a17017f.d: crates/bench/src/bin/table7_8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7_8-fc5873757a17017f.rmeta: crates/bench/src/bin/table7_8.rs Cargo.toml
+
+crates/bench/src/bin/table7_8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

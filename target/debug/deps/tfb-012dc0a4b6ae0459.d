@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tfb-012dc0a4b6ae0459.d: src/bin/tfb.rs
+
+/root/repo/target/debug/deps/tfb-012dc0a4b6ae0459: src/bin/tfb.rs
+
+src/bin/tfb.rs:

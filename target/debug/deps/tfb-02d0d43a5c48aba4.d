@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tfb-02d0d43a5c48aba4.d: src/lib.rs
+
+/root/repo/target/debug/deps/tfb-02d0d43a5c48aba4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tfb-11511cad1746d907.d: src/bin/tfb.rs
+
+/root/repo/target/debug/deps/tfb-11511cad1746d907: src/bin/tfb.rs
+
+src/bin/tfb.rs:

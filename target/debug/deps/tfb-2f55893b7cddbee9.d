@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tfb-2f55893b7cddbee9.d: src/bin/tfb.rs
+
+/root/repo/target/debug/deps/tfb-2f55893b7cddbee9: src/bin/tfb.rs
+
+src/bin/tfb.rs:

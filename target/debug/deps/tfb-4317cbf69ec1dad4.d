@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tfb-4317cbf69ec1dad4.d: src/bin/tfb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtfb-4317cbf69ec1dad4.rmeta: src/bin/tfb.rs Cargo.toml
+
+src/bin/tfb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

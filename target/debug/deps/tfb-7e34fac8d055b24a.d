@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tfb-7e34fac8d055b24a.d: src/bin/tfb.rs
+
+/root/repo/target/debug/deps/tfb-7e34fac8d055b24a: src/bin/tfb.rs
+
+src/bin/tfb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tfb-a7dea7b7a98dd991.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtfb-a7dea7b7a98dd991.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

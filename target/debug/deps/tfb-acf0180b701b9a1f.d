@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tfb-acf0180b701b9a1f.d: src/bin/tfb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtfb-acf0180b701b9a1f.rmeta: src/bin/tfb.rs Cargo.toml
+
+src/bin/tfb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

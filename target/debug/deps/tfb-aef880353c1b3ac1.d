@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tfb-aef880353c1b3ac1.d: src/lib.rs
+
+/root/repo/target/debug/deps/tfb-aef880353c1b3ac1: src/lib.rs
+
+src/lib.rs:

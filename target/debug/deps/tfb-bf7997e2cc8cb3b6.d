@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tfb-bf7997e2cc8cb3b6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtfb-bf7997e2cc8cb3b6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtfb-bf7997e2cc8cb3b6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tfb-ffdd604f5462886a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtfb-ffdd604f5462886a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtfb-ffdd604f5462886a.rmeta: src/lib.rs
+
+src/lib.rs:

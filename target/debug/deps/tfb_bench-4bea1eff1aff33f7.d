@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tfb_bench-4bea1eff1aff33f7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/tfb_bench-4bea1eff1aff33f7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

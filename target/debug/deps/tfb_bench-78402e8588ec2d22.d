@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tfb_bench-78402e8588ec2d22.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtfb_bench-78402e8588ec2d22.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtfb_bench-78402e8588ec2d22.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

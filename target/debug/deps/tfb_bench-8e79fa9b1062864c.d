@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tfb_bench-8e79fa9b1062864c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/tfb_bench-8e79fa9b1062864c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tfb_bench-f00f8130ba8b92d2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtfb_bench-f00f8130ba8b92d2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtfb_bench-f00f8130ba8b92d2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

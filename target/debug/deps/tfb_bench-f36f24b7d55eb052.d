@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tfb_bench-f36f24b7d55eb052.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtfb_bench-f36f24b7d55eb052.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

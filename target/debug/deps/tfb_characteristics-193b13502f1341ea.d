@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tfb_characteristics-193b13502f1341ea.d: crates/tfb-characteristics/src/lib.rs crates/tfb-characteristics/src/adf.rs crates/tfb-characteristics/src/catch22.rs crates/tfb-characteristics/src/correlation.rs crates/tfb-characteristics/src/shifting.rs crates/tfb-characteristics/src/strength.rs crates/tfb-characteristics/src/transition.rs crates/tfb-characteristics/src/vector.rs
+
+/root/repo/target/debug/deps/libtfb_characteristics-193b13502f1341ea.rlib: crates/tfb-characteristics/src/lib.rs crates/tfb-characteristics/src/adf.rs crates/tfb-characteristics/src/catch22.rs crates/tfb-characteristics/src/correlation.rs crates/tfb-characteristics/src/shifting.rs crates/tfb-characteristics/src/strength.rs crates/tfb-characteristics/src/transition.rs crates/tfb-characteristics/src/vector.rs
+
+/root/repo/target/debug/deps/libtfb_characteristics-193b13502f1341ea.rmeta: crates/tfb-characteristics/src/lib.rs crates/tfb-characteristics/src/adf.rs crates/tfb-characteristics/src/catch22.rs crates/tfb-characteristics/src/correlation.rs crates/tfb-characteristics/src/shifting.rs crates/tfb-characteristics/src/strength.rs crates/tfb-characteristics/src/transition.rs crates/tfb-characteristics/src/vector.rs
+
+crates/tfb-characteristics/src/lib.rs:
+crates/tfb-characteristics/src/adf.rs:
+crates/tfb-characteristics/src/catch22.rs:
+crates/tfb-characteristics/src/correlation.rs:
+crates/tfb-characteristics/src/shifting.rs:
+crates/tfb-characteristics/src/strength.rs:
+crates/tfb-characteristics/src/transition.rs:
+crates/tfb-characteristics/src/vector.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tfb_characteristics-9581dfe24e5b8448.d: crates/tfb-characteristics/src/lib.rs crates/tfb-characteristics/src/adf.rs crates/tfb-characteristics/src/catch22.rs crates/tfb-characteristics/src/correlation.rs crates/tfb-characteristics/src/shifting.rs crates/tfb-characteristics/src/strength.rs crates/tfb-characteristics/src/transition.rs crates/tfb-characteristics/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtfb_characteristics-9581dfe24e5b8448.rmeta: crates/tfb-characteristics/src/lib.rs crates/tfb-characteristics/src/adf.rs crates/tfb-characteristics/src/catch22.rs crates/tfb-characteristics/src/correlation.rs crates/tfb-characteristics/src/shifting.rs crates/tfb-characteristics/src/strength.rs crates/tfb-characteristics/src/transition.rs crates/tfb-characteristics/src/vector.rs Cargo.toml
+
+crates/tfb-characteristics/src/lib.rs:
+crates/tfb-characteristics/src/adf.rs:
+crates/tfb-characteristics/src/catch22.rs:
+crates/tfb-characteristics/src/correlation.rs:
+crates/tfb-characteristics/src/shifting.rs:
+crates/tfb-characteristics/src/strength.rs:
+crates/tfb-characteristics/src/transition.rs:
+crates/tfb-characteristics/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tfb_characteristics-e4df99f64a967c96.d: crates/tfb-characteristics/src/lib.rs crates/tfb-characteristics/src/adf.rs crates/tfb-characteristics/src/catch22.rs crates/tfb-characteristics/src/correlation.rs crates/tfb-characteristics/src/shifting.rs crates/tfb-characteristics/src/strength.rs crates/tfb-characteristics/src/transition.rs crates/tfb-characteristics/src/vector.rs
+
+/root/repo/target/debug/deps/tfb_characteristics-e4df99f64a967c96: crates/tfb-characteristics/src/lib.rs crates/tfb-characteristics/src/adf.rs crates/tfb-characteristics/src/catch22.rs crates/tfb-characteristics/src/correlation.rs crates/tfb-characteristics/src/shifting.rs crates/tfb-characteristics/src/strength.rs crates/tfb-characteristics/src/transition.rs crates/tfb-characteristics/src/vector.rs
+
+crates/tfb-characteristics/src/lib.rs:
+crates/tfb-characteristics/src/adf.rs:
+crates/tfb-characteristics/src/catch22.rs:
+crates/tfb-characteristics/src/correlation.rs:
+crates/tfb-characteristics/src/shifting.rs:
+crates/tfb-characteristics/src/strength.rs:
+crates/tfb-characteristics/src/transition.rs:
+crates/tfb-characteristics/src/vector.rs:

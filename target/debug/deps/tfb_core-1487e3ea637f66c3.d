@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tfb_core-1487e3ea637f66c3.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/eval.rs crates/core/src/method.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/viz.rs
+
+/root/repo/target/debug/deps/libtfb_core-1487e3ea637f66c3.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/eval.rs crates/core/src/method.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/viz.rs
+
+/root/repo/target/debug/deps/libtfb_core-1487e3ea637f66c3.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/eval.rs crates/core/src/method.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/viz.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/data.rs:
+crates/core/src/eval.rs:
+crates/core/src/method.rs:
+crates/core/src/metrics.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/viz.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tfb_core-780d6896f920dde5.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/eval.rs crates/core/src/method.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/viz.rs
+
+/root/repo/target/debug/deps/libtfb_core-780d6896f920dde5.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/eval.rs crates/core/src/method.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/viz.rs
+
+/root/repo/target/debug/deps/libtfb_core-780d6896f920dde5.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/eval.rs crates/core/src/method.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/viz.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/data.rs:
+crates/core/src/eval.rs:
+crates/core/src/method.rs:
+crates/core/src/metrics.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/viz.rs:

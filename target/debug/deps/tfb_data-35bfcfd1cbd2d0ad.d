@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tfb_data-35bfcfd1cbd2d0ad.d: crates/tfb-data/src/lib.rs crates/tfb-data/src/batch.rs crates/tfb-data/src/csvfmt.rs crates/tfb-data/src/impute.rs crates/tfb-data/src/normalize.rs crates/tfb-data/src/repository.rs crates/tfb-data/src/series.rs crates/tfb-data/src/split.rs crates/tfb-data/src/window.rs
+
+/root/repo/target/debug/deps/libtfb_data-35bfcfd1cbd2d0ad.rlib: crates/tfb-data/src/lib.rs crates/tfb-data/src/batch.rs crates/tfb-data/src/csvfmt.rs crates/tfb-data/src/impute.rs crates/tfb-data/src/normalize.rs crates/tfb-data/src/repository.rs crates/tfb-data/src/series.rs crates/tfb-data/src/split.rs crates/tfb-data/src/window.rs
+
+/root/repo/target/debug/deps/libtfb_data-35bfcfd1cbd2d0ad.rmeta: crates/tfb-data/src/lib.rs crates/tfb-data/src/batch.rs crates/tfb-data/src/csvfmt.rs crates/tfb-data/src/impute.rs crates/tfb-data/src/normalize.rs crates/tfb-data/src/repository.rs crates/tfb-data/src/series.rs crates/tfb-data/src/split.rs crates/tfb-data/src/window.rs
+
+crates/tfb-data/src/lib.rs:
+crates/tfb-data/src/batch.rs:
+crates/tfb-data/src/csvfmt.rs:
+crates/tfb-data/src/impute.rs:
+crates/tfb-data/src/normalize.rs:
+crates/tfb-data/src/repository.rs:
+crates/tfb-data/src/series.rs:
+crates/tfb-data/src/split.rs:
+crates/tfb-data/src/window.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/tfb_data-3f438f67738f3c13.d: crates/tfb-data/src/lib.rs crates/tfb-data/src/batch.rs crates/tfb-data/src/csvfmt.rs crates/tfb-data/src/impute.rs crates/tfb-data/src/normalize.rs crates/tfb-data/src/repository.rs crates/tfb-data/src/series.rs crates/tfb-data/src/split.rs crates/tfb-data/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtfb_data-3f438f67738f3c13.rmeta: crates/tfb-data/src/lib.rs crates/tfb-data/src/batch.rs crates/tfb-data/src/csvfmt.rs crates/tfb-data/src/impute.rs crates/tfb-data/src/normalize.rs crates/tfb-data/src/repository.rs crates/tfb-data/src/series.rs crates/tfb-data/src/split.rs crates/tfb-data/src/window.rs Cargo.toml
+
+crates/tfb-data/src/lib.rs:
+crates/tfb-data/src/batch.rs:
+crates/tfb-data/src/csvfmt.rs:
+crates/tfb-data/src/impute.rs:
+crates/tfb-data/src/normalize.rs:
+crates/tfb-data/src/repository.rs:
+crates/tfb-data/src/series.rs:
+crates/tfb-data/src/split.rs:
+crates/tfb-data/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

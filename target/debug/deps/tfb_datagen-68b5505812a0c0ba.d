@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tfb_datagen-68b5505812a0c0ba.d: crates/tfb-datagen/src/lib.rs crates/tfb-datagen/src/components.rs crates/tfb-datagen/src/profiles.rs crates/tfb-datagen/src/univariate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtfb_datagen-68b5505812a0c0ba.rmeta: crates/tfb-datagen/src/lib.rs crates/tfb-datagen/src/components.rs crates/tfb-datagen/src/profiles.rs crates/tfb-datagen/src/univariate.rs Cargo.toml
+
+crates/tfb-datagen/src/lib.rs:
+crates/tfb-datagen/src/components.rs:
+crates/tfb-datagen/src/profiles.rs:
+crates/tfb-datagen/src/univariate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tfb_datagen-939345de5141f8aa.d: crates/tfb-datagen/src/lib.rs crates/tfb-datagen/src/components.rs crates/tfb-datagen/src/profiles.rs crates/tfb-datagen/src/univariate.rs
+
+/root/repo/target/debug/deps/tfb_datagen-939345de5141f8aa: crates/tfb-datagen/src/lib.rs crates/tfb-datagen/src/components.rs crates/tfb-datagen/src/profiles.rs crates/tfb-datagen/src/univariate.rs
+
+crates/tfb-datagen/src/lib.rs:
+crates/tfb-datagen/src/components.rs:
+crates/tfb-datagen/src/profiles.rs:
+crates/tfb-datagen/src/univariate.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tfb_datagen-9bc6ff2f227bcb54.d: crates/tfb-datagen/src/lib.rs crates/tfb-datagen/src/components.rs crates/tfb-datagen/src/profiles.rs crates/tfb-datagen/src/univariate.rs
+
+/root/repo/target/debug/deps/libtfb_datagen-9bc6ff2f227bcb54.rlib: crates/tfb-datagen/src/lib.rs crates/tfb-datagen/src/components.rs crates/tfb-datagen/src/profiles.rs crates/tfb-datagen/src/univariate.rs
+
+/root/repo/target/debug/deps/libtfb_datagen-9bc6ff2f227bcb54.rmeta: crates/tfb-datagen/src/lib.rs crates/tfb-datagen/src/components.rs crates/tfb-datagen/src/profiles.rs crates/tfb-datagen/src/univariate.rs
+
+crates/tfb-datagen/src/lib.rs:
+crates/tfb-datagen/src/components.rs:
+crates/tfb-datagen/src/profiles.rs:
+crates/tfb-datagen/src/univariate.rs:

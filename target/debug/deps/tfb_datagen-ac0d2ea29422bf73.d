@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tfb_datagen-ac0d2ea29422bf73.d: crates/tfb-datagen/src/lib.rs crates/tfb-datagen/src/components.rs crates/tfb-datagen/src/profiles.rs crates/tfb-datagen/src/univariate.rs
+
+/root/repo/target/debug/deps/libtfb_datagen-ac0d2ea29422bf73.rlib: crates/tfb-datagen/src/lib.rs crates/tfb-datagen/src/components.rs crates/tfb-datagen/src/profiles.rs crates/tfb-datagen/src/univariate.rs
+
+/root/repo/target/debug/deps/libtfb_datagen-ac0d2ea29422bf73.rmeta: crates/tfb-datagen/src/lib.rs crates/tfb-datagen/src/components.rs crates/tfb-datagen/src/profiles.rs crates/tfb-datagen/src/univariate.rs
+
+crates/tfb-datagen/src/lib.rs:
+crates/tfb-datagen/src/components.rs:
+crates/tfb-datagen/src/profiles.rs:
+crates/tfb-datagen/src/univariate.rs:

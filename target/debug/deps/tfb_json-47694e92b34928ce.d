@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tfb_json-47694e92b34928ce.d: crates/tfb-json/src/lib.rs
+
+/root/repo/target/debug/deps/tfb_json-47694e92b34928ce: crates/tfb-json/src/lib.rs
+
+crates/tfb-json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tfb_json-495c85e405e7fb7f.d: crates/tfb-json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtfb_json-495c85e405e7fb7f.rmeta: crates/tfb-json/src/lib.rs Cargo.toml
+
+crates/tfb-json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tfb_json-7ec558834ac2ef8e.d: crates/tfb-json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtfb_json-7ec558834ac2ef8e.rmeta: crates/tfb-json/src/lib.rs Cargo.toml
+
+crates/tfb-json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

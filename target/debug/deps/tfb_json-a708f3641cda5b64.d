@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tfb_json-a708f3641cda5b64.d: crates/tfb-json/src/lib.rs
+
+/root/repo/target/debug/deps/tfb_json-a708f3641cda5b64: crates/tfb-json/src/lib.rs
+
+crates/tfb-json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tfb_json-a8f2dca97db4b28d.d: crates/tfb-json/src/lib.rs
+
+/root/repo/target/debug/deps/libtfb_json-a8f2dca97db4b28d.rlib: crates/tfb-json/src/lib.rs
+
+/root/repo/target/debug/deps/libtfb_json-a8f2dca97db4b28d.rmeta: crates/tfb-json/src/lib.rs
+
+crates/tfb-json/src/lib.rs:

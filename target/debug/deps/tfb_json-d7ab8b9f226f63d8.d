@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tfb_json-d7ab8b9f226f63d8.d: crates/tfb-json/src/lib.rs
+
+/root/repo/target/debug/deps/libtfb_json-d7ab8b9f226f63d8.rlib: crates/tfb-json/src/lib.rs
+
+/root/repo/target/debug/deps/libtfb_json-d7ab8b9f226f63d8.rmeta: crates/tfb-json/src/lib.rs
+
+crates/tfb-json/src/lib.rs:

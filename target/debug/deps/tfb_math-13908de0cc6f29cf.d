@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/tfb_math-13908de0cc6f29cf.d: crates/tfb-math/src/lib.rs crates/tfb-math/src/acf.rs crates/tfb-math/src/eigen.rs crates/tfb-math/src/fft.rs crates/tfb-math/src/loess.rs crates/tfb-math/src/matrix.rs crates/tfb-math/src/pca.rs crates/tfb-math/src/regression.rs crates/tfb-math/src/stats.rs crates/tfb-math/src/stl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtfb_math-13908de0cc6f29cf.rmeta: crates/tfb-math/src/lib.rs crates/tfb-math/src/acf.rs crates/tfb-math/src/eigen.rs crates/tfb-math/src/fft.rs crates/tfb-math/src/loess.rs crates/tfb-math/src/matrix.rs crates/tfb-math/src/pca.rs crates/tfb-math/src/regression.rs crates/tfb-math/src/stats.rs crates/tfb-math/src/stl.rs Cargo.toml
+
+crates/tfb-math/src/lib.rs:
+crates/tfb-math/src/acf.rs:
+crates/tfb-math/src/eigen.rs:
+crates/tfb-math/src/fft.rs:
+crates/tfb-math/src/loess.rs:
+crates/tfb-math/src/matrix.rs:
+crates/tfb-math/src/pca.rs:
+crates/tfb-math/src/regression.rs:
+crates/tfb-math/src/stats.rs:
+crates/tfb-math/src/stl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tfb_math-bc6b7d302adf8e3c.d: crates/tfb-math/src/lib.rs crates/tfb-math/src/acf.rs crates/tfb-math/src/eigen.rs crates/tfb-math/src/fft.rs crates/tfb-math/src/loess.rs crates/tfb-math/src/matrix.rs crates/tfb-math/src/pca.rs crates/tfb-math/src/regression.rs crates/tfb-math/src/stats.rs crates/tfb-math/src/stl.rs
+
+/root/repo/target/debug/deps/libtfb_math-bc6b7d302adf8e3c.rlib: crates/tfb-math/src/lib.rs crates/tfb-math/src/acf.rs crates/tfb-math/src/eigen.rs crates/tfb-math/src/fft.rs crates/tfb-math/src/loess.rs crates/tfb-math/src/matrix.rs crates/tfb-math/src/pca.rs crates/tfb-math/src/regression.rs crates/tfb-math/src/stats.rs crates/tfb-math/src/stl.rs
+
+/root/repo/target/debug/deps/libtfb_math-bc6b7d302adf8e3c.rmeta: crates/tfb-math/src/lib.rs crates/tfb-math/src/acf.rs crates/tfb-math/src/eigen.rs crates/tfb-math/src/fft.rs crates/tfb-math/src/loess.rs crates/tfb-math/src/matrix.rs crates/tfb-math/src/pca.rs crates/tfb-math/src/regression.rs crates/tfb-math/src/stats.rs crates/tfb-math/src/stl.rs
+
+crates/tfb-math/src/lib.rs:
+crates/tfb-math/src/acf.rs:
+crates/tfb-math/src/eigen.rs:
+crates/tfb-math/src/fft.rs:
+crates/tfb-math/src/loess.rs:
+crates/tfb-math/src/matrix.rs:
+crates/tfb-math/src/pca.rs:
+crates/tfb-math/src/regression.rs:
+crates/tfb-math/src/stats.rs:
+crates/tfb-math/src/stl.rs:

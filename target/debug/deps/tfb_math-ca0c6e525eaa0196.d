@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tfb_math-ca0c6e525eaa0196.d: crates/tfb-math/src/lib.rs crates/tfb-math/src/acf.rs crates/tfb-math/src/eigen.rs crates/tfb-math/src/fft.rs crates/tfb-math/src/loess.rs crates/tfb-math/src/matrix.rs crates/tfb-math/src/pca.rs crates/tfb-math/src/regression.rs crates/tfb-math/src/stats.rs crates/tfb-math/src/stl.rs
+
+/root/repo/target/debug/deps/libtfb_math-ca0c6e525eaa0196.rlib: crates/tfb-math/src/lib.rs crates/tfb-math/src/acf.rs crates/tfb-math/src/eigen.rs crates/tfb-math/src/fft.rs crates/tfb-math/src/loess.rs crates/tfb-math/src/matrix.rs crates/tfb-math/src/pca.rs crates/tfb-math/src/regression.rs crates/tfb-math/src/stats.rs crates/tfb-math/src/stl.rs
+
+/root/repo/target/debug/deps/libtfb_math-ca0c6e525eaa0196.rmeta: crates/tfb-math/src/lib.rs crates/tfb-math/src/acf.rs crates/tfb-math/src/eigen.rs crates/tfb-math/src/fft.rs crates/tfb-math/src/loess.rs crates/tfb-math/src/matrix.rs crates/tfb-math/src/pca.rs crates/tfb-math/src/regression.rs crates/tfb-math/src/stats.rs crates/tfb-math/src/stl.rs
+
+crates/tfb-math/src/lib.rs:
+crates/tfb-math/src/acf.rs:
+crates/tfb-math/src/eigen.rs:
+crates/tfb-math/src/fft.rs:
+crates/tfb-math/src/loess.rs:
+crates/tfb-math/src/matrix.rs:
+crates/tfb-math/src/pca.rs:
+crates/tfb-math/src/regression.rs:
+crates/tfb-math/src/stats.rs:
+crates/tfb-math/src/stl.rs:

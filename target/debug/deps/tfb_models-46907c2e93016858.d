@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/tfb_models-46907c2e93016858.d: crates/tfb-models/src/lib.rs crates/tfb-models/src/arima.rs crates/tfb-models/src/ets.rs crates/tfb-models/src/forest.rs crates/tfb-models/src/gbdt.rs crates/tfb-models/src/kalman.rs crates/tfb-models/src/knn.rs crates/tfb-models/src/linear.rs crates/tfb-models/src/naive.rs crates/tfb-models/src/sarima.rs crates/tfb-models/src/tabular.rs crates/tfb-models/src/theta.rs crates/tfb-models/src/var.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtfb_models-46907c2e93016858.rmeta: crates/tfb-models/src/lib.rs crates/tfb-models/src/arima.rs crates/tfb-models/src/ets.rs crates/tfb-models/src/forest.rs crates/tfb-models/src/gbdt.rs crates/tfb-models/src/kalman.rs crates/tfb-models/src/knn.rs crates/tfb-models/src/linear.rs crates/tfb-models/src/naive.rs crates/tfb-models/src/sarima.rs crates/tfb-models/src/tabular.rs crates/tfb-models/src/theta.rs crates/tfb-models/src/var.rs Cargo.toml
+
+crates/tfb-models/src/lib.rs:
+crates/tfb-models/src/arima.rs:
+crates/tfb-models/src/ets.rs:
+crates/tfb-models/src/forest.rs:
+crates/tfb-models/src/gbdt.rs:
+crates/tfb-models/src/kalman.rs:
+crates/tfb-models/src/knn.rs:
+crates/tfb-models/src/linear.rs:
+crates/tfb-models/src/naive.rs:
+crates/tfb-models/src/sarima.rs:
+crates/tfb-models/src/tabular.rs:
+crates/tfb-models/src/theta.rs:
+crates/tfb-models/src/var.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

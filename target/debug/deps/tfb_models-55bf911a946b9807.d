@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/tfb_models-55bf911a946b9807.d: crates/tfb-models/src/lib.rs crates/tfb-models/src/arima.rs crates/tfb-models/src/ets.rs crates/tfb-models/src/forest.rs crates/tfb-models/src/gbdt.rs crates/tfb-models/src/kalman.rs crates/tfb-models/src/knn.rs crates/tfb-models/src/linear.rs crates/tfb-models/src/naive.rs crates/tfb-models/src/sarima.rs crates/tfb-models/src/tabular.rs crates/tfb-models/src/theta.rs crates/tfb-models/src/var.rs
+
+/root/repo/target/debug/deps/libtfb_models-55bf911a946b9807.rlib: crates/tfb-models/src/lib.rs crates/tfb-models/src/arima.rs crates/tfb-models/src/ets.rs crates/tfb-models/src/forest.rs crates/tfb-models/src/gbdt.rs crates/tfb-models/src/kalman.rs crates/tfb-models/src/knn.rs crates/tfb-models/src/linear.rs crates/tfb-models/src/naive.rs crates/tfb-models/src/sarima.rs crates/tfb-models/src/tabular.rs crates/tfb-models/src/theta.rs crates/tfb-models/src/var.rs
+
+/root/repo/target/debug/deps/libtfb_models-55bf911a946b9807.rmeta: crates/tfb-models/src/lib.rs crates/tfb-models/src/arima.rs crates/tfb-models/src/ets.rs crates/tfb-models/src/forest.rs crates/tfb-models/src/gbdt.rs crates/tfb-models/src/kalman.rs crates/tfb-models/src/knn.rs crates/tfb-models/src/linear.rs crates/tfb-models/src/naive.rs crates/tfb-models/src/sarima.rs crates/tfb-models/src/tabular.rs crates/tfb-models/src/theta.rs crates/tfb-models/src/var.rs
+
+crates/tfb-models/src/lib.rs:
+crates/tfb-models/src/arima.rs:
+crates/tfb-models/src/ets.rs:
+crates/tfb-models/src/forest.rs:
+crates/tfb-models/src/gbdt.rs:
+crates/tfb-models/src/kalman.rs:
+crates/tfb-models/src/knn.rs:
+crates/tfb-models/src/linear.rs:
+crates/tfb-models/src/naive.rs:
+crates/tfb-models/src/sarima.rs:
+crates/tfb-models/src/tabular.rs:
+crates/tfb-models/src/theta.rs:
+crates/tfb-models/src/var.rs:

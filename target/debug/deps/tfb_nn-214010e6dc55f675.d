@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tfb_nn-214010e6dc55f675.d: crates/tfb-nn/src/lib.rs crates/tfb-nn/src/blocks.rs crates/tfb-nn/src/models.rs crates/tfb-nn/src/optim.rs crates/tfb-nn/src/tape.rs crates/tfb-nn/src/train.rs
+
+/root/repo/target/debug/deps/libtfb_nn-214010e6dc55f675.rlib: crates/tfb-nn/src/lib.rs crates/tfb-nn/src/blocks.rs crates/tfb-nn/src/models.rs crates/tfb-nn/src/optim.rs crates/tfb-nn/src/tape.rs crates/tfb-nn/src/train.rs
+
+/root/repo/target/debug/deps/libtfb_nn-214010e6dc55f675.rmeta: crates/tfb-nn/src/lib.rs crates/tfb-nn/src/blocks.rs crates/tfb-nn/src/models.rs crates/tfb-nn/src/optim.rs crates/tfb-nn/src/tape.rs crates/tfb-nn/src/train.rs
+
+crates/tfb-nn/src/lib.rs:
+crates/tfb-nn/src/blocks.rs:
+crates/tfb-nn/src/models.rs:
+crates/tfb-nn/src/optim.rs:
+crates/tfb-nn/src/tape.rs:
+crates/tfb-nn/src/train.rs:

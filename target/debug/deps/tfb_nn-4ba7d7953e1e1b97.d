@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tfb_nn-4ba7d7953e1e1b97.d: crates/tfb-nn/src/lib.rs crates/tfb-nn/src/blocks.rs crates/tfb-nn/src/models.rs crates/tfb-nn/src/optim.rs crates/tfb-nn/src/tape.rs crates/tfb-nn/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtfb_nn-4ba7d7953e1e1b97.rmeta: crates/tfb-nn/src/lib.rs crates/tfb-nn/src/blocks.rs crates/tfb-nn/src/models.rs crates/tfb-nn/src/optim.rs crates/tfb-nn/src/tape.rs crates/tfb-nn/src/train.rs Cargo.toml
+
+crates/tfb-nn/src/lib.rs:
+crates/tfb-nn/src/blocks.rs:
+crates/tfb-nn/src/models.rs:
+crates/tfb-nn/src/optim.rs:
+crates/tfb-nn/src/tape.rs:
+crates/tfb-nn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tfb_nn-61c96b6b11ac75e2.d: crates/tfb-nn/src/lib.rs crates/tfb-nn/src/blocks.rs crates/tfb-nn/src/models.rs crates/tfb-nn/src/optim.rs crates/tfb-nn/src/tape.rs crates/tfb-nn/src/train.rs
+
+/root/repo/target/debug/deps/tfb_nn-61c96b6b11ac75e2: crates/tfb-nn/src/lib.rs crates/tfb-nn/src/blocks.rs crates/tfb-nn/src/models.rs crates/tfb-nn/src/optim.rs crates/tfb-nn/src/tape.rs crates/tfb-nn/src/train.rs
+
+crates/tfb-nn/src/lib.rs:
+crates/tfb-nn/src/blocks.rs:
+crates/tfb-nn/src/models.rs:
+crates/tfb-nn/src/optim.rs:
+crates/tfb-nn/src/tape.rs:
+crates/tfb-nn/src/train.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tfb_nn-caa25740c2d36c20.d: crates/tfb-nn/src/lib.rs crates/tfb-nn/src/blocks.rs crates/tfb-nn/src/models.rs crates/tfb-nn/src/optim.rs crates/tfb-nn/src/tape.rs crates/tfb-nn/src/train.rs
+
+/root/repo/target/debug/deps/libtfb_nn-caa25740c2d36c20.rlib: crates/tfb-nn/src/lib.rs crates/tfb-nn/src/blocks.rs crates/tfb-nn/src/models.rs crates/tfb-nn/src/optim.rs crates/tfb-nn/src/tape.rs crates/tfb-nn/src/train.rs
+
+/root/repo/target/debug/deps/libtfb_nn-caa25740c2d36c20.rmeta: crates/tfb-nn/src/lib.rs crates/tfb-nn/src/blocks.rs crates/tfb-nn/src/models.rs crates/tfb-nn/src/optim.rs crates/tfb-nn/src/tape.rs crates/tfb-nn/src/train.rs
+
+crates/tfb-nn/src/lib.rs:
+crates/tfb-nn/src/blocks.rs:
+crates/tfb-nn/src/models.rs:
+crates/tfb-nn/src/optim.rs:
+crates/tfb-nn/src/tape.rs:
+crates/tfb-nn/src/train.rs:

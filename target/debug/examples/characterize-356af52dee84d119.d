@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/characterize-356af52dee84d119.d: examples/characterize.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcharacterize-356af52dee84d119.rmeta: examples/characterize.rs Cargo.toml
+
+examples/characterize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

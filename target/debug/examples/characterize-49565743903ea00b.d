@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/characterize-49565743903ea00b.d: examples/characterize.rs
+
+/root/repo/target/debug/examples/characterize-49565743903ea00b: examples/characterize.rs
+
+examples/characterize.rs:

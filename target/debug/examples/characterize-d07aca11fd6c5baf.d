@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/characterize-d07aca11fd6c5baf.d: examples/characterize.rs
+
+/root/repo/target/debug/examples/characterize-d07aca11fd6c5baf: examples/characterize.rs
+
+examples/characterize.rs:

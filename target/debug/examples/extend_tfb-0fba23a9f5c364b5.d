@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/extend_tfb-0fba23a9f5c364b5.d: examples/extend_tfb.rs Cargo.toml
+
+/root/repo/target/debug/examples/libextend_tfb-0fba23a9f5c364b5.rmeta: examples/extend_tfb.rs Cargo.toml
+
+examples/extend_tfb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

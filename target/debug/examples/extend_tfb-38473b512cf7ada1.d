@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/extend_tfb-38473b512cf7ada1.d: examples/extend_tfb.rs
+
+/root/repo/target/debug/examples/extend_tfb-38473b512cf7ada1: examples/extend_tfb.rs
+
+examples/extend_tfb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/extend_tfb-d18b5f3a9e4f7fca.d: examples/extend_tfb.rs
+
+/root/repo/target/debug/examples/extend_tfb-d18b5f3a9e4f7fca: examples/extend_tfb.rs
+
+examples/extend_tfb.rs:

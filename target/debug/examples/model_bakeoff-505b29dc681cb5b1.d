@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_bakeoff-505b29dc681cb5b1.d: examples/model_bakeoff.rs
+
+/root/repo/target/debug/examples/model_bakeoff-505b29dc681cb5b1: examples/model_bakeoff.rs
+
+examples/model_bakeoff.rs:

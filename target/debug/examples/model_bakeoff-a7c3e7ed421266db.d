@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_bakeoff-a7c3e7ed421266db.d: examples/model_bakeoff.rs
+
+/root/repo/target/debug/examples/model_bakeoff-a7c3e7ed421266db: examples/model_bakeoff.rs
+
+examples/model_bakeoff.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/model_bakeoff-af1ba67e5e0a806d.d: examples/model_bakeoff.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodel_bakeoff-af1ba67e5e0a806d.rmeta: examples/model_bakeoff.rs Cargo.toml
+
+examples/model_bakeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

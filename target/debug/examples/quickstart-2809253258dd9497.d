@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2809253258dd9497.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2809253258dd9497: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f94f7b81f27826ef.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f94f7b81f27826ef: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rolling_eval-5f3bbd7e7abd5abe.d: examples/rolling_eval.rs Cargo.toml
+
+/root/repo/target/debug/examples/librolling_eval-5f3bbd7e7abd5abe.rmeta: examples/rolling_eval.rs Cargo.toml
+
+examples/rolling_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rolling_eval-cf06530d5d39e0c3.d: examples/rolling_eval.rs
+
+/root/repo/target/debug/examples/rolling_eval-cf06530d5d39e0c3: examples/rolling_eval.rs
+
+examples/rolling_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rolling_eval-eddde74e8be73406.d: examples/rolling_eval.rs
+
+/root/repo/target/debug/examples/rolling_eval-eddde74e8be73406: examples/rolling_eval.rs
+
+examples/rolling_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dms_ims-968e1a547b212780.d: crates/bench/src/bin/ablation_dms_ims.rs
+
+/root/repo/target/release/deps/ablation_dms_ims-968e1a547b212780: crates/bench/src/bin/ablation_dms_ims.rs
+
+crates/bench/src/bin/ablation_dms_ims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_norm-cce4f8c7f5fa3524.d: crates/bench/src/bin/ablation_norm.rs
+
+/root/repo/target/release/deps/ablation_norm-cce4f8c7f5fa3524: crates/bench/src/bin/ablation_norm.rs
+
+crates/bench/src/bin/ablation_norm.rs:

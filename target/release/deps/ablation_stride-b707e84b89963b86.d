@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_stride-b707e84b89963b86.d: crates/bench/src/bin/ablation_stride.rs
+
+/root/repo/target/release/deps/ablation_stride-b707e84b89963b86: crates/bench/src/bin/ablation_stride.rs
+
+crates/bench/src/bin/ablation_stride.rs:

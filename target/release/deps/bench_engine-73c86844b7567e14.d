@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench_engine-73c86844b7567e14.d: crates/bench/src/bin/bench_engine.rs
+
+/root/repo/target/release/deps/bench_engine-73c86844b7567e14: crates/bench/src/bin/bench_engine.rs
+
+crates/bench/src/bin/bench_engine.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench_engine-bdb2a0db59e47d2c.d: crates/bench/src/bin/bench_engine.rs
+
+/root/repo/target/release/deps/bench_engine-bdb2a0db59e47d2c: crates/bench/src/bin/bench_engine.rs
+
+crates/bench/src/bin/bench_engine.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-544c8e92da484a83.d: crates/tfb-nn/tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-544c8e92da484a83: crates/tfb-nn/tests/determinism.rs
+
+crates/tfb-nn/tests/determinism.rs:

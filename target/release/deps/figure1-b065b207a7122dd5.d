@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1-b065b207a7122dd5.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/release/deps/figure1-b065b207a7122dd5: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure10-655321e5fbd14166.d: crates/bench/src/bin/figure10.rs
+
+/root/repo/target/release/deps/figure10-655321e5fbd14166: crates/bench/src/bin/figure10.rs
+
+crates/bench/src/bin/figure10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure11-98163145f999984b.d: crates/bench/src/bin/figure11.rs
+
+/root/repo/target/release/deps/figure11-98163145f999984b: crates/bench/src/bin/figure11.rs
+
+crates/bench/src/bin/figure11.rs:

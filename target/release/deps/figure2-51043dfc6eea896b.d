@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-51043dfc6eea896b.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-51043dfc6eea896b: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-5f85ff93804a87e1.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-5f85ff93804a87e1: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-8812c4849d07e6d5.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-8812c4849d07e6d5: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

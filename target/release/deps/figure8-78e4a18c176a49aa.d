@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure8-78e4a18c176a49aa.d: crates/bench/src/bin/figure8.rs
+
+/root/repo/target/release/deps/figure8-78e4a18c176a49aa: crates/bench/src/bin/figure8.rs
+
+crates/bench/src/bin/figure8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure9-f6b73d206aaa8354.d: crates/bench/src/bin/figure9.rs
+
+/root/repo/target/release/deps/figure9-f6b73d206aaa8354: crates/bench/src/bin/figure9.rs
+
+crates/bench/src/bin/figure9.rs:

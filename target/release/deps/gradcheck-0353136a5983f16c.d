@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gradcheck-0353136a5983f16c.d: crates/tfb-nn/tests/gradcheck.rs
+
+/root/repo/target/release/deps/gradcheck-0353136a5983f16c: crates/tfb-nn/tests/gradcheck.rs
+
+crates/tfb-nn/tests/gradcheck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_props-b5e652540dde8747.d: crates/tfb-models/tests/model_props.rs
+
+/root/repo/target/release/deps/model_props-b5e652540dde8747: crates/tfb-models/tests/model_props.rs
+
+crates/tfb-models/tests/model_props.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-bf506c3ba1e863f8.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-bf506c3ba1e863f8.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-bf506c3ba1e863f8.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

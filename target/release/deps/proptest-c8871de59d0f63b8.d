@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-c8871de59d0f63b8.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c8871de59d0f63b8.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c8871de59d0f63b8.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

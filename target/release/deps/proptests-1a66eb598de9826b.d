@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-1a66eb598de9826b.d: crates/tfb-math/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-1a66eb598de9826b: crates/tfb-math/tests/proptests.rs
+
+crates/tfb-math/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-7624b885ba8b6644.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7624b885ba8b6644.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7624b885ba8b6644.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-6e59bc7c5a4d38ea.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-6e59bc7c5a4d38ea: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-66b86fd9b48ed36b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-66b86fd9b48ed36b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

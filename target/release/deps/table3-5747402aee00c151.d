@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-5747402aee00c151.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-5747402aee00c151: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-5c7b14d58c5e60a3.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-5c7b14d58c5e60a3: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

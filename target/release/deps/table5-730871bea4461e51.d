@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-730871bea4461e51.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-730871bea4461e51: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-4633765fa656bb30.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-4633765fa656bb30: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

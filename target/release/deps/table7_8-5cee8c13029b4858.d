@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_8-5cee8c13029b4858.d: crates/bench/src/bin/table7_8.rs
+
+/root/repo/target/release/deps/table7_8-5cee8c13029b4858: crates/bench/src/bin/table7_8.rs
+
+crates/bench/src/bin/table7_8.rs:

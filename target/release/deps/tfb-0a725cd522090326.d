@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tfb-0a725cd522090326.d: src/lib.rs
+
+/root/repo/target/release/deps/libtfb-0a725cd522090326.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtfb-0a725cd522090326.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tfb-7ec788163be9c101.d: src/lib.rs
+
+/root/repo/target/release/deps/libtfb-7ec788163be9c101.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtfb-7ec788163be9c101.rmeta: src/lib.rs
+
+src/lib.rs:

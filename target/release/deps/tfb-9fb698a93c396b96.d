@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tfb-9fb698a93c396b96.d: src/bin/tfb.rs
+
+/root/repo/target/release/deps/tfb-9fb698a93c396b96: src/bin/tfb.rs
+
+src/bin/tfb.rs:

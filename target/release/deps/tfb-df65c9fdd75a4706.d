@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tfb-df65c9fdd75a4706.d: src/bin/tfb.rs
+
+/root/repo/target/release/deps/tfb-df65c9fdd75a4706: src/bin/tfb.rs
+
+src/bin/tfb.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tfb_bench-1f62e4fd87777470.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtfb_bench-1f62e4fd87777470.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtfb_bench-1f62e4fd87777470.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

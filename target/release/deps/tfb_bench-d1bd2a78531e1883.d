@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tfb_bench-d1bd2a78531e1883.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtfb_bench-d1bd2a78531e1883.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtfb_bench-d1bd2a78531e1883.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

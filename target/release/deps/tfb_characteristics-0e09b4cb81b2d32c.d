@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tfb_characteristics-0e09b4cb81b2d32c.d: crates/tfb-characteristics/src/lib.rs crates/tfb-characteristics/src/adf.rs crates/tfb-characteristics/src/catch22.rs crates/tfb-characteristics/src/correlation.rs crates/tfb-characteristics/src/shifting.rs crates/tfb-characteristics/src/strength.rs crates/tfb-characteristics/src/transition.rs crates/tfb-characteristics/src/vector.rs
+
+/root/repo/target/release/deps/libtfb_characteristics-0e09b4cb81b2d32c.rlib: crates/tfb-characteristics/src/lib.rs crates/tfb-characteristics/src/adf.rs crates/tfb-characteristics/src/catch22.rs crates/tfb-characteristics/src/correlation.rs crates/tfb-characteristics/src/shifting.rs crates/tfb-characteristics/src/strength.rs crates/tfb-characteristics/src/transition.rs crates/tfb-characteristics/src/vector.rs
+
+/root/repo/target/release/deps/libtfb_characteristics-0e09b4cb81b2d32c.rmeta: crates/tfb-characteristics/src/lib.rs crates/tfb-characteristics/src/adf.rs crates/tfb-characteristics/src/catch22.rs crates/tfb-characteristics/src/correlation.rs crates/tfb-characteristics/src/shifting.rs crates/tfb-characteristics/src/strength.rs crates/tfb-characteristics/src/transition.rs crates/tfb-characteristics/src/vector.rs
+
+crates/tfb-characteristics/src/lib.rs:
+crates/tfb-characteristics/src/adf.rs:
+crates/tfb-characteristics/src/catch22.rs:
+crates/tfb-characteristics/src/correlation.rs:
+crates/tfb-characteristics/src/shifting.rs:
+crates/tfb-characteristics/src/strength.rs:
+crates/tfb-characteristics/src/transition.rs:
+crates/tfb-characteristics/src/vector.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/tfb_core-9ff1f8eedc633d95.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/eval.rs crates/core/src/method.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/viz.rs
+
+/root/repo/target/release/deps/libtfb_core-9ff1f8eedc633d95.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/eval.rs crates/core/src/method.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/viz.rs
+
+/root/repo/target/release/deps/libtfb_core-9ff1f8eedc633d95.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/eval.rs crates/core/src/method.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/viz.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/data.rs:
+crates/core/src/eval.rs:
+crates/core/src/method.rs:
+crates/core/src/metrics.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/viz.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/tfb_core-fa00fa1a023f6eec.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/eval.rs crates/core/src/method.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/viz.rs
+
+/root/repo/target/release/deps/libtfb_core-fa00fa1a023f6eec.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/eval.rs crates/core/src/method.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/viz.rs
+
+/root/repo/target/release/deps/libtfb_core-fa00fa1a023f6eec.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/eval.rs crates/core/src/method.rs crates/core/src/metrics.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/viz.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/data.rs:
+crates/core/src/eval.rs:
+crates/core/src/method.rs:
+crates/core/src/metrics.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/viz.rs:

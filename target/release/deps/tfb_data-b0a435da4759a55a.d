@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/tfb_data-b0a435da4759a55a.d: crates/tfb-data/src/lib.rs crates/tfb-data/src/batch.rs crates/tfb-data/src/csvfmt.rs crates/tfb-data/src/impute.rs crates/tfb-data/src/normalize.rs crates/tfb-data/src/repository.rs crates/tfb-data/src/series.rs crates/tfb-data/src/split.rs crates/tfb-data/src/window.rs
+
+/root/repo/target/release/deps/libtfb_data-b0a435da4759a55a.rlib: crates/tfb-data/src/lib.rs crates/tfb-data/src/batch.rs crates/tfb-data/src/csvfmt.rs crates/tfb-data/src/impute.rs crates/tfb-data/src/normalize.rs crates/tfb-data/src/repository.rs crates/tfb-data/src/series.rs crates/tfb-data/src/split.rs crates/tfb-data/src/window.rs
+
+/root/repo/target/release/deps/libtfb_data-b0a435da4759a55a.rmeta: crates/tfb-data/src/lib.rs crates/tfb-data/src/batch.rs crates/tfb-data/src/csvfmt.rs crates/tfb-data/src/impute.rs crates/tfb-data/src/normalize.rs crates/tfb-data/src/repository.rs crates/tfb-data/src/series.rs crates/tfb-data/src/split.rs crates/tfb-data/src/window.rs
+
+crates/tfb-data/src/lib.rs:
+crates/tfb-data/src/batch.rs:
+crates/tfb-data/src/csvfmt.rs:
+crates/tfb-data/src/impute.rs:
+crates/tfb-data/src/normalize.rs:
+crates/tfb-data/src/repository.rs:
+crates/tfb-data/src/series.rs:
+crates/tfb-data/src/split.rs:
+crates/tfb-data/src/window.rs:

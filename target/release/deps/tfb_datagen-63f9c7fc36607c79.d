@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tfb_datagen-63f9c7fc36607c79.d: crates/tfb-datagen/src/lib.rs crates/tfb-datagen/src/components.rs crates/tfb-datagen/src/profiles.rs crates/tfb-datagen/src/univariate.rs
+
+/root/repo/target/release/deps/libtfb_datagen-63f9c7fc36607c79.rlib: crates/tfb-datagen/src/lib.rs crates/tfb-datagen/src/components.rs crates/tfb-datagen/src/profiles.rs crates/tfb-datagen/src/univariate.rs
+
+/root/repo/target/release/deps/libtfb_datagen-63f9c7fc36607c79.rmeta: crates/tfb-datagen/src/lib.rs crates/tfb-datagen/src/components.rs crates/tfb-datagen/src/profiles.rs crates/tfb-datagen/src/univariate.rs
+
+crates/tfb-datagen/src/lib.rs:
+crates/tfb-datagen/src/components.rs:
+crates/tfb-datagen/src/profiles.rs:
+crates/tfb-datagen/src/univariate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tfb_json-be8fcf4d95d8de78.d: crates/tfb-json/src/lib.rs
+
+/root/repo/target/release/deps/libtfb_json-be8fcf4d95d8de78.rlib: crates/tfb-json/src/lib.rs
+
+/root/repo/target/release/deps/libtfb_json-be8fcf4d95d8de78.rmeta: crates/tfb-json/src/lib.rs
+
+crates/tfb-json/src/lib.rs:

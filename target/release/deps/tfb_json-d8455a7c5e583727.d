@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tfb_json-d8455a7c5e583727.d: crates/tfb-json/src/lib.rs
+
+/root/repo/target/release/deps/libtfb_json-d8455a7c5e583727.rlib: crates/tfb-json/src/lib.rs
+
+/root/repo/target/release/deps/libtfb_json-d8455a7c5e583727.rmeta: crates/tfb-json/src/lib.rs
+
+crates/tfb-json/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/tfb_math-1f68e9e71be26ce0.d: crates/tfb-math/src/lib.rs crates/tfb-math/src/acf.rs crates/tfb-math/src/eigen.rs crates/tfb-math/src/fft.rs crates/tfb-math/src/loess.rs crates/tfb-math/src/matrix.rs crates/tfb-math/src/pca.rs crates/tfb-math/src/regression.rs crates/tfb-math/src/stats.rs crates/tfb-math/src/stl.rs
+
+/root/repo/target/release/deps/libtfb_math-1f68e9e71be26ce0.rlib: crates/tfb-math/src/lib.rs crates/tfb-math/src/acf.rs crates/tfb-math/src/eigen.rs crates/tfb-math/src/fft.rs crates/tfb-math/src/loess.rs crates/tfb-math/src/matrix.rs crates/tfb-math/src/pca.rs crates/tfb-math/src/regression.rs crates/tfb-math/src/stats.rs crates/tfb-math/src/stl.rs
+
+/root/repo/target/release/deps/libtfb_math-1f68e9e71be26ce0.rmeta: crates/tfb-math/src/lib.rs crates/tfb-math/src/acf.rs crates/tfb-math/src/eigen.rs crates/tfb-math/src/fft.rs crates/tfb-math/src/loess.rs crates/tfb-math/src/matrix.rs crates/tfb-math/src/pca.rs crates/tfb-math/src/regression.rs crates/tfb-math/src/stats.rs crates/tfb-math/src/stl.rs
+
+crates/tfb-math/src/lib.rs:
+crates/tfb-math/src/acf.rs:
+crates/tfb-math/src/eigen.rs:
+crates/tfb-math/src/fft.rs:
+crates/tfb-math/src/loess.rs:
+crates/tfb-math/src/matrix.rs:
+crates/tfb-math/src/pca.rs:
+crates/tfb-math/src/regression.rs:
+crates/tfb-math/src/stats.rs:
+crates/tfb-math/src/stl.rs:

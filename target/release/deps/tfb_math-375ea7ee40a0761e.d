@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tfb_math-375ea7ee40a0761e.d: crates/tfb-math/src/lib.rs crates/tfb-math/src/acf.rs crates/tfb-math/src/eigen.rs crates/tfb-math/src/fft.rs crates/tfb-math/src/loess.rs crates/tfb-math/src/matrix.rs crates/tfb-math/src/pca.rs crates/tfb-math/src/regression.rs crates/tfb-math/src/stats.rs crates/tfb-math/src/stl.rs
+
+/root/repo/target/release/deps/tfb_math-375ea7ee40a0761e: crates/tfb-math/src/lib.rs crates/tfb-math/src/acf.rs crates/tfb-math/src/eigen.rs crates/tfb-math/src/fft.rs crates/tfb-math/src/loess.rs crates/tfb-math/src/matrix.rs crates/tfb-math/src/pca.rs crates/tfb-math/src/regression.rs crates/tfb-math/src/stats.rs crates/tfb-math/src/stl.rs
+
+crates/tfb-math/src/lib.rs:
+crates/tfb-math/src/acf.rs:
+crates/tfb-math/src/eigen.rs:
+crates/tfb-math/src/fft.rs:
+crates/tfb-math/src/loess.rs:
+crates/tfb-math/src/matrix.rs:
+crates/tfb-math/src/pca.rs:
+crates/tfb-math/src/regression.rs:
+crates/tfb-math/src/stats.rs:
+crates/tfb-math/src/stl.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/tfb_models-6fb74e22ba2a5ea4.d: crates/tfb-models/src/lib.rs crates/tfb-models/src/arima.rs crates/tfb-models/src/ets.rs crates/tfb-models/src/gbdt.rs crates/tfb-models/src/kalman.rs crates/tfb-models/src/knn.rs crates/tfb-models/src/linear.rs crates/tfb-models/src/naive.rs crates/tfb-models/src/sarima.rs crates/tfb-models/src/forest.rs crates/tfb-models/src/tabular.rs crates/tfb-models/src/theta.rs crates/tfb-models/src/var.rs
+
+/root/repo/target/release/deps/libtfb_models-6fb74e22ba2a5ea4.rlib: crates/tfb-models/src/lib.rs crates/tfb-models/src/arima.rs crates/tfb-models/src/ets.rs crates/tfb-models/src/gbdt.rs crates/tfb-models/src/kalman.rs crates/tfb-models/src/knn.rs crates/tfb-models/src/linear.rs crates/tfb-models/src/naive.rs crates/tfb-models/src/sarima.rs crates/tfb-models/src/forest.rs crates/tfb-models/src/tabular.rs crates/tfb-models/src/theta.rs crates/tfb-models/src/var.rs
+
+/root/repo/target/release/deps/libtfb_models-6fb74e22ba2a5ea4.rmeta: crates/tfb-models/src/lib.rs crates/tfb-models/src/arima.rs crates/tfb-models/src/ets.rs crates/tfb-models/src/gbdt.rs crates/tfb-models/src/kalman.rs crates/tfb-models/src/knn.rs crates/tfb-models/src/linear.rs crates/tfb-models/src/naive.rs crates/tfb-models/src/sarima.rs crates/tfb-models/src/forest.rs crates/tfb-models/src/tabular.rs crates/tfb-models/src/theta.rs crates/tfb-models/src/var.rs
+
+crates/tfb-models/src/lib.rs:
+crates/tfb-models/src/arima.rs:
+crates/tfb-models/src/ets.rs:
+crates/tfb-models/src/gbdt.rs:
+crates/tfb-models/src/kalman.rs:
+crates/tfb-models/src/knn.rs:
+crates/tfb-models/src/linear.rs:
+crates/tfb-models/src/naive.rs:
+crates/tfb-models/src/sarima.rs:
+crates/tfb-models/src/forest.rs:
+crates/tfb-models/src/tabular.rs:
+crates/tfb-models/src/theta.rs:
+crates/tfb-models/src/var.rs:

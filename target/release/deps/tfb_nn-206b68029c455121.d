@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/tfb_nn-206b68029c455121.d: crates/tfb-nn/src/lib.rs crates/tfb-nn/src/blocks.rs crates/tfb-nn/src/models.rs crates/tfb-nn/src/optim.rs crates/tfb-nn/src/tape.rs crates/tfb-nn/src/train.rs
+
+/root/repo/target/release/deps/tfb_nn-206b68029c455121: crates/tfb-nn/src/lib.rs crates/tfb-nn/src/blocks.rs crates/tfb-nn/src/models.rs crates/tfb-nn/src/optim.rs crates/tfb-nn/src/tape.rs crates/tfb-nn/src/train.rs
+
+crates/tfb-nn/src/lib.rs:
+crates/tfb-nn/src/blocks.rs:
+crates/tfb-nn/src/models.rs:
+crates/tfb-nn/src/optim.rs:
+crates/tfb-nn/src/tape.rs:
+crates/tfb-nn/src/train.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5528815dfff36e70.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5528815dfff36e70: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rolling_eval-0dca4655830a9123.d: examples/rolling_eval.rs
+
+/root/repo/target/release/examples/rolling_eval-0dca4655830a9123: examples/rolling_eval.rs
+
+examples/rolling_eval.rs:

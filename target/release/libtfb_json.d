@@ -1,0 +1,1 @@
+/root/repo/target/release/libtfb_json.rlib: /root/repo/crates/tfb-json/src/lib.rs

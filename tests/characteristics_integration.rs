@@ -79,7 +79,12 @@ fn builder_archetypes_round_trip_through_tags() {
         ),
         (
             "seasonality",
-            Box::new(|| SeriesBuilder::new(400, 51).seasonal(24, 4.0).noise(0.4).build()),
+            Box::new(|| {
+                SeriesBuilder::new(400, 51)
+                    .seasonal(24, 4.0)
+                    .noise(0.4)
+                    .build()
+            }),
             0,
         ),
         (

@@ -83,7 +83,11 @@ fn run_executes_a_tiny_config() {
         "--out",
         dir.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Naive") && text.contains("Mean"));
     assert!(dir.join("run.csv").exists());

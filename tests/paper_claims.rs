@@ -15,8 +15,8 @@ fn mae_of(method: &str, dataset: &str, lookback: usize, horizon: usize) -> f64 {
     let handle = load(dataset, SCALE).expect("dataset exists");
     let mut settings = EvalSettings::rolling(lookback, horizon, handle.profile.split);
     settings.max_windows = 15;
-    let mut m = build_method(method, lookback, horizon, handle.series.dim(), None)
-        .expect("method exists");
+    let mut m =
+        build_method(method, lookback, horizon, handle.series.dim(), None).expect("method exists");
     evaluate(&mut m, &handle.series, &settings)
         .map(|o| o.metric(Metric::Mae))
         .unwrap_or(f64::INFINITY)

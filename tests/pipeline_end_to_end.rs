@@ -26,7 +26,10 @@ fn config_to_report_roundtrip() {
     let cfg = config(&["Naive", "SeasonalNaive", "LR"], &["ILI", "Exchange"]);
     let results = run_jobs(&cfg, Parallelism::Threads(3), None);
     assert_eq!(results.len(), 6);
-    let outcomes: Vec<_> = results.into_iter().map(|r| r.expect("job succeeds")).collect();
+    let outcomes: Vec<_> = results
+        .into_iter()
+        .map(|r| r.expect("job succeeds"))
+        .collect();
     let table = ResultTable::from_outcomes(&outcomes);
     // Every metric populated and finite on these benign datasets.
     for row in &table.rows {
@@ -66,7 +69,10 @@ fn statistical_and_window_methods_share_one_pipeline() {
     // on identical data and settings.
     let cfg = config(&["Theta", "XGB", "NLinear"], &["NN5"]);
     let results = run_jobs(&cfg, Parallelism::Sequential, None);
-    let outcomes: Vec<_> = results.into_iter().map(|r| r.expect("job succeeds")).collect();
+    let outcomes: Vec<_> = results
+        .into_iter()
+        .map(|r| r.expect("job succeeds"))
+        .collect();
     assert_eq!(outcomes.len(), 3);
     let windows: Vec<usize> = outcomes.iter().map(|o| o.n_windows).collect();
     assert!(
