@@ -55,6 +55,10 @@ impl WindowForecaster for IterativeLr {
 }
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     let scale = RunScale::from_env();
     let profile = tfb_datagen::profile_by_name("Weather").expect("profile exists");
     let series = profile.generate(scale.data_scale());

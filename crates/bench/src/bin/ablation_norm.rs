@@ -11,6 +11,10 @@ use tfb_core::Metric;
 use tfb_data::Normalization;
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     let scale = RunScale::from_env();
     let profile = tfb_datagen::profile_by_name("ETTh1").expect("profile exists");
     let series = profile.generate(scale.data_scale());

@@ -32,6 +32,12 @@ use tfb_math::acf::{acf, acf_fft};
 use tfb_math::matrix::Matrix;
 use tfb_nn::TrainConfig;
 
+/// Count every allocation the benchmark makes (feature `alloc-track`,
+/// on by default) so the emitted JSON carries memory cost next to time.
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static ALLOC: tfb_obs::alloc::CountingAllocator = tfb_obs::alloc::CountingAllocator;
+
 struct Entry {
     name: String,
     value: f64,
@@ -60,6 +66,10 @@ fn pseudo_random_matrix(rows: usize, cols: usize, mut seed: u64) -> Matrix {
 }
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     let mut entries: Vec<Entry> = Vec::new();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -90,8 +100,26 @@ fn main() {
             build_method(name, lookback, horizon, series.dim(), Some(quick)).expect("method");
         let mut m2 =
             build_method(name, lookback, horizon, series.dim(), Some(quick)).expect("method");
+        #[cfg(feature = "alloc-track")]
+        let alloc_before = tfb_obs::alloc::stats();
         let seq = evaluate(&mut m1, &series, &seq_settings).expect("sequential eval");
         let bat = evaluate(&mut m2, &series, &batch_settings).expect("batched eval");
+        #[cfg(feature = "alloc-track")]
+        {
+            let d = tfb_obs::alloc::delta(alloc_before, tfb_obs::alloc::stats());
+            push(
+                &mut entries,
+                format!("engine/{name}/alloc_calls"),
+                d.calls as f64,
+                "count",
+            );
+            push(
+                &mut entries,
+                format!("engine/{name}/alloc_bytes"),
+                d.bytes as f64 / (1024.0 * 1024.0),
+                "MiB",
+            );
+        }
         assert_eq!(
             seq.metrics, bat.metrics,
             "{name}: batched metrics diverged from sequential"
@@ -225,6 +253,36 @@ fn main() {
         direct_ms / fft_ms,
         "x",
     );
+
+    // --- Memory: peak RSS and whole-run allocator totals. -------------
+    if let Some(rss) = tfb_obs::peak_rss_bytes() {
+        let mib = rss as f64 / (1024.0 * 1024.0);
+        println!("\npeak RSS: {mib:.1} MiB");
+        push(&mut entries, "engine/peak_rss", mib, "MiB");
+    }
+    #[cfg(feature = "alloc-track")]
+    {
+        let a = tfb_obs::alloc::stats();
+        println!(
+            "allocator: {} calls | {:.1} MiB requested | {:.1} MiB peak live",
+            a.calls,
+            a.bytes as f64 / (1024.0 * 1024.0),
+            a.peak_live_bytes as f64 / (1024.0 * 1024.0)
+        );
+        push(&mut entries, "engine/alloc/calls", a.calls as f64, "count");
+        push(
+            &mut entries,
+            "engine/alloc/bytes",
+            a.bytes as f64 / (1024.0 * 1024.0),
+            "MiB",
+        );
+        push(
+            &mut entries,
+            "engine/alloc/peak_live",
+            a.peak_live_bytes as f64 / (1024.0 * 1024.0),
+            "MiB",
+        );
+    }
 
     // --- Emit rebar-style JSON at the workspace root. -----------------
     let doc = JsonValue::Object(vec![(

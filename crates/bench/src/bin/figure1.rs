@@ -22,6 +22,10 @@ fn emit(name: &str, series: &[f64]) {
 }
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     println!("Figure 1 — characteristic exemplars (value with / without):\n");
     let n = 480;
 

@@ -23,6 +23,10 @@ const DATASETS: [&str; 10] = [
 ];
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     let scale = RunScale::from_env();
     let horizon = match scale {
         RunScale::Full => 96,

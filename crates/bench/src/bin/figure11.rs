@@ -23,6 +23,10 @@ const METHODS: [&str; 10] = [
 ];
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     let scale = RunScale::from_env();
     let cases = [("Traffic", 96usize), ("Weather", 96), ("ILI", 24)];
     let mut csv = String::from("dataset,method,parameters,infer_us_per_window,mae\n");

@@ -48,6 +48,10 @@ const COMPETITORS: [(&str, &[(&str, usize)]); 4] = [
 ];
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     println!("Figure 2 — multivariate domain coverage per benchmark:\n");
     for (name, domains) in COMPETITORS {
         let total: usize = domains.iter().map(|(_, n)| n).sum();

@@ -34,6 +34,10 @@ fn five_number(xs: &[f64]) -> [f64; 5] {
 }
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     let scale = RunScale::from_env().data_scale();
     let profiles = tfb_datagen::all_profiles();
     let mut rows: Vec<(&str, [f64; 6])> = Vec::new();

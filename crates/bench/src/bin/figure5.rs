@@ -33,6 +33,10 @@ fn occupied_cells(points: &[(f64, f64)], lo: (f64, f64), hi: (f64, f64)) -> usiz
 }
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     let scale = RunScale::from_env();
     let divisor = match scale {
         RunScale::Full => 4,

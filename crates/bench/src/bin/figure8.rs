@@ -32,6 +32,10 @@ const METHODS: [&str; 6] = [
 ];
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     let scale = RunScale::from_env();
     let mut table = ResultTable::default();
     for (dataset, characteristic, paper_h) in EXTREMES {

@@ -31,6 +31,10 @@ fn family_members(family: &str) -> Vec<&'static str> {
 }
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     let scale = RunScale::from_env();
     let families = ["Transformer", "CNN", "Linear/MLP"];
     println!("Figure 9 — best family MAE per dataset:\n");

@@ -11,6 +11,10 @@ use tfb_core::report::{RankTable, ResultTable};
 use tfb_core::Metric;
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     let scale = RunScale::from_env();
     let methods = [
         "VAR",

@@ -16,6 +16,10 @@ use tfb_core::method::build_method;
 use tfb_core::Metric;
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     let scale = RunScale::from_env();
     let profile = tfb_datagen::profile_by_name("ETTh2").expect("profile exists");
     let series = profile.generate(scale.data_scale());

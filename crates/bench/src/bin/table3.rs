@@ -38,6 +38,10 @@ const PROPERTIES: [&str; 7] = [
 ];
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     println!("Table 3 — benchmark property comparison:\n");
     print!("| benchmark |");
     for p in PROPERTIES {

@@ -10,6 +10,10 @@ use tfb_characteristics::CharacteristicVector;
 use tfb_datagen::univariate::{UnivariateArchive, SPECS};
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     let scale = RunScale::from_env();
     let divisor = match scale {
         RunScale::Full => 1,

@@ -7,6 +7,10 @@ use tfb_bench::RunScale;
 use tfb_datagen::all_profiles;
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     let scale = RunScale::from_env().data_scale();
     println!("Table 5 — multivariate dataset statistics:\n");
     println!("| dataset | domain | frequency | paper length | paper dim | generated length | generated dim | split |");

@@ -33,6 +33,10 @@ const CHARACTERISTICS: [&str; 5] = [
 ];
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     let scale = RunScale::from_env();
     let divisor = match scale {
         RunScale::Full => 1,

@@ -17,6 +17,10 @@ use tfb_core::report::ResultTable;
 use tfb_core::Metric;
 
 fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
     let scale = RunScale::from_env();
     let profiles = tfb_datagen::all_profiles();
     // Score trend strength to order datasets as the paper does.

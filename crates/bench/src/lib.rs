@@ -169,6 +169,37 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
+/// Runs a reproduction binary under an armed observability run: span
+/// events stream to `target/obs/<label>.events.jsonl` and the manifest
+/// lands beside them when the closure returns. `TFB_OBS=0` disables the
+/// instrumentation for the run.
+pub fn with_obs<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let obs_on = std::env::var("TFB_OBS").map(|v| v != "0").unwrap_or(true);
+    let dir = PathBuf::from("target/obs");
+    if obs_on {
+        let opts = tfb_obs::RunOptions {
+            events_path: Some(dir.join(format!("{label}.events.jsonl"))),
+        };
+        if let Err(e) = tfb_obs::start_run(opts) {
+            eprintln!("{label}: could not open the observability sink: {e}");
+        }
+    }
+    let out = f();
+    let meta = [
+        ("bin", label.to_string()),
+        ("git_rev", tfb_obs::git_rev().unwrap_or_default()),
+        ("scale", format!("{:?}", RunScale::from_env())),
+    ];
+    if let Some(manifest) = tfb_obs::finish_run(&meta) {
+        let path = dir.join(format!("{label}.manifest.json"));
+        match manifest.write(&path) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("{label}: could not write the run manifest: {e}"),
+        }
+    }
+    out
+}
+
 /// Evaluates one method on one dataset profile with best-of-lookback
 /// selection, mirroring the paper's ≤ 8-set hyper-parameter search.
 pub fn eval_best_lookback(

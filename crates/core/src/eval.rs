@@ -146,6 +146,7 @@ pub fn evaluate(
     series: &MultiSeries,
     settings: &EvalSettings,
 ) -> Result<EvalOutcome> {
+    let _eval_span = tfb_obs::span!("eval", dataset = series.name, method = method.name());
     match settings.strategy {
         Strategy::Fixed => evaluate_fixed(method, series, settings),
         Strategy::Rolling { stride } => evaluate_rolling(method, series, settings, stride),
@@ -175,11 +176,18 @@ fn evaluate_fixed(
     let mut train_time = Duration::ZERO;
     let start = Instant::now();
     let forecast = match method {
-        Method::Stat(m) => m.forecast(&history_n, f)?,
+        Method::Stat(m) => {
+            let _infer_span = tfb_obs::span!("infer");
+            m.forecast(&history_n, f)?
+        }
         Method::Window(m) => {
             let t0 = Instant::now();
-            m.train(&history_n)?;
+            {
+                let _train_span = tfb_obs::span!("train");
+                m.train(&history_n)?;
+            }
             train_time = t0.elapsed();
+            let _infer_span = tfb_obs::span!("infer");
             let window = history_n.values()[(history.len() - l) * series.dim()..].to_vec();
             m.predict(&window, series.dim())?
         }
@@ -195,6 +203,7 @@ fn evaluate_fixed(
         train: Some(&train_ch),
         period: series.frequency.default_period(),
     };
+    let metrics_span = tfb_obs::span!("metrics");
     let mut out = BTreeMap::new();
     for &m in &settings.metrics {
         out.insert(
@@ -205,6 +214,8 @@ fn evaluate_fixed(
     for (label, f) in &settings.custom_metrics {
         out.insert((*label).to_string(), f(&forecast_denorm, &actual_denorm));
     }
+    metrics_span.close();
+    tfb_obs::counter!("eval/windows").add(1);
     Ok(EvalOutcome {
         method: method.name().to_string(),
         dataset: series.name.clone(),
@@ -263,6 +274,7 @@ fn evaluate_rolling(
     if let Method::Window(m) = method {
         // Window methods see the same normalization as evaluation.
         let train_normed = normed.slice_rows(0..split.val_start);
+        let _train_span = tfb_obs::span!("train");
         let t0 = Instant::now();
         m.train(&train_normed)?;
         train_time = t0.elapsed();
@@ -302,26 +314,33 @@ fn evaluate_rolling(
                 windows.data_mut()[i * l * dim..(i + 1) * l * dim]
                     .copy_from_slice(&normed.values()[(t - l) * dim..t * dim]);
             }
+            let infer_span = tfb_obs::span!("infer");
             let t0 = Instant::now();
             let forecasts = m.predict_batch(&windows, dim)?;
             infer_total = t0.elapsed();
+            infer_span.close();
+            let _metrics_span = tfb_obs::span!("metrics");
             boundaries
                 .iter()
                 .enumerate()
                 .map(|(i, &t)| Some(metric_values(forecasts.row(i), actual_at(t))))
                 .collect()
         }
-        Method::Window(m) => boundaries
-            .iter()
-            .map(|&t| {
-                let window = &normed.values()[(t - l) * dim..t * dim];
-                let t0 = Instant::now();
-                let forecast = m.predict(window, dim)?;
-                infer_total += t0.elapsed();
-                Ok(Some(metric_values(&forecast, actual_at(t))))
-            })
-            .collect::<Result<Vec<_>>>()?,
+        Method::Window(m) => {
+            let _infer_span = tfb_obs::span!("infer");
+            boundaries
+                .iter()
+                .map(|&t| {
+                    let window = &normed.values()[(t - l) * dim..t * dim];
+                    let t0 = Instant::now();
+                    let forecast = m.predict(window, dim)?;
+                    infer_total += t0.elapsed();
+                    Ok(Some(metric_values(&forecast, actual_at(t))))
+                })
+                .collect::<Result<Vec<_>>>()?
+        }
         Method::Stat(m) => {
+            let _infer_span = tfb_obs::span!("infer");
             let workers = match settings.window_parallelism {
                 0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
                 n => n,
@@ -399,6 +418,7 @@ fn evaluate_rolling(
             series.name
         )));
     }
+    tfb_obs::counter!("eval/windows").add(evaluated as u64);
     let metrics: BTreeMap<String, f64> = labels
         .into_iter()
         .zip(&sums)

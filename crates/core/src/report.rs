@@ -8,8 +8,10 @@ use crate::Result;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::Path;
+use std::time::Duration;
 
-/// One reported cell: a flattened [`EvalOutcome`].
+/// One reported cell: a flattened [`EvalOutcome`] including the measured
+/// training/inference wall times (Table 5's efficiency columns).
 #[derive(Debug, Clone)]
 pub struct ResultRow {
     /// Dataset name.
@@ -18,6 +20,14 @@ pub struct ResultRow {
     pub method: String,
     /// Horizon.
     pub horizon: usize,
+    /// Number of evaluation windows.
+    pub n_windows: usize,
+    /// Wall-clock training time (zero for statistical methods).
+    pub train_time: Duration,
+    /// Average inference time per window.
+    pub infer_time: Duration,
+    /// Parameter count (0 for statistical methods).
+    pub parameters: usize,
     /// Metric label → value.
     pub metrics: BTreeMap<String, f64>,
 }
@@ -28,6 +38,10 @@ impl From<&EvalOutcome> for ResultRow {
             dataset: o.dataset.clone(),
             method: o.method.clone(),
             horizon: o.horizon,
+            n_windows: o.n_windows,
+            train_time: o.train_time,
+            infer_time: o.infer_time,
+            parameters: o.parameters,
             metrics: o.metrics.clone(),
         }
     }
@@ -132,7 +146,8 @@ impl ResultTable {
         out
     }
 
-    /// CSV rendering with one row per result and one column per metric.
+    /// CSV rendering with one row per result: the timing/size columns the
+    /// evaluation layer measures, then one column per metric.
     pub fn to_csv(&self) -> String {
         let mut metric_labels: Vec<String> = Vec::new();
         for r in &self.rows {
@@ -142,14 +157,23 @@ impl ResultTable {
                 }
             }
         }
-        let mut out = String::from("dataset,method,horizon");
+        let mut out = String::from("dataset,method,horizon,n_windows,train_s,infer_ms,params");
         for m in &metric_labels {
             out.push(',');
             out.push_str(m);
         }
         out.push('\n');
         for r in &self.rows {
-            out.push_str(&format!("{},{},{}", r.dataset, r.method, r.horizon));
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}",
+                r.dataset,
+                r.method,
+                r.horizon,
+                r.n_windows,
+                r.train_time.as_secs_f64(),
+                r.infer_time.as_secs_f64() * 1e3,
+                r.parameters
+            ));
             for m in &metric_labels {
                 out.push(',');
                 match r.metrics.get(m) {
@@ -158,6 +182,29 @@ impl ResultTable {
                 }
             }
             out.push('\n');
+        }
+        out
+    }
+
+    /// Markdown rendering of the measured efficiency columns: training
+    /// wall time, per-window inference time and parameter count per
+    /// (dataset, horizon, method) — the run's Table 5 counterpart.
+    pub fn timing_markdown(&self) -> String {
+        let mut out = String::from(
+            "| dataset | F | method | windows | train (s) | infer (ms/win) | params |\n",
+        );
+        out.push_str("|---|---|---|---|---|---|---|\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {:.3} | {:.3} | {} |\n",
+                r.dataset,
+                r.horizon,
+                r.method,
+                r.n_windows,
+                r.train_time.as_secs_f64(),
+                r.infer_time.as_secs_f64() * 1e3,
+                r.parameters
+            ));
         }
         out
     }
@@ -338,8 +385,36 @@ mod tests {
         let t = ResultTable::from_outcomes(&outs);
         let csv = t.to_csv();
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap(), "dataset,method,horizon,mae");
-        assert_eq!(lines.next().unwrap(), "A,VAR,24,0.5");
+        assert_eq!(
+            lines.next().unwrap(),
+            "dataset,method,horizon,n_windows,train_s,infer_ms,params,mae"
+        );
+        assert_eq!(lines.next().unwrap(), "A,VAR,24,10,0,0,0,0.5");
+    }
+
+    #[test]
+    fn csv_carries_measured_times() {
+        let mut o = outcome("A", "MLP", 24, 0.5);
+        o.train_time = Duration::from_millis(1500);
+        o.infer_time = Duration::from_micros(250);
+        o.parameters = 1234;
+        let t = ResultTable::from_outcomes(&[o]);
+        let csv = t.to_csv();
+        assert!(csv.contains("A,MLP,24,10,1.5,0.25,1234,0.5"));
+    }
+
+    #[test]
+    fn timing_markdown_lists_every_row() {
+        let mut a = outcome("A", "VAR", 24, 0.5);
+        a.infer_time = Duration::from_micros(500);
+        let b = outcome("B", "LR", 36, 0.7);
+        let t = ResultTable::from_outcomes(&[a, b]);
+        let md = t.timing_markdown();
+        assert!(md.starts_with(
+            "| dataset | F | method | windows | train (s) | infer (ms/win) | params |"
+        ));
+        assert!(md.contains("| A | 24 | VAR | 10 | 0.000 | 0.500 | 0 |"));
+        assert!(md.contains("| B | 36 | LR | 10 |"));
     }
 
     #[test]

@@ -56,10 +56,17 @@ impl DatasetCache {
             let mut slots = self.slots.lock().expect("dataset cache poisoned");
             Arc::clone(slots.entry(name.to_string()).or_default())
         };
+        let mut generated = false;
         let series = slot.get_or_init(|| {
+            let _datagen_span = tfb_obs::span!("datagen", dataset = name);
+            tfb_obs::counter!("dataset_cache/miss").add(1);
+            generated = true;
             self.generations.fetch_add(1, Ordering::Relaxed);
             Arc::new(profile.generate(scale))
         });
+        if !generated {
+            tfb_obs::counter!("dataset_cache/hit").add(1);
+        }
         Ok(Arc::clone(series))
     }
 
@@ -109,6 +116,7 @@ pub fn run_job(
     cache: &DatasetCache,
     train_config: Option<TrainConfig>,
 ) -> Result<EvalOutcome> {
+    let _job_span = tfb_obs::span!("job", dataset = job.dataset, method = job.method);
     let series = load_dataset(cache, &job.dataset, config.scale())?;
     let metrics = config.metric_list();
     let primary = *metrics

@@ -92,6 +92,8 @@ pub fn fft_pow2(xs: &mut [Complex], inverse: bool) -> Result<()> {
     if !n.is_power_of_two() {
         return Err(MathError::InvalidArgument("fft_pow2 length must be 2^k"));
     }
+    tfb_obs::counter!("fft/calls").add(1);
+    tfb_obs::counter!("fft/points").add(n as u64);
     // Bit-reversal permutation.
     let mut j = 0usize;
     for i in 1..n {

@@ -124,6 +124,8 @@ impl Matrix {
         if self.cols != rhs.rows {
             return Err(MathError::DimensionMismatch { context: "matmul" });
         }
+        tfb_obs::counter!("gemm/calls").add(1);
+        tfb_obs::counter!("gemm/flops_est").add(2 * (self.rows * self.cols * rhs.cols) as u64);
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         if use_transposed_kernel(self.rows, self.cols, rhs.cols) {
             let bt = rhs.transpose();
@@ -162,6 +164,7 @@ impl Matrix {
         if self.cols != v.len() {
             return Err(MathError::DimensionMismatch { context: "matvec" });
         }
+        tfb_obs::counter!("gemm/matvec_calls").add(1);
         Ok((0..self.rows)
             .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum::<f64>())
             .collect())
@@ -456,6 +459,8 @@ pub fn par_gemm(
     assert_eq!(lhs.len(), rows * depth, "par_gemm lhs shape");
     assert_eq!(rhs.len(), depth * out_cols, "par_gemm rhs shape");
     assert_eq!(out.len(), rows * out_cols, "par_gemm out shape");
+    tfb_obs::counter!("gemm/calls").add(1);
+    tfb_obs::counter!("gemm/flops_est").add(2 * (rows * depth * out_cols) as u64);
     let flops = rows * depth * out_cols;
     let transposed = use_transposed_kernel(rows, depth, out_cols);
     let bt = if transposed {

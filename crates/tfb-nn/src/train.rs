@@ -79,7 +79,8 @@ impl Trainer {
         let mut best_val = f64::INFINITY;
         let mut best_snapshot = store.snapshot();
         let mut stale = 0usize;
-        for _epoch in 0..cfg.epochs.max(1) {
+        for epoch in 0..cfg.epochs.max(1) {
+            let epoch_span = tfb_obs::span!("epoch");
             // Fisher-Yates shuffle.
             for i in (1..order.len()).rev() {
                 let j = rng.gen_range(0..=i);
@@ -122,6 +123,11 @@ impl Trainer {
                 val_loss += mse;
             }
             val_loss /= eval_range.len().max(1) as f64;
+            epoch_span
+                .record("epoch", epoch as f64)
+                .record("val_loss", val_loss)
+                .close();
+            tfb_obs::histogram!("nn/epoch_val_loss").record(val_loss);
             if val_loss < best_val - 1e-9 {
                 best_val = val_loss;
                 best_snapshot = store.snapshot();

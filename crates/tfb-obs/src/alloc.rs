@@ -1,0 +1,113 @@
+//! A counting global allocator (feature `alloc-track`): wraps the system
+//! allocator and keeps lock-free totals of allocation calls, bytes
+//! requested, live bytes and the live-bytes high-water mark.
+//!
+//! The crate cannot install it for you — a `#[global_allocator]` must
+//! live in the final binary:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: tfb_obs::alloc::CountingAllocator = tfb_obs::alloc::CountingAllocator;
+//! ```
+//!
+//! When no binary installs it, [`stats`] simply reports zeros.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CALLS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK_LIVE: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the allocator counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Number of allocation calls (alloc + alloc_zeroed + realloc).
+    pub calls: u64,
+    /// Total bytes ever requested.
+    pub bytes: u64,
+    /// Bytes currently live.
+    pub live_bytes: u64,
+    /// High-water mark of live bytes.
+    pub peak_live_bytes: u64,
+}
+
+/// Current totals since process start (zeros when the allocator is not
+/// installed as `#[global_allocator]`).
+pub fn stats() -> AllocStats {
+    AllocStats {
+        calls: CALLS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+        live_bytes: LIVE.load(Ordering::Relaxed),
+        peak_live_bytes: PEAK_LIVE.load(Ordering::Relaxed),
+    }
+}
+
+/// Difference between two snapshots (for bracketing one configuration).
+pub fn delta(before: AllocStats, after: AllocStats) -> AllocStats {
+    AllocStats {
+        calls: after.calls.saturating_sub(before.calls),
+        bytes: after.bytes.saturating_sub(before.bytes),
+        live_bytes: after.live_bytes,
+        peak_live_bytes: after.peak_live_bytes,
+    }
+}
+
+fn on_alloc(size: u64) {
+    CALLS.fetch_add(1, Ordering::Relaxed);
+    BYTES.fetch_add(size, Ordering::Relaxed);
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    let mut peak = PEAK_LIVE.load(Ordering::Relaxed);
+    while live > peak {
+        match PEAK_LIVE.compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(p) => peak = p,
+        }
+    }
+}
+
+fn on_dealloc(size: u64) {
+    // Saturating: a binary may install the allocator after some frees'
+    // matching allocs were already counted by a previous allocator. In
+    // practice installation happens before main, so this never triggers.
+    let _ = LIVE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+        Some(live.saturating_sub(size))
+    });
+}
+
+/// The counting allocator: forwards to [`System`], counts on the side
+/// with relaxed atomics only (it must never allocate itself).
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size() as u64);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            on_dealloc(layout.size() as u64);
+            on_alloc(new_size as u64);
+        }
+        p
+    }
+}

@@ -1,0 +1,233 @@
+//! `obs_summary` — renders a tfb-obs run manifest as a flamegraph-style
+//! phase breakdown plus the top-N slowest (dataset, method) cells.
+//!
+//! ```text
+//! obs_summary <manifest.json> [--top N]
+//! ```
+//!
+//! Build with the `summarizer` feature:
+//! `cargo run -p tfb-obs --features summarizer --bin obs_summary -- run.manifest.json`
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use tfb_json::JsonValue;
+
+struct PhaseRow {
+    path: String,
+    dataset: String,
+    method: String,
+    count: u64,
+    total_ns: u64,
+}
+
+fn fmt_dur(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 1.0 {
+        format!("{s:8.2} s ")
+    } else if s >= 1e-3 {
+        format!("{:8.2} ms", s * 1e3)
+    } else {
+        format!("{:8.2} us", s * 1e6)
+    }
+}
+
+fn bar(frac: f64, width: usize) -> String {
+    let n = ((frac * width as f64).round() as usize).min(width);
+    let mut out = String::new();
+    for _ in 0..n {
+        out.push('█');
+    }
+    for _ in n..width {
+        out.push(' ');
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: obs_summary <manifest.json> [--top N]");
+        return ExitCode::FAILURE;
+    };
+    let top_n: usize = args
+        .iter()
+        .position(|a| a == "--top")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_summary: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match JsonValue::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("obs_summary: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if doc.get("schema").and_then(JsonValue::as_str) != Some("tfb-obs/v1") {
+        eprintln!("obs_summary: {path} is not a tfb-obs/v1 manifest");
+        return ExitCode::FAILURE;
+    }
+
+    // --- Header. ------------------------------------------------------
+    let wall_ns = doc
+        .get("wall_ns")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0) as u64;
+    let cores = doc.get("cores").and_then(JsonValue::as_usize).unwrap_or(0);
+    println!("run manifest: {path}");
+    println!(
+        "wall {} on {cores} core(s){}",
+        fmt_dur(wall_ns).trim(),
+        match doc.get("peak_rss_bytes").and_then(JsonValue::as_f64) {
+            Some(b) => format!(", peak RSS {:.1} MiB", b / (1024.0 * 1024.0)),
+            None => String::new(),
+        }
+    );
+    if let Some(meta) = doc.get("meta").and_then(JsonValue::as_object) {
+        for (k, v) in meta {
+            if let Some(s) = v.as_str() {
+                println!("  {k}: {s}");
+            }
+        }
+    }
+
+    // --- Phase rows. --------------------------------------------------
+    let mut rows: Vec<PhaseRow> = Vec::new();
+    if let Some(phases) = doc.get("phases").and_then(JsonValue::as_array) {
+        for p in phases {
+            rows.push(PhaseRow {
+                path: p
+                    .get("path")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                dataset: p
+                    .get("dataset")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                method: p
+                    .get("method")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                count: p.get("count").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64,
+                total_ns: p.get("total_ns").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64,
+            });
+        }
+    }
+    if rows.is_empty() {
+        println!("\n(no phases recorded)");
+        return ExitCode::SUCCESS;
+    }
+
+    // --- Flamegraph-style breakdown: aggregate per path, indent by
+    // nesting depth, bar scaled to the largest root. -------------------
+    let mut by_path: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for r in &rows {
+        let e = by_path.entry(r.path.clone()).or_insert((0, 0));
+        e.0 += r.count;
+        e.1 += r.total_ns;
+    }
+    let max_root = by_path
+        .iter()
+        .filter(|(p, _)| !p.contains('.'))
+        .map(|(_, (_, total))| *total)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    println!("\nphase breakdown");
+    for (p, (count, total)) in &by_path {
+        let depth = p.matches('.').count();
+        let label = p.rsplit('.').next().unwrap_or(p);
+        let indent = "  ".repeat(depth);
+        let name = format!("{indent}{label}");
+        println!(
+            "  {name:<28} {} {} {count:>7} span(s)",
+            bar(*total as f64 / max_root as f64, 24),
+            fmt_dur(*total)
+        );
+    }
+
+    // --- Top-N slowest (dataset, method) cells: shallowest path per
+    // cell so nested spans are not double-counted. ---------------------
+    let mut cell_depth: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for r in &rows {
+        if r.dataset.is_empty() && r.method.is_empty() {
+            continue;
+        }
+        let key = (r.dataset.clone(), r.method.clone());
+        let depth = r.path.matches('.').count();
+        let e = cell_depth.entry(key).or_insert(depth);
+        *e = (*e).min(depth);
+    }
+    let mut cells: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for r in &rows {
+        let key = (r.dataset.clone(), r.method.clone());
+        if cell_depth.get(&key) == Some(&r.path.matches('.').count()) {
+            *cells.entry(key).or_insert(0) += r.total_ns;
+        }
+    }
+    let mut cells: Vec<((String, String), u64)> = cells.into_iter().collect();
+    cells.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    if !cells.is_empty() {
+        println!(
+            "\ntop {} slowest (dataset, method) cells",
+            top_n.min(cells.len())
+        );
+        for ((dataset, method), total) in cells.iter().take(top_n) {
+            let label = match (dataset.is_empty(), method.is_empty()) {
+                (false, false) => format!("{dataset} x {method}"),
+                (false, true) => dataset.clone(),
+                _ => method.clone(),
+            };
+            println!("  {label:<28} {}", fmt_dur(*total));
+        }
+    }
+
+    // --- Counters, gauges, histograms. --------------------------------
+    if let Some(counters) = doc.get("counters").and_then(JsonValue::as_object) {
+        if !counters.is_empty() {
+            println!("\ncounters");
+            for (k, v) in counters {
+                if let Some(n) = v.as_f64() {
+                    println!("  {k:<36} {n:>16}");
+                }
+            }
+        }
+    }
+    if let Some(gauges) = doc.get("gauges").and_then(JsonValue::as_object) {
+        if !gauges.is_empty() {
+            println!("\ngauges");
+            for (k, v) in gauges {
+                if let Some(n) = v.as_f64() {
+                    println!("  {k:<36} {n:>16}");
+                }
+            }
+        }
+    }
+    if let Some(hists) = doc.get("histograms").and_then(JsonValue::as_object) {
+        if !hists.is_empty() {
+            println!("\nhistograms (count / mean / p50 / p90 / p99 / max)");
+            for (k, v) in hists {
+                let f = |key: &str| v.get(key).and_then(JsonValue::as_f64).unwrap_or(f64::NAN);
+                println!(
+                    "  {k:<28} {:>7} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                    f("count") as u64,
+                    f("mean"),
+                    f("p50"),
+                    f("p90"),
+                    f("p99"),
+                    f("max"),
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

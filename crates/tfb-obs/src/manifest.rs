@@ -1,0 +1,325 @@
+//! The end-of-run manifest: a deterministic, diff-stable JSON summary of
+//! everything the recorder observed, written next to the report.
+//!
+//! The schema (`tfb-obs/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "tfb-obs/v1",
+//!   "meta": {"config_hash": "…", "git_rev": "…", "seed": "0"},
+//!   "cores": 4,
+//!   "wall_ns": 123456789,
+//!   "peak_rss_bytes": 104857600,
+//!   "events_path": "run.events.jsonl",
+//!   "phases": [
+//!     {"path": "job.train", "dataset": "ILI", "method": "LR",
+//!      "count": 1, "total_ns": 5210, "min_ns": 5210, "max_ns": 5210}
+//!   ],
+//!   "counters": {"gemm/calls": 42},
+//!   "gauges": {"engine/threads": 8},
+//!   "histograms": {
+//!     "nn/epoch_val_loss": {"count": 3, "mean": 0.5, "min": 0.1,
+//!                            "max": 1.0, "p50": 0.4, "p90": 1.0, "p99": 1.0}
+//!   }
+//! }
+//! ```
+//!
+//! Phases are sorted by `(path, dataset, method)` and counters, gauges and
+//! histograms by name, so two runs with the same observations serialize
+//! byte-identically regardless of thread interleaving.
+
+use std::path::Path;
+
+/// Aggregated timing of one `(span path, dataset, method)` cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Dot-joined span nesting path, e.g. `job.train`.
+    pub path: String,
+    /// Dataset field ("" when the span carried none).
+    pub dataset: String,
+    /// Method field ("" when the span carried none).
+    pub method: String,
+    /// How many spans closed under this key.
+    pub count: u64,
+    /// Summed wall time.
+    pub total_ns: u64,
+    /// Fastest single span.
+    pub min_ns: u64,
+    /// Slowest single span.
+    pub max_ns: u64,
+}
+
+/// Percentile summary of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSummary {
+    /// Histogram name.
+    pub name: String,
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+}
+
+/// The end-of-run manifest returned by [`finish_run`](crate::finish_run).
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// Caller-supplied provenance (config hash, git rev, seed, …).
+    pub meta: Vec<(String, String)>,
+    /// Available hardware parallelism when the run finished.
+    pub cores: usize,
+    /// Wall time from `start_run` to `finish_run`.
+    pub wall_ns: u64,
+    /// Peak RSS at finish, when the platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+    /// Where the JSONL event log went, when a sink was installed.
+    pub events_path: Option<String>,
+    /// Sorted per-(path, dataset, method) timing rows.
+    pub phases: Vec<PhaseRow>,
+    /// Sorted counter totals.
+    pub counters: Vec<(String, u64)>,
+    /// Sorted gauge last-values.
+    pub gauges: Vec<(String, f64)>,
+    /// Sorted histogram summaries.
+    pub histograms: Vec<HistSummary>,
+}
+
+impl Manifest {
+    /// The distinct span path leaves (last path segment) present — the
+    /// "phases covered" set a smoke test asserts on.
+    pub fn phase_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .phases
+            .iter()
+            .map(|p| p.path.rsplit('.').next().unwrap_or(&p.path).to_string())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Pretty JSON (two-space indent), schema `tfb-obs/v1`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": \"tfb-obs/v1\",\n  \"meta\": {");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_str(&mut out, k);
+            out.push_str(": ");
+            json_str(&mut out, v);
+        }
+        if !self.meta.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"wall_ns\": {},\n", self.wall_ns));
+        match self.peak_rss_bytes {
+            Some(b) => out.push_str(&format!("  \"peak_rss_bytes\": {b},\n")),
+            None => out.push_str("  \"peak_rss_bytes\": null,\n"),
+        }
+        match &self.events_path {
+            Some(p) => {
+                out.push_str("  \"events_path\": ");
+                json_str(&mut out, p);
+                out.push_str(",\n");
+            }
+            None => out.push_str("  \"events_path\": null,\n"),
+        }
+        out.push_str("  \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"path\": ");
+            json_str(&mut out, &p.path);
+            out.push_str(", \"dataset\": ");
+            json_str(&mut out, &p.dataset);
+            out.push_str(", \"method\": ");
+            json_str(&mut out, &p.method);
+            out.push_str(&format!(
+                ", \"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                p.count, p.total_ns, p.min_ns, p.max_ns
+            ));
+        }
+        if !self.phases.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_str(&mut out, k);
+            out.push_str(&format!(": {v}"));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        out.push_str("  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_str(&mut out, k);
+            out.push_str(": ");
+            json_num(&mut out, *v);
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        out.push_str("  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_str(&mut out, &h.name);
+            out.push_str(&format!(": {{\"count\": {}, \"mean\": ", h.count));
+            json_num(&mut out, h.mean);
+            out.push_str(", \"min\": ");
+            json_num(&mut out, h.min);
+            out.push_str(", \"max\": ");
+            json_num(&mut out, h.max);
+            out.push_str(", \"p50\": ");
+            json_num(&mut out, h.p50);
+            out.push_str(", \"p90\": ");
+            json_num(&mut out, h.p90);
+            out.push_str(", \"p99\": ");
+            json_num(&mut out, h.p99);
+            out.push('}');
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Writes the JSON form to `path`, creating parent directories.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice: the smallest
+/// sample with at least `q`% of the mass at or below it. Empty input
+/// yields NaN.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Escapes `s` as a JSON string into `out`.
+pub(crate) fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes an f64 as JSON (`null` for non-finite values).
+pub(crate) fn json_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles_on_known_inputs() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 90.0), 90.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
+        assert!(percentile(&[], 50.0).is_nan());
+        // Five elements: p50 is the 3rd (nearest rank ceil(2.5) = 3).
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0, 5.0], 50.0), 3.0);
+    }
+
+    #[test]
+    fn manifest_json_is_valid_and_diff_stable() {
+        let m = Manifest {
+            meta: vec![("config_hash".into(), "abc".into())],
+            cores: 2,
+            wall_ns: 10,
+            peak_rss_bytes: Some(4096),
+            events_path: None,
+            phases: vec![PhaseRow {
+                path: "job.train".into(),
+                dataset: "ILI".into(),
+                method: "LR \"q\"".into(),
+                count: 1,
+                total_ns: 5,
+                min_ns: 5,
+                max_ns: 5,
+            }],
+            counters: vec![("gemm/calls".into(), 3)],
+            gauges: vec![("threads".into(), 2.0)],
+            histograms: vec![HistSummary {
+                name: "loss".into(),
+                count: 1,
+                mean: 0.5,
+                min: 0.5,
+                max: 0.5,
+                p50: 0.5,
+                p90: 0.5,
+                p99: 0.5,
+            }],
+        };
+        let a = m.to_json();
+        assert_eq!(a, m.to_json());
+        assert!(a.contains("\"schema\": \"tfb-obs/v1\""));
+        assert!(a.contains("\\\"q\\\""), "{a}");
+        assert_eq!(m.phase_names(), vec!["train".to_string()]);
+    }
+
+    #[test]
+    fn empty_manifest_serializes() {
+        let m = Manifest::default();
+        let json = m.to_json();
+        assert!(json.contains("\"phases\": []"));
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"peak_rss_bytes\": null"));
+    }
+}

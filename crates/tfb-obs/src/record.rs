@@ -1,0 +1,537 @@
+//! The live recorder: global run state, the per-thread span stack, metric
+//! registries and the JSONL event sink. Compiled only with the `record`
+//! feature; `noop.rs` mirrors the API as zero-sized stubs otherwise.
+//!
+//! Concurrency model: one process-wide run at a time. `ENABLED` is the
+//! fast gate every probe checks first (one relaxed load). Span closes and
+//! sink writes funnel through the `STATE` mutex; counters and gauges are
+//! lock-free atomics registered on first touch; histograms keep exact
+//! samples behind their own mutex. Aggregation is order-independent
+//! (u64 sums and min/max), and the manifest sorts every table, so runs
+//! are deterministic regardless of thread interleaving.
+
+use crate::manifest::{json_num, json_str, percentile, HistSummary, Manifest, PhaseRow};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Display;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<RunState>> = Mutex::new(None);
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+static GAUGES: Mutex<Vec<&'static Gauge>> = Mutex::new(Vec::new());
+static HISTOGRAMS: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
+static THREAD_SEQ: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: u64 = THREAD_SEQ.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Whether a run is currently recording.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Per-(path, dataset, method) running aggregate.
+#[derive(Debug)]
+struct Agg {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+struct RunState {
+    start: Instant,
+    aggregates: HashMap<(String, String, String), Agg>,
+    sink: Option<BufWriter<File>>,
+    events_path: Option<PathBuf>,
+    seq: u64,
+}
+
+/// One entry of the per-thread span stack (what children inherit).
+struct Frame {
+    path: String,
+    dataset: Option<String>,
+    method: Option<String>,
+}
+
+/// How to record a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// When set, every span close is appended to this JSONL event log.
+    pub events_path: Option<PathBuf>,
+}
+
+/// Arms recording: resets all metric state, optionally opens the JSONL
+/// event sink, and enables every probe in the process.
+pub fn start_run(opts: RunOptions) -> std::io::Result<()> {
+    let mut sink = match &opts.events_path {
+        Some(path) => {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            Some(BufWriter::new(File::create(path)?))
+        }
+        None => None,
+    };
+    for c in COUNTERS.lock().expect("counter registry poisoned").iter() {
+        c.value.store(0, Ordering::Relaxed);
+        c.dirty.store(false, Ordering::Relaxed);
+    }
+    for g in GAUGES.lock().expect("gauge registry poisoned").iter() {
+        g.bits.store(0, Ordering::Relaxed);
+        g.dirty.store(false, Ordering::Relaxed);
+    }
+    for h in HISTOGRAMS
+        .lock()
+        .expect("histogram registry poisoned")
+        .iter()
+    {
+        h.samples.lock().expect("histogram poisoned").clear();
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if let Some(w) = sink.as_mut() {
+        let _ = writeln!(w, "{{\"ev\":\"run_start\",\"cores\":{cores}}}");
+    }
+    *STATE.lock().expect("obs state poisoned") = Some(RunState {
+        start: Instant::now(),
+        aggregates: HashMap::new(),
+        sink,
+        events_path: opts.events_path.clone(),
+        seq: 0,
+    });
+    ENABLED.store(true, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Disarms recording and returns the run's [`Manifest`] (with the given
+/// provenance `meta` attached), or `None` when no run was active.
+pub fn finish_run(meta: &[(&str, String)]) -> Option<Manifest> {
+    ENABLED.store(false, Ordering::SeqCst);
+    let mut state = STATE.lock().expect("obs state poisoned").take()?;
+    let wall_ns = state.start.elapsed().as_nanos() as u64;
+    if let Some(w) = state.sink.as_mut() {
+        let _ = writeln!(w, "{{\"ev\":\"run_end\",\"wall_ns\":{wall_ns}}}");
+        let _ = w.flush();
+    }
+    let mut phases: Vec<PhaseRow> = state
+        .aggregates
+        .into_iter()
+        .map(|((path, dataset, method), a)| PhaseRow {
+            path,
+            dataset,
+            method,
+            count: a.count,
+            total_ns: a.total_ns,
+            min_ns: a.min_ns,
+            max_ns: a.max_ns,
+        })
+        .collect();
+    phases.sort_by(|a, b| (&a.path, &a.dataset, &a.method).cmp(&(&b.path, &b.dataset, &b.method)));
+    // Counters/gauges/histograms: only entries touched during this run;
+    // same-name entries from different call sites merge.
+    let mut counters: HashMap<&'static str, u64> = HashMap::new();
+    for c in COUNTERS.lock().expect("counter registry poisoned").iter() {
+        if c.dirty.load(Ordering::Relaxed) {
+            *counters.entry(c.name).or_insert(0) += c.value.load(Ordering::Relaxed);
+        }
+    }
+    let mut counters: Vec<(String, u64)> = counters
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    counters.sort();
+    let mut gauges: HashMap<&'static str, f64> = HashMap::new();
+    for g in GAUGES.lock().expect("gauge registry poisoned").iter() {
+        if g.dirty.load(Ordering::Relaxed) {
+            gauges.insert(g.name, g.get());
+        }
+    }
+    let mut gauges: Vec<(String, f64)> = gauges
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut hist_samples: HashMap<&'static str, Vec<f64>> = HashMap::new();
+    for h in HISTOGRAMS
+        .lock()
+        .expect("histogram registry poisoned")
+        .iter()
+    {
+        let samples = h.samples.lock().expect("histogram poisoned");
+        if !samples.is_empty() {
+            hist_samples
+                .entry(h.name)
+                .or_default()
+                .extend_from_slice(&samples);
+        }
+    }
+    let mut histograms: Vec<HistSummary> = hist_samples
+        .into_iter()
+        .map(|(name, mut xs)| {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            HistSummary {
+                name: name.to_string(),
+                count: xs.len(),
+                mean: xs.iter().sum::<f64>() / xs.len() as f64,
+                min: xs[0],
+                max: xs[xs.len() - 1],
+                p50: percentile(&xs, 50.0),
+                p90: percentile(&xs, 90.0),
+                p99: percentile(&xs, 99.0),
+            }
+        })
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut meta: Vec<(String, String)> = meta
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    meta.sort();
+    Some(Manifest {
+        meta,
+        cores: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        wall_ns,
+        peak_rss_bytes: crate::peak_rss_bytes(),
+        events_path: state.events_path.as_ref().map(|p| p.display().to_string()),
+        phases,
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
+/// An RAII span guard: created by [`Span::enter`] (or the
+/// [`span!`](crate::span!) macro), records elapsed wall time on drop.
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+pub struct Span {
+    active: Option<SpanData>,
+}
+
+struct SpanData {
+    idx: usize,
+    start: Instant,
+    str_fields: Vec<(&'static str, String)>,
+    num_fields: Vec<(&'static str, f64)>,
+}
+
+impl Span {
+    /// Opens a span. Nesting and the `dataset`/`method` context are
+    /// tracked per thread; outside a run this is a no-op.
+    pub fn enter(name: &'static str) -> Span {
+        if !enabled() {
+            return Span { active: None };
+        }
+        let idx = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let (path, dataset, method) = match stack.last() {
+                Some(parent) => (
+                    format!("{}.{}", parent.path, name),
+                    parent.dataset.clone(),
+                    parent.method.clone(),
+                ),
+                None => (name.to_string(), None, None),
+            };
+            stack.push(Frame {
+                path,
+                dataset,
+                method,
+            });
+            stack.len() - 1
+        });
+        Span {
+            active: Some(SpanData {
+                idx,
+                start: Instant::now(),
+                str_fields: Vec::new(),
+                num_fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attaches a field. `dataset` and `method` are special: they key the
+    /// manifest's per-cell breakdown and are inherited by nested spans;
+    /// everything else lands in the event record only.
+    pub fn with(mut self, key: &'static str, value: &dyn Display) -> Span {
+        if let Some(data) = self.active.as_mut() {
+            let value = value.to_string();
+            match key {
+                "dataset" | "method" => STACK.with(|stack| {
+                    if let Some(frame) = stack.borrow_mut().get_mut(data.idx) {
+                        if key == "dataset" {
+                            frame.dataset = Some(value);
+                        } else {
+                            frame.method = Some(value);
+                        }
+                    }
+                }),
+                _ => data.str_fields.push((key, value)),
+            }
+        }
+        self
+    }
+
+    /// Attaches a numeric field (per-epoch loss, FLOP estimates, …) to the
+    /// span's event record.
+    pub fn record(mut self, key: &'static str, value: f64) -> Span {
+        if let Some(data) = self.active.as_mut() {
+            data.num_fields.push((key, value));
+        }
+        self
+    }
+
+    /// Explicitly closes the span (dropping it does the same).
+    pub fn close(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(data) = self.active.take() else {
+            return;
+        };
+        let ns = data.start.elapsed().as_nanos() as u64;
+        let frame = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if data.idx < stack.len() {
+                let frame = stack.swap_remove(data.idx);
+                // Mis-nested drops (a parent outliving its guard order)
+                // still truncate to this span's depth.
+                stack.truncate(data.idx);
+                Some(frame)
+            } else {
+                None
+            }
+        });
+        let Some(frame) = frame else { return };
+        let thread = THREAD_ID.with(|t| *t);
+        record_closed_span(
+            frame.path,
+            frame.dataset.unwrap_or_default(),
+            frame.method.unwrap_or_default(),
+            &data.str_fields,
+            &data.num_fields,
+            ns,
+            data.idx,
+            thread,
+        );
+    }
+}
+
+/// Aggregates one closed span and appends its event to the sink.
+#[allow(clippy::too_many_arguments)]
+fn record_closed_span(
+    path: String,
+    dataset: String,
+    method: String,
+    str_fields: &[(&'static str, String)],
+    num_fields: &[(&'static str, f64)],
+    ns: u64,
+    depth: usize,
+    thread: u64,
+) {
+    let mut guard = STATE.lock().expect("obs state poisoned");
+    let Some(state) = guard.as_mut() else {
+        return;
+    };
+    let entry = state
+        .aggregates
+        .entry((path.clone(), dataset.clone(), method.clone()))
+        .or_insert(Agg {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        });
+    entry.count += 1;
+    entry.total_ns += ns;
+    entry.min_ns = entry.min_ns.min(ns);
+    entry.max_ns = entry.max_ns.max(ns);
+    if state.sink.is_some() {
+        state.seq += 1;
+        let seq = state.seq;
+        let t_ns = state.start.elapsed().as_nanos() as u64;
+        let mut line = String::with_capacity(128);
+        line.push_str(&format!(
+            "{{\"ev\":\"span\",\"seq\":{seq},\"t_ns\":{t_ns},\"thread\":{thread},\"depth\":{depth},\"path\":"
+        ));
+        json_str(&mut line, &path);
+        line.push_str(",\"dataset\":");
+        json_str(&mut line, &dataset);
+        line.push_str(",\"method\":");
+        json_str(&mut line, &method);
+        line.push_str(&format!(",\"ns\":{ns}"));
+        if !str_fields.is_empty() || !num_fields.is_empty() {
+            line.push_str(",\"fields\":{");
+            let mut first = true;
+            for (k, v) in str_fields {
+                if !first {
+                    line.push(',');
+                }
+                first = false;
+                json_str(&mut line, k);
+                line.push(':');
+                json_str(&mut line, v);
+            }
+            for (k, v) in num_fields {
+                if !first {
+                    line.push(',');
+                }
+                first = false;
+                json_str(&mut line, k);
+                line.push(':');
+                json_num(&mut line, *v);
+            }
+            line.push('}');
+        }
+        line.push('}');
+        if let Some(w) = state.sink.as_mut() {
+            let _ = writeln!(w, "{line}");
+        }
+    }
+}
+
+/// A monotonic counter. Declare one per call site with
+/// [`counter!`](crate::counter!); same-name counters merge in the
+/// manifest.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    dirty: AtomicBool,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A zeroed counter (const: usable in statics).
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            dirty: AtomicBool::new(false),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds `n`. Outside a run: one relaxed load, nothing else.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+        self.dirty.store(true, Ordering::Relaxed);
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            COUNTERS
+                .lock()
+                .expect("counter registry poisoned")
+                .push(self);
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge. Declare one per call site with
+/// [`gauge!`](crate::gauge!).
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+    dirty: AtomicBool,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// A zeroed gauge (const: usable in statics).
+    pub const fn new(name: &'static str) -> Gauge {
+        Gauge {
+            name,
+            bits: AtomicU64::new(0),
+            dirty: AtomicBool::new(false),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Stores `v`. Outside a run: one relaxed load, nothing else.
+    #[inline]
+    pub fn set(&'static self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        self.dirty.store(true, Ordering::Relaxed);
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            GAUGES.lock().expect("gauge registry poisoned").push(self);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A sample-exact histogram (percentiles computed at flush). Declare one
+/// per call site with [`histogram!`](crate::histogram!).
+pub struct Histogram {
+    name: &'static str,
+    samples: Mutex<Vec<f64>>,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// An empty histogram (const: usable in statics).
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            samples: Mutex::new(Vec::new()),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Records one sample. Outside a run: one relaxed load, nothing else.
+    #[inline]
+    pub fn record(&'static self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        self.samples.lock().expect("histogram poisoned").push(v);
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            HISTOGRAMS
+                .lock()
+                .expect("histogram registry poisoned")
+                .push(self);
+        }
+    }
+}
+
+/// Test-only hooks (aggregation with injected durations, so determinism
+/// tests do not depend on wall clocks).
+#[doc(hidden)]
+pub mod test_support {
+    /// Records a synthetic closed span with an exact duration.
+    pub fn record_span_ns(path: &str, dataset: &str, method: &str, ns: u64) {
+        if !super::enabled() {
+            return;
+        }
+        super::record_closed_span(
+            path.to_string(),
+            dataset.to_string(),
+            method.to_string(),
+            &[],
+            &[],
+            ns,
+            0,
+            0,
+        );
+    }
+}

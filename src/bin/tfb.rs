@@ -70,6 +70,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Observability is on by default; TFB_OBS=0 disables it for the run.
+    let obs_on = std::env::var("TFB_OBS").map(|v| v != "0").unwrap_or(true);
+    if obs_on {
+        let opts = tfb_obs::RunOptions {
+            events_path: Some(out_dir.join("run.events.jsonl")),
+        };
+        if let Err(e) = tfb_obs::start_run(opts) {
+            eprintln!("tfb run: could not open the observability sink: {e}");
+        }
+    }
     let mut log = RunLog::new();
     log.log(format!("config file: {config_path}"));
     log.log(config.to_json());
@@ -98,6 +108,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
     let primary = config.metric_list().first().copied().unwrap_or(Metric::Mae);
     println!("{}", table.to_markdown(primary));
+    println!("measured cost per cell:");
+    println!("{}", table.timing_markdown());
     let ranks = RankTable::compute(&table, primary);
     println!("wins per method ({}):", primary.label());
     for (m, w) in &ranks.wins {
@@ -109,6 +121,21 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
     if let Err(e) = log.write(&out_dir, "run") {
         eprintln!("could not write log: {e}");
+    }
+    let meta = [
+        ("config_file", config_path.to_string()),
+        ("config_hash", tfb_obs::fnv1a_hex(text.as_bytes())),
+        ("git_rev", tfb_obs::git_rev().unwrap_or_default()),
+        ("threads", threads.to_string()),
+        ("jobs", jobs.len().to_string()),
+        ("failures", failures.to_string()),
+    ];
+    if let Some(manifest) = tfb_obs::finish_run(&meta) {
+        let path = out_dir.join("run.manifest.json");
+        match manifest.write(&path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write the run manifest: {e}"),
+        }
     }
     if failures > 0 {
         eprintln!("{failures} job(s) failed (see the run log)");
