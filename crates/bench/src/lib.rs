@@ -176,25 +176,35 @@ pub fn results_dir() -> PathBuf {
 pub fn with_obs<T>(label: &str, f: impl FnOnce() -> T) -> T {
     let obs_on = std::env::var("TFB_OBS").map(|v| v != "0").unwrap_or(true);
     let dir = PathBuf::from("target/obs");
+    let mut armed = false;
     if obs_on {
         let opts = tfb_obs::RunOptions {
             events_path: Some(dir.join(format!("{label}.events.jsonl"))),
         };
-        if let Err(e) = tfb_obs::start_run(opts) {
-            eprintln!("{label}: could not open the observability sink: {e}");
+        // A sink that cannot open disarms the run entirely — a half-armed
+        // run (events without a manifest, or the reverse) would poison
+        // cross-run comparisons.
+        match tfb_obs::start_run(opts) {
+            Ok(()) => armed = true,
+            Err(e) => eprintln!(
+                "{label}: could not open the observability sink: {e}; \
+                 falling back to a fully disarmed run"
+            ),
         }
     }
     let out = f();
-    let meta = [
-        ("bin", label.to_string()),
-        ("git_rev", tfb_obs::git_rev().unwrap_or_default()),
-        ("scale", format!("{:?}", RunScale::from_env())),
-    ];
-    if let Some(manifest) = tfb_obs::finish_run(&meta) {
-        let path = dir.join(format!("{label}.manifest.json"));
-        match manifest.write(&path) {
-            Ok(()) => println!("wrote {}", path.display()),
-            Err(e) => eprintln!("{label}: could not write the run manifest: {e}"),
+    if armed {
+        let meta = [
+            ("bin", label.to_string()),
+            ("git_rev", tfb_obs::git_rev().unwrap_or_default()),
+            ("scale", format!("{:?}", RunScale::from_env())),
+        ];
+        if let Some(manifest) = tfb_obs::finish_run(&meta) {
+            let path = dir.join(format!("{label}.manifest.json"));
+            match manifest.write(&path) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("{label}: could not write the run manifest: {e}"),
+            }
         }
     }
     out

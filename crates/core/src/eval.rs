@@ -193,6 +193,7 @@ fn evaluate_fixed(
         }
     };
     let infer_time = start.elapsed().saturating_sub(train_time);
+    check_forecast_finite(&forecast, &series.name, method.name())?;
     // Metrics on the original scale for fixed (univariate) evaluation.
     let mut forecast_denorm = forecast.clone();
     norm.invert_block(&mut forecast_denorm, series.dim())?;
@@ -216,6 +217,9 @@ fn evaluate_fixed(
     }
     metrics_span.close();
     tfb_obs::counter!("eval/windows").add(1);
+    if out.values().any(|v| !v.is_finite()) {
+        tfb_obs::health_event(tfb_obs::HealthKind::Nan, "non-finite averaged metric");
+    }
     Ok(EvalOutcome {
         method: method.name().to_string(),
         dataset: series.name.clone(),
@@ -227,6 +231,20 @@ fn evaluate_fixed(
         infer_time,
         parameters: method.parameter_count(),
     })
+}
+
+/// NaN/Inf sentinel on a produced forecast: a non-finite value would
+/// silently poison every downstream metric average, so the cell aborts
+/// with a structured health event instead. Must run on the thread whose
+/// span stack carries the eval's dataset/method context.
+fn check_forecast_finite(forecast: &[f64], dataset: &str, method: &str) -> Result<()> {
+    if let Some(pos) = forecast.iter().position(|v| !v.is_finite()) {
+        tfb_obs::health_event(tfb_obs::HealthKind::Nan, "non-finite forecast value");
+        return Err(CoreError::Model(tfb_models::ModelError::Numerical(
+            format!("non-finite forecast value at index {pos} ({method} on {dataset})"),
+        )));
+    }
+    Ok(())
 }
 
 /// Rolling forecasting over the test region.
@@ -300,6 +318,7 @@ fn evaluate_rolling(
             .collect()
     };
     let actual_at = |t: usize| &normed.values()[t * dim..(t + f) * dim];
+    let method_name = method.name().to_string();
     let mut infer_total = Duration::ZERO;
     // One `Some(metric values)` per boundary, `None` for unusable windows
     // (a statistical method that cannot fit that history). Filled batched,
@@ -319,6 +338,9 @@ fn evaluate_rolling(
             let forecasts = m.predict_batch(&windows, dim)?;
             infer_total = t0.elapsed();
             infer_span.close();
+            for i in 0..boundaries.len() {
+                check_forecast_finite(forecasts.row(i), &series.name, &method_name)?;
+            }
             let _metrics_span = tfb_obs::span!("metrics");
             boundaries
                 .iter()
@@ -335,6 +357,7 @@ fn evaluate_rolling(
                     let t0 = Instant::now();
                     let forecast = m.predict(window, dim)?;
                     infer_total += t0.elapsed();
+                    check_forecast_finite(&forecast, &series.name, &method_name)?;
                     Ok(Some(metric_values(&forecast, actual_at(t))))
                 })
                 .collect::<Result<Vec<_>>>()?
@@ -424,6 +447,13 @@ fn evaluate_rolling(
         .zip(&sums)
         .map(|(k, v)| (k.to_string(), v / evaluated as f64))
         .collect();
+    // Post-hoc sentinel for the paths whose windows evaluate off the eval
+    // thread (stat workers carry no span context): a non-finite averaged
+    // metric flags the cell in the manifest's health section without
+    // dropping it from the report.
+    if metrics.values().any(|v| !v.is_finite()) {
+        tfb_obs::health_event(tfb_obs::HealthKind::Nan, "non-finite averaged metric");
+    }
     Ok(EvalOutcome {
         method: method.name().to_string(),
         dataset: series.name.clone(),
@@ -555,6 +585,7 @@ mod tests {
             patience: 5,
             val_fraction: 0.2,
             seed: 0,
+            ..tfb_nn::TrainConfig::default()
         };
         for name in crate::method::ML_METHODS
             .iter()

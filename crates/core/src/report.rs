@@ -28,6 +28,10 @@ pub struct ResultRow {
     pub infer_time: Duration,
     /// Parameter count (0 for statistical methods).
     pub parameters: usize,
+    /// Cell status: `ok` for an evaluated cell, `aborted:numerical` for a
+    /// cell the health probes aborted, `failed` otherwise. Failed cells
+    /// stay in the table (marked, not silently dropped).
+    pub status: String,
     /// Metric label → value.
     pub metrics: BTreeMap<String, f64>,
 }
@@ -42,6 +46,7 @@ impl From<&EvalOutcome> for ResultRow {
             train_time: o.train_time,
             infer_time: o.infer_time,
             parameters: o.parameters,
+            status: "ok".to_string(),
             metrics: o.metrics.clone(),
         }
     }
@@ -65,6 +70,22 @@ impl ResultTable {
     /// Adds one outcome.
     pub fn push(&mut self, outcome: &EvalOutcome) {
         self.rows.push(outcome.into());
+    }
+
+    /// Adds a marker row for a cell that produced no outcome (an aborted
+    /// or failed job), so the CSV records the cell instead of omitting it.
+    pub fn push_failure(&mut self, dataset: &str, method: &str, horizon: usize, status: &str) {
+        self.rows.push(ResultRow {
+            dataset: dataset.to_string(),
+            method: method.to_string(),
+            horizon,
+            n_windows: 0,
+            train_time: Duration::ZERO,
+            infer_time: Duration::ZERO,
+            parameters: 0,
+            status: status.to_string(),
+            metrics: BTreeMap::new(),
+        });
     }
 
     /// The distinct method names, in first-seen order.
@@ -157,7 +178,8 @@ impl ResultTable {
                 }
             }
         }
-        let mut out = String::from("dataset,method,horizon,n_windows,train_s,infer_ms,params");
+        let mut out =
+            String::from("dataset,method,horizon,n_windows,train_s,infer_ms,params,status");
         for m in &metric_labels {
             out.push(',');
             out.push_str(m);
@@ -165,14 +187,15 @@ impl ResultTable {
         out.push('\n');
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{}",
                 r.dataset,
                 r.method,
                 r.horizon,
                 r.n_windows,
                 r.train_time.as_secs_f64(),
                 r.infer_time.as_secs_f64() * 1e3,
-                r.parameters
+                r.parameters,
+                r.status
             ));
             for m in &metric_labels {
                 out.push(',');
@@ -387,9 +410,20 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "dataset,method,horizon,n_windows,train_s,infer_ms,params,mae"
+            "dataset,method,horizon,n_windows,train_s,infer_ms,params,status,mae"
         );
-        assert_eq!(lines.next().unwrap(), "A,VAR,24,10,0,0,0,0.5");
+        assert_eq!(lines.next().unwrap(), "A,VAR,24,10,0,0,0,ok,0.5");
+    }
+
+    #[test]
+    fn failed_cells_are_marked_not_dropped() {
+        let mut t = ResultTable::from_outcomes(&[outcome("A", "VAR", 24, 0.5)]);
+        t.push_failure("A", "MLP", 24, "aborted:numerical");
+        let csv = t.to_csv();
+        assert!(csv.contains("A,MLP,24,0,0,0,0,aborted:numerical,"), "{csv}");
+        // The failed cell contributes no metric values.
+        assert_eq!(t.cell("A", 24, "MLP", Metric::Mae), None);
+        assert_eq!(t.rows.len(), 2);
     }
 
     #[test]
@@ -400,7 +434,7 @@ mod tests {
         o.parameters = 1234;
         let t = ResultTable::from_outcomes(&[o]);
         let csv = t.to_csv();
-        assert!(csv.contains("A,MLP,24,10,1.5,0.25,1234,0.5"));
+        assert!(csv.contains("A,MLP,24,10,1.5,0.25,1234,ok,0.5"));
     }
 
     #[test]

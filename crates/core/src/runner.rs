@@ -151,9 +151,15 @@ pub fn run_job(
             Err(e) => last_err = Some(e),
         }
     }
-    best.ok_or_else(|| {
+    let best = best.ok_or_else(|| {
         last_err.unwrap_or_else(|| CoreError::Eval(format!("no look-back fit {job:?}")))
-    })
+    })?;
+    // Surface the winning cell's accuracy metrics to the manifest so
+    // cross-run tooling can gate on correctness drift, not just time.
+    for (label, value) in &best.metrics {
+        tfb_obs::report_metric(&best.dataset, &best.method, best.horizon, label, *value);
+    }
+    Ok(best)
 }
 
 /// Executes the whole config. Failed jobs are reported as `Err` entries in

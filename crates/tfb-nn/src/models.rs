@@ -1089,6 +1089,7 @@ mod tests {
             patience: 10,
             val_fraction: 0.2,
             seed: 0,
+            ..TrainConfig::default()
         }
     }
 

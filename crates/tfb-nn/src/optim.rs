@@ -95,6 +95,17 @@ impl ParamStore {
         self.params.iter().map(|p| p.value.len()).sum()
     }
 
+    /// Global L2 norm of the accumulated gradients (the quantity the
+    /// clipper bounds and the health probes report).
+    pub fn grad_norm(&self) -> f64 {
+        self.params
+            .iter()
+            .flat_map(|p| p.grad.iter())
+            .map(|g| g * g)
+            .sum::<f64>()
+            .sqrt()
+    }
+
     /// Snapshot of all values (for early-stopping restore).
     pub fn snapshot(&self) -> Vec<Vec<f64>> {
         self.params.iter().map(|p| p.value.clone()).collect()
@@ -144,13 +155,7 @@ impl Adam {
         self.t += 1;
         // Global-norm clipping.
         if self.clip > 0.0 {
-            let norm: f64 = store
-                .params
-                .iter()
-                .flat_map(|p| p.grad.iter())
-                .map(|g| g * g)
-                .sum::<f64>()
-                .sqrt();
+            let norm = store.grad_norm();
             if norm > self.clip {
                 let s = self.clip / norm;
                 for p in store.params.iter_mut() {

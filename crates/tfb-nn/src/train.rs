@@ -25,6 +25,13 @@ pub struct TrainConfig {
     pub val_fraction: f64,
     /// Shuffling seed.
     pub seed: u64,
+    /// Divergence detector: a validation loss above `divergence_factor ×`
+    /// the rolling best counts as a diverging epoch.
+    pub divergence_factor: f64,
+    /// Consecutive diverging epochs before the cell aborts with a
+    /// structured health event (merely-stale epochs below the factor
+    /// threshold are left to early stopping).
+    pub divergence_window: usize,
 }
 
 impl Default for TrainConfig {
@@ -37,6 +44,8 @@ impl Default for TrainConfig {
             patience: 6,
             val_fraction: 0.2,
             seed: 0,
+            divergence_factor: 1e3,
+            divergence_window: 5,
         }
     }
 }
@@ -79,6 +88,8 @@ impl Trainer {
         let mut best_val = f64::INFINITY;
         let mut best_snapshot = store.snapshot();
         let mut stale = 0usize;
+        let mut diverging = 0usize;
+        let n_batches = n_train.div_ceil(cfg.batch_size.max(1)).max(1);
         for epoch in 0..cfg.epochs.max(1) {
             let epoch_span = tfb_obs::span!("epoch");
             // Fisher-Yates shuffle.
@@ -86,7 +97,7 @@ impl Trainer {
                 let j = rng.gen_range(0..=i);
                 order.swap(i, j);
             }
-            for batch in order.chunks(cfg.batch_size.max(1)) {
+            for (b, batch) in order.chunks(cfg.batch_size.max(1)).enumerate() {
                 store.zero_grads();
                 for &i in batch {
                     let mut tape = Tape::new();
@@ -100,6 +111,14 @@ impl Trainer {
                     let loss = tape.mean_all(scaled);
                     tape.backward(loss);
                     tape.param_grads(store);
+                }
+                // Gradient-norm gauge, sampled once per epoch (last
+                // batch, pre-clipping). Only computed while a run is
+                // recording, so forecasts never depend on the probe.
+                if b + 1 == n_batches && tfb_obs::enabled() {
+                    let gn = store.grad_norm();
+                    tfb_obs::record_grad_norm(gn);
+                    tfb_obs::gauge!("nn/grad_norm").set(gn);
                 }
                 adam.step(store);
             }
@@ -128,6 +147,33 @@ impl Trainer {
                 .record("val_loss", val_loss)
                 .close();
             tfb_obs::histogram!("nn/epoch_val_loss").record(val_loss);
+            // NaN/Inf sentinel: a non-finite loss means the weights are
+            // already poisoned — abort the cell instead of reporting a
+            // silently-wrong forecast.
+            if !val_loss.is_finite() {
+                tfb_obs::health_event(tfb_obs::HealthKind::Nan, "non-finite validation loss");
+                return Err(ModelError::Numerical(format!(
+                    "non-finite validation loss at epoch {epoch}"
+                )));
+            }
+            // Divergence detector: a loss far above the rolling best for
+            // several consecutive epochs is a runaway, not a plateau.
+            if best_val.is_finite() && val_loss > cfg.divergence_factor * best_val.max(1e-9) {
+                diverging += 1;
+                if diverging >= cfg.divergence_window.max(1) {
+                    tfb_obs::health_event(
+                        tfb_obs::HealthKind::Diverged,
+                        "validation loss diverged from rolling best",
+                    );
+                    return Err(ModelError::Numerical(format!(
+                        "diverged: val loss {val_loss:.3e} > {}x best {best_val:.3e} \
+                         for {diverging} epochs",
+                        cfg.divergence_factor
+                    )));
+                }
+            } else {
+                diverging = 0;
+            }
             if val_loss < best_val - 1e-9 {
                 best_val = val_loss;
                 best_snapshot = store.snapshot();
@@ -219,6 +265,57 @@ mod tests {
         }
         loss /= 20.0;
         assert!((loss - best).abs() < 1e-9, "{loss} vs {best}");
+    }
+
+    #[test]
+    fn nan_targets_abort_with_numerical_error() {
+        // NaN targets poison the gradients, then the weights, then the
+        // validation loss: the sentinel must abort instead of returning a
+        // "fitted" model.
+        let (inputs, mut targets) = make_linear_problem(100);
+        for t in targets.iter_mut() {
+            t[0] = f64::NAN;
+        }
+        let mut store = ParamStore::new(1);
+        let lin = Linear::new(&mut store, 2, 2);
+        let r = Trainer::new(TrainConfig::default()).fit(
+            &mut store,
+            &inputs,
+            &targets,
+            |tape, store, input| {
+                let x = tape.input(input, 1, 2);
+                lin.forward(tape, store, x)
+            },
+        );
+        match r {
+            Err(ModelError::Numerical(msg)) => assert!(msg.contains("non-finite"), "{msg}"),
+            other => panic!("expected Numerical abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn divergence_detector_aborts_runaway_training() {
+        // A near-zero divergence factor makes every post-best epoch count
+        // as diverging; with window 1 and huge patience the detector must
+        // fire (patience would otherwise run the full epoch budget).
+        let (inputs, targets) = make_linear_problem(100);
+        let mut store = ParamStore::new(2);
+        let lin = Linear::new(&mut store, 2, 2);
+        let cfg = TrainConfig {
+            epochs: 50,
+            patience: 1000,
+            divergence_factor: 1e-12,
+            divergence_window: 1,
+            ..TrainConfig::default()
+        };
+        let r = Trainer::new(cfg).fit(&mut store, &inputs, &targets, |tape, store, input| {
+            let x = tape.input(input, 1, 2);
+            lin.forward(tape, store, x)
+        });
+        match r {
+            Err(ModelError::Numerical(msg)) => assert!(msg.contains("diverged"), "{msg}"),
+            other => panic!("expected divergence abort, got {other:?}"),
+        }
     }
 
     #[test]

@@ -2,8 +2,11 @@
 //! phase breakdown plus the top-N slowest (dataset, method) cells.
 //!
 //! ```text
-//! obs_summary <manifest.json> [--top N]
+//! obs_summary <manifest.json> [--top N] [--compare BASE.json]
 //! ```
+//!
+//! With `--compare` the summary is followed by a full diff against the
+//! baseline manifest (worst regression first).
 //!
 //! Build with the `summarizer` feature:
 //! `cargo run -p tfb-obs --features summarizer --bin obs_summary -- run.manifest.json`
@@ -43,10 +46,84 @@ fn bar(frac: f64, width: usize) -> String {
     out
 }
 
+/// Prints the manifest's `health` section when anything went wrong.
+fn render_health(doc: &JsonValue) {
+    let Some(health) = doc.get("health") else {
+        return;
+    };
+    let cells = |key: &str| -> Vec<String> {
+        health
+            .get(key)
+            .and_then(JsonValue::as_array)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let nan = cells("nan_cells");
+    let diverged = cells("diverged_cells");
+    let aborted = cells("aborted_cells");
+    if nan.is_empty() && diverged.is_empty() && aborted.is_empty() {
+        return;
+    }
+    println!("\nhealth");
+    for (label, list) in [
+        ("nan", &nan),
+        ("diverged", &diverged),
+        ("aborted", &aborted),
+    ] {
+        if !list.is_empty() {
+            println!("  {label:<10} {}", list.join(", "));
+        }
+    }
+}
+
+/// Handles `--compare BASE.json`: renders a full diff (worst regression
+/// first) of this manifest against the baseline. Returns false when the
+/// baseline cannot be loaded.
+fn render_compare(args: &[String], cand_text: &str) -> bool {
+    let Some(base_path) = args
+        .iter()
+        .position(|a| a == "--compare")
+        .and_then(|i| args.get(i + 1))
+    else {
+        return true;
+    };
+    let base_text = match std::fs::read_to_string(base_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_summary: cannot read {base_path}: {e}");
+            return false;
+        }
+    };
+    let load = |label: &str, text: &str| match tfb_obs::history::parse_manifest(text) {
+        Ok(parsed) => {
+            for w in &parsed.warnings {
+                eprintln!("obs_summary: warning: {label}: {w}");
+            }
+            Some(parsed.manifest)
+        }
+        Err(e) => {
+            eprintln!("obs_summary: {label}: {e}");
+            None
+        }
+    };
+    let (Some(base), Some(cand)) = (load(base_path, &base_text), load("manifest", cand_text))
+    else {
+        return false;
+    };
+    let rows = tfb_obs::history::diff_manifests(&base, &cand);
+    println!("\ncomparison against {base_path} (worst regression first)");
+    print!("{}", tfb_obs::history::render_diff(&rows));
+    true
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: obs_summary <manifest.json> [--top N]");
+        eprintln!("usage: obs_summary <manifest.json> [--top N] [--compare BASE.json]");
         return ExitCode::FAILURE;
     };
     let top_n: usize = args
@@ -69,9 +146,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if doc.get("schema").and_then(JsonValue::as_str) != Some("tfb-obs/v1") {
-        eprintln!("obs_summary: {path} is not a tfb-obs/v1 manifest");
-        return ExitCode::FAILURE;
+    // Accept any tfb-obs/* schema: newer manifests render best-effort
+    // (the history parser warns about fields this version doesn't know).
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some(s) if s.starts_with("tfb-obs/") => {
+            if s != "tfb-obs/v1" {
+                eprintln!("obs_summary: note: {path} is a {s} manifest, rendering best-effort");
+            }
+        }
+        _ => {
+            eprintln!("obs_summary: {path} is not a tfb-obs manifest");
+            return ExitCode::FAILURE;
+        }
     }
 
     // --- Header. ------------------------------------------------------
@@ -81,12 +167,14 @@ fn main() -> ExitCode {
         .unwrap_or(0.0) as u64;
     let cores = doc.get("cores").and_then(JsonValue::as_usize).unwrap_or(0);
     println!("run manifest: {path}");
+    // An unmeasured RSS (serialized as null off Linux) renders as "n/a",
+    // never 0 — a zero would read as a fake measurement.
     println!(
         "wall {} on {cores} core(s){}",
         fmt_dur(wall_ns).trim(),
         match doc.get("peak_rss_bytes").and_then(JsonValue::as_f64) {
             Some(b) => format!(", peak RSS {:.1} MiB", b / (1024.0 * 1024.0)),
-            None => String::new(),
+            None => ", peak RSS n/a".to_string(),
         }
     );
     if let Some(meta) = doc.get("meta").and_then(JsonValue::as_object) {
@@ -124,7 +212,12 @@ fn main() -> ExitCode {
     }
     if rows.is_empty() {
         println!("\n(no phases recorded)");
-        return ExitCode::SUCCESS;
+        render_health(&doc);
+        return if render_compare(&args, &text) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     // --- Flamegraph-style breakdown: aggregate per path, indent by
@@ -228,6 +321,10 @@ fn main() -> ExitCode {
                 );
             }
         }
+    }
+    render_health(&doc);
+    if !render_compare(&args, &text) {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

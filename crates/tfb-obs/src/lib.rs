@@ -18,7 +18,7 @@
 //!   }
 //!   ```
 //! * **Typed metrics** — monotonic [`Counter`]s, last-value [`Gauge`]s and
-//!   sample-exact [`Histogram`]s declared at the call site:
+//!   bounded-reservoir [`Histogram`]s declared at the call site:
 //!   ```
 //!   tfb_obs::counter!("gemm/calls").add(1);
 //!   tfb_obs::histogram!("nn/epoch_val_loss").record(0.25);
@@ -38,23 +38,32 @@
 
 pub mod manifest;
 
+#[cfg(feature = "history")]
+pub mod history;
+
 #[cfg(feature = "record")]
 mod record;
 #[cfg(feature = "record")]
 #[doc(hidden)]
 pub use record::test_support;
 #[cfg(feature = "record")]
-pub use record::{enabled, finish_run, start_run, Counter, Gauge, Histogram, RunOptions, Span};
+pub use record::{
+    enabled, finish_run, health_event, record_grad_norm, report_metric, start_run, Counter, Gauge,
+    Histogram, RunOptions, Span, RESERVOIR_CAP,
+};
 
 #[cfg(not(feature = "record"))]
 mod noop;
 #[cfg(not(feature = "record"))]
-pub use noop::{enabled, finish_run, start_run, Counter, Gauge, Histogram, RunOptions, Span};
+pub use noop::{
+    enabled, finish_run, health_event, record_grad_norm, report_metric, start_run, Counter, Gauge,
+    Histogram, RunOptions, Span,
+};
 
 #[cfg(feature = "alloc-track")]
 pub mod alloc;
 
-pub use manifest::{HistSummary, Manifest, PhaseRow};
+pub use manifest::{HealthKind, HealthSummary, HistSummary, Manifest, MetricRow, PhaseRow};
 
 /// Opens a span named `$name`, optionally attaching `key = value` fields.
 ///
@@ -92,7 +101,7 @@ macro_rules! gauge {
     }};
 }
 
-/// A process-wide sample-exact histogram, declared in place:
+/// A process-wide bounded-reservoir histogram, declared in place:
 /// `tfb_obs::histogram!("nn/epoch_val_loss").record(loss)`.
 #[macro_export]
 macro_rules! histogram {

@@ -20,13 +20,31 @@
 //!   "histograms": {
 //!     "nn/epoch_val_loss": {"count": 3, "mean": 0.5, "min": 0.1,
 //!                            "max": 1.0, "p50": 0.4, "p90": 1.0, "p99": 1.0}
+//!   },
+//!   "metrics": [
+//!     {"dataset": "ILI", "method": "LR", "horizon": 24, "name": "mae",
+//!      "value": 0.41}
+//!   ],
+//!   "health": {
+//!     "nan_cells": [], "diverged_cells": [], "aborted_cells": [],
+//!     "grad_norms": {"NLinear": {"count": 3, "mean": 0.5, "min": 0.1,
+//!                                 "max": 1.0, "p50": 0.4, "p90": 1.0,
+//!                                 "p99": 1.0}}
 //!   }
 //! }
 //! ```
 //!
-//! Phases are sorted by `(path, dataset, method)` and counters, gauges and
-//! histograms by name, so two runs with the same observations serialize
-//! byte-identically regardless of thread interleaving.
+//! `metrics` carries the per-cell accuracy values the report layer
+//! computed (MAE, MSE, …), so cross-run tooling can gate on correctness
+//! drift, not just wall time. `health` summarizes the numerical-health
+//! probes: cells whose training hit a non-finite loss (`nan_cells`),
+//! cells aborted by the divergence detector (`diverged_cells`), their
+//! union (`aborted_cells`), and per-method gradient-norm histograms.
+//!
+//! Phases are sorted by `(path, dataset, method)`; counters, gauges and
+//! histograms by name; metrics by `(dataset, method, horizon, name)` —
+//! so two runs with the same observations serialize byte-identically
+//! regardless of thread interleaving.
 
 use std::path::Path;
 
@@ -70,6 +88,62 @@ pub struct HistSummary {
     pub p99: f64,
 }
 
+/// One per-cell accuracy metric value (MAE, MSE, …) reported into the
+/// manifest so cross-run tooling can gate on correctness drift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// Forecast horizon of the cell.
+    pub horizon: usize,
+    /// Metric label (`mae`, `mse`, …).
+    pub name: String,
+    /// Averaged value over the cell's evaluation windows.
+    pub value: f64,
+}
+
+/// What a numerical-health probe observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthKind {
+    /// A non-finite (NaN/Inf) loss or forecast value.
+    Nan,
+    /// The divergence detector tripped (loss ≫ rolling best).
+    Diverged,
+}
+
+impl HealthKind {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthKind::Nan => "nan",
+            HealthKind::Diverged => "diverged",
+        }
+    }
+}
+
+/// The manifest's `health` section: what the numerical-health probes
+/// caught during the run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthSummary {
+    /// `dataset/method` cells that hit a non-finite loss or forecast.
+    pub nan_cells: Vec<String>,
+    /// Cells aborted by the divergence detector.
+    pub diverged_cells: Vec<String>,
+    /// Union of the above: every cell a probe aborted or flagged.
+    pub aborted_cells: Vec<String>,
+    /// Per-method gradient-norm histograms, sorted by method.
+    pub grad_norms: Vec<(String, HistSummary)>,
+}
+
+impl HealthSummary {
+    /// True when no probe fired during the run.
+    pub fn is_clean(&self) -> bool {
+        self.nan_cells.is_empty() && self.diverged_cells.is_empty() && self.aborted_cells.is_empty()
+    }
+}
+
 /// The end-of-run manifest returned by [`finish_run`](crate::finish_run).
 #[derive(Debug, Clone, Default)]
 pub struct Manifest {
@@ -91,9 +165,21 @@ pub struct Manifest {
     pub gauges: Vec<(String, f64)>,
     /// Sorted histogram summaries.
     pub histograms: Vec<HistSummary>,
+    /// Sorted per-cell accuracy metrics.
+    pub metrics: Vec<MetricRow>,
+    /// Numerical-health summary.
+    pub health: HealthSummary,
 }
 
 impl Manifest {
+    /// Value of one `meta` key, when present.
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
     /// The distinct span path leaves (last path segment) present — the
     /// "phases covered" set a smoke test asserts on.
     pub fn phase_names(&self) -> Vec<String> {
@@ -192,24 +278,62 @@ impl Manifest {
             }
             out.push_str("\n    ");
             json_str(&mut out, &h.name);
-            out.push_str(&format!(": {{\"count\": {}, \"mean\": ", h.count));
-            json_num(&mut out, h.mean);
-            out.push_str(", \"min\": ");
-            json_num(&mut out, h.min);
-            out.push_str(", \"max\": ");
-            json_num(&mut out, h.max);
-            out.push_str(", \"p50\": ");
-            json_num(&mut out, h.p50);
-            out.push_str(", \"p90\": ");
-            json_num(&mut out, h.p90);
-            out.push_str(", \"p99\": ");
-            json_num(&mut out, h.p99);
-            out.push('}');
+            out.push_str(": ");
+            json_hist(&mut out, h);
         }
         if !self.histograms.is_empty() {
             out.push_str("\n  ");
         }
-        out.push_str("}\n}\n");
+        out.push_str("},\n");
+        out.push_str("  \"metrics\": [");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"dataset\": ");
+            json_str(&mut out, &m.dataset);
+            out.push_str(", \"method\": ");
+            json_str(&mut out, &m.method);
+            out.push_str(&format!(", \"horizon\": {}, \"name\": ", m.horizon));
+            json_str(&mut out, &m.name);
+            out.push_str(", \"value\": ");
+            json_num(&mut out, m.value);
+            out.push('}');
+        }
+        if !self.metrics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"health\": {\n");
+        let cell_list = |out: &mut String, key: &str, cells: &[String]| {
+            out.push_str(&format!("    \"{key}\": ["));
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                json_str(out, c);
+            }
+            out.push(']');
+        };
+        cell_list(&mut out, "nan_cells", &self.health.nan_cells);
+        out.push_str(",\n");
+        cell_list(&mut out, "diverged_cells", &self.health.diverged_cells);
+        out.push_str(",\n");
+        cell_list(&mut out, "aborted_cells", &self.health.aborted_cells);
+        out.push_str(",\n    \"grad_norms\": {");
+        for (i, (method, h)) in self.health.grad_norms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n      ");
+            json_str(&mut out, method);
+            out.push_str(": ");
+            json_hist(&mut out, h);
+        }
+        if !self.health.grad_norms.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("}\n  }\n}\n");
         out
     }
 
@@ -248,6 +372,23 @@ pub(crate) fn json_str(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// Writes one histogram summary object.
+pub(crate) fn json_hist(out: &mut String, h: &HistSummary) {
+    out.push_str(&format!("{{\"count\": {}, \"mean\": ", h.count));
+    json_num(out, h.mean);
+    out.push_str(", \"min\": ");
+    json_num(out, h.min);
+    out.push_str(", \"max\": ");
+    json_num(out, h.max);
+    out.push_str(", \"p50\": ");
+    json_num(out, h.p50);
+    out.push_str(", \"p90\": ");
+    json_num(out, h.p90);
+    out.push_str(", \"p99\": ");
+    json_num(out, h.p99);
+    out.push('}');
 }
 
 /// Writes an f64 as JSON (`null` for non-finite values).
@@ -306,12 +447,43 @@ mod tests {
                 p90: 0.5,
                 p99: 0.5,
             }],
+            metrics: vec![MetricRow {
+                dataset: "ILI".into(),
+                method: "LR".into(),
+                horizon: 24,
+                name: "mae".into(),
+                value: 0.41,
+            }],
+            health: HealthSummary {
+                nan_cells: vec!["ILI/MLP".into()],
+                diverged_cells: vec![],
+                aborted_cells: vec!["ILI/MLP".into()],
+                grad_norms: vec![(
+                    "MLP".into(),
+                    HistSummary {
+                        name: "MLP".into(),
+                        count: 2,
+                        mean: 1.0,
+                        min: 0.5,
+                        max: 1.5,
+                        p50: 0.5,
+                        p90: 1.5,
+                        p99: 1.5,
+                    },
+                )],
+            },
         };
         let a = m.to_json();
         assert_eq!(a, m.to_json());
         assert!(a.contains("\"schema\": \"tfb-obs/v1\""));
         assert!(a.contains("\\\"q\\\""), "{a}");
+        assert!(a.contains("\"metrics\": ["), "{a}");
+        assert!(a.contains("\"name\": \"mae\", \"value\": 0.41"), "{a}");
+        assert!(a.contains("\"nan_cells\": [\"ILI/MLP\"]"), "{a}");
+        assert!(a.contains("\"grad_norms\": {"), "{a}");
         assert_eq!(m.phase_names(), vec!["train".to_string()]);
+        assert_eq!(m.meta_value("config_hash"), Some("abc"));
+        assert_eq!(m.meta_value("missing"), None);
     }
 
     #[test]
@@ -321,5 +493,8 @@ mod tests {
         assert!(json.contains("\"phases\": []"));
         assert!(json.contains("\"counters\": {}"));
         assert!(json.contains("\"peak_rss_bytes\": null"));
+        assert!(json.contains("\"metrics\": []"));
+        assert!(json.contains("\"nan_cells\": []"));
+        assert!(m.health.is_clean());
     }
 }

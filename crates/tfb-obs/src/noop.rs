@@ -4,7 +4,7 @@
 //! rest of the workspace provably free — there is no atomic, no branch,
 //! nothing for the optimizer to even remove.
 
-use crate::manifest::Manifest;
+use crate::manifest::{HealthKind, Manifest};
 use std::fmt::Display;
 use std::path::PathBuf;
 
@@ -13,6 +13,18 @@ use std::path::PathBuf;
 pub fn enabled() -> bool {
     false
 }
+
+/// No-op.
+#[inline(always)]
+pub fn report_metric(_dataset: &str, _method: &str, _horizon: usize, _name: &str, _value: f64) {}
+
+/// No-op.
+#[inline(always)]
+pub fn health_event(_kind: HealthKind, _detail: &str) {}
+
+/// No-op.
+#[inline(always)]
+pub fn record_grad_norm(_value: f64) {}
 
 /// Mirrors [`record::RunOptions`](crate::RunOptions); carried for API
 /// parity, never read.

@@ -5,12 +5,17 @@
 //! Concurrency model: one process-wide run at a time. `ENABLED` is the
 //! fast gate every probe checks first (one relaxed load). Span closes and
 //! sink writes funnel through the `STATE` mutex; counters and gauges are
-//! lock-free atomics registered on first touch; histograms keep exact
-//! samples behind their own mutex. Aggregation is order-independent
-//! (u64 sums and min/max), and the manifest sorts every table, so runs
-//! are deterministic regardless of thread interleaving.
+//! lock-free atomics registered on first touch; histograms keep a bounded
+//! reservoir behind their own mutex (count/mean/min/max stay exact at any
+//! volume; percentiles are computed from the kept samples and are exact
+//! until the cap is reached). Aggregation is order-independent (u64 sums
+//! and min/max), and the manifest sorts every table, so runs are
+//! deterministic regardless of thread interleaving.
 
-use crate::manifest::{json_num, json_str, percentile, HistSummary, Manifest, PhaseRow};
+use crate::manifest::{
+    json_num, json_str, percentile, HealthKind, HealthSummary, HistSummary, Manifest, MetricRow,
+    PhaseRow,
+};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Display;
@@ -27,6 +32,14 @@ static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
 static GAUGES: Mutex<Vec<&'static Gauge>> = Mutex::new(Vec::new());
 static HISTOGRAMS: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
 static THREAD_SEQ: AtomicU64 = AtomicU64::new(0);
+/// Per-cell accuracy metrics reported by the pipeline, keyed by
+/// (dataset, method, horizon, metric label); last write wins.
+#[allow(clippy::type_complexity)]
+static METRICS: Mutex<Option<HashMap<(String, String, usize, String), f64>>> = Mutex::new(None);
+/// Health events: (kind, dataset, method) triples, in arrival order.
+static HEALTH_EVENTS: Mutex<Vec<(HealthKind, String, String)>> = Mutex::new(Vec::new());
+/// Per-method gradient-norm reservoirs.
+static GRAD_NORMS: Mutex<Option<HashMap<String, Reservoir>>> = Mutex::new(None);
 
 thread_local! {
     static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
@@ -95,8 +108,14 @@ pub fn start_run(opts: RunOptions) -> std::io::Result<()> {
         .expect("histogram registry poisoned")
         .iter()
     {
-        h.samples.lock().expect("histogram poisoned").clear();
+        h.samples.lock().expect("histogram poisoned").reset();
     }
+    *METRICS.lock().expect("metric registry poisoned") = Some(HashMap::new());
+    HEALTH_EVENTS
+        .lock()
+        .expect("health registry poisoned")
+        .clear();
+    *GRAD_NORMS.lock().expect("grad-norm registry poisoned") = Some(HashMap::new());
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     if let Some(w) = sink.as_mut() {
         let _ = writeln!(w, "{{\"ev\":\"run_start\",\"cores\":{cores}}}");
@@ -160,37 +179,80 @@ pub fn finish_run(meta: &[(&str, String)]) -> Option<Manifest> {
         .map(|(k, v)| (k.to_string(), v))
         .collect();
     gauges.sort_by(|a, b| a.0.cmp(&b.0));
-    let mut hist_samples: HashMap<&'static str, Vec<f64>> = HashMap::new();
+    // Same-name histograms from different call sites merge: counts, sums
+    // and min/max are exact; percentiles pool the kept samples.
+    let mut hist_pool: HashMap<&'static str, Reservoir> = HashMap::new();
     for h in HISTOGRAMS
         .lock()
         .expect("histogram registry poisoned")
         .iter()
     {
-        let samples = h.samples.lock().expect("histogram poisoned");
-        if !samples.is_empty() {
-            hist_samples
+        let r = h.samples.lock().expect("histogram poisoned");
+        if r.seen > 0 {
+            hist_pool
                 .entry(h.name)
-                .or_default()
-                .extend_from_slice(&samples);
+                .or_insert_with(Reservoir::new)
+                .merge(&r);
         }
     }
-    let mut histograms: Vec<HistSummary> = hist_samples
+    let mut histograms: Vec<HistSummary> = hist_pool
         .into_iter()
-        .map(|(name, mut xs)| {
-            xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            HistSummary {
-                name: name.to_string(),
-                count: xs.len(),
-                mean: xs.iter().sum::<f64>() / xs.len() as f64,
-                min: xs[0],
-                max: xs[xs.len() - 1],
-                p50: percentile(&xs, 50.0),
-                p90: percentile(&xs, 90.0),
-                p99: percentile(&xs, 99.0),
-            }
-        })
+        .map(|(name, r)| r.summary(name.to_string()))
         .collect();
     histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    let metric_map = METRICS
+        .lock()
+        .expect("metric registry poisoned")
+        .take()
+        .unwrap_or_default();
+    let mut metrics: Vec<MetricRow> = metric_map
+        .into_iter()
+        .map(|((dataset, method, horizon, name), value)| MetricRow {
+            dataset,
+            method,
+            horizon,
+            name,
+            value,
+        })
+        .collect();
+    metrics.sort_by(|a, b| {
+        (&a.dataset, &a.method, a.horizon, &a.name)
+            .cmp(&(&b.dataset, &b.method, b.horizon, &b.name))
+    });
+    let mut health = HealthSummary::default();
+    {
+        let events = HEALTH_EVENTS.lock().expect("health registry poisoned");
+        for (kind, dataset, method) in events.iter() {
+            let cell = format!("{dataset}/{method}");
+            match kind {
+                HealthKind::Nan => health.nan_cells.push(cell.clone()),
+                HealthKind::Diverged => health.diverged_cells.push(cell.clone()),
+            }
+            health.aborted_cells.push(cell);
+        }
+    }
+    for cells in [
+        &mut health.nan_cells,
+        &mut health.diverged_cells,
+        &mut health.aborted_cells,
+    ] {
+        cells.sort();
+        cells.dedup();
+    }
+    let grad_map = GRAD_NORMS
+        .lock()
+        .expect("grad-norm registry poisoned")
+        .take()
+        .unwrap_or_default();
+    let mut grad_norms: Vec<(String, HistSummary)> = grad_map
+        .into_iter()
+        .map(|(method, r)| {
+            let summary = r.summary(method.clone());
+            (method, summary)
+        })
+        .collect();
+    grad_norms.sort_by(|a, b| a.0.cmp(&b.0));
+    health.grad_norms = grad_norms;
     let mut meta: Vec<(String, String)> = meta
         .iter()
         .map(|(k, v)| (k.to_string(), v.clone()))
@@ -206,6 +268,104 @@ pub fn finish_run(meta: &[(&str, String)]) -> Option<Manifest> {
         counters,
         gauges,
         histograms,
+        metrics,
+        health,
+    })
+}
+
+/// Reports one per-cell accuracy metric (MAE, MSE, …) into the manifest's
+/// `metrics` table. Last write for a given (dataset, method, horizon,
+/// name) key wins. Outside a run: one relaxed load, nothing else.
+pub fn report_metric(dataset: &str, method: &str, horizon: usize, name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(map) = METRICS.lock().expect("metric registry poisoned").as_mut() {
+        map.insert(
+            (
+                dataset.to_string(),
+                method.to_string(),
+                horizon,
+                name.to_string(),
+            ),
+            value,
+        );
+    }
+}
+
+/// Records a numerical-health event (NaN loss, divergence abort, …) for
+/// the current cell. The dataset/method are taken from the innermost
+/// enclosing span that carries them, so call this from the thread the
+/// cell's spans run on. Also appends a structured `health` event to the
+/// JSONL sink when one is open.
+pub fn health_event(kind: HealthKind, detail: &str) {
+    if !enabled() {
+        return;
+    }
+    let (dataset, method) = current_cell();
+    HEALTH_EVENTS
+        .lock()
+        .expect("health registry poisoned")
+        .push((kind, dataset.clone(), method.clone()));
+    let mut guard = STATE.lock().expect("obs state poisoned");
+    if let Some(state) = guard.as_mut() {
+        if state.sink.is_some() {
+            state.seq += 1;
+            let seq = state.seq;
+            let t_ns = state.start.elapsed().as_nanos() as u64;
+            let mut line = String::with_capacity(96);
+            line.push_str(&format!(
+                "{{\"ev\":\"health\",\"seq\":{seq},\"t_ns\":{t_ns},\"kind\":\"{}\",\"dataset\":",
+                kind.label()
+            ));
+            json_str(&mut line, &dataset);
+            line.push_str(",\"method\":");
+            json_str(&mut line, &method);
+            line.push_str(",\"detail\":");
+            json_str(&mut line, detail);
+            line.push('}');
+            if let Some(w) = state.sink.as_mut() {
+                let _ = writeln!(w, "{line}");
+            }
+        }
+    }
+}
+
+/// Records one gradient-norm sample for the current cell's method (from
+/// the innermost enclosing span carrying one; "" when none does). Flushed
+/// as per-method histograms under the manifest's `health.grad_norms`.
+pub fn record_grad_norm(value: f64) {
+    if !enabled() {
+        return;
+    }
+    let (_, method) = current_cell();
+    if let Some(map) = GRAD_NORMS
+        .lock()
+        .expect("grad-norm registry poisoned")
+        .as_mut()
+    {
+        map.entry(method)
+            .or_insert_with(Reservoir::new)
+            .offer(value);
+    }
+}
+
+/// The (dataset, method) context of the innermost span on this thread's
+/// stack that carries them ("" when nothing does).
+fn current_cell() -> (String, String) {
+    STACK.with(|stack| {
+        let stack = stack.borrow();
+        let dataset = stack
+            .iter()
+            .rev()
+            .find_map(|f| f.dataset.clone())
+            .unwrap_or_default();
+        let method = stack
+            .iter()
+            .rev()
+            .find_map(|f| f.method.clone())
+            .unwrap_or_default();
+        (dataset, method)
     })
 }
 
@@ -480,11 +640,114 @@ impl Gauge {
     }
 }
 
-/// A sample-exact histogram (percentiles computed at flush). Declare one
-/// per call site with [`histogram!`](crate::histogram!).
+/// Default reservoir capacity: the kept-sample bound per histogram.
+pub const RESERVOIR_CAP: usize = 4096;
+
+/// A bounded sample reservoir with deterministic, seed-free decimation.
+///
+/// Keeps every `stride`-th offered sample; when the kept set reaches
+/// [`RESERVOIR_CAP`], it drops every other kept sample (even indices
+/// survive) and doubles the stride. `seen`, `sum`, `min` and `max` are
+/// always exact — only percentiles come from the kept subset, and those
+/// stay exact until the cap is first reached. No RNG: the kept set is a
+/// pure function of the offer order, so single-threaded runs are
+/// bit-reproducible.
+#[derive(Debug, Clone)]
+pub(crate) struct Reservoir {
+    stride: u64,
+    seen: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    samples: Vec<f64>,
+}
+
+impl Reservoir {
+    /// An empty reservoir (const: usable in statics).
+    pub(crate) const fn new() -> Reservoir {
+        Reservoir {
+            stride: 1,
+            seen: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Back to the empty state (capacity retained).
+    pub(crate) fn reset(&mut self) {
+        self.stride = 1;
+        self.seen = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+        self.samples.clear();
+    }
+
+    /// Offers one sample: exact stats always update; the sample is kept
+    /// only when it falls on the current stride.
+    pub(crate) fn offer(&mut self, v: f64) {
+        if self.seen.is_multiple_of(self.stride) {
+            if self.samples.len() >= RESERVOIR_CAP {
+                // Decimate: keep even indices, double the stride.
+                let mut i = 0;
+                self.samples.retain(|_| {
+                    let keep = i % 2 == 0;
+                    i += 1;
+                    keep
+                });
+                self.stride *= 2;
+            }
+            if self.seen.is_multiple_of(self.stride) {
+                self.samples.push(v);
+            }
+        }
+        self.seen += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another reservoir in: exact stats combine exactly; kept
+    /// samples pool (percentiles over the union of both subsets).
+    pub(crate) fn merge(&mut self, other: &Reservoir) {
+        self.seen += other.seen;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.samples.extend_from_slice(&other.samples);
+        self.stride = self.stride.max(other.stride);
+    }
+
+    /// Flushes to a [`HistSummary`]: count/mean/min/max exact, percentiles
+    /// from the kept samples.
+    pub(crate) fn summary(mut self, name: String) -> HistSummary {
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        HistSummary {
+            name,
+            count: self.seen as usize,
+            mean: if self.seen > 0 {
+                self.sum / self.seen as f64
+            } else {
+                f64::NAN
+            },
+            min: self.min,
+            max: self.max,
+            p50: percentile(&self.samples, 50.0),
+            p90: percentile(&self.samples, 90.0),
+            p99: percentile(&self.samples, 99.0),
+        }
+    }
+}
+
+/// A bounded-memory histogram (percentiles computed at flush from a
+/// capped [`Reservoir`]; count/mean/min/max stay exact). Declare one per
+/// call site with [`histogram!`](crate::histogram!).
 pub struct Histogram {
     name: &'static str,
-    samples: Mutex<Vec<f64>>,
+    samples: Mutex<Reservoir>,
     registered: AtomicBool,
 }
 
@@ -493,7 +756,7 @@ impl Histogram {
     pub const fn new(name: &'static str) -> Histogram {
         Histogram {
             name,
-            samples: Mutex::new(Vec::new()),
+            samples: Mutex::new(Reservoir::new()),
             registered: AtomicBool::new(false),
         }
     }
@@ -504,7 +767,7 @@ impl Histogram {
         if !enabled() {
             return;
         }
-        self.samples.lock().expect("histogram poisoned").push(v);
+        self.samples.lock().expect("histogram poisoned").offer(v);
         if !self.registered.swap(true, Ordering::Relaxed) {
             HISTOGRAMS
                 .lock()
@@ -533,5 +796,107 @@ pub mod test_support {
             0,
             0,
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::percentile;
+
+    #[test]
+    fn reservoir_is_exact_below_cap() {
+        let mut r = Reservoir::new();
+        for i in 1..=100 {
+            r.offer(i as f64);
+        }
+        assert_eq!(r.samples.len(), 100);
+        let s = r.summary("x".to_string());
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p99, 99.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reservoir_memory_is_bounded() {
+        let mut r = Reservoir::new();
+        for i in 0..1_000_000u64 {
+            r.offer(i as f64);
+        }
+        assert!(
+            r.samples.len() <= RESERVOIR_CAP,
+            "kept {} > cap {}",
+            r.samples.len(),
+            RESERVOIR_CAP
+        );
+        assert_eq!(r.seen, 1_000_000);
+    }
+
+    #[test]
+    fn reservoir_percentiles_within_one_percent_of_exact_on_1e6_samples() {
+        // A skewed deterministic stream (quadratic ramp) so percentiles
+        // differ meaningfully from the mean.
+        let n = 1_000_000u64;
+        let val = |i: u64| {
+            let x = i as f64 / n as f64;
+            x * x * 1000.0
+        };
+        let mut r = Reservoir::new();
+        let mut exact: Vec<f64> = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let v = val(i);
+            r.offer(v);
+            exact.push(v);
+        }
+        exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let s = r.clone().summary("x".to_string());
+        // Exact invariants survive decimation.
+        assert_eq!(s.count, n as usize);
+        assert_eq!(s.min, exact[0]);
+        assert_eq!(s.max, exact[exact.len() - 1]);
+        let exact_mean = exact.iter().sum::<f64>() / n as f64;
+        assert!((s.mean - exact_mean).abs() / exact_mean < 1e-12);
+        // Percentiles within 1% relative error of the exact values.
+        for (q, got) in [(50.0, s.p50), (90.0, s.p90), (99.0, s.p99)] {
+            let want = percentile(&exact, q);
+            let rel = (got - want).abs() / want.abs().max(1e-12);
+            assert!(rel < 0.01, "p{q}: got {got}, want {want}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn reservoir_decimation_is_deterministic() {
+        let run = || {
+            let mut r = Reservoir::new();
+            for i in 0..300_000u64 {
+                r.offer((i % 977) as f64);
+            }
+            r
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.stride, b.stride);
+        assert_eq!(a.seen, b.seen);
+    }
+
+    #[test]
+    fn reservoir_merge_combines_exact_stats() {
+        let mut a = Reservoir::new();
+        let mut b = Reservoir::new();
+        for i in 1..=10 {
+            a.offer(i as f64);
+        }
+        for i in 11..=20 {
+            b.offer(i as f64);
+        }
+        a.merge(&b);
+        let s = a.summary("x".to_string());
+        assert_eq!(s.count, 20);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 20.0);
+        assert!((s.mean - 10.5).abs() < 1e-12);
     }
 }

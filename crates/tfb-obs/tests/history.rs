@@ -1,0 +1,246 @@
+//! Integration tests for the run-history store: manifest round-trips,
+//! forward compatibility, the content-addressed store, and the gate's
+//! noise aggregation.
+
+use std::path::PathBuf;
+use tfb_obs::history::{
+    diff_manifests, gate, parse_manifest, render_diff, DiffKind, GateTolerances, RunHistory,
+};
+use tfb_obs::{HealthSummary, HistSummary, Manifest, MetricRow, PhaseRow};
+
+/// A populated manifest with a unicode dataset name and an unmeasured
+/// (null) peak RSS — the two serialization edge cases that bit before.
+fn sample_manifest() -> Manifest {
+    Manifest {
+        meta: vec![
+            ("config_hash".into(), "abc123".into()),
+            ("git_rev".into(), "deadbeef".into()),
+        ],
+        cores: 8,
+        wall_ns: 1_000_000_000,
+        peak_rss_bytes: None,
+        events_path: Some("run.events.jsonl".into()),
+        phases: vec![
+            PhaseRow {
+                path: "job".into(),
+                dataset: "ETTh1-中文-Ünïcode".into(),
+                method: "LR".into(),
+                count: 3,
+                total_ns: 900_000,
+                min_ns: 100_000,
+                max_ns: 500_000,
+            },
+            PhaseRow {
+                path: "job.train".into(),
+                dataset: "ETTh1-中文-Ünïcode".into(),
+                method: "LR".into(),
+                count: 3,
+                total_ns: 600_000,
+                min_ns: 100_000,
+                max_ns: 400_000,
+            },
+        ],
+        counters: vec![("matmul/alloc_bytes".into(), 12_345)],
+        gauges: vec![("nn/grad_norm".into(), 1.5)],
+        histograms: vec![HistSummary {
+            name: "nn/epoch_val_loss".into(),
+            count: 10,
+            mean: 0.5,
+            min: 0.1,
+            max: 1.0,
+            p50: 0.4,
+            p90: 0.9,
+            p99: 1.0,
+        }],
+        metrics: vec![MetricRow {
+            dataset: "ETTh1-中文-Ünïcode".into(),
+            method: "LR".into(),
+            horizon: 24,
+            name: "mae".into(),
+            value: 0.512,
+        }],
+        health: HealthSummary::default(),
+    }
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tfb_history_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn empty_manifest_roundtrips_byte_identical() {
+    let json = Manifest::default().to_json();
+    let parsed = parse_manifest(&json).expect("parses");
+    assert!(parsed.warnings.is_empty(), "{:?}", parsed.warnings);
+    assert_eq!(parsed.manifest.to_json(), json);
+}
+
+#[test]
+fn populated_manifest_roundtrips_byte_identical() {
+    // Unicode dataset names and a null RSS must survive
+    // serialize -> parse -> re-serialize without a byte of drift.
+    let json = sample_manifest().to_json();
+    let parsed = parse_manifest(&json).expect("parses");
+    assert!(parsed.warnings.is_empty(), "{:?}", parsed.warnings);
+    assert_eq!(parsed.manifest.to_json(), json);
+    assert!(json.contains("\"peak_rss_bytes\": null"));
+    assert!(json.contains("中文"));
+}
+
+#[test]
+fn unhealthy_manifest_roundtrips_byte_identical() {
+    let mut m = sample_manifest();
+    m.health = HealthSummary {
+        nan_cells: vec!["ILI/MLP".into()],
+        diverged_cells: vec!["ETTh1/RNN".into()],
+        aborted_cells: vec!["ETTh1/RNN".into(), "ILI/MLP".into()],
+        grad_norms: vec![(
+            "MLP".into(),
+            HistSummary {
+                name: "MLP".into(),
+                count: 4,
+                mean: 2.0,
+                min: 0.5,
+                max: 4.0,
+                p50: 1.5,
+                p90: 3.5,
+                p99: 4.0,
+            },
+        )],
+    };
+    let json = m.to_json();
+    let parsed = parse_manifest(&json).expect("parses");
+    assert_eq!(parsed.manifest.to_json(), json);
+    assert_eq!(
+        parsed.manifest.health.nan_cells,
+        vec!["ILI/MLP".to_string()]
+    );
+}
+
+#[test]
+fn future_schema_with_unknown_field_warns_instead_of_failing() {
+    // A manifest written by a newer tfb-obs (extra top-level field, bumped
+    // schema) must parse best-effort with warnings — and must not fail a
+    // gate run on parse grounds.
+    let json = sample_manifest().to_json().replace(
+        "\"schema\": \"tfb-obs/v1\",",
+        "\"schema\": \"tfb-obs/v2\",\n  \"quantum_widget\": 7,",
+    );
+    let parsed = parse_manifest(&json).expect("best-effort parse");
+    assert!(
+        parsed.warnings.iter().any(|w| w.contains("tfb-obs/v2")),
+        "missing schema warning: {:?}",
+        parsed.warnings
+    );
+    assert!(
+        parsed.warnings.iter().any(|w| w.contains("quantum_widget")),
+        "missing unknown-field warning: {:?}",
+        parsed.warnings
+    );
+    // Known fields still land.
+    assert_eq!(parsed.manifest.wall_ns, 1_000_000_000);
+    assert_eq!(parsed.manifest.metrics.len(), 1);
+    // Same run as baseline and candidate: the gate passes.
+    let report = gate(
+        &[&parsed.manifest],
+        &parsed.manifest,
+        &GateTolerances::default(),
+    );
+    assert!(report.passed(), "{:?}", report.failures);
+}
+
+#[test]
+fn totally_unknown_schema_is_rejected() {
+    let json = sample_manifest()
+        .to_json()
+        .replace("tfb-obs/v1", "someone-else/v9");
+    assert!(parse_manifest(&json).is_err());
+}
+
+#[test]
+fn store_dedups_blobs_and_survives_reopen() {
+    let root = temp_store("dedup");
+    let m = sample_manifest();
+    {
+        let mut h = RunHistory::open(&root).expect("open");
+        h.append(&m).expect("append 1");
+        h.append(&m).expect("append 2"); // identical bytes -> same blob
+        let mut changed = sample_manifest();
+        changed.wall_ns += 1;
+        h.append(&changed).expect("append 3");
+        assert_eq!(h.entries().len(), 3);
+    }
+    // Identical manifests share one content-addressed blob.
+    let blobs = std::fs::read_dir(root.join("manifests")).unwrap().count();
+    assert_eq!(blobs, 2, "two distinct manifests -> two blobs");
+    // The index is durable: a fresh open sees every append.
+    let h = RunHistory::open(&root).expect("reopen");
+    assert_eq!(h.entries().len(), 3);
+    assert_eq!(h.resolve("first").unwrap().seq, 0);
+    assert_eq!(h.resolve("last").unwrap().seq, 2);
+    assert_eq!(h.resolve("1").unwrap().seq, 1);
+    // Id-prefix selector: the shared id resolves to the newest match.
+    let shared = h.entries()[0].id.clone();
+    assert_eq!(h.resolve(&shared).unwrap().seq, 1);
+    // Provenance is denormalized into the index.
+    assert_eq!(h.entries()[0].config_hash, "abc123");
+    assert_eq!(h.entries()[0].git_rev, "deadbeef");
+    // Blobs load back to the exact manifest.
+    let loaded = h.load(h.resolve("first").unwrap()).expect("load");
+    assert_eq!(loaded.manifest.to_json(), m.to_json());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn diff_sorts_worst_regression_first_and_renders_na_rss() {
+    let base = sample_manifest();
+    let mut new = sample_manifest();
+    // job.train doubles (+100%), the metric creeps +1%.
+    new.phases[1].total_ns *= 2;
+    new.phases[0].total_ns += new.phases[1].total_ns / 2;
+    new.metrics[0].value *= 1.01;
+    let rows = diff_manifests(&base, &new);
+    assert_eq!(rows[0].kind, DiffKind::Phase);
+    assert_eq!(rows[0].name, "job.train");
+    let rendered = render_diff(&rows);
+    // RSS was unmeasured on both sides: "n/a", never a fake 0 / -100%.
+    assert!(rendered.contains("n/a"), "{rendered}");
+    assert!(!rendered.contains("-100.0%"), "{rendered}");
+}
+
+#[test]
+fn gate_takes_min_over_baselines_and_median_over_metrics() {
+    let mk = |wall: u64, mae: f64| {
+        let mut m = sample_manifest();
+        m.wall_ns = wall;
+        m.phases.clear(); // isolate the wall/metric checks
+        m.counters.clear();
+        m.metrics[0].value = mae;
+        m
+    };
+    let b1 = mk(100_000, 1.0);
+    let b2 = mk(120_000, 1.1);
+    let b3 = mk(140_000, 1.2);
+    let baselines = [&b1, &b2, &b3];
+    let tol = GateTolerances::default(); // 10% resources, 5% metrics
+                                         // +9% over the *fastest* baseline and +3.6% over the *median* MAE: ok.
+    let ok = mk(109_000, 1.14);
+    let report = gate(&baselines, &ok, &tol);
+    assert!(report.passed(), "{:?}", report.failures);
+    // +15% wall over the min fails even though it beats the slowest run.
+    let slow = mk(115_000, 1.0);
+    let report = gate(&baselines, &slow, &tol);
+    assert!(!report.passed());
+    assert!(
+        report.failures[0].contains("wall_ns"),
+        "{:?}",
+        report.failures
+    );
+    // +9% MAE over the median fails the tighter metric tolerance.
+    let wrong = mk(100_000, 1.2);
+    let report = gate(&baselines, &wrong, &tol);
+    assert!(!report.passed());
+    assert!(report.failures[0].contains("mae"), "{:?}", report.failures);
+}

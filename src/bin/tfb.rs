@@ -1,7 +1,13 @@
 //! `tfb` — command-line driver for the benchmark pipeline.
 //!
 //! ```text
-//! tfb run <config.json> [--threads N] [--out DIR]   run a benchmark config
+//! tfb run <config.json> [--threads N] [--out DIR] [--history DIR|none]
+//!                                                   run a benchmark config
+//! tfb obs diff <A> <B> [--tol-pct P]                compare two recorded runs
+//! tfb obs trend [--metric M] [--limit N]            per-cell metric history
+//! tfb obs gate [--baseline X] [--candidate Y]
+//!              [--tol-pct P] [--tol-metric P] [--min-runs K]
+//!                                                   noise-aware regression gate
 //! tfb datasets                                      list the dataset registry
 //! tfb methods                                       list the method registry
 //! tfb characterize <dataset> [--max-len N]          score one dataset
@@ -10,25 +16,43 @@
 //!
 //! The config format is [`tfb::core::BenchmarkConfig`]; results land in the
 //! output directory as CSV plus a run log, and the MAE table prints to
-//! stdout.
+//! stdout. Every recorded run's manifest is also appended to the run
+//! history (default `.tfb-history/`, overridable with `--history` or the
+//! `TFB_HISTORY` environment variable; `--history none` disables it),
+//! which is what the `obs diff|trend|gate` subcommands read. Run
+//! selectors for those subcommands are either a manifest file path or a
+//! history selector: `first`, `last`, a 0-based index, or an id prefix.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tfb::core::report::{RankTable, ResultTable, RunLog};
-use tfb::core::{run_jobs, BenchmarkConfig, Metric, Parallelism};
+use tfb::core::{run_jobs, BenchmarkConfig, CoreError, Metric, Parallelism};
+use tfb::models::ModelError;
+use tfb_obs::history::{self, GateTolerances, RunHistory};
+use tfb_obs::Manifest;
+
+const USAGE: &str = "usage: tfb <command>
+  run CONFIG.json [--threads N] [--out DIR] [--history DIR|none]
+  obs diff A B [--tol-pct P] [--history DIR|none]
+  obs trend [--metric M] [--limit N] [--history DIR]
+  obs gate [--baseline X] [--candidate Y] [--tol-pct P] [--tol-metric P]
+           [--min-runs K] [--history DIR|none]
+  datasets
+  methods
+  characterize DATASET [--max-len N]
+  example-config";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("obs") => cmd_obs(&args[1..]),
         Some("datasets") => cmd_datasets(),
         Some("methods") => cmd_methods(),
         Some("characterize") => cmd_characterize(&args[1..]),
         Some("example-config") => cmd_example_config(),
         _ => {
-            eprintln!(
-                "usage: tfb <run CONFIG.json [--threads N] [--out DIR] | datasets | methods | characterize DATASET [--max-len N] | example-config>"
-            );
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }
@@ -39,6 +63,83 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Positional (non-flag) arguments. Every `--flag` consumes the next
+/// argument as its value.
+fn positionals(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            out.push(args[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Resolves the history root: `--history DIR`, then `TFB_HISTORY`, then
+/// `.tfb-history`. `none` (or `0`) disables the history entirely.
+fn history_root(args: &[String]) -> Option<PathBuf> {
+    let v = flag_value(args, "--history")
+        .or_else(|| std::env::var("TFB_HISTORY").ok())
+        .unwrap_or_else(|| ".tfb-history".to_string());
+    if v == "none" || v == "0" {
+        None
+    } else {
+        Some(PathBuf::from(v))
+    }
+}
+
+/// Opens the history lazily: only when a run selector actually needs it.
+fn open_history(args: &[String], cache: &mut Option<RunHistory>) -> Result<(), String> {
+    if cache.is_some() {
+        return Ok(());
+    }
+    let root = history_root(args).ok_or_else(|| {
+        "the run history is disabled (--history none) but a history selector was used".to_string()
+    })?;
+    *cache = Some(RunHistory::open(&root)?);
+    Ok(())
+}
+
+/// Loads a manifest from either a file path or a history selector
+/// (`first`, `last`, a 0-based index, or an id prefix). Returns the
+/// manifest plus the history seq it came from, when it came from one.
+fn load_manifest_arg(
+    args: &[String],
+    hist: &mut Option<RunHistory>,
+    arg: &str,
+) -> Result<(Manifest, Option<usize>), String> {
+    let path = Path::new(arg);
+    if path.is_file() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {arg}: {e}"))?;
+        let parsed = history::parse_manifest(&text)?;
+        for w in &parsed.warnings {
+            eprintln!("warning: {arg}: {w}");
+        }
+        return Ok((parsed.manifest, None));
+    }
+    open_history(args, hist)?;
+    let hist = hist.as_ref().expect("history just opened");
+    let entry = hist
+        .resolve(arg)
+        .ok_or_else(|| {
+            format!(
+                "no history entry matches {arg:?} ({} run(s) in {})",
+                hist.entries().len(),
+                hist.root().display()
+            )
+        })?
+        .clone();
+    let parsed = hist.load(&entry)?;
+    for w in &parsed.warnings {
+        eprintln!("warning: run {}: {w}", entry.id);
+    }
+    Ok((parsed.manifest, Some(entry.seq)))
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
@@ -71,13 +172,21 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     };
     // Observability is on by default; TFB_OBS=0 disables it for the run.
+    // A sink that cannot open disarms the run entirely: a half-armed run
+    // (events but no manifest, or the reverse) would poison cross-run
+    // comparisons, so the fallback is all-or-nothing.
     let obs_on = std::env::var("TFB_OBS").map(|v| v != "0").unwrap_or(true);
+    let mut obs_armed = false;
     if obs_on {
         let opts = tfb_obs::RunOptions {
             events_path: Some(out_dir.join("run.events.jsonl")),
         };
-        if let Err(e) = tfb_obs::start_run(opts) {
-            eprintln!("tfb run: could not open the observability sink: {e}");
+        match tfb_obs::start_run(opts) {
+            Ok(()) => obs_armed = true,
+            Err(e) => eprintln!(
+                "tfb run: could not open the observability sink: {e}; \
+                 falling back to a fully disarmed run (no events, manifest, or history entry)"
+            ),
         }
     }
     let mut log = RunLog::new();
@@ -99,8 +208,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
             }
             Err(e) => {
                 failures += 1;
+                // A numerically-aborted cell is marked in the CSV, not
+                // silently dropped — same for any other failure.
+                let status = match e {
+                    CoreError::Model(ModelError::Numerical(_)) => "aborted:numerical",
+                    _ => "failed",
+                };
+                table.push_failure(&job.dataset, &job.method, job.horizon, status);
                 log.log(format!(
-                    "{}/{}/F={}: FAILED: {e}",
+                    "{}/{}/F={}: FAILED ({status}): {e}",
                     job.dataset, job.method, job.horizon
                 ));
             }
@@ -122,25 +238,320 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if let Err(e) = log.write(&out_dir, "run") {
         eprintln!("could not write log: {e}");
     }
-    let meta = [
-        ("config_file", config_path.to_string()),
-        ("config_hash", tfb_obs::fnv1a_hex(text.as_bytes())),
-        ("git_rev", tfb_obs::git_rev().unwrap_or_default()),
-        ("threads", threads.to_string()),
-        ("jobs", jobs.len().to_string()),
-        ("failures", failures.to_string()),
-    ];
-    if let Some(manifest) = tfb_obs::finish_run(&meta) {
-        let path = out_dir.join("run.manifest.json");
-        match manifest.write(&path) {
-            Ok(()) => eprintln!("wrote {}", path.display()),
-            Err(e) => eprintln!("could not write the run manifest: {e}"),
+    if obs_armed {
+        let meta = [
+            ("config_file", config_path.to_string()),
+            ("config_hash", tfb_obs::fnv1a_hex(text.as_bytes())),
+            ("git_rev", tfb_obs::git_rev().unwrap_or_default()),
+            ("threads", threads.to_string()),
+            ("jobs", jobs.len().to_string()),
+            ("failures", failures.to_string()),
+        ];
+        if let Some(manifest) = tfb_obs::finish_run(&meta) {
+            let path = out_dir.join("run.manifest.json");
+            match manifest.write(&path) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("could not write the run manifest: {e}"),
+            }
+            if !manifest.health.is_clean() {
+                eprintln!(
+                    "health: {} nan, {} diverged, {} aborted cell(s) — see the manifest",
+                    manifest.health.nan_cells.len(),
+                    manifest.health.diverged_cells.len(),
+                    manifest.health.aborted_cells.len()
+                );
+            }
+            if let Some(hroot) = history_root(args) {
+                let appended = RunHistory::open(&hroot).and_then(|mut h| h.append(&manifest));
+                match appended {
+                    Ok(entry) => eprintln!(
+                        "history: run {} appended to {}",
+                        &entry.id[..8.min(entry.id.len())],
+                        hroot.display()
+                    ),
+                    Err(e) => eprintln!("could not append to the run history: {e}"),
+                }
+            }
         }
     }
     if failures > 0 {
         eprintln!("{failures} job(s) failed (see the run log)");
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_obs(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("diff") => cmd_obs_diff(&args[1..]),
+        Some("trend") => cmd_obs_trend(&args[1..]),
+        Some("gate") => cmd_obs_gate(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `tfb obs diff A B`: every comparable quantity of two runs, sorted by
+/// regression magnitude. With `--tol-pct` the exit code reports whether
+/// any regression exceeded the threshold.
+fn cmd_obs_diff(args: &[String]) -> ExitCode {
+    let pos = positionals(args);
+    let [base_sel, new_sel] = pos.as_slice() else {
+        eprintln!("usage: tfb obs diff <A> <B> [--tol-pct P] [--history DIR|none]");
+        return ExitCode::FAILURE;
+    };
+    let mut hist = None;
+    let base = match load_manifest_arg(args, &mut hist, base_sel) {
+        Ok((m, _)) => m,
+        Err(e) => {
+            eprintln!("tfb obs diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let new = match load_manifest_arg(args, &mut hist, new_sel) {
+        Ok((m, _)) => m,
+        Err(e) => {
+            eprintln!("tfb obs diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rows = history::diff_manifests(&base, &new);
+    print!("{}", history::render_diff(&rows));
+    if let Some(tol) = flag_value(args, "--tol-pct").and_then(|v| v.parse::<f64>().ok()) {
+        let over: Vec<&history::DiffRow> = rows
+            .iter()
+            .filter(|r| r.delta_pct().is_some_and(|d| d > tol))
+            .collect();
+        if !over.is_empty() {
+            eprintln!("{} quantity(ies) regressed beyond +{tol}%:", over.len());
+            for r in over {
+                eprintln!(
+                    "  {} {} ({:+.1}%)",
+                    r.kind.tag(),
+                    r.name,
+                    r.delta_pct().unwrap_or(f64::NAN)
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `tfb obs trend`: wall time and per-cell metric series over the run
+/// history, rendered as sparklines (oldest run on the left).
+fn cmd_obs_trend(args: &[String]) -> ExitCode {
+    let Some(root) = history_root(args) else {
+        eprintln!("tfb obs trend: the run history is disabled (--history none)");
+        return ExitCode::FAILURE;
+    };
+    let hist = match RunHistory::open(&root) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("tfb obs trend: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if hist.entries().is_empty() {
+        println!(
+            "history at {} is empty (run `tfb run` first)",
+            root.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let limit: usize = flag_value(args, "--limit")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+        .max(1);
+    let filter = flag_value(args, "--metric");
+    let entries = hist.entries();
+    let start = entries.len().saturating_sub(limit);
+    let mut manifests: Vec<Manifest> = Vec::new();
+    for entry in &entries[start..] {
+        match hist.load(entry) {
+            Ok(parsed) => {
+                for w in &parsed.warnings {
+                    eprintln!("warning: run {}: {w}", entry.id);
+                }
+                manifests.push(parsed.manifest);
+            }
+            Err(e) => eprintln!("warning: skipping run {}: {e}", entry.id),
+        }
+    }
+    let n = manifests.len();
+    println!("{} run(s) in {} (oldest on the left)", n, root.display());
+    let wall: Vec<f64> = manifests.iter().map(|m| m.wall_ns as f64 / 1e9).collect();
+    if filter.is_none() {
+        println!(
+            "  {:<44} {}  last {:.2} s",
+            "wall time",
+            history::sparkline(&wall),
+            wall.last().copied().unwrap_or(f64::NAN)
+        );
+    }
+    // Per-cell metric series; runs that lack a cell render as gaps.
+    let mut series: std::collections::BTreeMap<String, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    for (i, m) in manifests.iter().enumerate() {
+        for row in &m.metrics {
+            let key = format!(
+                "{}/{} h={} {}",
+                row.dataset, row.method, row.horizon, row.name
+            );
+            series.entry(key).or_insert_with(|| vec![f64::NAN; n])[i] = row.value;
+        }
+    }
+    let mut printed = 0usize;
+    for (key, values) in &series {
+        if let Some(f) = &filter {
+            if !key.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let last = values
+            .iter()
+            .rev()
+            .find(|v| v.is_finite())
+            .copied()
+            .unwrap_or(f64::NAN);
+        println!(
+            "  {:<44} {}  last {:.6}",
+            key,
+            history::sparkline(values),
+            last
+        );
+        printed += 1;
+    }
+    if printed == 0 {
+        match &filter {
+            Some(f) => println!("  (no metric matches {f:?})"),
+            None => println!("  (no per-cell metrics recorded yet)"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `tfb obs gate`: the noise-aware regression gate. Baselines are the
+/// `--min-runs` history entries starting at `--baseline` (default
+/// `first`), the candidate defaults to `last`; both also accept manifest
+/// file paths. `--tol-pct` covers wall time, phases, RSS and allocation
+/// counters; accuracy metrics use the tighter `--tol-metric`.
+fn cmd_obs_gate(args: &[String]) -> ExitCode {
+    let tol_pct: f64 = flag_value(args, "--tol-pct")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    let tol_metric: f64 = flag_value(args, "--tol-metric")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(GateTolerances::default().metric_pct);
+    let min_runs: usize = flag_value(args, "--min-runs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let baseline_sel = flag_value(args, "--baseline").unwrap_or_else(|| "first".to_string());
+    let candidate_sel = flag_value(args, "--candidate").unwrap_or_else(|| "last".to_string());
+    let mut hist = None;
+    let (candidate, candidate_seq) = match load_manifest_arg(args, &mut hist, &candidate_sel) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("tfb obs gate: cannot load the candidate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Baselines: a manifest file is a single baseline; a history selector
+    // anchors a window of up to `min_runs` entries (candidate excluded).
+    let mut baselines: Vec<Manifest> = Vec::new();
+    if Path::new(&baseline_sel).is_file() {
+        match load_manifest_arg(args, &mut hist, &baseline_sel) {
+            Ok((m, _)) => baselines.push(m),
+            Err(e) => {
+                eprintln!("tfb obs gate: cannot load the baseline: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        if let Err(e) = open_history(args, &mut hist) {
+            eprintln!("tfb obs gate: {e}");
+            return ExitCode::FAILURE;
+        }
+        let h = hist.as_ref().expect("history just opened");
+        let Some(anchor) = h.resolve(&baseline_sel).map(|e| e.seq) else {
+            eprintln!(
+                "tfb obs gate: no history entry matches {baseline_sel:?} ({} run(s) in {})",
+                h.entries().len(),
+                h.root().display()
+            );
+            return ExitCode::FAILURE;
+        };
+        for entry in h.entries().iter().skip(anchor) {
+            if baselines.len() >= min_runs {
+                break;
+            }
+            if Some(entry.seq) == candidate_seq {
+                continue;
+            }
+            match h.load(entry) {
+                Ok(parsed) => {
+                    for w in &parsed.warnings {
+                        eprintln!("warning: run {}: {w}", entry.id);
+                    }
+                    baselines.push(parsed.manifest);
+                }
+                Err(e) => eprintln!("warning: skipping baseline run {}: {e}", entry.id),
+            }
+        }
+    }
+    if baselines.is_empty() {
+        eprintln!("tfb obs gate: no baseline runs to compare against (only health checks ran)");
+    } else if baselines.len() < min_runs {
+        eprintln!(
+            "note: only {} baseline run(s) available (wanted {min_runs}); \
+             the noise aggregates are weaker",
+            baselines.len()
+        );
+    }
+    let tol = GateTolerances {
+        wall_pct: tol_pct,
+        rss_pct: tol_pct,
+        alloc_pct: tol_pct,
+        metric_pct: tol_metric,
+    };
+    let refs: Vec<&Manifest> = baselines.iter().collect();
+    let report = history::gate(&refs, &candidate, &tol);
+    println!(
+        "gate: {} check(s) against {} baseline run(s) \
+         (tolerance +{tol_pct}% resources, +{tol_metric}% metrics)",
+        report.checks.len(),
+        report.baseline_runs
+    );
+    // Whole-number quantities (nanoseconds, bytes, counts) print as
+    // integers; fractional accuracy metrics keep their precision.
+    let fmt = |v: f64| {
+        if v.fract() == 0.0 && v.abs() < 9.0e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v:.6}")
+        }
+    };
+    for c in report.checks.iter().filter(|c| !c.failed) {
+        println!(
+            "  ok   {:<44} {:>14} vs {:>14} ({:+.1}%)",
+            c.name,
+            fmt(c.candidate),
+            fmt(c.baseline),
+            c.delta_pct
+        );
+    }
+    for f in &report.failures {
+        println!("  FAIL {f}");
+    }
+    if report.passed() {
+        println!("gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("gate: FAIL ({} regression(s))", report.failures.len());
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_datasets() -> ExitCode {

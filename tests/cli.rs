@@ -75,6 +75,7 @@ fn run_executes_a_tiny_config() {
         }"#,
     )
     .unwrap();
+    let hist = dir.join("history");
     let out = tfb(&[
         "run",
         cfg_path.to_str().unwrap(),
@@ -82,6 +83,8 @@ fn run_executes_a_tiny_config() {
         "1",
         "--out",
         dir.to_str().unwrap(),
+        "--history",
+        hist.to_str().unwrap(),
     ]);
     assert!(
         out.status.success(),
@@ -92,5 +95,16 @@ fn run_executes_a_tiny_config() {
     assert!(text.contains("Naive") && text.contains("Mean"));
     assert!(dir.join("run.csv").exists());
     assert!(dir.join("run.log").exists());
+    // The recorded run lands in the history automatically.
+    assert!(hist.join("index.jsonl").exists());
     std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn obs_without_subcommand_prints_usage() {
+    let out = tfb(&["obs"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("usage"));
+    assert!(text.contains("obs diff") && text.contains("obs gate") && text.contains("obs trend"));
 }

@@ -1,0 +1,74 @@
+//! End-to-end numerical-health probes: a NaN-poisoned training cell must
+//! abort cleanly (no panic), land in the manifest's `health` section, and
+//! appear in the report CSV as a marked row rather than vanishing.
+
+use tfb::core::eval::{evaluate, EvalSettings};
+use tfb::core::method::build_method;
+use tfb::core::report::ResultTable;
+use tfb::core::CoreError;
+use tfb::data::{Domain, Frequency, MultiSeries, SplitRatio};
+use tfb::models::ModelError;
+use tfb::nn::TrainConfig;
+
+#[test]
+fn nan_training_cell_is_recorded_aborted_and_marked() {
+    // One process-wide recorder: this test owns the whole run.
+    tfb_obs::start_run(tfb_obs::RunOptions::default()).expect("recorder arms");
+
+    // Poison the training region so the z-score stats — and with them the
+    // model's first validation loss — are NaN.
+    let mut vals: Vec<f64> = (0..300).map(|i| (i as f64 * 0.1).sin()).collect();
+    for v in vals.iter_mut().take(150) {
+        *v = f64::NAN;
+    }
+    let series = MultiSeries::new("NanCell", Frequency::Hourly, Domain::Health, 1, vals).unwrap();
+    let quick = TrainConfig {
+        epochs: 3,
+        max_samples: 100,
+        ..TrainConfig::default()
+    };
+    let mut method = build_method("NLinear", 24, 12, 1, Some(quick)).unwrap();
+    let mut settings = EvalSettings::rolling(24, 12, SplitRatio::R712);
+    settings.max_windows = 4;
+
+    // The cell aborts with a structured numerical error — no panic, no
+    // silently-wrong forecast.
+    let err = evaluate(&mut method, &series, &settings).expect_err("NaN data cannot evaluate");
+    let status = match &err {
+        CoreError::Model(ModelError::Numerical(_)) => "aborted:numerical",
+        _ => "failed",
+    };
+    assert_eq!(status, "aborted:numerical", "got {err:?}");
+
+    // The manifest records the cell under health.nan_cells.
+    let manifest = tfb_obs::finish_run(&[]).expect("run was armed");
+    assert!(
+        manifest
+            .health
+            .nan_cells
+            .iter()
+            .any(|c| c == "NanCell/NLinear"),
+        "nan_cells = {:?}",
+        manifest.health.nan_cells
+    );
+    assert!(
+        manifest
+            .health
+            .aborted_cells
+            .iter()
+            .any(|c| c == "NanCell/NLinear"),
+        "aborted_cells = {:?}",
+        manifest.health.aborted_cells
+    );
+    assert!(!manifest.health.is_clean());
+
+    // The report CSV marks the cell instead of dropping it.
+    let mut table = ResultTable::default();
+    table.push_failure("NanCell", "NLinear", 12, status);
+    let csv = table.to_csv();
+    assert!(
+        csv.lines()
+            .any(|l| l.starts_with("NanCell,NLinear,12,") && l.contains("aborted:numerical")),
+        "csv:\n{csv}"
+    );
+}

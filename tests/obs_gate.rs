@@ -1,0 +1,270 @@
+//! End-to-end tests for the cross-run observability tooling: a real
+//! mini-grid run feeds the history, and `tfb obs gate` catches injected
+//! regressions in a tampered copy of its manifest.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use tfb_json::JsonValue;
+
+fn tfb(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_tfb"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tfb_gate_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const MINI_GRID: &str = r#"{
+    "datasets": ["ILI"], "methods": ["Naive", "LR"], "horizons": [12],
+    "lookbacks": [24], "strategy": {"rolling": {"stride": 8}},
+    "metrics": ["mae", "mse"], "max_windows": 4, "max_len": 500, "max_dim": 2
+}"#;
+
+fn run_mini_grid(dir: &Path) -> String {
+    let cfg_path = dir.join("cfg.json");
+    std::fs::write(&cfg_path, MINI_GRID).unwrap();
+    let hist = dir.join("history");
+    let out = tfb(&[
+        "run",
+        cfg_path.to_str().unwrap(),
+        "--threads",
+        "1",
+        "--out",
+        dir.to_str().unwrap(),
+        "--history",
+        hist.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        hist.join("index.jsonl").exists(),
+        "run lands in the history"
+    );
+    std::fs::read_to_string(dir.join("run.manifest.json")).expect("manifest written")
+}
+
+/// Doubles `total_ns` of every row of the phase path with the largest
+/// single row, and inflates the first `mae` metric by 10%. Returns the
+/// tampered JSON plus the names the gate must call out.
+fn tamper(manifest: &str) -> (String, String, String) {
+    let mut doc = JsonValue::parse(manifest).expect("manifest parses");
+    let JsonValue::Object(ref mut fields) = doc else {
+        panic!("manifest is an object")
+    };
+    // Find the slowest phase row's path.
+    let mut slow_path = String::new();
+    let mut slow_total = 0.0f64;
+    for (k, v) in fields.iter() {
+        if k != "phases" {
+            continue;
+        }
+        let JsonValue::Array(rows) = v else { continue };
+        for row in rows {
+            let total = row
+                .get("total_ns")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0);
+            if total > slow_total {
+                slow_total = total;
+                slow_path = row
+                    .get("path")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string();
+            }
+        }
+    }
+    assert!(!slow_path.is_empty(), "mini grid recorded phases");
+    let mut metric_name = String::new();
+    for (k, v) in fields.iter_mut() {
+        match k.as_str() {
+            "phases" => {
+                let JsonValue::Array(rows) = v else { continue };
+                for row in rows {
+                    let path = row
+                        .get("path")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("")
+                        .to_string();
+                    if path != slow_path {
+                        continue;
+                    }
+                    let JsonValue::Object(cells) = row else {
+                        continue;
+                    };
+                    for (ck, cv) in cells.iter_mut() {
+                        if ck == "total_ns" {
+                            if let JsonValue::Number(n) = cv {
+                                *n *= 2.0;
+                            }
+                        }
+                    }
+                }
+            }
+            "metrics" => {
+                let JsonValue::Array(rows) = v else { continue };
+                for row in rows.iter_mut() {
+                    if row.get("name").and_then(JsonValue::as_str) != Some("mae")
+                        || !metric_name.is_empty()
+                    {
+                        continue;
+                    }
+                    metric_name = format!(
+                        "{}/{}",
+                        row.get("dataset").and_then(JsonValue::as_str).unwrap_or(""),
+                        row.get("method").and_then(JsonValue::as_str).unwrap_or("")
+                    );
+                    let JsonValue::Object(cells) = row else {
+                        continue;
+                    };
+                    for (ck, cv) in cells.iter_mut() {
+                        if ck == "value" {
+                            if let JsonValue::Number(n) = cv {
+                                *n *= 1.1;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(!metric_name.is_empty(), "mini grid reported an mae metric");
+    (doc.pretty(), slow_path, metric_name)
+}
+
+#[test]
+fn gate_catches_injected_phase_and_metric_regressions() {
+    let dir = temp_dir("tamper");
+    let manifest = run_mini_grid(&dir);
+    let base_path = dir.join("run.manifest.json");
+
+    // An untouched copy of the same run passes the gate at 20% tolerance.
+    let copy_path = dir.join("copy.manifest.json");
+    std::fs::write(&copy_path, &manifest).unwrap();
+    let out = tfb(&[
+        "obs",
+        "gate",
+        "--baseline",
+        base_path.to_str().unwrap(),
+        "--candidate",
+        copy_path.to_str().unwrap(),
+        "--tol-pct",
+        "20",
+        "--history",
+        "none",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "unmodified copy must pass:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("gate: PASS"), "{stdout}");
+
+    // A 2x phase inflation and a +10% MAE drift must both fail, by name.
+    let (tampered, slow_path, metric_name) = tamper(&manifest);
+    let bad_path = dir.join("tampered.manifest.json");
+    std::fs::write(&bad_path, tampered).unwrap();
+    let out = tfb(&[
+        "obs",
+        "gate",
+        "--baseline",
+        base_path.to_str().unwrap(),
+        "--candidate",
+        bad_path.to_str().unwrap(),
+        "--tol-pct",
+        "20",
+        "--history",
+        "none",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "tampered manifest must fail the gate"
+    );
+    assert!(
+        stdout.contains(&format!("phase {slow_path}")),
+        "gate must name the inflated phase {slow_path:?}:\n{stdout}"
+    );
+    assert!(
+        stdout.contains(&metric_name) && stdout.contains("mae"),
+        "gate must name the drifted metric {metric_name:?} mae:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_and_trend_read_the_history() {
+    let dir = temp_dir("difftrend");
+    let _ = run_mini_grid(&dir);
+    let hist = dir.join("history");
+    let hist = hist.to_str().unwrap();
+    // Diff a run against itself via history selectors.
+    let out = tfb(&["obs", "diff", "first", "last", "--history", hist]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wall_ns"), "{stdout}");
+    assert!(stdout.contains("+0.0%"), "{stdout}");
+    // Trend renders a sparkline per recorded metric cell.
+    let out = tfb(&["obs", "trend", "--metric", "mae", "--history", hist]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("mae"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sink_failure_disarms_the_whole_run() {
+    // `--out` under a regular file: the events sink cannot open, so the
+    // run must fall back to fully disarmed — no events, no manifest, no
+    // history entry — instead of a half-armed run.
+    let dir = temp_dir("disarm");
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, "not a directory").unwrap();
+    let cfg_path = dir.join("cfg.json");
+    std::fs::write(&cfg_path, MINI_GRID).unwrap();
+    let hist = dir.join("history");
+    let out_dir = blocker.join("sub");
+    let out = tfb(&[
+        "run",
+        cfg_path.to_str().unwrap(),
+        "--threads",
+        "1",
+        "--out",
+        out_dir.to_str().unwrap(),
+        "--history",
+        hist.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("fully disarmed"),
+        "must announce the fallback once:\n{stderr}"
+    );
+    // The results table still prints; nothing observability-shaped exists.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Naive"));
+    assert!(!hist.exists(), "a disarmed run must not touch the history");
+    let _ = std::fs::remove_dir_all(&dir);
+}
