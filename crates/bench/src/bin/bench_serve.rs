@@ -1,0 +1,295 @@
+//! `bench_serve`: closed-loop load test of the forecast server.
+//!
+//! Trains a small LR artifact in-process, serves it on an ephemeral port
+//! through the real TCP + coalescer stack, and drives it with N
+//! keep-alive clients that each send the next `POST /forecast` the
+//! moment the previous reply lands. Reported: sustained throughput,
+//! client-observed latency quantiles, the coalescer's batch-size
+//! distribution (from the live `serve/batch_size` histogram), and the
+//! shed rate. Results are printed and written to `BENCH_serve.json` at
+//! the workspace root in the same rebar-style `{name, value, unit}`
+//! schema as `BENCH_engine.json`, so `tfb obs gate` and CI can guard
+//! serving throughput like any other benchmark.
+//!
+//! Interpreting the numbers: the model (LR on a TINY profile) is cheap
+//! by design — the benchmark measures the serving stack (HTTP parsing,
+//! coalescing, routing, backpressure), not the forecaster. Batch sizes
+//! above 1 under concurrent load demonstrate the coalescer is actually
+//! amortizing `predict_batch` calls; a shed rate of zero just means the
+//! bounded queue never filled at this client count.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use tfb_artifact::{fit, ServableModel};
+use tfb_bench::RunScale;
+use tfb_data::{ChronoSplit, Normalization, Normalizer};
+use tfb_json::JsonValue;
+use tfb_serve::{serve, CoalescerConfig, ServerConfig};
+
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static ALLOC: tfb_obs::alloc::CountingAllocator = tfb_obs::alloc::CountingAllocator;
+
+const LOOKBACK: usize = 24;
+const HORIZON: usize = 8;
+
+struct Entry {
+    name: String,
+    value: f64,
+    unit: &'static str,
+}
+
+fn push(entries: &mut Vec<Entry>, name: impl Into<String>, value: f64, unit: &'static str) {
+    entries.push(Entry {
+        name: name.into(),
+        value,
+        unit,
+    });
+}
+
+fn train_model() -> ServableModel {
+    let profile = tfb_datagen::profile_by_name("ILI").expect("ILI profile");
+    let series = profile.generate(tfb_datagen::Scale::TINY);
+    let split = ChronoSplit::split(&series, profile.split).expect("split");
+    let norm = Normalizer::fit(&split.train, Normalization::ZScore);
+    let normed = norm.apply(&series).expect("normalize");
+    let train = normed.slice_rows(0..split.val_start);
+    let artifact = fit(
+        "LR",
+        &train,
+        LOOKBACK,
+        HORIZON,
+        norm,
+        "bench_serve".to_string(),
+        None,
+    )
+    .expect("fit");
+    ServableModel::from_artifact(artifact).expect("servable")
+}
+
+/// One closed-loop client: a single keep-alive connection sending the
+/// next request as soon as the previous reply arrives. Returns the
+/// per-request latencies in microseconds and the shed (429) count.
+fn client_loop(addr: std::net::SocketAddr, body: &str, stop: &AtomicBool) -> (Vec<f64>, u64) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let head = format!(
+        "POST /forecast HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    let request = format!("{head}{body}");
+    let mut latencies = Vec::new();
+    let mut shed = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let t0 = Instant::now();
+        writer.write_all(request.as_bytes()).expect("write");
+        let status = read_reply(&mut reader);
+        latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+        match status {
+            200 => {}
+            429 => shed += 1,
+            other => panic!("unexpected status {other} under closed-loop load"),
+        }
+    }
+    (latencies, shed)
+}
+
+/// Reads one HTTP reply off the connection, discarding the body. Returns
+/// the status code.
+fn read_reply(reader: &mut BufReader<TcpStream>) -> u16 {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().expect("content-length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    status
+}
+
+/// Nearest-rank percentile of an already-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
+    let scale = RunScale::from_env();
+    let clients = 8usize;
+    let duration = match scale {
+        RunScale::Fast => Duration::from_secs(1),
+        RunScale::Default => Duration::from_secs(3),
+        RunScale::Full => Duration::from_secs(10),
+    };
+    let mut entries: Vec<Entry> = Vec::new();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("machine: {cores} core(s), {clients} closed-loop client(s), {duration:?} run");
+    push(&mut entries, "serve/cores", cores as f64, "count");
+    push(&mut entries, "serve/clients", clients as f64, "count");
+
+    let model = train_model();
+    let dim = model.dim();
+    let handle = serve(
+        model,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            coalescer: CoalescerConfig::default(),
+        },
+    )
+    .expect("serve");
+    let addr = handle.addr();
+    println!("serving LR (lookback {LOOKBACK}, horizon {HORIZON}, {dim}d) on {addr}");
+
+    let window: Vec<f64> = (0..LOOKBACK * dim)
+        .map(|i| (i as f64) * 0.13 - 2.0)
+        .collect();
+    let body = JsonValue::Object(vec![(
+        "window".to_string(),
+        JsonValue::Array(window.iter().map(|&v| JsonValue::Number(v)).collect()),
+    )])
+    .compact();
+
+    let stop = AtomicBool::new(false);
+    let (mut latencies, mut shed) = (Vec::new(), 0u64);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|_| scope.spawn(|| client_loop(addr, &body, &stop)))
+            .collect();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            let (lat, s) = w.join().expect("client thread");
+            latencies.extend(lat);
+            shed += s;
+        }
+    });
+    let elapsed = duration.as_secs_f64();
+    let total = latencies.len() as f64;
+    let throughput = total / elapsed;
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let mean = latencies.iter().sum::<f64>() / total.max(1.0);
+    let (p50, p95, p99) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0),
+    );
+    println!("throughput: {throughput:9.0} req/s ({total:.0} requests in {elapsed:.1} s)");
+    println!(
+        "latency:    {mean:7.0} us mean | {p50:7.0} us p50 | {p95:7.0} us p95 | {p99:7.0} us p99"
+    );
+    push(&mut entries, "serve/requests", total, "count");
+    push(&mut entries, "serve/throughput", throughput, "req/s");
+    push(&mut entries, "serve/latency_mean", mean, "us");
+    push(&mut entries, "serve/latency_p50", p50, "us");
+    push(&mut entries, "serve/latency_p95", p95, "us");
+    push(&mut entries, "serve/latency_p99", p99, "us");
+
+    // Coalescer behaviour straight from the live metric registry — the
+    // same numbers `GET /metrics` serves. With obs recording off
+    // (`--no-default-features`) the snapshot is empty and the batch
+    // entries are simply absent from the JSON.
+    let snapshot = tfb_obs::metrics_snapshot();
+    let counter = |name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v as f64)
+    };
+    let batches = counter("serve/batches").unwrap_or(0.0);
+    let batched = counter("serve/batched_requests").unwrap_or(0.0);
+    if let Some(h) = snapshot
+        .histograms
+        .iter()
+        .find(|h| h.name == "serve/batch_size")
+    {
+        println!(
+            "batching:   {batches:.0} batches | {:5.2} rows mean | {:.0} p50 | {:.0} p90 | {:.0} p99 | {:.0} max",
+            h.mean, h.p50, h.p90, h.p99, h.max
+        );
+        push(&mut entries, "serve/batches", batches, "count");
+        push(&mut entries, "serve/batch_mean", h.mean, "rows");
+        push(&mut entries, "serve/batch_p50", h.p50, "rows");
+        push(&mut entries, "serve/batch_p90", h.p90, "rows");
+        push(&mut entries, "serve/batch_p99", h.p99, "rows");
+        push(&mut entries, "serve/batch_max", h.max, "rows");
+        if batches > 0.0 {
+            push(
+                &mut entries,
+                "serve/requests_per_batch",
+                batched / batches,
+                "rows",
+            );
+        }
+    }
+    let shed_rate = if total > 0.0 {
+        100.0 * shed as f64 / total
+    } else {
+        0.0
+    };
+    println!("shedding:   {shed:.0} request(s) shed ({shed_rate:.2}%)");
+    push(&mut entries, "serve/shed", shed as f64, "count");
+    push(&mut entries, "serve/shed_rate", shed_rate, "%");
+    if let Some(rss) = tfb_obs::peak_rss_bytes() {
+        let mib = rss as f64 / (1024.0 * 1024.0);
+        println!("peak RSS:   {mib:.1} MiB");
+        push(&mut entries, "serve/peak_rss", mib, "MiB");
+    }
+
+    handle.shutdown();
+
+    let doc = JsonValue::Object(vec![(
+        "benchmarks".into(),
+        JsonValue::Array(
+            entries
+                .iter()
+                .map(|e| {
+                    JsonValue::Object(vec![
+                        ("name".into(), JsonValue::from(e.name.as_str())),
+                        ("value".into(), JsonValue::Number(e.value)),
+                        ("unit".into(), JsonValue::from(e.unit)),
+                    ])
+                })
+                .collect(),
+        ),
+    )]);
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_serve.json");
+    std::fs::write(&path, doc.pretty() + "\n").expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+}

@@ -7,7 +7,7 @@ use crate::config::{BenchmarkConfig, JobSpec, StrategyConfig};
 use crate::eval::{evaluate, EvalOutcome, EvalSettings, Strategy};
 use crate::method::build_method;
 use crate::{CoreError, Result};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use tfb_data::MultiSeries;
@@ -22,27 +22,66 @@ pub enum Parallelism {
     Threads(usize),
 }
 
-/// Shared, lazily generated dataset cache keyed by name.
+/// Shared, lazily generated dataset cache keyed by name, bounded by a
+/// small LRU so a long grid over many datasets cannot keep every
+/// generated series resident at once.
 ///
-/// The map lock only guards slot creation; generation happens outside it
-/// under the slot's own [`OnceLock`], which doubles as an entry-level
-/// "in-flight" marker: when two workers race on the same dataset, one
-/// generates while the other blocks on the slot, so a profile is never
-/// generated twice (and workers loading *different* datasets never wait on
-/// each other's generation).
-#[derive(Debug, Default)]
+/// The map lock only guards slot creation and recency bookkeeping;
+/// generation happens outside it under the slot's own [`OnceLock`], which
+/// doubles as an entry-level "in-flight" marker: when two workers race on
+/// the same dataset, one generates while the other blocks on the slot, so
+/// a resident profile is never generated twice (and workers loading
+/// *different* datasets never wait on each other's generation). Eviction
+/// only drops the cache's reference — waiters hold their own `Arc` clone
+/// of the slot, so an evicted in-flight generation still completes for
+/// everyone already blocked on it; a later request for the same name
+/// simply regenerates (datasets are deterministic, so results are
+/// unaffected — see `eviction_does_not_change_results`).
+#[derive(Debug)]
 pub struct DatasetCache {
-    slots: Mutex<HashMap<String, Arc<OnceLock<Arc<MultiSeries>>>>>,
+    state: Mutex<CacheState>,
     generations: AtomicUsize,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    slots: HashMap<String, Arc<OnceLock<Arc<MultiSeries>>>>,
+    /// Dataset names from least- to most-recently used; always in sync
+    /// with `slots` (same key set).
+    recency: VecDeque<String>,
+}
+
+impl Default for DatasetCache {
+    fn default() -> DatasetCache {
+        DatasetCache::with_capacity(DatasetCache::DEFAULT_CAPACITY)
+    }
 }
 
 impl DatasetCache {
-    /// An empty cache.
+    /// Default bound on resident datasets. Large enough that the usual
+    /// benchmark grids (a handful of datasets shared by every method and
+    /// horizon) never evict; small enough to bound memory on 25-dataset
+    /// sweeps.
+    pub const DEFAULT_CAPACITY: usize = 8;
+
+    /// An empty cache with the default capacity.
     pub fn new() -> DatasetCache {
         DatasetCache::default()
     }
 
-    /// Returns the dataset, generating it at most once across all threads.
+    /// An empty cache holding at most `capacity` datasets (`0` means
+    /// unbounded).
+    pub fn with_capacity(capacity: usize) -> DatasetCache {
+        DatasetCache {
+            state: Mutex::new(CacheState::default()),
+            generations: AtomicUsize::new(0),
+            capacity,
+        }
+    }
+
+    /// Returns the dataset, generating it at most once across all threads
+    /// while it stays resident.
     pub fn get_or_generate(
         &self,
         name: &str,
@@ -53,8 +92,25 @@ impl DatasetCache {
         let profile = tfb_datagen::profile_by_name(name)
             .ok_or_else(|| CoreError::Eval(format!("unknown dataset: {name}")))?;
         let slot = {
-            let mut slots = self.slots.lock().expect("dataset cache poisoned");
-            Arc::clone(slots.entry(name.to_string()).or_default())
+            let mut state = self.state.lock().expect("dataset cache poisoned");
+            state.recency.retain(|n| n != name);
+            state.recency.push_back(name.to_string());
+            let slot = Arc::clone(state.slots.entry(name.to_string()).or_default());
+            while self.capacity > 0 && state.slots.len() > self.capacity {
+                // The requested name was just pushed to the back, so with
+                // more entries than capacity (≥ 1) the front is another
+                // dataset.
+                let Some(victim) = state.recency.pop_front() else {
+                    break;
+                };
+                if victim == name {
+                    state.recency.push_back(victim);
+                    continue;
+                }
+                state.slots.remove(&victim);
+                tfb_obs::counter!("dataset_cache/evict").add(1);
+            }
+            slot
         };
         let mut generated = false;
         let series = slot.get_or_init(|| {
@@ -71,10 +127,21 @@ impl DatasetCache {
     }
 
     /// How many datasets have actually been generated (as opposed to served
-    /// from cache). With N distinct dataset names this is at most N no
-    /// matter how many threads share the cache.
+    /// from cache). With N distinct dataset names and no eviction (N ≤
+    /// capacity) this is at most N no matter how many threads share the
+    /// cache; past the capacity, re-requesting an evicted dataset
+    /// regenerates it.
     pub fn generation_count(&self) -> usize {
         self.generations.load(Ordering::Relaxed)
+    }
+
+    /// How many datasets are currently resident.
+    pub fn resident_count(&self) -> usize {
+        self.state
+            .lock()
+            .expect("dataset cache poisoned")
+            .slots
+            .len()
     }
 }
 
@@ -298,6 +365,59 @@ mod tests {
         let again = cache.get_or_generate("ILI", scale).unwrap();
         assert_eq!(cache.generation_count(), 2);
         assert!(!again.is_empty());
+    }
+
+    #[test]
+    fn cache_capacity_bounds_resident_datasets() {
+        // A cap-1 cache alternating between two datasets evicts on every
+        // switch but never holds more than one series.
+        let cache = DatasetCache::with_capacity(1);
+        let scale = tfb_datagen::Scale {
+            max_len: 400,
+            max_dim: 2,
+        };
+        for _ in 0..3 {
+            cache.get_or_generate("ILI", scale).unwrap();
+            assert_eq!(cache.resident_count(), 1);
+            cache.get_or_generate("ETTh1", scale).unwrap();
+            assert_eq!(cache.resident_count(), 1);
+        }
+        assert_eq!(cache.generation_count(), 6, "every switch regenerates");
+        // Repeats without a switch still hit.
+        cache.get_or_generate("ETTh1", scale).unwrap();
+        assert_eq!(cache.generation_count(), 6);
+    }
+
+    #[test]
+    fn eviction_does_not_change_results() {
+        // The same grid through a cap-1 cache (evicting on every dataset
+        // switch) and an unbounded one must produce bit-identical metrics:
+        // regeneration is deterministic, so eviction trades time, never
+        // correctness.
+        let mut cfg = tiny_config(&["Naive", "LR"]);
+        cfg.datasets = vec!["ILI".into(), "ETTh1".into(), "NASDAQ".into()];
+        // The grid is dataset-major; reorder it method-major so the
+        // dataset changes on every job and a cap-1 cache must evict each
+        // time.
+        let mut jobs = cfg.jobs();
+        jobs.sort_by(|a, b| (&a.method, &a.dataset).cmp(&(&b.method, &b.dataset)));
+        let run_with = |cache: &DatasetCache| -> Vec<_> {
+            jobs.iter()
+                .map(|job| {
+                    let o = run_job(&cfg, job, cache, None).unwrap();
+                    (o.dataset.clone(), o.method.clone(), o.metrics.clone())
+                })
+                .collect()
+        };
+        let evicting = DatasetCache::with_capacity(1);
+        let unbounded = DatasetCache::with_capacity(0);
+        let got = run_with(&evicting);
+        let want = run_with(&unbounded);
+        assert!(
+            evicting.generation_count() > unbounded.generation_count(),
+            "the cap-1 cache should actually have evicted and regenerated"
+        );
+        assert_eq!(got, want);
     }
 
     #[test]

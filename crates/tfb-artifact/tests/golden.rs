@@ -1,0 +1,100 @@
+//! The committed golden fixture: a checked-in `.tfba` file that makes
+//! any drift in the on-disk format (or in the deterministic training
+//! path that produces it) fail loudly.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! TFB_REGEN_GOLDEN=1 cargo test -p tfb-artifact --test golden
+//! ```
+
+use std::path::PathBuf;
+
+use tfb_artifact::{fit, ModelArtifact, ServableModel, MAGIC, SCHEMA_VERSION};
+use tfb_data::{ChronoSplit, Normalization, Normalizer};
+use tfb_datagen::profiles::{profile_by_name, Scale};
+
+const GOLDEN_LOOKBACK: usize = 16;
+const GOLDEN_HORIZON: usize = 4;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join("golden_lr.tfba")
+}
+
+/// The deterministic training run the fixture was produced by.
+fn golden_artifact() -> ModelArtifact {
+    let profile = profile_by_name("ILI").expect("ILI profile");
+    let series = profile.generate(Scale::TINY);
+    let split = ChronoSplit::split(&series, profile.split).expect("split");
+    let norm = Normalizer::fit(&split.train, Normalization::ZScore);
+    let normed = norm.apply(&series).expect("normalize");
+    let train = normed.slice_rows(0..split.val_start);
+    fit(
+        "LR",
+        &train,
+        GOLDEN_LOOKBACK,
+        GOLDEN_HORIZON,
+        norm,
+        "golden".to_string(),
+        None,
+    )
+    .expect("fit golden LR")
+}
+
+#[test]
+fn golden_fixture_matches_format_and_training() {
+    let path = fixture_path();
+    if std::env::var("TFB_REGEN_GOLDEN").is_ok() {
+        golden_artifact().save(&path).expect("write fixture");
+    }
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with TFB_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(bytes[..4], MAGIC, "fixture magic drifted");
+
+    // Decoding succeeds and the header survives exactly.
+    let decoded = ModelArtifact::from_bytes(&bytes).expect("decode golden fixture");
+    assert_eq!(decoded.method, "LR");
+    assert_eq!(decoded.config_hash, "golden");
+    assert_eq!(decoded.lookback, GOLDEN_LOOKBACK);
+    assert_eq!(decoded.horizon, GOLDEN_HORIZON);
+    assert_eq!(decoded.norm.scheme, Normalization::ZScore);
+    assert_eq!(decoded.norm.stats.offset.len(), decoded.dim);
+
+    // Re-encoding is byte-identical: the encoder and the committed
+    // format agree down to the checksum.
+    assert_eq!(
+        decoded.to_bytes(),
+        bytes,
+        "re-encoding the golden fixture changed its bytes — the writer drifted \
+         from tfb-artifact/v{SCHEMA_VERSION}"
+    );
+
+    // The fixture still loads into a working model.
+    let model = ServableModel::from_artifact(decoded.clone()).expect("servable");
+    let window = vec![1.0; GOLDEN_LOOKBACK * decoded.dim];
+    let forecast = model.forecast(&window).expect("forecast");
+    assert_eq!(forecast.len(), GOLDEN_HORIZON * decoded.dim);
+    assert!(forecast.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn deterministic_training_reproduces_the_golden_bytes() {
+    let path = fixture_path();
+    let Ok(bytes) = std::fs::read(&path) else {
+        // The other test reports the missing fixture with instructions.
+        return;
+    };
+    let retrained = golden_artifact().to_bytes();
+    assert_eq!(
+        retrained, bytes,
+        "retraining the golden model produced different bytes — the training \
+         path is no longer deterministic (or drifted); regenerate the fixture \
+         with TFB_REGEN_GOLDEN=1 if the change is intentional"
+    );
+}

@@ -36,6 +36,42 @@ impl LinearRegressionForecaster {
             coefs: None,
         }
     }
+
+    /// The fitted coefficient matrix (`(lookback + 1) x horizon`,
+    /// intercept row first), or `None` before training — what a model
+    /// artifact persists.
+    pub fn coefficients(&self) -> Option<&Matrix> {
+        self.coefs.as_ref()
+    }
+
+    /// Rebuilds a trained model from parts persisted by a model
+    /// artifact. Errors on a shape mismatch between `coefs` and
+    /// `(lookback + 1) x horizon` instead of producing a model that
+    /// panics at predict time.
+    pub fn from_parts(
+        lookback: usize,
+        horizon: usize,
+        lambda: f64,
+        max_samples: usize,
+        coefs: Matrix,
+    ) -> std::result::Result<Self, String> {
+        if coefs.rows() != lookback + 1 || coefs.cols() != horizon {
+            return Err(format!(
+                "coefficient shape mismatch: artifact {}x{}, model expects {}x{}",
+                coefs.rows(),
+                coefs.cols(),
+                lookback + 1,
+                horizon
+            ));
+        }
+        Ok(LinearRegressionForecaster {
+            lookback,
+            horizon,
+            lambda,
+            max_samples,
+            coefs: Some(coefs),
+        })
+    }
 }
 
 impl WindowForecaster for LinearRegressionForecaster {

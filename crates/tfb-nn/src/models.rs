@@ -121,6 +121,16 @@ impl DeepModelKind {
         }
     }
 
+    /// Inverse of [`label`](DeepModelKind::label): resolves a display
+    /// name back to its kind (used when loading a model artifact).
+    pub fn from_label(label: &str) -> Option<DeepModelKind> {
+        DeepModelKind::PAPER_BASELINES
+            .iter()
+            .copied()
+            .chain(std::iter::once(DeepModelKind::Mlp))
+            .find(|k| k.label() == label)
+    }
+
     /// The architecture family used by the Figure 9 family comparison.
     pub fn family(self) -> &'static str {
         match self {
@@ -898,6 +908,43 @@ impl DeepModel {
             return Err(ModelError::InsufficientData("no training windows"));
         }
         Ok((inputs, targets))
+    }
+}
+
+impl DeepModel {
+    /// The channel count fixed at training time (1 for channel-
+    /// independent models).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Owned copies of every parameter tensor with its shape, in
+    /// registration order — what a model artifact persists.
+    pub fn export_tensors(&self) -> Vec<(Vec<f64>, usize, usize)> {
+        self.store
+            .tensors()
+            .into_iter()
+            .map(|(v, r, c)| (v.to_vec(), r, c))
+            .collect()
+    }
+
+    /// Rebuilds a trained model from tensors exported by
+    /// [`export_tensors`](DeepModel::export_tensors). Architecture
+    /// construction is deterministic in `(kind, lookback, horizon)`, so
+    /// the registration sequence matches the exporting model's; any
+    /// count or shape mismatch (a corrupt or mislabeled artifact) is a
+    /// structured error, not a panic.
+    pub fn from_tensors(
+        kind: DeepModelKind,
+        lookback: usize,
+        horizon: usize,
+        dim: usize,
+        tensors: &[(Vec<f64>, usize, usize)],
+    ) -> std::result::Result<DeepModel, String> {
+        let mut model = DeepModel::new(kind, lookback, horizon, dim);
+        model.store.load_tensors(tensors)?;
+        model.trained = true;
+        Ok(model)
     }
 }
 

@@ -118,6 +118,44 @@ impl ParamStore {
             p.value.copy_from_slice(s);
         }
     }
+
+    /// Every parameter tensor with its shape, in registration order —
+    /// the serialization view a model artifact persists.
+    pub fn tensors(&self) -> Vec<(&[f64], usize, usize)> {
+        self.params
+            .iter()
+            .map(|p| (p.value.as_slice(), p.rows, p.cols))
+            .collect()
+    }
+
+    /// Loads tensors exported by [`ParamStore::tensors`] into a store
+    /// with an identical registration sequence. Errors (rather than
+    /// panics) on any count or shape mismatch, so a corrupt artifact
+    /// surfaces as a structured failure.
+    pub fn load_tensors(&mut self, tensors: &[(Vec<f64>, usize, usize)]) -> Result<(), String> {
+        if tensors.len() != self.params.len() {
+            return Err(format!(
+                "parameter count mismatch: artifact has {}, model expects {}",
+                tensors.len(),
+                self.params.len()
+            ));
+        }
+        for (i, (p, (value, rows, cols))) in self.params.iter().zip(tensors).enumerate() {
+            if p.rows != *rows || p.cols != *cols || value.len() != rows * cols {
+                return Err(format!(
+                    "tensor {i} shape mismatch: artifact {rows}x{cols} ({} values), \
+                     model expects {}x{}",
+                    value.len(),
+                    p.rows,
+                    p.cols
+                ));
+            }
+        }
+        for (p, (value, _, _)) in self.params.iter_mut().zip(tensors) {
+            p.value.copy_from_slice(value);
+        }
+        Ok(())
+    }
 }
 
 /// Adam optimizer state.

@@ -48,22 +48,24 @@ mod record;
 pub use record::test_support;
 #[cfg(feature = "record")]
 pub use record::{
-    enabled, finish_run, health_event, record_grad_norm, report_metric, start_run, Counter, Gauge,
-    Histogram, RunOptions, Span, RESERVOIR_CAP,
+    enabled, finish_run, health_event, metrics_snapshot, record_grad_norm, report_metric,
+    start_run, Counter, Gauge, Histogram, RunOptions, Span, RESERVOIR_CAP,
 };
 
 #[cfg(not(feature = "record"))]
 mod noop;
 #[cfg(not(feature = "record"))]
 pub use noop::{
-    enabled, finish_run, health_event, record_grad_norm, report_metric, start_run, Counter, Gauge,
-    Histogram, RunOptions, Span,
+    enabled, finish_run, health_event, metrics_snapshot, record_grad_norm, report_metric,
+    start_run, Counter, Gauge, Histogram, RunOptions, Span,
 };
 
 #[cfg(feature = "alloc-track")]
 pub mod alloc;
 
-pub use manifest::{HealthKind, HealthSummary, HistSummary, Manifest, MetricRow, PhaseRow};
+pub use manifest::{
+    HealthKind, HealthSummary, HistSummary, Manifest, MetricRow, MetricsSnapshot, PhaseRow,
+};
 
 /// Opens a span named `$name`, optionally attaching `key = value` fields.
 ///

@@ -346,6 +346,71 @@ impl Manifest {
     }
 }
 
+/// A point-in-time view of the live counter/gauge/histogram registries,
+/// taken without finishing the run. This is what a serving process dumps
+/// from `GET /metrics` while it keeps handling traffic.
+///
+/// Entries are sorted by name so the rendering is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Sorted counter totals.
+    pub counters: Vec<(String, u64)>,
+    /// Sorted gauge last-values.
+    pub gauges: Vec<(String, f64)>,
+    /// Sorted histogram summaries.
+    pub histograms: Vec<HistSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Pretty JSON (two-space indent), schema `tfb-obs-metrics/v1`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n  \"schema\": \"tfb-obs-metrics/v1\",\n");
+        out.push_str("  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_str(&mut out, k);
+            out.push_str(&format!(": {v}"));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        out.push_str("  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_str(&mut out, k);
+            out.push_str(": ");
+            json_num(&mut out, *v);
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        out.push_str("  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_str(&mut out, &h.name);
+            out.push_str(": ");
+            json_hist(&mut out, h);
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
 /// Nearest-rank percentile of an ascending-sorted slice: the smallest
 /// sample with at least `q`% of the mass at or below it. Empty input
 /// yields NaN.

@@ -4,7 +4,7 @@
 //! rest of the workspace provably free — there is no atomic, no branch,
 //! nothing for the optimizer to even remove.
 
-use crate::manifest::{HealthKind, Manifest};
+use crate::manifest::{HealthKind, Manifest, MetricsSnapshot};
 use std::fmt::Display;
 use std::path::PathBuf;
 
@@ -44,6 +44,12 @@ pub fn start_run(_opts: RunOptions) -> std::io::Result<()> {
 #[inline(always)]
 pub fn finish_run(_meta: &[(&str, String)]) -> Option<Manifest> {
     None
+}
+
+/// Always empty; there are no live registries in the no-op build.
+#[inline(always)]
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    MetricsSnapshot::default()
 }
 
 /// Zero-sized span guard.

@@ -14,7 +14,7 @@
 
 use crate::manifest::{
     json_num, json_str, percentile, HealthKind, HealthSummary, HistSummary, Manifest, MetricRow,
-    PhaseRow,
+    MetricsSnapshot, PhaseRow,
 };
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -271,6 +271,60 @@ pub fn finish_run(meta: &[(&str, String)]) -> Option<Manifest> {
         metrics,
         health,
     })
+}
+
+/// A point-in-time [`MetricsSnapshot`] of the live registries, without
+/// disarming the run. Only entries touched since `start_run` appear;
+/// same-name entries from different call sites merge; every table is
+/// sorted by name. A long-lived serving process calls this from its
+/// `/metrics` endpoint while requests keep flowing.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let mut counters: HashMap<&'static str, u64> = HashMap::new();
+    for c in COUNTERS.lock().expect("counter registry poisoned").iter() {
+        if c.dirty.load(Ordering::Relaxed) {
+            *counters.entry(c.name).or_insert(0) += c.value.load(Ordering::Relaxed);
+        }
+    }
+    let mut counters: Vec<(String, u64)> = counters
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    counters.sort();
+    let mut gauges: HashMap<&'static str, f64> = HashMap::new();
+    for g in GAUGES.lock().expect("gauge registry poisoned").iter() {
+        if g.dirty.load(Ordering::Relaxed) {
+            gauges.insert(g.name, g.get());
+        }
+    }
+    let mut gauges: Vec<(String, f64)> = gauges
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut hist_pool: HashMap<&'static str, Reservoir> = HashMap::new();
+    for h in HISTOGRAMS
+        .lock()
+        .expect("histogram registry poisoned")
+        .iter()
+    {
+        let r = h.samples.lock().expect("histogram poisoned");
+        if r.seen > 0 {
+            hist_pool
+                .entry(h.name)
+                .or_insert_with(Reservoir::new)
+                .merge(&r);
+        }
+    }
+    let mut histograms: Vec<HistSummary> = hist_pool
+        .into_iter()
+        .map(|(name, r)| r.summary(name.to_string()))
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    }
 }
 
 /// Reports one per-cell accuracy metric (MAE, MSE, …) into the manifest's

@@ -1,0 +1,314 @@
+//! The adaptive micro-batching coalescer: concurrent forecast requests
+//! are collected for up to a configurable deadline (or until a batch
+//! fills) and funneled through one `predict_batch` call.
+//!
+//! State machine of the batcher thread:
+//!
+//! ```text
+//!          ┌──────── queue empty ────────┐
+//!          v                             │
+//!     [ Idle ] ── request arrives ─> [ Filling ]
+//!          ^                             │  batch full, or
+//!          │                             │  max_delay since first
+//!          │                             v
+//!          └──── route responses ── [ Predict ]
+//! ```
+//!
+//! * **Idle** — the thread sleeps on a condvar; a `submit` wakes it.
+//! * **Filling** — from the first request's arrival, the thread keeps
+//!   accepting more until `max_batch` requests are queued or
+//!   `max_delay` has elapsed (`Condvar::wait_timeout` with the
+//!   remaining budget — an early-arriving full batch skips the wait).
+//! * **Predict** — the drained batch becomes one matrix, one
+//!   `predict_batch` call, and each output row is routed back to its
+//!   submitter's channel. `predict_batch` is bit-identical to per-row
+//!   `predict`, so batching never changes a forecast.
+//!
+//! Backpressure: the queue is bounded by `queue_cap`; a `submit` into a
+//! full queue fails immediately with [`SubmitError::QueueFull`] (the
+//! server maps it to `429 Retry-After`) — memory stays bounded no
+//! matter the offered load. Shutdown drains: requests already queued
+//! are predicted and answered before the thread exits; later submits
+//! fail with [`SubmitError::ShutDown`].
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use tfb_math::matrix::Matrix;
+
+/// A model the coalescer can drive: fixed-width inputs, fixed-width
+/// outputs, one batched predict. Implemented by
+/// [`tfb_artifact::ServableModel`]; tests substitute doubles.
+pub trait BatchPredictor: Send + Sync {
+    /// Values per input window.
+    fn input_len(&self) -> usize;
+
+    /// Values per forecast.
+    fn output_len(&self) -> usize;
+
+    /// Predicts every row of `windows`; row `r` of the result answers
+    /// input row `r`. Must be bit-identical to predicting row by row.
+    fn predict_batch(&self, windows: &Matrix) -> Result<Matrix, String>;
+}
+
+impl BatchPredictor for tfb_artifact::ServableModel {
+    fn input_len(&self) -> usize {
+        self.lookback() * self.dim()
+    }
+
+    fn output_len(&self) -> usize {
+        self.horizon() * self.dim()
+    }
+
+    fn predict_batch(&self, windows: &Matrix) -> Result<Matrix, String> {
+        self.forecast_batch(windows).map_err(|e| e.to_string())
+    }
+}
+
+/// Tuning knobs for the coalescer.
+#[derive(Debug, Clone)]
+pub struct CoalescerConfig {
+    /// Largest batch one predict call carries.
+    pub max_batch: usize,
+    /// Longest a request waits for co-travelers after arriving first.
+    pub max_delay: Duration,
+    /// Bound on queued (accepted, not yet predicted) requests; submits
+    /// beyond it shed with [`SubmitError::QueueFull`].
+    pub queue_cap: usize,
+}
+
+impl Default for CoalescerConfig {
+    fn default() -> Self {
+        CoalescerConfig {
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+            queue_cap: 256,
+        }
+    }
+}
+
+/// Why a submit was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — retry later (HTTP 429).
+    QueueFull,
+    /// The coalescer is draining for shutdown (HTTP 503).
+    ShutDown,
+    /// The window's length does not match the model (HTTP 400).
+    BadWindow {
+        /// Values the request carried.
+        got: usize,
+        /// Values the model expects.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "request queue is full"),
+            SubmitError::ShutDown => write!(f, "server is shutting down"),
+            SubmitError::BadWindow { got, expected } => {
+                write!(f, "window carries {got} values, model expects {expected}")
+            }
+        }
+    }
+}
+
+/// One queued request: its window and the channel its forecast returns
+/// on.
+struct Pending {
+    window: Vec<f64>,
+    reply: mpsc::Sender<Result<Vec<f64>, String>>,
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    notify: Condvar,
+    cfg: CoalescerConfig,
+}
+
+/// The micro-batching front of a [`BatchPredictor`]. Submitters block
+/// on their reply channel; one background thread forms and runs
+/// batches.
+pub struct Coalescer {
+    shared: Arc<Shared>,
+    input_len: usize,
+    batcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Coalescer {
+    /// Starts the batcher thread over `predictor`.
+    pub fn start(predictor: Arc<dyn BatchPredictor>, cfg: CoalescerConfig) -> Coalescer {
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        assert!(cfg.queue_cap > 0, "queue_cap must be positive");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutting_down: false,
+            }),
+            notify: Condvar::new(),
+            cfg,
+        });
+        let input_len = predictor.input_len();
+        let worker_shared = Arc::clone(&shared);
+        let batcher = std::thread::Builder::new()
+            .name("tfb-serve-batcher".to_string())
+            .spawn(move || batcher_loop(worker_shared, predictor))
+            .expect("spawn batcher thread");
+        Coalescer {
+            shared,
+            input_len,
+            batcher: Some(batcher),
+        }
+    }
+
+    /// Enqueues one window. Returns the channel its forecast (or a
+    /// predict error) arrives on, or sheds immediately when the queue
+    /// is full, the length is wrong, or shutdown has begun.
+    pub fn submit(
+        &self,
+        window: Vec<f64>,
+    ) -> Result<mpsc::Receiver<Result<Vec<f64>, String>>, SubmitError> {
+        if window.len() != self.input_len {
+            return Err(SubmitError::BadWindow {
+                got: window.len(),
+                expected: self.input_len,
+            });
+        }
+        let (reply, rx) = mpsc::channel();
+        {
+            let mut state = self.shared.state.lock().expect("coalescer state poisoned");
+            if state.shutting_down {
+                return Err(SubmitError::ShutDown);
+            }
+            if state.queue.len() >= self.shared.cfg.queue_cap {
+                tfb_obs::counter!("serve/shed").add(1);
+                return Err(SubmitError::QueueFull);
+            }
+            state.queue.push_back(Pending { window, reply });
+        }
+        self.shared.notify.notify_one();
+        Ok(rx)
+    }
+
+    /// Queued-but-unpredicted request count (test/metrics hook).
+    pub fn backlog(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("coalescer state poisoned")
+            .queue
+            .len()
+    }
+
+    /// Drains and stops: already-queued requests are still predicted
+    /// and answered; subsequent submits shed with `ShutDown`.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared
+            .state
+            .lock()
+            .expect("coalescer state poisoned")
+            .shutting_down = true;
+        self.shared.notify.notify_all();
+    }
+}
+
+impl Drop for Coalescer {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn batcher_loop(shared: Arc<Shared>, predictor: Arc<dyn BatchPredictor>) {
+    let cfg = &shared.cfg;
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().expect("coalescer state poisoned");
+            // Idle: sleep until a request arrives or shutdown drains out.
+            while state.queue.is_empty() {
+                if state.shutting_down {
+                    return;
+                }
+                state = shared.notify.wait(state).expect("coalescer state poisoned");
+            }
+            // Filling: from the first request's arrival, wait for
+            // co-travelers until the batch fills or the delay budget is
+            // spent. Shutdown short-circuits the wait, not the drain.
+            let deadline = Instant::now() + cfg.max_delay;
+            while state.queue.len() < cfg.max_batch && !state.shutting_down {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (next, timeout) = shared
+                    .notify
+                    .wait_timeout(state, deadline - now)
+                    .expect("coalescer state poisoned");
+                state = next;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let take = state.queue.len().min(cfg.max_batch);
+            state.queue.drain(..take).collect::<Vec<Pending>>()
+        };
+        // Predict outside the lock so submitters never wait on the model.
+        run_batch(&*predictor, batch);
+    }
+}
+
+fn run_batch(predictor: &dyn BatchPredictor, batch: Vec<Pending>) {
+    if batch.is_empty() {
+        return;
+    }
+    let n = batch.len();
+    tfb_obs::histogram!("serve/batch_size").record(n as f64);
+    tfb_obs::counter!("serve/batched_requests").add(n as u64);
+    tfb_obs::counter!("serve/batches").add(1);
+    let width = predictor.input_len();
+    let mut flat = Vec::with_capacity(n * width);
+    for p in &batch {
+        flat.extend_from_slice(&p.window);
+    }
+    let windows = match Matrix::from_vec(n, width, flat) {
+        Ok(m) => m,
+        Err(e) => {
+            for p in batch {
+                let _ = p.reply.send(Err(e.to_string()));
+            }
+            return;
+        }
+    };
+    match predictor.predict_batch(&windows) {
+        Ok(out) => {
+            let w = predictor.output_len();
+            debug_assert_eq!(out.cols(), w);
+            for (r, p) in batch.into_iter().enumerate() {
+                let _ = p.reply.send(Ok(out.row(r).to_vec()));
+            }
+        }
+        Err(e) => {
+            for p in batch {
+                let _ = p.reply.send(Err(e.clone()));
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! A deliberately small HTTP/1.1 subset over `std::net` — request line,
+//! headers, `Content-Length` bodies, keep-alive by default — just
+//! enough protocol for the forecast endpoints and their test clients.
+//! No chunked encoding, no TLS, no external dependencies.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request body (a forecast window is a few KiB; this
+/// bounds a hostile `Content-Length`).
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// Largest accepted header section.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component, query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty without `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client allows connection reuse.
+    pub keep_alive: bool,
+}
+
+/// Why a read produced no request.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// Clean EOF before any bytes — the peer closed an idle connection.
+    Closed,
+    /// The read timed out while the connection was idle; the caller
+    /// loops (and re-checks its shutdown flag).
+    IdleTimeout,
+    /// A malformed or oversized request; respond 400 and close.
+    Malformed(String),
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request from a connection whose read timeout is set.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> ReadOutcome {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return ReadOutcome::Closed,
+        Ok(_) => {}
+        Err(e) if is_timeout(&e) && line.is_empty() => return ReadOutcome::IdleTimeout,
+        Err(e) => return ReadOutcome::Malformed(format!("request line: {e}")),
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Malformed(format!("bad request line {:?}", line.trim_end()));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Malformed(format!("unsupported version {version:?}"));
+    }
+    let method = method.to_ascii_uppercase();
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    let mut header_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => return ReadOutcome::Malformed("eof inside headers".to_string()),
+            Ok(n) => header_bytes += n,
+            Err(e) => return ReadOutcome::Malformed(format!("headers: {e}")),
+        }
+        if header_bytes > MAX_HEADER_BYTES {
+            return ReadOutcome::Malformed("header section too large".to_string());
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => match value.parse::<usize>() {
+                Ok(n) if n <= MAX_BODY_BYTES => content_length = n,
+                Ok(n) => return ReadOutcome::Malformed(format!("body of {n} bytes exceeds cap")),
+                Err(_) => return ReadOutcome::Malformed("bad content-length".to_string()),
+            },
+            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            _ => {}
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        if let Err(e) = reader.read_exact(&mut body) {
+            return ReadOutcome::Malformed(format!("body: {e}"));
+        }
+    }
+    ReadOutcome::Request(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+/// One response to write.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+    /// `Retry-After` seconds (set on 429).
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            retry_after: None,
+        }
+    }
+
+    /// A JSON `{"error": …}` response.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut body = String::from("{\"error\": ");
+        json_escape(&mut body, message);
+        body.push_str("}\n");
+        Response::json(status, body)
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Escapes `s` as a JSON string into `out`.
+pub fn json_escape(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes `response`, advertising `keep-alive` or `close`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len()
+    );
+    if let Some(secs) = response.retry_after {
+        head.push_str(&format!("retry-after: {secs}\r\n"));
+    }
+    head.push_str(if keep_alive {
+        "connection: keep-alive\r\n\r\n"
+    } else {
+        "connection: close\r\n\r\n"
+    });
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// The read timeout handlers run with: long enough that a closed-loop
+/// client never trips it mid-request, short enough that graceful
+/// shutdown notices promptly on idle connections.
+pub fn read_timeout() -> Duration {
+    Duration::from_millis(250)
+}

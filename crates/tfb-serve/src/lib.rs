@@ -1,0 +1,27 @@
+//! `tfb-serve`: a std-only threaded HTTP/1.1 forecast server over a
+//! loaded model artifact.
+//!
+//! The serving path is the benchmark's batched-inference engine turned
+//! online: concurrent `POST /forecast` requests are coalesced for up to
+//! a small deadline ([`coalescer`]) and answered through one
+//! `predict_batch` call whose outputs are bit-identical to per-request
+//! `predict` — so serving changes latency, never forecasts. A bounded
+//! queue sheds overload with `429 Retry-After` (backpressure instead of
+//! unbounded memory), `GET /metrics` exposes the live
+//! [`tfb_obs`] counters and latency/batch-size histograms, and
+//! SIGTERM/SIGINT (or `POST /shutdown`) drain gracefully: every
+//! accepted request is answered before the process exits.
+//!
+//! The crate is buildable with obs recording off
+//! (`--no-default-features` at the binary): every probe compiles to a
+//! zero-sized no-op and `/metrics` returns an empty snapshot.
+
+pub mod coalescer;
+pub mod http;
+pub mod server;
+
+pub use coalescer::{BatchPredictor, Coalescer, CoalescerConfig, SubmitError};
+pub use server::{
+    install_signal_handlers, serve, serve_with, signal_received, ModelInfo, ServerConfig,
+    ServerHandle,
+};

@@ -1,0 +1,351 @@
+//! The threaded HTTP server: a non-blocking accept loop, one handler
+//! thread per connection (keep-alive), the coalescer as the single
+//! inference path, and graceful drain on shutdown.
+//!
+//! Endpoints:
+//!
+//! * `POST /forecast` — body `{"window": [f64; lookback*dim]}`
+//!   (time-major); answers `{"method", "horizon", "dim", "forecast"}`.
+//!   Wrong shapes are 400, a full queue is `429` + `Retry-After`,
+//!   draining is 503.
+//! * `GET /healthz` — model geometry and `"status": "ok"`.
+//! * `GET /metrics` — a live [`tfb_obs`] snapshot (counters, gauges,
+//!   latency/batch-size histograms) as JSON.
+//! * `POST /shutdown` — begins graceful drain (the admin hook tests and
+//!   scripts use; SIGTERM/SIGINT do the same via
+//!   [`install_signal_handlers`]).
+//!
+//! Shutdown sequence: stop accepting; handler threads finish their
+//! in-flight request and stop reading new ones; the coalescer predicts
+//! what is already queued, answers it, and exits. Nothing accepted is
+//! dropped; nothing new is admitted.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use tfb_artifact::ServableModel;
+use tfb_json::JsonValue;
+
+use crate::coalescer::{Coalescer, CoalescerConfig, SubmitError};
+use crate::http::{self, ReadOutcome, Request, Response};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Coalescer tuning.
+    pub coalescer: CoalescerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            coalescer: CoalescerConfig::default(),
+        }
+    }
+}
+
+/// What `/healthz` and forecast responses report about the model.
+#[derive(Debug, Clone)]
+pub struct ModelInfo {
+    /// Method id.
+    pub method: String,
+    /// Look-back window length.
+    pub lookback: usize,
+    /// Forecast horizon.
+    pub horizon: usize,
+    /// Channel count.
+    pub dim: usize,
+}
+
+impl ModelInfo {
+    /// The info a loaded artifact reports.
+    pub fn of(model: &ServableModel) -> ModelInfo {
+        ModelInfo {
+            method: model.method().to_string(),
+            lookback: model.lookback(),
+            horizon: model.horizon(),
+            dim: model.dim(),
+        }
+    }
+}
+
+struct ServerCtx {
+    info: ModelInfo,
+    coalescer: Coalescer,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`shutdown`](ServerHandle::shutdown) also drains cleanly.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<ServerCtx>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Flags the server to drain (idempotent; `POST /shutdown` and the
+    /// signal path funnel here).
+    pub fn request_shutdown(&self) {
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested from any path.
+    pub fn shutdown_requested(&self) -> bool {
+        self.ctx.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a drain and blocks until the accept loop, every
+    /// connection handler and the coalescer have finished.
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until a drain is requested elsewhere (`POST /shutdown` or
+    /// a signal observed via `poll`), then drains.
+    pub fn run_until<F: FnMut() -> bool>(self, mut poll: F) {
+        while !self.shutdown_requested() && !poll() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.request_shutdown();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds, spawns the accept loop, and returns immediately.
+pub fn serve(model: ServableModel, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let info = ModelInfo::of(&model);
+    serve_with(Arc::new(model), info, config)
+}
+
+/// [`serve`] over any [`BatchPredictor`] — the seam integration tests
+/// use to drive the HTTP surface with controlled (e.g. slow) models.
+pub fn serve_with(
+    predictor: Arc<dyn crate::coalescer::BatchPredictor>,
+    info: ModelInfo,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let coalescer = Coalescer::start(predictor, config.coalescer);
+    let ctx = Arc::new(ServerCtx {
+        info,
+        coalescer,
+        shutdown: AtomicBool::new(false),
+    });
+    let accept_ctx = Arc::clone(&ctx);
+    let accept = std::thread::Builder::new()
+        .name("tfb-serve-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_ctx))
+        .expect("spawn accept thread");
+    Ok(ServerHandle {
+        addr,
+        ctx,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !ctx.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_ctx = Arc::clone(&ctx);
+                match std::thread::Builder::new()
+                    .name("tfb-serve-conn".to_string())
+                    .spawn(move || handle_connection(stream, conn_ctx))
+                {
+                    Ok(h) => handlers.push(h),
+                    Err(_) => tfb_obs::counter!("serve/spawn_failures").add(1),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+        // Reap finished handlers so the vec stays bounded by live
+        // connections, not by connection history.
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: Arc<ServerCtx>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(http::read_timeout()));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match http::read_request(&mut reader) {
+            ReadOutcome::Request(req) => {
+                let started = Instant::now();
+                tfb_obs::counter!("serve/requests").add(1);
+                let response = route(&req, &ctx);
+                tfb_obs::histogram!("serve/request_us")
+                    .record(started.elapsed().as_secs_f64() * 1e6);
+                if response.status >= 400 {
+                    tfb_obs::counter!("serve/http_errors").add(1);
+                }
+                // Draining? Answer the in-flight request, then close.
+                let keep_alive = req.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
+                if http::write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive
+                {
+                    return;
+                }
+            }
+            ReadOutcome::Closed => return,
+            ReadOutcome::IdleTimeout => continue,
+            ReadOutcome::Malformed(msg) => {
+                tfb_obs::counter!("serve/http_errors").add(1);
+                let _ = http::write_response(&mut writer, &Response::error(400, &msg), false);
+                return;
+            }
+        }
+    }
+}
+
+fn route(req: &Request, ctx: &ServerCtx) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/forecast") => forecast(req, ctx),
+        ("GET", "/healthz") => healthz(ctx),
+        ("GET", "/metrics") => Response::json(200, tfb_obs::metrics_snapshot().to_json()),
+        ("POST", "/shutdown") => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            Response::json(200, "{\"status\": \"draining\"}\n")
+        }
+        (_, "/forecast") | (_, "/shutdown") => Response::error(405, "use POST"),
+        (_, "/healthz") | (_, "/metrics") => Response::error(405, "use GET"),
+        _ => Response::error(404, "unknown path"),
+    }
+}
+
+fn healthz(ctx: &ServerCtx) -> Response {
+    let m = &ctx.info;
+    Response::json(
+        200,
+        format!(
+            "{{\"status\": \"ok\", \"method\": {}, \"lookback\": {}, \"horizon\": {}, \
+             \"dim\": {}}}\n",
+            {
+                let mut s = String::new();
+                http::json_escape(&mut s, &m.method);
+                s
+            },
+            m.lookback,
+            m.horizon,
+            m.dim
+        ),
+    )
+}
+
+fn forecast(req: &Request, ctx: &ServerCtx) -> Response {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let parsed = match JsonValue::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+    };
+    let Some(window_val) = parsed.get("window") else {
+        return Response::error(400, "missing \"window\" field");
+    };
+    let Some(items) = window_val.as_array() else {
+        return Response::error(400, "\"window\" must be an array of numbers");
+    };
+    let mut window = Vec::with_capacity(items.len());
+    for v in items {
+        match v.as_f64() {
+            Some(x) => window.push(x),
+            None => return Response::error(400, "\"window\" must be an array of numbers"),
+        }
+    }
+    let rx = match ctx.coalescer.submit(window) {
+        Ok(rx) => rx,
+        Err(SubmitError::QueueFull) => {
+            let mut r = Response::error(429, "request queue is full, retry shortly");
+            r.retry_after = Some(1);
+            return r;
+        }
+        Err(SubmitError::ShutDown) => return Response::error(503, "server is draining"),
+        Err(e @ SubmitError::BadWindow { .. }) => return Response::error(400, &e.to_string()),
+    };
+    match rx.recv() {
+        Ok(Ok(forecast)) => {
+            let m = &ctx.info;
+            let doc = JsonValue::Object(vec![
+                ("method".to_string(), JsonValue::String(m.method.clone())),
+                ("horizon".to_string(), JsonValue::Number(m.horizon as f64)),
+                ("dim".to_string(), JsonValue::Number(m.dim as f64)),
+                (
+                    "forecast".to_string(),
+                    JsonValue::Array(forecast.into_iter().map(JsonValue::Number).collect()),
+                ),
+            ]);
+            Response::json(200, doc.compact() + "\n")
+        }
+        Ok(Err(model_err)) => Response::error(500, &model_err),
+        Err(mpsc::RecvError) => Response::error(500, "prediction worker dropped the request"),
+    }
+}
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT/SIGTERM arrived since
+/// [`install_signal_handlers`] ran.
+pub fn signal_received() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
+}
+
+/// Installs SIGINT and SIGTERM handlers that flag
+/// [`signal_received`] so the CLI can drain gracefully. No-op on
+/// non-unix platforms (Ctrl-C then terminates the process directly).
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    unsafe extern "C" fn on_signal(_sig: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+/// See the unix implementation.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}

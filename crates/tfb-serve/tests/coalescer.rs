@@ -1,0 +1,242 @@
+//! Coalescer guarantees under concurrency: responses route to the
+//! correct submitter, batching never changes a forecast, the bounded
+//! queue sheds, and shutdown drains instead of dropping.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use tfb_artifact::{fit, ServableModel};
+use tfb_data::{ChronoSplit, Normalization, Normalizer};
+use tfb_datagen::profiles::{profile_by_name, Scale};
+use tfb_math::matrix::Matrix;
+use tfb_serve::{BatchPredictor, Coalescer, CoalescerConfig, SubmitError};
+
+/// Output row = `[2 * first input value, sum of inputs]` — a response
+/// that betrays any routing mix-up.
+struct EchoPredictor {
+    input_len: usize,
+    batch_sizes: Mutex<Vec<usize>>,
+    delay: Duration,
+}
+
+impl EchoPredictor {
+    fn new(input_len: usize, delay: Duration) -> EchoPredictor {
+        EchoPredictor {
+            input_len,
+            batch_sizes: Mutex::new(Vec::new()),
+            delay,
+        }
+    }
+}
+
+impl BatchPredictor for EchoPredictor {
+    fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    fn output_len(&self) -> usize {
+        2
+    }
+
+    fn predict_batch(&self, windows: &Matrix) -> Result<Matrix, String> {
+        self.batch_sizes.lock().unwrap().push(windows.rows());
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        let mut out = Matrix::zeros(windows.rows(), 2);
+        for r in 0..windows.rows() {
+            let row = windows.row(r);
+            out.data_mut()[r * 2] = row[0] * 2.0;
+            out.data_mut()[r * 2 + 1] = row.iter().sum();
+        }
+        Ok(out)
+    }
+}
+
+fn submit_concurrently(
+    coalescer: &Arc<Coalescer>,
+    n: usize,
+    width: usize,
+) -> Vec<(Vec<f64>, Vec<f64>)> {
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let coalescer = Arc::clone(coalescer);
+                scope.spawn(move || {
+                    let window: Vec<f64> = (0..width).map(|j| (i * width + j) as f64).collect();
+                    let rx = coalescer.submit(window.clone()).expect("submit");
+                    let forecast = rx.recv().expect("reply").expect("predict");
+                    (window, forecast)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    results
+}
+
+#[test]
+fn responses_route_to_the_correct_submitter() {
+    let predictor = Arc::new(EchoPredictor::new(4, Duration::from_millis(1)));
+    let coalescer = Arc::new(Coalescer::start(
+        Arc::clone(&predictor) as Arc<dyn BatchPredictor>,
+        CoalescerConfig::default(),
+    ));
+    for (window, forecast) in submit_concurrently(&coalescer, 48, 4) {
+        assert_eq!(forecast.len(), 2);
+        assert_eq!(
+            forecast[0],
+            window[0] * 2.0,
+            "window {window:?} got a stranger's reply"
+        );
+        assert_eq!(forecast[1], window.iter().sum::<f64>());
+    }
+}
+
+#[test]
+fn concurrent_load_actually_batches() {
+    // A slow predictor guarantees later submitters pile up while the
+    // first batch runs.
+    let predictor = Arc::new(EchoPredictor::new(3, Duration::from_millis(20)));
+    let coalescer = Arc::new(Coalescer::start(
+        Arc::clone(&predictor) as Arc<dyn BatchPredictor>,
+        CoalescerConfig {
+            max_batch: 16,
+            max_delay: Duration::from_millis(2),
+            queue_cap: 256,
+        },
+    ));
+    submit_concurrently(&coalescer, 32, 3);
+    let sizes = predictor.batch_sizes.lock().unwrap().clone();
+    assert_eq!(
+        sizes.iter().sum::<usize>(),
+        32,
+        "every request predicted exactly once"
+    );
+    assert!(
+        sizes.iter().any(|&s| s > 1),
+        "no batch exceeded size 1 under concurrent load: {sizes:?}"
+    );
+    assert!(
+        sizes.iter().all(|&s| s <= 16),
+        "a batch exceeded max_batch: {sizes:?}"
+    );
+}
+
+#[test]
+fn batched_output_equals_sequential_predict_bitwise() {
+    // Real model end to end: train a small LR, serve it through the
+    // coalescer under concurrency, and compare every response to the
+    // sequential forecast of the same window.
+    let profile = profile_by_name("ILI").expect("profile");
+    let series = profile.generate(Scale::TINY);
+    let split = ChronoSplit::split(&series, profile.split).expect("split");
+    let norm = Normalizer::fit(&split.train, Normalization::ZScore);
+    let normed = norm.apply(&series).expect("normalize");
+    let train = normed.slice_rows(0..split.val_start);
+    let artifact = fit("LR", &train, 16, 8, norm, String::new(), None).expect("fit");
+    let dim = artifact.dim;
+    let reference = ServableModel::from_artifact(artifact.clone()).expect("servable");
+    let served = Arc::new(ServableModel::from_artifact(artifact).expect("servable"));
+
+    let coalescer = Arc::new(Coalescer::start(
+        served as Arc<dyn BatchPredictor>,
+        CoalescerConfig::default(),
+    ));
+    for (window, forecast) in submit_concurrently(&coalescer, 40, 16 * dim) {
+        let sequential = reference.forecast(&window).expect("sequential forecast");
+        assert_eq!(forecast.len(), sequential.len());
+        let same = forecast
+            .iter()
+            .zip(&sequential)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(
+            same,
+            "batched forecast differs bitwise from sequential predict"
+        );
+    }
+}
+
+#[test]
+fn full_queue_sheds_instead_of_growing() {
+    let predictor = Arc::new(EchoPredictor::new(2, Duration::from_millis(50)));
+    let coalescer = Coalescer::start(
+        Arc::clone(&predictor) as Arc<dyn BatchPredictor>,
+        CoalescerConfig {
+            max_batch: 1,
+            max_delay: Duration::from_millis(1),
+            queue_cap: 2,
+        },
+    );
+    // Occupy the batcher, then fill the bounded queue.
+    let mut held = Vec::new();
+    held.push(coalescer.submit(vec![0.0, 0.0]).expect("first submit"));
+    std::thread::sleep(Duration::from_millis(10)); // batcher now busy
+    let mut shed = 0;
+    for i in 0..8 {
+        match coalescer.submit(vec![i as f64, 0.0]) {
+            Ok(rx) => held.push(rx),
+            Err(SubmitError::QueueFull) => shed += 1,
+            Err(other) => panic!("unexpected submit error {other:?}"),
+        }
+    }
+    assert!(shed > 0, "no request was shed past a full queue");
+    assert!(coalescer.backlog() <= 2, "queue exceeded its bound");
+    // Accepted requests still finish.
+    for rx in held {
+        rx.recv().expect("reply").expect("predict");
+    }
+}
+
+#[test]
+fn wrong_window_length_is_rejected_at_submit() {
+    let predictor = Arc::new(EchoPredictor::new(4, Duration::ZERO));
+    let coalescer = Coalescer::start(
+        predictor as Arc<dyn BatchPredictor>,
+        CoalescerConfig::default(),
+    );
+    match coalescer.submit(vec![1.0; 3]) {
+        Err(SubmitError::BadWindow {
+            got: 3,
+            expected: 4,
+        }) => {}
+        other => panic!("expected BadWindow, got {other:?}"),
+    }
+}
+
+#[test]
+fn shutdown_drains_accepted_requests() {
+    let predictor = Arc::new(EchoPredictor::new(2, Duration::from_millis(15)));
+    let coalescer = Coalescer::start(
+        Arc::clone(&predictor) as Arc<dyn BatchPredictor>,
+        CoalescerConfig {
+            max_batch: 2,
+            max_delay: Duration::from_millis(1),
+            queue_cap: 64,
+        },
+    );
+    let answered = Arc::new(AtomicUsize::new(0));
+    let receivers: Vec<_> = (0..10)
+        .map(|i| coalescer.submit(vec![i as f64, 1.0]).expect("submit"))
+        .collect();
+    let waiters: Vec<_> = receivers
+        .into_iter()
+        .map(|rx| {
+            let answered = Arc::clone(&answered);
+            std::thread::spawn(move || {
+                rx.recv().expect("drained reply").expect("predict");
+                answered.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    coalescer.shutdown();
+    for w in waiters {
+        w.join().unwrap();
+    }
+    assert_eq!(
+        answered.load(Ordering::SeqCst),
+        10,
+        "shutdown dropped accepted requests instead of draining"
+    );
+}

@@ -8,6 +8,9 @@
 //! tfb obs gate [--baseline X] [--candidate Y]
 //!              [--tol-pct P] [--tol-metric P] [--min-runs K]
 //!                                                   noise-aware regression gate
+//! tfb train --method M --dataset D --out MODEL.tfba
+//!                                                   fit and save a model artifact
+//! tfb serve --model MODEL.tfba [--addr HOST:PORT]   serve forecasts over HTTP
 //! tfb datasets                                      list the dataset registry
 //! tfb methods                                       list the method registry
 //! tfb characterize <dataset> [--max-len N]          score one dataset
@@ -37,6 +40,10 @@ const USAGE: &str = "usage: tfb <command>
   obs trend [--metric M] [--limit N] [--history DIR]
   obs gate [--baseline X] [--candidate Y] [--tol-pct P] [--tol-metric P]
            [--min-runs K] [--history DIR|none]
+  train --method M --dataset D --out MODEL.tfba [--lookback N] [--horizon N]
+        [--norm ZScore|MinMax|None] [--max-len N] [--max-dim N] [--epochs N]
+  serve --model MODEL.tfba [--addr HOST:PORT] [--max-batch N]
+        [--max-delay-ms N] [--queue-cap N]
   datasets
   methods
   characterize DATASET [--max-len N]
@@ -47,6 +54,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("obs") => cmd_obs(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("datasets") => cmd_datasets(),
         Some("methods") => cmd_methods(),
         Some("characterize") => cmd_characterize(&args[1..]),
@@ -552,6 +561,165 @@ fn cmd_obs_gate(args: &[String]) -> ExitCode {
         eprintln!("gate: FAIL ({} regression(s))", report.failures.len());
         ExitCode::FAILURE
     }
+}
+
+/// `tfb train`: fit one method on one dataset and save the parameters as
+/// a `tfb-artifact/v1` file. The normalization sequence is exactly the
+/// offline pipeline's: fit the normalizer on the raw training split,
+/// normalize the whole series, train on the pre-validation rows — so a
+/// served forecast is bit-identical to the offline predict of the same
+/// window.
+fn cmd_train(args: &[String]) -> ExitCode {
+    let Some(out) = flag_value(args, "--out") else {
+        eprintln!("tfb train: missing --out MODEL.tfba");
+        return ExitCode::FAILURE;
+    };
+    let method = flag_value(args, "--method").unwrap_or_else(|| "LR".to_string());
+    let dataset = flag_value(args, "--dataset").unwrap_or_else(|| "ILI".to_string());
+    let lookback: usize = flag_value(args, "--lookback")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(36);
+    let horizon: usize = flag_value(args, "--horizon")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let max_len: usize = flag_value(args, "--max-len")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000);
+    let max_dim: usize = flag_value(args, "--max-dim")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+    let norm_name = flag_value(args, "--norm").unwrap_or_else(|| "ZScore".to_string());
+    let Some(norm_kind) = tfb::data::Normalization::parse_name(&norm_name) else {
+        eprintln!("tfb train: unknown normalization {norm_name:?} (ZScore, MinMax or None)");
+        return ExitCode::FAILURE;
+    };
+    let scale = tfb::datagen::Scale { max_len, max_dim };
+    let Some(handle) = tfb::core::data::load(&dataset, scale) else {
+        eprintln!("tfb train: unknown dataset {dataset} (try `tfb datasets`)");
+        return ExitCode::FAILURE;
+    };
+    let split = match tfb::data::ChronoSplit::split(&handle.series, handle.profile.split) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tfb train: cannot split {dataset}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let norm = tfb::data::Normalizer::fit(&split.train, norm_kind);
+    let normed = match norm.apply(&handle.series) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("tfb train: cannot normalize {dataset}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let train = normed.slice_rows(0..split.val_start);
+    let deep_config = flag_value(args, "--epochs")
+        .and_then(|v| v.parse().ok())
+        .map(|epochs| tfb::nn::TrainConfig {
+            epochs,
+            ..tfb::nn::TrainConfig::default()
+        });
+    let descriptor = format!(
+        "{dataset}|{method}|L={lookback}|H={horizon}|{norm_name}|len={max_len}|dim={max_dim}"
+    );
+    let config_hash = tfb_obs::fnv1a_hex(descriptor.as_bytes());
+    eprintln!(
+        "training {method} on {dataset} ({} x {}, lookback {lookback}, horizon {horizon})...",
+        train.len(),
+        train.dim()
+    );
+    let artifact = match tfb::artifact::fit(
+        &method,
+        &train,
+        lookback,
+        horizon,
+        norm,
+        config_hash,
+        deep_config,
+    ) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tfb train: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out_path = PathBuf::from(&out);
+    if let Err(e) = artifact.save(&out_path) {
+        eprintln!("tfb train: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let size = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {out} ({size} bytes, {} v{}, method {}, {}d lookback {} horizon {})",
+        tfb::artifact::format::SCHEMA_NAME,
+        tfb::artifact::format::SCHEMA_VERSION,
+        artifact.method,
+        artifact.dim,
+        artifact.lookback,
+        artifact.horizon
+    );
+    ExitCode::SUCCESS
+}
+
+/// `tfb serve`: load an artifact and answer `POST /forecast` until a
+/// SIGTERM/SIGINT (or `POST /shutdown`) drains the server. The listen
+/// address prints to stdout so scripts can discover an ephemeral port.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let Some(model_path) = flag_value(args, "--model") else {
+        eprintln!("tfb serve: missing --model MODEL.tfba");
+        return ExitCode::FAILURE;
+    };
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let mut coalescer = tfb::serve::CoalescerConfig::default();
+    if let Some(n) = flag_value(args, "--max-batch").and_then(|v| v.parse().ok()) {
+        coalescer.max_batch = n;
+    }
+    if let Some(ms) = flag_value(args, "--max-delay-ms").and_then(|v| v.parse().ok()) {
+        coalescer.max_delay = std::time::Duration::from_millis(ms);
+    }
+    if let Some(n) = flag_value(args, "--queue-cap").and_then(|v| v.parse().ok()) {
+        coalescer.queue_cap = n;
+    }
+    let model = match tfb::artifact::ServableModel::load(Path::new(&model_path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("tfb serve: cannot load {model_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Arm the live metric registry so `GET /metrics` has data; the
+    // serving process writes no event log or manifest file.
+    let obs_on = std::env::var("TFB_OBS").map(|v| v != "0").unwrap_or(true);
+    let mut obs_armed = false;
+    if obs_on {
+        match tfb_obs::start_run(tfb_obs::RunOptions::default()) {
+            Ok(()) => obs_armed = true,
+            Err(e) => eprintln!("tfb serve: could not arm observability: {e}"),
+        }
+    }
+    tfb::serve::install_signal_handlers();
+    eprintln!(
+        "serving {} (lookback {}, horizon {}, {} channel(s)) from {model_path}",
+        model.method(),
+        model.lookback(),
+        model.horizon(),
+        model.dim()
+    );
+    let handle = match tfb::serve::serve(model, tfb::serve::ServerConfig { addr, coalescer }) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("tfb serve: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", handle.addr());
+    handle.run_until(tfb::serve::signal_received);
+    eprintln!("draining and shutting down...");
+    if obs_armed {
+        let _ = tfb_obs::finish_run(&[("command", "serve".to_string())]);
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_datasets() -> ExitCode {

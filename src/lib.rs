@@ -14,7 +14,11 @@
 //! * [`models`] — statistical and machine-learning forecasters;
 //! * [`nn`] — neural substrate and sixteen miniature deep baselines;
 //! * [`core`] — the unified pipeline (method registry, fixed/rolling
-//!   evaluation, eight metrics, parallel runner, reporting).
+//!   evaluation, eight metrics, parallel runner, reporting);
+//! * [`artifact`] — the versioned `tfb-artifact/v1` binary model format
+//!   (train once, serve anywhere);
+//! * [`serve`] — a threaded HTTP/1.1 forecast server with micro-batching
+//!   and backpressure over a loaded artifact.
 //!
 //! ## Quickstart
 //!
@@ -30,12 +34,14 @@
 //! assert!(outcome.metric(tfb::core::Metric::Mae).is_finite());
 //! ```
 
+pub use tfb_artifact as artifact;
 pub use tfb_characteristics as characteristics;
 pub use tfb_data as data;
 pub use tfb_datagen as datagen;
 pub use tfb_math as math;
 pub use tfb_models as models;
 pub use tfb_nn as nn;
+pub use tfb_serve as serve;
 
 /// The unified pipeline plus a couple of facade conveniences.
 pub mod core {

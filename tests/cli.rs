@@ -101,6 +101,157 @@ fn run_executes_a_tiny_config() {
 }
 
 #[test]
+fn train_without_out_fails_with_usage_hint() {
+    let out = tfb(&["train", "--method", "LR", "--dataset", "ILI"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}
+
+#[test]
+fn train_rejects_unknown_method_and_dataset() {
+    let out = tfb(&["train", "--method", "NotAMethod", "--out", "/dev/null"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("NotAMethod"), "{err}");
+
+    let out = tfb(&["train", "--dataset", "NotADataset", "--out", "/dev/null"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("NotADataset"), "{err}");
+}
+
+#[test]
+fn serve_without_model_fails_with_usage_hint() {
+    let out = tfb(&["serve"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--model"));
+}
+
+#[test]
+fn serve_missing_artifact_path_is_a_structured_error() {
+    let out = tfb(&["serve", "--model", "/nonexistent/model.tfba"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot load"), "{err}");
+}
+
+#[test]
+fn serve_malformed_artifact_is_a_structured_error_not_a_panic() {
+    let dir = std::env::temp_dir().join(format!("tfb_cli_bad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.tfba");
+    std::fs::write(&path, b"definitely not an artifact").unwrap();
+    let out = tfb(&["serve", "--model", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("magic"), "wanted a decode error, got: {err}");
+    assert!(
+        !err.contains("panicked"),
+        "a malformed artifact must not panic the CLI: {err}"
+    );
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn train_then_serve_round_trip_over_http() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = std::env::temp_dir().join(format!("tfb_cli_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("model.tfba");
+    let out = tfb(&[
+        "train",
+        "--method",
+        "LR",
+        "--dataset",
+        "ILI",
+        "--lookback",
+        "16",
+        "--horizon",
+        "4",
+        "--max-len",
+        "500",
+        "--max-dim",
+        "2",
+        "--out",
+        model.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(model.exists());
+
+    // Serve on an ephemeral port, discover it from stdout, then ask the
+    // server to drain itself over HTTP.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tfb"))
+        .args([
+            "serve",
+            "--model",
+            model.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("listen line format")
+        .to_string();
+
+    let request = |method: &str, path: &str, body: &str| -> (u16, String) {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(
+                format!(
+                    "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        let status = reply
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        let body = reply
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    };
+
+    let (status, body) = request("GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    let window: Vec<String> = (0..16 * 2).map(|i| format!("{}.5", i)).collect();
+    let (status, body) = request(
+        "POST",
+        "/forecast",
+        &format!("{{\"window\": [{}]}}", window.join(", ")),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"forecast\""), "{body}");
+    let (status, _) = request("POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    let exit = child.wait().expect("serve exits");
+    assert!(exit.success(), "serve did not exit cleanly after drain");
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
 fn obs_without_subcommand_prints_usage() {
     let out = tfb(&["obs"]);
     assert!(!out.status.success());
