@@ -5,8 +5,10 @@
 //! keep-alive clients that each send the next `POST /forecast` the
 //! moment the previous reply lands. Reported: sustained throughput,
 //! client-observed latency quantiles, the coalescer's batch-size
-//! distribution (from the live `serve/batch_size` histogram), and the
-//! shed rate. Results are printed and written to `BENCH_serve.json` at
+//! distribution (from the live `serve/batch_size` histogram), the
+//! server-side per-phase latency breakdown (parse / queue / collect /
+//! infer / dispatch / write, from the request traces), and the shed
+//! rate. Results are printed and written to `BENCH_serve.json` at
 //! the workspace root in the same rebar-style `{name, value, unit}`
 //! schema as `BENCH_engine.json`, so `tfb obs gate` and CI can guard
 //! serving throughput like any other benchmark.
@@ -254,6 +256,36 @@ fn run() {
                 "serve/requests_per_batch",
                 batched / batches,
                 "rows",
+            );
+        }
+    }
+    // Per-phase tail-latency attribution from the request traces: where
+    // a request's wall time went (parse / queue / collect / infer /
+    // dispatch / write, plus the end-to-end total). The p99 is a bucket
+    // upper bound — coarse, but stable across runs, which is what the
+    // JSON consumers compare.
+    let trace = tfb_obs::trace::snapshot();
+    let phases: Vec<_> = trace.phases.iter().filter(|p| p.count > 0).collect();
+    if !phases.is_empty() {
+        println!("phase breakdown (server-side attribution):");
+        for p in &phases {
+            let mean_us = p.sum_s / p.count as f64 * 1e6;
+            let p99_us = p.quantile(0.99) * 1e6;
+            println!(
+                "  {:<9} {mean_us:8.1} us mean | {p99_us:9.0} us p99 | {} sample(s)",
+                p.phase, p.count
+            );
+            push(
+                &mut entries,
+                format!("serve/phase_{}_mean", p.phase),
+                mean_us,
+                "us",
+            );
+            push(
+                &mut entries,
+                format!("serve/phase_{}_p99", p.phase),
+                p99_us,
+                "us",
             );
         }
     }

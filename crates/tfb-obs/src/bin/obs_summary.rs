@@ -235,16 +235,31 @@ fn main() -> ExitCode {
         .max()
         .unwrap_or(1)
         .max(1);
-    println!("\nphase breakdown");
+    // `self` is the exclusive time: a path's total minus its direct
+    // children's totals (clamped at zero against overlap from
+    // concurrent spans) — where the time was actually spent, not just
+    // which subtree it flowed through.
+    println!("\nphase breakdown (total | self)");
     for (p, (count, total)) in &by_path {
+        let prefix = format!("{p}.");
+        let child_total: u64 = by_path
+            .iter()
+            .filter(|(c, _)| {
+                c.strip_prefix(prefix.as_str())
+                    .is_some_and(|rest| !rest.contains('.'))
+            })
+            .map(|(_, (_, t))| *t)
+            .sum();
+        let self_ns = total.saturating_sub(child_total);
         let depth = p.matches('.').count();
         let label = p.rsplit('.').next().unwrap_or(p);
         let indent = "  ".repeat(depth);
         let name = format!("{indent}{label}");
         println!(
-            "  {name:<28} {} {} {count:>7} span(s)",
+            "  {name:<28} {} {} {} {count:>7} span(s)",
             bar(*total as f64 / max_root as f64, 24),
-            fmt_dur(*total)
+            fmt_dur(*total),
+            fmt_dur(self_ns)
         );
     }
 

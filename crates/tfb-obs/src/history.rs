@@ -33,7 +33,9 @@
 //! regressions (NaN or diverged cells in the candidate) fail the gate
 //! unconditionally: there is no tolerance for wrong.
 
-use crate::manifest::{HealthSummary, HistSummary, Manifest, MetricRow, PhaseRow};
+use crate::manifest::{
+    HealthSummary, HistSummary, Manifest, MetricRow, PhaseRow, SloSummary, TraceExemplar,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
@@ -78,7 +80,7 @@ pub fn parse_manifest(text: &str) -> Result<ParsedManifest, String> {
             "manifest schema is {schema:?} (this build understands tfb-obs/v1); parsing best-effort"
         ));
     }
-    const KNOWN: [&str; 11] = [
+    const KNOWN: [&str; 13] = [
         "schema",
         "meta",
         "cores",
@@ -90,6 +92,8 @@ pub fn parse_manifest(text: &str) -> Result<ParsedManifest, String> {
         "gauges",
         "histograms",
         "metrics",
+        "slo",
+        "exemplars",
     ];
     for (key, _) in root.as_object().ok_or("manifest root is not an object")? {
         if !KNOWN.contains(&key.as_str()) && key != "health" {
@@ -151,6 +155,32 @@ pub fn parse_manifest(text: &str) -> Result<ParsedManifest, String> {
                 horizon: row.get("horizon").and_then(|v| v.as_usize()).unwrap_or(0),
                 name: get_str(row, "name"),
                 value: row.get("value").map(num_or_nan).unwrap_or(f64::NAN),
+            });
+        }
+    }
+    if let Some(slo) = root.get("slo") {
+        m.slo = Some(SloSummary {
+            threshold_ms: slo.get("threshold_ms").map(num_or_nan).unwrap_or(f64::NAN),
+            objective: slo.get("objective").map(num_or_nan).unwrap_or(f64::NAN),
+            total: get_u64(slo, "total").unwrap_or(0),
+            breaches: get_u64(slo, "breaches").unwrap_or(0),
+            burn_rate_1m: slo.get("burn_rate_1m").map(num_or_nan).unwrap_or(f64::NAN),
+            burn_rate_5m: slo.get("burn_rate_5m").map(num_or_nan).unwrap_or(f64::NAN),
+        });
+    }
+    if let Some(items) = root.get("exemplars").and_then(|v| v.as_array()) {
+        for e in items {
+            let mut phases = Vec::new();
+            if let Some(fields) = e.get("phases").and_then(|v| v.as_object()) {
+                for (k, v) in fields {
+                    phases.push((k.clone(), get_u64(v, "").unwrap_or(0)));
+                }
+            }
+            m.exemplars.push(TraceExemplar {
+                trace_id: get_str(e, "trace_id"),
+                total_ns: get_u64(e, "total_ns").unwrap_or(0),
+                batch_size: get_u64(e, "batch_size").unwrap_or(0),
+                phases,
             });
         }
     }
@@ -857,6 +887,8 @@ mod tests {
                 name: "mae".into(),
                 value: mae,
             }],
+            slo: None,
+            exemplars: vec![],
             health: HealthSummary::default(),
         }
     }
@@ -954,6 +986,46 @@ mod tests {
         let parsed = parse_manifest(&json).expect("parses");
         assert!(parsed.warnings.is_empty(), "{:?}", parsed.warnings);
         assert_eq!(parsed.manifest.to_json(), json);
+    }
+
+    #[test]
+    fn parse_round_trips_slo_and_exemplars_byte_identical() {
+        let mut m = mini_manifest(123_456, 0.5);
+        m.slo = Some(SloSummary {
+            threshold_ms: 50.0,
+            objective: 0.99,
+            total: 200,
+            breaches: 7,
+            burn_rate_1m: 3.5,
+            burn_rate_5m: 0.7,
+        });
+        m.exemplars = vec![TraceExemplar {
+            trace_id: "0123456789abcdef".into(),
+            total_ns: 81_000_000,
+            batch_size: 5,
+            phases: vec![("queue".into(), 500_000), ("infer".into(), 80_000_000)],
+        }];
+        let json = m.to_json();
+        let parsed = parse_manifest(&json).expect("parses");
+        assert!(parsed.warnings.is_empty(), "{:?}", parsed.warnings);
+        assert_eq!(parsed.manifest.to_json(), json);
+    }
+
+    #[test]
+    fn unknown_manifest_fields_warn_but_parse() {
+        let m = mini_manifest(123_456, 0.5);
+        // A field a future recorder might add: old readers must warn, not
+        // error — the same path pre-slo readers take on today's output.
+        let json = m.to_json().replace(
+            "  \"health\": {",
+            "  \"frobnication\": {},\n  \"health\": {",
+        );
+        let parsed = parse_manifest(&json).expect("future field must not break parsing");
+        assert!(
+            parsed.warnings.iter().any(|w| w.contains("frobnication")),
+            "{:?}",
+            parsed.warnings
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@
 //! read clocks and bump counters, so metrics stay bit-identical.
 
 pub mod manifest;
+pub mod openmetrics;
+pub mod trace;
 
+#[cfg(feature = "history")]
+pub mod export;
 #[cfg(feature = "history")]
 pub mod history;
 
@@ -65,6 +69,7 @@ pub mod alloc;
 
 pub use manifest::{
     HealthKind, HealthSummary, HistSummary, Manifest, MetricRow, MetricsSnapshot, PhaseRow,
+    SloSummary, TraceExemplar,
 };
 
 /// Opens a span named `$name`, optionally attaching `key = value` fields.

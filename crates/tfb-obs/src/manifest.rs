@@ -144,6 +144,40 @@ impl HealthSummary {
     }
 }
 
+/// The manifest's `slo` section: how the serve session tracked against
+/// its latency objective (see [`crate::trace`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSummary {
+    /// Latency threshold a request must beat to count as good.
+    pub threshold_ms: f64,
+    /// Availability objective (e.g. `0.99` = 1% error budget).
+    pub objective: f64,
+    /// Requests scored.
+    pub total: u64,
+    /// Requests over the threshold.
+    pub breaches: u64,
+    /// Burn rate over the short (~1 minute) rolling window.
+    pub burn_rate_1m: f64,
+    /// Burn rate over the long (~5 minute) rolling window.
+    pub burn_rate_5m: f64,
+}
+
+/// One slow-request exemplar: the trace id of a worst-N request plus its
+/// phase breakdown, so a tail-latency regression names the requests that
+/// caused it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceExemplar {
+    /// 16-hex-digit trace id (matches the `X-Tfb-Trace-Id` header).
+    pub trace_id: String,
+    /// End-to-end latency.
+    pub total_ns: u64,
+    /// Rows in the batch the request rode in (0 when it never reached
+    /// the batcher).
+    pub batch_size: u64,
+    /// `(phase label, ns)` in causal order; only phases that ran.
+    pub phases: Vec<(String, u64)>,
+}
+
 /// The end-of-run manifest returned by [`finish_run`](crate::finish_run).
 #[derive(Debug, Clone, Default)]
 pub struct Manifest {
@@ -167,6 +201,13 @@ pub struct Manifest {
     pub histograms: Vec<HistSummary>,
     /// Sorted per-cell accuracy metrics.
     pub metrics: Vec<MetricRow>,
+    /// SLO tracking summary; present only for runs that traced
+    /// requests (serve sessions). Absent ⇒ the section is omitted, so
+    /// pre-trace manifests still round-trip byte-identically.
+    pub slo: Option<SloSummary>,
+    /// Worst-N slow-request exemplars, slowest first; serialized only
+    /// when `slo` is present.
+    pub exemplars: Vec<TraceExemplar>,
     /// Numerical-health summary.
     pub health: HealthSummary,
 }
@@ -304,6 +345,44 @@ impl Manifest {
             out.push_str("\n  ");
         }
         out.push_str("],\n");
+        if let Some(slo) = &self.slo {
+            out.push_str("  \"slo\": {\"threshold_ms\": ");
+            json_num(&mut out, slo.threshold_ms);
+            out.push_str(", \"objective\": ");
+            json_num(&mut out, slo.objective);
+            out.push_str(&format!(
+                ", \"total\": {}, \"breaches\": {}, \"burn_rate_1m\": ",
+                slo.total, slo.breaches
+            ));
+            json_num(&mut out, slo.burn_rate_1m);
+            out.push_str(", \"burn_rate_5m\": ");
+            json_num(&mut out, slo.burn_rate_5m);
+            out.push_str("},\n");
+            out.push_str("  \"exemplars\": [");
+            for (i, e) in self.exemplars.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    {\"trace_id\": ");
+                json_str(&mut out, &e.trace_id);
+                out.push_str(&format!(
+                    ", \"total_ns\": {}, \"batch_size\": {}, \"phases\": {{",
+                    e.total_ns, e.batch_size
+                ));
+                for (j, (phase, ns)) in e.phases.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    json_str(&mut out, phase);
+                    out.push_str(&format!(": {ns}"));
+                }
+                out.push_str("}}");
+            }
+            if !self.exemplars.is_empty() {
+                out.push_str("\n  ");
+            }
+            out.push_str("],\n");
+        }
         out.push_str("  \"health\": {\n");
         let cell_list = |out: &mut String, key: &str, cells: &[String]| {
             out.push_str(&format!("    \"{key}\": ["));
@@ -519,6 +598,8 @@ mod tests {
                 name: "mae".into(),
                 value: 0.41,
             }],
+            slo: None,
+            exemplars: vec![],
             health: HealthSummary {
                 nan_cells: vec!["ILI/MLP".into()],
                 diverged_cells: vec![],
@@ -549,6 +630,46 @@ mod tests {
         assert_eq!(m.phase_names(), vec!["train".to_string()]);
         assert_eq!(m.meta_value("config_hash"), Some("abc"));
         assert_eq!(m.meta_value("missing"), None);
+    }
+
+    #[test]
+    fn slo_and_exemplars_serialize_only_when_present() {
+        let mut m = Manifest::default();
+        let without = m.to_json();
+        assert!(!without.contains("\"slo\""), "{without}");
+        assert!(!without.contains("\"exemplars\""), "{without}");
+        m.slo = Some(SloSummary {
+            threshold_ms: 50.0,
+            objective: 0.99,
+            total: 120,
+            breaches: 3,
+            burn_rate_1m: 2.5,
+            burn_rate_5m: 0.5,
+        });
+        m.exemplars = vec![TraceExemplar {
+            trace_id: "00ab00ab00ab00ab".into(),
+            total_ns: 61_000_000,
+            batch_size: 4,
+            phases: vec![("queue".into(), 1_000), ("infer".into(), 60_999_000)],
+        }];
+        let with = m.to_json();
+        assert!(
+            with.contains("\"slo\": {\"threshold_ms\": 50, \"objective\": 0.99"),
+            "{with}"
+        );
+        assert!(with.contains("\"total\": 120, \"breaches\": 3"), "{with}");
+        assert!(
+            with.contains("\"trace_id\": \"00ab00ab00ab00ab\""),
+            "{with}"
+        );
+        assert!(
+            with.contains("\"phases\": {\"queue\": 1000, \"infer\": 60999000}"),
+            "{with}"
+        );
+        // The section sits between metrics and health.
+        let slo_at = with.find("\"slo\"").unwrap();
+        assert!(with.find("\"metrics\"").unwrap() < slo_at);
+        assert!(slo_at < with.find("\"health\"").unwrap());
     }
 
     #[test]

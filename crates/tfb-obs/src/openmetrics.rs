@@ -1,0 +1,692 @@
+//! OpenMetrics text exposition (encoder + in-repo validator).
+//!
+//! [`render`] turns a live [`MetricsSnapshot`] plus a
+//! [`TraceSnapshot`](crate::trace::TraceSnapshot) into the OpenMetrics
+//! text format the serve layer exposes on `GET /metrics`:
+//!
+//! * every tfb counter/gauge maps to a family named
+//!   `tfb_<name-with-/-as-_>` (`serve/shed` → `tfb_serve_shed_total`);
+//! * reservoir histograms render as `summary` families with
+//!   `quantile` labels (their percentiles are already computed);
+//! * the per-phase trace histograms render as real `histogram`
+//!   families with explicit cumulative `le` buckets
+//!   (`tfb_request_phase_seconds{phase="queue"}`) plus an unlabelled
+//!   end-to-end family `tfb_request_seconds`;
+//! * the SLO tracker surfaces as `tfb_slo_*` gauges (threshold,
+//!   objective, rolling burn rates) and counters (scored / breached);
+//! * the slow-request exemplar ring surfaces as
+//!   `tfb_slow_request_seconds{trace_id="…"}` gauges with a per-phase
+//!   breakdown family next to it.
+//!
+//! A disarmed (no-op) build renders the empty-but-valid exposition —
+//! just the `# EOF` terminator.
+//!
+//! [`validate`] is the tiny validator CI runs against the live
+//! endpoint: line grammar, `# TYPE` before samples, family grouping,
+//! counter `_total` suffixes, cumulative `le` buckets ending in a
+//! `+Inf` bucket that equals `_count`, and the final `# EOF`.
+
+use crate::manifest::MetricsSnapshot;
+use crate::trace::{PhaseBuckets, TraceSnapshot, BUCKET_BOUNDS_S};
+use std::collections::HashMap;
+
+/// The content type the exposition is served under.
+pub const CONTENT_TYPE: &str = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// Maps a tfb metric name (`serve/batch_size`) to an OpenMetrics family
+/// name (`tfb_serve_batch_size`).
+pub fn family_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("tfb_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Canonical float rendering: `+Inf` for infinity, a trailing `.0` for
+/// integral values so `le`/quantile labels stay unambiguous floats.
+fn fmt_f64(v: f64) -> String {
+    if v.is_infinite() {
+        return if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        };
+    }
+    if v.is_nan() {
+        return "NaN".into();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_bucket_family(
+    out: &mut String,
+    family: &str,
+    label: Option<(&str, &str)>,
+    b: &PhaseBuckets,
+) {
+    let labels = |extra: Option<(&str, String)>| -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some((k, v)) = label {
+            parts.push(format!("{k}=\"{}\"", escape_label(v)));
+        }
+        if let Some((k, v)) = extra {
+            parts.push(format!("{k}=\"{v}\""));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
+        }
+    };
+    let mut acc = 0u64;
+    for (i, &c) in b.counts.iter().enumerate() {
+        acc += c;
+        let le = BUCKET_BOUNDS_S
+            .get(i)
+            .map(|&bound| fmt_f64(bound))
+            .unwrap_or_else(|| "+Inf".into());
+        out.push_str(&format!(
+            "{family}_bucket{} {acc}\n",
+            labels(Some(("le", le)))
+        ));
+    }
+    out.push_str(&format!("{family}_count{} {}\n", labels(None), b.count));
+    out.push_str(&format!(
+        "{family}_sum{} {}\n",
+        labels(None),
+        fmt_f64(b.sum_s)
+    ));
+}
+
+/// Renders the full OpenMetrics exposition for a metrics + trace
+/// snapshot pair. Deterministic for a given input; always ends with
+/// `# EOF`.
+pub fn render(metrics: &MetricsSnapshot, trace: &TraceSnapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    for (name, value) in &metrics.counters {
+        let f = family_name(name);
+        out.push_str(&format!("# TYPE {f} counter\n{f}_total {value}\n"));
+    }
+    for (name, value) in &metrics.gauges {
+        let f = family_name(name);
+        out.push_str(&format!("# TYPE {f} gauge\n{f} {}\n", fmt_f64(*value)));
+    }
+    for h in &metrics.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        let f = family_name(&h.name);
+        out.push_str(&format!("# TYPE {f} summary\n"));
+        for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+            if v.is_finite() {
+                out.push_str(&format!("{f}{{quantile=\"{q}\"}} {}\n", fmt_f64(v)));
+            }
+        }
+        out.push_str(&format!(
+            "{f}_sum {}\n{f}_count {}\n",
+            fmt_f64(h.mean * h.count as f64),
+            h.count
+        ));
+    }
+    let phase_families: Vec<&PhaseBuckets> =
+        trace.phases.iter().filter(|b| b.phase != "total").collect();
+    if !phase_families.is_empty() {
+        out.push_str("# HELP tfb_request_phase_seconds Per-phase request latency attribution.\n");
+        out.push_str("# TYPE tfb_request_phase_seconds histogram\n");
+        for b in &phase_families {
+            push_bucket_family(
+                &mut out,
+                "tfb_request_phase_seconds",
+                Some(("phase", &b.phase)),
+                b,
+            );
+        }
+    }
+    if let Some(total) = trace.phases.iter().find(|b| b.phase == "total") {
+        out.push_str("# HELP tfb_request_seconds End-to-end request latency.\n");
+        out.push_str("# TYPE tfb_request_seconds histogram\n");
+        push_bucket_family(&mut out, "tfb_request_seconds", None, total);
+    }
+    if !trace.statuses.is_empty() {
+        out.push_str("# TYPE tfb_requests counter\n");
+        for (status, count) in &trace.statuses {
+            out.push_str(&format!(
+                "tfb_requests_total{{status=\"{}\"}} {count}\n",
+                escape_label(status)
+            ));
+        }
+    }
+    if let Some(slo) = &trace.slo {
+        out.push_str(&format!(
+            "# TYPE tfb_slo_threshold_seconds gauge\ntfb_slo_threshold_seconds {}\n",
+            fmt_f64(slo.threshold_ms / 1e3)
+        ));
+        out.push_str(&format!(
+            "# TYPE tfb_slo_objective gauge\ntfb_slo_objective {}\n",
+            fmt_f64(slo.objective)
+        ));
+        out.push_str("# HELP tfb_slo_burn_rate Fraction of the error budget burned per window.\n");
+        out.push_str(&format!(
+            "# TYPE tfb_slo_burn_rate gauge\ntfb_slo_burn_rate{{window=\"1m\"}} {}\ntfb_slo_burn_rate{{window=\"5m\"}} {}\n",
+            fmt_f64(slo.burn_rate_1m),
+            fmt_f64(slo.burn_rate_5m)
+        ));
+        out.push_str(&format!(
+            "# TYPE tfb_slo_scored counter\ntfb_slo_scored_total {}\n",
+            slo.total
+        ));
+        out.push_str(&format!(
+            "# TYPE tfb_slo_breaches counter\ntfb_slo_breaches_total {}\n",
+            slo.breaches
+        ));
+    }
+    if !trace.exemplars.is_empty() {
+        out.push_str("# HELP tfb_slow_request_seconds Worst-N slow-request exemplar ring.\n");
+        out.push_str("# TYPE tfb_slow_request_seconds gauge\n");
+        for e in &trace.exemplars {
+            out.push_str(&format!(
+                "tfb_slow_request_seconds{{trace_id=\"{}\"}} {}\n",
+                escape_label(&e.trace_id),
+                fmt_f64(e.total_ns as f64 / 1e9)
+            ));
+        }
+        out.push_str("# TYPE tfb_slow_request_phase_seconds gauge\n");
+        for e in &trace.exemplars {
+            for (phase, ns) in &e.phases {
+                out.push_str(&format!(
+                    "tfb_slow_request_phase_seconds{{trace_id=\"{}\",phase=\"{}\"}} {}\n",
+                    escape_label(&e.trace_id),
+                    escape_label(phase),
+                    fmt_f64(*ns as f64 / 1e9)
+                ));
+            }
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Renders the exposition for the live registries — what `GET /metrics`
+/// serves. Empty-but-valid when recording is disarmed or compiled out.
+pub fn render_live() -> String {
+    render(&crate::metrics_snapshot(), &crate::trace::snapshot())
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FamilyType {
+    Counter,
+    Gauge,
+    Histogram,
+    Summary,
+}
+
+/// Per-family bookkeeping while validating.
+struct FamilyCheck {
+    kind: FamilyType,
+    /// Histogram buckets keyed by the labelset minus `le`:
+    /// `(le, cumulative value)` in appearance order.
+    buckets: HashMap<String, Vec<(f64, f64)>>,
+    /// `_count` values keyed by labelset.
+    counts: HashMap<String, f64>,
+}
+
+/// A parsed metric sample: (family name, labels, value).
+type Sample = (String, Vec<(String, String)>, f64);
+
+/// Splits `name{a="b"} 1.5` into (name, labels, value); rejects
+/// timestamps and garbage.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_labels, value_part) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label braces: {line}"))?;
+            if close < open {
+                return Err(format!("malformed labels: {line}"));
+            }
+            (
+                (&line[..open], parse_labels(&line[open + 1..close])?),
+                line[close + 1..].trim(),
+            )
+        }
+        None => {
+            let mut it = line.splitn(2, ' ');
+            let name = it.next().unwrap_or("");
+            ((name, Vec::new()), it.next().unwrap_or("").trim())
+        }
+    };
+    let (name, labels) = name_labels;
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("invalid metric name in: {line}"));
+    }
+    let mut tokens = value_part.split_whitespace();
+    let value_tok = tokens
+        .next()
+        .ok_or_else(|| format!("sample without value: {line}"))?;
+    if tokens.next().is_some() {
+        return Err(format!("unexpected trailing tokens (timestamp?): {line}"));
+    }
+    let value = match value_tok {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| format!("non-numeric sample value {v:?} in: {line}"))?,
+    };
+    Ok((name.to_string(), labels, value))
+}
+
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = s.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest}"))?;
+        let key = rest[..eq].trim().to_string();
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("unquoted label value: {rest}"));
+        }
+        let mut value = String::new();
+        let mut chars = after[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    if let Some((_, e)) = chars.next() {
+                        value.push(match e {
+                            'n' => '\n',
+                            other => other,
+                        });
+                    }
+                }
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value: {rest}"))?;
+        labels.push((key, value));
+        rest = after[1 + end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' between labels, got: {rest}"));
+        }
+    }
+    Ok(labels)
+}
+
+fn labelset_key(labels: &[(String, String)], skip: &str) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .filter(|(k, _)| k != skip)
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    parts.sort();
+    parts.join(",")
+}
+
+/// Which declared family a sample name belongs to, with the suffix it
+/// used. Longest family-name match wins so `x_bucket` resolves to the
+/// histogram `x`, not a gauge named `x_bucket`.
+fn resolve_family<'a>(
+    name: &str,
+    families: &'a HashMap<String, FamilyCheck>,
+) -> Option<(String, &'a FamilyCheck, String)> {
+    let mut best: Option<(String, String)> = None;
+    for suffix in ["", "_total", "_bucket", "_count", "_sum"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if families.contains_key(stem)
+                && best.as_ref().is_none_or(|(b, _)| stem.len() > b.len())
+            {
+                best = Some((stem.to_string(), suffix.to_string()));
+            }
+        }
+    }
+    let (stem, suffix) = best?;
+    let fam = families.get(&stem)?;
+    Some((stem, fam, suffix))
+}
+
+/// Validates one OpenMetrics text exposition. Returns the first problem
+/// found, or `Ok(())` for a conforming document (the empty exposition —
+/// just `# EOF` — is conforming).
+pub fn validate(text: &str) -> Result<(), String> {
+    if !text.ends_with('\n') {
+        return Err("exposition must end with a newline".into());
+    }
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.last() != Some(&"# EOF") {
+        return Err("exposition must end with '# EOF'".into());
+    }
+    let mut families: HashMap<String, FamilyCheck> = HashMap::new();
+    let mut closed: Vec<String> = Vec::new();
+    let mut current: Option<String> = None;
+    let switch_to = |family: &str,
+                     current: &mut Option<String>,
+                     closed: &mut Vec<String>|
+     -> Result<(), String> {
+        if current.as_deref() == Some(family) {
+            return Ok(());
+        }
+        if closed.iter().any(|c| c == family) {
+            return Err(format!(
+                "family {family} is interleaved with another family"
+            ));
+        }
+        if let Some(prev) = current.take() {
+            closed.push(prev);
+        }
+        *current = Some(family.to_string());
+        Ok(())
+    };
+    for (idx, line) in lines.iter().enumerate() {
+        let is_last = idx == lines.len() - 1;
+        if *line == "# EOF" {
+            if !is_last {
+                return Err("'# EOF' before the end of the exposition".into());
+            }
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let name = it.next().unwrap_or("").to_string();
+            let kind = match it.next() {
+                Some("counter") => FamilyType::Counter,
+                Some("gauge") => FamilyType::Gauge,
+                Some("histogram") => FamilyType::Histogram,
+                Some("summary") => FamilyType::Summary,
+                other => return Err(format!("unsupported TYPE {other:?} for {name}")),
+            };
+            if families.contains_key(&name) {
+                return Err(format!("duplicate TYPE for family {name}"));
+            }
+            switch_to(&name, &mut current, &mut closed)?;
+            families.insert(
+                name,
+                FamilyCheck {
+                    kind,
+                    buckets: HashMap::new(),
+                    counts: HashMap::new(),
+                },
+            );
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            switch_to(name, &mut current, &mut closed)?;
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("unknown comment line: {line}"));
+        }
+        let (name, labels, value) = parse_sample(line)?;
+        let Some((stem, fam, suffix)) = resolve_family(&name, &families) else {
+            return Err(format!("sample {name} has no preceding # TYPE"));
+        };
+        let kind = fam.kind;
+        switch_to(&stem, &mut current, &mut closed)?;
+        let ok_suffix = match kind {
+            FamilyType::Counter => suffix == "_total",
+            FamilyType::Gauge => suffix.is_empty(),
+            FamilyType::Histogram => matches!(suffix.as_str(), "_bucket" | "_count" | "_sum"),
+            FamilyType::Summary => matches!(suffix.as_str(), "" | "_count" | "_sum"),
+        };
+        if !ok_suffix {
+            return Err(format!(
+                "sample {name} has suffix {suffix:?}, invalid for its family type"
+            ));
+        }
+        if kind == FamilyType::Counter && (!value.is_finite() || value < 0.0) {
+            return Err(format!(
+                "counter {name} has non-monotone-safe value {value}"
+            ));
+        }
+        if kind == FamilyType::Summary
+            && suffix.is_empty()
+            && !labels.iter().any(|(k, _)| k == "quantile")
+        {
+            return Err(format!("summary sample {name} without a quantile label"));
+        }
+        if kind == FamilyType::Histogram {
+            let fam = families.get_mut(&stem).expect("family just resolved");
+            match suffix.as_str() {
+                "_bucket" => {
+                    let le = labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .map(|(_, v)| v.as_str())
+                        .ok_or_else(|| format!("bucket sample {name} without le label"))?;
+                    let le = match le {
+                        "+Inf" => f64::INFINITY,
+                        v => v
+                            .parse::<f64>()
+                            .map_err(|_| format!("non-numeric le {v:?} on {name}"))?,
+                    };
+                    fam.buckets
+                        .entry(labelset_key(&labels, "le"))
+                        .or_default()
+                        .push((le, value));
+                }
+                "_count" => {
+                    fam.counts.insert(labelset_key(&labels, "le"), value);
+                }
+                _ => {}
+            }
+        }
+    }
+    for (name, fam) in &families {
+        for (labelset, buckets) in &fam.buckets {
+            let mut prev = f64::NEG_INFINITY;
+            let mut prev_v = -1.0;
+            for &(le, v) in buckets {
+                if le <= prev {
+                    return Err(format!(
+                        "{name}{{{labelset}}}: le buckets out of ascending order"
+                    ));
+                }
+                if v < prev_v {
+                    return Err(format!(
+                        "{name}{{{labelset}}}: bucket values are not cumulative"
+                    ));
+                }
+                prev = le;
+                prev_v = v;
+            }
+            let Some(&(last_le, last_v)) = buckets.last() else {
+                continue;
+            };
+            if !last_le.is_infinite() {
+                return Err(format!("{name}{{{labelset}}}: missing le=\"+Inf\" bucket"));
+            }
+            if let Some(&count) = fam.counts.get(labelset) {
+                if last_v != count {
+                    return Err(format!(
+                        "{name}{{{labelset}}}: +Inf bucket {last_v} != _count {count}"
+                    ));
+                }
+            } else {
+                return Err(format!("{name}{{{labelset}}}: histogram without _count"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{HistSummary, SloSummary, TraceExemplar};
+    use crate::trace::BUCKET_COUNT;
+
+    fn sample_trace_snapshot() -> TraceSnapshot {
+        let mut counts = vec![0u64; BUCKET_COUNT];
+        counts[4] = 7; // le = 1 ms
+        counts[9] = 2; // le = 50 ms
+        let phase = |name: &str| PhaseBuckets {
+            phase: name.to_string(),
+            counts: counts.clone(),
+            count: 9,
+            sum_s: 0.2,
+        };
+        TraceSnapshot {
+            phases: vec![phase("parse"), phase("infer"), phase("total")],
+            statuses: vec![("ok".into(), 8), ("shed".into(), 1)],
+            slo: Some(SloSummary {
+                threshold_ms: 50.0,
+                objective: 0.99,
+                total: 9,
+                breaches: 1,
+                burn_rate_1m: 11.1,
+                burn_rate_5m: 2.2,
+            }),
+            exemplars: vec![TraceExemplar {
+                trace_id: "deadbeefdeadbeef".into(),
+                total_ns: 80_000_000,
+                batch_size: 3,
+                phases: vec![("queue".into(), 1_000_000), ("infer".into(), 79_000_000)],
+            }],
+        }
+    }
+
+    fn sample_metrics_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![("serve/requests".into(), 42), ("serve/shed".into(), 1)],
+            gauges: vec![("serve/queue_depth".into(), 3.0)],
+            histograms: vec![HistSummary {
+                name: "serve/batch_size".into(),
+                count: 10,
+                mean: 4.0,
+                min: 1.0,
+                max: 8.0,
+                p50: 4.0,
+                p90: 8.0,
+                p99: 8.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn rendered_exposition_validates_and_is_deterministic() {
+        let text = render(&sample_metrics_snapshot(), &sample_trace_snapshot());
+        validate(&text).expect("rendered exposition must validate");
+        assert_eq!(
+            text,
+            render(&sample_metrics_snapshot(), &sample_trace_snapshot())
+        );
+        assert!(text.contains("tfb_serve_requests_total 42"), "{text}");
+        assert!(
+            text.contains("tfb_request_phase_seconds_bucket{phase=\"parse\",le=\"0.001\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tfb_slo_burn_rate{window=\"1m\"} 11.1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tfb_slow_request_seconds{trace_id=\"deadbeefdeadbeef\"} 0.08"),
+            "{text}"
+        );
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn empty_exposition_is_valid() {
+        let text = render(&MetricsSnapshot::default(), &TraceSnapshot::default());
+        assert_eq!(text, "# EOF\n");
+        validate(&text).expect("empty exposition must validate");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        // Missing EOF.
+        assert!(validate("# TYPE a counter\na_total 1\n").is_err());
+        // Counter sample without the _total suffix.
+        assert!(validate("# TYPE a counter\na 1\n# EOF\n").is_err());
+        // Sample before its TYPE declaration.
+        assert!(validate("a_total 1\n# TYPE a counter\n# EOF\n").is_err());
+        // Interleaved families.
+        assert!(validate("# TYPE a gauge\na 1\n# TYPE b gauge\nb 1\na 2\n# EOF\n").is_err());
+        // Non-cumulative buckets.
+        assert!(validate(concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"0.1\"} 5\n",
+            "h_bucket{le=\"+Inf\"} 3\n",
+            "h_count 3\nh_sum 1.0\n# EOF\n"
+        ))
+        .is_err());
+        // +Inf bucket disagrees with _count.
+        assert!(validate(concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"0.1\"} 2\n",
+            "h_bucket{le=\"+Inf\"} 5\n",
+            "h_count 9\nh_sum 1.0\n# EOF\n"
+        ))
+        .is_err());
+        // Missing +Inf bucket.
+        assert!(validate(
+            "# TYPE h histogram\nh_bucket{le=\"0.1\"} 2\nh_count 2\nh_sum 1.0\n# EOF\n"
+        )
+        .is_err());
+        // Trailing timestamp token.
+        assert!(validate("# TYPE a gauge\na 1 1234567\n# EOF\n").is_err());
+        // Garbage after EOF.
+        assert!(validate("# EOF\n# TYPE a gauge\n").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_labelled_histograms() {
+        let doc = concat!(
+            "# HELP h a labelled histogram\n",
+            "# TYPE h histogram\n",
+            "h_bucket{phase=\"a\",le=\"0.1\"} 1\n",
+            "h_bucket{phase=\"a\",le=\"+Inf\"} 4\n",
+            "h_count{phase=\"a\"} 4\n",
+            "h_sum{phase=\"a\"} 0.5\n",
+            "h_bucket{phase=\"b\",le=\"0.1\"} 0\n",
+            "h_bucket{phase=\"b\",le=\"+Inf\"} 2\n",
+            "h_count{phase=\"b\"} 2\n",
+            "h_sum{phase=\"b\"} 0.4\n",
+            "# EOF\n"
+        );
+        validate(doc).expect("labelled histogram must validate");
+    }
+
+    #[test]
+    fn family_names_are_sanitized() {
+        assert_eq!(family_name("serve/batch_size"), "tfb_serve_batch_size");
+        assert_eq!(family_name("a-b.c"), "tfb_a_b_c");
+    }
+}

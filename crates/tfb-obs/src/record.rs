@@ -116,6 +116,7 @@ pub fn start_run(opts: RunOptions) -> std::io::Result<()> {
         .expect("health registry poisoned")
         .clear();
     *GRAD_NORMS.lock().expect("grad-norm registry poisoned") = Some(HashMap::new());
+    crate::trace::reset_state();
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     if let Some(w) = sink.as_mut() {
         let _ = writeln!(w, "{{\"ev\":\"run_start\",\"cores\":{cores}}}");
@@ -258,6 +259,15 @@ pub fn finish_run(meta: &[(&str, String)]) -> Option<Manifest> {
         .map(|(k, v)| (k.to_string(), v.clone()))
         .collect();
     meta.sort();
+    // SLO + exemplar sections appear only for runs that traced requests
+    // (serve sessions); benchmark manifests stay byte-identical.
+    let trace_snap = crate::trace::snapshot();
+    let slo = trace_snap.slo.filter(|s| s.total > 0);
+    let exemplars = if slo.is_some() {
+        trace_snap.exemplars
+    } else {
+        Vec::new()
+    };
     Some(Manifest {
         meta,
         cores: std::thread::available_parallelism().map_or(1, |p| p.get()),
@@ -269,8 +279,60 @@ pub fn finish_run(meta: &[(&str, String)]) -> Option<Manifest> {
         gauges,
         histograms,
         metrics,
+        slo,
+        exemplars,
         health,
     })
+}
+
+/// Appends one `{"ev":"trace",…}` line — a finished request trace with
+/// its full phase breakdown — to the JSONL sink when one is open.
+pub(crate) fn emit_trace_event(
+    id: u64,
+    status: crate::trace::TraceStatus,
+    total_ns: u64,
+    phase_ns: &[u64; crate::trace::PHASE_COUNT],
+    batch_id: Option<u64>,
+    batch_size: u64,
+) {
+    let thread = THREAD_ID.with(|t| *t);
+    let mut guard = STATE.lock().expect("obs state poisoned");
+    let Some(state) = guard.as_mut() else {
+        return;
+    };
+    if state.sink.is_none() {
+        return;
+    }
+    state.seq += 1;
+    let seq = state.seq;
+    let t_ns = state.start.elapsed().as_nanos() as u64;
+    let mut line = String::with_capacity(192);
+    line.push_str(&format!(
+        "{{\"ev\":\"trace\",\"seq\":{seq},\"t_ns\":{t_ns},\"thread\":{thread},\"trace_id\":\"{id:016x}\",\"status\":\"{}\",\"total_ns\":{total_ns}",
+        status.label()
+    ));
+    match batch_id {
+        Some(b) => line.push_str(&format!(",\"batch_id\":{b},\"batch_size\":{batch_size}")),
+        None => line.push_str(",\"batch_id\":null,\"batch_size\":0"),
+    }
+    line.push_str(",\"phases\":{");
+    let mut first = true;
+    for p in crate::trace::Phase::ALL {
+        let ns = phase_ns[p.index()];
+        if ns == 0 {
+            continue;
+        }
+        if !first {
+            line.push(',');
+        }
+        first = false;
+        line.push_str(&format!("\"{}\":{ns}", p.label()));
+    }
+    line.push_str("}}");
+    if let Some(w) = state.sink.as_mut() {
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
 }
 
 /// A point-in-time [`MetricsSnapshot`] of the live registries, without

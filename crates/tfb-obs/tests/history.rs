@@ -59,6 +59,8 @@ fn sample_manifest() -> Manifest {
             name: "mae".into(),
             value: 0.512,
         }],
+        slo: None,
+        exemplars: vec![],
         health: HealthSummary::default(),
     }
 }

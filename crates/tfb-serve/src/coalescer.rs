@@ -117,16 +117,46 @@ impl std::fmt::Display for SubmitError {
     }
 }
 
-/// One queued request: its window and the channel its forecast returns
-/// on.
+/// One answered request: the forecast plus the batcher-side timing the
+/// server folds into the request's trace.
+///
+/// `queue_ns` is the wait from submit until the batcher opened this
+/// batch, `collect_ns` the co-traveler wait until the drain, and
+/// `infer_ns` the amortized share of the batched forward pass
+/// (`predict_batch` elapsed / batch size) — so summing a request's
+/// phases never exceeds its end-to-end latency. `queue_ns` and
+/// `collect_ns` are zero for requests submitted while no run was
+/// recording (the submit-side clock read is skipped).
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// The forecast row answering this request's window.
+    pub forecast: Vec<f64>,
+    /// Nanoseconds from submit until the batch opened.
+    pub queue_ns: u64,
+    /// Nanoseconds waiting for co-travelers until the drain.
+    pub collect_ns: u64,
+    /// Amortized share of the batched forward pass, in nanoseconds.
+    pub infer_ns: u64,
+    /// Process-unique id of the batch that carried this request.
+    pub batch_id: u64,
+    /// How many requests shared that batch.
+    pub batch_size: usize,
+}
+
+/// One queued request: its window, the channel its forecast returns
+/// on, and (when a run is recording) its submit time for queue-wait
+/// attribution.
 struct Pending {
     window: Vec<f64>,
-    reply: mpsc::Sender<Result<Vec<f64>, String>>,
+    reply: mpsc::Sender<Result<BatchOutcome, String>>,
+    submitted: Option<Instant>,
 }
 
 struct State {
     queue: VecDeque<Pending>,
     shutting_down: bool,
+    /// High-water mark of the queue depth over the coalescer's life.
+    hwm: usize,
 }
 
 struct Shared {
@@ -153,6 +183,7 @@ impl Coalescer {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 shutting_down: false,
+                hwm: 0,
             }),
             notify: Condvar::new(),
             cfg,
@@ -176,7 +207,7 @@ impl Coalescer {
     pub fn submit(
         &self,
         window: Vec<f64>,
-    ) -> Result<mpsc::Receiver<Result<Vec<f64>, String>>, SubmitError> {
+    ) -> Result<mpsc::Receiver<Result<BatchOutcome, String>>, SubmitError> {
         if window.len() != self.input_len {
             return Err(SubmitError::BadWindow {
                 got: window.len(),
@@ -184,6 +215,9 @@ impl Coalescer {
             });
         }
         let (reply, rx) = mpsc::channel();
+        // The clock read only happens while a run is recording; the
+        // disarmed path stays free of time syscalls.
+        let submitted = tfb_obs::enabled().then(Instant::now);
         {
             let mut state = self.shared.state.lock().expect("coalescer state poisoned");
             if state.shutting_down {
@@ -193,7 +227,17 @@ impl Coalescer {
                 tfb_obs::counter!("serve/shed").add(1);
                 return Err(SubmitError::QueueFull);
             }
-            state.queue.push_back(Pending { window, reply });
+            state.queue.push_back(Pending {
+                window,
+                reply,
+                submitted,
+            });
+            let depth = state.queue.len();
+            tfb_obs::gauge!("serve/queue_depth").set(depth as f64);
+            if depth > state.hwm {
+                state.hwm = depth;
+                tfb_obs::gauge!("serve/queue_hwm").set(depth as f64);
+            }
         }
         self.shared.notify.notify_one();
         Ok(rx)
@@ -240,7 +284,7 @@ impl Drop for Coalescer {
 fn batcher_loop(shared: Arc<Shared>, predictor: Arc<dyn BatchPredictor>) {
     let cfg = &shared.cfg;
     loop {
-        let batch = {
+        let (batch, opened) = {
             let mut state = shared.state.lock().expect("coalescer state poisoned");
             // Idle: sleep until a request arrives or shutdown drains out.
             while state.queue.is_empty() {
@@ -252,7 +296,8 @@ fn batcher_loop(shared: Arc<Shared>, predictor: Arc<dyn BatchPredictor>) {
             // Filling: from the first request's arrival, wait for
             // co-travelers until the batch fills or the delay budget is
             // spent. Shutdown short-circuits the wait, not the drain.
-            let deadline = Instant::now() + cfg.max_delay;
+            let opened = Instant::now();
+            let deadline = opened + cfg.max_delay;
             while state.queue.len() < cfg.max_batch && !state.shutting_down {
                 let now = Instant::now();
                 if now >= deadline {
@@ -268,21 +313,36 @@ fn batcher_loop(shared: Arc<Shared>, predictor: Arc<dyn BatchPredictor>) {
                 }
             }
             let take = state.queue.len().min(cfg.max_batch);
-            state.queue.drain(..take).collect::<Vec<Pending>>()
+            let batch = state.queue.drain(..take).collect::<Vec<Pending>>();
+            tfb_obs::gauge!("serve/queue_depth").set(state.queue.len() as f64);
+            (batch, opened)
         };
         // Predict outside the lock so submitters never wait on the model.
-        run_batch(&*predictor, batch);
+        run_batch(&*predictor, batch, opened, cfg.max_batch);
     }
 }
 
-fn run_batch(predictor: &dyn BatchPredictor, batch: Vec<Pending>) {
+/// Batch ids are process-unique and monotone; the `serve.batch` span and
+/// every request routed through the batch carry the same id, which is
+/// what the Perfetto exporter keys its flow arrows on.
+static BATCH_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn run_batch(
+    predictor: &dyn BatchPredictor,
+    batch: Vec<Pending>,
+    opened: Instant,
+    max_batch: usize,
+) {
     if batch.is_empty() {
         return;
     }
     let n = batch.len();
+    let batch_id = BATCH_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+    let drained = Instant::now();
     tfb_obs::histogram!("serve/batch_size").record(n as f64);
     tfb_obs::counter!("serve/batched_requests").add(n as u64);
     tfb_obs::counter!("serve/batches").add(1);
+    tfb_obs::gauge!("serve/batch_fill_ratio").set(n as f64 / max_batch as f64);
     let width = predictor.input_len();
     let mut flat = Vec::with_capacity(n * width);
     for p in &batch {
@@ -297,12 +357,31 @@ fn run_batch(predictor: &dyn BatchPredictor, batch: Vec<Pending>) {
             return;
         }
     };
-    match predictor.predict_batch(&windows) {
+    let infer_started = Instant::now();
+    let result = {
+        let _span = tfb_obs::span!("serve.batch")
+            .record("batch_id", batch_id as f64)
+            .record("rows", n as f64);
+        predictor.predict_batch(&windows)
+    };
+    // Amortize the batched forward pass evenly: each co-traveler's
+    // `infer` share is elapsed / batch size, so one batch never counts
+    // its model time more than once across the requests it served.
+    let infer_ns = (infer_started.elapsed().as_nanos() as u64) / n as u64;
+    match result {
         Ok(out) => {
             let w = predictor.output_len();
             debug_assert_eq!(out.cols(), w);
             for (r, p) in batch.into_iter().enumerate() {
-                let _ = p.reply.send(Ok(out.row(r).to_vec()));
+                let (queue_ns, collect_ns) = wait_split(p.submitted, opened, drained);
+                let _ = p.reply.send(Ok(BatchOutcome {
+                    forecast: out.row(r).to_vec(),
+                    queue_ns,
+                    collect_ns,
+                    infer_ns,
+                    batch_id,
+                    batch_size: n,
+                }));
             }
         }
         Err(e) => {
@@ -311,4 +390,17 @@ fn run_batch(predictor: &dyn BatchPredictor, batch: Vec<Pending>) {
             }
         }
     }
+}
+
+/// Splits one request's pre-inference wait at the moment its batch
+/// opened: `queue` is submit → open, `collect` is open → drain (from
+/// the submit when the request arrived mid-fill). The two always sum to
+/// exactly submit → drain, and both are zero for untraced requests.
+fn wait_split(submitted: Option<Instant>, opened: Instant, drained: Instant) -> (u64, u64) {
+    let Some(submitted) = submitted else {
+        return (0, 0);
+    };
+    let queue = opened.saturating_duration_since(submitted);
+    let collect = drained.saturating_duration_since(submitted.max(opened));
+    (queue.as_nanos() as u64, collect.as_nanos() as u64)
 }

@@ -117,10 +117,15 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> ReadOutcome {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body.
+    /// Response body.
     pub body: String,
     /// `Retry-After` seconds (set on 429).
     pub retry_after: Option<u64>,
+    /// `content-type` header value.
+    pub content_type: &'static str,
+    /// Request trace id, echoed as `x-tfb-trace-id` when tracing is
+    /// armed (absent otherwise).
+    pub trace_id: Option<String>,
 }
 
 impl Response {
@@ -130,6 +135,16 @@ impl Response {
             status,
             body: body.into(),
             retry_after: None,
+            content_type: "application/json",
+            trace_id: None,
+        }
+    }
+
+    /// An OpenMetrics text exposition (`GET /metrics`).
+    pub fn openmetrics(body: impl Into<String>) -> Response {
+        Response {
+            content_type: tfb_obs::openmetrics::CONTENT_TYPE,
+            ..Response::json(200, body)
         }
     }
 
@@ -179,13 +194,17 @@ pub fn write_response(
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
         response.status,
         reason(response.status),
+        response.content_type,
         response.body.len()
     );
     if let Some(secs) = response.retry_after {
         head.push_str(&format!("retry-after: {secs}\r\n"));
+    }
+    if let Some(id) = &response.trace_id {
+        head.push_str(&format!("x-tfb-trace-id: {id}\r\n"));
     }
     head.push_str(if keep_alive {
         "connection: keep-alive\r\n\r\n"

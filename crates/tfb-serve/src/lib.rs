@@ -7,20 +7,28 @@
 //! `predict_batch` call whose outputs are bit-identical to per-request
 //! `predict` — so serving changes latency, never forecasts. A bounded
 //! queue sheds overload with `429 Retry-After` (backpressure instead of
-//! unbounded memory), `GET /metrics` exposes the live
-//! [`tfb_obs`] counters and latency/batch-size histograms, and
-//! SIGTERM/SIGINT (or `POST /shutdown`) drain gracefully: every
-//! accepted request is answered before the process exits.
+//! unbounded memory), and SIGTERM/SIGINT (or `POST /shutdown`) drain
+//! gracefully: every accepted request is answered before the process
+//! exits.
+//!
+//! Observability: every request is traced end-to-end
+//! ([`tfb_obs::trace`]) — the response echoes the trace id as
+//! `x-tfb-trace-id`, per-phase wall time (parse / queue / collect /
+//! infer / dispatch / write) feeds bucketed histograms and the SLO
+//! burn-rate tracker, and `GET /metrics` serves the whole state as an
+//! OpenMetrics text exposition (`GET /metrics.json` keeps the raw JSON
+//! snapshot).
 //!
 //! The crate is buildable with obs recording off
 //! (`--no-default-features` at the binary): every probe compiles to a
-//! zero-sized no-op and `/metrics` returns an empty snapshot.
+//! zero-sized no-op and `/metrics` returns an empty-but-valid
+//! exposition.
 
 pub mod coalescer;
 pub mod http;
 pub mod server;
 
-pub use coalescer::{BatchPredictor, Coalescer, CoalescerConfig, SubmitError};
+pub use coalescer::{BatchOutcome, BatchPredictor, Coalescer, CoalescerConfig, SubmitError};
 pub use server::{
     install_signal_handlers, serve, serve_with, signal_received, ModelInfo, ServerConfig,
     ServerHandle,

@@ -9,11 +9,23 @@
 //!   Wrong shapes are 400, a full queue is `429` + `Retry-After`,
 //!   draining is 503.
 //! * `GET /healthz` — model geometry and `"status": "ok"`.
-//! * `GET /metrics` — a live [`tfb_obs`] snapshot (counters, gauges,
-//!   latency/batch-size histograms) as JSON.
+//! * `GET /metrics` — the live [`tfb_obs`] state as an OpenMetrics text
+//!   exposition: per-phase request-latency histograms, queue-depth /
+//!   batch-fill gauges, shed counters, SLO burn rates and slow-request
+//!   exemplars. Valid (`# EOF`-terminated, empty) even when no run is
+//!   recording.
+//! * `GET /metrics.json` — the same snapshot as JSON (counters, gauges,
+//!   latency/batch-size histograms), for scripts that predate the
+//!   OpenMetrics endpoint.
 //! * `POST /shutdown` — begins graceful drain (the admin hook tests and
 //!   scripts use; SIGTERM/SIGINT do the same via
 //!   [`install_signal_handlers`]).
+//!
+//! Every response echoes its request's trace id as `x-tfb-trace-id`
+//! when a run is recording; per-phase wall time (parse, queue, collect,
+//! infer, dispatch, write) is attributed via
+//! [`tfb_obs::trace::RequestTrace`] and lands in the phase histograms,
+//! the SLO tracker, and the run's event sink.
 //!
 //! Shutdown sequence: stop accepting; handler threads finish their
 //! in-flight request and stop reading new ones; the coalescer predicts
@@ -28,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use tfb_artifact::ServableModel;
 use tfb_json::JsonValue;
+use tfb_obs::trace::{Phase, RequestTrace, TraceStatus};
 
 use crate::coalescer::{Coalescer, CoalescerConfig, SubmitError};
 use crate::http::{self, ReadOutcome, Request, Response};
@@ -209,43 +222,65 @@ fn handle_connection(stream: TcpStream, ctx: Arc<ServerCtx>) {
         }
         match http::read_request(&mut reader) {
             ReadOutcome::Request(req) => {
+                // The trace clock starts once a full request is in hand:
+                // socket idle time between keep-alive requests is not
+                // request latency.
                 let started = Instant::now();
+                let mut trace = RequestTrace::begin();
                 tfb_obs::counter!("serve/requests").add(1);
-                let response = route(&req, &ctx);
+                let mut response = route(&req, &ctx, &mut trace);
                 tfb_obs::histogram!("serve/request_us")
                     .record(started.elapsed().as_secs_f64() * 1e6);
                 if response.status >= 400 {
                     tfb_obs::counter!("serve/http_errors").add(1);
                 }
+                trace.set_status(match response.status {
+                    429 => TraceStatus::Shed,
+                    s if s >= 400 => TraceStatus::Error,
+                    _ => TraceStatus::Ok,
+                });
+                response.trace_id = trace.id_hex();
                 // Draining? Answer the in-flight request, then close.
                 let keep_alive = req.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
-                if http::write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive
-                {
+                let wrote = http::write_response(&mut writer, &response, keep_alive).is_ok();
+                trace.mark(Phase::Write);
+                trace.finish();
+                if !wrote || !keep_alive {
                     return;
                 }
             }
             ReadOutcome::Closed => return,
-            ReadOutcome::IdleTimeout => continue,
+            ReadOutcome::IdleTimeout => {
+                tfb_obs::counter!("serve/idle_timeouts").add(1);
+                continue;
+            }
             ReadOutcome::Malformed(msg) => {
                 tfb_obs::counter!("serve/http_errors").add(1);
-                let _ = http::write_response(&mut writer, &Response::error(400, &msg), false);
+                let mut trace = RequestTrace::begin();
+                trace.set_status(TraceStatus::Error);
+                let mut response = Response::error(400, &msg);
+                response.trace_id = trace.id_hex();
+                let _ = http::write_response(&mut writer, &response, false);
+                trace.mark(Phase::Write);
+                trace.finish();
                 return;
             }
         }
     }
 }
 
-fn route(req: &Request, ctx: &ServerCtx) -> Response {
+fn route(req: &Request, ctx: &ServerCtx, trace: &mut RequestTrace) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/forecast") => forecast(req, ctx),
+        ("POST", "/forecast") => forecast(req, ctx, trace),
         ("GET", "/healthz") => healthz(ctx),
-        ("GET", "/metrics") => Response::json(200, tfb_obs::metrics_snapshot().to_json()),
+        ("GET", "/metrics") => Response::openmetrics(tfb_obs::openmetrics::render_live()),
+        ("GET", "/metrics.json") => Response::json(200, tfb_obs::metrics_snapshot().to_json()),
         ("POST", "/shutdown") => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             Response::json(200, "{\"status\": \"draining\"}\n")
         }
         (_, "/forecast") | (_, "/shutdown") => Response::error(405, "use POST"),
-        (_, "/healthz") | (_, "/metrics") => Response::error(405, "use GET"),
+        (_, "/healthz") | (_, "/metrics") | (_, "/metrics.json") => Response::error(405, "use GET"),
         _ => Response::error(404, "unknown path"),
     }
 }
@@ -269,7 +304,7 @@ fn healthz(ctx: &ServerCtx) -> Response {
     )
 }
 
-fn forecast(req: &Request, ctx: &ServerCtx) -> Response {
+fn forecast(req: &Request, ctx: &ServerCtx, trace: &mut RequestTrace) -> Response {
     let Ok(text) = std::str::from_utf8(&req.body) else {
         return Response::error(400, "body is not UTF-8");
     };
@@ -290,6 +325,7 @@ fn forecast(req: &Request, ctx: &ServerCtx) -> Response {
             None => return Response::error(400, "\"window\" must be an array of numbers"),
         }
     }
+    trace.mark(Phase::Parse);
     let rx = match ctx.coalescer.submit(window) {
         Ok(rx) => rx,
         Err(SubmitError::QueueFull) => {
@@ -301,7 +337,14 @@ fn forecast(req: &Request, ctx: &ServerCtx) -> Response {
         Err(e @ SubmitError::BadWindow { .. }) => return Response::error(400, &e.to_string()),
     };
     match rx.recv() {
-        Ok(Ok(forecast)) => {
+        Ok(Ok(out)) => {
+            trace.absorb_batch(
+                out.queue_ns,
+                out.collect_ns,
+                out.infer_ns,
+                out.batch_id,
+                out.batch_size as u64,
+            );
             let m = &ctx.info;
             let doc = JsonValue::Object(vec![
                 ("method".to_string(), JsonValue::String(m.method.clone())),
@@ -309,7 +352,7 @@ fn forecast(req: &Request, ctx: &ServerCtx) -> Response {
                 ("dim".to_string(), JsonValue::Number(m.dim as f64)),
                 (
                     "forecast".to_string(),
-                    JsonValue::Array(forecast.into_iter().map(JsonValue::Number).collect()),
+                    JsonValue::Array(out.forecast.into_iter().map(JsonValue::Number).collect()),
                 ),
             ]);
             Response::json(200, doc.compact() + "\n")

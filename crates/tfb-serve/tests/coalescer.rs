@@ -66,8 +66,10 @@ fn submit_concurrently(
                 scope.spawn(move || {
                     let window: Vec<f64> = (0..width).map(|j| (i * width + j) as f64).collect();
                     let rx = coalescer.submit(window.clone()).expect("submit");
-                    let forecast = rx.recv().expect("reply").expect("predict");
-                    (window, forecast)
+                    let out = rx.recv().expect("reply").expect("predict");
+                    assert!(out.batch_id > 0, "batch ids start at 1");
+                    assert!(out.batch_size >= 1, "batch size must be positive");
+                    (window, out.forecast)
                 })
             })
             .collect();

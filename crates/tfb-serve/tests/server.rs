@@ -144,9 +144,25 @@ fn healthz_and_metrics_respond() {
     assert_eq!(parsed.get("method").and_then(|v| v.as_str()), Some("LR"));
     assert_eq!(parsed.get("lookback").and_then(|v| v.as_f64()), Some(16.0));
 
+    // `/metrics` is OpenMetrics text: correct content-type, validator
+    // clean, `# EOF`-terminated — also with obs recording disarmed,
+    // where the exposition is empty but still well formed.
     let metrics = request(addr, "GET", "/metrics", "");
     assert_eq!(metrics.status, 200);
-    let parsed = JsonValue::parse(&metrics.body).expect("metrics JSON");
+    assert!(
+        metrics
+            .header("content-type")
+            .is_some_and(|v| v.contains("openmetrics-text")),
+        "missing OpenMetrics content-type: {:?}",
+        metrics.headers
+    );
+    assert!(metrics.body.ends_with("# EOF\n"), "{}", metrics.body);
+    tfb_obs::openmetrics::validate(&metrics.body).expect("valid OpenMetrics");
+
+    // `/metrics.json` keeps the raw JSON snapshot.
+    let metrics_json = request(addr, "GET", "/metrics.json", "");
+    assert_eq!(metrics_json.status, 200);
+    let parsed = JsonValue::parse(&metrics_json.body).expect("metrics JSON");
     assert!(parsed.get("counters").is_some());
     assert!(parsed.get("histograms").is_some());
     handle.shutdown();

@@ -8,6 +8,8 @@
 //! tfb obs gate [--baseline X] [--candidate Y]
 //!              [--tol-pct P] [--tol-metric P] [--min-runs K]
 //!                                                   noise-aware regression gate
+//! tfb obs export-trace EVENTS.jsonl [--out FILE]    Perfetto/Chrome trace JSON
+//! tfb obs validate-metrics FILE                     check an OpenMetrics exposition
 //! tfb train --method M --dataset D --out MODEL.tfba
 //!                                                   fit and save a model artifact
 //! tfb serve --model MODEL.tfba [--addr HOST:PORT]   serve forecasts over HTTP
@@ -40,10 +42,13 @@ const USAGE: &str = "usage: tfb <command>
   obs trend [--metric M] [--limit N] [--history DIR]
   obs gate [--baseline X] [--candidate Y] [--tol-pct P] [--tol-metric P]
            [--min-runs K] [--history DIR|none]
+  obs export-trace EVENTS.jsonl [--out TRACE.json]
+  obs validate-metrics FILE
   train --method M --dataset D --out MODEL.tfba [--lookback N] [--horizon N]
         [--norm ZScore|MinMax|None] [--max-len N] [--max-dim N] [--epochs N]
   serve --model MODEL.tfba [--addr HOST:PORT] [--max-batch N]
-        [--max-delay-ms N] [--queue-cap N]
+        [--max-delay-ms N] [--queue-cap N] [--out DIR]
+        [--slo-ms MS] [--slo-objective Q]
   datasets
   methods
   characterize DATASET [--max-len N]
@@ -294,6 +299,8 @@ fn cmd_obs(args: &[String]) -> ExitCode {
         Some("diff") => cmd_obs_diff(&args[1..]),
         Some("trend") => cmd_obs_trend(&args[1..]),
         Some("gate") => cmd_obs_gate(&args[1..]),
+        Some("export-trace") => cmd_obs_export_trace(&args[1..]),
+        Some("validate-metrics") => cmd_obs_validate_metrics(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::FAILURE
@@ -563,6 +570,70 @@ fn cmd_obs_gate(args: &[String]) -> ExitCode {
     }
 }
 
+/// `tfb obs export-trace`: convert a run's JSONL event log into Chrome
+/// trace-event JSON — one lane per worker thread, one slice per span /
+/// traced request (with per-phase child slices), and flow arrows tying
+/// each request to the coalescer batch that served it. The output loads
+/// in Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`.
+fn cmd_obs_export_trace(args: &[String]) -> ExitCode {
+    let pos = positionals(args);
+    let [events_path] = pos.as_slice() else {
+        eprintln!("usage: tfb obs export-trace EVENTS.jsonl [--out TRACE.json]");
+        return ExitCode::FAILURE;
+    };
+    let out = flag_value(args, "--out").unwrap_or_else(|| format!("{events_path}.trace.json"));
+    let text = match std::fs::read_to_string(events_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tfb obs export-trace: cannot read {events_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match tfb_obs::export::chrome_trace(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tfb obs export-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, &trace) {
+        eprintln!("tfb obs export-trace: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "wrote {out} ({} bytes) — open it in https://ui.perfetto.dev",
+        trace.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `tfb obs validate-metrics`: check a saved `GET /metrics` exposition
+/// against the in-repo OpenMetrics validator (the same one CI runs).
+fn cmd_obs_validate_metrics(args: &[String]) -> ExitCode {
+    let pos = positionals(args);
+    let [path] = pos.as_slice() else {
+        eprintln!("usage: tfb obs validate-metrics FILE");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tfb obs validate-metrics: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match tfb_obs::openmetrics::validate(&text) {
+        Ok(()) => {
+            println!("{path}: valid OpenMetrics text format");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tfb obs validate-metrics: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `tfb train`: fit one method on one dataset and save the parameters as
 /// a `tfb-artifact/v1` file. The normalization sequence is exactly the
 /// offline pipeline's: fit the normalizer on the raw training split,
@@ -665,6 +736,13 @@ fn cmd_train(args: &[String]) -> ExitCode {
 /// `tfb serve`: load an artifact and answer `POST /forecast` until a
 /// SIGTERM/SIGINT (or `POST /shutdown`) drains the server. The listen
 /// address prints to stdout so scripts can discover an ephemeral port.
+///
+/// With `--out DIR` the serving run writes its JSONL event log (every
+/// span and traced request) to `DIR/serve.events.jsonl` and, on drain,
+/// its manifest to `DIR/serve.manifest.json` — feed the event log to
+/// `tfb obs export-trace` for a Perfetto view. `--slo-ms` /
+/// `--slo-objective` set the latency SLO the burn-rate gauges on
+/// `GET /metrics` track (default 50 ms at p99).
 fn cmd_serve(args: &[String]) -> ExitCode {
     let Some(model_path) = flag_value(args, "--model") else {
         eprintln!("tfb serve: missing --model MODEL.tfba");
@@ -688,15 +766,35 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Arm the live metric registry so `GET /metrics` has data; the
-    // serving process writes no event log or manifest file.
+    // Arm the live metric registry so `GET /metrics` has data. Without
+    // `--out` the serving process writes no event log or manifest file.
+    let out_dir = flag_value(args, "--out").map(PathBuf::from);
     let obs_on = std::env::var("TFB_OBS").map(|v| v != "0").unwrap_or(true);
     let mut obs_armed = false;
     if obs_on {
-        match tfb_obs::start_run(tfb_obs::RunOptions::default()) {
+        let events_path = out_dir.as_ref().map(|dir| {
+            let _ = std::fs::create_dir_all(dir);
+            dir.join("serve.events.jsonl")
+        });
+        match tfb_obs::start_run(tfb_obs::RunOptions { events_path }) {
             Ok(()) => obs_armed = true,
             Err(e) => eprintln!("tfb serve: could not arm observability: {e}"),
         }
+    }
+    // The SLO must be configured after arming: starting a run resets the
+    // tracker so stale windows never leak across runs.
+    let slo_ms: Option<f64> = flag_value(args, "--slo-ms").and_then(|v| v.parse().ok());
+    let slo_objective: Option<f64> =
+        flag_value(args, "--slo-objective").and_then(|v| v.parse().ok());
+    if obs_armed && (slo_ms.is_some() || slo_objective.is_some()) {
+        let mut slo = tfb_obs::trace::SloConfig::default();
+        if let Some(ms) = slo_ms {
+            slo.threshold = std::time::Duration::from_secs_f64(ms.max(0.0) / 1e3);
+        }
+        if let Some(q) = slo_objective {
+            slo.objective = q.clamp(0.0, 0.999_999);
+        }
+        tfb_obs::trace::configure_slo(slo);
     }
     tfb::serve::install_signal_handlers();
     eprintln!(
@@ -717,7 +815,19 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     handle.run_until(tfb::serve::signal_received);
     eprintln!("draining and shutting down...");
     if obs_armed {
-        let _ = tfb_obs::finish_run(&[("command", "serve".to_string())]);
+        let meta = [
+            ("command", "serve".to_string()),
+            ("model", model_path.clone()),
+        ];
+        if let Some(manifest) = tfb_obs::finish_run(&meta) {
+            if let Some(dir) = &out_dir {
+                let path = dir.join("serve.manifest.json");
+                match manifest.write(&path) {
+                    Ok(()) => eprintln!("wrote {}", path.display()),
+                    Err(e) => eprintln!("could not write the serve manifest: {e}"),
+                }
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,255 @@
+//! End-to-end request tracing over real TCP: an armed run serves
+//! concurrent forecasts, every response carries a unique
+//! `x-tfb-trace-id`, the recorded phase timings account for the
+//! end-to-end latency, `GET /metrics` is validator-clean OpenMetrics,
+//! the event log exports to Chrome/Perfetto trace JSON
+//! deterministically, and the run manifest gains `slo` + `exemplars`.
+//!
+//! The recorder is process-global, so everything lives in ONE `#[test]`.
+
+#![cfg(feature = "obs")]
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use tfb::artifact::{fit, ServableModel};
+use tfb::data::{ChronoSplit, Normalization, Normalizer};
+use tfb::serve::{serve, ServerConfig};
+use tfb_json::JsonValue;
+
+const LOOKBACK: usize = 16;
+const HORIZON: usize = 8;
+
+fn lr_model() -> ServableModel {
+    let profile = tfb::datagen::profile_by_name("ILI").expect("profile");
+    let series = profile.generate(tfb::datagen::Scale::TINY);
+    let split = ChronoSplit::split(&series, profile.split).expect("split");
+    let norm = Normalizer::fit(&split.train, Normalization::ZScore);
+    let normed = norm.apply(&series).expect("normalize");
+    let train = normed.slice_rows(0..split.val_start);
+    let artifact = fit("LR", &train, LOOKBACK, HORIZON, norm, String::new(), None).expect("fit");
+    ServableModel::from_artifact(artifact).expect("servable")
+}
+
+struct HttpReply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl HttpReply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> HttpReply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            let (k, v) = (k.trim().to_string(), v.trim().to_string());
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.parse().expect("content-length");
+            }
+            headers.push((k, v));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    HttpReply {
+        status,
+        headers,
+        body: String::from_utf8(body).expect("utf-8 body"),
+    }
+}
+
+#[test]
+fn traced_serving_run_end_to_end() {
+    let out_dir = std::env::temp_dir().join(format!("tfb_trace_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+    std::fs::create_dir_all(&out_dir).expect("out dir");
+    let events_path = out_dir.join("serve.events.jsonl");
+
+    tfb_obs::start_run(tfb_obs::RunOptions {
+        events_path: Some(events_path.clone()),
+    })
+    .expect("sink opens");
+    // A zero-latency threshold guarantees observable breaches, proving
+    // the SLO tracker is wired through to the manifest.
+    tfb_obs::trace::configure_slo(tfb_obs::trace::SloConfig {
+        threshold: Duration::ZERO,
+        objective: 0.99,
+    });
+
+    let model = lr_model();
+    let dim = model.dim();
+    let handle = serve(
+        model,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            coalescer: tfb::serve::CoalescerConfig::default(),
+        },
+    )
+    .expect("serve");
+    let addr = handle.addr();
+
+    // 12 threads x 4 forecasts: every reply must carry a well-formed,
+    // process-unique trace id.
+    let body = {
+        let window: Vec<f64> = (0..LOOKBACK * dim).map(|i| (i as f64) * 0.01).collect();
+        JsonValue::Object(vec![(
+            "window".to_string(),
+            JsonValue::Array(window.into_iter().map(JsonValue::Number).collect()),
+        )])
+        .compact()
+    };
+    let ids: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+    std::thread::scope(|scope| {
+        for _ in 0..12 {
+            scope.spawn(|| {
+                for _ in 0..4 {
+                    let reply = request(addr, "POST", "/forecast", &body);
+                    assert_eq!(reply.status, 200, "{}", reply.body);
+                    let id = reply
+                        .header("x-tfb-trace-id")
+                        .expect("armed responses carry a trace id")
+                        .to_string();
+                    assert_eq!(id.len(), 16, "{id}");
+                    assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{id}");
+                    assert!(
+                        ids.lock().unwrap().insert(id),
+                        "duplicate trace id across concurrent requests"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(ids.into_inner().unwrap().len(), 48);
+
+    // The armed exposition is validator-clean and carries the tracing
+    // families plus the SLO gauges.
+    let metrics = request(addr, "GET", "/metrics", "");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics
+        .header("content-type")
+        .is_some_and(|v| v.contains("openmetrics-text")));
+    tfb_obs::openmetrics::validate(&metrics.body).expect("valid OpenMetrics");
+    for family in [
+        "tfb_request_seconds_bucket",
+        "tfb_request_phase_seconds_bucket{phase=\"infer\"",
+        "tfb_slo_burn_rate{window=\"1m\"}",
+        "tfb_serve_queue_depth",
+        "tfb_serve_batch_fill_ratio",
+    ] {
+        assert!(
+            metrics.body.contains(family),
+            "missing {family} in:\n{}",
+            metrics.body
+        );
+    }
+
+    handle.shutdown();
+    let manifest = tfb_obs::finish_run(&[("test", "trace_e2e".to_string())]).expect("manifest");
+
+    // SLO and exemplars surfaced in the manifest: every request scored,
+    // every one a breach (zero threshold), worst-N ring bounded.
+    let slo = manifest.slo.as_ref().expect("slo section");
+    assert!(slo.total >= 48, "all requests scored: {}", slo.total);
+    assert_eq!(
+        slo.breaches, slo.total,
+        "zero threshold breaches everything"
+    );
+    assert!(!manifest.exemplars.is_empty());
+    assert!(manifest.exemplars.len() <= 8);
+
+    // Event-log invariants: one trace event per request, phase sums
+    // bounded by (and close to) the end-to-end total.
+    let events = std::fs::read_to_string(&events_path).expect("events written");
+    let mut traces = 0usize;
+    let mut batched = 0usize;
+    for line in events.lines() {
+        let v = JsonValue::parse(line).expect("event line parses");
+        if v.get("ev").and_then(JsonValue::as_str) != Some("trace") {
+            continue;
+        }
+        traces += 1;
+        let total = v
+            .get("total_ns")
+            .and_then(JsonValue::as_f64)
+            .expect("total");
+        let sum: f64 = v
+            .get("phases")
+            .and_then(JsonValue::as_object)
+            .expect("phases")
+            .iter()
+            .map(|(_, ns)| ns.as_f64().expect("ns"))
+            .sum();
+        assert!(sum <= total, "phase sum {sum} > total {total}");
+        assert!(
+            total - sum < 5e6,
+            "more than 5 ms of a request is unattributed ({total} vs {sum})"
+        );
+        if v.get("batch_id").and_then(JsonValue::as_f64).is_some() {
+            batched += 1;
+        }
+    }
+    assert!(traces >= 49, "48 forecasts + /metrics traced, saw {traces}");
+    assert_eq!(batched, 48, "every forecast links to its batch");
+
+    // The exporter turns the log into deterministic, well-formed
+    // Chrome/Perfetto trace JSON with request slices and thread lanes.
+    let trace_a = tfb_obs::export::chrome_trace(&events).expect("export");
+    let trace_b = tfb_obs::export::chrome_trace(&events).expect("export");
+    assert_eq!(trace_a, trace_b, "export must be deterministic");
+    let doc = JsonValue::parse(&trace_a).expect("trace JSON parses");
+    let slices = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents");
+    assert!(!slices.is_empty());
+    let names: Vec<&str> = slices
+        .iter()
+        .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+        .collect();
+    assert!(names.iter().any(|n| n.starts_with("request ")));
+    assert!(names.iter().any(|n| n.starts_with("phase:")));
+    assert!(names.contains(&"thread_name"), "missing lane metadata");
+    assert!(
+        names.contains(&"serve.batch"),
+        "missing batch-worker slices"
+    );
+
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
