@@ -1,0 +1,265 @@
+//! `bench_math`: ns-level microbenchmarks of the tfb-math dispatch
+//! kernels (dot / axpy / GEMM k-tile), scalar reference vs the
+//! unrolled (and, where the CPU has it, AVX2) path, across shapes that
+//! straddle the 4-wide unroll and the serve-sized GEMM.
+//!
+//! Methodology: each (kernel, shape, path) cell is timed as
+//! `min over R repetitions of (wall time of K back-to-back calls / K)`
+//! — the minimum estimates the true cost with the least scheduler and
+//! frequency noise, which is what a speedup ratio needs. Inputs carry
+//! exact zeros at the same density the GEMM zero-skip sees in real
+//! designs. Results print as a table and land in `BENCH_math.json` at
+//! the workspace root in the same rebar-style `{name, value, unit}`
+//! schema as `BENCH_serve.json`.
+//!
+//! The speedup entries compare the *same semantics on the same data* —
+//! every path is bit-identical by construction (see
+//! `tfb-math/tests/kernel_props.rs`), so any ratio above 1.0 is free
+//! throughput, not a precision trade.
+
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+use tfb_bench::RunScale;
+use tfb_json::JsonValue;
+use tfb_math::kernel::{self, KernelPath};
+
+/// One timed closure per kernel variant.
+type TimedRun<'a> = (&'a str, Box<dyn Fn() -> f64 + 'a>);
+
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static ALLOC: tfb_obs::alloc::CountingAllocator = tfb_obs::alloc::CountingAllocator;
+
+struct Entry {
+    name: String,
+    value: f64,
+    unit: &'static str,
+}
+
+/// Deterministic pseudo-random data. `zeros` mixes exact zeros in
+/// (about one in seven) — used for the zero-skip kernels, whose branch
+/// behaviour is the thing being measured; the dense variant matches
+/// fitted model weights, where exact zeros are rare.
+fn data(n: usize, seed: u64, zeros: bool) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if zeros && state.is_multiple_of(7) {
+                0.0
+            } else {
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+            }
+        })
+        .collect()
+}
+
+/// `min over reps of (elapsed(K calls) / K)`, in nanoseconds.
+fn time_ns(reps: usize, calls: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..calls {
+            f();
+        }
+        let per_call = t0.elapsed().as_nanos() as f64 / calls as f64;
+        if per_call < best {
+            best = per_call;
+        }
+    }
+    best
+}
+
+fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
+    let scale = RunScale::from_env();
+    let (reps, budget_ns) = match scale {
+        RunScale::Fast => (5, 200_000.0),
+        RunScale::Default => (15, 1_000_000.0),
+        RunScale::Full => (40, 5_000_000.0),
+    };
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut push = |entries: &mut Vec<Entry>, name: String, value: f64, unit: &'static str| {
+        entries.push(Entry { name, value, unit });
+    };
+
+    let best = kernel::best_unrolled();
+    println!(
+        "kernel paths: scalar vs {} ({} reps, min-of-reps)",
+        best.name(),
+        reps
+    );
+
+    // How many back-to-back calls one timing sample aggregates: enough
+    // that a sample is well above timer resolution, derived from a
+    // first scalar estimate against the per-sample time budget.
+    let calls_for = |est_ns: f64| ((budget_ns / est_ns.max(1.0)) as usize).clamp(8, 100_000);
+
+    // dot (serial accumulator chain) and its zero-skipping variant over
+    // unroll-straddling and cache-spanning lengths.
+    for &n in &[64usize, 256, 1024, 4096] {
+        // `dot_skip` branches on zeros in `x`, so `x` carries them.
+        let x = data(n, n as u64 + 1, true);
+        let y = data(n, n as u64 + 2, false);
+        let runs: [TimedRun; 2] = [
+            (
+                "dot",
+                Box::new(|| kernel::dot_acc(0.0, black_box(&x), black_box(&y))),
+            ),
+            (
+                "dot_skip",
+                Box::new(|| kernel::dot_skip(black_box(&x), black_box(&y))),
+            ),
+        ];
+        for (kind, run) in &runs {
+            let est = kernel::with_path(KernelPath::Scalar, || {
+                time_ns(2, 64, || {
+                    black_box(run());
+                })
+            });
+            let calls = calls_for(est);
+            let scalar = kernel::with_path(KernelPath::Scalar, || {
+                time_ns(reps, calls, || {
+                    black_box(run());
+                })
+            });
+            let fast = kernel::with_path(best, || {
+                time_ns(reps, calls, || {
+                    black_box(run());
+                })
+            });
+            report(
+                &mut entries,
+                &mut push,
+                kind,
+                &format!("n{n}"),
+                scalar,
+                fast,
+            );
+        }
+    }
+
+    // axpy: out += a * x, elementwise-independent (the SIMD-friendly
+    // shape).
+    for &n in &[64usize, 256, 1024, 4096] {
+        let x = data(n, n as u64 + 3, false);
+        let mut out = data(n, n as u64 + 4, false);
+        let est = kernel::with_path(KernelPath::Scalar, || {
+            time_ns(2, 64, || {
+                kernel::axpy(1.0001, black_box(&x), black_box(&mut out))
+            })
+        });
+        let calls = calls_for(est);
+        let scalar = kernel::with_path(KernelPath::Scalar, || {
+            time_ns(reps, calls, || {
+                kernel::axpy(1.0001, black_box(&x), black_box(&mut out))
+            })
+        });
+        let fast = kernel::with_path(best, || {
+            time_ns(reps, calls, || {
+                kernel::axpy(1.0001, black_box(&x), black_box(&mut out))
+            })
+        });
+        report(
+            &mut entries,
+            &mut push,
+            "axpy",
+            &format!("n{n}"),
+            scalar,
+            fast,
+        );
+    }
+
+    // GEMM k-tile: (depth x n) shapes — the serve-sized LR forecast
+    // (depth 24 inputs x 8 outputs), a square-ish mid size, and a
+    // non-multiple-of-4 tail in both dimensions.
+    for &(depth, n) in &[(24usize, 8usize), (64, 64), (130, 33), (128, 256)] {
+        let lhs = data(depth, (depth * 31 + n) as u64, false);
+        let rhs = data(depth * n, (depth * 37 + n) as u64, false);
+        let mut out = data(n, n as u64 + 9, false);
+        let est = kernel::with_path(KernelPath::Scalar, || {
+            time_ns(2, 16, || {
+                kernel::gemm_row_ktile(black_box(&lhs), black_box(&rhs), n, black_box(&mut out))
+            })
+        });
+        let calls = calls_for(est);
+        let scalar = kernel::with_path(KernelPath::Scalar, || {
+            time_ns(reps, calls, || {
+                kernel::gemm_row_ktile(black_box(&lhs), black_box(&rhs), n, black_box(&mut out))
+            })
+        });
+        let fast = kernel::with_path(best, || {
+            time_ns(reps, calls, || {
+                kernel::gemm_row_ktile(black_box(&lhs), black_box(&rhs), n, black_box(&mut out))
+            })
+        });
+        report(
+            &mut entries,
+            &mut push,
+            "gemm",
+            &format!("k{depth}_n{n}"),
+            scalar,
+            fast,
+        );
+    }
+
+    let doc = JsonValue::Object(vec![(
+        "benchmarks".into(),
+        JsonValue::Array(
+            entries
+                .iter()
+                .map(|e| {
+                    JsonValue::Object(vec![
+                        ("name".into(), JsonValue::from(e.name.as_str())),
+                        ("value".into(), JsonValue::Number(e.value)),
+                        ("unit".into(), JsonValue::from(e.unit)),
+                    ])
+                })
+                .collect(),
+        ),
+    )]);
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_math.json");
+    std::fs::write(&path, doc.pretty() + "\n").expect("write BENCH_math.json");
+    println!("wrote {}", path.display());
+}
+
+fn report(
+    entries: &mut Vec<Entry>,
+    push: &mut impl FnMut(&mut Vec<Entry>, String, f64, &'static str),
+    kind: &str,
+    shape: &str,
+    scalar_ns: f64,
+    fast_ns: f64,
+) {
+    let speedup = scalar_ns / fast_ns.max(1e-9);
+    println!(
+        "{kind:>9} {shape:<10} scalar {scalar_ns:10.1} ns | {} {fast_ns:10.1} ns | x{speedup:5.2}",
+        kernel::best_unrolled().name()
+    );
+    push(
+        entries,
+        format!("math/{kind}_{shape}_scalar"),
+        scalar_ns,
+        "ns",
+    );
+    push(
+        entries,
+        format!("math/{kind}_{shape}_unrolled"),
+        fast_ns,
+        "ns",
+    );
+    push(
+        entries,
+        format!("math/{kind}_{shape}_speedup"),
+        speedup,
+        "x",
+    );
+}

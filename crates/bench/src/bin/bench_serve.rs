@@ -1,24 +1,38 @@
 //! `bench_serve`: closed-loop load test of the forecast server.
 //!
-//! Trains a small LR artifact in-process, serves it on an ephemeral port
-//! through the real TCP + coalescer stack, and drives it with N
-//! keep-alive clients that each send the next `POST /forecast` the
-//! moment the previous reply lands. Reported: sustained throughput,
-//! client-observed latency quantiles, the coalescer's batch-size
-//! distribution (from the live `serve/batch_size` histogram), the
-//! server-side per-phase latency breakdown (parse / queue / collect /
-//! infer / dispatch / write, from the request traces), and the shed
-//! rate. Results are printed and written to `BENCH_serve.json` at
-//! the workspace root in the same rebar-style `{name, value, unit}`
-//! schema as `BENCH_engine.json`, so `tfb obs gate` and CI can guard
-//! serving throughput like any other benchmark.
+//! Trains a small LR artifact in-process and drives it over real TCP
+//! with N keep-alive clients that each send the next `POST /forecast`
+//! the moment the previous reply lands. Three kinds of legs run, all
+//! against freshly started servers on ephemeral ports:
+//!
+//! 1. **primary** — the deadline-driven sharded configuration (shard
+//!    count = the largest of the sweep; `--shards` overrides). Reported
+//!    under the historical `serve/*` names so `tfb obs gate` keeps
+//!    comparing one continuous series, plus `serve/shards`, per-shard
+//!    batch fill and steal counts, and (with the default
+//!    `alloc-track` feature) allocator calls/bytes per request.
+//! 2. **legacy** — one shard with `coalesce_hint == budget == 2 ms`,
+//!    which reproduces the old fixed-timer coalescer byte for byte.
+//!    Reported as `serve/legacy/*`; the `serve/speedup_vs_legacy`
+//!    entry is the before/after ratio measured live on this machine,
+//!    not read from history.
+//! 3. **sweep** — one leg per requested shard count (`--shards 1,2,4`
+//!    or a power-of-two ladder up to the core count by default),
+//!    reported as `serve/sweep/s{N}/*` for scaling curves.
+//!
+//! The primary leg runs first so its phase attribution and batch-size
+//! histogram come from an uncontaminated registry; later legs report
+//! only per-leg counter deltas and client-side latencies.
 //!
 //! Interpreting the numbers: the model (LR on a TINY profile) is cheap
 //! by design — the benchmark measures the serving stack (HTTP parsing,
-//! coalescing, routing, backpressure), not the forecaster. Batch sizes
-//! above 1 under concurrent load demonstrate the coalescer is actually
-//! amortizing `predict_batch` calls; a shed rate of zero just means the
-//! bounded queue never filled at this client count.
+//! coalescing, deadline close, stealing, backpressure), not the
+//! forecaster. Batch sizes above 1 under concurrent load demonstrate
+//! the coalescer is actually amortizing `predict_batch` calls; a shed
+//! rate of zero just means the bounded queue never filled at this
+//! client count. Results are printed and written to `BENCH_serve.json`
+//! at the workspace root in the same rebar-style `{name, value, unit}`
+//! schema as `BENCH_engine.json`.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -91,10 +105,16 @@ fn client_loop(addr: std::net::SocketAddr, body: &str, stop: &AtomicBool) -> (Ve
     let request = format!("{head}{body}");
     let mut latencies = Vec::new();
     let mut shed = 0u64;
+    // Reused reply buffers: the bench runs with the counting allocator
+    // installed, so the client loop must stay allocation-free per
+    // request for `serve/allocs_per_request` to be attributable to the
+    // serving stack.
+    let mut line = String::new();
+    let mut reply_body = Vec::new();
     while !stop.load(Ordering::Relaxed) {
         let t0 = Instant::now();
         writer.write_all(request.as_bytes()).expect("write");
-        let status = read_reply(&mut reader);
+        let status = read_reply(&mut reader, &mut line, &mut reply_body);
         latencies.push(t0.elapsed().as_secs_f64() * 1e6);
         match status {
             200 => {}
@@ -106,11 +126,11 @@ fn client_loop(addr: std::net::SocketAddr, body: &str, stop: &AtomicBool) -> (Ve
 }
 
 /// Reads one HTTP reply off the connection, discarding the body. Returns
-/// the status code.
-fn read_reply(reader: &mut BufReader<TcpStream>) -> u16 {
-    let mut status_line = String::new();
-    reader.read_line(&mut status_line).expect("status line");
-    let status: u16 = status_line
+/// the status code. `line` and `body` are reused scratch buffers.
+fn read_reply(reader: &mut BufReader<TcpStream>, line: &mut String, body: &mut Vec<u8>) -> u16 {
+    line.clear();
+    reader.read_line(line).expect("status line");
+    let status: u16 = line
         .split_whitespace()
         .nth(1)
         .expect("status code")
@@ -118,20 +138,21 @@ fn read_reply(reader: &mut BufReader<TcpStream>) -> u16 {
         .expect("numeric status");
     let mut content_length = 0usize;
     loop {
-        let mut line = String::new();
-        reader.read_line(&mut line).expect("header line");
-        let line = line.trim_end();
-        if line.is_empty() {
+        line.clear();
+        reader.read_line(line).expect("header line");
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
             break;
         }
-        if let Some((k, v)) = line.split_once(':') {
+        if let Some((k, v)) = trimmed.split_once(':') {
             if k.trim().eq_ignore_ascii_case("content-length") {
                 content_length = v.trim().parse().expect("content-length");
             }
         }
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).expect("body");
+    body.clear();
+    body.resize(content_length, 0);
+    reader.read_exact(body).expect("body");
     status
 }
 
@@ -144,53 +165,70 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
 
-fn main() {
-    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+/// Client-side stats from one leg, plus the counter deltas that
+/// attribute server behaviour to the leg (the metric registry is
+/// cumulative across a process).
+struct LegStats {
+    latencies_us: Vec<f64>,
+    shed: u64,
+    elapsed_s: f64,
+    shards: usize,
+    steals: u64,
+    batches: f64,
+    batched_requests: f64,
+    per_shard_batches: Vec<f64>,
+    per_shard_steals: Vec<f64>,
 }
 
-fn run() {
-    let scale = RunScale::from_env();
-    let clients = 8usize;
-    let duration = match scale {
-        RunScale::Fast => Duration::from_secs(1),
-        RunScale::Default => Duration::from_secs(3),
-        RunScale::Full => Duration::from_secs(10),
-    };
-    let mut entries: Vec<Entry> = Vec::new();
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    println!("machine: {cores} core(s), {clients} closed-loop client(s), {duration:?} run");
-    push(&mut entries, "serve/cores", cores as f64, "count");
-    push(&mut entries, "serve/clients", clients as f64, "count");
+impl LegStats {
+    fn total(&self) -> f64 {
+        self.latencies_us.len() as f64
+    }
 
-    let model = train_model();
-    let dim = model.dim();
+    fn throughput(&self) -> f64 {
+        self.total() / self.elapsed_s
+    }
+
+    fn p(&self, q: f64) -> f64 {
+        percentile(&self.latencies_us, q)
+    }
+}
+
+fn counter_value(snapshot: &tfb_obs::MetricsSnapshot, name: &str) -> f64 {
+    snapshot
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|&(_, v)| v as f64)
+        .unwrap_or(0.0)
+}
+
+/// Starts a fresh server with `cfg`, drives it with `clients`
+/// closed-loop clients for `duration`, and returns the leg's stats.
+fn run_leg(
+    model: ServableModel,
+    cfg: CoalescerConfig,
+    clients: usize,
+    duration: Duration,
+    body: &str,
+) -> LegStats {
+    let before = tfb_obs::metrics_snapshot();
     let handle = serve(
         model,
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
-            coalescer: CoalescerConfig::default(),
+            coalescer: cfg,
         },
     )
     .expect("serve");
     let addr = handle.addr();
-    println!("serving LR (lookback {LOOKBACK}, horizon {HORIZON}, {dim}d) on {addr}");
-
-    let window: Vec<f64> = (0..LOOKBACK * dim)
-        .map(|i| (i as f64) * 0.13 - 2.0)
-        .collect();
-    let body = JsonValue::Object(vec![(
-        "window".to_string(),
-        JsonValue::Array(window.iter().map(|&v| JsonValue::Number(v)).collect()),
-    )])
-    .compact();
-
+    let shards = handle.shards();
     let stop = AtomicBool::new(false);
     let (mut latencies, mut shed) = (Vec::new(), 0u64);
+    let t0 = Instant::now();
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..clients)
-            .map(|_| scope.spawn(|| client_loop(addr, &body, &stop)))
+            .map(|_| scope.spawn(|| client_loop(addr, body, &stop)))
             .collect();
         std::thread::sleep(duration);
         stop.store(true, Ordering::Relaxed);
@@ -200,61 +238,167 @@ fn run() {
             shed += s;
         }
     });
-    let elapsed = duration.as_secs_f64();
-    let total = latencies.len() as f64;
-    let throughput = total / elapsed;
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let steals = handle.steal_count();
+    handle.shutdown();
+    let after = tfb_obs::metrics_snapshot();
+    let delta = |name: &str| counter_value(&after, name) - counter_value(&before, name);
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
-    let mean = latencies.iter().sum::<f64>() / total.max(1.0);
-    let (p50, p95, p99) = (
-        percentile(&latencies, 50.0),
-        percentile(&latencies, 95.0),
-        percentile(&latencies, 99.0),
+    LegStats {
+        latencies_us: latencies,
+        shed,
+        elapsed_s,
+        shards,
+        steals,
+        batches: delta("serve/batches"),
+        batched_requests: delta("serve/batched_requests"),
+        per_shard_batches: (0..shards)
+            .map(|i| delta(&format!("serve/shard{i}/batches")))
+            .collect(),
+        per_shard_steals: (0..shards)
+            .map(|i| delta(&format!("serve/shard{i}/steals")))
+            .collect(),
+    }
+}
+
+/// `--flag value` lookup over the raw args.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    tfb_bench::with_obs(env!("CARGO_BIN_NAME"), run);
+}
+
+fn run() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = RunScale::from_env();
+    let clients: usize = flag_value(&args, "--clients")
+        .map(|v| v.parse().expect("--clients takes a number"))
+        .unwrap_or(8);
+    let duration = flag_value(&args, "--duration-secs")
+        .map(|v| Duration::from_secs_f64(v.parse().expect("--duration-secs takes seconds")))
+        .unwrap_or(match scale {
+            RunScale::Fast => Duration::from_secs(1),
+            RunScale::Default => Duration::from_secs(3),
+            RunScale::Full => Duration::from_secs(10),
+        });
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Shard counts to sweep (`--cores` is an accepted alias — on a
+    // thread-per-core server they are the same axis): a power-of-two
+    // ladder up to the core count by default; the largest is the
+    // primary configuration.
+    let sweep: Vec<usize> = flag_value(&args, "--shards")
+        .or_else(|| flag_value(&args, "--cores"))
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().parse().expect("--shards takes e.g. 1,2,4"))
+                .collect()
+        })
+        .unwrap_or_else(|| {
+            let mut ladder = vec![1usize];
+            while ladder.last().copied().unwrap_or(1) * 2 <= cores {
+                ladder.push(ladder.last().unwrap() * 2);
+            }
+            ladder
+        });
+    let primary_shards = sweep.iter().copied().max().unwrap_or(1);
+
+    let mut entries: Vec<Entry> = Vec::new();
+    println!(
+        "machine: {cores} core(s), {clients} closed-loop client(s), {duration:?}/leg, \
+         shard sweep {sweep:?}"
     );
-    println!("throughput: {throughput:9.0} req/s ({total:.0} requests in {elapsed:.1} s)");
+    push(&mut entries, "serve/cores", cores as f64, "count");
+    push(&mut entries, "serve/clients", clients as f64, "count");
+
+    let model = train_model();
+    let dim = model.dim();
+    println!("serving LR (lookback {LOOKBACK}, horizon {HORIZON}, {dim}d)");
+    let window: Vec<f64> = (0..LOOKBACK * dim)
+        .map(|i| (i as f64) * 0.13 - 2.0)
+        .collect();
+    let body = JsonValue::Object(vec![(
+        "window".to_string(),
+        JsonValue::Array(window.iter().map(|&v| JsonValue::Number(v)).collect()),
+    )])
+    .compact();
+
+    // -- Primary leg: first, so the registry's histograms and traces
+    // belong to it alone.
+    #[cfg(feature = "alloc-track")]
+    let alloc_before = tfb_obs::alloc::stats();
+    let primary = run_leg(
+        model,
+        CoalescerConfig {
+            shards: primary_shards,
+            ..CoalescerConfig::default()
+        },
+        clients,
+        duration,
+        &body,
+    );
+    #[cfg(feature = "alloc-track")]
+    let alloc_after = tfb_obs::alloc::stats();
+    let total = primary.total();
+    let throughput = primary.throughput();
+    let mean = primary.latencies_us.iter().sum::<f64>() / total.max(1.0);
+    let (p50, p95, p99) = (primary.p(50.0), primary.p(95.0), primary.p(99.0));
+    println!(
+        "primary ({} shard(s)): {throughput:9.0} req/s ({total:.0} requests in {:.1} s)",
+        primary.shards, primary.elapsed_s
+    );
     println!(
         "latency:    {mean:7.0} us mean | {p50:7.0} us p50 | {p95:7.0} us p95 | {p99:7.0} us p99"
     );
+    push(&mut entries, "serve/shards", primary.shards as f64, "count");
     push(&mut entries, "serve/requests", total, "count");
     push(&mut entries, "serve/throughput", throughput, "req/s");
     push(&mut entries, "serve/latency_mean", mean, "us");
     push(&mut entries, "serve/latency_p50", p50, "us");
     push(&mut entries, "serve/latency_p95", p95, "us");
     push(&mut entries, "serve/latency_p99", p99, "us");
+    push(&mut entries, "serve/steals", primary.steals as f64, "count");
+    for (i, (b, s)) in primary
+        .per_shard_batches
+        .iter()
+        .zip(&primary.per_shard_steals)
+        .enumerate()
+    {
+        push(&mut entries, format!("serve/shard{i}/batches"), *b, "count");
+        push(&mut entries, format!("serve/shard{i}/steals"), *s, "count");
+    }
 
     // Coalescer behaviour straight from the live metric registry — the
     // same numbers `GET /metrics` serves. With obs recording off
     // (`--no-default-features`) the snapshot is empty and the batch
     // entries are simply absent from the JSON.
     let snapshot = tfb_obs::metrics_snapshot();
-    let counter = |name: &str| {
-        snapshot
-            .counters
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, v)| v as f64)
-    };
-    let batches = counter("serve/batches").unwrap_or(0.0);
-    let batched = counter("serve/batched_requests").unwrap_or(0.0);
     if let Some(h) = snapshot
         .histograms
         .iter()
         .find(|h| h.name == "serve/batch_size")
     {
         println!(
-            "batching:   {batches:.0} batches | {:5.2} rows mean | {:.0} p50 | {:.0} p90 | {:.0} p99 | {:.0} max",
-            h.mean, h.p50, h.p90, h.p99, h.max
+            "batching:   {:.0} batches | {:5.2} rows mean | {:.0} p50 | {:.0} p90 | {:.0} p99 | {:.0} max",
+            primary.batches, h.mean, h.p50, h.p90, h.p99, h.max
         );
-        push(&mut entries, "serve/batches", batches, "count");
+        push(&mut entries, "serve/batches", primary.batches, "count");
         push(&mut entries, "serve/batch_mean", h.mean, "rows");
         push(&mut entries, "serve/batch_p50", h.p50, "rows");
         push(&mut entries, "serve/batch_p90", h.p90, "rows");
         push(&mut entries, "serve/batch_p99", h.p99, "rows");
         push(&mut entries, "serve/batch_max", h.max, "rows");
-        if batches > 0.0 {
+        if primary.batches > 0.0 {
             push(
                 &mut entries,
                 "serve/requests_per_batch",
-                batched / batches,
+                primary.batched_requests / primary.batches,
                 "rows",
             );
         }
@@ -290,20 +434,143 @@ fn run() {
         }
     }
     let shed_rate = if total > 0.0 {
-        100.0 * shed as f64 / total
+        100.0 * primary.shed as f64 / total
     } else {
         0.0
     };
-    println!("shedding:   {shed:.0} request(s) shed ({shed_rate:.2}%)");
-    push(&mut entries, "serve/shed", shed as f64, "count");
+    println!(
+        "shedding:   {:.0} request(s) shed ({shed_rate:.2}%) | {} steal(s)",
+        primary.shed, primary.steals
+    );
+    push(&mut entries, "serve/shed", primary.shed as f64, "count");
     push(&mut entries, "serve/shed_rate", shed_rate, "%");
+    // Allocation pressure on the hot path: allocator calls during the
+    // primary leg divided by requests served. The client loops reuse
+    // their buffers, so this is dominated by the serving stack (HTTP
+    // parse, JSON, coalescer routing).
+    #[cfg(feature = "alloc-track")]
+    if total > 0.0 {
+        let d = tfb_obs::alloc::delta(alloc_before, alloc_after);
+        let per_req = d.calls as f64 / total;
+        let bytes_per_req = d.bytes as f64 / total;
+        println!("allocs:     {per_req:7.1} calls/req | {bytes_per_req:9.0} bytes/req");
+        push(&mut entries, "serve/allocs_per_request", per_req, "calls");
+        push(
+            &mut entries,
+            "serve/alloc_bytes_per_request",
+            bytes_per_req,
+            "bytes",
+        );
+    }
     if let Some(rss) = tfb_obs::peak_rss_bytes() {
         let mib = rss as f64 / (1024.0 * 1024.0);
         println!("peak RSS:   {mib:.1} MiB");
         push(&mut entries, "serve/peak_rss", mib, "MiB");
     }
 
-    handle.shutdown();
+    // -- Legacy leg: the pre-deadline coalescer, reproduced exactly
+    // (one shard, a fixed 2 ms window regardless of queue age), for a
+    // live on-this-machine before/after.
+    let legacy = run_leg(
+        train_model(),
+        CoalescerConfig {
+            shards: 1,
+            coalesce_hint: Duration::from_millis(2),
+            budget: Duration::from_millis(2),
+            ..CoalescerConfig::default()
+        },
+        clients,
+        duration,
+        &body,
+    );
+    println!(
+        "legacy (1 shard, fixed 2 ms window): {:9.0} req/s | {:7.0} us p50 | {:7.0} us p99",
+        legacy.throughput(),
+        legacy.p(50.0),
+        legacy.p(99.0)
+    );
+    push(
+        &mut entries,
+        "serve/legacy/throughput",
+        legacy.throughput(),
+        "req/s",
+    );
+    push(
+        &mut entries,
+        "serve/legacy/latency_p50",
+        legacy.p(50.0),
+        "us",
+    );
+    push(
+        &mut entries,
+        "serve/legacy/latency_p99",
+        legacy.p(99.0),
+        "us",
+    );
+    if legacy.throughput() > 0.0 {
+        push(
+            &mut entries,
+            "serve/speedup_vs_legacy",
+            throughput / legacy.throughput(),
+            "x",
+        );
+    }
+
+    // -- Sweep legs: scaling curve over shard counts (the primary
+    // already measured the largest count; reuse its numbers there).
+    for &s in &sweep {
+        let fresh;
+        let leg = if s == primary.shards {
+            &primary
+        } else {
+            fresh = run_leg(
+                train_model(),
+                CoalescerConfig {
+                    shards: s,
+                    ..CoalescerConfig::default()
+                },
+                clients,
+                duration,
+                &body,
+            );
+            &fresh
+        };
+        let fill = if leg.batches > 0.0 {
+            leg.batched_requests / leg.batches
+        } else {
+            0.0
+        };
+        println!(
+            "sweep s{s}: {:9.0} req/s | {:7.0} us p50 | {fill:5.2} rows/batch | {} steal(s)",
+            leg.throughput(),
+            leg.p(50.0),
+            leg.steals
+        );
+        push(
+            &mut entries,
+            format!("serve/sweep/s{s}/throughput"),
+            leg.throughput(),
+            "req/s",
+        );
+        push(
+            &mut entries,
+            format!("serve/sweep/s{s}/latency_p50"),
+            leg.p(50.0),
+            "us",
+        );
+        push(
+            &mut entries,
+            format!("serve/sweep/s{s}/requests_per_batch"),
+            fill,
+            "rows",
+        );
+        push(
+            &mut entries,
+            format!("serve/sweep/s{s}/steals"),
+            leg.steals as f64,
+            "count",
+        );
+    }
 
     let doc = JsonValue::Object(vec![(
         "benchmarks".into(),

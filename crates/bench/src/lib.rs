@@ -198,6 +198,7 @@ pub fn with_obs<T>(label: &str, f: impl FnOnce() -> T) -> T {
             ("bin", label.to_string()),
             ("git_rev", tfb_obs::git_rev().unwrap_or_default()),
             ("scale", format!("{:?}", RunScale::from_env())),
+            ("kernel", tfb_math::kernel::active_name().to_string()),
         ];
         if let Some(manifest) = tfb_obs::finish_run(&meta) {
             let path = dir.join(format!("{label}.manifest.json"));

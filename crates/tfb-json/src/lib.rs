@@ -239,14 +239,18 @@ fn push_indent(out: &mut String, indent: usize) {
     }
 }
 
-fn write_number(out: &mut String, n: f64) {
+/// Appends `n` to `out` exactly as [`JsonValue::compact`] would — the
+/// serve hot path uses this to stream numbers into a reused response
+/// buffer without building a [`JsonValue`] tree first.
+pub fn write_number(out: &mut String, n: f64) {
+    use std::fmt::Write as _;
     if !n.is_finite() {
         // JSON has no Inf/NaN; mirror serde_json's lossy `null`.
         out.push_str("null");
     } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
-        out.push_str(&format!("{}", n as i64));
+        let _ = write!(out, "{}", n as i64);
     } else {
-        out.push_str(&format!("{n}"));
+        let _ = write!(out, "{n}");
     }
 }
 

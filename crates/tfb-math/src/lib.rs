@@ -18,6 +18,7 @@
 pub mod acf;
 pub mod eigen;
 pub mod fft;
+pub mod kernel;
 pub mod loess;
 pub mod matrix;
 pub mod pca;

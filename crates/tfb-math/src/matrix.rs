@@ -1,7 +1,7 @@
 //! Dense row-major matrices with the factorizations the rest of the
 //! workspace needs: LU with partial pivoting, Cholesky, and Householder QR.
 
-use crate::{MathError, Result};
+use crate::{kernel, MathError, Result};
 
 /// A dense, row-major `f64` matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -166,7 +166,7 @@ impl Matrix {
         }
         tfb_obs::counter!("gemm/matvec_calls").add(1);
         Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum::<f64>())
+            .map(|i| kernel::dot_acc(0.0, self.row(i), v))
             .collect())
     }
 
@@ -527,15 +527,12 @@ fn mul_rows_blocked(
             let i = row_start + ii;
             let lhs_row = &lhs[i * depth..(i + 1) * depth];
             let out_row = &mut out_rows[ii * n..(ii + 1) * n];
-            for (k, &a) in lhs_row[k_tile..k_end].iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs[(k_tile + k) * n..(k_tile + k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
+            kernel::gemm_row_ktile(
+                &lhs_row[k_tile..k_end],
+                &rhs[k_tile * n..k_end * n],
+                n,
+                out_row,
+            );
         }
     }
 }
@@ -564,14 +561,7 @@ fn mul_rows_transposed(
         let out_row = &mut out_rows[ii * n..(ii + 1) * n];
         for (j, o) in out_row.iter_mut().enumerate() {
             let bt_row = &bt[j * depth..(j + 1) * depth];
-            let mut acc = 0.0;
-            for (&a, &b) in lhs_row.iter().zip(bt_row) {
-                if a == 0.0 {
-                    continue;
-                }
-                acc += a * b;
-            }
-            *o = acc;
+            *o = kernel::dot_skip(lhs_row, bt_row);
         }
     }
 }

@@ -30,10 +30,7 @@ impl LinearFit {
         } else {
             &self.coefficients[..]
         };
-        for (c, f) in coefs.iter().zip(features) {
-            acc += c * f;
-        }
-        acc
+        crate::kernel::dot_acc(acc, coefs, features)
     }
 }
 

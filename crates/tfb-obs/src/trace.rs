@@ -471,6 +471,12 @@ mod imp {
             self.active.as_ref().map(|a| format!("{:016x}", a.id))
         }
 
+        /// The raw trace id (`None` when inert) — for callers that
+        /// format the header themselves without allocating.
+        pub fn id(&self) -> Option<u64> {
+            self.active.as_ref().map(|a| a.id)
+        }
+
         /// Attributes the wall time since the previous mark to `phase`.
         pub fn mark(&mut self, phase: Phase) {
             if let Some(a) = self.active.as_mut() {
@@ -602,6 +608,12 @@ mod imp {
         /// Always `None` in the no-op build.
         #[inline(always)]
         pub fn id_hex(&self) -> Option<String> {
+            None
+        }
+
+        /// Always `None` in the no-op build.
+        #[inline(always)]
+        pub fn id(&self) -> Option<u64> {
             None
         }
 

@@ -1,39 +1,48 @@
-//! The adaptive micro-batching coalescer: concurrent forecast requests
-//! are collected for up to a configurable deadline (or until a batch
-//! fills) and funneled through one `predict_batch` call.
+//! The sharded, deadline-driven micro-batching coalescer: concurrent
+//! forecast requests are funneled through `predict_batch` calls, one
+//! batcher thread per shard, with cross-shard work stealing.
 //!
-//! State machine of the batcher thread:
+//! State machine of each shard's batcher thread:
 //!
 //! ```text
-//!          ┌──────── queue empty ────────┐
-//!          v                             │
-//!     [ Idle ] ── request arrives ─> [ Filling ]
-//!          ^                             │  batch full, or
-//!          │                             │  max_delay since first
-//!          │                             v
-//!          └──── route responses ── [ Predict ]
+//!        ┌────────── queue empty ──────────┐
+//!        v                                 │
+//!   [ Idle ] ─ request arrives ──────> [ Filling ]
+//!        │  ^                              │  batch full, or the
+//!        │  └─ stole from a sibling        │  close deadline passes
+//!        steal poll                        v
+//!        └──────── route responses ── [ Predict ]
 //! ```
 //!
-//! * **Idle** — the thread sleeps on a condvar; a `submit` wakes it.
-//! * **Filling** — from the first request's arrival, the thread keeps
-//!   accepting more until `max_batch` requests are queued or
-//!   `max_delay` has elapsed (`Condvar::wait_timeout` with the
-//!   remaining budget — an early-arriving full batch skips the wait).
+//! * **Idle** — the thread sleeps on its shard's condvar with a short
+//!   steal-poll timeout; a local `submit` wakes it immediately, and on
+//!   each poll it scans sibling shards and steals the older half of any
+//!   backlog it finds (requests keep their arrival times, so stolen
+//!   work keeps its latency budget).
+//! * **Filling** — batches close on a **deadline**, not a fixed timer:
+//!   the batch drains the moment it holds `max_batch` requests, or at
+//!   `min(oldest_arrival + budget, open + coalesce_hint)` — so a shard
+//!   that was idle closes its first batch after only the short coalesce
+//!   hint, while a request that already sat out most of its latency
+//!   budget (behind a long predict, or stolen from a deep queue) is
+//!   answered the moment the batcher sees it.
 //! * **Predict** — the drained batch becomes one matrix, one
 //!   `predict_batch` call, and each output row is routed back to its
 //!   submitter's channel. `predict_batch` is bit-identical to per-row
-//!   `predict`, so batching never changes a forecast.
+//!   `predict`, so neither batching, the shard a request lands on, nor
+//!   a steal ever changes a forecast.
 //!
-//! Backpressure: the queue is bounded by `queue_cap`; a `submit` into a
-//! full queue fails immediately with [`SubmitError::QueueFull`] (the
-//! server maps it to `429 Retry-After`) — memory stays bounded no
-//! matter the offered load. Shutdown drains: requests already queued
-//! are predicted and answered before the thread exits; later submits
-//! fail with [`SubmitError::ShutDown`].
+//! Backpressure: every shard's queue is bounded by `queue_cap`; a
+//! `submit` into a full shard fails immediately with
+//! [`SubmitError::QueueFull`] (the server maps it to `429 Retry-After`)
+//! — memory stays bounded no matter the offered load. Shutdown drains:
+//! requests already queued are predicted and answered before the
+//! batcher threads exit; later submits fail with
+//! [`SubmitError::ShutDown`].
 
 use std::collections::VecDeque;
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use tfb_math::matrix::Matrix;
@@ -70,24 +79,50 @@ impl BatchPredictor for tfb_artifact::ServableModel {
 /// Tuning knobs for the coalescer.
 #[derive(Debug, Clone)]
 pub struct CoalescerConfig {
+    /// Shard (batcher thread) count; `0` resolves to one per core.
+    pub shards: usize,
     /// Largest batch one predict call carries.
     pub max_batch: usize,
-    /// Longest a request waits for co-travelers after arriving first.
-    pub max_delay: Duration,
-    /// Bound on queued (accepted, not yet predicted) requests; submits
-    /// beyond it shed with [`SubmitError::QueueFull`].
+    /// Hard latency budget for a queued request: a batch closes no
+    /// later than the moment its oldest request's budget is about to be
+    /// spent on queueing alone.
+    pub budget: Duration,
+    /// Co-traveler wait after a batch opens on a previously idle shard
+    /// — the only latency a lone request pays beyond its own work.
+    pub coalesce_hint: Duration,
+    /// Bound on queued (accepted, not yet predicted) requests *per
+    /// shard*; submits beyond it shed with [`SubmitError::QueueFull`].
     pub queue_cap: usize,
 }
 
 impl Default for CoalescerConfig {
     fn default() -> Self {
         CoalescerConfig {
+            shards: 0,
             max_batch: 64,
-            max_delay: Duration::from_millis(2),
+            budget: Duration::from_millis(2),
+            coalesce_hint: Duration::from_micros(150),
             queue_cap: 256,
         }
     }
 }
+
+impl CoalescerConfig {
+    /// `shards` with `0` resolved to the machine's parallelism.
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// How long an idle shard sleeps between steal scans. Local submits
+/// cut the wait short via the condvar, so this only bounds how stale a
+/// *sibling's* backlog can get before an idle shard picks it up.
+const STEAL_POLL: Duration = Duration::from_millis(1);
 
 /// Why a submit was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,9 +159,7 @@ impl std::fmt::Display for SubmitError {
 /// batch, `collect_ns` the co-traveler wait until the drain, and
 /// `infer_ns` the amortized share of the batched forward pass
 /// (`predict_batch` elapsed / batch size) — so summing a request's
-/// phases never exceeds its end-to-end latency. `queue_ns` and
-/// `collect_ns` are zero for requests submitted while no run was
-/// recording (the submit-side clock read is skipped).
+/// phases never exceeds its end-to-end latency.
 #[derive(Debug)]
 pub struct BatchOutcome {
     /// The forecast row answering this request's window.
@@ -141,71 +174,149 @@ pub struct BatchOutcome {
     pub batch_id: u64,
     /// How many requests shared that batch.
     pub batch_size: usize,
+    /// Which shard's batcher ran the batch.
+    pub shard: usize,
 }
 
-/// One queued request: its window, the channel its forecast returns
-/// on, and (when a run is recording) its submit time for queue-wait
-/// attribution.
+/// One queued request: its window, the channel its forecast returns on,
+/// and its arrival time — read unconditionally, because the deadline
+/// close is driven by request age, not a timer.
 struct Pending {
     window: Vec<f64>,
     reply: mpsc::Sender<Result<BatchOutcome, String>>,
-    submitted: Option<Instant>,
+    arrived: Instant,
 }
 
-struct State {
+struct ShardState {
     queue: VecDeque<Pending>,
     shutting_down: bool,
-    /// High-water mark of the queue depth over the coalescer's life.
+    /// High-water mark of the queue depth over the shard's life.
     hwm: usize,
 }
 
-struct Shared {
-    state: Mutex<State>,
+/// Per-shard observability handles. Metric names carry the shard index
+/// (`serve/shard0/queue_depth`, …); the statics are leaked once per
+/// shard at startup, which is what the per-call-site registration model
+/// requires for dynamically-numbered series.
+struct ShardMetrics {
+    depth: &'static tfb_obs::Gauge,
+    hwm: &'static tfb_obs::Gauge,
+    fill: &'static tfb_obs::Gauge,
+    batches: &'static tfb_obs::Counter,
+    batched_requests: &'static tfb_obs::Counter,
+    steals: &'static tfb_obs::Counter,
+}
+
+impl ShardMetrics {
+    fn new(shard: usize) -> ShardMetrics {
+        fn leak_name(shard: usize, what: &str) -> &'static str {
+            Box::leak(format!("serve/shard{shard}/{what}").into_boxed_str())
+        }
+        fn gauge(shard: usize, what: &str) -> &'static tfb_obs::Gauge {
+            Box::leak(Box::new(tfb_obs::Gauge::new(leak_name(shard, what))))
+        }
+        fn counter(shard: usize, what: &str) -> &'static tfb_obs::Counter {
+            Box::leak(Box::new(tfb_obs::Counter::new(leak_name(shard, what))))
+        }
+        ShardMetrics {
+            depth: gauge(shard, "queue_depth"),
+            hwm: gauge(shard, "queue_hwm"),
+            fill: gauge(shard, "batch_fill"),
+            batches: counter(shard, "batches"),
+            batched_requests: counter(shard, "batched_requests"),
+            steals: counter(shard, "steals"),
+        }
+    }
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
     notify: Condvar,
+    metrics: ShardMetrics,
+    /// Requests this shard stole from siblings (also on the metrics
+    /// counter; the atomic keeps the count readable without arming obs).
+    steals: AtomicU64,
+}
+
+struct Inner {
+    shards: Vec<Shard>,
     cfg: CoalescerConfig,
 }
 
 /// The micro-batching front of a [`BatchPredictor`]. Submitters block
-/// on their reply channel; one background thread forms and runs
-/// batches.
+/// on their reply channel; one batcher thread per shard forms and runs
+/// batches, stealing across shards when its own queue is empty.
 pub struct Coalescer {
-    shared: Arc<Shared>,
+    inner: Arc<Inner>,
     input_len: usize,
-    batcher: Option<std::thread::JoinHandle<()>>,
+    round_robin: AtomicUsize,
+    batchers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Coalescer {
-    /// Starts the batcher thread over `predictor`.
+    /// Starts one batcher thread per shard over `predictor`.
     pub fn start(predictor: Arc<dyn BatchPredictor>, cfg: CoalescerConfig) -> Coalescer {
         assert!(cfg.max_batch > 0, "max_batch must be positive");
         assert!(cfg.queue_cap > 0, "queue_cap must be positive");
-        let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
-                shutting_down: false,
-                hwm: 0,
-            }),
-            notify: Condvar::new(),
+        let shards = cfg.resolved_shards();
+        let inner = Arc::new(Inner {
+            shards: (0..shards)
+                .map(|i| Shard {
+                    state: Mutex::new(ShardState {
+                        queue: VecDeque::new(),
+                        shutting_down: false,
+                        hwm: 0,
+                    }),
+                    notify: Condvar::new(),
+                    metrics: ShardMetrics::new(i),
+                    steals: AtomicU64::new(0),
+                })
+                .collect(),
             cfg,
         });
+        tfb_obs::gauge!("serve/shards").set(shards as f64);
         let input_len = predictor.input_len();
-        let worker_shared = Arc::clone(&shared);
-        let batcher = std::thread::Builder::new()
-            .name("tfb-serve-batcher".to_string())
-            .spawn(move || batcher_loop(worker_shared, predictor))
-            .expect("spawn batcher thread");
+        let batchers = (0..shards)
+            .map(|i| {
+                let worker_inner = Arc::clone(&inner);
+                let worker_predictor = Arc::clone(&predictor);
+                std::thread::Builder::new()
+                    .name(format!("tfb-serve-shard{i}"))
+                    .spawn(move || batcher_loop(worker_inner, worker_predictor, i))
+                    .expect("spawn batcher thread")
+            })
+            .collect();
         Coalescer {
-            shared,
+            inner,
             input_len,
-            batcher: Some(batcher),
+            round_robin: AtomicUsize::new(0),
+            batchers,
         }
     }
 
-    /// Enqueues one window. Returns the channel its forecast (or a
-    /// predict error) arrives on, or sheds immediately when the queue
-    /// is full, the length is wrong, or shutdown has begun.
+    /// Shard count the coalescer is running with.
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Enqueues one window on the next shard round-robin. Returns the
+    /// channel its forecast (or a predict error) arrives on, or sheds
+    /// immediately when the shard's queue is full, the length is wrong,
+    /// or shutdown has begun.
     pub fn submit(
         &self,
+        window: Vec<f64>,
+    ) -> Result<mpsc::Receiver<Result<BatchOutcome, String>>, SubmitError> {
+        let shard = self.round_robin.fetch_add(1, Ordering::Relaxed) % self.shards();
+        self.submit_to(shard, window)
+    }
+
+    /// [`submit`](Coalescer::submit) onto a specific shard — the server
+    /// pins each connection to its accept shard so the hot path has no
+    /// shared round-robin counter.
+    pub fn submit_to(
+        &self,
+        shard: usize,
         window: Vec<f64>,
     ) -> Result<mpsc::Receiver<Result<BatchOutcome, String>>, SubmitError> {
         if window.len() != self.input_len {
@@ -214,96 +325,168 @@ impl Coalescer {
                 expected: self.input_len,
             });
         }
+        let shard = &self.inner.shards[shard % self.shards()];
         let (reply, rx) = mpsc::channel();
-        // The clock read only happens while a run is recording; the
-        // disarmed path stays free of time syscalls.
-        let submitted = tfb_obs::enabled().then(Instant::now);
+        let arrived = Instant::now();
         {
-            let mut state = self.shared.state.lock().expect("coalescer state poisoned");
+            let mut state = shard.state.lock().expect("coalescer state poisoned");
             if state.shutting_down {
                 return Err(SubmitError::ShutDown);
             }
-            if state.queue.len() >= self.shared.cfg.queue_cap {
+            if state.queue.len() >= self.inner.cfg.queue_cap {
                 tfb_obs::counter!("serve/shed").add(1);
                 return Err(SubmitError::QueueFull);
             }
             state.queue.push_back(Pending {
                 window,
                 reply,
-                submitted,
+                arrived,
             });
             let depth = state.queue.len();
+            shard.metrics.depth.set(depth as f64);
             tfb_obs::gauge!("serve/queue_depth").set(depth as f64);
             if depth > state.hwm {
                 state.hwm = depth;
+                shard.metrics.hwm.set(depth as f64);
                 tfb_obs::gauge!("serve/queue_hwm").set(depth as f64);
             }
         }
-        self.shared.notify.notify_one();
+        shard.notify.notify_one();
         Ok(rx)
     }
 
-    /// Queued-but-unpredicted request count (test/metrics hook).
+    /// Queued-but-unpredicted request count across all shards
+    /// (test/metrics hook).
     pub fn backlog(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .expect("coalescer state poisoned")
-            .queue
-            .len()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| {
+                s.state
+                    .lock()
+                    .expect("coalescer state poisoned")
+                    .queue
+                    .len()
+            })
+            .sum()
+    }
+
+    /// Requests answered by a different shard than the one they were
+    /// submitted to, over the coalescer's life.
+    pub fn steal_count(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.steals.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Drains and stops: already-queued requests are still predicted
     /// and answered; subsequent submits shed with `ShutDown`.
     pub fn shutdown(mut self) {
         self.begin_shutdown();
-        if let Some(handle) = self.batcher.take() {
+        for handle in self.batchers.drain(..) {
             let _ = handle.join();
         }
     }
 
     fn begin_shutdown(&self) {
-        self.shared
-            .state
-            .lock()
-            .expect("coalescer state poisoned")
-            .shutting_down = true;
-        self.shared.notify.notify_all();
+        for shard in &self.inner.shards {
+            shard
+                .state
+                .lock()
+                .expect("coalescer state poisoned")
+                .shutting_down = true;
+            shard.notify.notify_all();
+        }
     }
 }
 
 impl Drop for Coalescer {
     fn drop(&mut self) {
         self.begin_shutdown();
-        if let Some(handle) = self.batcher.take() {
+        for handle in self.batchers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-fn batcher_loop(shared: Arc<Shared>, predictor: Arc<dyn BatchPredictor>) {
-    let cfg = &shared.cfg;
+/// Scans the sibling shards of `own` and steals the older half of the
+/// first backlog found (two or more queued requests — a lone request is
+/// left to its own shard's hint window to avoid ping-pong). Uses
+/// `try_lock` so a busy sibling is skipped, never waited on.
+fn steal_from_siblings(inner: &Inner, own: usize) -> Vec<Pending> {
+    let n = inner.shards.len();
+    for step in 1..n {
+        let victim = &inner.shards[(own + step) % n];
+        let Ok(mut state) = victim.state.try_lock() else {
+            continue;
+        };
+        if state.shutting_down || state.queue.len() < 2 {
+            continue;
+        }
+        // Oldest half: stolen requests are the ones closest to their
+        // budget, and FIFO order within each shard is preserved.
+        let take = (state.queue.len() / 2).min(inner.cfg.max_batch);
+        let stolen: Vec<Pending> = state.queue.drain(..take).collect();
+        victim.metrics.depth.set(state.queue.len() as f64);
+        drop(state);
+        let thief = &inner.shards[own];
+        thief
+            .steals
+            .fetch_add(stolen.len() as u64, Ordering::Relaxed);
+        thief.metrics.steals.add(stolen.len() as u64);
+        tfb_obs::counter!("serve/steals").add(stolen.len() as u64);
+        return stolen;
+    }
+    Vec::new()
+}
+
+fn batcher_loop(inner: Arc<Inner>, predictor: Arc<dyn BatchPredictor>, shard_idx: usize) {
+    let cfg = &inner.cfg;
     loop {
         let (batch, opened) = {
-            let mut state = shared.state.lock().expect("coalescer state poisoned");
-            // Idle: sleep until a request arrives or shutdown drains out.
-            while state.queue.is_empty() {
+            let shard = &inner.shards[shard_idx];
+            let mut state = shard.state.lock().expect("coalescer state poisoned");
+            // Idle: wake on a local submit, poll siblings for steals.
+            loop {
+                if !state.queue.is_empty() {
+                    break;
+                }
                 if state.shutting_down {
                     return;
                 }
-                state = shared.notify.wait(state).expect("coalescer state poisoned");
+                if inner.shards.len() > 1 {
+                    drop(state);
+                    let stolen = steal_from_siblings(&inner, shard_idx);
+                    state = shard.state.lock().expect("coalescer state poisoned");
+                    if !stolen.is_empty() {
+                        state.queue.extend(stolen);
+                        continue;
+                    }
+                    if !state.queue.is_empty() || state.shutting_down {
+                        continue;
+                    }
+                }
+                let (next, _) = shard
+                    .notify
+                    .wait_timeout(state, STEAL_POLL)
+                    .expect("coalescer state poisoned");
+                state = next;
             }
-            // Filling: from the first request's arrival, wait for
-            // co-travelers until the batch fills or the delay budget is
-            // spent. Shutdown short-circuits the wait, not the drain.
+            // Filling: close on the deadline, not a fixed timer — the
+            // moment the batch is full, the oldest request's budget is
+            // about to run out, or the coalesce hint has been spent
+            // waiting for co-travelers.
             let opened = Instant::now();
-            let deadline = opened + cfg.max_delay;
+            let oldest = state.queue.front().expect("non-empty queue").arrived;
+            let deadline = (oldest + cfg.budget).min(opened + cfg.coalesce_hint);
             while state.queue.len() < cfg.max_batch && !state.shutting_down {
                 let now = Instant::now();
                 if now >= deadline {
                     break;
                 }
-                let (next, timeout) = shared
+                let (next, timeout) = shard
                     .notify
                     .wait_timeout(state, deadline - now)
                     .expect("coalescer state poisoned");
@@ -314,35 +497,42 @@ fn batcher_loop(shared: Arc<Shared>, predictor: Arc<dyn BatchPredictor>) {
             }
             let take = state.queue.len().min(cfg.max_batch);
             let batch = state.queue.drain(..take).collect::<Vec<Pending>>();
+            shard.metrics.depth.set(state.queue.len() as f64);
             tfb_obs::gauge!("serve/queue_depth").set(state.queue.len() as f64);
             (batch, opened)
         };
         // Predict outside the lock so submitters never wait on the model.
-        run_batch(&*predictor, batch, opened, cfg.max_batch);
+        run_batch(&inner, shard_idx, &*predictor, batch, opened);
     }
 }
 
 /// Batch ids are process-unique and monotone; the `serve.batch` span and
 /// every request routed through the batch carry the same id, which is
 /// what the Perfetto exporter keys its flow arrows on.
-static BATCH_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static BATCH_SEQ: AtomicU64 = AtomicU64::new(0);
 
 fn run_batch(
+    inner: &Inner,
+    shard_idx: usize,
     predictor: &dyn BatchPredictor,
     batch: Vec<Pending>,
     opened: Instant,
-    max_batch: usize,
 ) {
     if batch.is_empty() {
         return;
     }
     let n = batch.len();
-    let batch_id = BATCH_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+    let max_batch = inner.cfg.max_batch;
+    let shard = &inner.shards[shard_idx];
+    let batch_id = BATCH_SEQ.fetch_add(1, Ordering::Relaxed) + 1;
     let drained = Instant::now();
     tfb_obs::histogram!("serve/batch_size").record(n as f64);
     tfb_obs::counter!("serve/batched_requests").add(n as u64);
     tfb_obs::counter!("serve/batches").add(1);
     tfb_obs::gauge!("serve/batch_fill_ratio").set(n as f64 / max_batch as f64);
+    shard.metrics.batches.add(1);
+    shard.metrics.batched_requests.add(n as u64);
+    shard.metrics.fill.set(n as f64 / max_batch as f64);
     let width = predictor.input_len();
     let mut flat = Vec::with_capacity(n * width);
     for p in &batch {
@@ -361,6 +551,7 @@ fn run_batch(
     let result = {
         let _span = tfb_obs::span!("serve.batch")
             .record("batch_id", batch_id as f64)
+            .record("shard", shard_idx as f64)
             .record("rows", n as f64);
         predictor.predict_batch(&windows)
     };
@@ -373,7 +564,7 @@ fn run_batch(
             let w = predictor.output_len();
             debug_assert_eq!(out.cols(), w);
             for (r, p) in batch.into_iter().enumerate() {
-                let (queue_ns, collect_ns) = wait_split(p.submitted, opened, drained);
+                let (queue_ns, collect_ns) = wait_split(p.arrived, opened, drained);
                 let _ = p.reply.send(Ok(BatchOutcome {
                     forecast: out.row(r).to_vec(),
                     queue_ns,
@@ -381,6 +572,7 @@ fn run_batch(
                     infer_ns,
                     batch_id,
                     batch_size: n,
+                    shard: shard_idx,
                 }));
             }
         }
@@ -395,12 +587,9 @@ fn run_batch(
 /// Splits one request's pre-inference wait at the moment its batch
 /// opened: `queue` is submit → open, `collect` is open → drain (from
 /// the submit when the request arrived mid-fill). The two always sum to
-/// exactly submit → drain, and both are zero for untraced requests.
-fn wait_split(submitted: Option<Instant>, opened: Instant, drained: Instant) -> (u64, u64) {
-    let Some(submitted) = submitted else {
-        return (0, 0);
-    };
-    let queue = opened.saturating_duration_since(submitted);
-    let collect = drained.saturating_duration_since(submitted.max(opened));
+/// exactly submit → drain.
+fn wait_split(arrived: Instant, opened: Instant, drained: Instant) -> (u64, u64) {
+    let queue = opened.saturating_duration_since(arrived);
+    let collect = drained.saturating_duration_since(arrived.max(opened));
     (queue.as_nanos() as u64, collect.as_nanos() as u64)
 }

@@ -2,6 +2,12 @@
 //! headers, `Content-Length` bodies, keep-alive by default — just
 //! enough protocol for the forecast endpoints and their test clients.
 //! No chunked encoding, no TLS, no external dependencies.
+//!
+//! The parse and response types are built for reuse: a connection
+//! handler owns one [`Request`], one [`Response`] and two scratch
+//! `String`s for its whole keep-alive life, so the steady-state request
+//! loop performs no per-request allocations of its own (buffers grow to
+//! their high-water mark once and stay).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -14,8 +20,10 @@ pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 /// Largest accepted header section.
 const MAX_HEADER_BYTES: usize = 64 * 1024;
 
-/// One parsed request.
-#[derive(Debug)]
+/// One parsed request. Reused across a connection's requests via
+/// [`read_request_into`]; the `String`/`Vec` fields keep their
+/// capacity between fills.
+#[derive(Debug, Default)]
 pub struct Request {
     /// Upper-cased method (`GET`, `POST`, …).
     pub method: String,
@@ -27,11 +35,19 @@ pub struct Request {
     pub keep_alive: bool,
 }
 
-/// Why a read produced no request.
+impl Request {
+    /// An empty request to fill via [`read_request_into`].
+    pub fn new() -> Request {
+        Request::default()
+    }
+}
+
+/// What one read attempt produced; on [`ReadOutcome::Request`] the
+/// caller's request buffer holds the parsed request.
 #[derive(Debug)]
 pub enum ReadOutcome {
-    /// A complete request.
-    Request(Request),
+    /// A complete request (in the caller's buffer).
+    Request,
     /// Clean EOF before any bytes — the peer closed an idle connection.
     Closed,
     /// The read timed out while the connection was idle; the caller
@@ -48,31 +64,44 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
-/// Reads one request from a connection whose read timeout is set.
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> ReadOutcome {
-    let mut line = String::new();
-    match reader.read_line(&mut line) {
+/// Reads one request from a connection whose read timeout is set, into
+/// `req` (cleared first; capacity reused). `line` is line-scratch the
+/// caller keeps per connection for the same reason.
+pub fn read_request_into(
+    reader: &mut BufReader<TcpStream>,
+    req: &mut Request,
+    line: &mut String,
+) -> ReadOutcome {
+    line.clear();
+    match reader.read_line(line) {
         Ok(0) => return ReadOutcome::Closed,
         Ok(_) => {}
         Err(e) if is_timeout(&e) && line.is_empty() => return ReadOutcome::IdleTimeout,
         Err(e) => return ReadOutcome::Malformed(format!("request line: {e}")),
     }
-    let mut parts = line.split_whitespace();
-    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return ReadOutcome::Malformed(format!("bad request line {:?}", line.trim_end()));
-    };
-    if !version.starts_with("HTTP/1.") {
-        return ReadOutcome::Malformed(format!("unsupported version {version:?}"));
+    {
+        let mut parts = line.split_whitespace();
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return ReadOutcome::Malformed(format!("bad request line {:?}", line.trim_end()));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return ReadOutcome::Malformed(format!("unsupported version {version:?}"));
+        }
+        req.method.clear();
+        req.method.push_str(method);
+        req.method.make_ascii_uppercase();
+        req.path.clear();
+        req.path
+            .push_str(target.split('?').next().unwrap_or(target));
     }
-    let method = method.to_ascii_uppercase();
-    let path = target.split('?').next().unwrap_or(target).to_string();
     let mut content_length = 0usize;
-    let mut keep_alive = true; // HTTP/1.1 default
+    req.keep_alive = true; // HTTP/1.1 default
     let mut header_bytes = line.len();
     loop {
-        let mut header = String::new();
-        match reader.read_line(&mut header) {
+        line.clear();
+        match reader.read_line(line) {
             Ok(0) => return ReadOutcome::Malformed("eof inside headers".to_string()),
             Ok(n) => header_bytes += n,
             Err(e) => return ReadOutcome::Malformed(format!("headers: {e}")),
@@ -80,7 +109,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> ReadOutcome {
         if header_bytes > MAX_HEADER_BYTES {
             return ReadOutcome::Malformed("header section too large".to_string());
         }
-        let header = header.trim_end();
+        let header = line.trim_end();
         if header.is_empty() {
             break;
         }
@@ -88,31 +117,29 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> ReadOutcome {
             continue;
         };
         let value = value.trim();
-        match name.to_ascii_lowercase().as_str() {
-            "content-length" => match value.parse::<usize>() {
+        if name.eq_ignore_ascii_case("content-length") {
+            match value.parse::<usize>() {
                 Ok(n) if n <= MAX_BODY_BYTES => content_length = n,
                 Ok(n) => return ReadOutcome::Malformed(format!("body of {n} bytes exceeds cap")),
                 Err(_) => return ReadOutcome::Malformed("bad content-length".to_string()),
-            },
-            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
-            _ => {}
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            req.keep_alive = !value.eq_ignore_ascii_case("close");
         }
     }
-    let mut body = vec![0u8; content_length];
+    req.body.clear();
+    req.body.resize(content_length, 0);
     if content_length > 0 {
-        if let Err(e) = reader.read_exact(&mut body) {
+        if let Err(e) = reader.read_exact(&mut req.body) {
             return ReadOutcome::Malformed(format!("body: {e}"));
         }
     }
-    ReadOutcome::Request(Request {
-        method,
-        path,
-        body,
-        keep_alive,
-    })
+    ReadOutcome::Request
 }
 
-/// One response to write.
+/// One response to write. Reused across a connection's requests: the
+/// handler calls [`reset`](Response::reset) (directly or via the
+/// `set_*` builders) and the body `String` keeps its capacity.
 #[derive(Debug)]
 pub struct Response {
     /// HTTP status code.
@@ -123,37 +150,58 @@ pub struct Response {
     pub retry_after: Option<u64>,
     /// `content-type` header value.
     pub content_type: &'static str,
-    /// Request trace id, echoed as `x-tfb-trace-id` when tracing is
-    /// armed (absent otherwise).
-    pub trace_id: Option<String>,
+    /// Raw request trace id, echoed as 16 hex digits in
+    /// `x-tfb-trace-id` when tracing is armed (absent otherwise).
+    pub trace_id: Option<u64>,
+}
+
+impl Default for Response {
+    fn default() -> Self {
+        Response::new()
+    }
 }
 
 impl Response {
-    /// A JSON response with the given status.
-    pub fn json(status: u16, body: impl Into<String>) -> Response {
+    /// An empty 200 JSON response to fill in place.
+    pub fn new() -> Response {
         Response {
-            status,
-            body: body.into(),
+            status: 200,
+            body: String::new(),
             retry_after: None,
             content_type: "application/json",
             trace_id: None,
         }
     }
 
-    /// An OpenMetrics text exposition (`GET /metrics`).
-    pub fn openmetrics(body: impl Into<String>) -> Response {
-        Response {
-            content_type: tfb_obs::openmetrics::CONTENT_TYPE,
-            ..Response::json(200, body)
-        }
+    /// Clears everything but keeps the body's capacity.
+    pub fn reset(&mut self) {
+        self.status = 200;
+        self.body.clear();
+        self.retry_after = None;
+        self.content_type = "application/json";
+        self.trace_id = None;
     }
 
-    /// A JSON `{"error": …}` response.
-    pub fn error(status: u16, message: &str) -> Response {
-        let mut body = String::from("{\"error\": ");
-        json_escape(&mut body, message);
-        body.push_str("}\n");
-        Response::json(status, body)
+    /// Resets to an empty JSON response with `status`; the caller
+    /// writes the body into `self.body`.
+    pub fn set_json(&mut self, status: u16) {
+        self.reset();
+        self.status = status;
+    }
+
+    /// Resets to a JSON `{"error": …}` response.
+    pub fn set_error(&mut self, status: u16, message: &str) {
+        self.set_json(status);
+        self.body.push_str("{\"error\": ");
+        json_escape(&mut self.body, message);
+        self.body.push_str("}\n");
+    }
+
+    /// Resets to an OpenMetrics text exposition (`GET /metrics`).
+    pub fn set_openmetrics(&mut self, text: &str) {
+        self.set_json(200);
+        self.content_type = tfb_obs::openmetrics::CONTENT_TYPE;
+        self.body.push_str(text);
     }
 }
 
@@ -172,6 +220,7 @@ fn reason(status: u16) -> &'static str {
 
 /// Escapes `s` as a JSON string into `out`.
 pub fn json_escape(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
     out.push('"');
     for c in s.chars() {
         match c {
@@ -180,20 +229,27 @@ pub fn json_escape(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
     out.push('"');
 }
 
-/// Writes `response`, advertising `keep-alive` or `close`.
+/// Writes `response`, advertising `keep-alive` or `close`. `head` is
+/// per-connection scratch for the status line and headers.
 pub fn write_response(
     stream: &mut TcpStream,
     response: &Response,
     keep_alive: bool,
+    head: &mut String,
 ) -> std::io::Result<()> {
-    let mut head = format!(
+    use std::fmt::Write as _;
+    head.clear();
+    let _ = write!(
+        head,
         "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
         response.status,
         reason(response.status),
@@ -201,10 +257,10 @@ pub fn write_response(
         response.body.len()
     );
     if let Some(secs) = response.retry_after {
-        head.push_str(&format!("retry-after: {secs}\r\n"));
+        let _ = write!(head, "retry-after: {secs}\r\n");
     }
-    if let Some(id) = &response.trace_id {
-        head.push_str(&format!("x-tfb-trace-id: {id}\r\n"));
+    if let Some(id) = response.trace_id {
+        let _ = write!(head, "x-tfb-trace-id: {id:016x}\r\n");
     }
     head.push_str(if keep_alive {
         "connection: keep-alive\r\n\r\n"

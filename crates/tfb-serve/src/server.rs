@@ -1,6 +1,14 @@
-//! The threaded HTTP server: a non-blocking accept loop, one handler
-//! thread per connection (keep-alive), the coalescer as the single
+//! The threaded HTTP server: one non-blocking accept loop per shard
+//! over dup'd handles of a shared listener, one handler thread per
+//! connection (keep-alive), the sharded coalescer as the single
 //! inference path, and graceful drain on shutdown.
+//!
+//! Sharding: the coalescer runs one batcher per shard; each shard also
+//! gets its own accept loop, and every connection a loop accepts is
+//! pinned to that loop's shard — the request hot path touches no
+//! cross-shard shared state (no global round-robin counter, no global
+//! queue lock). Load imbalance between shards is corrected on the
+//! batcher side by work stealing, not on the accept side.
 //!
 //! Endpoints:
 //!
@@ -11,9 +19,9 @@
 //! * `GET /healthz` — model geometry and `"status": "ok"`.
 //! * `GET /metrics` — the live [`tfb_obs`] state as an OpenMetrics text
 //!   exposition: per-phase request-latency histograms, queue-depth /
-//!   batch-fill gauges, shed counters, SLO burn rates and slow-request
-//!   exemplars. Valid (`# EOF`-terminated, empty) even when no run is
-//!   recording.
+//!   batch-fill gauges (global and per shard), shed and steal counters,
+//!   SLO burn rates and slow-request exemplars. Valid
+//!   (`# EOF`-terminated, empty) even when no run is recording.
 //! * `GET /metrics.json` — the same snapshot as JSON (counters, gauges,
 //!   latency/batch-size histograms), for scripts that predate the
 //!   OpenMetrics endpoint.
@@ -26,6 +34,13 @@
 //! infer, dispatch, write) is attributed via
 //! [`tfb_obs::trace::RequestTrace`] and lands in the phase histograms,
 //! the SLO tracker, and the run's event sink.
+//!
+//! Hot-path allocation discipline: each connection handler owns its
+//! request, response and scratch buffers for the connection's whole
+//! life, and the forecast response is serialized straight into the
+//! reused body buffer — steady-state keep-alive traffic allocates only
+//! the window vector handed to the coalescer (which must own it) and
+//! whatever the JSON parser builds.
 //!
 //! Shutdown sequence: stop accepting; handler threads finish their
 //! in-flight request and stop reading new ones; the coalescer predicts
@@ -50,7 +65,7 @@ use crate::http::{self, ReadOutcome, Request, Response};
 pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Coalescer tuning.
+    /// Coalescer tuning (including the shard count).
     pub coalescer: CoalescerConfig,
 }
 
@@ -99,13 +114,24 @@ struct ServerCtx {
 pub struct ServerHandle {
     addr: SocketAddr,
     ctx: Arc<ServerCtx>,
-    accept: Option<std::thread::JoinHandle<()>>,
+    accepts: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// The bound address (with the real port when `:0` was requested).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// How many shards (accept loops + batchers) the server runs.
+    pub fn shards(&self) -> usize {
+        self.ctx.coalescer.shards()
+    }
+
+    /// Requests answered by a different shard than the one they landed
+    /// on (see [`Coalescer::steal_count`]).
+    pub fn steal_count(&self) -> u64 {
+        self.ctx.coalescer.steal_count()
     }
 
     /// Flags the server to drain (idempotent; `POST /shutdown` and the
@@ -119,11 +145,11 @@ impl ServerHandle {
         self.ctx.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Requests a drain and blocks until the accept loop, every
+    /// Requests a drain and blocks until every accept loop, every
     /// connection handler and the coalescer have finished.
     pub fn shutdown(mut self) {
         self.request_shutdown();
-        if let Some(handle) = self.accept.take() {
+        for handle in self.accepts.drain(..) {
             let _ = handle.join();
         }
     }
@@ -141,20 +167,21 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.request_shutdown();
-        if let Some(handle) = self.accept.take() {
+        for handle in self.accepts.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// Binds, spawns the accept loop, and returns immediately.
+/// Binds, spawns the accept loops, and returns immediately.
 pub fn serve(model: ServableModel, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let info = ModelInfo::of(&model);
     serve_with(Arc::new(model), info, config)
 }
 
-/// [`serve`] over any [`BatchPredictor`] — the seam integration tests
-/// use to drive the HTTP surface with controlled (e.g. slow) models.
+/// [`serve`] over any [`BatchPredictor`](crate::coalescer::BatchPredictor)
+/// — the seam integration tests use to drive the HTTP surface with
+/// controlled (e.g. slow) models.
 pub fn serve_with(
     predictor: Arc<dyn crate::coalescer::BatchPredictor>,
     info: ModelInfo,
@@ -164,32 +191,38 @@ pub fn serve_with(
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let coalescer = Coalescer::start(predictor, config.coalescer);
+    let shards = coalescer.shards();
     let ctx = Arc::new(ServerCtx {
         info,
         coalescer,
         shutdown: AtomicBool::new(false),
     });
-    let accept_ctx = Arc::clone(&ctx);
-    let accept = std::thread::Builder::new()
-        .name("tfb-serve-accept".to_string())
-        .spawn(move || accept_loop(listener, accept_ctx))
-        .expect("spawn accept thread");
-    Ok(ServerHandle {
-        addr,
-        ctx,
-        accept: Some(accept),
-    })
+    // One accept loop per shard over dup'd handles of the same bound
+    // socket: the kernel wakes whichever loops are polling, connections
+    // spread across shards, and each connection's requests feed the
+    // queue of the shard that accepted it.
+    let accepts = (0..shards)
+        .map(|shard| {
+            let shard_listener = listener.try_clone()?;
+            let accept_ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name(format!("tfb-serve-accept{shard}"))
+                .spawn(move || accept_loop(shard_listener, accept_ctx, shard))
+                .map_err(std::io::Error::other)
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+    Ok(ServerHandle { addr, ctx, accepts })
 }
 
-fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
+fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>, shard: usize) {
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !ctx.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let conn_ctx = Arc::clone(&ctx);
                 match std::thread::Builder::new()
-                    .name("tfb-serve-conn".to_string())
-                    .spawn(move || handle_connection(stream, conn_ctx))
+                    .name(format!("tfb-serve-conn-s{shard}"))
+                    .spawn(move || handle_connection(stream, conn_ctx, shard))
                 {
                     Ok(h) => handlers.push(h),
                     Err(_) => tfb_obs::counter!("serve/spawn_failures").add(1),
@@ -209,40 +242,46 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
     }
 }
 
-fn handle_connection(stream: TcpStream, ctx: Arc<ServerCtx>) {
+fn handle_connection(stream: TcpStream, ctx: Arc<ServerCtx>, shard: usize) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(http::read_timeout()));
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(stream);
+    // Per-connection buffers: parse target, response, line and header
+    // scratch all keep their capacity across keep-alive requests.
+    let mut req = Request::new();
+    let mut resp = Response::new();
+    let mut line = String::new();
+    let mut head = String::new();
     loop {
         if ctx.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        match http::read_request(&mut reader) {
-            ReadOutcome::Request(req) => {
+        match http::read_request_into(&mut reader, &mut req, &mut line) {
+            ReadOutcome::Request => {
                 // The trace clock starts once a full request is in hand:
                 // socket idle time between keep-alive requests is not
                 // request latency.
                 let started = Instant::now();
                 let mut trace = RequestTrace::begin();
                 tfb_obs::counter!("serve/requests").add(1);
-                let mut response = route(&req, &ctx, &mut trace);
+                route(&req, &ctx, shard, &mut trace, &mut resp);
                 tfb_obs::histogram!("serve/request_us")
                     .record(started.elapsed().as_secs_f64() * 1e6);
-                if response.status >= 400 {
+                if resp.status >= 400 {
                     tfb_obs::counter!("serve/http_errors").add(1);
                 }
-                trace.set_status(match response.status {
+                trace.set_status(match resp.status {
                     429 => TraceStatus::Shed,
                     s if s >= 400 => TraceStatus::Error,
                     _ => TraceStatus::Ok,
                 });
-                response.trace_id = trace.id_hex();
+                resp.trace_id = trace.id();
                 // Draining? Answer the in-flight request, then close.
                 let keep_alive = req.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
-                let wrote = http::write_response(&mut writer, &response, keep_alive).is_ok();
+                let wrote = http::write_response(&mut writer, &resp, keep_alive, &mut head).is_ok();
                 trace.mark(Phase::Write);
                 trace.finish();
                 if !wrote || !keep_alive {
@@ -258,9 +297,9 @@ fn handle_connection(stream: TcpStream, ctx: Arc<ServerCtx>) {
                 tfb_obs::counter!("serve/http_errors").add(1);
                 let mut trace = RequestTrace::begin();
                 trace.set_status(TraceStatus::Error);
-                let mut response = Response::error(400, &msg);
-                response.trace_id = trace.id_hex();
-                let _ = http::write_response(&mut writer, &response, false);
+                resp.set_error(400, &msg);
+                resp.trace_id = trace.id();
+                let _ = http::write_response(&mut writer, &resp, false, &mut head);
                 trace.mark(Phase::Write);
                 trace.finish();
                 return;
@@ -269,72 +308,86 @@ fn handle_connection(stream: TcpStream, ctx: Arc<ServerCtx>) {
     }
 }
 
-fn route(req: &Request, ctx: &ServerCtx, trace: &mut RequestTrace) -> Response {
+fn route(
+    req: &Request,
+    ctx: &ServerCtx,
+    shard: usize,
+    trace: &mut RequestTrace,
+    resp: &mut Response,
+) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/forecast") => forecast(req, ctx, trace),
-        ("GET", "/healthz") => healthz(ctx),
-        ("GET", "/metrics") => Response::openmetrics(tfb_obs::openmetrics::render_live()),
-        ("GET", "/metrics.json") => Response::json(200, tfb_obs::metrics_snapshot().to_json()),
+        ("POST", "/forecast") => forecast(req, ctx, shard, trace, resp),
+        ("GET", "/healthz") => healthz(ctx, resp),
+        ("GET", "/metrics") => resp.set_openmetrics(&tfb_obs::openmetrics::render_live()),
+        ("GET", "/metrics.json") => {
+            resp.set_json(200);
+            resp.body.push_str(&tfb_obs::metrics_snapshot().to_json());
+        }
         ("POST", "/shutdown") => {
             ctx.shutdown.store(true, Ordering::SeqCst);
-            Response::json(200, "{\"status\": \"draining\"}\n")
+            resp.set_json(200);
+            resp.body.push_str("{\"status\": \"draining\"}\n");
         }
-        (_, "/forecast") | (_, "/shutdown") => Response::error(405, "use POST"),
-        (_, "/healthz") | (_, "/metrics") | (_, "/metrics.json") => Response::error(405, "use GET"),
-        _ => Response::error(404, "unknown path"),
+        (_, "/forecast") | (_, "/shutdown") => resp.set_error(405, "use POST"),
+        (_, "/healthz") | (_, "/metrics") | (_, "/metrics.json") => resp.set_error(405, "use GET"),
+        _ => resp.set_error(404, "unknown path"),
     }
 }
 
-fn healthz(ctx: &ServerCtx) -> Response {
+fn healthz(ctx: &ServerCtx, resp: &mut Response) {
+    use std::fmt::Write as _;
     let m = &ctx.info;
-    Response::json(
-        200,
-        format!(
-            "{{\"status\": \"ok\", \"method\": {}, \"lookback\": {}, \"horizon\": {}, \
-             \"dim\": {}}}\n",
-            {
-                let mut s = String::new();
-                http::json_escape(&mut s, &m.method);
-                s
-            },
-            m.lookback,
-            m.horizon,
-            m.dim
-        ),
-    )
+    resp.set_json(200);
+    resp.body.push_str("{\"status\": \"ok\", \"method\": ");
+    http::json_escape(&mut resp.body, &m.method);
+    let _ = writeln!(
+        resp.body,
+        ", \"lookback\": {}, \"horizon\": {}, \"dim\": {}}}",
+        m.lookback, m.horizon, m.dim
+    );
 }
 
-fn forecast(req: &Request, ctx: &ServerCtx, trace: &mut RequestTrace) -> Response {
+fn forecast(
+    req: &Request,
+    ctx: &ServerCtx,
+    shard: usize,
+    trace: &mut RequestTrace,
+    resp: &mut Response,
+) {
+    use std::fmt::Write as _;
     let Ok(text) = std::str::from_utf8(&req.body) else {
-        return Response::error(400, "body is not UTF-8");
+        return resp.set_error(400, "body is not UTF-8");
     };
     let parsed = match JsonValue::parse(text) {
         Ok(v) => v,
-        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+        Err(e) => return resp.set_error(400, &format!("bad JSON: {e}")),
     };
     let Some(window_val) = parsed.get("window") else {
-        return Response::error(400, "missing \"window\" field");
+        return resp.set_error(400, "missing \"window\" field");
     };
     let Some(items) = window_val.as_array() else {
-        return Response::error(400, "\"window\" must be an array of numbers");
+        return resp.set_error(400, "\"window\" must be an array of numbers");
     };
+    // The coalescer takes ownership of the window (it outlives this
+    // stack frame inside the batch queue), so this vec is the one
+    // intentional per-request allocation.
     let mut window = Vec::with_capacity(items.len());
     for v in items {
         match v.as_f64() {
             Some(x) => window.push(x),
-            None => return Response::error(400, "\"window\" must be an array of numbers"),
+            None => return resp.set_error(400, "\"window\" must be an array of numbers"),
         }
     }
     trace.mark(Phase::Parse);
-    let rx = match ctx.coalescer.submit(window) {
+    let rx = match ctx.coalescer.submit_to(shard, window) {
         Ok(rx) => rx,
         Err(SubmitError::QueueFull) => {
-            let mut r = Response::error(429, "request queue is full, retry shortly");
-            r.retry_after = Some(1);
-            return r;
+            resp.set_error(429, "request queue is full, retry shortly");
+            resp.retry_after = Some(1);
+            return;
         }
-        Err(SubmitError::ShutDown) => return Response::error(503, "server is draining"),
-        Err(e @ SubmitError::BadWindow { .. }) => return Response::error(400, &e.to_string()),
+        Err(SubmitError::ShutDown) => return resp.set_error(503, "server is draining"),
+        Err(e @ SubmitError::BadWindow { .. }) => return resp.set_error(400, &e.to_string()),
     };
     match rx.recv() {
         Ok(Ok(out)) => {
@@ -345,20 +398,28 @@ fn forecast(req: &Request, ctx: &ServerCtx, trace: &mut RequestTrace) -> Respons
                 out.batch_id,
                 out.batch_size as u64,
             );
+            // Serialized straight into the reused body buffer, in the
+            // exact byte format `JsonValue::compact` would produce.
             let m = &ctx.info;
-            let doc = JsonValue::Object(vec![
-                ("method".to_string(), JsonValue::String(m.method.clone())),
-                ("horizon".to_string(), JsonValue::Number(m.horizon as f64)),
-                ("dim".to_string(), JsonValue::Number(m.dim as f64)),
-                (
-                    "forecast".to_string(),
-                    JsonValue::Array(out.forecast.into_iter().map(JsonValue::Number).collect()),
-                ),
-            ]);
-            Response::json(200, doc.compact() + "\n")
+            resp.set_json(200);
+            let b = &mut resp.body;
+            b.push_str("{\"method\":");
+            http::json_escape(b, &m.method);
+            let _ = write!(
+                b,
+                ",\"horizon\":{},\"dim\":{},\"forecast\":[",
+                m.horizon, m.dim
+            );
+            for (i, v) in out.forecast.iter().enumerate() {
+                if i > 0 {
+                    b.push(',');
+                }
+                tfb_json::write_number(b, *v);
+            }
+            b.push_str("]}\n");
         }
-        Ok(Err(model_err)) => Response::error(500, &model_err),
-        Err(mpsc::RecvError) => Response::error(500, "prediction worker dropped the request"),
+        Ok(Err(model_err)) => resp.set_error(500, &model_err),
+        Err(mpsc::RecvError) => resp.set_error(500, "prediction worker dropped the request"),
     }
 }
 

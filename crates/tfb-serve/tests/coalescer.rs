@@ -104,9 +104,10 @@ fn concurrent_load_actually_batches() {
     let coalescer = Arc::new(Coalescer::start(
         Arc::clone(&predictor) as Arc<dyn BatchPredictor>,
         CoalescerConfig {
+            shards: 1,
             max_batch: 16,
-            max_delay: Duration::from_millis(2),
             queue_cap: 256,
+            ..CoalescerConfig::default()
         },
     ));
     submit_concurrently(&coalescer, 32, 3);
@@ -166,9 +167,10 @@ fn full_queue_sheds_instead_of_growing() {
     let coalescer = Coalescer::start(
         Arc::clone(&predictor) as Arc<dyn BatchPredictor>,
         CoalescerConfig {
+            shards: 1,
             max_batch: 1,
-            max_delay: Duration::from_millis(1),
             queue_cap: 2,
+            ..CoalescerConfig::default()
         },
     );
     // Occupy the batcher, then fill the bounded queue.
@@ -213,9 +215,10 @@ fn shutdown_drains_accepted_requests() {
     let coalescer = Coalescer::start(
         Arc::clone(&predictor) as Arc<dyn BatchPredictor>,
         CoalescerConfig {
+            shards: 1,
             max_batch: 2,
-            max_delay: Duration::from_millis(1),
             queue_cap: 64,
+            ..CoalescerConfig::default()
         },
     );
     let answered = Arc::new(AtomicUsize::new(0));

@@ -232,9 +232,10 @@ fn slow_server(queue_cap: usize) -> ServerHandle {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             coalescer: CoalescerConfig {
+                shards: 1,
                 max_batch: 1,
-                max_delay: Duration::from_millis(1),
                 queue_cap,
+                ..CoalescerConfig::default()
             },
         },
     )

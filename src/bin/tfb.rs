@@ -42,12 +42,13 @@ const USAGE: &str = "usage: tfb <command>
   obs trend [--metric M] [--limit N] [--history DIR]
   obs gate [--baseline X] [--candidate Y] [--tol-pct P] [--tol-metric P]
            [--min-runs K] [--history DIR|none]
+  obs record MANIFEST.json [--history DIR]
   obs export-trace EVENTS.jsonl [--out TRACE.json]
   obs validate-metrics FILE
   train --method M --dataset D --out MODEL.tfba [--lookback N] [--horizon N]
         [--norm ZScore|MinMax|None] [--max-len N] [--max-dim N] [--epochs N]
-  serve --model MODEL.tfba [--addr HOST:PORT] [--max-batch N]
-        [--max-delay-ms N] [--queue-cap N] [--out DIR]
+  serve --model MODEL.tfba [--addr HOST:PORT] [--shards N]
+        [--batch-max N] [--budget-us N] [--queue-cap N] [--out DIR]
         [--slo-ms MS] [--slo-objective Q]
   datasets
   methods
@@ -260,6 +261,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             ("threads", threads.to_string()),
             ("jobs", jobs.len().to_string()),
             ("failures", failures.to_string()),
+            ("kernel", tfb::math::kernel::active_name().to_string()),
         ];
         if let Some(manifest) = tfb_obs::finish_run(&meta) {
             let path = out_dir.join("run.manifest.json");
@@ -299,10 +301,51 @@ fn cmd_obs(args: &[String]) -> ExitCode {
         Some("diff") => cmd_obs_diff(&args[1..]),
         Some("trend") => cmd_obs_trend(&args[1..]),
         Some("gate") => cmd_obs_gate(&args[1..]),
+        Some("record") => cmd_obs_record(&args[1..]),
         Some("export-trace") => cmd_obs_export_trace(&args[1..]),
         Some("validate-metrics") => cmd_obs_validate_metrics(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `tfb obs record MANIFEST.json`: append an existing manifest file to
+/// a run history. `tfb run` appends its own manifests automatically;
+/// this covers every other producer — a drained `tfb serve` session's
+/// `serve.manifest.json`, a bench binary's `target/obs/*.manifest.json`
+/// — so their histories can feed `obs trend`/`obs gate` too. Keep
+/// workloads in separate history dirs: the gate assumes it compares
+/// like against like.
+fn cmd_obs_record(args: &[String]) -> ExitCode {
+    let pos = positionals(args);
+    let [path] = pos.as_slice() else {
+        eprintln!("usage: tfb obs record MANIFEST.json [--history DIR]");
+        return ExitCode::FAILURE;
+    };
+    let Some(root) = history_root(args) else {
+        eprintln!("tfb obs record: the run history is disabled (--history none)");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tfb obs record: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match RunHistory::open(&root).and_then(|mut h| h.append_json(&text)) {
+        Ok(entry) => {
+            println!(
+                "history: run {} appended to {}",
+                &entry.id[..8.min(entry.id.len())],
+                root.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tfb obs record: could not append: {e}");
             ExitCode::FAILURE
         }
     }
@@ -750,11 +793,23 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     };
     let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
     let mut coalescer = tfb::serve::CoalescerConfig::default();
-    if let Some(n) = flag_value(args, "--max-batch").and_then(|v| v.parse().ok()) {
+    if let Some(n) = flag_value(args, "--shards").and_then(|v| v.parse().ok()) {
+        coalescer.shards = n; // 0 = one shard per core
+    }
+    // `--max-batch` is the pre-sharding spelling of `--batch-max`.
+    if let Some(n) = flag_value(args, "--batch-max")
+        .or_else(|| flag_value(args, "--max-batch"))
+        .and_then(|v| v.parse().ok())
+    {
         coalescer.max_batch = n;
     }
-    if let Some(ms) = flag_value(args, "--max-delay-ms").and_then(|v| v.parse().ok()) {
-        coalescer.max_delay = std::time::Duration::from_millis(ms);
+    if let Some(us) = flag_value(args, "--budget-us").and_then(|v| v.parse().ok()) {
+        coalescer.budget = std::time::Duration::from_micros(us);
+    } else if let Some(ms) = flag_value(args, "--max-delay-ms").and_then(|v| v.parse().ok()) {
+        // Legacy alias: the old coalescer held every batch open for a
+        // fixed window; budget == hint reproduces that behaviour.
+        coalescer.budget = std::time::Duration::from_millis(ms);
+        coalescer.coalesce_hint = coalescer.budget;
     }
     if let Some(n) = flag_value(args, "--queue-cap").and_then(|v| v.parse().ok()) {
         coalescer.queue_cap = n;
@@ -811,6 +866,11 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let shards = handle.shards();
+    eprintln!(
+        "{shards} shard(s), {} kernels",
+        tfb::math::kernel::active_name()
+    );
     println!("listening on {}", handle.addr());
     handle.run_until(tfb::serve::signal_received);
     eprintln!("draining and shutting down...");
@@ -818,6 +878,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         let meta = [
             ("command", "serve".to_string()),
             ("model", model_path.clone()),
+            ("shards", shards.to_string()),
+            ("kernel", tfb::math::kernel::active_name().to_string()),
         ];
         if let Some(manifest) = tfb_obs::finish_run(&meta) {
             if let Some(dir) = &out_dir {
