@@ -23,11 +23,10 @@
 //! scale with the `engine/cores` entry — on a single-core box they are
 //! expected to sit near 1.0x.
 
-use std::path::Path;
 use std::time::Instant;
+use tfb_bench::emit::{push, workspace_root, write_bench_json, BenchEntry};
 use tfb_core::eval::{evaluate, EvalSettings};
 use tfb_core::method::build_method;
-use tfb_json::JsonValue;
 use tfb_math::acf::{acf, acf_fft};
 use tfb_math::matrix::Matrix;
 use tfb_nn::TrainConfig;
@@ -37,20 +36,6 @@ use tfb_nn::TrainConfig;
 #[cfg(feature = "alloc-track")]
 #[global_allocator]
 static ALLOC: tfb_obs::alloc::CountingAllocator = tfb_obs::alloc::CountingAllocator;
-
-struct Entry {
-    name: String,
-    value: f64,
-    unit: &'static str,
-}
-
-fn push(entries: &mut Vec<Entry>, name: impl Into<String>, value: f64, unit: &'static str) {
-    entries.push(Entry {
-        name: name.into(),
-        value,
-        unit,
-    });
-}
 
 /// Pseudo-random matrix from a fixed xorshift stream (no zeros, so the
 /// GEMM zero-skip cannot bias the comparison).
@@ -70,7 +55,7 @@ fn main() {
 }
 
 fn run() {
-    let mut entries: Vec<Entry> = Vec::new();
+    let mut entries: Vec<BenchEntry> = Vec::new();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -285,23 +270,7 @@ fn run() {
     }
 
     // --- Emit rebar-style JSON at the workspace root. -----------------
-    let doc = JsonValue::Object(vec![(
-        "benchmarks".into(),
-        JsonValue::Array(
-            entries
-                .iter()
-                .map(|e| {
-                    JsonValue::Object(vec![
-                        ("name".into(), JsonValue::from(e.name.as_str())),
-                        ("value".into(), JsonValue::Number(e.value)),
-                        ("unit".into(), JsonValue::from(e.unit)),
-                    ])
-                })
-                .collect(),
-        ),
-    )]);
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let path = root.join("BENCH_engine.json");
-    std::fs::write(&path, doc.pretty() + "\n").expect("write BENCH_engine.json");
+    let path = workspace_root().join("BENCH_engine.json");
+    write_bench_json(&path, &entries).expect("write BENCH_engine.json");
     println!("\nwrote {}", path.display());
 }

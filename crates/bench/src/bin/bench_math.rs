@@ -18,11 +18,10 @@
 //! throughput, not a precision trade.
 
 use std::hint::black_box;
-use std::path::Path;
 use std::time::Instant;
 
+use tfb_bench::emit::{push, workspace_root, write_bench_json, BenchEntry};
 use tfb_bench::RunScale;
-use tfb_json::JsonValue;
 use tfb_math::kernel::{self, KernelPath};
 
 /// One timed closure per kernel variant.
@@ -31,12 +30,6 @@ type TimedRun<'a> = (&'a str, Box<dyn Fn() -> f64 + 'a>);
 #[cfg(feature = "alloc-track")]
 #[global_allocator]
 static ALLOC: tfb_obs::alloc::CountingAllocator = tfb_obs::alloc::CountingAllocator;
-
-struct Entry {
-    name: String,
-    value: f64,
-    unit: &'static str,
-}
 
 /// Deterministic pseudo-random data. `zeros` mixes exact zeros in
 /// (about one in seven) — used for the zero-skip kernels, whose branch
@@ -85,10 +78,7 @@ fn run() {
         RunScale::Default => (15, 1_000_000.0),
         RunScale::Full => (40, 5_000_000.0),
     };
-    let mut entries: Vec<Entry> = Vec::new();
-    let mut push = |entries: &mut Vec<Entry>, name: String, value: f64, unit: &'static str| {
-        entries.push(Entry { name, value, unit });
-    };
+    let mut entries: Vec<BenchEntry> = Vec::new();
 
     let best = kernel::best_unrolled();
     println!(
@@ -135,14 +125,7 @@ fn run() {
                     black_box(run());
                 })
             });
-            report(
-                &mut entries,
-                &mut push,
-                kind,
-                &format!("n{n}"),
-                scalar,
-                fast,
-            );
+            report(&mut entries, kind, &format!("n{n}"), scalar, fast);
         }
     }
 
@@ -167,14 +150,7 @@ fn run() {
                 kernel::axpy(1.0001, black_box(&x), black_box(&mut out))
             })
         });
-        report(
-            &mut entries,
-            &mut push,
-            "axpy",
-            &format!("n{n}"),
-            scalar,
-            fast,
-        );
+        report(&mut entries, "axpy", &format!("n{n}"), scalar, fast);
     }
 
     // GEMM k-tile: (depth x n) shapes — the serve-sized LR forecast
@@ -202,7 +178,6 @@ fn run() {
         });
         report(
             &mut entries,
-            &mut push,
             "gemm",
             &format!("k{depth}_n{n}"),
             scalar,
@@ -210,35 +185,12 @@ fn run() {
         );
     }
 
-    let doc = JsonValue::Object(vec![(
-        "benchmarks".into(),
-        JsonValue::Array(
-            entries
-                .iter()
-                .map(|e| {
-                    JsonValue::Object(vec![
-                        ("name".into(), JsonValue::from(e.name.as_str())),
-                        ("value".into(), JsonValue::Number(e.value)),
-                        ("unit".into(), JsonValue::from(e.unit)),
-                    ])
-                })
-                .collect(),
-        ),
-    )]);
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let path = root.join("BENCH_math.json");
-    std::fs::write(&path, doc.pretty() + "\n").expect("write BENCH_math.json");
+    let path = workspace_root().join("BENCH_math.json");
+    write_bench_json(&path, &entries).expect("write BENCH_math.json");
     println!("wrote {}", path.display());
 }
 
-fn report(
-    entries: &mut Vec<Entry>,
-    push: &mut impl FnMut(&mut Vec<Entry>, String, f64, &'static str),
-    kind: &str,
-    shape: &str,
-    scalar_ns: f64,
-    fast_ns: f64,
-) {
+fn report(entries: &mut Vec<BenchEntry>, kind: &str, shape: &str, scalar_ns: f64, fast_ns: f64) {
     let speedup = scalar_ns / fast_ns.max(1e-9);
     println!(
         "{kind:>9} {shape:<10} scalar {scalar_ns:10.1} ns | {} {fast_ns:10.1} ns | x{speedup:5.2}",

@@ -36,11 +36,11 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use tfb_artifact::{fit, ServableModel};
+use tfb_bench::emit::{push, workspace_root, write_bench_json, BenchEntry};
 use tfb_bench::RunScale;
 use tfb_data::{ChronoSplit, Normalization, Normalizer};
 use tfb_json::JsonValue;
@@ -52,20 +52,6 @@ static ALLOC: tfb_obs::alloc::CountingAllocator = tfb_obs::alloc::CountingAlloca
 
 const LOOKBACK: usize = 24;
 const HORIZON: usize = 8;
-
-struct Entry {
-    name: String,
-    value: f64,
-    unit: &'static str,
-}
-
-fn push(entries: &mut Vec<Entry>, name: impl Into<String>, value: f64, unit: &'static str) {
-    entries.push(Entry {
-        name: name.into(),
-        value,
-        unit,
-    });
-}
 
 fn train_model() -> ServableModel {
     let profile = tfb_datagen::profile_by_name("ILI").expect("ILI profile");
@@ -309,7 +295,7 @@ fn run() {
         });
     let primary_shards = sweep.iter().copied().max().unwrap_or(1);
 
-    let mut entries: Vec<Entry> = Vec::new();
+    let mut entries: Vec<BenchEntry> = Vec::new();
     println!(
         "machine: {cores} core(s), {clients} closed-loop client(s), {duration:?}/leg, \
          shard sweep {sweep:?}"
@@ -572,23 +558,7 @@ fn run() {
         );
     }
 
-    let doc = JsonValue::Object(vec![(
-        "benchmarks".into(),
-        JsonValue::Array(
-            entries
-                .iter()
-                .map(|e| {
-                    JsonValue::Object(vec![
-                        ("name".into(), JsonValue::from(e.name.as_str())),
-                        ("value".into(), JsonValue::Number(e.value)),
-                        ("unit".into(), JsonValue::from(e.unit)),
-                    ])
-                })
-                .collect(),
-        ),
-    )]);
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let path = root.join("BENCH_serve.json");
-    std::fs::write(&path, doc.pretty() + "\n").expect("write BENCH_serve.json");
+    let path = workspace_root().join("BENCH_serve.json");
+    write_bench_json(&path, &entries).expect("write BENCH_serve.json");
     println!("wrote {}", path.display());
 }

@@ -1,0 +1,472 @@
+//! The harness's workload engines: how one benchmark [`Cell`] executes.
+//!
+//! Three engines, selected by a suite's `engine` field:
+//!
+//! * **eval** — the paper's protocol: generate the cell's dataset
+//!   profile, train the method, roll the evaluator, and capture wall
+//!   time, per-window inference cost, and the accuracy scores (MAE /
+//!   MSE / MASE / MSMAPE) the Table 6/7 rankings are built from.
+//!   Accuracy must be bit-identical across the cell's `iters`
+//!   repetitions (everything is seeded), so a drift across iterations
+//!   is reported as an error, not averaged away.
+//! * **math** — the `bench_math` methodology (min over repetitions of
+//!   K back-to-back calls / K) for one kernel × shape, scalar path vs
+//!   the runtime-dispatched one.
+//! * **serve** — a closed-loop load leg against a freshly started
+//!   forecast server per iteration: throughput and client-side latency
+//!   percentiles.
+//!
+//! Every engine returns plain [`MeasurementRow`]s; recording, manifest
+//! assembly and history appends live in [`crate::harness`].
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use crate::measure::measurement;
+use crate::suite::{Cell, Engine, Suite};
+use tfb_core::eval::{evaluate, EvalSettings};
+use tfb_core::method::build_method;
+use tfb_core::Metric;
+use tfb_math::kernel::{self, KernelPath};
+use tfb_nn::TrainConfig;
+use tfb_obs::MeasurementRow;
+
+/// Executes one cell under its suite's engine.
+pub fn run_cell(suite: &Suite, cell: &Cell) -> Result<Vec<MeasurementRow>, String> {
+    match suite.engine {
+        Engine::Eval => run_eval(suite, cell),
+        Engine::Math => run_math(suite, cell),
+        Engine::Serve => run_serve(suite, cell),
+    }
+}
+
+/// The accuracy quantities every eval cell reports (and `rank` consumes).
+pub const EVAL_SCORES: [Metric; 4] = [Metric::Mae, Metric::Mse, Metric::Mase, Metric::Msmape];
+
+fn run_eval(suite: &Suite, cell: &Cell) -> Result<Vec<MeasurementRow>, String> {
+    let profile = tfb_datagen::profile_by_name(&cell.dataset)
+        .ok_or_else(|| format!("{}: unknown dataset profile {:?}", cell.id, cell.dataset))?;
+    let series = profile.generate(tfb_datagen::Scale {
+        max_len: cell.max_len,
+        max_dim: cell.max_dim,
+    });
+    let lookback = if cell.lookback > 0 {
+        cell.lookback
+    } else {
+        ((cell.horizon as f64) * 1.25).ceil() as usize
+    };
+    let mut settings = EvalSettings::rolling(lookback, cell.horizon, profile.split);
+    settings.max_windows = cell.max_windows;
+    settings.metrics = EVAL_SCORES.to_vec();
+    let train = TrainConfig {
+        epochs: cell.epochs,
+        max_samples: 512,
+        ..TrainConfig::default()
+    };
+
+    let mut wall_ns = Vec::with_capacity(cell.iters);
+    let mut infer_us = Vec::with_capacity(cell.iters);
+    let mut scores: Vec<Vec<f64>> = vec![Vec::with_capacity(cell.iters); EVAL_SCORES.len()];
+    let mut first_metrics = None;
+    for _ in 0..cell.iters {
+        let mut method = build_method(
+            &cell.method,
+            lookback,
+            cell.horizon,
+            series.dim(),
+            Some(train),
+        )
+        .map_err(|e| format!("{}: cannot build {:?}: {e}", cell.id, cell.method))?;
+        let t0 = Instant::now();
+        let out = evaluate(&mut method, &series, &settings)
+            .map_err(|e| format!("{}: evaluation failed: {e}", cell.id))?;
+        wall_ns.push(t0.elapsed().as_nanos() as f64);
+        infer_us.push(out.infer_time.as_secs_f64() * 1e6 / out.n_windows.max(1) as f64);
+        for (i, m) in EVAL_SCORES.iter().enumerate() {
+            scores[i].push(out.metric(*m));
+        }
+        match &first_metrics {
+            None => first_metrics = Some(out.metrics.clone()),
+            Some(first) => {
+                if *first != out.metrics {
+                    return Err(format!(
+                        "{}: accuracy drifted across iterations — the evaluation \
+                         is seeded, so this is a determinism bug, not noise",
+                        cell.id
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut rows = vec![
+        measurement(suite, cell, "wall", "ns", &wall_ns),
+        measurement(suite, cell, "infer", "us/window", &infer_us),
+    ];
+    for (i, m) in EVAL_SCORES.iter().enumerate() {
+        rows.push(measurement(suite, cell, m.label(), "", &scores[i]));
+        // Accuracy also flows through the manifest's `metrics` section,
+        // the gate's deterministic tight-tolerance channel.
+        if let Some(&value) = scores[i].first() {
+            tfb_obs::report_metric(&cell.dataset, &cell.method, cell.horizon, m.label(), value);
+        }
+    }
+    Ok(rows)
+}
+
+/// `min over reps of (elapsed(K calls) / K)` in ns — one sample.
+fn time_ns(reps: usize, calls: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..calls {
+            f();
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / calls as f64);
+    }
+    best
+}
+
+/// Deterministic pseudo-random data (xorshift), optionally with exact
+/// zeros mixed in for the zero-skip kernels.
+fn data(n: usize, seed: u64, zeros: bool) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if zeros && state.is_multiple_of(7) {
+                0.0
+            } else {
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+            }
+        })
+        .collect()
+}
+
+fn run_math(suite: &Suite, cell: &Cell) -> Result<Vec<MeasurementRow>, String> {
+    let n = cell.n;
+    let depth = cell.depth;
+    let run: Box<dyn Fn() -> f64> = match cell.workload.as_str() {
+        "dot" => {
+            let x = data(n, n as u64 + 1, true);
+            let y = data(n, n as u64 + 2, false);
+            Box::new(move || kernel::dot_acc(0.0, black_box(&x), black_box(&y)))
+        }
+        "dot_skip" => {
+            let x = data(n, n as u64 + 1, true);
+            let y = data(n, n as u64 + 2, false);
+            Box::new(move || kernel::dot_skip(black_box(&x), black_box(&y)))
+        }
+        "axpy" => {
+            let x = data(n, n as u64 + 3, false);
+            let out = std::cell::RefCell::new(data(n, n as u64 + 4, false));
+            Box::new(move || {
+                let mut out = out.borrow_mut();
+                kernel::axpy(1.0001, black_box(&x), black_box(&mut out));
+                out[0]
+            })
+        }
+        "gemm" => {
+            let lhs = data(depth, (depth * 31 + n) as u64, false);
+            let rhs = data(depth * n, (depth * 37 + n) as u64, false);
+            let out = std::cell::RefCell::new(data(n, n as u64 + 9, false));
+            Box::new(move || {
+                let mut out = out.borrow_mut();
+                kernel::gemm_row_ktile(black_box(&lhs), black_box(&rhs), n, black_box(&mut out));
+                out[0]
+            })
+        }
+        other => {
+            return Err(format!(
+                "{}: unknown math workload {other:?} (dot|dot_skip|axpy|gemm)",
+                cell.id
+            ))
+        }
+    };
+
+    // Calls per timing sample: enough to sit well above timer resolution,
+    // sized from a quick scalar estimate against a fixed 200 µs budget.
+    let est = kernel::with_path(KernelPath::Scalar, || {
+        time_ns(2, 64, || {
+            let _ = run();
+        })
+    });
+    let calls = ((200_000.0 / est.max(1.0)) as usize).clamp(8, 100_000);
+    let best = kernel::best_unrolled();
+    let mut scalar_ns = Vec::with_capacity(cell.iters);
+    let mut fast_ns = Vec::with_capacity(cell.iters);
+    let mut speedup = Vec::with_capacity(cell.iters);
+    for _ in 0..cell.iters {
+        let s = kernel::with_path(KernelPath::Scalar, || {
+            time_ns(3, calls, || {
+                let _ = black_box(run());
+            })
+        });
+        let f = kernel::with_path(best, || {
+            time_ns(3, calls, || {
+                let _ = black_box(run());
+            })
+        });
+        scalar_ns.push(s);
+        fast_ns.push(f);
+        speedup.push(s / f.max(1e-9));
+    }
+    Ok(vec![
+        measurement(suite, cell, "scalar", "ns", &scalar_ns),
+        measurement(suite, cell, "unrolled", "ns", &fast_ns),
+        measurement(suite, cell, "speedup", "x", &speedup),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// Serve engine: a compact closed-loop leg (the full instrumented sweep
+// stays in `bench_serve`; the harness needs a comparable, fast cell).
+// ---------------------------------------------------------------------
+
+const SERVE_LOOKBACK: usize = 24;
+const SERVE_HORIZON: usize = 8;
+
+fn train_serve_model() -> Result<tfb_artifact::ServableModel, String> {
+    use tfb_data::{ChronoSplit, Normalization, Normalizer};
+    let profile = tfb_datagen::profile_by_name("ILI").ok_or("serve engine: no ILI profile")?;
+    let series = profile.generate(tfb_datagen::Scale::TINY);
+    let split = ChronoSplit::split(&series, profile.split).map_err(|e| e.to_string())?;
+    let norm = Normalizer::fit(&split.train, Normalization::ZScore);
+    let normed = norm.apply(&series).map_err(|e| e.to_string())?;
+    let train = normed.slice_rows(0..split.val_start);
+    let artifact = tfb_artifact::fit(
+        "LR",
+        &train,
+        SERVE_LOOKBACK,
+        SERVE_HORIZON,
+        norm,
+        "tfb-bench-harness".to_string(),
+        None,
+    )
+    .map_err(|e| format!("serve engine: fit failed: {e}"))?;
+    tfb_artifact::ServableModel::from_artifact(artifact)
+        .map_err(|e| format!("serve engine: artifact not servable: {e}"))
+}
+
+/// Nearest-rank percentile of an already-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// One closed-loop client on a keep-alive connection; returns latencies
+/// in microseconds.
+fn client_loop(
+    addr: std::net::SocketAddr,
+    request: &str,
+    stop: &std::sync::atomic::AtomicBool,
+) -> Result<Vec<f64>, String> {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::sync::atomic::Ordering;
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::new();
+    let mut line = String::new();
+    let mut body = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        let t0 = Instant::now();
+        writer
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("write: {e}"))?;
+        // Read one reply: status line, headers, body.
+        line.clear();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read: {e}"))?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad status line {line:?}"))?;
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            reader
+                .read_line(&mut line)
+                .map_err(|e| format!("read: {e}"))?;
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = trimmed.split_once(':') {
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().unwrap_or(0);
+                }
+            }
+        }
+        body.clear();
+        body.resize(content_length, 0);
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("read body: {e}"))?;
+        latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+        if status != 200 && status != 429 {
+            return Err(format!("unexpected status {status} under closed-loop load"));
+        }
+    }
+    Ok(latencies)
+}
+
+fn run_serve(suite: &Suite, cell: &Cell) -> Result<Vec<MeasurementRow>, String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use tfb_serve::{serve, CoalescerConfig, ServerConfig};
+
+    let mut throughput = Vec::with_capacity(cell.iters);
+    let mut p50_us = Vec::with_capacity(cell.iters);
+    let mut p99_us = Vec::with_capacity(cell.iters);
+    let mut requests = Vec::with_capacity(cell.iters);
+    for _ in 0..cell.iters {
+        let model = train_serve_model()?;
+        let dim = model.dim();
+        let window: Vec<f64> = (0..SERVE_LOOKBACK * dim)
+            .map(|i| (i as f64) * 0.13 - 2.0)
+            .collect();
+        let body = tfb_json::JsonValue::Object(vec![(
+            "window".to_string(),
+            tfb_json::JsonValue::Array(
+                window
+                    .iter()
+                    .map(|&v| tfb_json::JsonValue::Number(v))
+                    .collect(),
+            ),
+        )])
+        .compact();
+        let request = format!(
+            "POST /forecast HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let handle = serve(
+            model,
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                coalescer: CoalescerConfig {
+                    shards: cell.shards,
+                    ..CoalescerConfig::default()
+                },
+            },
+        )
+        .map_err(|e| format!("{}: serve failed: {e}", cell.id))?;
+        let addr = handle.addr();
+        let stop = AtomicBool::new(false);
+        let mut latencies: Vec<f64> = Vec::new();
+        let t0 = Instant::now();
+        let result: Result<(), String> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..cell.clients.max(1))
+                .map(|_| scope.spawn(|| client_loop(addr, &request, &stop)))
+                .collect();
+            std::thread::sleep(Duration::from_millis(cell.duration_ms.max(50)));
+            stop.store(true, Ordering::Relaxed);
+            for w in workers {
+                latencies.extend(w.join().map_err(|_| "client thread panicked")??);
+            }
+            Ok(())
+        });
+        let elapsed_s = t0.elapsed().as_secs_f64();
+        handle.shutdown();
+        result.map_err(|e| format!("{}: {e}", cell.id))?;
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        requests.push(latencies.len() as f64);
+        throughput.push(latencies.len() as f64 / elapsed_s.max(1e-9));
+        p50_us.push(percentile(&latencies, 50.0));
+        p99_us.push(percentile(&latencies, 99.0));
+    }
+    Ok(vec![
+        measurement(suite, cell, "throughput", "req/s", &throughput),
+        measurement(suite, cell, "latency_p50", "us", &p50_us),
+        measurement(suite, cell, "latency_p99", "us", &p99_us),
+        measurement(suite, cell, "requests", "count", &requests),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::parse_suite;
+    use std::path::Path;
+
+    fn suite_from(toml: &str) -> Suite {
+        parse_suite(&crate::toml::parse(toml).unwrap(), Path::new("t.toml")).unwrap()
+    }
+
+    #[test]
+    fn eval_cell_produces_timing_and_score_rows() {
+        let suite = suite_from(
+            r#"
+name = "eval/unit"
+engine = "eval"
+[[entry]]
+name = "Naive-h12"
+dataset = "ILI"
+method = "Naive"
+horizon = 12
+max_len = 400
+max_windows = 3
+iters = 2
+"#,
+        );
+        let rows = run_cell(&suite, &suite.cells[0]).expect("eval runs");
+        let quantities: Vec<&str> = rows.iter().map(|r| r.quantity.as_str()).collect();
+        assert!(quantities.contains(&"wall"));
+        assert!(quantities.contains(&"infer"));
+        assert!(quantities.contains(&"mase"));
+        assert!(quantities.contains(&"msmape"));
+        let mase = rows.iter().find(|r| r.quantity == "mase").unwrap();
+        assert!(mase.min.is_finite());
+        assert_eq!(mase.min, mase.median, "deterministic across iters");
+        assert_eq!(mase.unit, "", "scores carry no unit");
+        let wall = rows.iter().find(|r| r.quantity == "wall").unwrap();
+        assert_eq!(wall.iters, 2);
+        assert!(wall.min > 0.0);
+        assert_eq!(wall.name, "eval/unit/Naive-h12");
+    }
+
+    #[test]
+    fn math_cell_times_both_paths() {
+        let suite = suite_from(
+            r#"
+name = "math/unit"
+engine = "math"
+[[entry]]
+name = "dot-64"
+workload = "dot"
+n = 64
+iters = 2
+"#,
+        );
+        let rows = run_cell(&suite, &suite.cells[0]).expect("math runs");
+        let scalar = rows.iter().find(|r| r.quantity == "scalar").unwrap();
+        let unrolled = rows.iter().find(|r| r.quantity == "unrolled").unwrap();
+        assert!(scalar.min > 0.0 && unrolled.min > 0.0);
+        assert_eq!(scalar.unit, "ns");
+        let speedup = rows.iter().find(|r| r.quantity == "speedup").unwrap();
+        assert_eq!(speedup.unit, "x", "ratios are never time-gated");
+    }
+
+    #[test]
+    fn unknown_cells_error_with_the_cell_id() {
+        let suite = suite_from(
+            "name = \"eval/unit\"\nengine = \"eval\"\n[[entry]]\nname = \"x\"\ndataset = \"NoSuch\"\nmethod = \"LR\"",
+        );
+        let err = run_cell(&suite, &suite.cells[0]).unwrap_err();
+        assert!(err.contains("eval/unit/x"), "{err}");
+        let suite = suite_from(
+            "name = \"math/unit\"\nengine = \"math\"\n[[entry]]\nname = \"x\"\nworkload = \"quantum\"",
+        );
+        assert!(run_cell(&suite, &suite.cells[0]).is_err());
+    }
+}

@@ -12,6 +12,13 @@
 //!   the paper's *relative* comparisons);
 //! * `TFB_FAST=1` — an even smaller smoke-test scale used by CI.
 
+pub mod emit;
+pub mod engines;
+pub mod harness;
+pub mod measure;
+pub mod suite;
+pub mod toml;
+
 use std::path::PathBuf;
 use tfb_core::eval::{evaluate, EvalOutcome, EvalSettings};
 use tfb_core::method::build_method;

@@ -1,0 +1,286 @@
+//! A minimal TOML reader for benchmark suite files.
+//!
+//! The workspace is offline and std-only, so rather than depending on a
+//! TOML crate this parses the small declarative subset the suite files
+//! use — comments, `key = value` pairs (strings, integers, floats,
+//! booleans, flat arrays), `[table]` sections and `[[array-of-tables]]`
+//! sections — into a [`tfb_json::JsonValue`] tree. Suites written as
+//! `.json` therefore share one downstream representation with `.toml`
+//! suites: [`crate::suite`] never knows which syntax a file used.
+//!
+//! Out of scope (and rejected loudly, never misparsed): dotted keys,
+//! inline tables, multi-line strings, dates.
+
+use tfb_json::JsonValue;
+
+/// Parses a TOML document into a JSON object tree.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut root: Vec<(String, JsonValue)> = Vec::new();
+    // Path of the section the next key-value lands in: None = top level,
+    // Some((name, is_array)) = inside `[name]` or the latest `[[name]]`.
+    let mut section: Option<(String, bool)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            let name = name.trim();
+            validate_key(name).map_err(&err)?;
+            match find_or_insert(&mut root, name, JsonValue::Array(vec![])) {
+                JsonValue::Array(items) => items.push(JsonValue::Object(vec![])),
+                _ => return Err(err(format!("{name:?} is both a value and a table array"))),
+            }
+            section = Some((name.to_string(), true));
+        } else if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let name = name.trim();
+            validate_key(name).map_err(&err)?;
+            match find_or_insert(&mut root, name, JsonValue::Object(vec![])) {
+                JsonValue::Object(_) => {}
+                _ => return Err(err(format!("{name:?} is both a value and a table"))),
+            }
+            section = Some((name.to_string(), false));
+        } else if let Some((key, value)) = line.split_once('=') {
+            let key = key.trim();
+            validate_key(key).map_err(&err)?;
+            let value = parse_value(value.trim()).map_err(&err)?;
+            let target = match &section {
+                None => &mut root,
+                Some((name, is_array)) => {
+                    let slot = find_or_insert(&mut root, name, JsonValue::Object(vec![]));
+                    match (slot, is_array) {
+                        (JsonValue::Object(fields), false) => fields,
+                        (JsonValue::Array(items), true) => match items.last_mut() {
+                            Some(JsonValue::Object(fields)) => fields,
+                            _ => unreachable!("[[section]] always appends an object"),
+                        },
+                        _ => unreachable!("section headers fixed the slot's shape"),
+                    }
+                }
+            };
+            if target.iter().any(|(k, _)| k == key) {
+                return Err(err(format!("duplicate key {key:?}")));
+            }
+            target.push((key.to_string(), value));
+        } else {
+            return Err(err(format!(
+                "expected `key = value` or a section header, got {line:?}"
+            )));
+        }
+    }
+    Ok(JsonValue::Object(root))
+}
+
+/// Drops a `#` comment, honouring `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = c == '\\' && !escaped && in_string;
+    }
+    line
+}
+
+fn validate_key(key: &str) -> Result<(), String> {
+    if key.is_empty() {
+        return Err("empty key".into());
+    }
+    if key.contains('.') {
+        return Err(format!("dotted keys are not supported: {key:?}"));
+    }
+    if !key
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(format!("bare keys only (A-Za-z0-9_-): {key:?}"));
+    }
+    Ok(())
+}
+
+fn find_or_insert<'a>(
+    fields: &'a mut Vec<(String, JsonValue)>,
+    key: &str,
+    default: JsonValue,
+) -> &'a mut JsonValue {
+    if let Some(i) = fields.iter().position(|(k, _)| k == key) {
+        return &mut fields[i].1;
+    }
+    fields.push((key.to_string(), default));
+    &mut fields.last_mut().unwrap().1
+}
+
+fn parse_value(text: &str) -> Result<JsonValue, String> {
+    if text.is_empty() {
+        return Err("missing value".into());
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        return parse_string(rest);
+    }
+    if text.starts_with('[') {
+        return parse_array(text);
+    }
+    match text {
+        "true" => return Ok(JsonValue::Bool(true)),
+        "false" => return Ok(JsonValue::Bool(false)),
+        _ => {}
+    }
+    // TOML allows underscore separators in numbers.
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    cleaned
+        .parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| format!("unsupported value {text:?}"))
+}
+
+/// Parses the remainder of a basic string (after the opening quote); the
+/// closing quote must end the value.
+fn parse_string(rest: &str) -> Result<JsonValue, String> {
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                let tail = chars.as_str().trim();
+                if !tail.is_empty() {
+                    return Err(format!("trailing content after string: {tail:?}"));
+                }
+                return Ok(JsonValue::String(out));
+            }
+            '\\' => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => return Err(format!("unsupported escape \\{other}")),
+                None => return Err("dangling escape".into()),
+            },
+            other => out.push(other),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Parses a flat single-line array of scalars.
+fn parse_array(text: &str) -> Result<JsonValue, String> {
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or("unterminated array")?;
+    let mut items = Vec::new();
+    for part in split_top_level(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        items.push(parse_value(part)?);
+    }
+    Ok(JsonValue::Array(items))
+}
+
+/// Splits on commas outside quoted strings (arrays here are flat, so no
+/// bracket nesting to track).
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in text.char_indices() {
+        match c {
+            '"' if !escaped => in_string = !in_string,
+            ',' if !in_string => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        escaped = c == '\\' && !escaped && in_string;
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_suite_shape() {
+        let doc = parse(
+            r#"
+# A suite file.
+name = "eval/etth1"   # trailing comment
+engine = "eval"
+
+[defaults]
+dataset = "ETTh1"
+horizon = 24
+iters = 3
+batch = true
+
+[[entry]]
+name = "LR-h24"
+method = "LR"
+
+[[entry]]
+name = "NLinear-h48"
+method = "NLinear"
+horizon = 48
+lookbacks = [36, 104]
+"#,
+        )
+        .expect("parses");
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("eval/etth1"));
+        let defaults = doc.get("defaults").unwrap();
+        assert_eq!(defaults.get("horizon").unwrap().as_usize(), Some(24));
+        assert_eq!(defaults.get("batch").unwrap().as_bool(), Some(true));
+        let entries = doc.get("entry").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].get("method").unwrap().as_str(), Some("LR"));
+        assert_eq!(entries[1].get("horizon").unwrap().as_usize(), Some(48));
+        let lb = entries[1].get("lookbacks").unwrap().as_array().unwrap();
+        assert_eq!(lb.len(), 2);
+        assert_eq!(lb[1].as_usize(), Some(104));
+    }
+
+    #[test]
+    fn strings_with_hashes_escapes_and_unicode() {
+        let doc = parse("title = \"50% #1 — a \\\"quote\\\"\"").expect("parses");
+        assert_eq!(
+            doc.get("title").unwrap().as_str(),
+            Some("50% #1 — a \"quote\"")
+        );
+    }
+
+    #[test]
+    fn numbers_with_underscores() {
+        let doc = parse("budget_ns = 1_000_000\nratio = 1.25\nneg = -4").expect("parses");
+        assert_eq!(doc.get("budget_ns").unwrap().as_f64(), Some(1_000_000.0));
+        assert_eq!(doc.get("ratio").unwrap().as_f64(), Some(1.25));
+        assert_eq!(doc.get("neg").unwrap().as_f64(), Some(-4.0));
+    }
+
+    #[test]
+    fn unsupported_toml_is_rejected_not_misparsed() {
+        assert!(parse("a.b = 1").is_err(), "dotted keys");
+        assert!(parse("t = {x = 1}").is_err(), "inline tables");
+        assert!(parse("just a line").is_err(), "bare prose");
+        assert!(parse("k = \"unterminated").is_err());
+        assert!(parse("k = 1\nk = 2").is_err(), "duplicate keys");
+        assert!(parse("[a]\nx = 1\n[[a]]").is_err(), "table vs array clash");
+    }
+
+    #[test]
+    fn section_order_and_reentry() {
+        // Re-entering `[table]` later appends to the same table.
+        let doc = parse("[a]\nx = 1\n[b]\ny = 2\n[a]\nz = 3").expect("parses");
+        let a = doc.get("a").unwrap();
+        assert_eq!(a.get("x").unwrap().as_usize(), Some(1));
+        assert_eq!(a.get("z").unwrap().as_usize(), Some(3));
+    }
+}

@@ -34,7 +34,8 @@
 //! unconditionally: there is no tolerance for wrong.
 
 use crate::manifest::{
-    HealthSummary, HistSummary, Manifest, MetricRow, PhaseRow, SloSummary, TraceExemplar,
+    HealthSummary, HistSummary, Manifest, MeasurementRow, MetricRow, PhaseRow, SloSummary,
+    TraceExemplar,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -80,7 +81,7 @@ pub fn parse_manifest(text: &str) -> Result<ParsedManifest, String> {
             "manifest schema is {schema:?} (this build understands tfb-obs/v1); parsing best-effort"
         ));
     }
-    const KNOWN: [&str; 13] = [
+    const KNOWN: [&str; 14] = [
         "schema",
         "meta",
         "cores",
@@ -92,6 +93,7 @@ pub fn parse_manifest(text: &str) -> Result<ParsedManifest, String> {
         "gauges",
         "histograms",
         "metrics",
+        "measurements",
         "slo",
         "exemplars",
     ];
@@ -155,6 +157,26 @@ pub fn parse_manifest(text: &str) -> Result<ParsedManifest, String> {
                 horizon: row.get("horizon").and_then(|v| v.as_usize()).unwrap_or(0),
                 name: get_str(row, "name"),
                 value: row.get("value").map(num_or_nan).unwrap_or(f64::NAN),
+            });
+        }
+    }
+    if let Some(items) = root.get("measurements").and_then(|v| v.as_array()) {
+        for row in items {
+            m.measurements.push(MeasurementRow {
+                name: get_str(row, "name"),
+                quantity: get_str(row, "quantity"),
+                unit: get_str(row, "unit"),
+                iters: get_u64(row, "iters").unwrap_or(0),
+                min: row.get("min").map(num_or_nan).unwrap_or(f64::NAN),
+                median: row.get("median").map(num_or_nan).unwrap_or(f64::NAN),
+                mean: row.get("mean").map(num_or_nan).unwrap_or(f64::NAN),
+                stddev: row.get("stddev").map(num_or_nan).unwrap_or(f64::NAN),
+                suite: get_str(row, "suite"),
+                engine: get_str(row, "engine"),
+                dataset: get_str(row, "dataset"),
+                method: get_str(row, "method"),
+                characteristic: get_str(row, "characteristic"),
+                horizon: get_u64(row, "horizon").unwrap_or(0),
             });
         }
     }
@@ -429,6 +451,8 @@ pub enum DiffKind {
     Counter,
     /// One per-cell accuracy metric.
     Metric,
+    /// One suite-harness measurement (median across its iters).
+    Measurement,
 }
 
 impl DiffKind {
@@ -440,12 +464,15 @@ impl DiffKind {
             DiffKind::Phase => "phase",
             DiffKind::Counter => "counter",
             DiffKind::Metric => "metric",
+            DiffKind::Measurement => "meas",
         }
     }
 }
 
 /// One compared quantity between two manifests. Every kind here is
-/// lower-is-better, so a positive delta is a regression.
+/// lower-is-better, so a positive delta is a regression — except
+/// [`DiffKind::Measurement`] rows whose unit is a rate (e.g. `req/s`),
+/// which are informational in the diff and excluded from the gate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffRow {
     /// What is being compared.
@@ -482,6 +509,33 @@ fn phase_totals(m: &Manifest) -> BTreeMap<String, u64> {
 /// Stable display key for a metric row.
 fn metric_key(m: &MetricRow) -> String {
     format!("{}/{} h={} {}", m.dataset, m.method, m.horizon, m.name)
+}
+
+/// Stable display key for a suite-harness measurement.
+fn measurement_key(m: &MeasurementRow) -> String {
+    format!("{}/{}", m.name, m.quantity)
+}
+
+/// Whether a measurement's unit denotes time — the only class of
+/// measurement the gate treats as a (one-directionally noisy) resource.
+fn is_time_unit(unit: &str) -> bool {
+    matches!(
+        unit.split('/').next().unwrap_or(""),
+        "ns" | "us" | "ms" | "s"
+    )
+}
+
+/// A measurement's time-unit value expressed in nanoseconds (for the
+/// gate's noise floor); `None` for non-time units.
+fn time_unit_ns(unit: &str, value: f64) -> Option<f64> {
+    let scale = match unit.split('/').next().unwrap_or("") {
+        "ns" => 1.0,
+        "us" => 1e3,
+        "ms" => 1e6,
+        "s" => 1e9,
+        _ => return None,
+    };
+    Some(value * scale)
 }
 
 /// Compares two manifests: wall time, peak RSS, per-path phase totals,
@@ -554,6 +608,28 @@ pub fn diff_manifests(base: &Manifest, new: &Manifest) -> Vec<DiffRow> {
             name: key.to_string(),
             base: bm.get(key.as_str()).copied(),
             new: nm.get(key.as_str()).copied(),
+        });
+    }
+    let bmm: BTreeMap<String, f64> = base
+        .measurements
+        .iter()
+        .map(|m| (measurement_key(m), m.median))
+        .collect();
+    let nmm: BTreeMap<String, f64> = new
+        .measurements
+        .iter()
+        .map(|m| (measurement_key(m), m.median))
+        .collect();
+    for key in bmm
+        .keys()
+        .chain(nmm.keys())
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        rows.push(DiffRow {
+            kind: DiffKind::Measurement,
+            name: key.to_string(),
+            base: bmm.get(key.as_str()).copied(),
+            new: nmm.get(key.as_str()).copied(),
         });
     }
     // Worst regression first; missing deltas sink to the bottom.
@@ -775,6 +851,39 @@ pub fn gate(baselines: &[&Manifest], candidate: &Manifest, tol: &GateTolerances)
                 );
             }
         }
+        // Suite-harness measurements: only time-unit quantities are
+        // gated (rates and scores have their own channels — throughput
+        // is higher-is-better, accuracy flows through `metrics`). The
+        // candidate's min-over-iters is compared against the min across
+        // baselines' mins — the same one-directional noise model as
+        // wall time — with the phase noise floor applied.
+        for row in &candidate.measurements {
+            if !is_time_unit(&row.unit) {
+                continue;
+            }
+            let key = measurement_key(row);
+            let mins: Vec<f64> = baselines
+                .iter()
+                .flat_map(|m| &m.measurements)
+                .filter(|b| measurement_key(b) == key && b.unit == row.unit)
+                .map(|b| b.min)
+                .filter(|v| v.is_finite())
+                .collect();
+            let Some(base_min) = mins.iter().copied().reduce(f64::min) else {
+                continue; // New cell: nothing to compare against.
+            };
+            match time_unit_ns(&row.unit, base_min) {
+                Some(ns) if ns >= PHASE_NOISE_FLOOR_NS as f64 => {}
+                _ => continue,
+            }
+            check(
+                &mut report,
+                format!("meas {key}"),
+                base_min,
+                row.min,
+                tol.wall_pct,
+            );
+        }
         // Accuracy metrics: median across baselines, tight tolerance.
         let mut base_metrics: BTreeMap<String, Vec<f64>> = BTreeMap::new();
         for m in baselines {
@@ -887,9 +996,29 @@ mod tests {
                 name: "mae".into(),
                 value: mae,
             }],
+            measurements: vec![],
             slo: None,
             exemplars: vec![],
             health: HealthSummary::default(),
+        }
+    }
+
+    fn meas(name: &str, quantity: &str, unit: &str, min: f64) -> MeasurementRow {
+        MeasurementRow {
+            name: name.into(),
+            quantity: quantity.into(),
+            unit: unit.into(),
+            iters: 3,
+            min,
+            median: min * 1.1,
+            mean: min * 1.15,
+            stddev: min * 0.05,
+            suite: "eval/etth1".into(),
+            engine: "eval".into(),
+            dataset: "ETTh1".into(),
+            method: "LR".into(),
+            characteristic: "trend".into(),
+            horizon: 24,
         }
     }
 
@@ -968,6 +1097,85 @@ mod tests {
         cand.phases[0].total_ns = 5_000; // "10x regression" of nothing
         let report = gate(&[&base], &cand, &GateTolerances::default());
         assert!(report.passed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn measurements_round_trip_and_diff() {
+        let mut base = mini_manifest(1_000_000, 1.0);
+        base.measurements = vec![meas("eval/etth1/LR-h24", "wall", "ns", 1_000_000.0)];
+        let json = base.to_json();
+        let parsed = parse_manifest(&json).expect("parses");
+        assert!(parsed.warnings.is_empty(), "{:?}", parsed.warnings);
+        assert_eq!(parsed.manifest.to_json(), json);
+
+        let mut new = base.clone();
+        new.measurements[0].median = 3_000_000.0;
+        let rows = diff_manifests(&base, &new);
+        let row = rows
+            .iter()
+            .find(|r| r.kind == DiffKind::Measurement)
+            .expect("measurement row");
+        assert_eq!(row.name, "eval/etth1/LR-h24/wall");
+        assert!(row.delta_pct().unwrap() > 100.0);
+    }
+
+    #[test]
+    fn gate_measurements_min_of_k_time_units_only() {
+        // Noisy baselines: min-of-K absorbs the slow ones.
+        let mut b1 = mini_manifest(1_000_000, 1.0);
+        b1.measurements = vec![
+            meas("eval/etth1/LR-h24", "infer", "us/window", 150.0),
+            meas("serve/smoke/LR-h8", "throughput", "req/s", 3_000.0),
+        ];
+        let mut b2 = b1.clone();
+        b2.measurements[0].min = 100.0;
+        let mut cand = b1.clone();
+        cand.measurements[0].min = 105.0; // within 10% of min-of-K (100)
+        cand.measurements[1].min = 100.0; // throughput collapse: NOT gated
+        let report = gate(&[&b1, &b2], &cand, &GateTolerances::default());
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name == "meas eval/etth1/LR-h24/infer"));
+        assert!(
+            !report.checks.iter().any(|c| c.name.contains("throughput")),
+            "rate units must not be gated as lower-is-better"
+        );
+
+        // A genuine regression beyond tolerance fails.
+        cand.measurements[0].min = 200.0;
+        let report = gate(&[&b1, &b2], &cand, &GateTolerances::default());
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("eval/etth1/LR-h24/infer"));
+    }
+
+    #[test]
+    fn gate_skips_sub_noise_floor_measurements() {
+        let mut base = mini_manifest(1_000_000, 1.0);
+        base.measurements = vec![meas("math/kernels/dot-16", "wall", "ns", 900.0)];
+        let mut cand = base.clone();
+        cand.measurements[0].min = 9_000.0; // "10x" of sub-floor noise
+        let report = gate(&[&base], &cand, &GateTolerances::default());
+        assert!(report.passed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn mixed_schema_histories_diff_and_gate() {
+        // A pre-harness manifest (no measurements) next to a harness one
+        // must diff and gate cleanly in both directions.
+        let old = mini_manifest(1_000_000, 1.0);
+        let mut new = mini_manifest(1_000_000, 1.0);
+        new.measurements = vec![meas("eval/etth1/LR-h24", "wall", "ns", 1_000_000.0)];
+        let rows = diff_manifests(&old, &new);
+        let row = rows
+            .iter()
+            .find(|r| r.kind == DiffKind::Measurement)
+            .expect("one-sided measurement row");
+        assert_eq!(row.base, None);
+        assert_eq!(row.delta_pct(), None);
+        assert!(gate(&[&old], &new, &GateTolerances::default()).passed());
+        assert!(gate(&[&new], &old, &GateTolerances::default()).passed());
     }
 
     #[test]

@@ -68,8 +68,8 @@ pub use noop::{
 pub mod alloc;
 
 pub use manifest::{
-    HealthKind, HealthSummary, HistSummary, Manifest, MetricRow, MetricsSnapshot, PhaseRow,
-    SloSummary, TraceExemplar,
+    HealthKind, HealthSummary, HistSummary, Manifest, MeasurementRow, MetricRow, MetricsSnapshot,
+    PhaseRow, SloSummary, TraceExemplar,
 };
 
 /// Opens a span named `$name`, optionally attaching `key = value` fields.

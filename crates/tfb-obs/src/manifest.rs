@@ -104,6 +104,48 @@ pub struct MetricRow {
     pub value: f64,
 }
 
+/// One captured benchmark measurement: the KLV-style record the suite
+/// harness (`tfb bench run`) emits per (cell, quantity). Aggregates are
+/// taken over `iters` repeated samples of the same cell; `min` is the
+/// noise-robust estimate of the true cost (see the gate's noise model in
+/// [`crate::history`]), and the provenance fields (`suite`, `engine`,
+/// `dataset`, `method`, `characteristic`, `horizon`) let `tfb bench rank`
+/// regenerate per-characteristic method rankings from recorded history
+/// alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasurementRow {
+    /// Full cell id, e.g. `eval/etth1/LR-h24`.
+    pub name: String,
+    /// What was measured: `wall`, `infer`, `mase`, `throughput`, ….
+    pub quantity: String,
+    /// Unit of the aggregates (`ns`, `us/window`, `req/s`, "" for
+    /// dimensionless accuracy scores).
+    pub unit: String,
+    /// How many repeated samples the aggregates summarize.
+    pub iters: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Median sample.
+    pub median: f64,
+    /// Mean over samples.
+    pub mean: f64,
+    /// Population standard deviation over samples.
+    pub stddev: f64,
+    /// Suite the cell came from, e.g. `eval/etth1`.
+    pub suite: String,
+    /// Engine that executed the cell (`eval`, `math`, `serve`).
+    pub engine: String,
+    /// Dataset profile ("" for non-eval engines).
+    pub dataset: String,
+    /// Method under measurement ("" for non-eval engines).
+    pub method: String,
+    /// Dominant dataset characteristic the cell is tagged with ("" when
+    /// untagged) — the ranking axis of the paper's Tables 6/7.
+    pub characteristic: String,
+    /// Forecast horizon (0 for non-eval engines).
+    pub horizon: u64,
+}
+
 /// What a numerical-health probe observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HealthKind {
@@ -201,6 +243,10 @@ pub struct Manifest {
     pub histograms: Vec<HistSummary>,
     /// Sorted per-cell accuracy metrics.
     pub metrics: Vec<MetricRow>,
+    /// Captured benchmark measurements, sorted by `(name, quantity)`;
+    /// present only for suite-harness runs. Empty ⇒ the section is
+    /// omitted, so pre-harness manifests round-trip byte-identically.
+    pub measurements: Vec<MeasurementRow>,
     /// SLO tracking summary; present only for runs that traced
     /// requests (serve sessions). Absent ⇒ the section is omitted, so
     /// pre-trace manifests still round-trip byte-identically.
@@ -345,6 +391,40 @@ impl Manifest {
             out.push_str("\n  ");
         }
         out.push_str("],\n");
+        if !self.measurements.is_empty() {
+            out.push_str("  \"measurements\": [");
+            for (i, r) in self.measurements.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    {\"name\": ");
+                json_str(&mut out, &r.name);
+                out.push_str(", \"quantity\": ");
+                json_str(&mut out, &r.quantity);
+                out.push_str(", \"unit\": ");
+                json_str(&mut out, &r.unit);
+                out.push_str(&format!(", \"iters\": {}, \"min\": ", r.iters));
+                json_num(&mut out, r.min);
+                out.push_str(", \"median\": ");
+                json_num(&mut out, r.median);
+                out.push_str(", \"mean\": ");
+                json_num(&mut out, r.mean);
+                out.push_str(", \"stddev\": ");
+                json_num(&mut out, r.stddev);
+                out.push_str(", \"suite\": ");
+                json_str(&mut out, &r.suite);
+                out.push_str(", \"engine\": ");
+                json_str(&mut out, &r.engine);
+                out.push_str(", \"dataset\": ");
+                json_str(&mut out, &r.dataset);
+                out.push_str(", \"method\": ");
+                json_str(&mut out, &r.method);
+                out.push_str(", \"characteristic\": ");
+                json_str(&mut out, &r.characteristic);
+                out.push_str(&format!(", \"horizon\": {}}}", r.horizon));
+            }
+            out.push_str("\n  ],\n");
+        }
         if let Some(slo) = &self.slo {
             out.push_str("  \"slo\": {\"threshold_ms\": ");
             json_num(&mut out, slo.threshold_ms);
@@ -598,6 +678,7 @@ mod tests {
                 name: "mae".into(),
                 value: 0.41,
             }],
+            measurements: vec![],
             slo: None,
             exemplars: vec![],
             health: HealthSummary {
@@ -670,6 +751,42 @@ mod tests {
         let slo_at = with.find("\"slo\"").unwrap();
         assert!(with.find("\"metrics\"").unwrap() < slo_at);
         assert!(slo_at < with.find("\"health\"").unwrap());
+    }
+
+    #[test]
+    fn measurements_serialize_only_when_present() {
+        let mut m = Manifest::default();
+        let without = m.to_json();
+        assert!(!without.contains("\"measurements\""), "{without}");
+        m.measurements = vec![MeasurementRow {
+            name: "eval/etth1/LR-h24".into(),
+            quantity: "wall".into(),
+            unit: "ns".into(),
+            iters: 3,
+            min: 1000.0,
+            median: 1100.0,
+            mean: 1150.0,
+            stddev: 80.5,
+            suite: "eval/etth1".into(),
+            engine: "eval".into(),
+            dataset: "ETTh1".into(),
+            method: "LR".into(),
+            characteristic: "trend".into(),
+            horizon: 24,
+        }];
+        let with = m.to_json();
+        assert!(
+            with.contains("\"name\": \"eval/etth1/LR-h24\", \"quantity\": \"wall\""),
+            "{with}"
+        );
+        assert!(
+            with.contains("\"characteristic\": \"trend\", \"horizon\": 24"),
+            "{with}"
+        );
+        // The section sits between metrics and health.
+        let at = with.find("\"measurements\"").unwrap();
+        assert!(with.find("\"metrics\"").unwrap() < at);
+        assert!(at < with.find("\"health\"").unwrap());
     }
 
     #[test]

@@ -279,6 +279,7 @@ pub fn finish_run(meta: &[(&str, String)]) -> Option<Manifest> {
         gauges,
         histograms,
         metrics,
+        measurements: Vec::new(),
         slo,
         exemplars,
         health,

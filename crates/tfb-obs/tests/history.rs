@@ -6,7 +6,7 @@ use std::path::PathBuf;
 use tfb_obs::history::{
     diff_manifests, gate, parse_manifest, render_diff, DiffKind, GateTolerances, RunHistory,
 };
-use tfb_obs::{HealthSummary, HistSummary, Manifest, MetricRow, PhaseRow};
+use tfb_obs::{HealthSummary, HistSummary, Manifest, MeasurementRow, MetricRow, PhaseRow};
 
 /// A populated manifest with a unicode dataset name and an unmeasured
 /// (null) peak RSS — the two serialization edge cases that bit before.
@@ -59,10 +59,52 @@ fn sample_manifest() -> Manifest {
             name: "mae".into(),
             value: 0.512,
         }],
+        measurements: vec![],
         slo: None,
         exemplars: vec![],
         health: HealthSummary::default(),
     }
+}
+
+/// The same run as recorded by the suite harness: identical content plus
+/// a `measurements` section.
+fn harness_manifest() -> Manifest {
+    let mut m = sample_manifest();
+    m.measurements = vec![
+        MeasurementRow {
+            name: "eval/etth1/LR-h24".into(),
+            quantity: "wall".into(),
+            unit: "ns".into(),
+            iters: 3,
+            min: 900_000.0,
+            median: 950_000.0,
+            mean: 960_000.0,
+            stddev: 40_000.0,
+            suite: "eval/etth1".into(),
+            engine: "eval".into(),
+            dataset: "ETTh1-中文-Ünïcode".into(),
+            method: "LR".into(),
+            characteristic: "trend".into(),
+            horizon: 24,
+        },
+        MeasurementRow {
+            name: "eval/etth1/LR-h24".into(),
+            quantity: "mase".into(),
+            unit: String::new(),
+            iters: 3,
+            min: 0.512,
+            median: 0.512,
+            mean: 0.512,
+            stddev: 0.0,
+            suite: "eval/etth1".into(),
+            engine: "eval".into(),
+            dataset: "ETTh1-中文-Ünïcode".into(),
+            method: "LR".into(),
+            characteristic: "trend".into(),
+            horizon: 24,
+        },
+    ];
+    m
 }
 
 fn temp_store(tag: &str) -> PathBuf {
@@ -193,6 +235,83 @@ fn store_dedups_blobs_and_survives_reopen() {
     let loaded = h.load(h.resolve("first").unwrap()).expect("load");
     assert_eq!(loaded.manifest.to_json(), m.to_json());
     let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn harness_manifest_roundtrips_byte_identical() {
+    let json = harness_manifest().to_json();
+    let parsed = parse_manifest(&json).expect("parses");
+    assert!(parsed.warnings.is_empty(), "{:?}", parsed.warnings);
+    assert_eq!(parsed.manifest.to_json(), json);
+    assert!(json.contains("\"measurements\": ["), "{json}");
+    // Pre-harness manifests keep their exact shape: no empty section.
+    assert!(!sample_manifest().to_json().contains("measurements"));
+}
+
+#[test]
+fn mixed_schema_history_diffs_and_gates_without_panicking() {
+    // Satellite 3: a harness manifest (with measurement keys) recorded
+    // next to pre-harness manifests in one store must diff and gate
+    // cleanly in both directions, through the store (bytes, not structs).
+    let root = temp_store("mixed");
+    let mut h = RunHistory::open(&root).expect("open");
+    let old = sample_manifest();
+    h.append(&old).expect("append pre-harness");
+    h.append(&harness_manifest()).expect("append harness");
+    let h = RunHistory::open(&root).expect("reopen");
+    let first = h.load(h.resolve("first").unwrap()).expect("load first");
+    let last = h.load(h.resolve("last").unwrap()).expect("load last");
+    assert!(first.manifest.measurements.is_empty());
+    assert_eq!(last.manifest.measurements.len(), 2);
+
+    for (base, cand) in [(&first, &last), (&last, &first)] {
+        let rows = diff_manifests(&base.manifest, &cand.manifest);
+        // One-sided measurement rows render n/a, never a fake delta.
+        for r in rows.iter().filter(|r| r.kind == DiffKind::Measurement) {
+            assert_eq!(r.delta_pct(), None, "{r:?}");
+        }
+        let report = gate(
+            &[&base.manifest],
+            &cand.manifest,
+            &GateTolerances::default(),
+        );
+        assert!(report.passed(), "{:?}", report.failures);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn harness_manifest_with_unknown_measurement_keys_warns_not_drops() {
+    // A future harness may add per-row keys (e.g. alloc deltas) or new
+    // top-level sections. Unknown top-level fields warn; unknown row
+    // keys are ignored while every known key still lands.
+    let json = harness_manifest().to_json().replace(
+        "\"iters\": 3,",
+        "\"iters\": 3, \"alloc_delta_bytes\": 4096,",
+    );
+    let json = json.replace(
+        "  \"measurements\": [",
+        "  \"measurement_env\": {\"cpufreq\": \"performance\"},\n  \"measurements\": [",
+    );
+    let parsed = parse_manifest(&json).expect("best-effort parse");
+    assert!(
+        parsed
+            .warnings
+            .iter()
+            .any(|w| w.contains("measurement_env")),
+        "{:?}",
+        parsed.warnings
+    );
+    assert_eq!(parsed.manifest.measurements.len(), 2);
+    assert_eq!(parsed.manifest.measurements[0].iters, 3);
+    assert_eq!(parsed.manifest.measurements[0].min, 900_000.0);
+    // And the parsed manifest still gates against itself.
+    let report = gate(
+        &[&parsed.manifest],
+        &parsed.manifest,
+        &GateTolerances::default(),
+    );
+    assert!(report.passed(), "{:?}", report.failures);
 }
 
 #[test]

@@ -3,6 +3,12 @@
 //! ```text
 //! tfb run <config.json> [--threads N] [--out DIR] [--history DIR|none]
 //!                                                   run a benchmark config
+//! tfb bench ls                                      list the declarative suites
+//! tfb bench run [PATTERN..] [--suite NAME]          execute suite cells, record
+//!                                                   manifests into the history
+//! tfb bench cmp <A> <B>                             measurements side by side
+//! tfb bench rank [--by characteristic|dataset]      Table 6/7-style ranking
+//!                                                   from recorded history
 //! tfb obs diff <A> <B> [--tol-pct P]                compare two recorded runs
 //! tfb obs trend [--metric M] [--limit N]            per-cell metric history
 //! tfb obs gate [--baseline X] [--candidate Y]
@@ -38,11 +44,16 @@ use tfb_obs::Manifest;
 
 const USAGE: &str = "usage: tfb <command>
   run CONFIG.json [--threads N] [--out DIR] [--history DIR|none]
+  bench ls [--suites DIR]
+  bench run [PATTERN..] [--suite NAME] [--suites DIR] [--out DIR]
+            [--history DIR|none]
+  bench cmp A B [--history DIR|none]
+  bench rank [--by characteristic|dataset] [--metric M] [--history DIR]
   obs diff A B [--tol-pct P] [--history DIR|none]
   obs trend [--metric M] [--limit N] [--history DIR]
   obs gate [--baseline X] [--candidate Y] [--tol-pct P] [--tol-metric P]
            [--min-runs K] [--history DIR|none]
-  obs record MANIFEST.json [--history DIR]
+  obs record MANIFEST.json [MORE.json|GLOB ..] [--history DIR]
   obs export-trace EVENTS.jsonl [--out TRACE.json]
   obs validate-metrics FILE
   train --method M --dataset D --out MODEL.tfba [--lookback N] [--horizon N]
@@ -59,6 +70,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("obs") => cmd_obs(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -296,6 +308,122 @@ fn cmd_run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `tfb bench`: the declarative suite harness. Suites are TOML/JSON
+/// files under `benches/suites/`; `run` executes their cells through one
+/// measurement pipeline and records a manifest per suite into the run
+/// history, which `cmp`, `rank` and the `obs diff|trend|gate` family all
+/// read.
+fn cmd_bench(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("ls") => cmd_bench_ls(&args[1..]),
+        Some("run") => cmd_bench_run(&args[1..]),
+        Some("cmp") => cmd_bench_cmp(&args[1..]),
+        Some("rank") => cmd_bench_rank(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Resolves `--suites DIR` (default `benches/suites`).
+fn suites_dir(args: &[String]) -> PathBuf {
+    PathBuf::from(flag_value(args, "--suites").unwrap_or_else(|| "benches/suites".to_string()))
+}
+
+fn cmd_bench_ls(args: &[String]) -> ExitCode {
+    let dir = suites_dir(args);
+    match tfb_bench::suite::discover(&dir) {
+        Ok(suites) if suites.is_empty() => {
+            println!("no suites under {}", dir.display());
+            ExitCode::SUCCESS
+        }
+        Ok(suites) => {
+            print!("{}", tfb_bench::harness::render_ls(&suites));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tfb bench ls: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_bench_run(args: &[String]) -> ExitCode {
+    let cfg = tfb_bench::harness::RunConfig {
+        suites_dir: suites_dir(args),
+        patterns: positionals(args),
+        suite: flag_value(args, "--suite"),
+        out_dir: PathBuf::from(flag_value(args, "--out").unwrap_or_else(|| "target/obs".into())),
+        history: history_root(args),
+    };
+    match tfb_bench::harness::run(&cfg) {
+        Ok(runs) => {
+            let cells: usize = runs.iter().map(|r| r.cells_run).sum();
+            let rows: usize = runs.iter().map(|r| r.rows).sum();
+            println!(
+                "{} suite(s), {cells} cell(s), {rows} measurement(s) recorded",
+                runs.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tfb bench run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `tfb bench cmp A B`: the measurement rows of two runs side by side.
+/// A and B are manifest paths or history selectors, like `obs diff`.
+fn cmd_bench_cmp(args: &[String]) -> ExitCode {
+    let pos = positionals(args);
+    let [base_sel, new_sel] = pos.as_slice() else {
+        eprintln!("usage: tfb bench cmp <A> <B> [--history DIR|none]");
+        return ExitCode::FAILURE;
+    };
+    let mut hist = None;
+    let (base, new) = match load_manifest_arg(args, &mut hist, base_sel)
+        .and_then(|(b, _)| load_manifest_arg(args, &mut hist, new_sel).map(|(n, _)| (b, n)))
+    {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("tfb bench cmp: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", tfb_bench::harness::render_cmp(&base, &new));
+    ExitCode::SUCCESS
+}
+
+/// `tfb bench rank`: regenerate the paper's Table 6/7-style method
+/// ranking from the newest recorded measurement of every cell.
+fn cmd_bench_rank(args: &[String]) -> ExitCode {
+    let by = flag_value(args, "--by").unwrap_or_else(|| "characteristic".to_string());
+    let metric = flag_value(args, "--metric").unwrap_or_else(|| "msmape".to_string());
+    let Some(root) = history_root(args) else {
+        eprintln!("tfb bench rank: the run history is disabled (--history none)");
+        return ExitCode::FAILURE;
+    };
+    match tfb_bench::harness::rank_from_history(&root, &by, &metric) {
+        Ok(ranking) => {
+            println!(
+                "method ranking by {by} ({metric}, newest record per cell, {})",
+                root.display()
+            );
+            print!(
+                "{}",
+                tfb_bench::harness::render_rank(&ranking, &by, &metric)
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tfb bench rank: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_obs(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("diff") => cmd_obs_diff(&args[1..]),
@@ -311,44 +439,116 @@ fn cmd_obs(args: &[String]) -> ExitCode {
     }
 }
 
-/// `tfb obs record MANIFEST.json`: append an existing manifest file to
-/// a run history. `tfb run` appends its own manifests automatically;
-/// this covers every other producer — a drained `tfb serve` session's
-/// `serve.manifest.json`, a bench binary's `target/obs/*.manifest.json`
-/// — so their histories can feed `obs trend`/`obs gate` too. Keep
-/// workloads in separate history dirs: the gate assumes it compares
-/// like against like.
+/// `tfb obs record MANIFEST.json ..`: append existing manifest files to
+/// a run history. `tfb run` and `tfb bench run` append their own
+/// manifests automatically; this covers every other producer — a
+/// drained `tfb serve` session's `serve.manifest.json`, a bench
+/// binary's `target/obs/*.manifest.json` — so their histories can feed
+/// `obs trend`/`obs gate` too. Arguments may be literal paths or glob
+/// patterns (`*`/`?`, quoted so the shell does not expand them first);
+/// appends happen in argument order, then lexicographic within a
+/// pattern. Keep workloads in separate history dirs: the gate assumes
+/// it compares like against like.
 fn cmd_obs_record(args: &[String]) -> ExitCode {
     let pos = positionals(args);
-    let [path] = pos.as_slice() else {
-        eprintln!("usage: tfb obs record MANIFEST.json [--history DIR]");
+    if pos.is_empty() {
+        eprintln!("usage: tfb obs record MANIFEST.json [MORE.json|GLOB ..] [--history DIR]");
         return ExitCode::FAILURE;
-    };
+    }
     let Some(root) = history_root(args) else {
         eprintln!("tfb obs record: the run history is disabled (--history none)");
         return ExitCode::FAILURE;
     };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
+    let paths = match expand_manifest_args(&pos) {
+        Ok(p) => p,
         Err(e) => {
-            eprintln!("tfb obs record: cannot read {path}: {e}");
+            eprintln!("tfb obs record: {e}");
             return ExitCode::FAILURE;
         }
     };
-    match RunHistory::open(&root).and_then(|mut h| h.append_json(&text)) {
-        Ok(entry) => {
-            println!(
-                "history: run {} appended to {}",
-                &entry.id[..8.min(entry.id.len())],
-                root.display()
-            );
-            ExitCode::SUCCESS
-        }
+    let mut hist = match RunHistory::open(&root) {
+        Ok(h) => h,
         Err(e) => {
-            eprintln!("tfb obs record: could not append: {e}");
-            ExitCode::FAILURE
+            eprintln!("tfb obs record: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+    for path in &paths {
+        let appended = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))
+            .and_then(|text| hist.append_json(&text));
+        match appended {
+            Ok(entry) => println!(
+                "history: run {} appended from {}",
+                &entry.id[..8.min(entry.id.len())],
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("tfb obs record: {}: {e}", path.display());
+                failed = true;
+            }
         }
     }
+    println!(
+        "{} manifest(s) appended to {}",
+        paths.len() - if failed { 1 } else { 0 },
+        root.display()
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Expands `obs record` arguments: a literal path stays as-is; an
+/// argument containing `*`/`?` is matched (via the suite glob, where `*`
+/// crosses `/`) against the files under its deepest wildcard-free parent
+/// directory. A pattern that matches nothing is an error — a typo'd glob
+/// silently recording zero manifests would defeat the gate.
+fn expand_manifest_args(args: &[String]) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    for arg in args {
+        if !arg.contains('*') && !arg.contains('?') {
+            out.push(PathBuf::from(arg));
+            continue;
+        }
+        let (dir, rest) = match arg.rfind('/') {
+            // Split at the last separator before the first wildcard.
+            Some(_) => {
+                let wild = arg.find(['*', '?']).unwrap_or(0);
+                match arg[..wild].rfind('/') {
+                    Some(i) => (&arg[..i], &arg[i + 1..]),
+                    None => (".", arg.as_str()),
+                }
+            }
+            None => (".", arg.as_str()),
+        };
+        let mut matched: Vec<PathBuf> = Vec::new();
+        let mut stack = vec![PathBuf::from(dir)];
+        while let Some(d) = stack.pop() {
+            let entries =
+                std::fs::read_dir(&d).map_err(|e| format!("cannot list {}: {e}", d.display()))?;
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if let Ok(rel) = path.strip_prefix(dir) {
+                    let rel = rel.to_string_lossy().replace('\\', "/");
+                    if tfb_bench::suite::glob_match(rest, &rel) {
+                        matched.push(path);
+                    }
+                }
+            }
+        }
+        if matched.is_empty() {
+            return Err(format!("no files match {arg:?}"));
+        }
+        matched.sort();
+        out.extend(matched);
+    }
+    Ok(out)
 }
 
 /// `tfb obs diff A B`: every comparable quantity of two runs, sorted by
