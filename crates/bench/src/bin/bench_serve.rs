@@ -558,6 +558,73 @@ fn run() {
         );
     }
 
+    // -- Observability-overhead legs: one shard, same client load, three
+    // recorder states — flight recorder disarmed (every probe is a
+    // relaxed load), armed (event lines are copied into the per-thread
+    // rings), and armed with the sampling profiler walking span stacks.
+    // The armed-vs-disarmed delta is the flight recorder's tax on the
+    // serving hot path; the budget is < 2%.
+    let overhead_cfg = || CoalescerConfig {
+        shards: 1,
+        ..CoalescerConfig::default()
+    };
+    tfb_obs::flight::set_armed(false);
+    let disarmed = run_leg(train_model(), overhead_cfg(), clients, duration, &body);
+    tfb_obs::flight::configure(tfb_obs::flight::FlightConfig {
+        history_root: Some(workspace_root().join("target").join("obs-overhead-history")),
+        context: vec![("command".to_string(), "bench_serve".to_string())],
+        ..Default::default()
+    });
+    tfb_obs::flight::set_armed(true);
+    let armed = run_leg(train_model(), overhead_cfg(), clients, duration, &body);
+    tfb_obs::flight::profiler::start(97);
+    let profiled = run_leg(train_model(), overhead_cfg(), clients, duration, &body);
+    tfb_obs::flight::profiler::stop();
+    tfb_obs::flight::set_armed(false);
+    // Overhead as "how much slower than disarmed", in percent; negative
+    // values are run-to-run noise.
+    let overhead_pct =
+        |leg: &LegStats| 100.0 * (disarmed.throughput() / leg.throughput().max(1e-9) - 1.0);
+    println!(
+        "obs overhead (1 shard): {:9.0} req/s disarmed | {:9.0} req/s armed ({:+.2}%) | \
+         {:9.0} req/s profiled ({:+.2}%)",
+        disarmed.throughput(),
+        armed.throughput(),
+        overhead_pct(&armed),
+        profiled.throughput(),
+        overhead_pct(&profiled),
+    );
+    push(
+        &mut entries,
+        "serve/obs_overhead/disarmed_throughput",
+        disarmed.throughput(),
+        "req/s",
+    );
+    push(
+        &mut entries,
+        "serve/obs_overhead/armed_throughput",
+        armed.throughput(),
+        "req/s",
+    );
+    push(
+        &mut entries,
+        "serve/obs_overhead/armed_pct",
+        overhead_pct(&armed),
+        "%",
+    );
+    push(
+        &mut entries,
+        "serve/obs_overhead/profiled_throughput",
+        profiled.throughput(),
+        "req/s",
+    );
+    push(
+        &mut entries,
+        "serve/obs_overhead/profiled_pct",
+        overhead_pct(&profiled),
+        "%",
+    );
+
     let path = workspace_root().join("BENCH_serve.json");
     write_bench_json(&path, &entries).expect("write BENCH_serve.json");
     println!("wrote {}", path.display());

@@ -24,10 +24,13 @@ use std::time::{Duration, Instant};
 
 use crate::measure::measurement;
 use crate::suite::{Cell, Engine, Suite};
-use tfb_core::eval::{evaluate, EvalSettings};
-use tfb_core::method::build_method;
+use tfb_core::eval::{evaluate, EvalSettings, Strategy};
+use tfb_core::method::{build_method, Method};
 use tfb_core::Metric;
+use tfb_data::{MultiSeries, Normalization};
 use tfb_math::kernel::{self, KernelPath};
+use tfb_models::tabular::iterate_one_step;
+use tfb_models::{LinearRegressionForecaster, ModelError, WindowForecaster};
 use tfb_nn::TrainConfig;
 use tfb_obs::MeasurementRow;
 
@@ -42,6 +45,77 @@ pub fn run_cell(suite: &Suite, cell: &Cell) -> Result<Vec<MeasurementRow>, Strin
 
 /// The accuracy quantities every eval cell reports (and `rank` consumes).
 pub const EVAL_SCORES: [Metric; 4] = [Metric::Mae, Metric::Mse, Metric::Mase, Metric::Msmape];
+
+/// LR wrapped to forecast iteratively with a one-step inner model — the
+/// `multistep = "ims"` arm of the DMS-vs-IMS ablation (Section 4.4: IMS
+/// compounds one-step errors with the horizon; DMS stays flatter).
+struct IterativeLr {
+    inner: LinearRegressionForecaster,
+    horizon: usize,
+}
+
+impl IterativeLr {
+    fn new(lookback: usize, horizon: usize) -> IterativeLr {
+        IterativeLr {
+            inner: LinearRegressionForecaster::new(lookback, 1),
+            horizon,
+        }
+    }
+}
+
+impl WindowForecaster for IterativeLr {
+    fn name(&self) -> &'static str {
+        "LR-IMS"
+    }
+    fn lookback(&self) -> usize {
+        self.inner.lookback()
+    }
+    fn horizon(&self) -> usize {
+        self.horizon
+    }
+    fn train(&mut self, train: &MultiSeries) -> Result<(), ModelError> {
+        self.inner.train(train)
+    }
+    fn predict(&self, window: &[f64], dim: usize) -> Result<Vec<f64>, ModelError> {
+        let channels = tfb_models::window_channels(window, dim);
+        let mut per_channel = Vec::with_capacity(dim);
+        for ch in &channels {
+            per_channel.push(iterate_one_step(ch, self.horizon, |w| {
+                self.inner.predict(w, 1).map(|v| v[0]).unwrap_or(f64::NAN)
+            }));
+        }
+        Ok(tfb_models::interleave_channels(&per_channel))
+    }
+}
+
+/// Builds a cell's method honouring its `multistep` field.
+fn build_cell_method(
+    cell: &Cell,
+    lookback: usize,
+    dim: usize,
+    train: TrainConfig,
+) -> Result<Method, String> {
+    match cell.multistep.as_str() {
+        "dms" => build_method(&cell.method, lookback, cell.horizon, dim, Some(train))
+            .map_err(|e| format!("{}: cannot build {:?}: {e}", cell.id, cell.method)),
+        "ims" => {
+            if cell.method != "LR" {
+                return Err(format!(
+                    "{}: multistep = \"ims\" only supports method \"LR\", not {:?}",
+                    cell.id, cell.method
+                ));
+            }
+            Ok(Method::Window(Box::new(IterativeLr::new(
+                lookback,
+                cell.horizon,
+            ))))
+        }
+        other => Err(format!(
+            "{}: unknown multistep {other:?} (dms|ims)",
+            cell.id
+        )),
+    }
+}
 
 fn run_eval(suite: &Suite, cell: &Cell) -> Result<Vec<MeasurementRow>, String> {
     let profile = tfb_datagen::profile_by_name(&cell.dataset)
@@ -58,6 +132,15 @@ fn run_eval(suite: &Suite, cell: &Cell) -> Result<Vec<MeasurementRow>, String> {
     let mut settings = EvalSettings::rolling(lookback, cell.horizon, profile.split);
     settings.max_windows = cell.max_windows;
     settings.metrics = EVAL_SCORES.to_vec();
+    settings.strategy = Strategy::Rolling {
+        stride: cell.stride,
+    };
+    settings.normalization = Normalization::parse_name(&cell.normalization).ok_or_else(|| {
+        format!(
+            "{}: unknown normalization {:?} (ZScore|MinMax|None)",
+            cell.id, cell.normalization
+        )
+    })?;
     let train = TrainConfig {
         epochs: cell.epochs,
         max_samples: 512,
@@ -69,14 +152,7 @@ fn run_eval(suite: &Suite, cell: &Cell) -> Result<Vec<MeasurementRow>, String> {
     let mut scores: Vec<Vec<f64>> = vec![Vec::with_capacity(cell.iters); EVAL_SCORES.len()];
     let mut first_metrics = None;
     for _ in 0..cell.iters {
-        let mut method = build_method(
-            &cell.method,
-            lookback,
-            cell.horizon,
-            series.dim(),
-            Some(train),
-        )
-        .map_err(|e| format!("{}: cannot build {:?}: {e}", cell.id, cell.method))?;
+        let mut method = build_cell_method(cell, lookback, series.dim(), train)?;
         let t0 = Instant::now();
         let out = evaluate(&mut method, &series, &settings)
             .map_err(|e| format!("{}: evaluation failed: {e}", cell.id))?;
@@ -455,6 +531,46 @@ iters = 2
         assert_eq!(scalar.unit, "ns");
         let speedup = rows.iter().find(|r| r.quantity == "speedup").unwrap();
         assert_eq!(speedup.unit, "x", "ratios are never time-gated");
+    }
+
+    #[test]
+    fn eval_cell_honours_stride_normalization_and_multistep() {
+        // IMS with a larger stride and raw (no-op) normalization — the
+        // ablation-suite combination — runs and stays deterministic.
+        let suite = suite_from(
+            r#"
+name = "eval/unit"
+engine = "eval"
+[[entry]]
+name = "lr-ims"
+dataset = "ILI"
+method = "LR"
+horizon = 6
+lookback = 12
+stride = 4
+normalization = "None"
+multistep = "ims"
+max_len = 400
+max_windows = 3
+iters = 2
+"#,
+        );
+        let rows = run_cell(&suite, &suite.cells[0]).expect("ims cell runs");
+        let mae = rows.iter().find(|r| r.quantity == "mae").unwrap();
+        assert!(mae.min.is_finite());
+        // IMS is LR-only; other methods must fail loudly, not silently
+        // fall back to DMS.
+        let suite = suite_from(
+            "name = \"eval/unit\"\nengine = \"eval\"\n[[entry]]\nname = \"x\"\ndataset = \"ILI\"\nmethod = \"Naive\"\nmultistep = \"ims\"",
+        );
+        let err = run_cell(&suite, &suite.cells[0]).unwrap_err();
+        assert!(err.contains("ims"), "{err}");
+        // So must a typo'd normalization.
+        let suite = suite_from(
+            "name = \"eval/unit\"\nengine = \"eval\"\n[[entry]]\nname = \"x\"\ndataset = \"ILI\"\nmethod = \"LR\"\nnormalization = \"zscore\"",
+        );
+        let err = run_cell(&suite, &suite.cells[0]).unwrap_err();
+        assert!(err.contains("normalization"), "{err}");
     }
 
     #[test]

@@ -88,6 +88,14 @@ pub struct Cell {
     pub iters: usize,
     /// Deep-method training epochs.
     pub epochs: usize,
+    /// Eval engine: rolling stride (history grows this many steps per
+    /// window; 1 is the paper's reference).
+    pub stride: usize,
+    /// Eval engine: normalization scheme (`ZScore`, `MinMax`, `None`).
+    pub normalization: String,
+    /// Eval engine: multi-step strategy — `dms` (direct, the default) or
+    /// `ims` (iterated one-step; LR only).
+    pub multistep: String,
     /// Math engine: which kernel (`dot`, `dot_skip`, `axpy`, `gemm`).
     pub workload: String,
     /// Math engine: vector length / GEMM output width.
@@ -187,6 +195,9 @@ pub fn parse_suite(doc: &JsonValue, path: &Path) -> Result<Suite, String> {
             max_dim: get_usize(entry, defaults, "max_dim", 4),
             iters: get_usize(entry, defaults, "iters", 3).max(1),
             epochs: get_usize(entry, defaults, "epochs", 2),
+            stride: get_usize(entry, defaults, "stride", 1).max(1),
+            normalization: get_merged_str(entry, defaults, "normalization", "ZScore"),
+            multistep: get_merged_str(entry, defaults, "multistep", "dms"),
             workload: get_merged_str(entry, defaults, "workload", "dot"),
             n: get_usize(entry, defaults, "n", 256),
             depth: get_usize(entry, defaults, "depth", 24),
@@ -316,6 +327,9 @@ horizon = 48
         let nl = &suite.cells[1];
         assert_eq!(nl.horizon, 48, "entry overrides the default");
         assert_eq!(nl.characteristic, "trend", "default carries through");
+        assert_eq!(lr.stride, 1, "ablation knobs default to the paper's");
+        assert_eq!(lr.normalization, "ZScore");
+        assert_eq!(lr.multistep, "dms");
     }
 
     #[test]

@@ -30,9 +30,14 @@ struct Event {
     ph: &'static str,
     tid: u64,
     name: String,
+    cat: Option<&'static str>,
     id: Option<u64>,
     args: Vec<(String, JsonValue)>,
 }
+
+/// Flow ids for work-steal arrows live above this floor so they can never
+/// collide with batch ids (which count up from zero).
+const STEAL_FLOW_BASE: u64 = 1_000_000_000;
 
 fn get_u64(v: &JsonValue, key: &str) -> Option<u64> {
     v.get(key).and_then(|n| n.as_f64()).map(|n| n as u64)
@@ -51,7 +56,18 @@ pub fn chrome_trace(events: &str) -> Result<String, String> {
     let mut batch_tids: BTreeSet<u64> = BTreeSet::new();
     // Where each batch ran: batch id → (tid, start µs).
     let mut batch_spans: BTreeMap<u64, (u64, f64)> = BTreeMap::new();
-    let mut flows: Vec<(u64, f64, u64)> = Vec::new(); // (batch id, request ts, request tid)
+    // (batch id, request ts, request tid)
+    let mut flows: Vec<(u64, f64, u64)> = Vec::new();
+    // Sharded server geometry: which shard each batcher tid serves, and
+    // the batcher tid behind each shard (for steal arrows).
+    let mut shard_of_tid: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut tid_of_shard: BTreeMap<u64, u64> = BTreeMap::new();
+    // (flow id, thief ts µs, thief tid, victim shard) — resolved after the
+    // pass, once every shard's batcher lane is known.
+    let mut steals: Vec<(u64, f64, u64, u64)> = Vec::new();
+    // Profiler counter tracks: (thread name, ts µs) → samples in the tick.
+    let mut psamples: BTreeMap<(String, u64), u64> = BTreeMap::new();
+    let mut psample_tids: BTreeMap<String, u64> = BTreeMap::new();
     for (lineno, line) in events.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -82,14 +98,20 @@ pub fn chrome_trace(events: &str) -> Result<String, String> {
                 }
                 if path == "serve.batch" {
                     batch_tids.insert(thread);
-                    if let Some(batch_id) = v
-                        .get("fields")
+                    let fields = v.get("fields");
+                    if let Some(batch_id) = fields
                         .and_then(|f| f.get("batch_id"))
                         .and_then(|b| b.as_f64())
                     {
                         batch_spans
                             .entry(batch_id as u64)
                             .or_insert((thread, ts_us));
+                    }
+                    if let Some(shard) =
+                        fields.and_then(|f| f.get("shard")).and_then(|s| s.as_f64())
+                    {
+                        shard_of_tid.entry(thread).or_insert(shard as u64);
+                        tid_of_shard.entry(shard as u64).or_insert(thread);
                     }
                 }
                 out.push(Event {
@@ -98,6 +120,7 @@ pub fn chrome_trace(events: &str) -> Result<String, String> {
                     ph: "X",
                     tid: thread,
                     name: path,
+                    cat: None,
                     id: None,
                     args,
                 });
@@ -127,6 +150,7 @@ pub fn chrome_trace(events: &str) -> Result<String, String> {
                     ph: "X",
                     tid: thread,
                     name: format!("request {}", &trace_id[..trace_id.len().min(8)]),
+                    cat: None,
                     id: None,
                     args,
                 });
@@ -148,12 +172,46 @@ pub fn chrome_trace(events: &str) -> Result<String, String> {
                             ph: "X",
                             tid: thread,
                             name: format!("phase:{}", phase.label()),
+                            cat: None,
                             id: None,
                             args: Vec::new(),
                         });
                         cursor += dur;
                     }
                 }
+            }
+            Some("steal") => {
+                let t_ns = get_u64(&v, "t_ns").unwrap_or(0);
+                let thread = get_u64(&v, "thread").unwrap_or(0);
+                let from = get_u64(&v, "from").unwrap_or(0);
+                let to = get_u64(&v, "to").unwrap_or(0);
+                let moved = get_u64(&v, "moved").unwrap_or(0);
+                let seq = get_u64(&v, "seq").unwrap_or(0);
+                let ts_us = t_ns as f64 / 1e3;
+                tids.insert(thread);
+                out.push(Event {
+                    ts_us,
+                    dur_us: None,
+                    ph: "i",
+                    tid: thread,
+                    name: format!("steal shard{from}→shard{to}"),
+                    cat: None,
+                    id: None,
+                    args: vec![
+                        ("from".to_string(), JsonValue::Number(from as f64)),
+                        ("to".to_string(), JsonValue::Number(to as f64)),
+                        ("moved".to_string(), JsonValue::Number(moved as f64)),
+                    ],
+                });
+                steals.push((STEAL_FLOW_BASE + seq, ts_us, thread, from));
+            }
+            Some("psample") => {
+                let t_ns = get_u64(&v, "t_ns").unwrap_or(0);
+                let thread = get_u64(&v, "thread").unwrap_or(0);
+                let name = get_str(&v, "name").unwrap_or("?").to_string();
+                let count = get_u64(&v, "count").unwrap_or(0);
+                psample_tids.entry(name.clone()).or_insert(thread);
+                *psamples.entry((name, t_ns)).or_insert(0) += count;
             }
             // run_start/run_end/health carry no timeline geometry.
             _ => {}
@@ -170,6 +228,7 @@ pub fn chrome_trace(events: &str) -> Result<String, String> {
             ph: "s",
             tid,
             name: "batch".to_string(),
+            cat: Some("batch"),
             id: Some(batch_id),
             args: Vec::new(),
         });
@@ -179,8 +238,51 @@ pub fn chrome_trace(events: &str) -> Result<String, String> {
             ph: "f",
             tid: batch_tid,
             name: "batch".to_string(),
+            cat: Some("batch"),
             id: Some(batch_id),
             args: Vec::new(),
+        });
+    }
+    // Flow arrows victim batcher → thief, one per work-steal. Skipped when
+    // the victim shard never closed a batch (its lane is unknown).
+    for (flow_id, ts, thief_tid, victim_shard) in steals {
+        let Some(&victim_tid) = tid_of_shard.get(&victim_shard) else {
+            continue;
+        };
+        out.push(Event {
+            ts_us: ts,
+            dur_us: None,
+            ph: "s",
+            tid: victim_tid,
+            name: "steal".to_string(),
+            cat: Some("steal"),
+            id: Some(flow_id),
+            args: Vec::new(),
+        });
+        out.push(Event {
+            ts_us: ts,
+            dur_us: None,
+            ph: "f",
+            tid: thief_tid,
+            name: "steal".to_string(),
+            cat: Some("steal"),
+            id: Some(flow_id),
+            args: Vec::new(),
+        });
+    }
+    // Profiler sample rates as Perfetto counter tracks, one per profiled
+    // thread, summed across stacks per flush tick.
+    for (&(ref name, t_ns), &count) in &psamples {
+        let tid = psample_tids.get(name).copied().unwrap_or(0);
+        out.push(Event {
+            ts_us: t_ns as f64 / 1e3,
+            dur_us: None,
+            ph: "C",
+            tid,
+            name: format!("profile:{name}"),
+            cat: None,
+            id: None,
+            args: vec![("samples".to_string(), JsonValue::Number(count as f64))],
         });
     }
     out.sort_by(|a, b| {
@@ -193,7 +295,9 @@ pub fn chrome_trace(events: &str) -> Result<String, String> {
     let mut trace_events: Vec<JsonValue> = Vec::new();
     trace_events.push(meta_event(0, "process_name", "name", "tfb"));
     for &tid in &tids {
-        let label = if batch_tids.contains(&tid) {
+        let label = if let Some(shard) = shard_of_tid.get(&tid) {
+            format!("shard {shard} batcher")
+        } else if batch_tids.contains(&tid) {
             "batch worker".to_string()
         } else {
             format!("worker-{tid}")
@@ -211,12 +315,17 @@ pub fn chrome_trace(events: &str) -> Result<String, String> {
         if let Some(dur) = e.dur_us {
             obj.push(("dur".to_string(), JsonValue::Number(dur)));
         }
+        if let Some(cat) = e.cat {
+            obj.push(("cat".to_string(), JsonValue::String(cat.to_string())));
+        }
         if let Some(id) = e.id {
-            obj.push(("cat".to_string(), JsonValue::String("batch".to_string())));
             obj.push(("id".to_string(), JsonValue::Number(id as f64)));
             if e.ph == "f" {
                 obj.push(("bp".to_string(), JsonValue::String("e".to_string())));
             }
+        }
+        if e.ph == "i" {
+            obj.push(("s".to_string(), JsonValue::String("t".to_string())));
         }
         if !e.args.is_empty() {
             obj.push(("args".to_string(), JsonValue::Object(e.args)));
@@ -247,6 +356,34 @@ fn meta_event(tid: u64, name: &str, arg_key: &str, arg_val: &str) -> JsonValue {
             )]),
         ),
     ])
+}
+
+/// Aggregates `psample` profiler events from a JSONL event log into the
+/// collapsed-stack format flamegraph tools consume: one
+/// `thread;frame;frame count` line per distinct stack, sorted. Returns an
+/// empty string when the log carries no samples (profiler was off).
+pub fn collapsed_profile(events: &str) -> Result<String, String> {
+    let mut agg: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for (lineno, line) in events.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = JsonValue::parse(line)
+            .map_err(|e| format!("line {}: not valid JSON: {e}", lineno + 1))?;
+        if get_str(&v, "ev") != Some("psample") {
+            continue;
+        }
+        let name = get_str(&v, "name").unwrap_or("?").to_string();
+        let stack = get_str(&v, "stack").unwrap_or("<idle>").to_string();
+        let count = get_u64(&v, "count").unwrap_or(0);
+        *agg.entry((name, stack)).or_insert(0) += count;
+    }
+    let mut out = String::new();
+    for ((name, stack), count) in agg {
+        out.push_str(&format!("{name};{stack} {count}\n"));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -332,6 +469,89 @@ mod tests {
                 assert!(e.get("dur").and_then(|v| v.as_f64()).unwrap() >= 0.0);
             }
         }
+    }
+
+    fn sharded_events() -> String {
+        [
+            r#"{"ev":"span","seq":1,"t_ns":2000000,"thread":3,"depth":0,"path":"serve.batch","dataset":"","method":"","ns":1500000,"fields":{"batch_id":7,"shard":0,"rows":2}}"#,
+            r#"{"ev":"span","seq":2,"t_ns":2600000,"thread":4,"depth":0,"path":"serve.batch","dataset":"","method":"","ns":400000,"fields":{"batch_id":8,"shard":1,"rows":1}}"#,
+            r#"{"ev":"steal","seq":3,"t_ns":2700000,"thread":4,"from":0,"to":1,"moved":3}"#,
+            r#"{"ev":"psample","seq":4,"t_ns":3000000,"thread":3,"name":"shard0-batcher","stack":"serve.batch;serve.infer","count":5}"#,
+            r#"{"ev":"psample","seq":5,"t_ns":3000000,"thread":3,"name":"shard0-batcher","stack":"<idle>","count":2}"#,
+        ]
+        .join("\n")
+            + "\n"
+    }
+
+    #[test]
+    fn sharded_export_has_shard_lanes_steal_arrows_and_counter_tracks() {
+        let json = chrome_trace(&sharded_events()).expect("export");
+        let doc = JsonValue::parse(&json).expect("output is valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        fn ph(e: &JsonValue) -> &str {
+            e.get("ph").and_then(|p| p.as_str()).unwrap_or("")
+        }
+        fn name(e: &JsonValue) -> &str {
+            e.get("name").and_then(|p| p.as_str()).unwrap_or("")
+        }
+        // Batcher lanes are labelled per shard, not with the generic name.
+        let lane_names: Vec<String> = events
+            .iter()
+            .filter(|e| ph(e) == "M" && name(e) == "thread_name")
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+                    .map(str::to_string)
+            })
+            .collect();
+        assert!(
+            lane_names.contains(&"shard 0 batcher".to_string()),
+            "{lane_names:?}"
+        );
+        assert!(
+            lane_names.contains(&"shard 1 batcher".to_string()),
+            "{lane_names:?}"
+        );
+        // The steal renders as an instant on the thief's lane plus a flow
+        // arrow from the victim's batcher lane (tid 3) to the thief's (4).
+        let instants: Vec<&JsonValue> = events.iter().filter(|e| ph(e) == "i").collect();
+        assert_eq!(instants.len(), 1);
+        assert_eq!(name(instants[0]), "steal shard0→shard1");
+        let steal_flows: Vec<&JsonValue> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("steal"))
+            .collect();
+        assert_eq!(steal_flows.len(), 2);
+        let s = steal_flows.iter().find(|e| ph(e) == "s").expect("s");
+        let f = steal_flows.iter().find(|e| ph(e) == "f").expect("f");
+        assert_eq!(s.get("tid").and_then(|t| t.as_f64()), Some(3.0));
+        assert_eq!(f.get("tid").and_then(|t| t.as_f64()), Some(4.0));
+        // Profiler samples become a counter track summed across stacks.
+        let counters: Vec<&JsonValue> = events.iter().filter(|e| ph(e) == "C").collect();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(name(counters[0]), "profile:shard0-batcher");
+        assert_eq!(
+            counters[0]
+                .get("args")
+                .and_then(|a| a.get("samples"))
+                .and_then(|n| n.as_f64()),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn collapsed_profile_aggregates_by_stack() {
+        let collapsed = collapsed_profile(&sharded_events()).expect("collapse");
+        assert_eq!(
+            collapsed,
+            "shard0-batcher;<idle> 2\nshard0-batcher;serve.batch;serve.infer 5\n"
+        );
+        // Logs without samples collapse to nothing, not an error.
+        assert_eq!(collapsed_profile(&sample_events()).expect("empty"), "");
     }
 
     #[test]

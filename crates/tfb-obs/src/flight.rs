@@ -1,0 +1,775 @@
+//! The black-box flight recorder: bounded in-memory capture of recent
+//! events, anomaly-triggered postmortem bundles, and a wall-clock
+//! sampling profiler.
+//!
+//! Production incidents are explained by what happened *just before*
+//! them, and by then the JSONL sink (if one is even open) is megabytes
+//! deep. The flight recorder keeps the recent past in memory instead:
+//!
+//! * **Rings** — every thread that emits events gets its own
+//!   fixed-capacity ring of pre-rendered JSONL lines (overwrite-oldest).
+//!   Writers only ever take their *own* ring's lock, so steady-state
+//!   recording never contends; a coherent cross-thread snapshot is
+//!   assembled by visiting rings one at a time and merging on the
+//!   recorder's global sequence stamp.
+//! * **Triggers** — an SLO burn-rate breach ([`crate::trace`]), a
+//!   numerical-health sentinel, a queue/shed spike in the serving layer,
+//!   or a panic anywhere in the process calls [`dump`], which writes a
+//!   deterministic postmortem bundle (`postmortem.manifest.json` +
+//!   `events.jsonl` + the worst-exemplar set + a config snapshot) into
+//!   the content-addressed history root under `postmortems/`. Dumps are
+//!   rate-limited: a sustained breach produces one bundle per cooldown,
+//!   not thousands ([`dump_now`] bypasses the cooldown for panics).
+//! * **Profiler** — [`profiler`] samples registered threads' current
+//!   span stacks at a fixed rate (no unsafe backtraces: it reads the
+//!   obs span stack the recorder already maintains), aggregates into
+//!   flamegraph-ready collapsed lines, and streams `psample` events
+//!   through the normal event path so Perfetto export picks them up.
+//!
+//! Compiled without the `record` feature everything here is an empty
+//! `#[inline]` no-op, exactly like the rest of the crate.
+
+use crate::manifest::FlightSummary;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// How the flight recorder behaves once armed.
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Per-thread ring capacity, in event lines.
+    pub ring_capacity: usize,
+    /// Minimum spacing between rate-limited dumps ([`dump_now`] ignores
+    /// it).
+    pub cooldown: Duration,
+    /// Where postmortem bundles land (`<root>/postmortems/<id>/`);
+    /// `None` uses `.tfb-history`.
+    pub history_root: Option<PathBuf>,
+    /// Caller-supplied context (model, shards, kernel, …) copied into
+    /// every bundle's manifest.
+    pub context: Vec<(String, String)>,
+}
+
+impl Default for FlightConfig {
+    fn default() -> FlightConfig {
+        FlightConfig {
+            ring_capacity: 1024,
+            cooldown: Duration::from_secs(30),
+            history_root: None,
+            context: Vec::new(),
+        }
+    }
+}
+
+#[cfg(feature = "record")]
+mod imp {
+    use super::FlightConfig;
+    use crate::manifest::{json_num, json_str, FlightSummary};
+    use std::cell::RefCell;
+    use std::collections::VecDeque;
+    use std::io::Write;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Instant;
+
+    static ARMED: AtomicBool = AtomicBool::new(false);
+    static CONFIG: Mutex<Option<FlightConfig>> = Mutex::new(None);
+    /// Registry of every thread's ring. Writers never touch this on the
+    /// hot path — only on first use and at snapshot time.
+    static RINGS: Mutex<Vec<Arc<RingHandle>>> = Mutex::new(Vec::new());
+    /// Global order stamp: offers are already serialized by the
+    /// recorder's `STATE` lock, so sorting on this reconstructs the sink
+    /// order exactly.
+    static EVENT_SEQ: AtomicU64 = AtomicU64::new(0);
+    static DUMPS: Mutex<DumpState> = Mutex::new(DumpState {
+        last: None,
+        dumps: 0,
+        suppressed: 0,
+        seq: 0,
+        last_reason: String::new(),
+    });
+    static PANIC_HOOK: AtomicBool = AtomicBool::new(false);
+
+    struct DumpState {
+        last: Option<Instant>,
+        dumps: u64,
+        suppressed: u64,
+        seq: u64,
+        last_reason: String,
+    }
+
+    struct Ring {
+        cap: usize,
+        entries: VecDeque<(u64, String)>,
+    }
+
+    struct RingHandle {
+        ring: Mutex<Ring>,
+    }
+
+    thread_local! {
+        static MY_RING: RefCell<Option<Arc<RingHandle>>> = const { RefCell::new(None) };
+    }
+
+    fn ring_capacity() -> usize {
+        CONFIG
+            .lock()
+            .expect("flight config poisoned")
+            .as_ref()
+            .map(|c| c.ring_capacity)
+            .unwrap_or_else(|| FlightConfig::default().ring_capacity)
+    }
+
+    /// Installs the recorder's configuration, clears every ring and
+    /// resets the dump bookkeeping. Does not change the armed state.
+    pub fn configure(cfg: FlightConfig) {
+        let cap = cfg.ring_capacity.max(1);
+        *CONFIG.lock().expect("flight config poisoned") = Some(cfg);
+        for h in RINGS.lock().expect("flight rings poisoned").iter() {
+            let mut ring = h.ring.lock().expect("flight ring poisoned");
+            ring.cap = cap;
+            ring.entries.clear();
+        }
+        let mut d = DUMPS.lock().expect("flight dump state poisoned");
+        *d = DumpState {
+            last: None,
+            dumps: 0,
+            suppressed: 0,
+            seq: 0,
+            last_reason: String::new(),
+        };
+    }
+
+    /// Arms or disarms the recorder at runtime (the compile-time gate is
+    /// the `record` feature). Disarmed, [`offer`] is one relaxed load.
+    pub fn set_armed(on: bool) {
+        ARMED.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether the recorder is currently capturing events.
+    #[inline]
+    pub fn armed() -> bool {
+        ARMED.load(Ordering::Relaxed)
+    }
+
+    /// Offers one pre-rendered JSONL event line to this thread's ring.
+    /// No-op unless armed. Normally fed by the recorder's event path;
+    /// public so tests and external emitters can inject lines.
+    pub fn offer(line: &str) {
+        if !armed() {
+            return;
+        }
+        let seq = EVENT_SEQ.fetch_add(1, Ordering::Relaxed);
+        MY_RING.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let handle = slot.get_or_insert_with(|| {
+                let handle = Arc::new(RingHandle {
+                    ring: Mutex::new(Ring {
+                        cap: ring_capacity(),
+                        entries: VecDeque::new(),
+                    }),
+                });
+                RINGS
+                    .lock()
+                    .expect("flight rings poisoned")
+                    .push(handle.clone());
+                handle
+            });
+            let mut ring = handle.ring.lock().expect("flight ring poisoned");
+            if ring.entries.len() >= ring.cap {
+                ring.entries.pop_front();
+            }
+            ring.entries.push_back((seq, line.to_string()));
+        });
+    }
+
+    /// A coherent snapshot of every ring, merged into global event
+    /// order. Each ring is copied atomically (under its own lock); the
+    /// merge key is the recorder's sequence stamp.
+    pub fn snapshot() -> Vec<String> {
+        let handles: Vec<Arc<RingHandle>> = RINGS.lock().expect("flight rings poisoned").clone();
+        let mut entries: Vec<(u64, String)> = Vec::new();
+        for h in handles {
+            let ring = h.ring.lock().expect("flight ring poisoned");
+            entries.extend(ring.entries.iter().cloned());
+        }
+        entries.sort_by_key(|(seq, _)| *seq);
+        entries.into_iter().map(|(_, line)| line).collect()
+    }
+
+    /// Rate-limited trigger entry point: writes a postmortem bundle
+    /// unless one was written within the configured cooldown (in which
+    /// case the dump is counted as suppressed). Returns the bundle
+    /// directory when one was written.
+    pub fn dump(reason: &str) -> Option<PathBuf> {
+        write_bundle(reason, false)
+    }
+
+    /// Like [`dump`] but bypasses the cooldown — a panic must always
+    /// leave a bundle behind, even right after an SLO dump.
+    pub fn dump_now(reason: &str) -> Option<PathBuf> {
+        write_bundle(reason, true)
+    }
+
+    /// Installs a process-wide panic hook (once) that dumps a postmortem
+    /// bundle before delegating to the previous hook. Worker-thread
+    /// panics therefore leave evidence even when the process survives.
+    pub fn install_panic_hook() {
+        if PANIC_HOOK.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let reason = match info.payload().downcast_ref::<&str>() {
+                Some(s) => format!("panic: {s}"),
+                None => match info.payload().downcast_ref::<String>() {
+                    Some(s) => format!("panic: {s}"),
+                    None => "panic".to_string(),
+                },
+            };
+            let _ = dump_now(&reason);
+            prev(info);
+        }));
+    }
+
+    /// The manifest's `flight` section: `Some` once the recorder was
+    /// armed or dumped, so pre-flight manifests stay byte-identical.
+    pub fn manifest_summary() -> Option<FlightSummary> {
+        let d = DUMPS.lock().expect("flight dump state poisoned");
+        if !armed() && d.dumps == 0 {
+            return None;
+        }
+        Some(FlightSummary {
+            armed: armed(),
+            dumps: d.dumps,
+            suppressed: d.suppressed,
+            last_reason: d.last_reason.clone(),
+        })
+    }
+
+    /// Current dump bookkeeping (for tests and the serve drain path).
+    pub fn stats() -> (u64, u64) {
+        let d = DUMPS.lock().expect("flight dump state poisoned");
+        (d.dumps, d.suppressed)
+    }
+
+    fn write_bundle(reason: &str, bypass_cooldown: bool) -> Option<PathBuf> {
+        if !armed() {
+            return None;
+        }
+        let (root, cooldown, context) = {
+            let cfg = CONFIG.lock().expect("flight config poisoned");
+            let cfg = cfg.clone().unwrap_or_default();
+            (
+                cfg.history_root
+                    .unwrap_or_else(|| PathBuf::from(".tfb-history")),
+                cfg.cooldown,
+                cfg.context,
+            )
+        };
+        let dump_seq = {
+            let mut d = DUMPS.lock().expect("flight dump state poisoned");
+            if !bypass_cooldown {
+                if let Some(last) = d.last {
+                    if last.elapsed() < cooldown {
+                        d.suppressed += 1;
+                        crate::counter!("flight/suppressed").add(1);
+                        return None;
+                    }
+                }
+            }
+            d.last = Some(Instant::now());
+            d.dumps += 1;
+            d.seq += 1;
+            d.last_reason = reason.to_string();
+            d.seq
+        };
+        let events = snapshot();
+        let manifest = bundle_manifest(reason, dump_seq, &context, &events);
+        let id = crate::fnv1a_hex(manifest.as_bytes());
+        let dir = root.join("postmortems").join(&id);
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&dir)?;
+            std::fs::write(dir.join("postmortem.manifest.json"), &manifest)?;
+            let mut body = events.join("\n");
+            if !body.is_empty() {
+                body.push('\n');
+            }
+            std::fs::write(dir.join("events.jsonl"), body)?;
+            let profile = profiler::collapsed();
+            if !profile.is_empty() {
+                std::fs::write(dir.join("profile.collapsed"), profile)?;
+            }
+            let mut index_line = String::with_capacity(128);
+            index_line.push_str(&format!("{{\"seq\":{dump_seq},\"id\":\"{id}\",\"reason\":"));
+            json_str(&mut index_line, reason);
+            index_line.push_str(&format!(
+                ",\"events\":{},\"path\":\"postmortems/{id}\"}}",
+                events.len()
+            ));
+            let mut index = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(root.join("postmortems.jsonl"))?;
+            writeln!(index, "{index_line}")?;
+            Ok(())
+        };
+        match write() {
+            Ok(()) => {
+                crate::counter!("flight/dumps").add(1);
+                eprintln!(
+                    "flight recorder: wrote postmortem {} ({reason})",
+                    dir.display()
+                );
+                Some(dir)
+            }
+            Err(e) => {
+                eprintln!(
+                    "flight recorder: could not write postmortem to {}: {e}",
+                    dir.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// The deterministic bundle manifest: sorted keys, sorted context,
+    /// schema `tfb-postmortem/v1`. Same hand-rolled JSON style as the
+    /// run manifest so the bundle needs no JSON dependency to write.
+    fn bundle_manifest(
+        reason: &str,
+        dump_seq: u64,
+        context: &[(String, String)],
+        events: &[String],
+    ) -> String {
+        let metrics = crate::record::metrics_snapshot();
+        let trace = crate::trace::snapshot();
+        let mut context: Vec<(String, String)> = context.to_vec();
+        context.sort();
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": \"tfb-postmortem/v1\",\n  \"reason\": ");
+        json_str(&mut out, reason);
+        out.push_str(&format!(",\n  \"seq\": {dump_seq},\n"));
+        out.push_str(&format!(
+            "  \"cores\": {},\n",
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        ));
+        out.push_str("  \"context\": {");
+        for (i, (k, v)) in context.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_str(&mut out, k);
+            out.push_str(": ");
+            json_str(&mut out, v);
+        }
+        if !context.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"counters\": {");
+        for (i, (k, v)) in metrics.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_str(&mut out, k);
+            out.push_str(&format!(": {v}"));
+        }
+        if !metrics.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (k, v)) in metrics.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_str(&mut out, k);
+            out.push_str(": ");
+            json_num(&mut out, *v);
+        }
+        if !metrics.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        match trace.slo.filter(|s| s.total > 0) {
+            Some(slo) => {
+                out.push_str("  \"slo\": {\"threshold_ms\": ");
+                json_num(&mut out, slo.threshold_ms);
+                out.push_str(", \"objective\": ");
+                json_num(&mut out, slo.objective);
+                out.push_str(&format!(
+                    ", \"total\": {}, \"breaches\": {}, \"burn_rate_1m\": ",
+                    slo.total, slo.breaches
+                ));
+                json_num(&mut out, slo.burn_rate_1m);
+                out.push_str(", \"burn_rate_5m\": ");
+                json_num(&mut out, slo.burn_rate_5m);
+                out.push_str("},\n");
+            }
+            None => out.push_str("  \"slo\": null,\n"),
+        }
+        out.push_str("  \"exemplars\": [");
+        for (i, e) in trace.exemplars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"trace_id\": ");
+            json_str(&mut out, &e.trace_id);
+            out.push_str(&format!(
+                ", \"total_ns\": {}, \"batch_size\": {}, \"phases\": {{",
+                e.total_ns, e.batch_size
+            ));
+            for (j, (phase, ns)) in e.phases.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                json_str(&mut out, phase);
+                out.push_str(&format!(": {ns}"));
+            }
+            out.push_str("}}");
+        }
+        if !trace.exemplars.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"profiling\": {},\n  \"events\": {}\n}}\n",
+            profiler::active(),
+            events.len()
+        ));
+        out
+    }
+
+    /// The wall-clock sampling profiler: a sampler thread reads
+    /// registered threads' mirrored span stacks at a fixed rate. Safe by
+    /// construction — it never walks native stacks, only the span names
+    /// the recorder already tracks.
+    pub mod profiler {
+        use super::*;
+        use std::collections::HashMap;
+        use std::time::Duration;
+
+        /// Deepest mirrored span nesting; deeper frames are truncated.
+        pub const MAX_DEPTH: usize = 32;
+
+        /// Cross-thread mirror of one registered thread's span stack:
+        /// interned span-name ids plus a depth watermark. The owner
+        /// writes on span enter/close; the sampler reads racily —
+        /// a torn sample is at worst attributed to a neighboring frame,
+        /// never unsafe.
+        struct SharedStack {
+            name: String,
+            alive: AtomicBool,
+            depth: AtomicU64,
+            frames: [AtomicU64; MAX_DEPTH],
+        }
+
+        static REGISTERED_ANY: AtomicBool = AtomicBool::new(false);
+        static PROFILED: Mutex<Vec<Arc<SharedStack>>> = Mutex::new(Vec::new());
+        /// Interned span names: id = index + 1 (0 means "empty slot").
+        static INTERN: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+        /// Aggregated samples: (thread name, `a;b;c` stack) → count.
+        #[allow(clippy::type_complexity)]
+        static SAMPLES: Mutex<Option<HashMap<(String, String), u64>>> = Mutex::new(None);
+        static ACTIVE: AtomicBool = AtomicBool::new(false);
+        #[allow(clippy::type_complexity)]
+        static SAMPLER: Mutex<Option<(Arc<AtomicBool>, std::thread::JoinHandle<()>)>> =
+            Mutex::new(None);
+
+        thread_local! {
+            static MIRROR: RefCell<Option<Arc<SharedStack>>> = const { RefCell::new(None) };
+        }
+
+        /// RAII registration of the current thread with the profiler;
+        /// dropping it stops the sampler from visiting this thread.
+        pub struct ProfiledThread {
+            stack: Arc<SharedStack>,
+        }
+
+        impl Drop for ProfiledThread {
+            fn drop(&mut self) {
+                self.stack.alive.store(false, Ordering::Release);
+                MIRROR.with(|m| m.borrow_mut().take());
+                PROFILED
+                    .lock()
+                    .expect("profiler registry poisoned")
+                    .retain(|s| s.alive.load(Ordering::Acquire));
+            }
+        }
+
+        /// Registers the current thread under `name`. Until the guard
+        /// drops, the thread's span enters/closes are mirrored for the
+        /// sampler.
+        pub fn register_thread(name: &str) -> ProfiledThread {
+            let stack = Arc::new(SharedStack {
+                name: name.to_string(),
+                alive: AtomicBool::new(true),
+                depth: AtomicU64::new(0),
+                frames: [const { AtomicU64::new(0) }; MAX_DEPTH],
+            });
+            PROFILED
+                .lock()
+                .expect("profiler registry poisoned")
+                .push(stack.clone());
+            MIRROR.with(|m| *m.borrow_mut() = Some(stack.clone()));
+            REGISTERED_ANY.store(true, Ordering::SeqCst);
+            ProfiledThread { stack }
+        }
+
+        fn intern(name: &'static str) -> u64 {
+            let mut table = INTERN.lock().expect("profiler intern poisoned");
+            match table.iter().position(|&n| std::ptr::eq(n, name)) {
+                Some(i) => (i + 1) as u64,
+                None => {
+                    table.push(name);
+                    table.len() as u64
+                }
+            }
+        }
+
+        /// Mirrors a span enter on a registered thread (no-op elsewhere:
+        /// one relaxed load plus a TLS probe).
+        #[inline]
+        pub(crate) fn frame_push(name: &'static str) {
+            if !REGISTERED_ANY.load(Ordering::Relaxed) {
+                return;
+            }
+            MIRROR.with(|m| {
+                if let Some(stack) = m.borrow().as_ref() {
+                    let d = stack.depth.load(Ordering::Relaxed) as usize;
+                    if d < MAX_DEPTH {
+                        stack.frames[d].store(intern(name), Ordering::Relaxed);
+                    }
+                    stack.depth.store(d as u64 + 1, Ordering::Release);
+                }
+            });
+        }
+
+        /// Mirrors a span close on a registered thread.
+        #[inline]
+        pub(crate) fn frame_pop() {
+            if !REGISTERED_ANY.load(Ordering::Relaxed) {
+                return;
+            }
+            MIRROR.with(|m| {
+                if let Some(stack) = m.borrow().as_ref() {
+                    let d = stack.depth.load(Ordering::Relaxed);
+                    stack.depth.store(d.saturating_sub(1), Ordering::Release);
+                }
+            });
+        }
+
+        /// Whether the sampler thread is running.
+        pub fn active() -> bool {
+            ACTIVE.load(Ordering::Relaxed)
+        }
+
+        /// Starts the sampler at `hz` samples per second (clamped to
+        /// 1..=1000). No-op when already running.
+        pub fn start(hz: u32) {
+            let mut sampler = SAMPLER.lock().expect("profiler sampler poisoned");
+            if sampler.is_some() {
+                return;
+            }
+            *SAMPLES.lock().expect("profiler samples poisoned") = Some(HashMap::new());
+            ACTIVE.store(true, Ordering::SeqCst);
+            let stop = Arc::new(AtomicBool::new(false));
+            let stop2 = stop.clone();
+            let period = Duration::from_secs_f64(1.0 / (hz.clamp(1, 1000) as f64));
+            let handle = std::thread::Builder::new()
+                .name("tfb-obs-profiler".to_string())
+                .spawn(move || sampler_loop(period, stop2))
+                .expect("spawn profiler thread");
+            *sampler = Some((stop, handle));
+        }
+
+        /// Stops the sampler and flushes its remaining samples.
+        pub fn stop() {
+            let taken = SAMPLER.lock().expect("profiler sampler poisoned").take();
+            if let Some((stop, handle)) = taken {
+                stop.store(true, Ordering::SeqCst);
+                let _ = handle.join();
+            }
+            ACTIVE.store(false, Ordering::SeqCst);
+        }
+
+        fn sampler_loop(period: Duration, stop: Arc<AtomicBool>) {
+            let mut pending: HashMap<(String, String), u64> = HashMap::new();
+            let mut last_flush = Instant::now();
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(period);
+                sample_once(&mut pending);
+                if last_flush.elapsed() >= Duration::from_secs(1) {
+                    flush(&mut pending);
+                    last_flush = Instant::now();
+                }
+            }
+            sample_once(&mut pending);
+            flush(&mut pending);
+        }
+
+        fn sample_once(pending: &mut HashMap<(String, String), u64>) {
+            let stacks: Vec<Arc<SharedStack>> =
+                PROFILED.lock().expect("profiler registry poisoned").clone();
+            let names: Vec<&'static str> = INTERN.lock().expect("profiler intern poisoned").clone();
+            for s in stacks {
+                if !s.alive.load(Ordering::Acquire) {
+                    continue;
+                }
+                let depth = (s.depth.load(Ordering::Acquire) as usize).min(MAX_DEPTH);
+                let mut frames: Vec<&str> = Vec::with_capacity(depth);
+                for f in s.frames.iter().take(depth) {
+                    let id = f.load(Ordering::Relaxed) as usize;
+                    match id.checked_sub(1).and_then(|i| names.get(i)) {
+                        Some(name) => frames.push(name),
+                        None => break,
+                    }
+                }
+                let stack = if frames.is_empty() {
+                    "<idle>".to_string()
+                } else {
+                    frames.join(";")
+                };
+                *pending.entry((s.name.clone(), stack)).or_insert(0) += 1;
+            }
+        }
+
+        /// Merges pending counts into the global aggregate and streams
+        /// them as `psample` events through the recorder's event path.
+        fn flush(pending: &mut HashMap<(String, String), u64>) {
+            if pending.is_empty() {
+                return;
+            }
+            let mut rows: Vec<(String, String, u64)> = pending
+                .drain()
+                .map(|((thread, stack), count)| (thread, stack, count))
+                .collect();
+            rows.sort();
+            if let Some(all) = SAMPLES.lock().expect("profiler samples poisoned").as_mut() {
+                for (thread, stack, count) in &rows {
+                    *all.entry((thread.clone(), stack.clone())).or_insert(0) += count;
+                }
+            }
+            crate::record::emit_profile_samples(&rows);
+        }
+
+        /// The aggregate as flamegraph-ready collapsed-stack lines
+        /// (`thread;span;span count`), sorted for determinism. Empty
+        /// until the sampler has flushed at least once.
+        pub fn collapsed() -> String {
+            let samples = SAMPLES.lock().expect("profiler samples poisoned");
+            let Some(map) = samples.as_ref() else {
+                return String::new();
+            };
+            let mut rows: Vec<(&(String, String), &u64)> = map.iter().collect();
+            rows.sort();
+            let mut out = String::new();
+            for ((thread, stack), count) in rows {
+                out.push_str(&format!("{thread};{stack} {count}\n"));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(not(feature = "record"))]
+mod imp {
+    use super::FlightConfig;
+    use crate::manifest::FlightSummary;
+    use std::path::PathBuf;
+
+    /// No-op.
+    #[inline(always)]
+    pub fn configure(_cfg: FlightConfig) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn set_armed(_on: bool) {}
+
+    /// Always `false` in the no-op build.
+    #[inline(always)]
+    pub fn armed() -> bool {
+        false
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn offer(_line: &str) {}
+
+    /// Always empty.
+    #[inline(always)]
+    pub fn snapshot() -> Vec<String> {
+        Vec::new()
+    }
+
+    /// No-op; never writes a bundle.
+    #[inline(always)]
+    pub fn dump(_reason: &str) -> Option<PathBuf> {
+        None
+    }
+
+    /// No-op; never writes a bundle.
+    #[inline(always)]
+    pub fn dump_now(_reason: &str) -> Option<PathBuf> {
+        None
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn install_panic_hook() {}
+
+    /// Always `None`; manifests never grow a `flight` section.
+    #[inline(always)]
+    pub fn manifest_summary() -> Option<FlightSummary> {
+        None
+    }
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn stats() -> (u64, u64) {
+        (0, 0)
+    }
+
+    /// No-op profiler mirror.
+    pub mod profiler {
+        /// Zero-sized registration stub.
+        pub struct ProfiledThread;
+
+        /// No-op.
+        #[inline(always)]
+        pub fn register_thread(_name: &str) -> ProfiledThread {
+            ProfiledThread
+        }
+
+        /// Always `false` in the no-op build.
+        #[inline(always)]
+        pub fn active() -> bool {
+            false
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn start(_hz: u32) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn stop() {}
+
+        /// Always empty.
+        #[inline(always)]
+        pub fn collapsed() -> String {
+            String::new()
+        }
+    }
+}
+
+pub use imp::{
+    armed, configure, dump, dump_now, install_panic_hook, manifest_summary, offer, profiler,
+    set_armed, snapshot, stats,
+};
+
+/// Re-exported so callers can name the section type without reaching
+/// into [`crate::manifest`].
+pub type Summary = FlightSummary;

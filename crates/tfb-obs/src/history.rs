@@ -81,7 +81,7 @@ pub fn parse_manifest(text: &str) -> Result<ParsedManifest, String> {
             "manifest schema is {schema:?} (this build understands tfb-obs/v1); parsing best-effort"
         ));
     }
-    const KNOWN: [&str; 14] = [
+    const KNOWN: [&str; 15] = [
         "schema",
         "meta",
         "cores",
@@ -96,6 +96,7 @@ pub fn parse_manifest(text: &str) -> Result<ParsedManifest, String> {
         "measurements",
         "slo",
         "exemplars",
+        "flight",
     ];
     for (key, _) in root.as_object().ok_or("manifest root is not an object")? {
         if !KNOWN.contains(&key.as_str()) && key != "health" {
@@ -205,6 +206,17 @@ pub fn parse_manifest(text: &str) -> Result<ParsedManifest, String> {
                 phases,
             });
         }
+    }
+    if let Some(flight) = root.get("flight") {
+        m.flight = Some(crate::manifest::FlightSummary {
+            armed: flight
+                .get("armed")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
+            dumps: get_u64(flight, "dumps").unwrap_or(0),
+            suppressed: get_u64(flight, "suppressed").unwrap_or(0),
+            last_reason: get_str(flight, "last_reason"),
+        });
     }
     if let Some(health) = root.get("health") {
         let cells = |key: &str| -> Vec<String> {
@@ -434,6 +446,76 @@ impl RunHistory {
                 // Id prefix: newest match wins.
                 self.entries.iter().rev().find(|e| e.id.starts_with(s))
             }
+        }
+    }
+}
+
+/// One postmortem bundle, as recorded in the append-only
+/// `<root>/postmortems.jsonl` index written by [`crate::flight::dump`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostmortemEntry {
+    /// Monotonic dump sequence number within the process that wrote it.
+    pub seq: u64,
+    /// Content id of the bundle (FNV-1a of the manifest bytes).
+    pub id: String,
+    /// What tripped the dump (`slo-burn-rate`, `serve-shed`, `panic: …`).
+    pub reason: String,
+    /// Number of ring events captured in the bundle.
+    pub events: u64,
+    /// Bundle directory, relative to the history root.
+    pub path: String,
+}
+
+impl PostmortemEntry {
+    /// Absolute bundle directory under `root`.
+    pub fn dir(&self, root: &Path) -> PathBuf {
+        root.join(&self.path)
+    }
+}
+
+/// Loads the postmortem index under a history root. A missing index is an
+/// empty list (no incidents yet), not an error.
+pub fn load_postmortems(root: &Path) -> Result<Vec<PostmortemEntry>, String> {
+    let index = root.join("postmortems.jsonl");
+    let text = match fs::read_to_string(&index) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", index.display())),
+    };
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = JsonValue::parse(line)
+            .map_err(|e| format!("{}:{}: not valid JSON: {e}", index.display(), lineno + 1))?;
+        out.push(PostmortemEntry {
+            seq: get_u64(&v, "seq").unwrap_or(0),
+            id: get_str(&v, "id"),
+            reason: get_str(&v, "reason"),
+            events: get_u64(&v, "events").unwrap_or(0),
+            path: get_str(&v, "path"),
+        });
+    }
+    Ok(out)
+}
+
+/// Resolves a postmortem selector over index order: `first`, `last`, a
+/// 0-based index, or a (prefix of a) bundle id — newest match wins, same
+/// semantics as [`RunHistory::resolve`].
+pub fn resolve_postmortem<'a>(
+    entries: &'a [PostmortemEntry],
+    selector: &str,
+) -> Option<&'a PostmortemEntry> {
+    match selector {
+        "first" => entries.first(),
+        "last" => entries.last(),
+        s => {
+            if let Ok(seq) = s.parse::<usize>() {
+                return entries.get(seq);
+            }
+            entries.iter().rev().find(|e| e.id.starts_with(s))
         }
     }
 }
@@ -999,6 +1081,7 @@ mod tests {
             measurements: vec![],
             slo: None,
             exemplars: vec![],
+            flight: None,
             health: HealthSummary::default(),
         }
     }

@@ -36,6 +36,7 @@
 //! enabling instrumentation never changes a forecast: the probes only
 //! read clocks and bump counters, so metrics stay bit-identical.
 
+pub mod flight;
 pub mod manifest;
 pub mod openmetrics;
 pub mod trace;
@@ -53,7 +54,7 @@ pub use record::test_support;
 #[cfg(feature = "record")]
 pub use record::{
     enabled, finish_run, health_event, metrics_snapshot, record_grad_norm, report_metric,
-    start_run, Counter, Gauge, Histogram, RunOptions, Span, RESERVOIR_CAP,
+    start_run, steal_event, Counter, Gauge, Histogram, RunOptions, Span, RESERVOIR_CAP,
 };
 
 #[cfg(not(feature = "record"))]
@@ -61,15 +62,15 @@ mod noop;
 #[cfg(not(feature = "record"))]
 pub use noop::{
     enabled, finish_run, health_event, metrics_snapshot, record_grad_norm, report_metric,
-    start_run, Counter, Gauge, Histogram, RunOptions, Span,
+    start_run, steal_event, Counter, Gauge, Histogram, RunOptions, Span,
 };
 
 #[cfg(feature = "alloc-track")]
 pub mod alloc;
 
 pub use manifest::{
-    HealthKind, HealthSummary, HistSummary, Manifest, MeasurementRow, MetricRow, MetricsSnapshot,
-    PhaseRow, SloSummary, TraceExemplar,
+    FlightSummary, HealthKind, HealthSummary, HistSummary, Manifest, MeasurementRow, MetricRow,
+    MetricsSnapshot, PhaseRow, SloSummary, TraceExemplar,
 };
 
 /// Opens a span named `$name`, optionally attaching `key = value` fields.

@@ -220,6 +220,21 @@ pub struct TraceExemplar {
     pub phases: Vec<(String, u64)>,
 }
 
+/// The manifest's `flight` section: whether the black-box flight
+/// recorder was armed and how many postmortem bundles it wrote (see
+/// [`crate::flight`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlightSummary {
+    /// Whether the recorder was armed when the run finished.
+    pub armed: bool,
+    /// Postmortem bundles written.
+    pub dumps: u64,
+    /// Dump requests suppressed by the rate limiter.
+    pub suppressed: u64,
+    /// Reason string of the most recent dump ("" when none).
+    pub last_reason: String,
+}
+
 /// The end-of-run manifest returned by [`finish_run`](crate::finish_run).
 #[derive(Debug, Clone, Default)]
 pub struct Manifest {
@@ -254,6 +269,10 @@ pub struct Manifest {
     /// Worst-N slow-request exemplars, slowest first; serialized only
     /// when `slo` is present.
     pub exemplars: Vec<TraceExemplar>,
+    /// Flight-recorder summary; present only for runs that armed the
+    /// recorder (or dumped a bundle). Absent ⇒ the section is omitted,
+    /// so pre-flight manifests still round-trip byte-identically.
+    pub flight: Option<FlightSummary>,
     /// Numerical-health summary.
     pub health: HealthSummary,
 }
@@ -462,6 +481,14 @@ impl Manifest {
                 out.push_str("\n  ");
             }
             out.push_str("],\n");
+        }
+        if let Some(f) = &self.flight {
+            out.push_str(&format!(
+                "  \"flight\": {{\"armed\": {}, \"dumps\": {}, \"suppressed\": {}, \"last_reason\": ",
+                f.armed, f.dumps, f.suppressed
+            ));
+            json_str(&mut out, &f.last_reason);
+            out.push_str("},\n");
         }
         out.push_str("  \"health\": {\n");
         let cell_list = |out: &mut String, key: &str, cells: &[String]| {
@@ -681,6 +708,7 @@ mod tests {
             measurements: vec![],
             slo: None,
             exemplars: vec![],
+            flight: None,
             health: HealthSummary {
                 nan_cells: vec!["ILI/MLP".into()],
                 diverged_cells: vec![],

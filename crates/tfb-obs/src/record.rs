@@ -118,9 +118,11 @@ pub fn start_run(opts: RunOptions) -> std::io::Result<()> {
     *GRAD_NORMS.lock().expect("grad-norm registry poisoned") = Some(HashMap::new());
     crate::trace::reset_state();
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let line = format!("{{\"ev\":\"run_start\",\"cores\":{cores}}}");
     if let Some(w) = sink.as_mut() {
-        let _ = writeln!(w, "{{\"ev\":\"run_start\",\"cores\":{cores}}}");
+        let _ = writeln!(w, "{line}");
     }
+    crate::flight::offer(&line);
     *STATE.lock().expect("obs state poisoned") = Some(RunState {
         start: Instant::now(),
         aggregates: HashMap::new(),
@@ -138,10 +140,12 @@ pub fn finish_run(meta: &[(&str, String)]) -> Option<Manifest> {
     ENABLED.store(false, Ordering::SeqCst);
     let mut state = STATE.lock().expect("obs state poisoned").take()?;
     let wall_ns = state.start.elapsed().as_nanos() as u64;
+    let line = format!("{{\"ev\":\"run_end\",\"wall_ns\":{wall_ns}}}");
     if let Some(w) = state.sink.as_mut() {
-        let _ = writeln!(w, "{{\"ev\":\"run_end\",\"wall_ns\":{wall_ns}}}");
+        let _ = writeln!(w, "{line}");
         let _ = w.flush();
     }
+    crate::flight::offer(&line);
     let mut phases: Vec<PhaseRow> = state
         .aggregates
         .into_iter()
@@ -282,12 +286,14 @@ pub fn finish_run(meta: &[(&str, String)]) -> Option<Manifest> {
         measurements: Vec::new(),
         slo,
         exemplars,
+        flight: crate::flight::manifest_summary(),
         health,
     })
 }
 
 /// Appends one `{"ev":"trace",…}` line — a finished request trace with
-/// its full phase breakdown — to the JSONL sink when one is open.
+/// its full phase breakdown — to the JSONL sink when one is open, and to
+/// the flight recorder's ring when armed.
 pub(crate) fn emit_trace_event(
     id: u64,
     status: crate::trace::TraceStatus,
@@ -301,7 +307,7 @@ pub(crate) fn emit_trace_event(
     let Some(state) = guard.as_mut() else {
         return;
     };
-    if state.sink.is_none() {
+    if state.sink.is_none() && !crate::flight::armed() {
         return;
     }
     state.seq += 1;
@@ -332,6 +338,69 @@ pub(crate) fn emit_trace_event(
     line.push_str("}}");
     if let Some(w) = state.sink.as_mut() {
         let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+    crate::flight::offer(&line);
+}
+
+/// Records one work-steal: shard `to` stole `moved` queued requests from
+/// shard `from`. Appends a `{"ev":"steal",…}` line so the trace exporter
+/// can draw cross-shard flow arrows (the steal *count* is a counter; this
+/// is the per-event record).
+pub fn steal_event(from: usize, to: usize, moved: usize) {
+    if !enabled() {
+        return;
+    }
+    let thread = THREAD_ID.with(|t| *t);
+    let mut guard = STATE.lock().expect("obs state poisoned");
+    let Some(state) = guard.as_mut() else {
+        return;
+    };
+    if state.sink.is_none() && !crate::flight::armed() {
+        return;
+    }
+    state.seq += 1;
+    let seq = state.seq;
+    let t_ns = state.start.elapsed().as_nanos() as u64;
+    let line = format!(
+        "{{\"ev\":\"steal\",\"seq\":{seq},\"t_ns\":{t_ns},\"thread\":{thread},\"from\":{from},\"to\":{to},\"moved\":{moved}}}"
+    );
+    if let Some(w) = state.sink.as_mut() {
+        let _ = writeln!(w, "{line}");
+    }
+    crate::flight::offer(&line);
+}
+
+/// Appends the profiler's flushed sample rows as `{"ev":"psample",…}`
+/// lines: one per (thread name, collapsed stack), carrying the sample
+/// count since the previous flush. Called by the sampler thread.
+pub(crate) fn emit_profile_samples(rows: &[(String, String, u64)]) {
+    let thread = THREAD_ID.with(|t| *t);
+    let mut guard = STATE.lock().expect("obs state poisoned");
+    let Some(state) = guard.as_mut() else {
+        return;
+    };
+    if state.sink.is_none() && !crate::flight::armed() {
+        return;
+    }
+    let t_ns = state.start.elapsed().as_nanos() as u64;
+    for (name, stack, count) in rows {
+        state.seq += 1;
+        let seq = state.seq;
+        let mut line = String::with_capacity(128);
+        line.push_str(&format!(
+            "{{\"ev\":\"psample\",\"seq\":{seq},\"t_ns\":{t_ns},\"thread\":{thread},\"name\":"
+        ));
+        json_str(&mut line, name);
+        line.push_str(",\"stack\":");
+        json_str(&mut line, stack);
+        line.push_str(&format!(",\"count\":{count}}}"));
+        if let Some(w) = state.sink.as_mut() {
+            let _ = writeln!(w, "{line}");
+        }
+        crate::flight::offer(&line);
+    }
+    if let Some(w) = state.sink.as_mut() {
         let _ = w.flush();
     }
 }
@@ -426,7 +495,7 @@ pub fn health_event(kind: HealthKind, detail: &str) {
         .push((kind, dataset.clone(), method.clone()));
     let mut guard = STATE.lock().expect("obs state poisoned");
     if let Some(state) = guard.as_mut() {
-        if state.sink.is_some() {
+        if state.sink.is_some() || crate::flight::armed() {
             state.seq += 1;
             let seq = state.seq;
             let t_ns = state.start.elapsed().as_nanos() as u64;
@@ -444,8 +513,13 @@ pub fn health_event(kind: HealthKind, detail: &str) {
             if let Some(w) = state.sink.as_mut() {
                 let _ = writeln!(w, "{line}");
             }
+            crate::flight::offer(&line);
         }
     }
+    // A numerical-health sentinel is a flight trigger: dump the recent
+    // past (rate-limited) after releasing the recorder's state lock.
+    drop(guard);
+    crate::flight::dump(&format!("health:{}", kind.label()));
 }
 
 /// Records one gradient-norm sample for the current cell's method (from
@@ -524,6 +598,7 @@ impl Span {
             });
             stack.len() - 1
         });
+        crate::flight::profiler::frame_push(name);
         Span {
             active: Some(SpanData {
                 idx,
@@ -574,6 +649,7 @@ impl Drop for Span {
         let Some(data) = self.active.take() else {
             return;
         };
+        crate::flight::profiler::frame_pop();
         let ns = data.start.elapsed().as_nanos() as u64;
         let frame = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
@@ -631,7 +707,7 @@ fn record_closed_span(
     entry.total_ns += ns;
     entry.min_ns = entry.min_ns.min(ns);
     entry.max_ns = entry.max_ns.max(ns);
-    if state.sink.is_some() {
+    if state.sink.is_some() || crate::flight::armed() {
         state.seq += 1;
         let seq = state.seq;
         let t_ns = state.start.elapsed().as_nanos() as u64;
@@ -672,6 +748,7 @@ fn record_closed_span(
         if let Some(w) = state.sink.as_mut() {
             let _ = writeln!(w, "{line}");
         }
+        crate::flight::offer(&line);
     }
 }
 

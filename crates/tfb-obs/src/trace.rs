@@ -114,6 +114,15 @@ pub const BUCKET_COUNT: usize = BUCKET_BOUNDS_S.len() + 1;
 /// How many slow-request exemplars the ring keeps.
 pub const EXEMPLAR_CAP: usize = 8;
 
+/// Fast-window burn rate at which a finished request triggers a flight
+/// dump: burning the error budget ≥ 10× faster than the objective
+/// allows is an incident, not noise.
+pub const BURN_DUMP_THRESHOLD: f64 = 10.0;
+
+/// Minimum requests in the fast window before the burn-rate trigger can
+/// fire — one cold-start breach alone must not dump a bundle.
+pub const BURN_DUMP_MIN_REQUESTS: u64 = 16;
+
 /// One phase's explicitly-bucketed latency histogram, as captured by
 /// [`snapshot`].
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -542,12 +551,21 @@ mod imp {
             }
             PHASE_HISTS[PHASE_COUNT].record_ns(total_ns);
             STATUS_COUNTS[a.status as usize].fetch_add(1, Ordering::Relaxed);
-            {
+            let (fast_burn, fast_total) = {
                 let mut slo = SLO.lock().expect("slo state poisoned");
-                slo.get_or_insert_with(|| SloState::new(SloConfig::default()))
-                    .record(total_ns);
-            }
+                let s = slo.get_or_insert_with(|| SloState::new(SloConfig::default()));
+                s.record(total_ns);
+                let (total, _) = s.fast.tally(s.anchor.elapsed().as_secs());
+                (s.burn_rate(&s.fast), total)
+            };
             offer_exemplar(&a, total_ns);
+            // A fast-window burn rate ≥ 10× budget is a flight trigger
+            // once enough requests back it (a cold first request alone
+            // must not dump). The dump itself is rate-limited, so a
+            // sustained breach costs one bundle, not one per request.
+            if fast_burn >= BURN_DUMP_THRESHOLD && fast_total >= BURN_DUMP_MIN_REQUESTS {
+                crate::flight::dump("slo-burn-rate");
+            }
             crate::record::emit_trace_event(
                 a.id,
                 a.status,

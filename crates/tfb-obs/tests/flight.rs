@@ -1,0 +1,156 @@
+//! Integration tests for the flight recorder: ring wrap-around, coherent
+//! multi-thread snapshots, the panic-hook dump path, and dump rate
+//! limiting. The recorder is process-global state, so every test
+//! serializes on one lock and starts by re-`configure`-ing (which clears
+//! all rings and resets the dump bookkeeping).
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+use tfb_obs::flight::{self, FlightConfig};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tfb_flight_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn ring_overwrites_oldest_past_capacity() {
+    let _guard = lock();
+    flight::configure(FlightConfig {
+        ring_capacity: 8,
+        ..FlightConfig::default()
+    });
+    flight::set_armed(true);
+    for i in 0..20 {
+        flight::offer(&format!("line-{i}"));
+    }
+    flight::set_armed(false);
+    let snap = flight::snapshot();
+    let expected: Vec<String> = (12..20).map(|i| format!("line-{i}")).collect();
+    assert_eq!(snap, expected, "ring keeps exactly the last 8, in order");
+}
+
+#[test]
+fn disarmed_offers_capture_nothing() {
+    let _guard = lock();
+    flight::configure(FlightConfig::default());
+    flight::set_armed(false);
+    flight::offer("invisible");
+    assert!(flight::snapshot().is_empty());
+    assert!(flight::dump("nothing-armed").is_none(), "dump needs arming");
+}
+
+#[test]
+fn snapshot_is_coherent_across_48_threads() {
+    let _guard = lock();
+    flight::configure(FlightConfig {
+        ring_capacity: 64,
+        ..FlightConfig::default()
+    });
+    flight::set_armed(true);
+    const THREADS: usize = 48;
+    const PER_THREAD: usize = 10;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    flight::offer(&format!("t{t}-{i}"));
+                }
+            });
+        }
+    });
+    flight::set_armed(false);
+    let snap = flight::snapshot();
+    assert_eq!(snap.len(), THREADS * PER_THREAD, "nothing lost or doubled");
+    // The merge is in global sequence order, so each thread's own lines
+    // must appear in their emission order.
+    for t in 0..THREADS {
+        let mine: Vec<&String> = snap
+            .iter()
+            .filter(|l| l.starts_with(&format!("t{t}-")))
+            .collect();
+        let expected: Vec<String> = (0..PER_THREAD).map(|i| format!("t{t}-{i}")).collect();
+        assert_eq!(mine.len(), PER_THREAD);
+        for (got, want) in mine.iter().zip(&expected) {
+            assert_eq!(*got, want, "thread {t} order preserved in the merge");
+        }
+    }
+}
+
+#[test]
+fn panic_hook_dumps_from_a_worker_thread() {
+    let _guard = lock();
+    let root = temp_root("panic");
+    flight::configure(FlightConfig {
+        history_root: Some(root.clone()),
+        context: vec![("command".to_string(), "test".to_string())],
+        ..FlightConfig::default()
+    });
+    flight::set_armed(true);
+    flight::install_panic_hook();
+    flight::offer(r#"{"ev":"run_start","cores":1}"#);
+    let worker = std::thread::Builder::new()
+        .name("tfb-test-worker".to_string())
+        .spawn(|| {
+            flight::offer(r#"{"ev":"span","seq":1,"t_ns":10,"thread":7,"path":"x","ns":5}"#);
+            panic!("boom in worker");
+        })
+        .expect("spawn");
+    assert!(worker.join().is_err(), "the worker must have panicked");
+    flight::set_armed(false);
+    let (dumps, _) = flight::stats();
+    assert_eq!(dumps, 1, "the panic left exactly one bundle behind");
+    let entries = tfb_obs::history::load_postmortems(&root).expect("index parses");
+    assert_eq!(entries.len(), 1);
+    assert!(
+        entries[0].reason.contains("panic") && entries[0].reason.contains("boom in worker"),
+        "reason records the payload: {:?}",
+        entries[0].reason
+    );
+    assert_eq!(entries[0].events, 2, "both ring events were captured");
+    let dir = entries[0].dir(&root);
+    let manifest =
+        std::fs::read_to_string(dir.join("postmortem.manifest.json")).expect("manifest written");
+    assert!(manifest.contains("tfb-postmortem/v1"), "{manifest}");
+    assert!(manifest.contains("boom in worker"));
+    let events = std::fs::read_to_string(dir.join("events.jsonl")).expect("events written");
+    assert_eq!(events.lines().count(), 2);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn dumps_are_rate_limited_under_sustained_breach() {
+    let _guard = lock();
+    let root = temp_root("ratelimit");
+    flight::configure(FlightConfig {
+        cooldown: Duration::from_secs(3600),
+        history_root: Some(root.clone()),
+        ..FlightConfig::default()
+    });
+    flight::set_armed(true);
+    flight::offer("event under breach");
+    let first = flight::dump("slo-burn-rate");
+    assert!(first.is_some(), "the first dump always lands");
+    for _ in 0..4 {
+        assert!(
+            flight::dump("slo-burn-rate").is_none(),
+            "dumps inside the cooldown are suppressed"
+        );
+    }
+    assert_eq!(flight::stats(), (1, 4));
+    // A panic-path dump bypasses the cooldown.
+    assert!(flight::dump_now("panic: urgent").is_some());
+    assert_eq!(flight::stats(), (2, 4));
+    flight::set_armed(false);
+    let entries = tfb_obs::history::load_postmortems(&root).expect("index parses");
+    assert_eq!(entries.len(), 2, "one rate-limited bundle plus one bypass");
+    let _ = std::fs::remove_dir_all(&root);
+}

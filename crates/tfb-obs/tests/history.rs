@@ -62,6 +62,7 @@ fn sample_manifest() -> Manifest {
         measurements: vec![],
         slo: None,
         exemplars: vec![],
+        flight: None,
         health: HealthSummary::default(),
     }
 }

@@ -328,6 +328,7 @@ impl Coalescer {
         let shard = &self.inner.shards[shard % self.shards()];
         let (reply, rx) = mpsc::channel();
         let arrived = Instant::now();
+        let hwm_spike;
         {
             let mut state = shard.state.lock().expect("coalescer state poisoned");
             if state.shutting_down {
@@ -335,6 +336,10 @@ impl Coalescer {
             }
             if state.queue.len() >= self.inner.cfg.queue_cap {
                 tfb_obs::counter!("serve/shed").add(1);
+                drop(state);
+                // A shed is a flight trigger: capture the recent past
+                // (rate-limited) outside the shard lock.
+                tfb_obs::flight::dump("serve-shed");
                 return Err(SubmitError::QueueFull);
             }
             state.queue.push_back(Pending {
@@ -345,6 +350,7 @@ impl Coalescer {
             let depth = state.queue.len();
             shard.metrics.depth.set(depth as f64);
             tfb_obs::gauge!("serve/queue_depth").set(depth as f64);
+            hwm_spike = depth > state.hwm && depth * 4 >= self.inner.cfg.queue_cap * 3;
             if depth > state.hwm {
                 state.hwm = depth;
                 shard.metrics.hwm.set(depth as f64);
@@ -352,6 +358,11 @@ impl Coalescer {
             }
         }
         shard.notify.notify_one();
+        if hwm_spike {
+            // A new high-water mark in the top quarter of the queue
+            // bound means shedding is imminent — dump before it happens.
+            tfb_obs::flight::dump("queue-hwm");
+        }
         Ok(rx)
     }
 
@@ -418,7 +429,8 @@ impl Drop for Coalescer {
 fn steal_from_siblings(inner: &Inner, own: usize) -> Vec<Pending> {
     let n = inner.shards.len();
     for step in 1..n {
-        let victim = &inner.shards[(own + step) % n];
+        let victim_idx = (own + step) % n;
+        let victim = &inner.shards[victim_idx];
         let Ok(mut state) = victim.state.try_lock() else {
             continue;
         };
@@ -437,6 +449,7 @@ fn steal_from_siblings(inner: &Inner, own: usize) -> Vec<Pending> {
             .fetch_add(stolen.len() as u64, Ordering::Relaxed);
         thief.metrics.steals.add(stolen.len() as u64);
         tfb_obs::counter!("serve/steals").add(stolen.len() as u64);
+        tfb_obs::steal_event(victim_idx, own, stolen.len());
         return stolen;
     }
     Vec::new()
@@ -444,6 +457,10 @@ fn steal_from_siblings(inner: &Inner, own: usize) -> Vec<Pending> {
 
 fn batcher_loop(inner: Arc<Inner>, predictor: Arc<dyn BatchPredictor>, shard_idx: usize) {
     let cfg = &inner.cfg;
+    // Registered for the sampling profiler: the batcher's `serve.batch`
+    // spans become its sampled stack.
+    let _profiled =
+        tfb_obs::flight::profiler::register_thread(&format!("shard{shard_idx}-batcher"));
     loop {
         let (batch, opened) = {
             let shard = &inner.shards[shard_idx];

@@ -243,6 +243,9 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>, shard: usize) {
 }
 
 fn handle_connection(stream: TcpStream, ctx: Arc<ServerCtx>, shard: usize) {
+    // Registered for the sampling profiler; handler threads mostly sit
+    // in `<idle>` (blocking reads), which is itself useful signal.
+    let _profiled = tfb_obs::flight::profiler::register_thread(&format!("conn-s{shard}"));
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(http::read_timeout()));
     let Ok(mut writer) = stream.try_clone() else {

@@ -55,12 +55,17 @@ const USAGE: &str = "usage: tfb <command>
            [--min-runs K] [--history DIR|none]
   obs record MANIFEST.json [MORE.json|GLOB ..] [--history DIR]
   obs export-trace EVENTS.jsonl [--out TRACE.json]
+  obs export-profile EVENTS.jsonl|SEL [--out PROFILE.collapsed] [--history DIR]
+  obs postmortem ls [--history DIR]
+  obs postmortem show SEL [--history DIR]
+  obs postmortem export-trace SEL [--out TRACE.json] [--history DIR]
   obs validate-metrics FILE
   train --method M --dataset D --out MODEL.tfba [--lookback N] [--horizon N]
         [--norm ZScore|MinMax|None] [--max-len N] [--max-dim N] [--epochs N]
   serve --model MODEL.tfba [--addr HOST:PORT] [--shards N]
         [--batch-max N] [--budget-us N] [--queue-cap N] [--out DIR]
-        [--slo-ms MS] [--slo-objective Q]
+        [--slo-ms MS] [--slo-objective Q] [--profile-hz HZ]
+        [--history DIR|none]
   datasets
   methods
   characterize DATASET [--max-len N]
@@ -431,6 +436,8 @@ fn cmd_obs(args: &[String]) -> ExitCode {
         Some("gate") => cmd_obs_gate(&args[1..]),
         Some("record") => cmd_obs_record(&args[1..]),
         Some("export-trace") => cmd_obs_export_trace(&args[1..]),
+        Some("export-profile") => cmd_obs_export_profile(&args[1..]),
+        Some("postmortem") => cmd_obs_postmortem(&args[1..]),
         Some("validate-metrics") => cmd_obs_validate_metrics(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
@@ -850,6 +857,249 @@ fn cmd_obs_export_trace(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Loads the postmortem index under the history root. Postmortem bundles
+/// are written by the flight recorder next to the run history, so the
+/// same `--history DIR` / `TFB_HISTORY` resolution applies.
+fn load_postmortem_index(
+    args: &[String],
+) -> Result<(PathBuf, Vec<history::PostmortemEntry>), String> {
+    let root = history_root(args).ok_or_else(|| {
+        "the run history is disabled (--history none); postmortem bundles live under it".to_string()
+    })?;
+    let entries = history::load_postmortems(&root)?;
+    Ok((root, entries))
+}
+
+/// Resolves a postmortem selector (`first`, `last`, 0-based index, id
+/// prefix) against the index, with a helpful error on a miss.
+fn resolve_postmortem_arg<'a>(
+    entries: &'a [history::PostmortemEntry],
+    sel: &str,
+) -> Result<&'a history::PostmortemEntry, String> {
+    if entries.is_empty() {
+        return Err("no postmortem bundles recorded yet".to_string());
+    }
+    history::resolve_postmortem(entries, sel).ok_or_else(|| {
+        format!("no postmortem matches selector `{sel}` (try `tfb obs postmortem ls`)")
+    })
+}
+
+/// `tfb obs postmortem`: inspect the flight recorder's postmortem
+/// bundles. `ls` lists the index, `show` prints a bundle's manifest,
+/// `export-trace` converts a bundle's captured ring events into the same
+/// Perfetto-loadable trace JSON `obs export-trace` produces for full
+/// event logs.
+fn cmd_obs_postmortem(args: &[String]) -> ExitCode {
+    const PM_USAGE: &str =
+        "usage: tfb obs postmortem ls | show SEL | export-trace SEL [--out TRACE.json] [--history DIR]";
+    let sub = args.first().map(String::as_str);
+    let rest = if args.is_empty() { args } else { &args[1..] };
+    let (root, entries) = match load_postmortem_index(rest) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("tfb obs postmortem: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match sub {
+        Some("ls") => {
+            if entries.is_empty() {
+                println!("no postmortem bundles under {}", root.display());
+                return ExitCode::SUCCESS;
+            }
+            println!("{:<4} {:<16} {:>7}  reason", "idx", "id", "events");
+            for (idx, e) in entries.iter().enumerate() {
+                println!(
+                    "{:<4} {:<16} {:>7}  {}",
+                    idx,
+                    &e.id[..e.id.len().min(16)],
+                    e.events,
+                    e.reason
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("show") => {
+            let pos = positionals(rest);
+            let [sel] = pos.as_slice() else {
+                eprintln!("{PM_USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let entry = match resolve_postmortem_arg(&entries, sel) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("tfb obs postmortem show: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let path = entry.dir(&root).join("postmortem.manifest.json");
+            match std::fs::read_to_string(&path) {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!(
+                        "tfb obs postmortem show: cannot read {}: {e}",
+                        path.display()
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("export-trace") => {
+            let pos = positionals(rest);
+            let [sel] = pos.as_slice() else {
+                eprintln!("{PM_USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let entry = match resolve_postmortem_arg(&entries, sel) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("tfb obs postmortem export-trace: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let dir = entry.dir(&root);
+            let events_path = dir.join("events.jsonl");
+            let text = match std::fs::read_to_string(&events_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!(
+                        "tfb obs postmortem export-trace: cannot read {}: {e}",
+                        events_path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            let trace = match tfb_obs::export::chrome_trace(&text) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("tfb obs postmortem export-trace: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let out = flag_value(rest, "--out")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| dir.join("postmortem.trace.json"));
+            if let Err(e) = std::fs::write(&out, &trace) {
+                eprintln!(
+                    "tfb obs postmortem export-trace: cannot write {}: {e}",
+                    out.display()
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {} ({} bytes) — open it in https://ui.perfetto.dev",
+                out.display(),
+                trace.len()
+            );
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{PM_USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `tfb obs export-profile`: turn a run's `psample` profiler events into
+/// collapsed-stack lines (`thread;frame;frame count`) that flamegraph
+/// tools consume directly. The argument is an events file path, or a
+/// postmortem selector — a bundle's own `profile.collapsed` is preferred
+/// when present, otherwise its captured ring events are aggregated.
+fn cmd_obs_export_profile(args: &[String]) -> ExitCode {
+    let pos = positionals(args);
+    let [arg] = pos.as_slice() else {
+        eprintln!(
+            "usage: tfb obs export-profile EVENTS.jsonl|SEL [--out PROFILE.collapsed] [--history DIR]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let collapsed = if Path::new(arg).is_file() {
+        let text = match std::fs::read_to_string(arg) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tfb obs export-profile: cannot read {arg}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match tfb_obs::export::collapsed_profile(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("tfb obs export-profile: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let (root, entries) = match load_postmortem_index(args) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("tfb obs export-profile: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let entry = match resolve_postmortem_arg(&entries, arg) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("tfb obs export-profile: {arg} is neither a file nor a bundle: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let dir = entry.dir(&root);
+        let ready = dir.join("profile.collapsed");
+        if ready.is_file() {
+            match std::fs::read_to_string(&ready) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!(
+                        "tfb obs export-profile: cannot read {}: {e}",
+                        ready.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            let events_path = dir.join("events.jsonl");
+            let text = match std::fs::read_to_string(&events_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!(
+                        "tfb obs export-profile: cannot read {}: {e}",
+                        events_path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            match tfb_obs::export::collapsed_profile(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("tfb obs export-profile: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    if collapsed.is_empty() {
+        eprintln!("tfb obs export-profile: no profiler samples (was --profile-hz set?)");
+        return ExitCode::FAILURE;
+    }
+    match flag_value(args, "--out") {
+        Some(out) => {
+            if let Err(e) = std::fs::write(&out, &collapsed) {
+                eprintln!("tfb obs export-profile: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {out} ({} stack(s)) — feed it to a flamegraph renderer",
+                collapsed.lines().count()
+            );
+        }
+        None => print!("{collapsed}"),
+    }
+    ExitCode::SUCCESS
+}
+
 /// `tfb obs validate-metrics`: check a saved `GET /metrics` exposition
 /// against the in-repo OpenMetrics validator (the same one CI runs).
 fn cmd_obs_validate_metrics(args: &[String]) -> ExitCode {
@@ -1051,6 +1301,38 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
         tfb_obs::trace::configure_slo(slo);
     }
+    // Arm the flight recorder: anomaly triggers (SLO burn, health
+    // sentinels, queue spikes, panics) dump postmortem bundles next to
+    // the run history. `--history none` disables it along with the rest
+    // of the cross-run machinery.
+    let flight_root = if obs_armed { history_root(args) } else { None };
+    let flight_armed = flight_root.is_some();
+    if let Some(root) = flight_root {
+        tfb_obs::flight::configure(tfb_obs::flight::FlightConfig {
+            history_root: Some(root),
+            context: vec![
+                ("command".to_string(), "serve".to_string()),
+                ("model".to_string(), model_path.clone()),
+                (
+                    "kernel".to_string(),
+                    tfb::math::kernel::active_name().to_string(),
+                ),
+            ],
+            ..Default::default()
+        });
+        tfb_obs::flight::set_armed(true);
+        tfb_obs::flight::install_panic_hook();
+    }
+    // The wall-clock sampling profiler is opt-in; samples land in the
+    // event log (and any postmortem bundle) as `psample` events.
+    let profile_hz: u32 = flag_value(args, "--profile-hz")
+        .or_else(|| std::env::var("TFB_PROFILE_HZ").ok())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if profile_hz > 0 && obs_armed {
+        tfb_obs::flight::profiler::start(profile_hz);
+        eprintln!("profiler sampling span stacks at {profile_hz} Hz");
+    }
     tfb::serve::install_signal_handlers();
     eprintln!(
         "serving {} (lookback {}, horizon {}, {} channel(s)) from {model_path}",
@@ -1074,6 +1356,21 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     println!("listening on {}", handle.addr());
     handle.run_until(tfb::serve::signal_received);
     eprintln!("draining and shutting down...");
+    // Stop the profiler before the run closes so its final flush of
+    // `psample` rows still lands in the event log.
+    if profile_hz > 0 && obs_armed {
+        tfb_obs::flight::profiler::stop();
+        let collapsed = tfb_obs::flight::profiler::collapsed();
+        if !collapsed.is_empty() {
+            if let Some(dir) = &out_dir {
+                let path = dir.join("serve.profile.collapsed");
+                match std::fs::write(&path, &collapsed) {
+                    Ok(()) => eprintln!("wrote {}", path.display()),
+                    Err(e) => eprintln!("could not write the profile: {e}"),
+                }
+            }
+        }
+    }
     if obs_armed {
         let meta = [
             ("command", "serve".to_string()),
@@ -1090,6 +1387,13 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 }
             }
         }
+    }
+    if flight_armed {
+        let (dumps, suppressed) = tfb_obs::flight::stats();
+        if dumps > 0 || suppressed > 0 {
+            eprintln!("flight recorder: {dumps} postmortem dump(s), {suppressed} suppressed");
+        }
+        tfb_obs::flight::set_armed(false);
     }
     ExitCode::SUCCESS
 }
