@@ -19,6 +19,12 @@
 //! 3. **sweep** — one leg per requested shard count (`--shards 1,2,4`
 //!    or a power-of-two ladder up to the core count by default),
 //!    reported as `serve/sweep/s{N}/*` for scaling curves.
+//! 4. **fleet** — a multi-model leg: 8 LR artifacts published into a
+//!    throwaway registry, served as one fleet with a 3-model resident
+//!    cap, under zipfian (α = 1.0) routed traffic. Reported as
+//!    `serve/fleet/*`: steady-state req/s, resident-cache hit rate,
+//!    cold-load p99, and eviction count — the numbers that size the
+//!    LRU for multi-tenant serving.
 //!
 //! The primary leg runs first so its phase attribution and batch-size
 //! histogram come from an uncontaminated registry; later legs report
@@ -53,24 +59,36 @@ static ALLOC: tfb_obs::alloc::CountingAllocator = tfb_obs::alloc::CountingAlloca
 const LOOKBACK: usize = 24;
 const HORIZON: usize = 8;
 
-fn train_model() -> ServableModel {
+/// Fleet leg shape: models in the registry, LRU capacity (deliberately
+/// below the model count so the leg exercises eviction and cold loads),
+/// and the zipf exponent of the per-request model choice.
+const FLEET_MODELS: usize = 8;
+const FLEET_RESIDENT_CAP: usize = 3;
+const FLEET_ALPHA: f64 = 1.0;
+
+/// Trains one LR artifact at the given horizon. All artifacts share
+/// `LOOKBACK`, so one request body fits every fleet member.
+fn train_artifact(horizon: usize) -> tfb_artifact::ModelArtifact {
     let profile = tfb_datagen::profile_by_name("ILI").expect("ILI profile");
     let series = profile.generate(tfb_datagen::Scale::TINY);
     let split = ChronoSplit::split(&series, profile.split).expect("split");
     let norm = Normalizer::fit(&split.train, Normalization::ZScore);
     let normed = norm.apply(&series).expect("normalize");
     let train = normed.slice_rows(0..split.val_start);
-    let artifact = fit(
+    fit(
         "LR",
         &train,
         LOOKBACK,
-        HORIZON,
+        horizon,
         norm,
         "bench_serve".to_string(),
         None,
     )
-    .expect("fit");
-    ServableModel::from_artifact(artifact).expect("servable")
+    .expect("fit")
+}
+
+fn train_model() -> ServableModel {
+    ServableModel::from_artifact(train_artifact(HORIZON)).expect("servable")
 }
 
 /// One closed-loop client: a single keep-alive connection sending the
@@ -109,6 +127,62 @@ fn client_loop(addr: std::net::SocketAddr, body: &str, stop: &AtomicBool) -> (Ve
         }
     }
     (latencies, shed)
+}
+
+/// One closed-loop *fleet* client: picks the next model zipfian-style
+/// with a seeded xorshift (reproducible traffic) and posts to that
+/// model's `/v1/forecast/{name}` route. Returns latencies (µs) and the
+/// shed count.
+fn fleet_client_loop(
+    addr: std::net::SocketAddr,
+    requests: &[String],
+    cdf: &[f64],
+    seed: u64,
+    stop: &AtomicBool,
+) -> (Vec<f64>, u64) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::new();
+    let mut shed = 0u64;
+    let mut line = String::new();
+    let mut reply_body = Vec::new();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    while !stop.load(Ordering::Relaxed) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+        let idx = cdf.partition_point(|&c| c < u).min(requests.len() - 1);
+        let t0 = Instant::now();
+        writer.write_all(requests[idx].as_bytes()).expect("write");
+        let status = read_reply(&mut reader, &mut line, &mut reply_body);
+        latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+        match status {
+            200 => {}
+            429 => shed += 1,
+            other => panic!("unexpected status {other} under fleet load"),
+        }
+    }
+    (latencies, shed)
+}
+
+/// Cumulative zipfian distribution over `n` ranks: `P(i) ∝ 1/(i+1)^α`.
+fn zipf_cdf(n: usize, alpha: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
 }
 
 /// Reads one HTTP reply off the connection, discarding the body. Returns
@@ -556,6 +630,141 @@ fn run() {
             leg.steals as f64,
             "count",
         );
+    }
+
+    // -- Fleet leg: the registry-backed multi-model regime. A capacity
+    // below the model count forces the LRU to churn, so the hit rate /
+    // cold-load / eviction numbers are of the interesting regime, not
+    // of an everything-resident cache.
+    {
+        use tfb_registry::fleet::{Fleet, FleetConfig};
+        use tfb_registry::Registry;
+        let dir = workspace_root().join("target").join("bench-fleet-registry");
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = Registry::open(&dir).expect("fleet registry");
+        for i in 0..FLEET_MODELS {
+            let artifact = train_artifact(4 + (i % 12));
+            registry
+                .publish_bytes(&format!("m{i:02}"), "prod", &artifact.to_bytes())
+                .expect("publish fleet model");
+        }
+        let registry = Registry::open(&dir).expect("fleet registry");
+        let fleet = std::sync::Arc::new(
+            Fleet::open(
+                registry,
+                FleetConfig {
+                    resident_cap: FLEET_RESIDENT_CAP,
+                },
+            )
+            .expect("fleet"),
+        );
+        let handle = tfb_serve::serve_fleet(
+            std::sync::Arc::clone(&fleet),
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                coalescer: CoalescerConfig::default(),
+            },
+        )
+        .expect("serve fleet");
+        let addr = handle.addr();
+        let cdf = zipf_cdf(FLEET_MODELS, FLEET_ALPHA);
+        let requests: Vec<String> = (0..FLEET_MODELS)
+            .map(|i| {
+                format!(
+                    "POST /v1/forecast/m{i:02} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+            })
+            .collect();
+        let stop = AtomicBool::new(false);
+        let (mut latencies, mut shed) = (Vec::new(), 0u64);
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..clients)
+                .map(|c| {
+                    let (requests, cdf, stop) = (&requests, &cdf, &stop);
+                    scope.spawn(move || fleet_client_loop(addr, requests, cdf, c as u64 + 1, stop))
+                })
+                .collect();
+            std::thread::sleep(duration);
+            stop.store(true, Ordering::Relaxed);
+            for w in workers {
+                let (lat, s) = w.join().expect("fleet client thread");
+                latencies.extend(lat);
+                shed += s;
+            }
+        });
+        let elapsed_s = t0.elapsed().as_secs_f64();
+        let _ = handle.shutdown();
+        let stats = fleet.stats();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        let total = latencies.len() as f64;
+        let fleet_throughput = total / elapsed_s.max(1e-9);
+        let mut cold = stats.cold_load_us.clone();
+        cold.sort_by(|a, b| a.partial_cmp(b).expect("finite cold load"));
+        let cold_p99 = if cold.is_empty() {
+            0.0
+        } else {
+            percentile(&cold, 99.0)
+        };
+        println!(
+            "fleet ({FLEET_MODELS} models, cap {FLEET_RESIDENT_CAP}, zipf α={FLEET_ALPHA}): \
+             {fleet_throughput:9.0} req/s | {:7.0} us p50 | {:7.0} us p99",
+            percentile(&latencies, 50.0),
+            percentile(&latencies, 99.0),
+        );
+        println!(
+            "fleet cache: {:.1}% hit rate | {} cold load(s) ({cold_p99:.0} us p99) | {} eviction(s)",
+            100.0 * stats.hit_rate(),
+            stats.cold_load_us.len(),
+            stats.evictions,
+        );
+        push(
+            &mut entries,
+            "serve/fleet/models",
+            FLEET_MODELS as f64,
+            "count",
+        );
+        push(
+            &mut entries,
+            "serve/fleet/resident_cap",
+            FLEET_RESIDENT_CAP as f64,
+            "count",
+        );
+        push(&mut entries, "serve/fleet/requests", total, "count");
+        push(
+            &mut entries,
+            "serve/fleet/throughput",
+            fleet_throughput,
+            "req/s",
+        );
+        push(
+            &mut entries,
+            "serve/fleet/latency_p50",
+            percentile(&latencies, 50.0),
+            "us",
+        );
+        push(
+            &mut entries,
+            "serve/fleet/latency_p99",
+            percentile(&latencies, 99.0),
+            "us",
+        );
+        push(
+            &mut entries,
+            "serve/fleet/hit_rate",
+            stats.hit_rate(),
+            "ratio",
+        );
+        push(&mut entries, "serve/fleet/cold_load_p99", cold_p99, "us");
+        push(
+            &mut entries,
+            "serve/fleet/evictions",
+            stats.evictions as f64,
+            "count",
+        );
+        push(&mut entries, "serve/fleet/shed", shed as f64, "count");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     // -- Observability-overhead legs: one shard, same client load, three

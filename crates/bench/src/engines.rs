@@ -141,6 +141,16 @@ fn run_eval(suite: &Suite, cell: &Cell) -> Result<Vec<MeasurementRow>, String> {
             cell.id, cell.normalization
         )
     })?;
+    settings.batch_inference = match cell.inference.as_str() {
+        "batched" => true,
+        "sequential" => false,
+        other => {
+            return Err(format!(
+                "{}: unknown inference {other:?} (batched|sequential)",
+                cell.id
+            ))
+        }
+    };
     let train = TrainConfig {
         epochs: cell.epochs,
         max_samples: 512,
@@ -304,7 +314,10 @@ fn run_math(suite: &Suite, cell: &Cell) -> Result<Vec<MeasurementRow>, String> {
 const SERVE_LOOKBACK: usize = 24;
 const SERVE_HORIZON: usize = 8;
 
-fn train_serve_model() -> Result<tfb_artifact::ServableModel, String> {
+/// Trains one LR artifact on the TINY ILI profile at the given horizon.
+/// Every fleet member shares `SERVE_LOOKBACK`, so a single request body
+/// is valid against all of them; the horizon is what varies per model.
+fn train_serve_artifact(horizon: usize) -> Result<tfb_artifact::ModelArtifact, String> {
     use tfb_data::{ChronoSplit, Normalization, Normalizer};
     let profile = tfb_datagen::profile_by_name("ILI").ok_or("serve engine: no ILI profile")?;
     let series = profile.generate(tfb_datagen::Scale::TINY);
@@ -312,17 +325,20 @@ fn train_serve_model() -> Result<tfb_artifact::ServableModel, String> {
     let norm = Normalizer::fit(&split.train, Normalization::ZScore);
     let normed = norm.apply(&series).map_err(|e| e.to_string())?;
     let train = normed.slice_rows(0..split.val_start);
-    let artifact = tfb_artifact::fit(
+    tfb_artifact::fit(
         "LR",
         &train,
         SERVE_LOOKBACK,
-        SERVE_HORIZON,
+        horizon,
         norm,
         "tfb-bench-harness".to_string(),
         None,
     )
-    .map_err(|e| format!("serve engine: fit failed: {e}"))?;
-    tfb_artifact::ServableModel::from_artifact(artifact)
+    .map_err(|e| format!("serve engine: fit failed: {e}"))
+}
+
+fn train_serve_model() -> Result<tfb_artifact::ServableModel, String> {
+    tfb_artifact::ServableModel::from_artifact(train_serve_artifact(SERVE_HORIZON)?)
         .map_err(|e| format!("serve engine: artifact not servable: {e}"))
 }
 
@@ -335,6 +351,61 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
 
+/// One request/reply round trip on a kept-alive connection; returns the
+/// status code.
+fn round_trip(
+    writer: &mut std::net::TcpStream,
+    reader: &mut std::io::BufReader<std::net::TcpStream>,
+    request: &str,
+    line: &mut String,
+    body: &mut Vec<u8>,
+) -> Result<u16, String> {
+    use std::io::{BufRead, Read, Write};
+    writer
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    // Read one reply: status line, headers, body.
+    line.clear();
+    reader.read_line(line).map_err(|e| format!("read: {e}"))?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {line:?}"))?;
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(line).map_err(|e| format!("read: {e}"))?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = trimmed.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    body.clear();
+    body.resize(content_length, 0);
+    reader
+        .read_exact(body)
+        .map_err(|e| format!("read body: {e}"))?;
+    Ok(status)
+}
+
+fn connect(
+    addr: std::net::SocketAddr,
+) -> Result<(std::net::TcpStream, std::io::BufReader<std::net::TcpStream>), String> {
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    let writer = stream.try_clone().map_err(|e| e.to_string())?;
+    Ok((writer, std::io::BufReader::new(stream)))
+}
+
 /// One closed-loop client on a keep-alive connection; returns latencies
 /// in microseconds.
 fn client_loop(
@@ -342,54 +413,14 @@ fn client_loop(
     request: &str,
     stop: &std::sync::atomic::AtomicBool,
 ) -> Result<Vec<f64>, String> {
-    use std::io::{BufRead, BufReader, Read, Write};
     use std::sync::atomic::Ordering;
-    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
-    stream.set_nodelay(true).map_err(|e| e.to_string())?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .map_err(|e| e.to_string())?;
-    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-    let mut reader = BufReader::new(stream);
+    let (mut writer, mut reader) = connect(addr)?;
     let mut latencies = Vec::new();
     let mut line = String::new();
     let mut body = Vec::new();
     while !stop.load(Ordering::Relaxed) {
         let t0 = Instant::now();
-        writer
-            .write_all(request.as_bytes())
-            .map_err(|e| format!("write: {e}"))?;
-        // Read one reply: status line, headers, body.
-        line.clear();
-        reader
-            .read_line(&mut line)
-            .map_err(|e| format!("read: {e}"))?;
-        let status: u16 = line
-            .split_whitespace()
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| format!("bad status line {line:?}"))?;
-        let mut content_length = 0usize;
-        loop {
-            line.clear();
-            reader
-                .read_line(&mut line)
-                .map_err(|e| format!("read: {e}"))?;
-            let trimmed = line.trim_end();
-            if trimmed.is_empty() {
-                break;
-            }
-            if let Some((k, v)) = trimmed.split_once(':') {
-                if k.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = v.trim().parse().unwrap_or(0);
-                }
-            }
-        }
-        body.clear();
-        body.resize(content_length, 0);
-        reader
-            .read_exact(&mut body)
-            .map_err(|e| format!("read body: {e}"))?;
+        let status = round_trip(&mut writer, &mut reader, request, &mut line, &mut body)?;
         latencies.push(t0.elapsed().as_secs_f64() * 1e6);
         if status != 200 && status != 429 {
             return Err(format!("unexpected status {status} under closed-loop load"));
@@ -398,30 +429,91 @@ fn client_loop(
     Ok(latencies)
 }
 
+/// Cumulative zipfian distribution over `n` ranks (`P(i) ∝ 1/(i+1)^α`)
+/// — the classic skewed model-popularity assumption: a couple of hot
+/// models take most traffic, a long tail stays cold.
+fn zipf_cdf(n: usize, alpha: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+/// One closed-loop client that samples its next model zipfian-style
+/// (seeded xorshift, so the workload is reproducible) and posts to that
+/// model's routed endpoint.
+fn fleet_client_loop(
+    addr: std::net::SocketAddr,
+    requests: &[String],
+    cdf: &[f64],
+    seed: u64,
+    stop: &std::sync::atomic::AtomicBool,
+) -> Result<Vec<f64>, String> {
+    use std::sync::atomic::Ordering;
+    let (mut writer, mut reader) = connect(addr)?;
+    let mut latencies = Vec::new();
+    let mut line = String::new();
+    let mut body = Vec::new();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    while !stop.load(Ordering::Relaxed) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+        let idx = cdf.partition_point(|&c| c < u).min(requests.len() - 1);
+        let t0 = Instant::now();
+        let status = round_trip(
+            &mut writer,
+            &mut reader,
+            &requests[idx],
+            &mut line,
+            &mut body,
+        )?;
+        latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+        if status != 200 && status != 429 {
+            return Err(format!("unexpected status {status} under fleet load"));
+        }
+    }
+    Ok(latencies)
+}
+
+/// The `{"window": [...]}` request body every serve cell posts.
+fn forecast_body(dim: usize) -> String {
+    let window: Vec<f64> = (0..SERVE_LOOKBACK * dim)
+        .map(|i| (i as f64) * 0.13 - 2.0)
+        .collect();
+    tfb_json::JsonValue::Object(vec![(
+        "window".to_string(),
+        tfb_json::JsonValue::Array(
+            window
+                .iter()
+                .map(|&v| tfb_json::JsonValue::Number(v))
+                .collect(),
+        ),
+    )])
+    .compact()
+}
+
 fn run_serve(suite: &Suite, cell: &Cell) -> Result<Vec<MeasurementRow>, String> {
     use std::sync::atomic::{AtomicBool, Ordering};
     use tfb_serve::{serve, CoalescerConfig, ServerConfig};
 
+    if cell.models > 1 {
+        return run_serve_fleet(suite, cell);
+    }
     let mut throughput = Vec::with_capacity(cell.iters);
     let mut p50_us = Vec::with_capacity(cell.iters);
     let mut p99_us = Vec::with_capacity(cell.iters);
     let mut requests = Vec::with_capacity(cell.iters);
     for _ in 0..cell.iters {
         let model = train_serve_model()?;
-        let dim = model.dim();
-        let window: Vec<f64> = (0..SERVE_LOOKBACK * dim)
-            .map(|i| (i as f64) * 0.13 - 2.0)
-            .collect();
-        let body = tfb_json::JsonValue::Object(vec![(
-            "window".to_string(),
-            tfb_json::JsonValue::Array(
-                window
-                    .iter()
-                    .map(|&v| tfb_json::JsonValue::Number(v))
-                    .collect(),
-            ),
-        )])
-        .compact();
+        let body = forecast_body(model.dim());
         let request = format!(
             "POST /forecast HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
             body.len()
@@ -453,7 +545,7 @@ fn run_serve(suite: &Suite, cell: &Cell) -> Result<Vec<MeasurementRow>, String> 
             Ok(())
         });
         let elapsed_s = t0.elapsed().as_secs_f64();
-        handle.shutdown();
+        let _ = handle.shutdown();
         result.map_err(|e| format!("{}: {e}", cell.id))?;
         latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         requests.push(latencies.len() as f64);
@@ -466,6 +558,137 @@ fn run_serve(suite: &Suite, cell: &Cell) -> Result<Vec<MeasurementRow>, String> 
         measurement(suite, cell, "latency_p50", "us", &p50_us),
         measurement(suite, cell, "latency_p99", "us", &p99_us),
         measurement(suite, cell, "requests", "count", &requests),
+    ])
+}
+
+/// The multi-model leg: publish `cell.models` LR artifacts into a
+/// throwaway registry, serve the whole fleet with `resident_cap`
+/// resident models, and drive zipfian (α = 1.0) routed traffic from
+/// `cell.clients` closed-loop clients. Alongside throughput/latency
+/// this reports the fleet-specific quantities: resident-cache hit rate,
+/// cold-load p99, and eviction count.
+fn run_serve_fleet(suite: &Suite, cell: &Cell) -> Result<Vec<MeasurementRow>, String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use tfb_registry::fleet::{Fleet, FleetConfig};
+    use tfb_registry::Registry;
+    use tfb_serve::{serve_fleet, CoalescerConfig, ServerConfig};
+
+    let models = cell.models;
+    let dir = std::env::temp_dir().join(format!(
+        "tfb_fleet_{}_{}",
+        std::process::id(),
+        cell.name.replace(['/', '\\'], "_")
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Registry::open(&dir).map_err(|e| format!("{}: registry: {e}", cell.id))?;
+    let mut dim = 0;
+    for i in 0..models {
+        // Same lookback everywhere (one request body fits the whole
+        // fleet); the horizon is what distinguishes the models.
+        let artifact = train_serve_artifact(4 + (i % 12))?;
+        let bytes = artifact.to_bytes();
+        if i == 0 {
+            dim = tfb_artifact::ServableModel::from_artifact(artifact)
+                .map_err(|e| format!("{}: artifact not servable: {e}", cell.id))?
+                .dim();
+        }
+        registry
+            .publish_bytes(&format!("m{i:02}"), "prod", &bytes)
+            .map_err(|e| format!("{}: publish m{i:02}: {e}", cell.id))?;
+    }
+    let cap = if cell.resident_cap == 0 {
+        models
+    } else {
+        cell.resident_cap
+    };
+    let cdf = zipf_cdf(models, 1.0);
+    let body = forecast_body(dim);
+    let requests_by_model: Vec<String> = (0..models)
+        .map(|i| {
+            format!(
+                "POST /v1/forecast/m{i:02} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+        })
+        .collect();
+
+    let mut throughput = Vec::with_capacity(cell.iters);
+    let mut p50_us = Vec::with_capacity(cell.iters);
+    let mut p99_us = Vec::with_capacity(cell.iters);
+    let mut requests = Vec::with_capacity(cell.iters);
+    let mut hit_rate = Vec::with_capacity(cell.iters);
+    let mut cold_p99_us = Vec::with_capacity(cell.iters);
+    let mut evictions = Vec::with_capacity(cell.iters);
+    for iter in 0..cell.iters {
+        // A fresh fleet per iteration: every leg starts cold, so the
+        // hit-rate and cold-load numbers measure the same regime.
+        let registry = Registry::open(&dir).map_err(|e| format!("{}: registry: {e}", cell.id))?;
+        let fleet = Arc::new(
+            Fleet::open(registry, FleetConfig { resident_cap: cap })
+                .map_err(|e| format!("{}: fleet: {e}", cell.id))?,
+        );
+        let handle = serve_fleet(
+            Arc::clone(&fleet),
+            ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                coalescer: CoalescerConfig {
+                    shards: cell.shards,
+                    ..CoalescerConfig::default()
+                },
+            },
+        )
+        .map_err(|e| format!("{}: serve failed: {e}", cell.id))?;
+        let addr = handle.addr();
+        let stop = AtomicBool::new(false);
+        let mut latencies: Vec<f64> = Vec::new();
+        let t0 = Instant::now();
+        let result: Result<(), String> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..cell.clients.max(1))
+                .map(|c| {
+                    let seed = (iter * 131 + c) as u64 + 1;
+                    let (requests_by_model, cdf) = (&requests_by_model, &cdf);
+                    let stop = &stop;
+                    scope.spawn(move || fleet_client_loop(addr, requests_by_model, cdf, seed, stop))
+                })
+                .collect();
+            std::thread::sleep(Duration::from_millis(cell.duration_ms.max(50)));
+            stop.store(true, Ordering::Relaxed);
+            for w in workers {
+                latencies.extend(w.join().map_err(|_| "client thread panicked")??);
+            }
+            Ok(())
+        });
+        let elapsed_s = t0.elapsed().as_secs_f64();
+        let _ = handle.shutdown();
+        result.map_err(|e| format!("{}: {e}", cell.id))?;
+        let stats = fleet.stats();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        requests.push(latencies.len() as f64);
+        throughput.push(latencies.len() as f64 / elapsed_s.max(1e-9));
+        p50_us.push(percentile(&latencies, 50.0));
+        p99_us.push(percentile(&latencies, 99.0));
+        hit_rate.push(stats.hit_rate());
+        evictions.push(stats.evictions as f64);
+        let mut cold = stats.cold_load_us.clone();
+        cold.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        cold_p99_us.push(if cold.is_empty() {
+            0.0
+        } else {
+            percentile(&cold, 99.0)
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let models_f = vec![models as f64; cell.iters];
+    Ok(vec![
+        measurement(suite, cell, "throughput", "req/s", &throughput),
+        measurement(suite, cell, "latency_p50", "us", &p50_us),
+        measurement(suite, cell, "latency_p99", "us", &p99_us),
+        measurement(suite, cell, "requests", "count", &requests),
+        measurement(suite, cell, "hit_rate", "", &hit_rate),
+        measurement(suite, cell, "cold_load_p99", "us", &cold_p99_us),
+        measurement(suite, cell, "evictions", "count", &evictions),
+        measurement(suite, cell, "models", "count", &models_f),
     ])
 }
 

@@ -96,6 +96,10 @@ pub struct Cell {
     /// Eval engine: multi-step strategy — `dms` (direct, the default) or
     /// `ims` (iterated one-step; LR only).
     pub multistep: String,
+    /// Eval engine: inference mode — `batched` (one `predict_batch`
+    /// over all windows, the default) or `sequential` (one `predict`
+    /// per window; the pre-batching reference path).
+    pub inference: String,
     /// Math engine: which kernel (`dot`, `dot_skip`, `axpy`, `gemm`).
     pub workload: String,
     /// Math engine: vector length / GEMM output width.
@@ -108,6 +112,15 @@ pub struct Cell {
     pub duration_ms: u64,
     /// Serve engine: shard count.
     pub shards: usize,
+    /// Serve engine: fleet size — 1 (default) load-tests a single model
+    /// over `POST /forecast`; >1 publishes this many models into a
+    /// throwaway registry and drives zipfian multi-model traffic over
+    /// `POST /v1/forecast/{model}`.
+    pub models: usize,
+    /// Serve engine: fleet LRU capacity (0 = hold every model
+    /// resident). A cap below `models` forces cold loads and evictions
+    /// — the fleet-churn regime the `serve/fleet` rows measure.
+    pub resident_cap: usize,
 }
 
 /// A parsed suite file.
@@ -198,12 +211,15 @@ pub fn parse_suite(doc: &JsonValue, path: &Path) -> Result<Suite, String> {
             stride: get_usize(entry, defaults, "stride", 1).max(1),
             normalization: get_merged_str(entry, defaults, "normalization", "ZScore"),
             multistep: get_merged_str(entry, defaults, "multistep", "dms"),
+            inference: get_merged_str(entry, defaults, "inference", "batched"),
             workload: get_merged_str(entry, defaults, "workload", "dot"),
             n: get_usize(entry, defaults, "n", 256),
             depth: get_usize(entry, defaults, "depth", 24),
             clients: get_usize(entry, defaults, "clients", 4),
             duration_ms: get_usize(entry, defaults, "duration_ms", 400) as u64,
             shards: get_usize(entry, defaults, "shards", 1),
+            models: get_usize(entry, defaults, "models", 1).max(1),
+            resident_cap: get_usize(entry, defaults, "resident_cap", 0),
         });
     }
     Ok(Suite {
@@ -330,6 +346,9 @@ horizon = 48
         assert_eq!(lr.stride, 1, "ablation knobs default to the paper's");
         assert_eq!(lr.normalization, "ZScore");
         assert_eq!(lr.multistep, "dms");
+        assert_eq!(lr.inference, "batched");
+        assert_eq!(lr.models, 1, "single-model serving is the default");
+        assert_eq!(lr.resident_cap, 0);
     }
 
     #[test]

@@ -1,0 +1,478 @@
+//! The serving-side fleet: an LRU cache of resident [`ServableModel`]s
+//! over a [`Registry`], with a generation watch for hot-swap.
+//!
+//! * **Residency.** Models load on first request (zero-copy mmap via
+//!   [`crate::mmap`]) and stay resident up to `resident_cap`; beyond
+//!   it, the least-recently-used model is evicted. Residents are
+//!   `Arc`s, so eviction — or a hot swap — never tears a model out from
+//!   under an in-flight request: the request keeps its clone, the cache
+//!   just forgets its own.
+//! * **Hot swap.** Every lookup cheaply stats `index.json` (debounced
+//!   to once per [`REFRESH`]); a changed file stamp reloads the index.
+//!   Resolution is name@label → blob id → resident-by-blob, so the
+//!   moment a publish lands, lookups route to the new blob and the old
+//!   one ages out of the cache. Blobs are immutable (content-addressed,
+//!   rename-into-place), so a half-written artifact is never visible.
+//! * **Metrics.** Hits/misses/evictions and resident count are kept as
+//!   plain atomics (readable without arming obs) and mirrored to
+//!   `registry/fleet/*` counters/gauges; cold-load latency lands in a
+//!   `registry/fleet/cold_load_us` histogram plus a sample vec the
+//!   bench harness reads for its p99 row. Per-model request counters
+//!   (`registry/model/<name>/requests`) are leaked statics, the same
+//!   pattern the serve shards use for their numbered series.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime};
+
+use tfb_artifact::ServableModel;
+
+use crate::{resolve_in, Index, Registry, RegistryError, CANARY_LABEL, DEFAULT_LABEL};
+
+/// How stale the cached index may get before a lookup re-stats
+/// `index.json`. Bounds the hot-swap pickup latency.
+pub const REFRESH: Duration = Duration::from_millis(10);
+
+/// Fleet tuning.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Most models resident at once; `0` is treated as 1.
+    pub resident_cap: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { resident_cap: 8 }
+    }
+}
+
+/// Why a fleet lookup failed.
+#[derive(Debug)]
+pub enum FleetError {
+    /// No such model (or label) in the registry — HTTP 404.
+    UnknownModel(String),
+    /// The registry itself failed (index unreadable, blob missing or
+    /// corrupt) — HTTP 500.
+    Registry(RegistryError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownModel(r) => write!(f, "unknown model: {r}"),
+            FleetError::Registry(e) => write!(f, "registry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Point-in-time fleet cache statistics.
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    /// Lookups served by an already-resident model.
+    pub hits: u64,
+    /// Lookups that had to cold-load an artifact.
+    pub misses: u64,
+    /// Residents displaced by the LRU cap.
+    pub evictions: u64,
+    /// Models resident right now.
+    pub resident: usize,
+    /// Index generation the fleet last observed.
+    pub generation: u64,
+    /// Cold-load latencies, microseconds, in load order.
+    pub cold_load_us: Vec<f64>,
+}
+
+impl FleetStats {
+    /// Hit fraction in `[0, 1]`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Resident {
+    blob: String,
+    model: Arc<ServableModel>,
+    last_used: u64,
+}
+
+struct FleetState {
+    index: Index,
+    /// (len, mtime) of `index.json` at the last reload.
+    stamp: Option<(u64, SystemTime)>,
+    checked: Option<Instant>,
+    resident: Vec<Resident>,
+    tick: u64,
+    cold_load_us: Vec<f64>,
+}
+
+/// A routable set of models: either a one-entry in-memory fleet (the
+/// `tfb serve --model` alias) or an LRU cache over a [`Registry`].
+pub struct Fleet {
+    registry: Option<Registry>,
+    cap: usize,
+    /// Pinned models (single mode): name → model, never evicted.
+    pinned: BTreeMap<String, Arc<ServableModel>>,
+    default_ref: Option<(String, String)>,
+    state: Mutex<FleetState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    request_counters: Mutex<BTreeMap<String, &'static tfb_obs::Counter>>,
+}
+
+impl Fleet {
+    /// A fleet over a registry directory.
+    pub fn open(registry: Registry, cfg: FleetConfig) -> Result<Fleet, RegistryError> {
+        let index = registry.load_index()?;
+        let stamp = file_stamp(&registry.index_path());
+        // With exactly one prod-labeled model, the legacy `/forecast`
+        // endpoint keeps working against it.
+        let mut prods = index
+            .models
+            .iter()
+            .filter(|(_, e)| e.labels.contains_key(DEFAULT_LABEL))
+            .map(|(name, _)| name.clone());
+        let default_ref = match (prods.next(), prods.next()) {
+            (Some(name), None) => Some((name, DEFAULT_LABEL.to_string())),
+            _ => None,
+        };
+        Ok(Fleet {
+            registry: Some(registry),
+            cap: cfg.resident_cap.max(1),
+            pinned: BTreeMap::new(),
+            default_ref,
+            state: Mutex::new(FleetState {
+                index,
+                stamp,
+                checked: Some(Instant::now()),
+                resident: Vec::new(),
+                tick: 0,
+                cold_load_us: Vec::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            request_counters: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The one-entry in-memory fleet `tfb serve --model` materializes:
+    /// `name@prod` (and the legacy `/forecast` default) resolve to the
+    /// given model; nothing is ever loaded or evicted.
+    pub fn single(name: &str, model: ServableModel) -> Fleet {
+        let mut pinned = BTreeMap::new();
+        pinned.insert(name.to_string(), Arc::new(model));
+        Fleet {
+            registry: None,
+            cap: 1,
+            pinned,
+            default_ref: Some((name.to_string(), DEFAULT_LABEL.to_string())),
+            state: Mutex::new(FleetState {
+                index: Index::default(),
+                stamp: None,
+                checked: None,
+                resident: Vec::new(),
+                tick: 0,
+                cold_load_us: Vec::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            request_counters: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether a registry (rather than a pinned singleton) backs this
+    /// fleet — canary mirroring only makes sense when one does.
+    pub fn has_registry(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// The `name@label` the legacy `/forecast` endpoint routes to, when
+    /// there is an unambiguous one.
+    pub fn default_ref(&self) -> Option<(String, String)> {
+        self.default_ref.clone()
+    }
+
+    /// Every routable model name (pinned + indexed), sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.pinned.keys().cloned().collect();
+        let state = self.state.lock().expect("fleet state poisoned");
+        names.extend(state.index.models.keys().cloned());
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Resolves `name@label` to a servable model: pinned, resident, or
+    /// cold-loaded (mmap) into the LRU.
+    pub fn get(&self, name: &str, label: &str) -> Result<Arc<ServableModel>, FleetError> {
+        if label == DEFAULT_LABEL {
+            if let Some(model) = self.pinned.get(name) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                tfb_obs::counter!("registry/fleet/hits").add(1);
+                return Ok(Arc::clone(model));
+            }
+        }
+        let Some(registry) = &self.registry else {
+            return Err(FleetError::UnknownModel(format!("{name}@{label}")));
+        };
+        let mut state = self.state.lock().expect("fleet state poisoned");
+        self.maybe_refresh(registry, &mut state);
+        let blob = match resolve_in(&state.index, name, label) {
+            Ok(blob) => blob,
+            Err(e @ (RegistryError::UnknownModel(_) | RegistryError::UnknownLabel { .. })) => {
+                return Err(FleetError::UnknownModel(format!("{name}@{label} ({e})")))
+            }
+            Err(e) => return Err(FleetError::Registry(e)),
+        };
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(r) = state.resident.iter_mut().find(|r| r.blob == blob) {
+            r.last_used = tick;
+            let model = Arc::clone(&r.model);
+            drop(state);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            tfb_obs::counter!("registry/fleet/hits").add(1);
+            return Ok(model);
+        }
+        // Cold load, inside the lock: concurrent misses for the same
+        // blob would otherwise both pay the load. Loads are rare (cache
+        // misses only) and bounded by artifact size.
+        let started = Instant::now();
+        let (artifact, mapped) = crate::mmap::load_artifact(&registry.blob_path(&blob))
+            .map_err(|e| FleetError::Registry(RegistryError::Artifact(e)))?;
+        let model = Arc::new(
+            ServableModel::from_artifact(artifact)
+                .map_err(|e| FleetError::Registry(RegistryError::Artifact(e)))?,
+        );
+        let cold_us = started.elapsed().as_secs_f64() * 1e6;
+        state.cold_load_us.push(cold_us);
+        tfb_obs::histogram!("registry/fleet/cold_load_us").record(cold_us);
+        tfb_obs::counter!("registry/fleet/misses").add(1);
+        if mapped {
+            tfb_obs::counter!("registry/fleet/mmap_loads").add(1);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        state.resident.push(Resident {
+            blob,
+            model: Arc::clone(&model),
+            last_used: tick,
+        });
+        while state.resident.len() > self.cap {
+            let (lru, _) = state
+                .resident
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| r.last_used)
+                .expect("non-empty residents");
+            state.resident.swap_remove(lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            tfb_obs::counter!("registry/fleet/evictions").add(1);
+        }
+        tfb_obs::gauge!("registry/fleet/resident").set(state.resident.len() as f64);
+        Ok(model)
+    }
+
+    /// The canary counterpart of `name`, if one is staged. Never counts
+    /// toward hits/misses on the unstaged (common) path.
+    pub fn canary(&self, name: &str) -> Option<Arc<ServableModel>> {
+        self.registry.as_ref()?;
+        {
+            let mut state = self.state.lock().expect("fleet state poisoned");
+            if let Some(registry) = &self.registry {
+                self.maybe_refresh(registry, &mut state);
+            }
+            resolve_in(&state.index, name, CANARY_LABEL).ok()?;
+        }
+        self.get(name, CANARY_LABEL).ok()
+    }
+
+    /// Forces an index reload on the next lookup (tests).
+    pub fn invalidate(&self) {
+        let mut state = self.state.lock().expect("fleet state poisoned");
+        state.checked = None;
+        state.stamp = None;
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> FleetStats {
+        let state = self.state.lock().expect("fleet state poisoned");
+        FleetStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident: state.resident.len() + self.pinned.len(),
+            generation: state.index.generation,
+            cold_load_us: state.cold_load_us.clone(),
+        }
+    }
+
+    /// The leaked per-model request counter
+    /// (`registry/model/<sanitized-name>/requests`).
+    pub fn request_counter(&self, name: &str) -> &'static tfb_obs::Counter {
+        let mut counters = self
+            .request_counters
+            .lock()
+            .expect("fleet counters poisoned");
+        if let Some(c) = counters.get(name) {
+            return c;
+        }
+        let sanitized: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let metric = format!("registry/model/{sanitized}/requests");
+        let counter: &'static tfb_obs::Counter = Box::leak(Box::new(tfb_obs::Counter::new(
+            Box::leak(metric.into_boxed_str()),
+        )));
+        counters.insert(name.to_string(), counter);
+        counter
+    }
+
+    /// Re-stats `index.json` at most once per [`REFRESH`]; a changed
+    /// stamp reloads the index, which is all hot-swap needs — resident
+    /// entries for re-pointed labels simply stop resolving and age out.
+    fn maybe_refresh(&self, registry: &Registry, state: &mut FleetState) {
+        if let Some(checked) = state.checked {
+            if checked.elapsed() < REFRESH {
+                return;
+            }
+        }
+        state.checked = Some(Instant::now());
+        let stamp = file_stamp(&registry.index_path());
+        if stamp == state.stamp {
+            return;
+        }
+        if let Ok(index) = registry.load_index() {
+            if index.generation != state.index.generation {
+                tfb_obs::counter!("registry/fleet/index_reloads").add(1);
+            }
+            state.index = index;
+            state.stamp = stamp;
+        }
+    }
+}
+
+fn file_stamp(path: &std::path::Path) -> Option<(u64, SystemTime)> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.len(), meta.modified().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact_bytes(horizon: usize) -> Vec<u8> {
+        crate::test_support::trained_artifact(horizon).to_bytes()
+    }
+
+    fn temp_registry(tag: &str) -> Registry {
+        let root = std::env::temp_dir().join(format!(
+            "tfb_fleet_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        Registry::open(&root).expect("open registry")
+    }
+
+    #[test]
+    fn lru_eviction_honors_the_cap_and_counts() {
+        let reg = temp_registry("lru");
+        for h in [4, 6, 8] {
+            reg.publish_bytes(&format!("m{h}"), "prod", &artifact_bytes(h))
+                .expect("publish");
+        }
+        let root = reg.root().to_path_buf();
+        let fleet = Fleet::open(reg, FleetConfig { resident_cap: 2 }).expect("fleet");
+        fleet.get("m4", "prod").expect("m4");
+        fleet.get("m6", "prod").expect("m6");
+        fleet.get("m4", "prod").expect("m4 again");
+        // Cap 2: loading m8 must evict m6 (m4 was used more recently).
+        fleet.get("m8", "prod").expect("m8");
+        let stats = fleet.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.resident, 2);
+        assert_eq!(stats.cold_load_us.len(), 3);
+        // m6 is gone: touching it is a fresh miss, evicting the LRU.
+        fleet.get("m6", "prod").expect("m6 reload");
+        assert_eq!(fleet.stats().misses, 4);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn hot_swap_routes_to_the_new_blob() {
+        let reg = temp_registry("swap");
+        let v1 = artifact_bytes(4);
+        let v2 = artifact_bytes(8);
+        reg.publish_bytes("m", "prod", &v1).expect("publish v1");
+        let root = reg.root().to_path_buf();
+        let fleet = Fleet::open(reg, FleetConfig { resident_cap: 4 }).expect("fleet");
+        let before = fleet.get("m", "prod").expect("v1");
+        assert_eq!(before.horizon(), 4);
+
+        Registry::open(&root)
+            .expect("reopen")
+            .publish_bytes("m", "prod", &v2)
+            .expect("publish v2");
+        fleet.invalidate();
+        let after = fleet.get("m", "prod").expect("v2");
+        assert_eq!(after.horizon(), 8, "lookup must follow the new blob");
+        // The old Arc is still fully usable: eviction/swap never tears
+        // a model out from under a holder.
+        assert_eq!(before.horizon(), 4);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn canary_resolves_only_when_staged() {
+        let reg = temp_registry("canary");
+        reg.publish_bytes("m", "prod", &artifact_bytes(4))
+            .expect("publish");
+        let root = reg.root().to_path_buf();
+        let fleet = Fleet::open(reg, FleetConfig::default()).expect("fleet");
+        assert!(fleet.canary("m").is_none());
+        assert!(fleet.canary("ghost").is_none());
+        Registry::open(&root)
+            .expect("reopen")
+            .publish_bytes("m", "canary", &artifact_bytes(8))
+            .expect("stage");
+        fleet.invalidate();
+        let canary = fleet.canary("m").expect("staged canary");
+        assert_eq!(canary.horizon(), 8);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn single_fleet_pins_and_defaults() {
+        let artifact = tfb_artifact::ModelArtifact::from_bytes(&artifact_bytes(4)).expect("decode");
+        let model = ServableModel::from_artifact(artifact).expect("servable");
+        let fleet = Fleet::single("LR", model);
+        assert_eq!(
+            fleet.default_ref(),
+            Some(("LR".to_string(), "prod".to_string()))
+        );
+        assert!(fleet.get("LR", "prod").is_ok());
+        assert!(matches!(
+            fleet.get("LR", "canary"),
+            Err(FleetError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            fleet.get("other", "prod"),
+            Err(FleetError::UnknownModel(_))
+        ));
+        assert_eq!(fleet.names(), vec!["LR".to_string()]);
+        assert!(!fleet.has_registry());
+    }
+}

@@ -1,0 +1,749 @@
+//! `tfb-registry`: a content-addressed store for trained model
+//! artifacts, plus the serving-side fleet cache built on it.
+//!
+//! Layout (modeled on `.tfb-history/`):
+//!
+//! ```text
+//! .tfb-registry/
+//!   index.json            # tfb-registry/v1: generation + name → label → blob
+//!   blobs/<fnv1a64>.tfba  # immutable content-addressed artifacts
+//! ```
+//!
+//! * **Blobs are immutable.** A blob's filename is the FNV-1a64 hash of
+//!   its bytes; publishing writes to a temp name and atomically renames
+//!   into place, and an already-present blob is never rewritten. The
+//!   artifact's own codec carries a second FNV-1a64 checksum inside the
+//!   bytes, so [`Registry::fsck`] can detect bit rot two independent
+//!   ways.
+//! * **The index is one atomically-replaced document.** Every mutation
+//!   (publish, promote, rollback) rewrites `index.json` via temp file +
+//!   `rename`, bumping a monotonic `generation`. Readers therefore see
+//!   either the old index or the new one, never a partial write — this
+//!   is what makes hot-swap safe — and the fleet cache watches the file
+//!   stamp to pick up new generations without a broker.
+//! * **Labels are the deployment state machine.** Each model name maps
+//!   labels (conventionally `prod` and `canary`) to blobs.
+//!   `publish --label canary` stages a candidate, `promote` moves
+//!   canary → prod (remembering the old prod in `previous`), `rollback`
+//!   swaps `previous` back. Model names follow the benchmark's
+//!   `dataset/method/horizon` convention but any `/`-separated id works.
+//!
+//! [`mmap`] holds the zero-copy loader; [`fleet`] the LRU of resident
+//! models the server routes over.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use tfb_artifact::{format::fnv1a64, ArtifactError, ModelArtifact};
+use tfb_json::JsonValue;
+
+pub mod fleet;
+pub mod mmap;
+
+pub use fleet::{Fleet, FleetConfig, FleetError, FleetStats};
+
+/// Index schema id written to (and required from) `index.json`.
+pub const SCHEMA: &str = "tfb-registry/v1";
+
+/// The label a bare `name` ref resolves to.
+pub const DEFAULT_LABEL: &str = "prod";
+
+/// The label canary candidates are staged under.
+pub const CANARY_LABEL: &str = "canary";
+
+/// Everything that can go wrong talking to a registry.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// `index.json` (or a blob name) is not valid `tfb-registry/v1`.
+    Corrupt(String),
+    /// The ref names a model the index does not hold.
+    UnknownModel(String),
+    /// The model exists but has no such label.
+    UnknownLabel {
+        /// Model name.
+        model: String,
+        /// The missing label.
+        label: String,
+    },
+    /// The blob failed artifact-level validation.
+    Artifact(ArtifactError),
+    /// A name or label contains characters the store refuses.
+    BadRef(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "io error: {e}"),
+            RegistryError::Corrupt(m) => write!(f, "corrupt registry: {m}"),
+            RegistryError::UnknownModel(name) => write!(f, "unknown model: {name}"),
+            RegistryError::UnknownLabel { model, label } => {
+                write!(f, "model {model} has no label {label:?}")
+            }
+            RegistryError::Artifact(e) => write!(f, "artifact error: {e}"),
+            RegistryError::BadRef(m) => write!(f, "bad model ref: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<std::io::Error> for RegistryError {
+    fn from(e: std::io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+impl From<ArtifactError> for RegistryError {
+    fn from(e: ArtifactError) -> Self {
+        RegistryError::Artifact(e)
+    }
+}
+
+/// One model's deployment state: label → blob id, plus the blob the
+/// last promotion displaced (what `rollback` restores).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModelEntry {
+    /// Label (e.g. `prod`, `canary`) → content-addressed blob id.
+    pub labels: BTreeMap<String, String>,
+    /// Blob id the previous promotion displaced, if any.
+    pub previous: Option<String>,
+}
+
+/// The parsed `index.json`: a monotonic generation and every model's
+/// deployment state, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Index {
+    /// Bumped on every mutation; the fleet's hot-swap watch key.
+    pub generation: u64,
+    /// Model name → deployment state.
+    pub models: BTreeMap<String, ModelEntry>,
+}
+
+/// What a publish did.
+#[derive(Debug, Clone)]
+pub struct PublishOutcome {
+    /// Content-addressed id of the published blob.
+    pub blob: String,
+    /// Index generation after the publish.
+    pub generation: u64,
+    /// Blob id this label pointed at before, if it changed.
+    pub replaced: Option<String>,
+    /// Whether the blob's bytes were already in the store.
+    pub deduplicated: bool,
+}
+
+/// What a garbage collection removed.
+#[derive(Debug, Clone, Default)]
+pub struct GcReport {
+    /// Blob ids deleted (referenced by no label and no `previous`).
+    pub removed: Vec<String>,
+    /// Blobs still referenced and kept.
+    pub kept: usize,
+}
+
+/// Result of a full-store verification walk.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Blobs whose checksum and decode were verified.
+    pub blobs_checked: usize,
+    /// Index references resolved.
+    pub refs_checked: usize,
+    /// Human-readable description of every problem found.
+    pub problems: Vec<String>,
+}
+
+impl FsckReport {
+    /// `true` when the walk found nothing wrong.
+    pub fn ok(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+/// Splits `name[@label]`, defaulting the label to [`DEFAULT_LABEL`].
+pub fn parse_ref(r: &str) -> (&str, &str) {
+    match r.split_once('@') {
+        Some((name, label)) => (name, label),
+        None => (r, DEFAULT_LABEL),
+    }
+}
+
+fn check_name(name: &str) -> Result<(), RegistryError> {
+    let ok = !name.is_empty()
+        && name.len() <= 200
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '/' | '_' | '.' | '-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(RegistryError::BadRef(format!(
+            "model name {name:?} (want [A-Za-z0-9/_.-]+)"
+        )))
+    }
+}
+
+fn check_label(label: &str) -> Result<(), RegistryError> {
+    let ok = !label.is_empty()
+        && label.len() <= 64
+        && label
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(RegistryError::BadRef(format!(
+            "label {label:?} (want [A-Za-z0-9_-]+)"
+        )))
+    }
+}
+
+fn blob_id(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(bytes))
+}
+
+/// A content-addressed artifact store rooted at a `.tfb-registry/`
+/// directory. Cheap to construct; every operation re-reads the index
+/// from disk, so concurrent publishers interleave at index-replacement
+/// granularity.
+pub struct Registry {
+    root: PathBuf,
+}
+
+impl Registry {
+    /// Opens (creating directories as needed) the registry at `root`.
+    pub fn open(root: &Path) -> Result<Registry, RegistryError> {
+        std::fs::create_dir_all(root.join("blobs"))?;
+        Ok(Registry {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// The registry's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the index document.
+    pub fn index_path(&self) -> PathBuf {
+        self.root.join("index.json")
+    }
+
+    /// Path a blob id resolves to.
+    pub fn blob_path(&self, blob: &str) -> PathBuf {
+        self.root.join("blobs").join(format!("{blob}.tfba"))
+    }
+
+    /// Reads and parses the index; a missing file is the empty index at
+    /// generation 0.
+    pub fn load_index(&self) -> Result<Index, RegistryError> {
+        let path = self.index_path();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Index::default()),
+            Err(e) => return Err(RegistryError::Io(e)),
+        };
+        parse_index(&text)
+    }
+
+    /// Serializes and atomically replaces the index (temp + rename).
+    fn write_index(&self, index: &Index) -> Result<(), RegistryError> {
+        let text = render_index(index);
+        let tmp = self
+            .root
+            .join(format!("index.json.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, self.index_path())?;
+        Ok(())
+    }
+
+    /// Publishes `bytes` as `name@label`: validates the artifact,
+    /// stores the blob under its content hash (deduplicated), and
+    /// atomically points the label at it.
+    pub fn publish_bytes(
+        &self,
+        name: &str,
+        label: &str,
+        bytes: &[u8],
+    ) -> Result<PublishOutcome, RegistryError> {
+        check_name(name)?;
+        check_label(label)?;
+        // Corrupt blobs never enter the store: full structural decode
+        // (including the codec's own checksum trailer) up front.
+        ModelArtifact::from_bytes(bytes)?;
+        let blob = blob_id(bytes);
+        let path = self.blob_path(&blob);
+        let deduplicated = path.exists();
+        if !deduplicated {
+            let tmp = self
+                .root
+                .join("blobs")
+                .join(format!(".{blob}.tmp.{}", std::process::id()));
+            std::fs::write(&tmp, bytes)?;
+            std::fs::rename(&tmp, &path)?;
+        }
+        let mut index = self.load_index()?;
+        let entry = index.models.entry(name.to_string()).or_default();
+        let replaced = entry.labels.insert(label.to_string(), blob.clone());
+        let replaced = replaced.filter(|old| *old != blob);
+        index.generation += 1;
+        self.write_index(&index)?;
+        tfb_obs::counter!("registry/publishes").add(1);
+        Ok(PublishOutcome {
+            blob,
+            generation: index.generation,
+            replaced,
+            deduplicated,
+        })
+    }
+
+    /// [`publish_bytes`](Registry::publish_bytes) from an artifact file.
+    pub fn publish_file(
+        &self,
+        name: &str,
+        label: &str,
+        path: &Path,
+    ) -> Result<PublishOutcome, RegistryError> {
+        let bytes = std::fs::read(path)?;
+        self.publish_bytes(name, label, &bytes)
+    }
+
+    /// Resolves `name@label` to its blob id and path.
+    pub fn resolve(&self, name: &str, label: &str) -> Result<(String, PathBuf), RegistryError> {
+        let index = self.load_index()?;
+        resolve_in(&index, name, label).map(|blob| {
+            let path = self.blob_path(&blob);
+            (blob, path)
+        })
+    }
+
+    /// Promotes `name@from` to `name@to` (canary → prod by default):
+    /// the `to` label takes the `from` blob, the displaced `to` blob is
+    /// remembered in `previous`, and the `from` label is cleared.
+    pub fn promote(&self, name: &str, from: &str, to: &str) -> Result<String, RegistryError> {
+        check_label(from)?;
+        check_label(to)?;
+        let mut index = self.load_index()?;
+        let entry = index
+            .models
+            .get_mut(name)
+            .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+        let candidate = entry
+            .labels
+            .remove(from)
+            .ok_or_else(|| RegistryError::UnknownLabel {
+                model: name.to_string(),
+                label: from.to_string(),
+            })?;
+        entry.previous = entry.labels.insert(to.to_string(), candidate.clone());
+        index.generation += 1;
+        self.write_index(&index)?;
+        tfb_obs::counter!("registry/promotions").add(1);
+        Ok(candidate)
+    }
+
+    /// Rolls `name@label` back to the blob the last promotion
+    /// displaced, swapping `previous` so a second rollback undoes the
+    /// first.
+    pub fn rollback(&self, name: &str, label: &str) -> Result<String, RegistryError> {
+        check_label(label)?;
+        let mut index = self.load_index()?;
+        let entry = index
+            .models
+            .get_mut(name)
+            .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+        let previous = entry.previous.take().ok_or_else(|| {
+            RegistryError::Corrupt(format!("model {name} has no previous blob to roll back to"))
+        })?;
+        entry.previous = entry.labels.insert(label.to_string(), previous.clone());
+        index.generation += 1;
+        self.write_index(&index)?;
+        tfb_obs::counter!("registry/rollbacks").add(1);
+        Ok(previous)
+    }
+
+    /// Deletes blobs referenced by no label and no `previous`.
+    pub fn gc(&self) -> Result<GcReport, RegistryError> {
+        let index = self.load_index()?;
+        let mut live = std::collections::BTreeSet::new();
+        for entry in index.models.values() {
+            live.extend(entry.labels.values().cloned());
+            live.extend(entry.previous.clone());
+        }
+        let mut report = GcReport::default();
+        for blob in self.list_blobs()? {
+            if live.contains(&blob) {
+                report.kept += 1;
+            } else {
+                std::fs::remove_file(self.blob_path(&blob))?;
+                report.removed.push(blob);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Walks the whole store: every blob's filename hash and embedded
+    /// checksum re-verified, every blob structurally decoded, every
+    /// index reference resolved. Returns the (possibly empty) problem
+    /// list; `tfb registry fsck` exits non-zero unless it is empty.
+    pub fn fsck(&self) -> Result<FsckReport, RegistryError> {
+        let mut report = FsckReport::default();
+        let index = self.load_index()?;
+        let blobs: std::collections::BTreeSet<String> = self.list_blobs()?.into_iter().collect();
+        for blob in &blobs {
+            report.blobs_checked += 1;
+            let bytes = match std::fs::read(self.blob_path(blob)) {
+                Ok(b) => b,
+                Err(e) => {
+                    report
+                        .problems
+                        .push(format!("blob {blob}: unreadable: {e}"));
+                    continue;
+                }
+            };
+            let actual = blob_id(&bytes);
+            if actual != *blob {
+                report.problems.push(format!(
+                    "blob {blob}: content hash mismatch (bytes hash to {actual})"
+                ));
+                // Don't also decode: the bytes are already known-bad.
+                continue;
+            }
+            if let Err(e) = ModelArtifact::from_bytes(&bytes) {
+                report.problems.push(format!("blob {blob}: {e}"));
+            }
+        }
+        for (name, entry) in &index.models {
+            for (label, blob) in &entry.labels {
+                report.refs_checked += 1;
+                if !blobs.contains(blob) {
+                    report
+                        .problems
+                        .push(format!("{name}@{label}: dangling blob {blob}"));
+                }
+            }
+            if let Some(prev) = &entry.previous {
+                report.refs_checked += 1;
+                if !blobs.contains(prev) {
+                    report
+                        .problems
+                        .push(format!("{name} previous: dangling blob {prev}"));
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    fn list_blobs(&self) -> Result<Vec<String>, RegistryError> {
+        let mut blobs = Vec::new();
+        for entry in std::fs::read_dir(self.root.join("blobs"))? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(stem) = name.strip_suffix(".tfba") {
+                if stem.len() == 16 && stem.chars().all(|c| c.is_ascii_hexdigit()) {
+                    blobs.push(stem.to_string());
+                }
+            }
+        }
+        blobs.sort();
+        Ok(blobs)
+    }
+}
+
+/// Resolves a ref inside an already-loaded index.
+pub fn resolve_in(index: &Index, name: &str, label: &str) -> Result<String, RegistryError> {
+    let entry = index
+        .models
+        .get(name)
+        .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+    entry
+        .labels
+        .get(label)
+        .cloned()
+        .ok_or_else(|| RegistryError::UnknownLabel {
+            model: name.to_string(),
+            label: label.to_string(),
+        })
+}
+
+fn render_index(index: &Index) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"generation\": {},", index.generation);
+    out.push_str("  \"models\": {");
+    for (mi, (name, entry)) in index.models.iter().enumerate() {
+        if mi > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_json_string(&mut out, name);
+        out.push_str(": {\"labels\": {");
+        for (li, (label, blob)) in entry.labels.iter().enumerate() {
+            if li > 0 {
+                out.push_str(", ");
+            }
+            push_json_string(&mut out, label);
+            out.push_str(": ");
+            push_json_string(&mut out, blob);
+        }
+        out.push('}');
+        if let Some(prev) = &entry.previous {
+            out.push_str(", \"previous\": ");
+            push_json_string(&mut out, prev);
+        }
+        out.push('}');
+    }
+    if !index.models.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn parse_index(text: &str) -> Result<Index, RegistryError> {
+    let doc =
+        JsonValue::parse(text).map_err(|e| RegistryError::Corrupt(format!("index.json: {e}")))?;
+    match doc.get("schema").and_then(|v| v.as_str()) {
+        Some(SCHEMA) => {}
+        Some(other) => {
+            return Err(RegistryError::Corrupt(format!(
+                "index.json schema {other:?}, this build reads {SCHEMA:?}"
+            )))
+        }
+        None => {
+            return Err(RegistryError::Corrupt(
+                "index.json has no schema field".to_string(),
+            ))
+        }
+    }
+    let generation = doc
+        .get("generation")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| RegistryError::Corrupt("index.json has no generation".to_string()))?
+        as u64;
+    let mut models = BTreeMap::new();
+    let entries = doc
+        .get("models")
+        .and_then(|v| v.as_object())
+        .ok_or_else(|| RegistryError::Corrupt("index.json has no models object".to_string()))?;
+    for (name, value) in entries {
+        let mut entry = ModelEntry::default();
+        let labels = value
+            .get("labels")
+            .and_then(|v| v.as_object())
+            .ok_or_else(|| RegistryError::Corrupt(format!("model {name} has no labels")))?;
+        for (label, blob) in labels {
+            let blob = blob.as_str().ok_or_else(|| {
+                RegistryError::Corrupt(format!("model {name} label {label}: blob not a string"))
+            })?;
+            entry.labels.insert(label.clone(), blob.to_string());
+        }
+        if let Some(prev) = value.get("previous") {
+            let prev = prev.as_str().ok_or_else(|| {
+                RegistryError::Corrupt(format!("model {name}: previous not a string"))
+            })?;
+            entry.previous = Some(prev.to_string());
+        }
+        models.insert(name.clone(), entry);
+    }
+    Ok(Index { generation, models })
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixture: a small trained LR artifact over the synthetic
+    //! ILI profile, parameterized by horizon so distinct-horizon
+    //! fixtures hash to distinct blobs.
+    use tfb_artifact::ModelArtifact;
+    use tfb_data::{ChronoSplit, Normalization, Normalizer};
+
+    pub fn trained_artifact(horizon: usize) -> ModelArtifact {
+        let profile = tfb_datagen::profile_by_name("ILI").expect("ILI profile");
+        let series = profile.generate(tfb_datagen::Scale::TINY);
+        let split = ChronoSplit::split(&series, profile.split).expect("split");
+        let norm = Normalizer::fit(&split.train, Normalization::ZScore);
+        let normed = norm.apply(&series).expect("normalize");
+        let train = normed.slice_rows(0..split.val_start);
+        tfb_artifact::fit("LR", &train, 16, horizon, norm, "test".to_string(), None).expect("fit")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact_bytes(horizon: usize) -> Vec<u8> {
+        crate::test_support::trained_artifact(horizon).to_bytes()
+    }
+
+    fn temp_registry(tag: &str) -> Registry {
+        let root = std::env::temp_dir().join(format!(
+            "tfb_registry_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        Registry::open(&root).expect("open registry")
+    }
+
+    #[test]
+    fn publish_resolve_round_trip_and_dedup() {
+        let reg = temp_registry("roundtrip");
+        let bytes = artifact_bytes(4);
+        let out = reg
+            .publish_bytes("ILI/LR/4", "prod", &bytes)
+            .expect("publish");
+        assert!(!out.deduplicated);
+        assert_eq!(out.generation, 1);
+        let (blob, path) = reg.resolve("ILI/LR/4", "prod").expect("resolve");
+        assert_eq!(blob, out.blob);
+        assert_eq!(std::fs::read(path).expect("blob"), bytes);
+        // Same bytes again: deduplicated, but the generation still bumps.
+        let again = reg
+            .publish_bytes("ILI/LR/4", "canary", &bytes)
+            .expect("publish");
+        assert!(again.deduplicated);
+        assert_eq!(again.blob, out.blob);
+        assert_eq!(reg.load_index().expect("index").generation, 2);
+        let _ = std::fs::remove_dir_all(reg.root());
+    }
+
+    #[test]
+    fn corrupt_bytes_never_enter_the_store() {
+        let reg = temp_registry("reject");
+        let mut bytes = artifact_bytes(4);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        let err = reg
+            .publish_bytes("ILI/LR/4", "prod", &bytes)
+            .expect_err("corrupt publish must fail");
+        assert!(matches!(err, RegistryError::Artifact(_)), "got {err:?}");
+        assert!(reg.load_index().expect("index").models.is_empty());
+        let _ = std::fs::remove_dir_all(reg.root());
+    }
+
+    #[test]
+    fn promote_rollback_state_machine() {
+        let reg = temp_registry("promote");
+        let v1 = artifact_bytes(4);
+        let v2 = artifact_bytes(8);
+        let p1 = reg.publish_bytes("m", "prod", &v1).expect("publish v1");
+        let p2 = reg.publish_bytes("m", "canary", &v2).expect("publish v2");
+        assert_ne!(p1.blob, p2.blob);
+
+        let promoted = reg.promote("m", "canary", "prod").expect("promote");
+        assert_eq!(promoted, p2.blob);
+        let index = reg.load_index().expect("index");
+        let entry = &index.models["m"];
+        assert_eq!(entry.labels.get("prod"), Some(&p2.blob));
+        assert!(!entry.labels.contains_key("canary"), "canary label cleared");
+        assert_eq!(entry.previous, Some(p1.blob.clone()));
+
+        let restored = reg.rollback("m", "prod").expect("rollback");
+        assert_eq!(restored, p1.blob);
+        let entry = &reg.load_index().expect("index").models["m"];
+        assert_eq!(entry.labels.get("prod"), Some(&p1.blob));
+        // previous now remembers v2, so rollback is its own inverse.
+        assert_eq!(entry.previous, Some(p2.blob.clone()));
+        let _ = std::fs::remove_dir_all(reg.root());
+    }
+
+    #[test]
+    fn gc_removes_only_unreferenced_blobs() {
+        let reg = temp_registry("gc");
+        let v1 = artifact_bytes(4);
+        let v2 = artifact_bytes(8);
+        let p1 = reg.publish_bytes("m", "prod", &v1).expect("publish");
+        let p2 = reg.publish_bytes("m", "prod", &v2).expect("publish");
+        // v1 is now unreferenced (prod moved, no previous recorded by
+        // publish), v2 is live.
+        let report = reg.gc().expect("gc");
+        assert_eq!(report.removed, vec![p1.blob.clone()]);
+        assert_eq!(report.kept, 1);
+        assert!(reg.blob_path(&p2.blob).exists());
+        assert!(!reg.blob_path(&p1.blob).exists());
+        let _ = std::fs::remove_dir_all(reg.root());
+    }
+
+    #[test]
+    fn fsck_detects_bit_rot_and_dangling_refs() {
+        let reg = temp_registry("fsck");
+        let bytes = artifact_bytes(4);
+        let out = reg.publish_bytes("m", "prod", &bytes).expect("publish");
+        assert!(reg.fsck().expect("fsck").ok(), "fresh store must be clean");
+
+        // Flip one byte in the blob: both the filename hash and the
+        // embedded checksum now disagree with the contents.
+        let path = reg.blob_path(&out.blob);
+        let mut rotted = std::fs::read(&path).expect("blob");
+        let mid = rotted.len() / 2;
+        rotted[mid] ^= 0x01;
+        std::fs::write(&path, rotted).expect("write");
+        let report = reg.fsck().expect("fsck");
+        assert!(!report.ok());
+        assert!(report.problems.iter().any(|p| p.contains("hash mismatch")));
+
+        // Remove the blob entirely: the index ref dangles.
+        std::fs::remove_file(&path).expect("remove");
+        let report = reg.fsck().expect("fsck");
+        assert!(report.problems.iter().any(|p| p.contains("dangling")));
+        let _ = std::fs::remove_dir_all(reg.root());
+    }
+
+    #[test]
+    fn index_round_trips_and_rejects_garbage() {
+        let mut index = Index {
+            generation: 7,
+            ..Default::default()
+        };
+        index.models.insert(
+            "ETTh1/LR/24".to_string(),
+            ModelEntry {
+                labels: BTreeMap::from([
+                    ("prod".to_string(), "00112233445566aa".to_string()),
+                    ("canary".to_string(), "ffeeddccbbaa9988".to_string()),
+                ]),
+                previous: Some("0123456789abcdef".to_string()),
+            },
+        );
+        let text = render_index(&index);
+        assert_eq!(parse_index(&text).expect("parse"), index);
+        assert!(parse_index("{}").is_err());
+        assert!(parse_index(
+            "{\"schema\": \"tfb-registry/v9\", \"generation\": 0, \"models\": {}}"
+        )
+        .is_err());
+        assert!(parse_index("not json").is_err());
+    }
+
+    #[test]
+    fn refs_parse_with_default_label() {
+        assert_eq!(parse_ref("a/b/24"), ("a/b/24", "prod"));
+        assert_eq!(parse_ref("a/b/24@canary"), ("a/b/24", "canary"));
+        assert!(check_name("ETTh1/LR/24").is_ok());
+        assert!(check_name("no spaces").is_err());
+        assert!(check_name("no@at").is_err());
+        assert!(check_label("prod").is_ok());
+        assert!(check_label("a/b").is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! Zero-copy artifact loading: memory-map the blob and decode the
+//! length-prefixed LE tensors straight out of the mapping, skipping the
+//! intermediate heap copy a buffered `fs::read` pays for.
+//!
+//! Safety argument, in full:
+//!
+//! * The only unsafe code is the `mmap`/`munmap` syscall wrapper (the
+//!   same direct-`extern "C"` idiom `tfb-serve` uses for `signal`) and
+//!   the `slice::from_raw_parts` over the mapping. The mapping is
+//!   `PROT_READ | MAP_PRIVATE`: the kernel hands us an immutable view,
+//!   writes from other processes to the underlying file cannot tear it
+//!   retroactively into this private mapping's already-faulted pages.
+//! * Registry blobs are immutable by construction — they are
+//!   content-addressed (`blobs/<fnv1a64>.tfba`), written to a temp name
+//!   and atomically renamed into place, and never rewritten — so the
+//!   pages backing a mapping never change for the blob's whole life.
+//!   Publishing a new model version writes a *different* blob and flips
+//!   the index, which is why hot-swap can never produce a torn read.
+//! * [`Mmap`] owns the mapping (`munmap` on drop), derefs to `&[u8]`,
+//!   and every byte the decoder touches goes through
+//!   [`ModelArtifact::from_bytes`]'s bounds-checked cursor with an
+//!   FNV-1a64 checksum trailer — a truncated or corrupted mapping is a
+//!   structured decode error, never UB.
+//!
+//! When mmap is unavailable (non-unix, empty file, or the syscall
+//! fails) the loader falls back to a buffered read. Both paths hand the
+//! identical byte slice to the identical decoder, so the resulting
+//! models — and every forecast they produce — are bit-identical; the
+//! tests at the bottom prove it.
+
+use std::path::Path;
+
+use tfb_artifact::{ArtifactError, ModelArtifact};
+
+/// A read-only private memory mapping of a whole file.
+#[cfg(unix)]
+pub struct Mmap {
+    ptr: std::ptr::NonNull<u8>,
+    len: usize,
+}
+
+// The mapping is immutable (PROT_READ) for its whole life, so sharing
+// it across threads is no different from sharing a `&[u8]`.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    //! Direct syscall bindings (no libc crate in a zero-dependency
+    //! build); the constants are the Linux/POSIX values.
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+#[cfg(unix)]
+impl Mmap {
+    /// Maps `file` (of size `len > 0`) read-only. Returns `None` when
+    /// the kernel refuses — the caller falls back to a buffered read.
+    fn map(file: &std::fs::File, len: usize) -> Option<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        // MAP_FAILED is (void*)-1.
+        if ptr.is_null() || ptr as usize == usize::MAX {
+            return None;
+        }
+        Some(Mmap {
+            ptr: std::ptr::NonNull::new(ptr.cast::<u8>())?,
+            len,
+        })
+    }
+}
+
+#[cfg(unix)]
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // The mapping is len bytes long, read-only, and lives until
+        // drop; the pages cannot change under us (see module docs).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        unsafe {
+            sys::munmap(self.ptr.as_ptr().cast(), self.len);
+        }
+    }
+}
+
+/// The bytes of an artifact file: memory-mapped when the platform
+/// cooperates, a plain heap buffer otherwise. Derefs to `&[u8]` either
+/// way — downstream code cannot tell (and must not care) which path
+/// produced it.
+pub enum ArtifactBytes {
+    /// Zero-copy view of the file's pages.
+    #[cfg(unix)]
+    Mapped(Mmap),
+    /// Buffered fallback (`fs::read`).
+    Buffered(Vec<u8>),
+}
+
+impl ArtifactBytes {
+    /// Whether the zero-copy path was taken (observability + tests).
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            #[cfg(unix)]
+            ArtifactBytes::Mapped(_) => true,
+            ArtifactBytes::Buffered(_) => false,
+        }
+    }
+}
+
+impl std::ops::Deref for ArtifactBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            ArtifactBytes::Mapped(m) => m,
+            ArtifactBytes::Buffered(v) => v,
+        }
+    }
+}
+
+/// Reads a whole file, preferring the zero-copy mapping. Empty files
+/// take the buffered path (a zero-length mmap is an error by spec).
+pub fn read_file(path: &Path) -> std::io::Result<ArtifactBytes> {
+    #[cfg(unix)]
+    {
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len > 0 {
+            if let Some(m) = Mmap::map(&file, len) {
+                // The fd can close here: POSIX keeps the mapping alive
+                // independently of the descriptor.
+                return Ok(ArtifactBytes::Mapped(m));
+            }
+        }
+        tfb_obs::counter!("registry/mmap_fallbacks").add(1);
+    }
+    Ok(ArtifactBytes::Buffered(std::fs::read(path)?))
+}
+
+/// Reads a whole file through the buffered path unconditionally — the
+/// bit-identity tests diff this against [`read_file`].
+pub fn read_file_buffered(path: &Path) -> std::io::Result<ArtifactBytes> {
+    Ok(ArtifactBytes::Buffered(std::fs::read(path)?))
+}
+
+/// Loads an artifact via the zero-copy path (buffered fallback),
+/// decoding the length-prefixed tensors in place over the mapping.
+/// Returns the artifact and whether the mapping was used.
+pub fn load_artifact(path: &Path) -> Result<(ModelArtifact, bool), ArtifactError> {
+    let bytes = read_file(path).map_err(ArtifactError::Io)?;
+    let artifact = ModelArtifact::from_bytes(&bytes)?;
+    Ok((artifact, bytes.is_mapped()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfb_artifact::ServableModel;
+
+    fn trained_artifact() -> ModelArtifact {
+        crate::test_support::trained_artifact(4)
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tfb_mmap_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn mapped_bytes_equal_buffered_bytes() {
+        let path = temp_path("bytes");
+        trained_artifact().save(&path).expect("save");
+        let mapped = read_file(&path).expect("read");
+        let buffered = read_file_buffered(&path).expect("read");
+        assert_eq!(&mapped[..], &buffered[..]);
+        #[cfg(unix)]
+        assert!(mapped.is_mapped(), "unix should take the mmap path");
+        assert!(!buffered.is_mapped());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapped_forecasts_bit_identical_to_buffered() {
+        let path = temp_path("forecast");
+        let artifact = trained_artifact();
+        artifact.save(&path).expect("save");
+
+        let (via_map, _) = load_artifact(&path).expect("mmap load");
+        let via_buf = ModelArtifact::from_bytes(&read_file_buffered(&path).expect("read"))
+            .expect("buffered decode");
+        assert_eq!(via_map.to_bytes(), via_buf.to_bytes(), "decode drifted");
+
+        let m1 = ServableModel::from_artifact(via_map).expect("servable");
+        let m2 = ServableModel::from_artifact(via_buf).expect("servable");
+        let window: Vec<f64> = (0..m1.lookback() * m1.dim())
+            .map(|i| (i as f64 * 0.37).sin() * 10.0)
+            .collect();
+        let f1 = m1.forecast(&window).expect("forecast");
+        let f2 = m2.forecast(&window).expect("forecast");
+        assert_eq!(f1.len(), f2.len());
+        for (a, b) in f1.iter().zip(&f2) {
+            assert_eq!(a.to_bits(), b.to_bits(), "forecast not bit-identical");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_mapping_is_a_structured_error() {
+        let path = temp_path("truncated");
+        let bytes = trained_artifact().to_bytes();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("write");
+        let err = load_artifact(&path).expect_err("truncated blob must not decode");
+        assert!(matches!(err, ArtifactError::Format(_)), "got {err:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_falls_back_and_errors_cleanly() {
+        let path = temp_path("empty");
+        std::fs::write(&path, b"").expect("write");
+        let bytes = read_file(&path).expect("read");
+        assert!(!bytes.is_mapped(), "empty file cannot be mapped");
+        assert!(ModelArtifact::from_bytes(&bytes).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

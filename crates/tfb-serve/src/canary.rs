@@ -1,0 +1,215 @@
+//! Shadow/canary mirroring: when a model has a `canary`-labeled
+//! candidate staged in the registry, every production forecast for that
+//! model is mirrored — window plus the forecast actually served — onto
+//! a bounded queue a single worker thread drains, running the candidate
+//! on the same window and accumulating per-model comparison stats.
+//!
+//! The mirror is strictly off the request path: production latency pays
+//! one `try_send` of an owned job; a full queue drops the sample (and
+//! counts `serve/canary/dropped`) rather than ever applying
+//! backpressure to live traffic. On drain the accumulated
+//! [`CanaryStats`] become two parallel obs manifests (baseline =
+//! production behavior, candidate = canary behavior on the identical
+//! traffic) that `tfb obs diff`/`gate` — and therefore
+//! `tfb registry promote` — can judge.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+use tfb_artifact::ServableModel;
+
+/// Mirror queue bound: live traffic beyond what the worker can absorb
+/// is sampled, not queued without limit.
+const QUEUE_CAP: usize = 256;
+
+/// One mirrored request.
+struct Job {
+    name: String,
+    model: Arc<ServableModel>,
+    window: Vec<f64>,
+    primary: Vec<f64>,
+}
+
+/// Per-model accumulator the worker folds mirrored traffic into.
+#[derive(Default)]
+struct Acc {
+    requests: u64,
+    errors: u64,
+    values: u64,
+    values_primary: u64,
+    values_canary: u64,
+    nan_primary: u64,
+    nan_canary: u64,
+    predict_ns: u64,
+    abs_primary: f64,
+    abs_canary: f64,
+    abs_delta: f64,
+    horizon: u64,
+    dim: u64,
+}
+
+/// What mirrored traffic measured for one model's canary, aggregated
+/// over the server's whole life.
+#[derive(Debug, Clone)]
+pub struct CanaryStats {
+    /// Model name the canary shadows.
+    pub model: String,
+    /// Mirrored requests the candidate answered (or failed).
+    pub requests: u64,
+    /// Candidate predict errors.
+    pub errors: u64,
+    /// Forecast values produced per request pair.
+    pub values: u64,
+    /// NaN values in the *production* forecasts (the baseline's health).
+    pub nan_primary: u64,
+    /// NaN values in the candidate's forecasts.
+    pub nan_canary: u64,
+    /// Candidate predict wall time, nanoseconds, summed.
+    pub predict_ns: u64,
+    /// Mean |value| of production forecasts.
+    pub mean_abs_primary: f64,
+    /// Mean |value| of candidate forecasts.
+    pub mean_abs_canary: f64,
+    /// Mean |candidate − production| per value — the drift the
+    /// promotion gate judges.
+    pub mean_abs_delta: f64,
+    /// Candidate horizon (manifest row key).
+    pub horizon: u64,
+    /// Candidate channel count.
+    pub dim: u64,
+}
+
+/// The sending half the request path sees, plus the worker that drains
+/// it. `finish` closes the queue, joins the worker, and returns the
+/// stats exactly once.
+pub(crate) struct CanaryHub {
+    tx: Mutex<Option<mpsc::SyncSender<Job>>>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+    stats: Arc<Mutex<BTreeMap<String, Acc>>>,
+    dropped: AtomicU64,
+}
+
+impl CanaryHub {
+    pub(crate) fn new() -> CanaryHub {
+        let (tx, rx) = mpsc::sync_channel::<Job>(QUEUE_CAP);
+        let stats: Arc<Mutex<BTreeMap<String, Acc>>> = Arc::new(Mutex::new(BTreeMap::new()));
+        let worker_stats = Arc::clone(&stats);
+        let worker = std::thread::Builder::new()
+            .name("tfb-serve-canary".to_string())
+            .spawn(move || worker_loop(rx, worker_stats))
+            .expect("spawn canary worker");
+        CanaryHub {
+            tx: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
+            stats,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Mirrors one production request. Never blocks: a full queue drops
+    /// the sample and counts it.
+    pub(crate) fn mirror(
+        &self,
+        name: &str,
+        model: Arc<ServableModel>,
+        window: &[f64],
+        primary: &[f64],
+    ) {
+        let job = Job {
+            name: name.to_string(),
+            model,
+            window: window.to_vec(),
+            primary: primary.to_vec(),
+        };
+        let sent = self
+            .tx
+            .lock()
+            .expect("canary sender poisoned")
+            .as_ref()
+            .map(|tx| tx.try_send(job).is_ok())
+            .unwrap_or(false);
+        if sent {
+            tfb_obs::counter!("serve/canary/mirrored").add(1);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            tfb_obs::counter!("serve/canary/dropped").add(1);
+        }
+    }
+
+    /// Mirrored requests dropped because the queue was full.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Closes the queue, drains the worker, and returns the per-model
+    /// stats (sorted by model name). Idempotent: later calls return
+    /// the same snapshot.
+    pub(crate) fn finish(&self) -> Vec<CanaryStats> {
+        // Dropping the only sender ends the worker's recv loop after it
+        // drains what is already queued.
+        *self.tx.lock().expect("canary sender poisoned") = None;
+        if let Some(worker) = self.worker.lock().expect("canary worker poisoned").take() {
+            let _ = worker.join();
+        }
+        let stats = self.stats.lock().expect("canary stats poisoned");
+        stats
+            .iter()
+            .map(|(name, a)| CanaryStats {
+                model: name.clone(),
+                requests: a.requests,
+                errors: a.errors,
+                values: a.values,
+                nan_primary: a.nan_primary,
+                nan_canary: a.nan_canary,
+                predict_ns: a.predict_ns,
+                mean_abs_primary: a.abs_primary / a.values_primary.max(1) as f64,
+                mean_abs_canary: a.abs_canary / a.values_canary.max(1) as f64,
+                mean_abs_delta: a.abs_delta / a.values.max(1) as f64,
+                horizon: a.horizon,
+                dim: a.dim,
+            })
+            .collect()
+    }
+}
+
+fn worker_loop(rx: mpsc::Receiver<Job>, stats: Arc<Mutex<BTreeMap<String, Acc>>>) {
+    let _profiled = tfb_obs::flight::profiler::register_thread("canary-mirror");
+    while let Ok(job) = rx.recv() {
+        let started = Instant::now();
+        let result = {
+            let _span = tfb_obs::span!("serve.canary");
+            job.model.forecast(&job.window)
+        };
+        let predict_ns = started.elapsed().as_nanos() as u64;
+        let mut stats = stats.lock().expect("canary stats poisoned");
+        let acc = stats.entry(job.name).or_default();
+        acc.requests += 1;
+        acc.predict_ns += predict_ns;
+        acc.horizon = job.model.horizon() as u64;
+        acc.dim = job.model.dim() as u64;
+        match result {
+            Ok(candidate) => {
+                // Compare positionally over the overlap: a canary with
+                // a different horizon still yields drift on the shared
+                // prefix, plus its own NaN/magnitude rows.
+                for (c, p) in candidate.iter().zip(&job.primary) {
+                    acc.abs_delta += (c - p).abs();
+                }
+                for p in &job.primary {
+                    acc.abs_primary += p.abs();
+                    acc.nan_primary += u64::from(p.is_nan());
+                }
+                for c in &candidate {
+                    acc.abs_canary += c.abs();
+                    acc.nan_canary += u64::from(c.is_nan());
+                }
+                acc.values += candidate.len().min(job.primary.len()) as u64;
+                acc.values_primary += job.primary.len() as u64;
+                acc.values_canary += candidate.len() as u64;
+            }
+            Err(_) => acc.errors += 1,
+        }
+    }
+}

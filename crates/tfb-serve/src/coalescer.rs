@@ -178,13 +178,26 @@ pub struct BatchOutcome {
     pub shard: usize,
 }
 
-/// One queued request: its window, the channel its forecast returns on,
-/// and its arrival time — read unconditionally, because the deadline
-/// close is driven by request age, not a timer.
+/// One queued request: its window, the model that must answer it, the
+/// channel its forecast returns on, and its arrival time — read
+/// unconditionally, because the deadline close is driven by request
+/// age, not a timer.
+///
+/// `key` identifies the model instance (the `Arc`'s address): a batch
+/// only ever carries requests with one key, because one `predict_batch`
+/// call runs one model. Single-model serving therefore batches exactly
+/// as before; fleet serving partitions each drain by model.
 struct Pending {
     window: Vec<f64>,
+    model: Arc<dyn BatchPredictor>,
+    key: usize,
     reply: mpsc::Sender<Result<BatchOutcome, String>>,
     arrived: Instant,
+}
+
+/// The per-instance batching key of a model handle.
+fn model_key(model: &Arc<dyn BatchPredictor>) -> usize {
+    Arc::as_ptr(model) as *const () as usize
 }
 
 struct ShardState {
@@ -248,6 +261,9 @@ struct Inner {
 /// batches, stealing across shards when its own queue is empty.
 pub struct Coalescer {
     inner: Arc<Inner>,
+    /// The model `submit`/`submit_to` route to; `submit_model` routes
+    /// per-request instead.
+    default: Arc<dyn BatchPredictor>,
     input_len: usize,
     round_robin: AtomicUsize,
     batchers: Vec<std::thread::JoinHandle<()>>,
@@ -279,15 +295,15 @@ impl Coalescer {
         let batchers = (0..shards)
             .map(|i| {
                 let worker_inner = Arc::clone(&inner);
-                let worker_predictor = Arc::clone(&predictor);
                 std::thread::Builder::new()
                     .name(format!("tfb-serve-shard{i}"))
-                    .spawn(move || batcher_loop(worker_inner, worker_predictor, i))
+                    .spawn(move || batcher_loop(worker_inner, i))
                     .expect("spawn batcher thread")
             })
             .collect();
         Coalescer {
             inner,
+            default: predictor,
             input_len,
             round_robin: AtomicUsize::new(0),
             batchers,
@@ -325,6 +341,36 @@ impl Coalescer {
                 expected: self.input_len,
             });
         }
+        let model = Arc::clone(&self.default);
+        self.enqueue(shard, model, window)
+    }
+
+    /// [`submit_to`](Coalescer::submit_to) routed to a specific model —
+    /// the fleet server's per-request path. The window is validated
+    /// against *that* model's geometry, and the batcher only ever
+    /// groups it with co-travelers bound for the same model instance.
+    pub fn submit_model(
+        &self,
+        shard: usize,
+        model: Arc<dyn BatchPredictor>,
+        window: Vec<f64>,
+    ) -> Result<mpsc::Receiver<Result<BatchOutcome, String>>, SubmitError> {
+        if window.len() != model.input_len() {
+            return Err(SubmitError::BadWindow {
+                got: window.len(),
+                expected: model.input_len(),
+            });
+        }
+        self.enqueue(shard, model, window)
+    }
+
+    fn enqueue(
+        &self,
+        shard: usize,
+        model: Arc<dyn BatchPredictor>,
+        window: Vec<f64>,
+    ) -> Result<mpsc::Receiver<Result<BatchOutcome, String>>, SubmitError> {
+        let key = model_key(&model);
         let shard = &self.inner.shards[shard % self.shards()];
         let (reply, rx) = mpsc::channel();
         let arrived = Instant::now();
@@ -344,6 +390,8 @@ impl Coalescer {
             }
             state.queue.push_back(Pending {
                 window,
+                model,
+                key,
                 reply,
                 arrived,
             });
@@ -455,7 +503,7 @@ fn steal_from_siblings(inner: &Inner, own: usize) -> Vec<Pending> {
     Vec::new()
 }
 
-fn batcher_loop(inner: Arc<Inner>, predictor: Arc<dyn BatchPredictor>, shard_idx: usize) {
+fn batcher_loop(inner: Arc<Inner>, shard_idx: usize) {
     let cfg = &inner.cfg;
     // Registered for the sampling profiler: the batcher's `serve.batch`
     // spans become its sampled stack.
@@ -512,14 +560,28 @@ fn batcher_loop(inner: Arc<Inner>, predictor: Arc<dyn BatchPredictor>, shard_idx
                     break;
                 }
             }
-            let take = state.queue.len().min(cfg.max_batch);
-            let batch = state.queue.drain(..take).collect::<Vec<Pending>>();
+            // One batch = one model: take the oldest request's key and
+            // drain every queued co-traveler bound for the same model
+            // instance, preserving FIFO order among the rest. A mixed
+            // queue therefore drains per-model oldest-first, and a
+            // request is never grouped into another model's forward
+            // pass.
+            let key = state.queue.front().expect("non-empty queue").key;
+            let mut batch = Vec::new();
+            let mut i = 0;
+            while i < state.queue.len() && batch.len() < cfg.max_batch {
+                if state.queue[i].key == key {
+                    batch.push(state.queue.remove(i).expect("index in bounds"));
+                } else {
+                    i += 1;
+                }
+            }
             shard.metrics.depth.set(state.queue.len() as f64);
             tfb_obs::gauge!("serve/queue_depth").set(state.queue.len() as f64);
             (batch, opened)
         };
         // Predict outside the lock so submitters never wait on the model.
-        run_batch(&inner, shard_idx, &*predictor, batch, opened);
+        run_batch(&inner, shard_idx, batch, opened);
     }
 }
 
@@ -528,16 +590,14 @@ fn batcher_loop(inner: Arc<Inner>, predictor: Arc<dyn BatchPredictor>, shard_idx
 /// what the Perfetto exporter keys its flow arrows on.
 static BATCH_SEQ: AtomicU64 = AtomicU64::new(0);
 
-fn run_batch(
-    inner: &Inner,
-    shard_idx: usize,
-    predictor: &dyn BatchPredictor,
-    batch: Vec<Pending>,
-    opened: Instant,
-) {
+fn run_batch(inner: &Inner, shard_idx: usize, batch: Vec<Pending>, opened: Instant) {
     if batch.is_empty() {
         return;
     }
+    // Every request in the batch carries the same model (same key), so
+    // the first one's handle drives the whole forward pass.
+    let predictor = Arc::clone(&batch[0].model);
+    let predictor = &*predictor;
     let n = batch.len();
     let max_batch = inner.cfg.max_batch;
     let shard = &inner.shards[shard_idx];

@@ -19,17 +19,30 @@
 //! OpenMetrics text exposition (`GET /metrics.json` keeps the raw JSON
 //! snapshot).
 //!
+//! Fleet serving: `POST /v1/forecast/{name[@label]}` routes each
+//! request to a model resolved through a [`tfb_registry::Fleet`] — an
+//! LRU of resident models over the content-addressed registry, with
+//! mmap zero-copy cold loads, hot swap on publish, and shadow/canary
+//! mirroring ([`canary`]) whose drain-time stats feed the
+//! `tfb registry promote` gate. The coalescer batches per model
+//! instance, so multi-tenant traffic still funnels through
+//! `predict_batch` without ever mixing models in one forward pass.
+//! `tfb serve --model` materializes a one-entry in-memory fleet, so the
+//! single-model surface is unchanged.
+//!
 //! The crate is buildable with obs recording off
 //! (`--no-default-features` at the binary): every probe compiles to a
 //! zero-sized no-op and `/metrics` returns an empty-but-valid
 //! exposition.
 
+pub mod canary;
 pub mod coalescer;
 pub mod http;
 pub mod server;
 
+pub use canary::CanaryStats;
 pub use coalescer::{BatchOutcome, BatchPredictor, Coalescer, CoalescerConfig, SubmitError};
 pub use server::{
-    install_signal_handlers, serve, serve_with, signal_received, ModelInfo, ServerConfig,
-    ServerHandle,
+    install_signal_handlers, serve, serve_fleet, serve_with, signal_received, DrainReport,
+    ModelInfo, ServerConfig, ServerHandle,
 };

@@ -56,8 +56,10 @@ use std::time::{Duration, Instant};
 use tfb_artifact::ServableModel;
 use tfb_json::JsonValue;
 use tfb_obs::trace::{Phase, RequestTrace, TraceStatus};
+use tfb_registry::{Fleet, FleetError};
 
-use crate::coalescer::{Coalescer, CoalescerConfig, SubmitError};
+use crate::canary::{CanaryHub, CanaryStats};
+use crate::coalescer::{BatchPredictor, Coalescer, CoalescerConfig, SubmitError};
 use crate::http::{self, ReadOutcome, Request, Response};
 
 /// Server tuning knobs.
@@ -103,10 +105,54 @@ impl ModelInfo {
     }
 }
 
+/// What a drained server hands back: everything only known once the
+/// last request is answered.
+#[derive(Debug, Default)]
+pub struct DrainReport {
+    /// Per-model canary comparison stats from mirrored traffic (empty
+    /// when no canary was staged or no registry is attached).
+    pub canary: Vec<CanaryStats>,
+    /// Mirrored requests dropped because the canary queue was full.
+    pub canary_dropped: u64,
+}
+
 struct ServerCtx {
-    info: ModelInfo,
+    /// Geometry of the default model, when one exists (healthz + the
+    /// legacy `/forecast` response shape).
+    info: Option<ModelInfo>,
+    /// The model `/forecast` routes to; fleet-only servers with no
+    /// unambiguous default answer 404 there instead.
+    default: Option<Arc<dyn BatchPredictor>>,
+    /// Fleet name of the default model (canary mirroring on `/forecast`).
+    default_name: Option<String>,
+    /// The routable fleet behind `/v1/forecast/{model}`.
+    fleet: Option<Arc<Fleet>>,
+    /// Mirror queue + worker, armed when a registry backs the fleet.
+    canary: Option<CanaryHub>,
     coalescer: Coalescer,
     shutdown: AtomicBool,
+}
+
+/// The stand-in predictor when a fleet has no unambiguous default
+/// model: `/forecast` 404s before ever submitting, so this only gives
+/// the coalescer something to hold.
+struct NoDefault;
+
+impl BatchPredictor for NoDefault {
+    fn input_len(&self) -> usize {
+        0
+    }
+
+    fn output_len(&self) -> usize {
+        0
+    }
+
+    fn predict_batch(
+        &self,
+        _windows: &tfb_math::matrix::Matrix,
+    ) -> Result<tfb_math::matrix::Matrix, String> {
+        Err("no default model".to_string())
+    }
 }
 
 /// A running server. Dropping the handle without calling
@@ -145,22 +191,36 @@ impl ServerHandle {
         self.ctx.shutdown.load(Ordering::SeqCst)
     }
 
+    /// The fleet behind the server, when one is attached (always, for
+    /// servers built via [`serve`] or [`serve_fleet`]).
+    pub fn fleet(&self) -> Option<&Arc<Fleet>> {
+        self.ctx.fleet.as_ref()
+    }
+
     /// Requests a drain and blocks until every accept loop, every
-    /// connection handler and the coalescer have finished.
-    pub fn shutdown(mut self) {
+    /// connection handler and the canary mirror have finished, then
+    /// reports what only a drained server knows.
+    pub fn shutdown(mut self) -> DrainReport {
         self.request_shutdown();
         for handle in self.accepts.drain(..) {
             let _ = handle.join();
+        }
+        match &self.ctx.canary {
+            Some(hub) => DrainReport {
+                canary: hub.finish(),
+                canary_dropped: hub.dropped(),
+            },
+            None => DrainReport::default(),
         }
     }
 
     /// Blocks until a drain is requested elsewhere (`POST /shutdown` or
     /// a signal observed via `poll`), then drains.
-    pub fn run_until<F: FnMut() -> bool>(self, mut poll: F) {
+    pub fn run_until<F: FnMut() -> bool>(self, mut poll: F) -> DrainReport {
         while !self.shutdown_requested() && !poll() {
             std::thread::sleep(Duration::from_millis(50));
         }
-        self.shutdown();
+        self.shutdown()
     }
 }
 
@@ -173,27 +233,66 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds, spawns the accept loops, and returns immediately.
+/// Binds, spawns the accept loops, and returns immediately. The single
+/// model is materialized as a one-entry in-memory fleet addressable as
+/// `/v1/forecast/<method>` (and as the `/forecast` default).
 pub fn serve(model: ServableModel, config: ServerConfig) -> std::io::Result<ServerHandle> {
-    let info = ModelInfo::of(&model);
-    serve_with(Arc::new(model), info, config)
+    let name = model.method().to_string();
+    serve_fleet(Arc::new(Fleet::single(&name, model)), config)
 }
 
 /// [`serve`] over any [`BatchPredictor`](crate::coalescer::BatchPredictor)
 /// — the seam integration tests use to drive the HTTP surface with
-/// controlled (e.g. slow) models.
+/// controlled (e.g. slow) models. No fleet is attached: only the
+/// legacy single-model endpoints exist.
 pub fn serve_with(
     predictor: Arc<dyn crate::coalescer::BatchPredictor>,
     info: ModelInfo,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
+    serve_inner(predictor, Some(info), None, None, None, config)
+}
+
+/// [`serve`] over a whole [`Fleet`]: `/v1/forecast/{model}` routes per
+/// request, `/forecast` serves the fleet's default model when there is
+/// an unambiguous one, and canary mirroring is armed when a registry
+/// backs the fleet.
+pub fn serve_fleet(fleet: Arc<Fleet>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let default = fleet
+        .default_ref()
+        .and_then(|(name, label)| fleet.get(&name, &label).ok().map(|m| (name, m)));
+    let (default_name, info, predictor): (
+        Option<String>,
+        Option<ModelInfo>,
+        Arc<dyn BatchPredictor>,
+    ) = match default {
+        Some((name, m)) => (Some(name), Some(ModelInfo::of(&m)), m),
+        None => (None, None, Arc::new(NoDefault)),
+    };
+    let canary = fleet.has_registry().then(CanaryHub::new);
+    serve_inner(predictor, info, default_name, Some(fleet), canary, config)
+}
+
+fn serve_inner(
+    predictor: Arc<dyn BatchPredictor>,
+    info: Option<ModelInfo>,
+    default_name: Option<String>,
+    fleet: Option<Arc<Fleet>>,
+    canary: Option<CanaryHub>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    let coalescer = Coalescer::start(predictor, config.coalescer);
+    let has_default = info.is_some();
+    let coalescer = Coalescer::start(Arc::clone(&predictor), config.coalescer);
     let shards = coalescer.shards();
     let ctx = Arc::new(ServerCtx {
         info,
+        default: has_default.then_some(predictor),
+        default_name,
+        fleet,
+        canary,
         coalescer,
         shutdown: AtomicBool::new(false),
     });
@@ -318,6 +417,7 @@ fn route(
     trace: &mut RequestTrace,
     resp: &mut Response,
 ) {
+    const MODEL_ROUTE: &str = "/v1/forecast/";
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/forecast") => forecast(req, ctx, shard, trace, resp),
         ("GET", "/healthz") => healthz(ctx, resp),
@@ -331,6 +431,10 @@ fn route(
             resp.set_json(200);
             resp.body.push_str("{\"status\": \"draining\"}\n");
         }
+        ("POST", path) if path.len() > MODEL_ROUTE.len() && path.starts_with(MODEL_ROUTE) => {
+            forecast_model(req, ctx, shard, trace, resp, &path[MODEL_ROUTE.len()..])
+        }
+        (_, path) if path.starts_with(MODEL_ROUTE) => resp.set_error(405, "use POST"),
         (_, "/forecast") | (_, "/shutdown") => resp.set_error(405, "use POST"),
         (_, "/healthz") | (_, "/metrics") | (_, "/metrics.json") => resp.set_error(405, "use GET"),
         _ => resp.set_error(404, "unknown path"),
@@ -339,23 +443,115 @@ fn route(
 
 fn healthz(ctx: &ServerCtx, resp: &mut Response) {
     use std::fmt::Write as _;
-    let m = &ctx.info;
+    let models = ctx
+        .fleet
+        .as_ref()
+        .map(|f| f.names().len())
+        .unwrap_or(usize::from(ctx.info.is_some()));
     resp.set_json(200);
-    resp.body.push_str("{\"status\": \"ok\", \"method\": ");
-    http::json_escape(&mut resp.body, &m.method);
-    let _ = writeln!(
-        resp.body,
-        ", \"lookback\": {}, \"horizon\": {}, \"dim\": {}}}",
-        m.lookback, m.horizon, m.dim
-    );
+    match &ctx.info {
+        Some(m) => {
+            resp.body.push_str("{\"status\": \"ok\", \"method\": ");
+            http::json_escape(&mut resp.body, &m.method);
+            let _ = writeln!(
+                resp.body,
+                ", \"lookback\": {}, \"horizon\": {}, \"dim\": {}, \"models\": {models}}}",
+                m.lookback, m.horizon, m.dim
+            );
+        }
+        None => {
+            let _ = writeln!(resp.body, "{{\"status\": \"ok\", \"models\": {models}}}");
+        }
+    }
 }
 
+/// The legacy single-model endpoint: routes to the fleet's default.
 fn forecast(
     req: &Request,
     ctx: &ServerCtx,
     shard: usize,
     trace: &mut RequestTrace,
     resp: &mut Response,
+) {
+    let (Some(model), Some(info)) = (&ctx.default, &ctx.info) else {
+        return resp.set_error(404, "no default model; use /v1/forecast/{model}");
+    };
+    let canary = canary_for(ctx, ctx.default_name.as_deref());
+    run_forecast(
+        req,
+        ctx,
+        shard,
+        trace,
+        resp,
+        Arc::clone(model),
+        info,
+        None,
+        canary,
+    );
+}
+
+/// The per-request routing endpoint: `POST /v1/forecast/{name[@label]}`
+/// resolves through the fleet's LRU (cold-loading via mmap on a miss).
+fn forecast_model(
+    req: &Request,
+    ctx: &ServerCtx,
+    shard: usize,
+    trace: &mut RequestTrace,
+    resp: &mut Response,
+    model_ref: &str,
+) {
+    let Some(fleet) = &ctx.fleet else {
+        return resp.set_error(404, "no model registry attached");
+    };
+    let (name, label) = tfb_registry::parse_ref(model_ref);
+    match fleet.get(name, label) {
+        Ok(model) => {
+            fleet.request_counter(name).add(1);
+            let info = ModelInfo::of(&model);
+            // Mirror production traffic only: explicitly addressing the
+            // canary label must not mirror onto itself.
+            let canary = if label == tfb_registry::DEFAULT_LABEL {
+                canary_for(ctx, Some(name))
+            } else {
+                None
+            };
+            let routed = format!("{name}@{label}");
+            run_forecast(
+                req,
+                ctx,
+                shard,
+                trace,
+                resp,
+                model as Arc<dyn BatchPredictor>,
+                &info,
+                Some(&routed),
+                canary,
+            );
+        }
+        Err(e @ FleetError::UnknownModel(_)) => resp.set_error(404, &e.to_string()),
+        Err(e) => resp.set_error(500, &e.to_string()),
+    }
+}
+
+/// The staged canary for `name`, when mirroring is armed and one exists.
+fn canary_for(ctx: &ServerCtx, name: Option<&str>) -> Option<(String, Arc<ServableModel>)> {
+    let name = name?;
+    ctx.canary.as_ref()?;
+    let fleet = ctx.fleet.as_ref()?;
+    fleet.canary(name).map(|m| (name.to_string(), m))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_forecast(
+    req: &Request,
+    ctx: &ServerCtx,
+    shard: usize,
+    trace: &mut RequestTrace,
+    resp: &mut Response,
+    model: Arc<dyn BatchPredictor>,
+    info: &ModelInfo,
+    routed: Option<&str>,
+    canary: Option<(String, Arc<ServableModel>)>,
 ) {
     use std::fmt::Write as _;
     let Ok(text) = std::str::from_utf8(&req.body) else {
@@ -382,7 +578,9 @@ fn forecast(
         }
     }
     trace.mark(Phase::Parse);
-    let rx = match ctx.coalescer.submit_to(shard, window) {
+    // Clone the window only when a canary will actually mirror it.
+    let mirror_window = canary.as_ref().map(|_| window.clone());
+    let rx = match ctx.coalescer.submit_model(shard, model, window) {
         Ok(rx) => rx,
         Err(SubmitError::QueueFull) => {
             resp.set_error(429, "request queue is full, retry shortly");
@@ -401,17 +599,27 @@ fn forecast(
                 out.batch_id,
                 out.batch_size as u64,
             );
+            if let (Some((name, candidate)), Some(hub), Some(w)) =
+                (canary, &ctx.canary, &mirror_window)
+            {
+                hub.mirror(&name, candidate, w, &out.forecast);
+            }
             // Serialized straight into the reused body buffer, in the
             // exact byte format `JsonValue::compact` would produce.
-            let m = &ctx.info;
             resp.set_json(200);
             let b = &mut resp.body;
-            b.push_str("{\"method\":");
-            http::json_escape(b, &m.method);
+            b.push('{');
+            if let Some(routed) = routed {
+                b.push_str("\"model\":");
+                http::json_escape(b, routed);
+                b.push(',');
+            }
+            b.push_str("\"method\":");
+            http::json_escape(b, &info.method);
             let _ = write!(
                 b,
                 ",\"horizon\":{},\"dim\":{},\"forecast\":[",
-                m.horizon, m.dim
+                info.horizon, info.dim
             );
             for (i, v) in out.forecast.iter().enumerate() {
                 if i > 0 {

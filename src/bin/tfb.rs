@@ -18,7 +18,13 @@
 //! tfb obs validate-metrics FILE                     check an OpenMetrics exposition
 //! tfb train --method M --dataset D --out MODEL.tfba
 //!                                                   fit and save a model artifact
+//! tfb registry publish MODEL.tfba --name NAME       checksum + store an artifact
+//! tfb registry ls|gc|fsck                           inspect / clean / verify
+//! tfb registry promote NAME [--baseline A --candidate B]
+//!                                                   gate canary → prod
+//! tfb registry rollback NAME                        restore the displaced blob
 //! tfb serve --model MODEL.tfba [--addr HOST:PORT]   serve forecasts over HTTP
+//! tfb serve --registry DIR [--resident-cap N]       serve a whole model fleet
 //! tfb datasets                                      list the dataset registry
 //! tfb methods                                       list the method registry
 //! tfb characterize <dataset> [--max-len N]          score one dataset
@@ -62,9 +68,17 @@ const USAGE: &str = "usage: tfb <command>
   obs validate-metrics FILE
   train --method M --dataset D --out MODEL.tfba [--lookback N] [--horizon N]
         [--norm ZScore|MinMax|None] [--max-len N] [--max-dim N] [--epochs N]
-  serve --model MODEL.tfba [--addr HOST:PORT] [--shards N]
-        [--batch-max N] [--budget-us N] [--queue-cap N] [--out DIR]
-        [--slo-ms MS] [--slo-objective Q] [--profile-hz HZ]
+  registry publish MODEL.tfba --name NAME [--label prod] [--registry DIR]
+  registry ls [--registry DIR]
+  registry gc [--registry DIR]
+  registry fsck [--registry DIR]
+  registry promote NAME [--from canary] [--to prod] [--registry DIR]
+           [--baseline SEL --candidate SEL] [--tol-pct P] [--force]
+           [--history DIR|none]
+  registry rollback NAME [--label prod] [--registry DIR]
+  serve --model MODEL.tfba | --registry DIR [--addr HOST:PORT] [--shards N]
+        [--resident-cap N] [--batch-max N] [--budget-us N] [--queue-cap N]
+        [--out DIR] [--slo-ms MS] [--slo-objective Q] [--profile-hz HZ]
         [--history DIR|none]
   datasets
   methods
@@ -78,6 +92,7 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("obs") => cmd_obs(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
+        Some("registry") => cmd_registry(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("datasets") => cmd_datasets(),
         Some("methods") => cmd_methods(),
@@ -1236,9 +1251,383 @@ fn cmd_train(args: &[String]) -> ExitCode {
 /// `tfb obs export-trace` for a Perfetto view. `--slo-ms` /
 /// `--slo-objective` set the latency SLO the burn-rate gauges on
 /// `GET /metrics` track (default 50 ms at p99).
+/// Resolves the registry root: `--registry DIR`, then `TFB_REGISTRY`,
+/// then `.tfb-registry` — the same precedence the history root uses.
+fn registry_store_root(args: &[String]) -> PathBuf {
+    PathBuf::from(
+        flag_value(args, "--registry")
+            .or_else(|| std::env::var("TFB_REGISTRY").ok())
+            .unwrap_or_else(|| ".tfb-registry".to_string()),
+    )
+}
+
+fn open_registry(args: &[String]) -> Result<tfb::registry::Registry, ExitCode> {
+    let root = registry_store_root(args);
+    tfb::registry::Registry::open(&root).map_err(|e| {
+        eprintln!("tfb registry: cannot open {}: {e}", root.display());
+        ExitCode::FAILURE
+    })
+}
+
+/// `tfb registry`: the content-addressed model store. `publish` is the
+/// only way bytes get in (validated, checksummed, deduplicated);
+/// `promote`/`rollback` drive the canary label state machine; `fsck`
+/// re-verifies every blob end to end and exits non-zero on corruption.
+fn cmd_registry(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("publish") => cmd_registry_publish(&args[1..]),
+        Some("ls") => cmd_registry_ls(&args[1..]),
+        Some("gc") => cmd_registry_gc(&args[1..]),
+        Some("fsck") => cmd_registry_fsck(&args[1..]),
+        Some("promote") => cmd_registry_promote(&args[1..]),
+        Some("rollback") => cmd_registry_rollback(&args[1..]),
+        _ => {
+            eprintln!("usage: tfb registry publish|ls|gc|fsck|promote|rollback [--registry DIR]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_registry_publish(args: &[String]) -> ExitCode {
+    let pos = positionals(args);
+    let [artifact_path] = pos.as_slice() else {
+        eprintln!("tfb registry publish: expected exactly one MODEL.tfba path");
+        return ExitCode::FAILURE;
+    };
+    let Some(name) = flag_value(args, "--name") else {
+        eprintln!("tfb registry publish: missing --name NAME");
+        return ExitCode::FAILURE;
+    };
+    let label =
+        flag_value(args, "--label").unwrap_or_else(|| tfb::registry::DEFAULT_LABEL.to_string());
+    let registry = match open_registry(args) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    match registry.publish_file(&name, &label, Path::new(artifact_path)) {
+        Ok(out) => {
+            let dedup = if out.deduplicated {
+                " (blob already stored)"
+            } else {
+                ""
+            };
+            println!(
+                "published {name}@{label} -> {} (generation {}){dedup}",
+                out.blob, out.generation
+            );
+            if let Some(old) = out.replaced {
+                println!("  replaced {old}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tfb registry publish: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_registry_ls(args: &[String]) -> ExitCode {
+    let registry = match open_registry(args) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let index = match registry.load_index() {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("tfb registry ls: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{} (generation {}, {} model(s))",
+        registry.root().display(),
+        index.generation,
+        index.models.len()
+    );
+    for (name, entry) in &index.models {
+        for (label, blob) in &entry.labels {
+            let size = std::fs::metadata(registry.blob_path(blob))
+                .map(|m| format!("{} B", m.len()))
+                .unwrap_or_else(|_| "missing".to_string());
+            println!("  {name}@{label}  {blob}  {size}");
+        }
+        if let Some(prev) = &entry.previous {
+            println!("  {name}  previous: {prev}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_registry_gc(args: &[String]) -> ExitCode {
+    let registry = match open_registry(args) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    match registry.gc() {
+        Ok(report) => {
+            println!(
+                "gc: removed {} blob(s), kept {}",
+                report.removed.len(),
+                report.kept
+            );
+            for blob in &report.removed {
+                println!("  removed {blob}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tfb registry gc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_registry_fsck(args: &[String]) -> ExitCode {
+    let registry = match open_registry(args) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    match registry.fsck() {
+        Ok(report) => {
+            println!(
+                "fsck: {} blob(s) verified, {} reference(s) checked",
+                report.blobs_checked, report.refs_checked
+            );
+            if report.ok() {
+                println!("fsck: OK");
+                ExitCode::SUCCESS
+            } else {
+                for p in &report.problems {
+                    eprintln!("  CORRUPT {p}");
+                }
+                eprintln!("fsck: {} problem(s)", report.problems.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("tfb registry fsck: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `tfb registry promote`: flip `NAME@--from` (canary by default) to
+/// `NAME@--to` (prod). When `--baseline` and `--candidate` manifests are
+/// given — the pair a canary-mirroring serve session writes on drain —
+/// the same noise-aware gate as `tfb obs gate` judges the candidate
+/// first, plus an explicit NaN check; the label only flips on a pass
+/// (or `--force`).
+fn cmd_registry_promote(args: &[String]) -> ExitCode {
+    let pos = positionals(args);
+    let [name] = pos.as_slice() else {
+        eprintln!("tfb registry promote: expected exactly one model NAME");
+        return ExitCode::FAILURE;
+    };
+    let from =
+        flag_value(args, "--from").unwrap_or_else(|| tfb::registry::CANARY_LABEL.to_string());
+    let to = flag_value(args, "--to").unwrap_or_else(|| tfb::registry::DEFAULT_LABEL.to_string());
+    let force = args.iter().any(|a| a == "--force");
+    let baseline_sel = flag_value(args, "--baseline");
+    let candidate_sel = flag_value(args, "--candidate");
+    if baseline_sel.is_some() != candidate_sel.is_some() {
+        eprintln!("tfb registry promote: --baseline and --candidate must be given together");
+        return ExitCode::FAILURE;
+    }
+    if let (Some(base_sel), Some(cand_sel)) = (&baseline_sel, &candidate_sel) {
+        let tol_pct: f64 = flag_value(args, "--tol-pct")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10.0);
+        let mut hist: Option<RunHistory> = None;
+        let (baseline, _) = match load_manifest_arg(args, &mut hist, base_sel) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("tfb registry promote: baseline: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (candidate, _) = match load_manifest_arg(args, &mut hist, cand_sel) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("tfb registry promote: candidate: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // NaN values in the candidate's mirrored forecasts are an
+        // automatic veto: a tolerance-percent gate cannot see them
+        // (NaN breaks every comparison it touches).
+        let candidate_nans: f64 = candidate
+            .metrics
+            .iter()
+            .filter(|row| row.name.contains("nan"))
+            .map(|row| row.value)
+            .sum();
+        let nan_veto = candidate_nans > 0.0 || !candidate.health.nan_cells.is_empty();
+        let tol = GateTolerances {
+            wall_pct: tol_pct,
+            rss_pct: tol_pct,
+            alloc_pct: tol_pct,
+            metric_pct: tol_pct,
+        };
+        let report = history::gate(&[&baseline], &candidate, &tol);
+        println!(
+            "promote gate: {} check(s), tolerance +{tol_pct}%",
+            report.checks.len()
+        );
+        for f in &report.failures {
+            println!("  FAIL {f}");
+        }
+        if nan_veto {
+            println!("  FAIL candidate produced NaN forecasts ({candidate_nans} value(s))");
+        }
+        if (!report.passed() || nan_veto) && !force {
+            eprintln!("promote: gate FAILED; {name}@{from} stays staged (use --force to override)");
+            return ExitCode::FAILURE;
+        }
+        if force && (!report.passed() || nan_veto) {
+            eprintln!("promote: gate failed but --force given; promoting anyway");
+        } else {
+            println!("promote gate: PASS");
+        }
+    }
+    let registry = match open_registry(args) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    match registry.promote(name, &from, &to) {
+        Ok(blob) => {
+            println!("promoted {name}@{from} -> {name}@{to} ({blob})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tfb registry promote: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_registry_rollback(args: &[String]) -> ExitCode {
+    let pos = positionals(args);
+    let [name] = pos.as_slice() else {
+        eprintln!("tfb registry rollback: expected exactly one model NAME");
+        return ExitCode::FAILURE;
+    };
+    let label =
+        flag_value(args, "--label").unwrap_or_else(|| tfb::registry::DEFAULT_LABEL.to_string());
+    let registry = match open_registry(args) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    match registry.rollback(name, &label) {
+        Ok(blob) => {
+            println!("rolled back {name}@{label} -> {blob}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tfb registry rollback: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prints the drain-time canary comparison and, when an output
+/// directory is set, writes it as two parallel manifests — baseline
+/// (production forecasts on the mirrored traffic) and candidate (the
+/// canary's forecasts on the identical traffic) — in the exact shape
+/// `tfb obs diff` and `tfb registry promote --baseline --candidate`
+/// consume.
+fn report_canary(drain: &tfb::serve::DrainReport, out_dir: Option<&Path>) {
+    if drain.canary.is_empty() {
+        return;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut baseline = Manifest {
+        meta: vec![
+            ("command".to_string(), "serve-canary".to_string()),
+            ("side".to_string(), "baseline".to_string()),
+        ],
+        cores,
+        ..Manifest::default()
+    };
+    let mut candidate = Manifest {
+        meta: vec![
+            ("command".to_string(), "serve-canary".to_string()),
+            ("side".to_string(), "candidate".to_string()),
+        ],
+        cores,
+        ..Manifest::default()
+    };
+    let row = |model: &str, horizon: u64, name: &str, value: f64| tfb_obs::manifest::MetricRow {
+        dataset: model.to_string(),
+        method: "mirror".to_string(),
+        horizon: horizon as usize,
+        name: name.to_string(),
+        value,
+    };
+    for stat in &drain.canary {
+        eprintln!(
+            "canary {}: {} mirrored request(s), {} error(s), drift {:.6} \
+             (|prod| {:.6} vs |canary| {:.6}), {} NaN value(s)",
+            stat.model,
+            stat.requests,
+            stat.errors,
+            stat.mean_abs_delta,
+            stat.mean_abs_primary,
+            stat.mean_abs_canary,
+            stat.nan_canary,
+        );
+        let m = &stat.model;
+        let h = stat.horizon;
+        baseline
+            .metrics
+            .push(row(m, h, "forecast_mean_abs", stat.mean_abs_primary));
+        baseline
+            .metrics
+            .push(row(m, h, "forecast_nan_values", stat.nan_primary as f64));
+        baseline.metrics.push(row(m, h, "predict_errors", 0.0));
+        candidate
+            .metrics
+            .push(row(m, h, "forecast_mean_abs", stat.mean_abs_canary));
+        candidate
+            .metrics
+            .push(row(m, h, "forecast_nan_values", stat.nan_canary as f64));
+        candidate
+            .metrics
+            .push(row(m, h, "predict_errors", stat.errors as f64));
+        candidate
+            .metrics
+            .push(row(m, h, "forecast_mean_abs_delta", stat.mean_abs_delta));
+    }
+    if drain.canary_dropped > 0 {
+        eprintln!(
+            "canary: {} mirrored request(s) dropped (queue full)",
+            drain.canary_dropped
+        );
+    }
+    let Some(dir) = out_dir else {
+        eprintln!("canary: no --out directory; comparison manifests not written");
+        return;
+    };
+    let _ = std::fs::create_dir_all(dir);
+    for (manifest, file) in [
+        (&baseline, "canary.baseline.manifest.json"),
+        (&candidate, "canary.candidate.manifest.json"),
+    ] {
+        let path = dir.join(file);
+        match manifest.write(&path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write the canary manifest: {e}"),
+        }
+    }
+}
+
 fn cmd_serve(args: &[String]) -> ExitCode {
-    let Some(model_path) = flag_value(args, "--model") else {
-        eprintln!("tfb serve: missing --model MODEL.tfba");
+    let model_path = flag_value(args, "--model");
+    let registry_dir = flag_value(args, "--registry");
+    if model_path.is_none() && registry_dir.is_none() {
+        eprintln!("tfb serve: need --model MODEL.tfba or --registry DIR");
         return ExitCode::FAILURE;
     };
     let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
@@ -1264,13 +1653,44 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     if let Some(n) = flag_value(args, "--queue-cap").and_then(|v| v.parse().ok()) {
         coalescer.queue_cap = n;
     }
-    let model = match tfb::artifact::ServableModel::load(Path::new(&model_path)) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("tfb serve: cannot load {model_path}: {e}");
-            return ExitCode::FAILURE;
+    // Either a whole registry fleet or a single artifact. `--model` is
+    // the original surface and stays: it materializes a one-entry
+    // in-memory fleet, so routed requests work against it too.
+    let fleet = if let Some(dir) = &registry_dir {
+        let registry = match tfb::registry::Registry::open(Path::new(dir)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("tfb serve: cannot open registry {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut fleet_cfg = tfb::registry::fleet::FleetConfig::default();
+        if let Some(n) = flag_value(args, "--resident-cap").and_then(|v| v.parse().ok()) {
+            fleet_cfg.resident_cap = n;
         }
+        match tfb::registry::fleet::Fleet::open(registry, fleet_cfg) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("tfb serve: cannot open fleet over {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let path = model_path.as_deref().expect("checked above");
+        let model = match tfb::artifact::ServableModel::load(Path::new(path)) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("tfb serve: cannot load {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let name = model.method().to_string();
+        tfb::registry::fleet::Fleet::single(&name, model)
     };
+    let source = registry_dir
+        .clone()
+        .or(model_path)
+        .expect("one of --model/--registry present");
     // Arm the live metric registry so `GET /metrics` has data. Without
     // `--out` the serving process writes no event log or manifest file.
     let out_dir = flag_value(args, "--out").map(PathBuf::from);
@@ -1312,7 +1732,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             history_root: Some(root),
             context: vec![
                 ("command".to_string(), "serve".to_string()),
-                ("model".to_string(), model_path.clone()),
+                ("model".to_string(), source.clone()),
                 (
                     "kernel".to_string(),
                     tfb::math::kernel::active_name().to_string(),
@@ -1334,14 +1754,16 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         eprintln!("profiler sampling span stacks at {profile_hz} Hz");
     }
     tfb::serve::install_signal_handlers();
+    let names = fleet.names();
     eprintln!(
-        "serving {} (lookback {}, horizon {}, {} channel(s)) from {model_path}",
-        model.method(),
-        model.lookback(),
-        model.horizon(),
-        model.dim()
+        "serving {} model(s) from {source}: {}",
+        names.len(),
+        names.join(", ")
     );
-    let handle = match tfb::serve::serve(model, tfb::serve::ServerConfig { addr, coalescer }) {
+    let handle = match tfb::serve::serve_fleet(
+        std::sync::Arc::new(fleet),
+        tfb::serve::ServerConfig { addr, coalescer },
+    ) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("tfb serve: cannot bind: {e}");
@@ -1354,8 +1776,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         tfb::math::kernel::active_name()
     );
     println!("listening on {}", handle.addr());
-    handle.run_until(tfb::serve::signal_received);
+    let drain = handle.run_until(tfb::serve::signal_received);
     eprintln!("draining and shutting down...");
+    report_canary(&drain, out_dir.as_deref());
     // Stop the profiler before the run closes so its final flush of
     // `psample` rows still lands in the event log.
     if profile_hz > 0 && obs_armed {
@@ -1374,7 +1797,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     if obs_armed {
         let meta = [
             ("command", "serve".to_string()),
-            ("model", model_path.clone()),
+            ("model", source.clone()),
             ("shards", shards.to_string()),
             ("kernel", tfb::math::kernel::active_name().to_string()),
         ];

@@ -17,8 +17,11 @@
 //!   evaluation, eight metrics, parallel runner, reporting);
 //! * [`artifact`] — the versioned `tfb-artifact/v1` binary model format
 //!   (train once, serve anywhere);
+//! * [`registry`] — the content-addressed model registry (publish /
+//!   promote / rollback), mmap zero-copy artifact loading, and the LRU
+//!   model fleet the server routes over;
 //! * [`serve`] — a threaded HTTP/1.1 forecast server with micro-batching
-//!   and backpressure over a loaded artifact.
+//!   and backpressure over a loaded artifact or a whole registry fleet.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,7 @@ pub use tfb_datagen as datagen;
 pub use tfb_math as math;
 pub use tfb_models as models;
 pub use tfb_nn as nn;
+pub use tfb_registry as registry;
 pub use tfb_serve as serve;
 
 /// The unified pipeline plus a couple of facade conveniences.

@@ -251,6 +251,262 @@ fn train_then_serve_round_trip_over_http() {
     std::fs::remove_dir_all(dir).unwrap();
 }
 
+/// A real (tiny) artifact for registry CLI tests, built in-process —
+/// the CLI path under test is the registry, not `tfb train`.
+fn tiny_artifact_bytes(horizon: usize) -> Vec<u8> {
+    use tfb::data::{ChronoSplit, Normalization, Normalizer};
+    let profile = tfb::datagen::profile_by_name("ILI").expect("profile");
+    let series = profile.generate(tfb::datagen::Scale::TINY);
+    let split = ChronoSplit::split(&series, profile.split).expect("split");
+    let norm = Normalizer::fit(&split.train, Normalization::ZScore);
+    let normed = norm.apply(&series).expect("normalize");
+    let train = normed.slice_rows(0..split.val_start);
+    tfb::artifact::fit("LR", &train, 12, horizon, norm, String::new(), None)
+        .expect("fit")
+        .to_bytes()
+}
+
+#[test]
+fn registry_publish_ls_fsck_lifecycle_and_bit_rot_detection() {
+    let dir = std::env::temp_dir().join(format!("tfb_cli_registry_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let reg = dir.join("reg");
+    let artifact = dir.join("m.tfba");
+    std::fs::write(&artifact, tiny_artifact_bytes(4)).unwrap();
+
+    let out = tfb(&[
+        "registry",
+        "publish",
+        artifact.to_str().unwrap(),
+        "--name",
+        "ili-lr",
+        "--registry",
+        reg.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("published ili-lr@prod"), "{text}");
+
+    let out = tfb(&["registry", "ls", "--registry", reg.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ili-lr@prod"));
+
+    let out = tfb(&["registry", "fsck", "--registry", reg.to_str().unwrap()]);
+    assert!(out.status.success(), "clean store must fsck clean");
+
+    // Flip one byte inside the stored blob: the checksum walk must
+    // catch it and the process must exit non-zero.
+    let blobs: Vec<_> = std::fs::read_dir(reg.join("blobs"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(blobs.len(), 1);
+    let mut bytes = std::fs::read(&blobs[0]).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&blobs[0], &bytes).unwrap();
+    let out = tfb(&["registry", "fsck", "--registry", reg.to_str().unwrap()]);
+    assert!(!out.status.success(), "bit rot must fail fsck");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("CORRUPT"), "{err}");
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn registry_publish_rejects_garbage_before_storing() {
+    let dir = std::env::temp_dir().join(format!("tfb_cli_reggarbage_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.tfba");
+    std::fs::write(&bad, b"not an artifact at all").unwrap();
+    let reg = dir.join("reg");
+    let out = tfb(&[
+        "registry",
+        "publish",
+        bad.to_str().unwrap(),
+        "--name",
+        "x",
+        "--registry",
+        reg.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        !reg.join("blobs").exists()
+            || std::fs::read_dir(reg.join("blobs"))
+                .unwrap()
+                .next()
+                .is_none(),
+        "a rejected artifact must leave no blob behind"
+    );
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn registry_promote_is_gated_by_canary_manifests() {
+    use tfb_obs::manifest::MetricRow;
+    use tfb_obs::Manifest;
+    let dir = std::env::temp_dir().join(format!("tfb_cli_promote_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let reg = dir.join("reg");
+    let registry = tfb::registry::Registry::open(&reg).expect("registry");
+    registry
+        .publish_bytes("ili", "prod", &tiny_artifact_bytes(4))
+        .expect("publish prod");
+    registry
+        .publish_bytes("ili", "canary", &tiny_artifact_bytes(7))
+        .expect("publish canary");
+
+    let row = |name: &str, value: f64| MetricRow {
+        dataset: "ili".to_string(),
+        method: "mirror".to_string(),
+        horizon: 7,
+        name: name.to_string(),
+        value,
+    };
+    let baseline_path = dir.join("baseline.json");
+    let candidate_path = dir.join("candidate.json");
+    let baseline = Manifest {
+        metrics: vec![row("forecast_mean_abs", 1.0)],
+        ..Manifest::default()
+    };
+    baseline.write(&baseline_path).unwrap();
+    // Candidate drifts +100% — far past the 10% default tolerance.
+    let candidate = Manifest {
+        metrics: vec![row("forecast_mean_abs", 2.0)],
+        ..Manifest::default()
+    };
+    candidate.write(&candidate_path).unwrap();
+
+    let out = tfb(&[
+        "registry",
+        "promote",
+        "ili",
+        "--registry",
+        reg.to_str().unwrap(),
+        "--baseline",
+        baseline_path.to_str().unwrap(),
+        "--candidate",
+        candidate_path.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "a drifting canary must not promote");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("gate FAILED"));
+    let index = registry.load_index().expect("index");
+    assert!(
+        index.models["ili"].labels.contains_key("canary"),
+        "failed gate must leave the canary staged"
+    );
+
+    // A healthy candidate (within tolerance) passes and flips the label.
+    let candidate = Manifest {
+        metrics: vec![row("forecast_mean_abs", 1.02)],
+        ..Manifest::default()
+    };
+    candidate.write(&candidate_path).unwrap();
+    let out = tfb(&[
+        "registry",
+        "promote",
+        "ili",
+        "--registry",
+        reg.to_str().unwrap(),
+        "--baseline",
+        baseline_path.to_str().unwrap(),
+        "--candidate",
+        candidate_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let index = registry.load_index().expect("index");
+    assert!(!index.models["ili"].labels.contains_key("canary"));
+    assert!(
+        index.models["ili"].previous.is_some(),
+        "rollback point kept"
+    );
+
+    // And rollback restores the displaced production blob.
+    let out = tfb(&[
+        "registry",
+        "rollback",
+        "ili",
+        "--registry",
+        reg.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn registry_promote_vetoes_nan_candidates_even_within_tolerance() {
+    use tfb_obs::manifest::MetricRow;
+    use tfb_obs::Manifest;
+    let dir = std::env::temp_dir().join(format!("tfb_cli_nanveto_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let reg = dir.join("reg");
+    let registry = tfb::registry::Registry::open(&reg).expect("registry");
+    registry
+        .publish_bytes("ili", "canary", &tiny_artifact_bytes(7))
+        .expect("publish canary");
+    let row = |name: &str, value: f64| MetricRow {
+        dataset: "ili".to_string(),
+        method: "mirror".to_string(),
+        horizon: 7,
+        name: name.to_string(),
+        value,
+    };
+    let baseline_path = dir.join("baseline.json");
+    let candidate_path = dir.join("candidate.json");
+    Manifest {
+        metrics: vec![
+            row("forecast_mean_abs", 1.0),
+            row("forecast_nan_values", 0.0),
+        ],
+        ..Manifest::default()
+    }
+    .write(&baseline_path)
+    .unwrap();
+    // Identical accuracy, but the candidate emitted NaN values: the
+    // percent gate cannot see that, the explicit veto must.
+    Manifest {
+        metrics: vec![
+            row("forecast_mean_abs", 1.0),
+            row("forecast_nan_values", 3.0),
+        ],
+        ..Manifest::default()
+    }
+    .write(&candidate_path)
+    .unwrap();
+    let out = tfb(&[
+        "registry",
+        "promote",
+        "ili",
+        "--registry",
+        reg.to_str().unwrap(),
+        "--baseline",
+        baseline_path.to_str().unwrap(),
+        "--candidate",
+        candidate_path.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "NaN forecasts must veto promotion");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("NaN"));
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn registry_without_subcommand_prints_usage() {
+    let out = tfb(&["registry"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("publish|ls|gc|fsck|promote|rollback"));
+}
+
 #[test]
 fn obs_without_subcommand_prints_usage() {
     let out = tfb(&["obs"]);

@@ -1,0 +1,289 @@
+//! Model-fleet serving end to end over real TCP: concurrent clients
+//! route to many models through a capacity-limited LRU while the index
+//! is hot-swapped underneath them, and every response must stay
+//! bit-identical to a direct per-request `predict` on the owning
+//! artifact — eviction and swap may change *which* artifact answers,
+//! never corrupt *what* it answers. Also: the shadow/canary mirror
+//! produces drain-time stats from live traffic.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tfb::artifact::{fit, ModelArtifact, ServableModel};
+use tfb::data::{ChronoSplit, Normalization, Normalizer};
+use tfb::registry::fleet::{Fleet, FleetConfig};
+use tfb::registry::Registry;
+use tfb::serve::{serve_fleet, ServerConfig};
+use tfb_json::JsonValue;
+
+const LOOKBACK: usize = 16;
+
+/// One LR artifact on the TINY ILI profile; the horizon is the identity
+/// of each fleet member (same lookback, so one window fits all).
+fn trained_artifact(horizon: usize) -> ModelArtifact {
+    let profile = tfb::datagen::profile_by_name("ILI").expect("profile");
+    let series = profile.generate(tfb::datagen::Scale::TINY);
+    let split = ChronoSplit::split(&series, profile.split).expect("split");
+    let norm = Normalizer::fit(&split.train, Normalization::ZScore);
+    let normed = norm.apply(&series).expect("normalize");
+    let train = normed.slice_rows(0..split.val_start);
+    fit("LR", &train, LOOKBACK, horizon, norm, String::new(), None).expect("fit")
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().expect("content-length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+/// Extracts the `forecast` array from a response body. Bitwise f64
+/// comparison downstream is sound: the serializer emits the shortest
+/// round-trippable representation and the parser is correctly rounded.
+fn forecast_of(body: &str) -> Vec<f64> {
+    let parsed = JsonValue::parse(body).expect("response JSON");
+    parsed
+        .get("forecast")
+        .and_then(|f| f.as_array())
+        .expect("forecast array")
+        .iter()
+        .map(|v| v.as_f64().expect("number"))
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tfb_registry_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn concurrent_routing_is_bit_identical_under_churn_and_hot_swap() {
+    const MODELS: usize = 6;
+    const CLIENTS: usize = 4;
+    let dir = temp_dir("stress");
+    let registry = Registry::open(&dir).expect("registry");
+    let mut original: Vec<Vec<u8>> = Vec::new();
+    for i in 0..MODELS {
+        let bytes = trained_artifact(4 + i).to_bytes();
+        registry
+            .publish_bytes(&format!("m{i}"), "prod", &bytes)
+            .expect("publish");
+        original.push(bytes);
+    }
+    let probe = ServableModel::from_artifact(ModelArtifact::from_bytes(&original[0]).unwrap())
+        .expect("servable");
+    let dim = probe.dim();
+    let window: Vec<f64> = (0..LOOKBACK * dim)
+        .map(|i| (i as f64) * 0.21 - 1.5)
+        .collect();
+    // Ground truth per model: a direct per-request `predict`, no server,
+    // no cache, no mmap. Every routed response must equal one of these
+    // exactly (for m0: either the original or, after the swap, the
+    // replacement — never a mixture).
+    let expected: Vec<Vec<f64>> = original
+        .iter()
+        .map(|bytes| {
+            ServableModel::from_artifact(ModelArtifact::from_bytes(bytes).unwrap())
+                .expect("servable")
+                .forecast(&window)
+                .expect("forecast")
+        })
+        .collect();
+    let swap_bytes = trained_artifact(17).to_bytes();
+    let swap_expected =
+        ServableModel::from_artifact(ModelArtifact::from_bytes(&swap_bytes).unwrap())
+            .expect("servable")
+            .forecast(&window)
+            .expect("forecast");
+
+    let body = JsonValue::Object(vec![(
+        "window".to_string(),
+        JsonValue::Array(window.iter().map(|&v| JsonValue::Number(v)).collect()),
+    )])
+    .compact();
+    // A cap far below the model count: routing continuously evicts and
+    // cold-loads, so every client request races the LRU.
+    let fleet = Arc::new(
+        Fleet::open(
+            Registry::open(&dir).expect("registry"),
+            FleetConfig { resident_cap: 2 },
+        )
+        .expect("fleet"),
+    );
+    let handle = serve_fleet(
+        Arc::clone(&fleet),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("serve");
+    let addr = handle.addr();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let (body, expected, swap_expected, stop) =
+                    (&body, &expected, &swap_expected, &stop);
+                scope.spawn(move || {
+                    let mut checked = 0usize;
+                    let mut i = t; // stagger the per-thread model sequence
+                    while !stop.load(Ordering::Relaxed) {
+                        let m = i % MODELS;
+                        let (status, reply) =
+                            request(addr, "POST", &format!("/v1/forecast/m{m}"), body);
+                        assert_eq!(status, 200, "m{m}: {reply}");
+                        let got = forecast_of(&reply);
+                        if m == 0 {
+                            assert!(
+                                got == expected[0] || got == *swap_expected,
+                                "m0 served a forecast matching neither the original \
+                                 nor the swapped-in artifact (torn read?)"
+                            );
+                        } else {
+                            assert_eq!(got, expected[m], "m{m} drifted from direct predict");
+                        }
+                        checked += 1;
+                        i += 1;
+                    }
+                    checked
+                })
+            })
+            .collect();
+        // Mid-traffic: first a same-bytes republish (deduplicated blob,
+        // index generation bump — the no-op hot swap), then a real swap
+        // of m0 to a different artifact.
+        std::thread::sleep(Duration::from_millis(100));
+        registry
+            .publish_bytes("m0", "prod", &original[0])
+            .expect("same-bytes republish");
+        std::thread::sleep(Duration::from_millis(100));
+        registry
+            .publish_bytes("m0", "prod", &swap_bytes)
+            .expect("swap republish");
+        std::thread::sleep(Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+        let total: usize = workers.into_iter().map(|w| w.join().expect("client")).sum();
+        assert!(total >= MODELS * 4, "only {total} request(s) checked");
+    });
+    // The swap must have fully propagated by now (the fleet re-stats the
+    // index every 10 ms): the next routed answer is the new artifact's.
+    let (status, reply) = request(addr, "POST", "/v1/forecast/m0", &body);
+    assert_eq!(status, 200);
+    assert_eq!(
+        forecast_of(&reply),
+        swap_expected,
+        "hot swap did not propagate"
+    );
+    let _ = handle.shutdown();
+    let stats = fleet.stats();
+    assert!(
+        stats.evictions > 0,
+        "cap 2 over {MODELS} models under load must evict (stats: {stats:?})"
+    );
+    assert!(stats.hits > 0 && stats.misses > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn canary_mirror_reports_drift_stats_on_drain() {
+    let dir = temp_dir("canary");
+    let registry = Registry::open(&dir).expect("registry");
+    let prod = trained_artifact(8).to_bytes();
+    let canary = trained_artifact(11).to_bytes();
+    registry
+        .publish_bytes("ili", "prod", &prod)
+        .expect("publish prod");
+    registry
+        .publish_bytes("ili", "canary", &canary)
+        .expect("publish canary");
+
+    let probe =
+        ServableModel::from_artifact(ModelArtifact::from_bytes(&prod).unwrap()).expect("servable");
+    let window: Vec<f64> = (0..LOOKBACK * probe.dim())
+        .map(|i| (i as f64) * 0.07 - 0.9)
+        .collect();
+    let body = JsonValue::Object(vec![(
+        "window".to_string(),
+        JsonValue::Array(window.iter().map(|&v| JsonValue::Number(v)).collect()),
+    )])
+    .compact();
+
+    let fleet = Arc::new(
+        Fleet::open(
+            Registry::open(&dir).expect("registry"),
+            FleetConfig::default(),
+        )
+        .expect("fleet"),
+    );
+    let handle = serve_fleet(
+        fleet,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("serve");
+    let addr = handle.addr();
+    const REQUESTS: usize = 16;
+    for _ in 0..REQUESTS {
+        let (status, _) = request(addr, "POST", "/v1/forecast/ili", &body);
+        assert_eq!(status, 200);
+    }
+    // Canary-labeled traffic is the candidate itself — it must NOT be
+    // mirrored (that would shadow the shadow).
+    let (status, _) = request(addr, "POST", "/v1/forecast/ili@canary", &body);
+    assert_eq!(status, 200);
+    let drain = handle.shutdown();
+    assert_eq!(drain.canary.len(), 1, "one canaried model");
+    let stats = &drain.canary[0];
+    assert_eq!(stats.model, "ili");
+    // try_send may shed under queue pressure, but with 16 sequential
+    // requests the 256-slot queue cannot fill.
+    assert_eq!(stats.requests, REQUESTS as u64, "all prod traffic mirrored");
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.horizon, 11, "stats describe the candidate");
+    assert!(stats.mean_abs_delta.is_finite());
+    assert!(stats.mean_abs_primary > 0.0);
+    assert!(stats.mean_abs_canary > 0.0);
+    assert_eq!(stats.nan_primary + stats.nan_canary, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
